@@ -1,0 +1,202 @@
+//! LOLCODE-flavoured diagnostics.
+//!
+//! Errors open with `O NOES!` and warnings with `HMM...`, in keeping with
+//! the paper's observation that the language should stay "oddly humorous"
+//! — but every diagnostic also carries a stable machine-readable code and
+//! a precise source span, because this is still a real compiler.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// How bad it is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Something worth mentioning but harmless.
+    Warning,
+    /// Compilation (or execution) cannot proceed.
+    Error,
+}
+
+/// A single diagnostic message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable code, e.g. `LEX0001`, `PAR0003`, `SEM0007`, `RUN0002`.
+    pub code: &'static str,
+    /// Human message (already LOLCODE-flavoured where appropriate).
+    pub message: String,
+    /// Primary location.
+    pub span: Span,
+    /// Extra context lines ("halp:" notes).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, code, message: message.into(), span, notes: vec![] }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            span,
+            notes: vec![],
+        }
+    }
+
+    /// Attach a `halp:` note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render the diagnostic against the source, with a caret line.
+    ///
+    /// ```text
+    /// O NOES! [PAR0002] I EXPECTED A KEYWORD BUT I GOTZ "FISH"
+    ///   --> line 3, col 9
+    ///    |
+    ///  3 | VISIBLE FISH AN CHIPS
+    ///    |         ^^^^
+    ///   halp: maybe u meant VISIBLE "FISH"?
+    /// ```
+    pub fn render(&self, sm: &SourceMap) -> String {
+        let mut out = String::new();
+        let prefix = match self.severity {
+            Severity::Error => "O NOES!",
+            Severity::Warning => "HMM...",
+        };
+        let lc = sm.lookup(self.span.lo);
+        out.push_str(&format!("{prefix} [{}] {}\n", self.code, self.message));
+        out.push_str(&format!("  --> line {}, col {}\n", lc.line, lc.col));
+        let line_text = sm.line_text(lc.line);
+        if !line_text.is_empty() {
+            out.push_str("   |\n");
+            out.push_str(&format!("{:>3}| {}\n", lc.line, line_text));
+            let caret_len = (self.span.len().max(1) as usize).min(line_text.len().max(1));
+            out.push_str(&format!(
+                "   | {}{}\n",
+                " ".repeat((lc.col as usize).saturating_sub(1)),
+                "^".repeat(caret_len)
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  halp: {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.severity {
+            Severity::Error => "O NOES!",
+            Severity::Warning => "HMM...",
+        };
+        write!(f, "{prefix} [{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A collection of diagnostics accumulated by a pass.
+#[derive(Debug, Default, Clone)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// All recorded diagnostics in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// True if any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Render all diagnostics against a source map.
+    pub fn render_all(&self, sm: &SourceMap) -> String {
+        self.items.iter().map(|d| d.render(sm)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_meme_prefix_and_code() {
+        let sm = SourceMap::new("HAI 1.2\nVISIBLE FISH\nKTHXBYE");
+        let d = Diagnostic::error("PAR0002", "I EXPECTED A YARN", Span::new(16, 20));
+        let r = d.render(&sm);
+        assert!(r.contains("O NOES!"), "{r}");
+        assert!(r.contains("[PAR0002]"), "{r}");
+        assert!(r.contains("line 2"), "{r}");
+        assert!(r.contains("VISIBLE FISH"), "{r}");
+        assert!(r.contains("^^^^"), "{r}");
+    }
+
+    #[test]
+    fn warning_prefix() {
+        let sm = SourceMap::new("HUGZ");
+        let d = Diagnostic::warning("SEM0009", "DIS LOCK IZ NEVER RELEASED", Span::new(0, 4));
+        assert!(d.render(&sm).starts_with("HMM..."));
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let sm = SourceMap::new("X R 1");
+        let d = Diagnostic::error("SEM0001", "WHO IZ X?", Span::new(0, 1))
+            .with_note("declare it wif I HAS A X");
+        assert!(d.render(&sm).contains("halp: declare it wif I HAS A X"));
+    }
+
+    #[test]
+    fn diagnostics_error_tracking() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_empty());
+        ds.push(Diagnostic::warning("W", "w", Span::DUMMY));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error("E", "e", Span::DUMMY));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let d = Diagnostic::error("RUN0001", "DIVIDIN BY ZERO IZ NOT ALLOWED", Span::DUMMY);
+        let s = format!("{d}");
+        assert!(!s.contains('\n'));
+        assert!(s.contains("RUN0001"));
+    }
+}

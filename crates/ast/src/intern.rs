@@ -1,0 +1,133 @@
+//! A tiny global string interner.
+//!
+//! Identifiers appear everywhere in the AST and are compared constantly
+//! during semantic analysis and interpretation, so they are interned to a
+//! `u32`-sized [`Symbol`]. Interned strings are leaked (the set of
+//! distinct identifiers in a compilation session is small and bounded),
+//! which lets `Symbol::as_str` hand out `&'static str` without locking.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier. Copyable, hashable, O(1) comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its canonical symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut int = interner().lock().expect("interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = int.strings.len() as u32;
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("interner poisoned");
+        int.strings[self.0 as usize]
+    }
+
+    /// The raw index (useful as a dense map key).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The implicit result variable `IT` used by expression statements
+    /// and `O RLY?` (LOLCODE 1.2 §"IT").
+    pub fn it() -> Symbol {
+        Symbol::intern("IT")
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_string_same_symbol() {
+        assert_eq!(Symbol::intern("kitteh"), Symbol::intern("kitteh"));
+    }
+
+    #[test]
+    fn different_strings_differ() {
+        assert_ne!(Symbol::intern("ceiling_cat"), Symbol::intern("basement_cat"));
+    }
+
+    #[test]
+    fn case_sensitive() {
+        // LOLCODE identifiers are case sensitive per the 1.2 spec.
+        assert_ne!(Symbol::intern("cheezburger"), Symbol::intern("CHEEZBURGER"));
+    }
+
+    #[test]
+    fn roundtrips_text() {
+        let s = Symbol::intern("i_can_has");
+        assert_eq!(s.as_str(), "i_can_has");
+        assert_eq!(s.to_string(), "i_can_has");
+    }
+
+    #[test]
+    fn it_symbol_is_stable() {
+        assert_eq!(Symbol::it(), Symbol::intern("IT"));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| Symbol::intern(&format!("sym_{}", (i + j) % 16)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all {
+            for s in row {
+                let again = Symbol::intern(s.as_str());
+                assert_eq!(*s, again);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # lol-ast — syntax tree for parallel LOLCODE
+//!
+//! This crate defines everything the rest of the toolchain agrees on:
+//!
+//! * [`span`] — byte spans and the [`span::SourceMap`] used to render
+//!   line/column diagnostics,
+//! * [`intern`] — a tiny thread-safe string interner ([`intern::Symbol`]),
+//! * [`types`] — the LOLCODE value types (`NUMBR`, `NUMBAR`, `YARN`,
+//!   `TROOF`, `NOOB`),
+//! * [`ast`] — the abstract syntax tree for LOLCODE 1.2 plus the paper's
+//!   parallel and convenience extensions (Tables I, II and III),
+//! * [`diag`] — LOLCODE-flavoured diagnostics ("O NOES!"),
+//! * [`visit`] — a read-only visitor over the tree,
+//! * [`pretty`] — a canonical pretty-printer whose output re-parses to an
+//!   identical tree (used by the round-trip property tests).
+//!
+//! The crate is dependency-free so that every other crate in the
+//! workspace can depend on it without pulling anything else in.
+
+pub mod ast;
+pub mod diag;
+pub mod intern;
+pub mod pretty;
+pub mod span;
+pub mod types;
+pub mod visit;
+
+pub use ast::*;
+pub use diag::{Diagnostic, Severity};
+pub use intern::Symbol;
+pub use span::{SourceMap, Span};
+pub use types::LolType;

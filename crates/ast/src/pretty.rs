@@ -1,0 +1,461 @@
+//! Canonical pretty-printer.
+//!
+//! Prints a [`Program`] back to LOLCODE source in a normal form: one
+//! statement per line, two-space indentation, canonical keyword
+//! spellings, no comments or continuations. The invariant (enforced by
+//! property tests in `lol-parser`) is:
+//!
+//! > `parse(print(ast))` succeeds and prints identically.
+//!
+//! This gives structural tree equality "modulo spans" for free and makes
+//! golden tests readable.
+
+use crate::ast::*;
+use crate::types::LolType;
+use std::fmt::Write;
+
+/// Pretty-print a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut pr = Printer::new();
+    match &p.version {
+        Some(v) => pr.line(&format!("HAI {v}")),
+        None => pr.line("HAI"),
+    }
+    for inc in &p.includes {
+        pr.line(&format!("CAN HAS {}?", inc.lib.sym));
+    }
+    for s in &p.body {
+        pr.stmt(s);
+    }
+    for f in &p.funcs {
+        pr.func(f);
+    }
+    pr.line("KTHXBYE");
+    pr.out
+}
+
+/// Pretty-print a single expression (used in diagnostics and tests).
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(&mut s, e);
+    s
+}
+
+/// Pretty-print a single statement at indent 0.
+pub fn print_stmt(st: &Stmt) -> String {
+    let mut pr = Printer::new();
+    pr.stmt(st);
+    pr.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.indent += 1;
+        for s in b {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    fn func(&mut self, f: &FuncDef) {
+        let mut head = format!("HOW IZ I {}", f.name.sym);
+        for (i, p) in f.params.iter().enumerate() {
+            if i == 0 {
+                write!(head, " YR {}", p.sym).unwrap();
+            } else {
+                write!(head, " AN YR {}", p.sym).unwrap();
+            }
+        }
+        self.line(&head);
+        self.block(&f.body);
+        self.line("IF U SAY SO");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Declare(d) => self.line(&decl(d)),
+            StmtKind::Assign { target, value } => {
+                self.line(&format!("{} R {}", lvalue(target), print_expr(value)));
+            }
+            StmtKind::ExprStmt(e) => self.line(&print_expr(e)),
+            StmtKind::Visible { args, newline } => {
+                let mut t = "VISIBLE".to_string();
+                for a in args {
+                    t.push(' ');
+                    expr(&mut t, a);
+                }
+                if !newline {
+                    t.push('!');
+                }
+                self.line(&t);
+            }
+            StmtKind::Gimmeh(lv) => self.line(&format!("GIMMEH {}", lvalue(lv))),
+            StmtKind::If(ifs) => {
+                self.line("O RLY?");
+                self.line("YA RLY");
+                self.block(&ifs.then_block);
+                for m in &ifs.mebbes {
+                    self.line(&format!("MEBBE {}", print_expr(&m.cond)));
+                    self.block(&m.body);
+                }
+                if let Some(e) = &ifs.else_block {
+                    self.line("NO WAI");
+                    self.block(e);
+                }
+                self.line("OIC");
+            }
+            StmtKind::Switch(sw) => {
+                self.line("WTF?");
+                for arm in &sw.arms {
+                    self.line(&format!("OMG {}", lit(&arm.value)));
+                    self.block(&arm.body);
+                }
+                if let Some(d) = &sw.default {
+                    self.line("OMGWTF");
+                    self.block(d);
+                }
+                self.line("OIC");
+            }
+            StmtKind::Loop(lp) => {
+                let mut head = format!("IM IN YR {}", lp.label.sym);
+                if let Some((dir, var)) = &lp.update {
+                    let d = match dir {
+                        LoopDir::Uppin => "UPPIN",
+                        LoopDir::Nerfin => "NERFIN",
+                    };
+                    write!(head, " {d} YR {}", var.sym).unwrap();
+                }
+                if let Some((g, e)) = &lp.guard {
+                    let gk = match g {
+                        GuardKind::Til => "TIL",
+                        GuardKind::Wile => "WILE",
+                    };
+                    write!(head, " {gk} {}", print_expr(e)).unwrap();
+                }
+                self.line(&head);
+                self.block(&lp.body);
+                self.line(&format!("IM OUTTA YR {}", lp.label.sym));
+            }
+            StmtKind::Gtfo => self.line("GTFO"),
+            StmtKind::FoundYr(e) => self.line(&format!("FOUND YR {}", print_expr(e))),
+            StmtKind::IsNowA { target, ty } => {
+                self.line(&format!("{} IS NOW A {}", lvalue(target), ty.keyword()));
+            }
+            StmtKind::Hugz => self.line("HUGZ"),
+            StmtKind::LockAcquire(v) => self.line(&format!("IM SRSLY MESIN WIF {}", varref(v))),
+            StmtKind::LockTry(v) => self.line(&format!("IM MESIN WIF {}", varref(v))),
+            StmtKind::LockRelease(v) => self.line(&format!("DUN MESIN WIF {}", varref(v))),
+            StmtKind::TxtStmt { pe, stmt } => {
+                // Simple statements only (enforced by the parser), so the
+                // inner statement is guaranteed to be a single line.
+                let inner = print_stmt(stmt);
+                self.line(&format!("TXT MAH BFF {}, {}", print_expr(pe), inner.trim_end()));
+            }
+            StmtKind::TxtBlock { pe, body } => {
+                self.line(&format!("TXT MAH BFF {} AN STUFF", print_expr(pe)));
+                self.block(body);
+                self.line("TTYL");
+            }
+        }
+    }
+}
+
+fn decl(d: &Decl) -> String {
+    let scope = match d.scope {
+        DeclScope::I => "I",
+        DeclScope::We => "WE",
+    };
+    let mut t = format!("{scope} HAS A {}", d.name.sym);
+    let srsly = if d.srsly { "SRSLY " } else { "" };
+    if let Some(size) = &d.array_size {
+        let ty = d.ty.unwrap_or(LolType::Noob);
+        write!(t, " ITZ {srsly}LOTZ A {} AN THAR IZ {}", ty.plural_keyword(), print_expr(size))
+            .unwrap();
+    } else if let Some(ty) = d.ty {
+        write!(t, " ITZ {srsly}A {}", ty.keyword()).unwrap();
+        if let Some(init) = &d.init {
+            write!(t, " AN ITZ {}", print_expr(init)).unwrap();
+        }
+    } else if let Some(init) = &d.init {
+        write!(t, " ITZ {}", print_expr(init)).unwrap();
+    }
+    if d.sharin {
+        t.push_str(" AN IM SHARIN IT");
+    }
+    t
+}
+
+fn lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(v) => varref(v),
+        LValue::Index { arr, idx, .. } => {
+            format!("{}'Z {}", varref(arr), print_expr(idx))
+        }
+    }
+}
+
+fn varref(v: &VarRef) -> String {
+    let q = match v.locality {
+        Locality::Unqualified => "",
+        Locality::Mah => "MAH ",
+        Locality::Ur => "UR ",
+    };
+    match &v.name {
+        VarName::Named(id) => format!("{q}{}", id.sym),
+        VarName::Srs(e) => format!("{q}SRS {}", print_expr(e)),
+    }
+}
+
+fn lit(l: &Lit) -> String {
+    match l {
+        Lit::Numbr(n) => n.to_string(),
+        Lit::Numbar(f) => {
+            // `{:?}` is Rust's shortest round-trip float syntax; ensure a
+            // decimal point so the lexer sees a NUMBAR.
+            let s = format!("{f:?}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Lit::Yarn(parts) => {
+            let mut t = String::from("\"");
+            for p in parts {
+                match p {
+                    YarnPart::Text(txt) => {
+                        for c in txt.chars() {
+                            match c {
+                                ':' => t.push_str("::"),
+                                '"' => t.push_str(":\""),
+                                '\n' => t.push_str(":)"),
+                                '\t' => t.push_str(":>"),
+                                '\x07' => t.push_str(":o"),
+                                c => t.push(c),
+                            }
+                        }
+                    }
+                    YarnPart::Var(id) => {
+                        write!(t, ":{{{}}}", id.sym).unwrap();
+                    }
+                }
+            }
+            t.push('"');
+            t
+        }
+        Lit::Troof(true) => "WIN".into(),
+        Lit::Troof(false) => "FAIL".into(),
+        Lit::Noob => "NOOB".into(),
+    }
+}
+
+fn expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::Lit(l) => out.push_str(&lit(l)),
+        ExprKind::Var(v) => out.push_str(&varref(v)),
+        ExprKind::Index { arr, idx } => {
+            out.push_str(&varref(arr));
+            out.push_str("'Z ");
+            expr(out, idx);
+        }
+        ExprKind::Bin { op, lhs, rhs } => {
+            out.push_str(op.keyword());
+            out.push(' ');
+            expr(out, lhs);
+            out.push_str(" AN ");
+            expr(out, rhs);
+        }
+        ExprKind::Un { op, expr: inner } => {
+            out.push_str(op.keyword());
+            out.push(' ');
+            expr(out, inner);
+        }
+        ExprKind::Nary { op, args } => {
+            out.push_str(op.keyword());
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" AN");
+                }
+                out.push(' ');
+                expr(out, a);
+            }
+            out.push_str(" MKAY");
+        }
+        ExprKind::Cast { expr: inner, ty } => {
+            out.push_str("MAEK ");
+            expr(out, inner);
+            out.push_str(" A ");
+            out.push_str(ty.keyword());
+        }
+        ExprKind::Call { name, args } => {
+            write!(out, "I IZ {}", name.sym).unwrap();
+            for (i, a) in args.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(" YR ");
+                } else {
+                    out.push_str(" AN YR ");
+                }
+                expr(out, a);
+            }
+            out.push_str(" MKAY");
+        }
+        ExprKind::Me => out.push_str("ME"),
+        ExprKind::MahFrenz => out.push_str("MAH FRENZ"),
+        ExprKind::Whatevr => out.push_str("WHATEVR"),
+        ExprKind::Whatevar => out.push_str("WHATEVAR"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    fn var(name: &str) -> Expr {
+        e(ExprKind::Var(VarRef::named(Ident::synthetic(name))))
+    }
+
+    #[test]
+    fn prints_sum() {
+        let sum = e(ExprKind::Bin {
+            op: BinOp::Sum,
+            lhs: Box::new(var("x")),
+            rhs: Box::new(e(ExprKind::Lit(Lit::Numbr(1)))),
+        });
+        assert_eq!(print_expr(&sum), "SUM OF x AN 1");
+    }
+
+    #[test]
+    fn prints_nested_prefix_ops() {
+        // SUM OF PRODUKT OF a AN b AN c — unambiguous prefix form.
+        let inner = e(ExprKind::Bin {
+            op: BinOp::Produkt,
+            lhs: Box::new(var("a")),
+            rhs: Box::new(var("b")),
+        });
+        let outer = e(ExprKind::Bin {
+            op: BinOp::Sum,
+            lhs: Box::new(inner),
+            rhs: Box::new(var("c")),
+        });
+        assert_eq!(print_expr(&outer), "SUM OF PRODUKT OF a AN b AN c");
+    }
+
+    #[test]
+    fn prints_yarn_with_escapes() {
+        let y = e(ExprKind::Lit(Lit::Yarn(vec![
+            YarnPart::Text("A:B\"C\nD".into()),
+            YarnPart::Var(Ident::synthetic("pe")),
+        ])));
+        assert_eq!(print_expr(&y), "\"A::B:\"C:)D:{pe}\"");
+    }
+
+    #[test]
+    fn prints_remote_index() {
+        let ix = e(ExprKind::Index {
+            arr: VarRef {
+                name: VarName::Named(Ident::synthetic("pos_x")),
+                locality: Locality::Ur,
+                span: Span::DUMMY,
+            },
+            idx: Box::new(var("j")),
+        });
+        assert_eq!(print_expr(&ix), "UR pos_x'Z j");
+    }
+
+    #[test]
+    fn prints_float_with_point() {
+        assert_eq!(print_expr(&e(ExprKind::Lit(Lit::Numbar(0.001)))), "0.001");
+        assert_eq!(print_expr(&e(ExprKind::Lit(Lit::Numbar(2.0)))), "2.0");
+    }
+
+    #[test]
+    fn prints_call_and_smoosh() {
+        let call = e(ExprKind::Call {
+            name: Ident::synthetic("add"),
+            args: vec![var("a"), var("b")],
+        });
+        assert_eq!(print_expr(&call), "I IZ add YR a AN YR b MKAY");
+        let sm = e(ExprKind::Nary { op: NaryOp::Smoosh, args: vec![var("a"), var("b")] });
+        assert_eq!(print_expr(&sm), "SMOOSH a AN b MKAY");
+    }
+
+    #[test]
+    fn prints_shared_array_decl() {
+        let d = Decl {
+            scope: DeclScope::We,
+            name: Ident::synthetic("arr"),
+            ty: Some(LolType::Numbr),
+            srsly: true,
+            array_size: Some(e(ExprKind::Lit(Lit::Numbr(32)))),
+            init: None,
+            sharin: true,
+            span: Span::DUMMY,
+        };
+        assert_eq!(
+            decl(&d),
+            "WE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32 AN IM SHARIN IT"
+        );
+    }
+
+    #[test]
+    fn prints_full_program_shape() {
+        let p = Program {
+            version: Some("1.2".into()),
+            includes: vec![Include { lib: Ident::synthetic("STDIO"), span: Span::DUMMY }],
+            body: vec![
+                Stmt::new(StmtKind::Hugz, Span::DUMMY),
+                Stmt::new(
+                    StmtKind::Visible { args: vec![var("x")], newline: false },
+                    Span::DUMMY,
+                ),
+            ],
+            funcs: vec![],
+        };
+        let s = print_program(&p);
+        assert_eq!(s, "HAI 1.2\nCAN HAS STDIO?\nHUGZ\nVISIBLE x!\nKTHXBYE\n");
+    }
+
+    #[test]
+    fn prints_txt_forms() {
+        let st = Stmt::new(
+            StmtKind::TxtStmt {
+                pe: var("k"),
+                stmt: Box::new(Stmt::new(
+                    StmtKind::Assign {
+                        target: LValue::Var(VarRef {
+                            name: VarName::Named(Ident::synthetic("b")),
+                            locality: Locality::Ur,
+                            span: Span::DUMMY,
+                        }),
+                        value: var("a"),
+                    },
+                    Span::DUMMY,
+                )),
+            },
+            Span::DUMMY,
+        );
+        assert_eq!(print_stmt(&st), "TXT MAH BFF k, UR b R a\n");
+    }
+}

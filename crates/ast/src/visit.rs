@@ -1,0 +1,255 @@
+//! A read-only visitor over the AST.
+//!
+//! Passes that only need to *inspect* the tree (lint checks, symmetric
+//! layout collection, conformance counting) implement [`Visitor`] and get
+//! traversal order for free from the `walk_*` functions. Override only
+//! the hooks you care about; every hook's default walks deeper.
+
+use crate::ast::*;
+
+/// Read-only AST visitor. All methods have walking defaults.
+pub trait Visitor {
+    fn visit_program(&mut self, p: &Program) {
+        walk_program(self, p);
+    }
+    fn visit_func(&mut self, f: &FuncDef) {
+        walk_func(self, f);
+    }
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    fn visit_decl(&mut self, d: &Decl) {
+        walk_decl(self, d);
+    }
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+    fn visit_lvalue(&mut self, lv: &LValue) {
+        walk_lvalue(self, lv);
+    }
+    fn visit_varref(&mut self, v: &VarRef) {
+        walk_varref(self, v);
+    }
+}
+
+pub fn walk_program<V: Visitor + ?Sized>(v: &mut V, p: &Program) {
+    v.visit_block(&p.body);
+    for f in &p.funcs {
+        v.visit_func(f);
+    }
+}
+
+pub fn walk_func<V: Visitor + ?Sized>(v: &mut V, f: &FuncDef) {
+    v.visit_block(&f.body);
+}
+
+pub fn walk_block<V: Visitor + ?Sized>(v: &mut V, b: &Block) {
+    for s in b {
+        v.visit_stmt(s);
+    }
+}
+
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Declare(d) => v.visit_decl(d),
+        StmtKind::Assign { target, value } => {
+            v.visit_lvalue(target);
+            v.visit_expr(value);
+        }
+        StmtKind::ExprStmt(e) => v.visit_expr(e),
+        StmtKind::Visible { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        StmtKind::Gimmeh(lv) => v.visit_lvalue(lv),
+        StmtKind::If(ifs) => {
+            v.visit_block(&ifs.then_block);
+            for m in &ifs.mebbes {
+                v.visit_expr(&m.cond);
+                v.visit_block(&m.body);
+            }
+            if let Some(e) = &ifs.else_block {
+                v.visit_block(e);
+            }
+        }
+        StmtKind::Switch(sw) => {
+            for arm in &sw.arms {
+                v.visit_block(&arm.body);
+            }
+            if let Some(d) = &sw.default {
+                v.visit_block(d);
+            }
+        }
+        StmtKind::Loop(lp) => {
+            if let Some((_, e)) = &lp.guard {
+                v.visit_expr(e);
+            }
+            v.visit_block(&lp.body);
+        }
+        StmtKind::Gtfo | StmtKind::Hugz => {}
+        StmtKind::FoundYr(e) => v.visit_expr(e),
+        StmtKind::IsNowA { target, .. } => v.visit_lvalue(target),
+        StmtKind::LockAcquire(vr) | StmtKind::LockTry(vr) | StmtKind::LockRelease(vr) => {
+            v.visit_varref(vr)
+        }
+        StmtKind::TxtStmt { pe, stmt } => {
+            v.visit_expr(pe);
+            v.visit_stmt(stmt);
+        }
+        StmtKind::TxtBlock { pe, body } => {
+            v.visit_expr(pe);
+            v.visit_block(body);
+        }
+    }
+}
+
+pub fn walk_decl<V: Visitor + ?Sized>(v: &mut V, d: &Decl) {
+    if let Some(sz) = &d.array_size {
+        v.visit_expr(sz);
+    }
+    if let Some(init) = &d.init {
+        v.visit_expr(init);
+    }
+}
+
+pub fn walk_lvalue<V: Visitor + ?Sized>(v: &mut V, lv: &LValue) {
+    match lv {
+        LValue::Var(vr) => v.visit_varref(vr),
+        LValue::Index { arr, idx, .. } => {
+            v.visit_varref(arr);
+            v.visit_expr(idx);
+        }
+    }
+}
+
+pub fn walk_varref<V: Visitor + ?Sized>(v: &mut V, vr: &VarRef) {
+    if let VarName::Srs(e) = &vr.name {
+        v.visit_expr(e);
+    }
+}
+
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::Lit(_)
+        | ExprKind::Me
+        | ExprKind::MahFrenz
+        | ExprKind::Whatevr
+        | ExprKind::Whatevar => {}
+        ExprKind::Var(vr) => v.visit_varref(vr),
+        ExprKind::Index { arr, idx } => {
+            v.visit_varref(arr);
+            v.visit_expr(idx);
+        }
+        ExprKind::Bin { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Un { expr, .. } => v.visit_expr(expr),
+        ExprKind::Nary { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Cast { expr, .. } => v.visit_expr(expr),
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    /// Counts every node category it sees.
+    #[derive(Default)]
+    struct Counter {
+        stmts: usize,
+        exprs: usize,
+        varrefs: usize,
+    }
+
+    impl Visitor for Counter {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            self.stmts += 1;
+            walk_stmt(self, s);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            self.exprs += 1;
+            walk_expr(self, e);
+        }
+        fn visit_varref(&mut self, v: &VarRef) {
+            self.varrefs += 1;
+            walk_varref(self, v);
+        }
+    }
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Span::DUMMY)
+    }
+
+    #[test]
+    fn visits_nested_structures() {
+        // TXT MAH BFF k AN STUFF / x R SUM OF UR y AN 1 / TTYL
+        let body = vec![Stmt::new(
+            StmtKind::Assign {
+                target: LValue::Var(VarRef::named(Ident::synthetic("x"))),
+                value: e(ExprKind::Bin {
+                    op: BinOp::Sum,
+                    lhs: Box::new(e(ExprKind::Var(VarRef {
+                        name: VarName::Named(Ident::synthetic("y")),
+                        locality: Locality::Ur,
+                        span: Span::DUMMY,
+                    }))),
+                    rhs: Box::new(e(ExprKind::Lit(Lit::Numbr(1)))),
+                }),
+            },
+            Span::DUMMY,
+        )];
+        let prog = Program {
+            version: None,
+            includes: vec![],
+            body: vec![Stmt::new(
+                StmtKind::TxtBlock { pe: e(ExprKind::Var(VarRef::named(Ident::synthetic("k")))), body },
+                Span::DUMMY,
+            )],
+            funcs: vec![],
+        };
+        let mut c = Counter::default();
+        c.visit_program(&prog);
+        assert_eq!(c.stmts, 2, "outer TXT block + inner assign");
+        // k, SUM OF ..., UR y, 1 = 4 exprs
+        assert_eq!(c.exprs, 4);
+        // x (lvalue), UR y, k = 3 varrefs
+        assert_eq!(c.varrefs, 3);
+    }
+
+    #[test]
+    fn visits_functions() {
+        let prog = Program {
+            version: None,
+            includes: vec![],
+            body: vec![],
+            funcs: vec![FuncDef {
+                name: Ident::synthetic("f"),
+                params: vec![Ident::synthetic("a")],
+                body: vec![Stmt::new(
+                    StmtKind::FoundYr(e(ExprKind::Var(VarRef::named(Ident::synthetic("a"))))),
+                    Span::DUMMY,
+                )],
+                span: Span::DUMMY,
+            }],
+        };
+        let mut c = Counter::default();
+        c.visit_program(&prog);
+        assert_eq!(c.stmts, 1);
+        assert_eq!(c.exprs, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Experiment F2 + ablation A1 — `HUGZ` (collective barrier) cost.
+//!
+//! Figure 2's guarantee costs one barrier per data-movement phase; this
+//! bench measures that cost as PE count grows, for both barrier
+//! algorithms (centralized sense-reversing vs dissemination). Expected
+//! shape: centralized degrades roughly linearly with contention,
+//! dissemination grows ~logarithmically (it wins at higher PE counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lol_shmem::{run_spmd, BarrierKind, ShmemConfig};
+use std::time::{Duration, Instant};
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_barrier");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for kind in [BarrierKind::Centralized, BarrierKind::Dissemination] {
+        for n_pes in [2usize, 4, 8, 16] {
+            let name = match kind {
+                BarrierKind::Centralized => "central",
+                BarrierKind::Dissemination => "dissemination",
+            };
+            g.bench_with_input(
+                BenchmarkId::new(name, n_pes),
+                &n_pes,
+                |b, &n| {
+                    b.iter_custom(|iters| {
+                        let cfg = ShmemConfig::new(n)
+                            .barrier(kind)
+                            .timeout(Duration::from_secs(60));
+                        let times = run_spmd(cfg, |pe| {
+                            pe.barrier_all(); // line everyone up
+                            let t0 = Instant::now();
+                            for _ in 0..iters {
+                                pe.barrier_all();
+                            }
+                            t0.elapsed()
+                        })
+                        .expect("barrier bench job failed");
+                        // The slowest PE defines the episode length.
+                        times.into_iter().max().unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// The Figure 2 composite: put to neighbour, barrier, read — the cost
+/// of one communication phase.
+fn bench_figure2_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_put_barrier_read");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n_pes in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("pes", n_pes), &n_pes, |b, &n| {
+            b.iter_custom(|iters| {
+                let cfg = ShmemConfig::new(n).timeout(Duration::from_secs(60));
+                let times = run_spmd(cfg, |pe| {
+                    let a = pe.shmalloc(1);
+                    let b_addr = pe.shmalloc(1);
+                    let next = (pe.id() + 1) % pe.n_pes();
+                    pe.put_i64(a, pe.id(), pe.id() as i64 + 1);
+                    pe.barrier_all();
+                    let t0 = Instant::now();
+                    let mut acc = 0i64;
+                    for _ in 0..iters {
+                        // TXT MAH BFF next, UR b R MAH a / HUGZ / read.
+                        let mine = pe.get_i64(a, pe.id());
+                        pe.put_i64(b_addr, next, mine);
+                        pe.barrier_all();
+                        acc = acc.wrapping_add(pe.get_i64(b_addr, pe.id()));
+                    }
+                    std::hint::black_box(acc);
+                    t0.elapsed()
+                })
+                .expect("figure2 bench job failed");
+                times.into_iter().max().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_figure2_phase);
+criterion_main!(benches);

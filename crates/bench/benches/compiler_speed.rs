@@ -1,0 +1,64 @@
+//! Front-end and backend throughput on the paper's n-body source —
+//! the `lcc` pipeline cost (§II: "a standard C compiler is used to
+//! compile the code" — here we measure everything up to that handoff).
+//!
+//! Stages: lex, parse, sema, bytecode compile, C emission, full
+//! source→C pipeline. Throughput in source bytes/second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let src = lolcode::corpus::nbody_paper();
+    let bytes = src.len() as u64;
+
+    let mut g = c.benchmark_group("lcc_pipeline");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(bytes));
+
+    g.bench_function("lex", |b| {
+        b.iter(|| black_box(lol_lexer::lex(black_box(&src))).tokens.len())
+    });
+
+    g.bench_function("parse", |b| {
+        b.iter(|| {
+            let out = lol_parser::parse(black_box(&src));
+            assert!(!out.diags.has_errors());
+            black_box(out.program)
+        })
+    });
+
+    let program = lolcode::parse_program(&src).unwrap();
+    g.bench_function("sema", |b| {
+        b.iter(|| {
+            let a = lol_sema::analyze(black_box(&program));
+            assert!(a.is_ok());
+            black_box(a.shared.total_words)
+        })
+    });
+
+    let analysis = lol_sema::analyze(&program);
+    g.bench_function("compile_bytecode", |b| {
+        b.iter(|| {
+            let m = lol_vm::compile(black_box(&program), black_box(&analysis)).unwrap();
+            black_box(m.code_len())
+        })
+    });
+
+    g.bench_function("emit_c", |b| {
+        b.iter(|| {
+            let c = lol_c_codegen::emit_c(black_box(&program), black_box(&analysis)).unwrap();
+            black_box(c.len())
+        })
+    });
+
+    g.bench_function("source_to_c_full", |b| {
+        b.iter(|| black_box(lolcode::compile_to_c(black_box(&src)).unwrap().len()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

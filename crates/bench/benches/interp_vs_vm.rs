@@ -1,0 +1,102 @@
+//! Experiment §II.B — "using a compiler for LOLCODE is more flexible
+//! and efficient than an interpreter".
+//!
+//! The paper's compiler emits C; our measurable compiled path is the
+//! bytecode VM. Same programs, same substrate, one PE (pure execution
+//! cost, no communication): the VM should win by a factor on
+//! compute-bound kernels because name/locality resolution happened at
+//! compile time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lol_shmem::ShmemConfig;
+use std::time::Duration;
+
+struct Kernel {
+    name: &'static str,
+    src: String,
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "scalar_arith_10k",
+            src: "HAI 1.2\nI HAS A acc ITZ SRSLY A NUMBR AN ITZ 0\n\
+                  IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10000\n\
+                  acc R SUM OF acc AN MOD OF PRODUKT OF i AN 7 AN 13\n\
+                  IM OUTTA YR l\nVISIBLE acc\nKTHXBYE"
+                .to_string(),
+        },
+        Kernel {
+            name: "array_stencil_1k",
+            src: "HAI 1.2\nI HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 1000\n\
+                  IM IN YR f UPPIN YR i TIL BOTH SAEM i AN 1000\n\
+                  a'Z i R SUM OF i AN 0.5\nIM OUTTA YR f\n\
+                  I HAS A s ITZ SRSLY A NUMBAR AN ITZ 0.0\n\
+                  IM IN YR g UPPIN YR i TIL BOTH SAEM i AN 998\n\
+                  s R SUM OF s AN DIFF OF a'Z SUM OF i AN 2 AN a'Z i\n\
+                  IM OUTTA YR g\nVISIBLE s\nKTHXBYE"
+                .to_string(),
+        },
+        Kernel {
+            name: "fib_recursion",
+            src: "HAI 1.2\nHOW IZ I fib YR n\nSMALLR n AN 2, O RLY?\nYA RLY\nFOUND YR n\nOIC\n\
+                  FOUND YR SUM OF I IZ fib YR DIFF OF n AN 1 MKAY AN I IZ fib YR DIFF OF n AN 2 MKAY\n\
+                  IF U SAY SO\nVISIBLE I IZ fib YR 17 MKAY\nKTHXBYE"
+                .to_string(),
+        },
+        Kernel {
+            name: "nbody_1pe",
+            src: lolcode::corpus::nbody_source(16, 2),
+        },
+    ]
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("II_B_interp_vs_vm");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for k in kernels() {
+        let program = lolcode::parse_program(&k.src).expect("parse");
+        let analysis = lol_sema::analyze(&program);
+        assert!(analysis.is_ok(), "{}", k.name);
+        let module = lol_vm::compile(&program, &analysis).expect("compile");
+
+        // Cross-check once: identical output.
+        let a = lol_interp::run_parallel(
+            &program,
+            &analysis,
+            ShmemConfig::new(1).timeout(Duration::from_secs(120)),
+        )
+        .unwrap();
+        let b = lol_vm::run_parallel(
+            &module,
+            ShmemConfig::new(1).timeout(Duration::from_secs(120)),
+        )
+        .unwrap();
+        assert_eq!(a, b, "backend divergence on {}", k.name);
+
+        g.bench_function(format!("interp/{}", k.name), |bch| {
+            bch.iter(|| {
+                lol_interp::run_parallel(
+                    &program,
+                    &analysis,
+                    ShmemConfig::new(1).timeout(Duration::from_secs(120)),
+                )
+                .expect("interp failed")
+            })
+        });
+        g.bench_function(format!("vm/{}", k.name), |bch| {
+            bch.iter(|| {
+                lol_vm::run_parallel(
+                    &module,
+                    ShmemConfig::new(1).timeout(Duration::from_secs(120)),
+                )
+                .expect("vm failed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Experiment VI.B + ablation A2 — lock throughput under contention.
+//!
+//! All PEs hammer PE 0's lock cell doing the Section VI.B
+//! read-modify-write. Compares the two lock algorithms: SpinCas
+//! (unfair, cheap uncontended) vs Ticket (FIFO-fair, slightly more
+//! state). Expected shape: similar at low PE counts; ticket's fairness
+//! costs a little throughput but bounds waiting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lol_shmem::{run_spmd, LockKind, ShmemConfig};
+use std::time::{Duration, Instant};
+
+fn bench_contended_increment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("VI_B_lock_increment");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for kind in [LockKind::SpinCas, LockKind::Ticket] {
+        for n_pes in [1usize, 2, 4, 8] {
+            let name = match kind {
+                LockKind::SpinCas => "spincas",
+                LockKind::Ticket => "ticket",
+            };
+            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, &n| {
+                b.iter_custom(|iters| {
+                    let cfg =
+                        ShmemConfig::new(n).lock(kind).timeout(Duration::from_secs(60));
+                    let times = run_spmd(cfg, |pe| {
+                        let lk = pe.shmalloc_lock();
+                        let x = pe.shmalloc(1);
+                        pe.barrier_all();
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            pe.lock(lk, 0);
+                            let v = pe.get_i64(x, 0);
+                            pe.put_i64(x, 0, v + 1);
+                            pe.unlock(lk, 0);
+                        }
+                        let dt = t0.elapsed();
+                        pe.barrier_all();
+                        // Sanity: nothing lost.
+                        assert_eq!(
+                            pe.get_i64(x, 0),
+                            (iters as i64) * pe.n_pes() as i64
+                        );
+                        dt
+                    })
+                    .expect("lock bench job failed");
+                    times.into_iter().max().unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The Section V trylock-then-lock pattern vs plain blocking lock.
+fn bench_trylock_pattern(c: &mut Criterion) {
+    let mut g = c.benchmark_group("V_trylock_pattern");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, use_try) in [("blocking", false), ("try_then_lock", true)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let cfg = ShmemConfig::new(4).timeout(Duration::from_secs(60));
+                let times = run_spmd(cfg, |pe| {
+                    let lk = pe.shmalloc_lock();
+                    let x = pe.shmalloc(1);
+                    pe.barrier_all();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        if use_try {
+                            if !pe.try_lock(lk, 0) {
+                                pe.lock(lk, 0);
+                            }
+                        } else {
+                            pe.lock(lk, 0);
+                        }
+                        let v = pe.get_i64(x, 0);
+                        pe.put_i64(x, 0, v + 1);
+                        pe.unlock(lk, 0);
+                    }
+                    t0.elapsed()
+                })
+                .expect("trylock bench job failed");
+                times.into_iter().max().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_contended_increment, bench_trylock_pattern);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment VI.D — the paper's 2D n-body, scaling with PE count.
+//!
+//! The paper demonstrates the same listing from a 16-core Parallella up
+//! to a Cray XC40. Here each PE owns a fixed particle set (32 per PE in
+//! the paper; 8 here to keep bench time sane), so growing the PE count
+//! grows the problem (weak scaling) *and* the all-to-all remote-force
+//! phase — expected shape: per-step time grows with PE count because
+//! the remote phase is O(P·n²), and the compiled VM beats the
+//! interpreter at every size by a stable factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lol_shmem::ShmemConfig;
+use std::time::Duration;
+
+const PARTICLES_PER_PE: usize = 8;
+const STEPS: usize = 2;
+
+fn bench_nbody_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("VI_D_nbody_weak_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let src = lolcode::corpus::nbody_source(PARTICLES_PER_PE, STEPS);
+    let program = lolcode::parse_program(&src).expect("parse");
+    let analysis = lol_sema::analyze(&program);
+    assert!(analysis.is_ok());
+    let module = lol_vm::compile(&program, &analysis).expect("compile");
+
+    for n_pes in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("interp_pes", n_pes), &n_pes, |b, &n| {
+            b.iter(|| {
+                lol_interp::run_parallel(
+                    &program,
+                    &analysis,
+                    ShmemConfig::new(n).timeout(Duration::from_secs(120)),
+                )
+                .expect("nbody interp failed")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("vm_pes", n_pes), &n_pes, |b, &n| {
+            b.iter(|| {
+                lol_vm::run_parallel(
+                    &module,
+                    ShmemConfig::new(n).timeout(Duration::from_secs(120)),
+                )
+                .expect("nbody vm failed")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The "Cray" analog: one large run, VM only (the interpreter would
+/// dominate bench time), with the flat-network latency model.
+fn bench_nbody_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("VI_D_nbody_large");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let src = lolcode::corpus::nbody_source(4, 1);
+    let program = lolcode::parse_program(&src).expect("parse");
+    let analysis = lol_sema::analyze(&program);
+    let module = lol_vm::compile(&program, &analysis).expect("compile");
+    for n_pes in [32usize, 64] {
+        g.bench_with_input(BenchmarkId::new("vm_pes", n_pes), &n_pes, |b, &n| {
+            b.iter(|| {
+                lol_vm::run_parallel(
+                    &module,
+                    ShmemConfig::new(n).timeout(Duration::from_secs(120)),
+                )
+                .expect("large nbody failed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nbody_scaling, bench_nbody_large);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment F1 — Figure 1 (the PGAS memory model).
+//!
+//! Regenerates the *shape* the figure depicts: symmetric addresses are
+//! cheap locally, cost more remotely, and on a mesh NoC the cost grows
+//! with Manhattan distance. Also measures block-transfer bandwidth,
+//! the `put_block`/`get_block` path used by whole-array copies.
+//!
+//! Series reported:
+//!   get/local, get/remote_flat, get/mesh_hops_{1,3,6}
+//!   put_block/words_{8,64,512,4096}
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lol_shmem::{LatencyModel, ShmemConfig, World};
+use std::hint::black_box;
+
+fn bench_get_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F1_pgas_get");
+    g.sample_size(20);
+
+    // Pure shared-memory path (LatencyModel::Off): local vs remote is
+    // the same atomic load — the baseline the simulator adds cost to.
+    let world = World::new(ShmemConfig::new(16));
+    let pe0 = world.pe(0);
+    let a = lol_shmem::SymAddr(0);
+    g.bench_function("local_off", |b| {
+        b.iter(|| black_box(pe0.get_i64(black_box(a), 0)))
+    });
+    g.bench_function("remote_off", |b| {
+        b.iter(|| black_box(pe0.get_i64(black_box(a), 15)))
+    });
+
+    // Epiphany-III eMesh model: cost grows with hop count (4x4 mesh).
+    let mesh = World::new(ShmemConfig::new(16).latency(LatencyModel::epiphany16()));
+    let m0 = mesh.pe(0);
+    for (target, hops) in [(1usize, 1u32), (5, 2), (15, 6)] {
+        g.bench_with_input(BenchmarkId::new("mesh_get_hops", hops), &target, |b, &t| {
+            b.iter(|| black_box(m0.get_i64(black_box(a), t)))
+        });
+    }
+
+    // Cray-like flat network: remote cost independent of "distance".
+    let flat = World::new(ShmemConfig::new(16).latency(LatencyModel::xc40()));
+    let f0 = flat.pe(0);
+    for target in [1usize, 15] {
+        g.bench_with_input(BenchmarkId::new("flat_get_pe", target), &target, |b, &t| {
+            b.iter(|| black_box(f0.get_i64(black_box(a), t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F1_block_put");
+    g.sample_size(20);
+    let world = World::new(ShmemConfig::new(2).heap_words(1 << 14));
+    let pe0 = world.pe(0);
+    let a = lol_shmem::SymAddr(0);
+    for words in [8usize, 64, 512, 4096] {
+        let buf = vec![0xABu64; words];
+        g.throughput(Throughput::Bytes((words * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("words", words), &words, |b, _| {
+            b.iter(|| pe0.put_block(black_box(a), 1, black_box(&buf)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_get_latency, bench_block_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment VI.A — the circular whole-array transfer
+//! (`TXT MAH BFF next_pe, MAH mine R UR array`) as a function of array
+//! size, at the language level (parse once, run many).
+//!
+//! Expected shape: time grows linearly with the array size once the
+//! per-run SPMD launch cost is amortized; the substrate's block path
+//! keeps the per-element cost flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lol_shmem::ShmemConfig;
+use std::time::Duration;
+
+fn ring_source(words: usize) -> String {
+    format!(
+        "HAI 1.2\n\
+         WE HAS A array ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {words}\n\
+         I HAS A mine ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {words}\n\
+         I HAS A next_pe ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+         IM IN YR fill UPPIN YR i TIL BOTH SAEM i AN {words}\n\
+         array'Z i R SUM OF PRODUKT OF ME AN 1000000 AN i\n\
+         IM OUTTA YR fill\n\
+         HUGZ\n\
+         TXT MAH BFF next_pe, MAH mine R UR array\n\
+         KTHXBYE"
+    )
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("VI_A_ring_copy");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let n_pes = 4;
+    for words in [32usize, 256, 2048] {
+        let src = ring_source(words);
+        let program = lolcode::parse_program(&src).expect("parse");
+        let analysis = lol_sema::analyze(&program);
+        assert!(analysis.is_ok());
+        let module = lol_vm::compile(&program, &analysis).expect("compile");
+        g.throughput(Throughput::Bytes((words * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("interp_words", words), &words, |b, _| {
+            b.iter(|| {
+                lol_interp::run_parallel(
+                    &program,
+                    &analysis,
+                    ShmemConfig::new(n_pes)
+                        .heap_words(words.max(1024) * 2)
+                        .timeout(Duration::from_secs(60)),
+                )
+                .expect("ring run failed")
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("vm_words", words), &words, |b, _| {
+            b.iter(|| {
+                lol_vm::run_parallel(
+                    &module,
+                    ShmemConfig::new(n_pes)
+                        .heap_words(words.max(1024) * 2)
+                        .timeout(Duration::from_secs(60)),
+                )
+                .expect("ring run failed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Experiments T1/T2/T3 — regenerate the paper's three tables as
+//! executable conformance matrices. Not a timing benchmark: a custom
+//! harness (`harness = false`) that runs one probe program per table
+//! row on both backends and prints the matrix EXPERIMENTS.md records.
+//!
+//! ```text
+//! cargo bench -p lol-bench --bench table_conformance
+//! ```
+
+use lolcode::{run_source, Backend, RunConfig};
+use std::time::{Duration, Instant};
+
+struct Row {
+    table: &'static str,
+    row: &'static str,
+    src: String,
+    /// Expected PE 0 output (None = just has to run cleanly).
+    want: Option<String>,
+    n_pes: usize,
+    /// Interpreter-only constructs (SRS) skip the VM pass.
+    interp_only: bool,
+}
+
+fn row(table: &'static str, name: &'static str, src: &str, want: &str) -> Row {
+    Row {
+        table,
+        row: name,
+        src: format!("HAI 1.2\n{src}\nKTHXBYE"),
+        want: Some(want.to_string()),
+        n_pes: 1,
+        interp_only: false,
+    }
+}
+
+fn row_pes(table: &'static str, name: &'static str, n: usize, src: &str) -> Row {
+    Row {
+        table,
+        row: name,
+        src: format!("HAI 1.2\n{src}\nKTHXBYE"),
+        want: None,
+        n_pes: n,
+        interp_only: false,
+    }
+}
+
+fn matrix() -> Vec<Row> {
+    let mut rows = vec![
+        // ---- Table I ----
+        row("I", "HAI/KTHXBYE", "VISIBLE \"ok\"", "ok\n"),
+        row("I", "BTW comment", "VISIBLE 1 BTW nope", "1\n"),
+        row("I", "OBTW..TLDR", "OBTW\nx\nTLDR\nVISIBLE 2", "2\n"),
+        row("I", "CAN HAS lib?", "CAN HAS STDIO?\nVISIBLE 3", "3\n"),
+        row("I", "VISIBLE", "VISIBLE \"KITTEH\"", "KITTEH\n"),
+        row("I", "I HAS A", "I HAS A x\nx R 9\nVISIBLE x", "9\n"),
+        row("I", "ITZ init", "I HAS A x ITZ 7\nVISIBLE x", "7\n"),
+        row("I", "ITZ A type", "I HAS A x ITZ A NUMBAR\nVISIBLE x", "0.00\n"),
+        row("I", "R assign", "I HAS A x ITZ 1\nx R 42\nVISIBLE x", "42\n"),
+        row(
+            "I",
+            "operators",
+            "VISIBLE SUM OF 2 AN 3\nVISIBLE DIFF OF 2 AN 3\nVISIBLE PRODUKT OF 2 AN 3\nVISIBLE QUOSHUNT OF 7 AN 2\nVISIBLE MOD OF 7 AN 2\nVISIBLE BOTH SAEM 1 AN 1\nVISIBLE DIFFRINT 1 AN 2\nVISIBLE BIGGER 2 AN 1\nVISIBLE SMALLR 1 AN 2",
+            "5\n-1\n6\n3\n1\nWIN\nWIN\nWIN\nWIN\n",
+        ),
+        row("I", "MAEK cast", "VISIBLE MAEK \"42\" A NUMBR", "42\n"),
+        row("I", "IS NOW A", "I HAS A x ITZ \"3\"\nx IS NOW A NUMBR\nVISIBLE SUM OF x AN 1", "4\n"),
+        row("I", "O RLY?", "BOTH SAEM 1 AN 2, O RLY?\nYA RLY\nVISIBLE \"y\"\nNO WAI\nVISIBLE \"n\"\nOIC", "n\n"),
+        row("I", "WTF?/OMG/GTFO", "I HAS A x ITZ 2\nx, WTF?\nOMG 1\nVISIBLE 1\nGTFO\nOMG 2\nVISIBLE 2\nGTFO\nOMGWTF\nVISIBLE 0\nOIC", "2\n"),
+        row("I", "IM IN YR loop", "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3\nVISIBLE i!\nIM OUTTA YR l\nVISIBLE \"\"", "012\n"),
+        row("I", "... continuation", "VISIBLE SUM OF 1 ...\n  AN 2", "3\n"),
+        row("I", "comma separator", "VISIBLE 1, VISIBLE 2", "1\n2\n"),
+        row("I", "HOW IZ I / I IZ", "HOW IZ I f YR a\nFOUND YR SUM OF a AN 1\nIF U SAY SO\nVISIBLE I IZ f YR 41 MKAY", "42\n"),
+        // ---- Table II ----
+        row_pes("II", "MAH FRENZ", 4, "VISIBLE MAH FRENZ"),
+        row_pes("II", "ME", 4, "VISIBLE ME"),
+        row_pes(
+            "II",
+            "IM SRSLY MESIN WIF",
+            4,
+            "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\nHUGZ\nTXT MAH BFF 0 AN STUFF\nIM SRSLY MESIN WIF UR x\nUR x R SUM OF UR x AN 1\nDUN MESIN WIF UR x\nTTYL\nHUGZ\nVISIBLE x",
+        ),
+        row(
+            "II",
+            "IM MESIN WIF, O RLY?",
+            "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\nIM MESIN WIF x, O RLY?\nYA RLY\nVISIBLE \"GOT\"\nDUN MESIN WIF x\nOIC",
+            "GOT\n",
+        ),
+        row(
+            "II",
+            "DUN MESIN WIF",
+            "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\nIM SRSLY MESIN WIF x\nDUN MESIN WIF x\nVISIBLE \"ok\"",
+            "ok\n",
+        ),
+        row_pes("II", "HUGZ", 8, "HUGZ\nVISIBLE \"hugged\""),
+        row_pes(
+            "II",
+            "TXT MAH BFF stmt",
+            4,
+            "WE HAS A x ITZ SRSLY A NUMBR\nx R ME\nHUGZ\nI HAS A y\nTXT MAH BFF 0, y R UR x\nVISIBLE y",
+        ),
+        row_pes(
+            "II",
+            "TXT ... AN STUFF/TTYL",
+            4,
+            "WE HAS A x ITZ SRSLY A NUMBR\nx R ME\nHUGZ\nI HAS A y\nTXT MAH BFF 0 AN STUFF\ny R UR x\nTTYL\nVISIBLE y",
+        ),
+        row("II", "ITZ SRSLY A", "I HAS A x ITZ SRSLY A NUMBR\nx R 3.9\nVISIBLE x", "3\n"),
+        row_pes(
+            "II",
+            "WE HAS A ... SHARIN",
+            2,
+            "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\nx R ME\nHUGZ\nVISIBLE x",
+        ),
+        row_pes(
+            "II",
+            "WE HAS A LOTZ A",
+            2,
+            "WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\na'Z 0 R ME\nHUGZ\nVISIBLE a'Z 0",
+        ),
+        row_pes(
+            "II",
+            "UR / MAH",
+            4,
+            "WE HAS A x ITZ SRSLY A NUMBR\nx R ME\nHUGZ\nI HAS A d\nTXT MAH BFF 0, d R SUM OF UR x AN MAH x\nVISIBLE d",
+        ),
+        row("II", "var'Z idx", "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\na'Z 3 R 30\nVISIBLE a'Z 3", "30\n"),
+        // ---- Table III ----
+        row_pes("III", "WHATEVR", 1, "I HAS A r ITZ WHATEVR\nVISIBLE BOTH OF NOT SMALLR r AN 0 AN SMALLR r AN 2147483648"),
+        row_pes("III", "WHATEVAR", 1, "I HAS A f ITZ WHATEVAR\nVISIBLE BOTH OF NOT SMALLR f AN 0.0 AN SMALLR f AN 1.0"),
+        row("III", "SQUAR OF", "VISIBLE SQUAR OF 12", "144\n"),
+        row("III", "UNSQUAR OF", "VISIBLE UNSQUAR OF 144", "12.00\n"),
+        row("III", "FLIP OF", "VISIBLE FLIP OF 4", "0.25\n"),
+    ];
+    // SRS is interpreter-only.
+    rows.push(Row {
+        table: "I",
+        row: "SRS identifier",
+        src: "HAI 1.2\nI HAS A cat ITZ 9\nVISIBLE SRS \"cat\"\nKTHXBYE".to_string(),
+        want: Some("9\n".to_string()),
+        n_pes: 1,
+        interp_only: true,
+    });
+    rows
+}
+
+fn main() {
+    let rows = matrix();
+    let mut pass = 0usize;
+    let mut fail = 0usize;
+    println!("| Table | Row | PEs | interp | vm | time |");
+    println!("|-------|-----|-----|--------|----|------|");
+    for r in &rows {
+        let t0 = Instant::now();
+        let cfg = RunConfig::new(r.n_pes).timeout(Duration::from_secs(30)).seed(1);
+        let interp = run_source(&r.src, cfg.clone());
+        let interp_ok = match (&interp, &r.want) {
+            (Ok(outs), Some(w)) => &outs[0] == w,
+            (Ok(_), None) => true,
+            (Err(_), _) => false,
+        };
+        let vm_ok = if r.interp_only {
+            true // n/a
+        } else {
+            let vm = run_source(&r.src, cfg.backend(Backend::Vm));
+            match (&vm, &interp) {
+                (Ok(v), Ok(i)) => v == i,
+                _ => false,
+            }
+        };
+        let dt = t0.elapsed();
+        let ok = interp_ok && vm_ok;
+        if ok {
+            pass += 1;
+        } else {
+            fail += 1;
+        }
+        println!(
+            "| {} | {} | {} | {} | {} | {:.1?} |",
+            r.table,
+            r.row,
+            r.n_pes,
+            if interp_ok { "PASS" } else { "FAIL" },
+            if r.interp_only { "n/a" } else if vm_ok { "PASS" } else { "FAIL" },
+            dt
+        );
+    }
+    println!(
+        "\nconformance: {pass}/{} rows pass (Table I: 19, II: 13, III: 5)",
+        rows.len()
+    );
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

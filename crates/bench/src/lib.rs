@@ -1,0 +1,14 @@
+//! # lol-bench — the benchmark harness
+//!
+//! One Criterion bench per reproduced experiment (see EXPERIMENTS.md):
+//!
+//! * `pgas_memory` — Figure 1: local vs remote access, mesh locality
+//! * `barrier` — Figure 2 + ablation A1: barrier algorithms vs PE count
+//! * `locks` — Section VI.B + ablation A2: lock algorithms under contention
+//! * `ring` — Section VI.A: circular whole-array transfer vs size
+//! * `nbody` — Section VI.D: the paper's n-body, weak scaling
+//! * `interp_vs_vm` — §II.B: compiled vs interpreted execution
+//! * `compiler_speed` — front-end + backend throughput
+//! * `table_conformance` — regenerates the Table I/II/III matrices
+//!
+//! Run everything with `cargo bench --workspace`.

@@ -1,0 +1,146 @@
+//! `lolrun` — the SPMD launcher, the `coprsh -np 16 ./executable.x` /
+//! `aprun` analog from Section VI.E, except it runs parallel LOLCODE
+//! directly on the thread-based PGAS substrate:
+//!
+//! ```text
+//! lolrun -np 16 code.lol
+//! ```
+
+use lolcode::{Backend, LatencyModel, RunConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lolrun [-np <N>] [--backend interp|vm] [--seed <u64>]
+              [--latency off|mesh|flat] [--tag] <input.lol>
+  -np <N>          number of processing elements (default 4)
+  --backend <b>    interp (default) or vm (compiled bytecode)
+  --seed <u64>     RNG seed for WHATEVR/WHATEVAR (default 0xC47F00D)
+  --latency <m>    off (default), mesh (Epiphany eMesh analog),
+                   flat (Cray-like uniform remote latency)
+  --tag            prefix every output line with [PE n]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut n_pes = 4usize;
+    let mut backend = Backend::Interp;
+    let mut seed = 0xC47_F00Du64;
+    let mut latency = LatencyModel::Off;
+    let mut tag = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-np" => {
+                i += 1;
+                n_pes = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("O NOES! -np NEEDS A POSITIV NUMBR\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--backend" => {
+                i += 1;
+                backend = match args.get(i).map(|s| s.as_str()) {
+                    Some("interp") => Backend::Interp,
+                    Some("vm") => Backend::Vm,
+                    _ => {
+                        eprintln!("O NOES! --backend IZ interp OR vm\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("O NOES! --seed NEEDS A NUMBR\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--latency" => {
+                i += 1;
+                latency = match args.get(i).map(|s| s.as_str()) {
+                    Some("off") => LatencyModel::Off,
+                    Some("mesh") => LatencyModel::epiphany16(),
+                    Some("flat") => LatencyModel::xc40(),
+                    _ => {
+                        eprintln!("O NOES! --latency IZ off, mesh OR flat\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--tag" => tag = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with('-') => {
+                eprintln!("O NOES! I DUNNO DIS FLAG: {a}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            a => {
+                if input.replace(a.to_string()).is_some() {
+                    eprintln!("O NOES! ONLY ONE PROGRAM AT A TIME PLZ\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let Some(input) = input else {
+        eprintln!("O NOES! GIMMEH A PROGRAM 2 RUN\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("O NOES! CANT READ {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Read stdin (if piped) for GIMMEH.
+    let mut stdin_lines = Vec::new();
+    if !atty_stdin() {
+        use std::io::BufRead;
+        for line in std::io::stdin().lock().lines().map_while(Result::ok) {
+            stdin_lines.push(line);
+        }
+    }
+
+    let mut cfg = RunConfig::new(n_pes).backend(backend).seed(seed).latency(latency);
+    cfg.input = stdin_lines;
+
+    match lolcode::run_source(&src, cfg) {
+        Ok(outputs) => {
+            for (pe, out) in outputs.iter().enumerate() {
+                if tag {
+                    for line in out.lines() {
+                        println!("[PE {pe}] {line}");
+                    }
+                } else {
+                    print!("{out}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Crude isatty: when stdin can't give us a size hint treat it as a
+/// terminal (don't block waiting for input).
+fn atty_stdin() -> bool {
+    use std::io::IsTerminal;
+    std::io::stdin().is_terminal()
+}

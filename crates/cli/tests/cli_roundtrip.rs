@@ -1,0 +1,144 @@
+//! Experiment VI.E — the command-line workflow:
+//! `lcc code.lol -o out.c` and `lolrun -np N code.lol`.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lolcli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+const HELLO: &str = "HAI 1.2\nVISIBLE \"HAI ITZ \" ME \" OF \" MAH FRENZ\nKTHXBYE\n";
+
+#[test]
+fn lolrun_executes_on_n_pes() {
+    let prog = write_temp("hello.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "3"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, "HAI ITZ 0 OF 3\nHAI ITZ 1 OF 3\nHAI ITZ 2 OF 3\n");
+}
+
+#[test]
+fn lolrun_vm_backend_and_tagging() {
+    let prog = write_temp("hello2.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "2", "--backend", "vm", "--tag"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, "[PE 0] HAI ITZ 0 OF 2\n[PE 1] HAI ITZ 1 OF 2\n");
+}
+
+#[test]
+fn lolrun_reports_errors_lolcode_style() {
+    let prog = write_temp("bad.lol", "HAI 1.2\nVISIBLE ghost\nKTHXBYE\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun")).arg(&prog).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("O NOES!"), "{stderr}");
+    assert!(stderr.contains("SEM0001"), "{stderr}");
+}
+
+#[test]
+fn lolrun_pipes_stdin_to_gimmeh() {
+    let prog = write_temp(
+        "echo.lol",
+        "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE \"GOT \" x\nKTHXBYE\n",
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "1"])
+        .arg(&prog)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"CHEEZ\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), "GOT CHEEZ\n");
+}
+
+#[test]
+fn lcc_emits_c_to_stdout_and_file() {
+    let prog = write_temp("tr.lol", "HAI 1.2\nHUGZ\nVISIBLE ME\nKTHXBYE\n");
+    // stdout mode
+    let out = Command::new(env!("CARGO_BIN_EXE_lcc")).arg(&prog).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let c = String::from_utf8(out.stdout).unwrap();
+    assert!(c.contains("shmem_barrier_all();"));
+    // -o file mode with --stub
+    let c_path = prog.with_file_name("tr.c");
+    let out = Command::new(env!("CARGO_BIN_EXE_lcc"))
+        .arg(&prog)
+        .arg("-o")
+        .arg(&c_path)
+        .arg("--stub")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(c_path.exists());
+    assert!(c_path.with_file_name("shmem.h").exists(), "--stub writes shmem.h");
+}
+
+#[test]
+fn lcc_full_paper_workflow_compiles_with_cc() {
+    // Section VI.E end-to-end: lcc -> cc -> run (np=1 stub).
+    let prog = write_temp(
+        "work.lol",
+        "HAI 1.2\nI HAS A x ITZ SRSLY A NUMBR AN ITZ 40\nx R SUM OF x AN 2\nVISIBLE x\nKTHXBYE\n",
+    );
+    let c_path = prog.with_file_name("work.c");
+    let status = Command::new(env!("CARGO_BIN_EXE_lcc"))
+        .arg(&prog)
+        .arg("-o")
+        .arg(&c_path)
+        .arg("--stub")
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let bin = prog.with_file_name("work.x");
+    let cc = Command::new("cc")
+        .arg("-std=c99")
+        .arg("-I")
+        .arg(c_path.parent().unwrap())
+        .arg(&c_path)
+        .arg("-lm")
+        .arg("-o")
+        .arg(&bin)
+        .output()
+        .unwrap();
+    assert!(cc.status.success(), "{}", String::from_utf8_lossy(&cc.stderr));
+    let run = Command::new(&bin).output().unwrap();
+    assert!(run.status.success());
+    assert_eq!(String::from_utf8(run.stdout).unwrap(), "42\n");
+}
+
+#[test]
+fn lcc_check_mode() {
+    let prog = write_temp("chk.lol", "HAI 1.2\nWIN, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_lcc")).arg(&prog).arg("--check").output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SEM0012"), "teaching lint shown: {stderr}");
+    assert!(stderr.contains("IZ GOOD"));
+}
+
+#[test]
+fn usage_on_missing_args() {
+    for bin in [env!("CARGO_BIN_EXE_lcc"), env!("CARGO_BIN_EXE_lolrun")] {
+        let out = Command::new(bin).output().unwrap();
+        assert!(!out.status.success());
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}

@@ -1,0 +1,294 @@
+//! The C runtime preamble emitted at the top of every generated file,
+//! and the single-PE OpenSHMEM stub used by the compile-and-run tests.
+
+/// C99 runtime for dynamic LOLCODE values, emitted verbatim into every
+/// generated translation unit (the paper's `lcc` similarly pairs its
+/// output with a small support layer before handing off to `cc`).
+pub const LOL_RUNTIME: &str = r#"/* ---- parallel LOLCODE runtime (generated, do not edit) ---- */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+#include <shmem.h>
+
+typedef enum { LOL_NOOB, LOL_TROOF, LOL_NUMBR, LOL_NUMBAR, LOL_YARN } lol_type_t;
+typedef struct {
+    lol_type_t t;
+    long long i;
+    double f;
+    char s[256];
+} lol_value_t;
+
+static void lol_die(const char *code, const char *msg) {
+    fprintf(stderr, "O NOES! [%s] %s\n", code, msg);
+    exit(1);
+}
+
+static lol_value_t lol_noob(void) { lol_value_t v; memset(&v, 0, sizeof v); v.t = LOL_NOOB; return v; }
+static lol_value_t lol_from_int(long long i) { lol_value_t v = lol_noob(); v.t = LOL_NUMBR; v.i = i; return v; }
+static lol_value_t lol_from_dbl(double f) { lol_value_t v = lol_noob(); v.t = LOL_NUMBAR; v.f = f; return v; }
+static lol_value_t lol_from_bool(int b) { lol_value_t v = lol_noob(); v.t = LOL_TROOF; v.i = b ? 1 : 0; return v; }
+static lol_value_t lol_from_str(const char *s) {
+    lol_value_t v = lol_noob();
+    v.t = LOL_YARN;
+    snprintf(v.s, sizeof v.s, "%s", s);
+    return v;
+}
+
+static int lol_to_bool(lol_value_t v) {
+    switch (v.t) {
+    case LOL_NOOB: return 0;
+    case LOL_TROOF: return v.i != 0;
+    case LOL_NUMBR: return v.i != 0;
+    case LOL_NUMBAR: return v.f != 0.0;
+    case LOL_YARN: return v.s[0] != '\0';
+    }
+    return 0;
+}
+
+/* numeric coercion: 0 = int (out_i), 1 = float (out_f) */
+static int lol_numeric(lol_value_t v, long long *out_i, double *out_f) {
+    switch (v.t) {
+    case LOL_NOOB: lol_die("RUN0002", "CANT DO MATHS WIF NOOB");
+    case LOL_TROOF: *out_i = v.i; return 0;
+    case LOL_NUMBR: *out_i = v.i; return 0;
+    case LOL_NUMBAR: *out_f = v.f; return 1;
+    case LOL_YARN:
+        if (strchr(v.s, '.') || strchr(v.s, 'e') || strchr(v.s, 'E')) {
+            *out_f = atof(v.s);
+            return 1;
+        }
+        *out_i = atoll(v.s);
+        return 0;
+    }
+    return 0;
+}
+
+static long long lol_to_int(lol_value_t v) {
+    long long i = 0; double f = 0.0;
+    if (lol_numeric(v, &i, &f)) return (long long)f;
+    return i;
+}
+
+static double lol_to_dbl(lol_value_t v) {
+    long long i = 0; double f = 0.0;
+    if (lol_numeric(v, &i, &f)) return f;
+    return (double)i;
+}
+
+static void lol_to_str(lol_value_t v, char *buf, size_t n) {
+    switch (v.t) {
+    case LOL_NOOB: lol_die("RUN0003", "CANT MAKE A YARN OUT OF NOOB");
+    case LOL_TROOF: snprintf(buf, n, "%s", v.i ? "WIN" : "FAIL"); return;
+    case LOL_NUMBR: snprintf(buf, n, "%lld", v.i); return;
+    case LOL_NUMBAR: snprintf(buf, n, "%.2f", v.f); return;
+    case LOL_YARN: snprintf(buf, n, "%s", v.s); return;
+    }
+}
+
+#define LOL_ARITH(NAME, IOP, FOP, ZCHK)                                        \
+    static lol_value_t NAME(lol_value_t a, lol_value_t b) {                    \
+        long long ia = 0, ib = 0; double fa = 0.0, fb = 0.0;                   \
+        int af = lol_numeric(a, &ia, &fa), bf = lol_numeric(b, &ib, &fb);      \
+        if (!af && !bf) {                                                      \
+            if (ZCHK && ib == 0) lol_die("RUN0001", "DIVIDIN BY ZERO IZ NOT ALLOWED"); \
+            return lol_from_int(IOP);                                          \
+        }                                                                      \
+        fa = af ? fa : (double)ia;                                             \
+        fb = bf ? fb : (double)ib;                                             \
+        return lol_from_dbl(FOP);                                              \
+    }
+
+LOL_ARITH(lol_sum, ia + ib, fa + fb, 0)
+LOL_ARITH(lol_diff, ia - ib, fa - fb, 0)
+LOL_ARITH(lol_produkt, ia * ib, fa * fb, 0)
+LOL_ARITH(lol_quoshunt, ia / ib, fa / fb, 1)
+LOL_ARITH(lol_mod, ia % ib, fmod(fa, fb), 1)
+LOL_ARITH(lol_biggr, ia > ib ? ia : ib, fa > fb ? fa : fb, 0)
+LOL_ARITH(lol_smallr, ia < ib ? ia : ib, fa < fb ? fa : fb, 0)
+
+static lol_value_t lol_bigger(lol_value_t a, lol_value_t b) {
+    return lol_from_bool(lol_to_dbl(a) > lol_to_dbl(b));
+}
+static lol_value_t lol_smallr_than(lol_value_t a, lol_value_t b) {
+    return lol_from_bool(lol_to_dbl(a) < lol_to_dbl(b));
+}
+
+static int lol_saem(lol_value_t a, lol_value_t b) {
+    if (a.t == LOL_NOOB && b.t == LOL_NOOB) return 1;
+    if (a.t == LOL_TROOF && b.t == LOL_TROOF) return a.i == b.i;
+    if (a.t == LOL_NUMBR && b.t == LOL_NUMBR) return a.i == b.i;
+    if (a.t == LOL_YARN && b.t == LOL_YARN) return strcmp(a.s, b.s) == 0;
+    if ((a.t == LOL_NUMBR || a.t == LOL_NUMBAR) && (b.t == LOL_NUMBR || b.t == LOL_NUMBAR))
+        return lol_to_dbl(a) == lol_to_dbl(b);
+    return 0;
+}
+
+static lol_value_t lol_not(lol_value_t v) { return lol_from_bool(!lol_to_bool(v)); }
+static lol_value_t lol_squar(lol_value_t v) { return lol_produkt(v, v); }
+static lol_value_t lol_unsquar(lol_value_t v) { return lol_from_dbl(sqrt(lol_to_dbl(v))); }
+static lol_value_t lol_flip(lol_value_t v) { return lol_from_dbl(1.0 / lol_to_dbl(v)); }
+
+static lol_value_t lol_smoosh(lol_value_t a, lol_value_t b) {
+    char ba[256], bb[256];
+    lol_to_str(a, ba, sizeof ba);
+    lol_to_str(b, bb, sizeof bb);
+    lol_value_t v = lol_noob();
+    v.t = LOL_YARN;
+    snprintf(v.s, sizeof v.s, "%s%s", ba, bb);
+    return v;
+}
+
+static lol_value_t lol_cast(lol_value_t v, lol_type_t ty) {
+    switch (ty) {
+    case LOL_NOOB: return lol_noob();
+    case LOL_TROOF: return lol_from_bool(lol_to_bool(v));
+    case LOL_NUMBR: return lol_from_int(lol_to_int(v));
+    case LOL_NUMBAR: return lol_from_dbl(lol_to_dbl(v));
+    case LOL_YARN: {
+        char b[256];
+        lol_to_str(v, b, sizeof b);
+        return lol_from_str(b);
+    }
+    }
+    return lol_noob();
+}
+
+static void lol_print(lol_value_t v) {
+    char b[256];
+    lol_to_str(v, b, sizeof b);
+    fputs(b, stdout);
+}
+
+static lol_value_t lol_gimmeh(void) {
+    char b[256];
+    if (!fgets(b, sizeof b, stdin)) lol_die("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT");
+    b[strcspn(b, "\r\n")] = '\0';
+    return lol_from_str(b);
+}
+
+static long long lol_idx(long long i, long long len) {
+    if (i < 0 || i >= len) lol_die("RUN0123", "INDEX IZ OUTSIDE DA ARRAY");
+    return i;
+}
+
+/* local dynamically-sized arrays */
+typedef struct {
+    lol_value_t *e;
+    long long n;
+    lol_type_t ty;
+} lol_arr_t;
+
+static lol_arr_t lol_arr_new(long long n, lol_type_t ty) {
+    if (n <= 0) lol_die("RUN0014", "ARRAY SIZE MUST BE POSITIVE");
+    lol_arr_t a;
+    a.e = (lol_value_t *)calloc((size_t)n, sizeof(lol_value_t));
+    a.n = n;
+    a.ty = ty;
+    for (long long i = 0; i < n; i++) a.e[i] = lol_cast(lol_from_int(0), ty);
+    return a;
+}
+static lol_value_t lol_arr_get(lol_arr_t *a, long long i) { return a->e[lol_idx(i, a->n)]; }
+static void lol_arr_set(lol_arr_t *a, long long i, lol_value_t v) {
+    a->e[lol_idx(i, a->n)] = lol_cast(v, a->ty);
+}
+
+/* per-instance global locks over OpenSHMEM atomics (Table II locks) */
+static void lol_lock_acquire(long *cell, int target) {
+    long me1 = (long)shmem_my_pe() + 1;
+    while (shmem_long_atomic_compare_swap(cell, 0, me1, target) != 0) {}
+}
+static int lol_lock_try(long *cell, int target) {
+    long me1 = (long)shmem_my_pe() + 1;
+    return shmem_long_atomic_compare_swap(cell, 0, me1, target) == 0;
+}
+static void lol_lock_release(long *cell, int target) {
+    shmem_long_atomic_swap(cell, 0, target);
+}
+
+static lol_value_t lol_whatevr(void) { return lol_from_int(rand()); }
+static lol_value_t lol_whatevar(void) { return lol_from_dbl((double)rand() / ((double)RAND_MAX + 1.0)); }
+/* ---- end runtime ---- */
+"#;
+
+/// A single-PE OpenSHMEM stub, good enough to compile and run the
+/// generated C with any C99 compiler when no real OpenSHMEM library is
+/// installed (`lcc --stub`; also used by this crate's tests). This is
+/// the "simulate what you don't have" substitution from DESIGN.md §2.
+pub const SHMEM_STUB_H: &str = r#"/* single-PE OpenSHMEM stub (np=1) for toolchains without SHMEM */
+#ifndef LOL_SHMEM_STUB_H
+#define LOL_SHMEM_STUB_H
+static void shmem_init(void) {}
+static void shmem_finalize(void) {}
+static int shmem_my_pe(void) { return 0; }
+static int shmem_n_pes(void) { return 1; }
+static void shmem_barrier_all(void) {}
+static long long shmem_longlong_g(const long long *src, int pe) { (void)pe; return *src; }
+static void shmem_longlong_p(long long *dst, long long v, int pe) { (void)pe; *dst = v; }
+static double shmem_double_g(const double *src, int pe) { (void)pe; return *src; }
+static void shmem_double_p(double *dst, double v, int pe) { (void)pe; *dst = v; }
+static long shmem_long_atomic_compare_swap(long *target, long cond, long value, int pe) {
+    (void)pe;
+    long old = *target;
+    if (old == cond) *target = value;
+    return old;
+}
+static long shmem_long_atomic_swap(long *target, long value, int pe) {
+    (void)pe;
+    long old = *target;
+    *target = value;
+    return old;
+}
+#endif
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_has_the_key_pieces() {
+        for needle in [
+            "lol_value_t",
+            "lol_sum",
+            "lol_quoshunt",
+            "lol_saem",
+            "lol_lock_acquire",
+            "shmem_long_atomic_compare_swap",
+            "%.2f", // NUMBAR printing matches the interpreter
+            "lol_arr_new",
+        ] {
+            assert!(LOL_RUNTIME.contains(needle), "runtime lacks {needle}");
+        }
+    }
+
+    #[test]
+    fn stub_covers_the_runtime_calls() {
+        // Every shmem_* symbol the runtime/emitter uses must exist in
+        // the stub.
+        for needle in [
+            "shmem_init",
+            "shmem_finalize",
+            "shmem_my_pe",
+            "shmem_n_pes",
+            "shmem_barrier_all",
+            "shmem_longlong_g",
+            "shmem_longlong_p",
+            "shmem_double_g",
+            "shmem_double_p",
+            "shmem_long_atomic_compare_swap",
+            "shmem_long_atomic_swap",
+        ] {
+            assert!(SHMEM_STUB_H.contains(needle), "stub lacks {needle}");
+        }
+    }
+
+    #[test]
+    fn braces_balance() {
+        for (name, text) in [("runtime", LOL_RUNTIME), ("stub", SHMEM_STUB_H)] {
+            let open = text.matches('{').count();
+            let close = text.matches('}').count();
+            assert_eq!(open, close, "{name} braces unbalanced");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! End-to-end validation of the C backend: generate C, compile it with
+//! the system C compiler against the single-PE OpenSHMEM stub, run the
+//! binary, and compare its stdout byte-for-byte with the interpreter
+//! running the same program on one PE.
+//!
+//! This is the `lcc code.lol -o executable.x` pipeline of Section VI.E,
+//! minus the real OpenSHMEM library (substituted per DESIGN.md §2).
+
+use lol_c_codegen::{emit_c, SHMEM_STUB_H};
+use lol_parser::parse;
+use lol_sema::analyze;
+use lol_shmem::ShmemConfig;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+fn cc_available() -> bool {
+    Command::new("cc").arg("--version").output().map(|o| o.status.success()).unwrap_or(false)
+}
+
+/// Compile generated C with the stub and run it; returns stdout.
+fn compile_and_run(c_source: &str, tag: &str, stdin: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("lolcc_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("shmem.h"), SHMEM_STUB_H).unwrap();
+    let c_path = dir.join("prog.c");
+    std::fs::write(&c_path, c_source).unwrap();
+    let bin: PathBuf = dir.join("prog");
+    let out = Command::new("cc")
+        .args(["-std=c99", "-O1", "-I"])
+        .arg(&dir)
+        .arg("-o")
+        .arg(&bin)
+        .arg(&c_path)
+        .arg("-lm")
+        .output()
+        .expect("cc failed to start");
+    assert!(
+        out.status.success(),
+        "cc failed:\n{}\n--- source ---\n{c_source}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut child = Command::new(&bin)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary failed to start");
+    use std::io::Write;
+    child.stdin.take().unwrap().write_all(stdin.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "binary exited nonzero");
+    let _ = std::fs::remove_dir_all(&dir);
+    String::from_utf8(out.stdout).expect("non-UTF8 program output")
+}
+
+/// Generated-C output must match the interpreter at np=1.
+fn differential(tag: &str, src: &str, stdin: &[&str]) {
+    if !cc_available() {
+        eprintln!("skipping {tag}: no C compiler");
+        return;
+    }
+    let p = parse(src).expect_program(src);
+    let a = analyze(&p);
+    assert!(a.is_ok(), "sema: {:?}", a.diags.iter().collect::<Vec<_>>());
+    let c = emit_c(&p, &a).expect("codegen");
+    let c_out = compile_and_run(&c, tag, &stdin.join("\n"));
+    let input: Vec<String> = stdin.iter().map(|s| s.to_string()).collect();
+    let i_out = lol_interp::run_parallel_with_input(
+        &p,
+        &a,
+        ShmemConfig::new(1).timeout(Duration::from_secs(10)),
+        &input,
+    )
+    .expect("interp")
+    .pop()
+    .unwrap();
+    assert_eq!(c_out, i_out, "C backend diverges from interpreter on {tag}:\n{src}");
+}
+
+fn prog(body: &str) -> String {
+    format!("HAI 1.2\n{body}\nKTHXBYE")
+}
+
+#[test]
+fn hello_world_compiles_and_runs() {
+    differential("hello", &prog("VISIBLE \"HAI WORLD\""), &[]);
+}
+
+#[test]
+fn arithmetic_matches() {
+    differential(
+        "arith",
+        &prog(
+            "VISIBLE SUM OF 2 AN PRODUKT OF 3 AN 4\n\
+             VISIBLE QUOSHUNT OF 7 AN 2\n\
+             VISIBLE QUOSHUNT OF 7.0 AN 2\n\
+             VISIBLE MOD OF 17 AN 5\n\
+             VISIBLE BIGGR OF 3 AN 7\n\
+             VISIBLE SMALLR OF 3 AN 7\n\
+             VISIBLE DIFF OF 3 AN 10",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn comparisons_and_bools_match() {
+    differential(
+        "bools",
+        &prog(
+            "VISIBLE BOTH SAEM 1 AN 1\nVISIBLE DIFFRINT 1 AN 2\n\
+             VISIBLE BIGGER 4 AN 3\nVISIBLE SMALLR 4 AN 3\n\
+             VISIBLE BOTH OF WIN AN FAIL\nVISIBLE EITHER OF WIN AN FAIL\n\
+             VISIBLE WON OF WIN AN WIN\nVISIBLE NOT FAIL\n\
+             VISIBLE ALL OF WIN AN WIN AN FAIL MKAY\nVISIBLE ANY OF FAIL AN WIN MKAY",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn control_flow_matches() {
+    differential(
+        "ctrl",
+        &prog(
+            "I HAS A x ITZ 2\n\
+             BOTH SAEM x AN 1, O RLY?\nYA RLY\nVISIBLE \"one\"\n\
+             MEBBE BOTH SAEM x AN 2\nVISIBLE \"two\"\nNO WAI\nVISIBLE \"other\"\nOIC\n\
+             x, WTF?\nOMG 1\nVISIBLE \"a\"\nOMG 2\nVISIBLE \"b\"\nOMG 3\nVISIBLE \"c\"\nGTFO\n\
+             OMGWTF\nVISIBLE \"d\"\nOIC",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn loops_match() {
+    differential(
+        "loops",
+        &prog(
+            "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 5\nVISIBLE SQUAR OF i!\nIM OUTTA YR l\n\
+             VISIBLE \"\"\n\
+             I HAS A n ITZ 3\n\
+             IM IN YR d NERFIN YR j WILE BIGGER n AN 0\nVISIBLE n!\nn R DIFF OF n AN 1\nIM OUTTA YR d\n\
+             VISIBLE \"\"",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn functions_match() {
+    differential(
+        "funcs",
+        "HAI 1.2\n\
+         HOW IZ I fact YR n\n\
+         BOTH SAEM n AN 0, O RLY?\nYA RLY\nFOUND YR 1\nOIC\n\
+         FOUND YR PRODUKT OF n AN I IZ fact YR DIFF OF n AN 1 MKAY\n\
+         IF U SAY SO\n\
+         VISIBLE I IZ fact YR 10 MKAY\nKTHXBYE",
+        &[],
+    );
+}
+
+#[test]
+fn arrays_match() {
+    differential(
+        "arrays",
+        &prog(
+            "I HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 6\n\
+             IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 6\n\
+             a'Z i R QUOSHUNT OF i AN 2.0\nIM OUTTA YR l\n\
+             VISIBLE a'Z 5",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn casts_and_smoosh_match() {
+    differential(
+        "casts",
+        &prog(
+            "VISIBLE MAEK \"42\" A NUMBR\nVISIBLE MAEK 3.7 A NUMBR\nVISIBLE MAEK 3 A NUMBAR\n\
+             VISIBLE SMOOSH \"a\" AN 1 AN 2.5 AN WIN MKAY\n\
+             I HAS A x ITZ \"5\"\nx IS NOW A NUMBR\nVISIBLE SUM OF x AN 1",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn shared_vars_single_pe_match() {
+    // At np=1, shared semantics must still hold (own instance).
+    differential(
+        "shared",
+        &prog(
+            "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n\
+             WE HAS A pos ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 4\n\
+             x R SUM OF ME AN 41\nHUGZ\n\
+             IM SRSLY MESIN WIF x\nx R SUM OF x AN 1\nDUN MESIN WIF x\n\
+             pos'Z 0 R 1.5\npos'Z 3 R 4.5\n\
+             TXT MAH BFF 0, MAH pos'Z 1 R UR pos'Z 3\n\
+             VISIBLE x \" \" pos'Z 1",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn whole_array_copy_matches() {
+    differential(
+        "arrcopy",
+        &prog(
+            "WE HAS A src ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 5\n\
+             I HAS A dst ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 5\n\
+             IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 5\n\
+             src'Z i R PRODUKT OF i AN 11\nIM OUTTA YR l\n\
+             TXT MAH BFF 0, MAH dst R UR src\n\
+             VISIBLE dst'Z 4",
+        ),
+        &[],
+    );
+}
+
+#[test]
+fn gimmeh_matches() {
+    differential(
+        "gimmeh",
+        &prog("I HAS A x\nGIMMEH x\nI HAS A y\nGIMMEH y\nVISIBLE SMOOSH x AN \"+\" AN y MKAY"),
+        &["CHEEZ", "BURGER"],
+    );
+}
+
+#[test]
+fn interpolation_matches() {
+    differential(
+        "interp",
+        &prog("I HAS A cat ITZ \"CEILING\"\nVISIBLE \"HAI :{cat} CAT :) BYE\""),
+        &[],
+    );
+}
+
+#[test]
+fn trylock_pattern_matches() {
+    differential(
+        "trylock",
+        &prog(
+            "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\n\
+             IM MESIN WIF x, O RLY?\nYA RLY\nVISIBLE \"GOT IT\"\nDUN MESIN WIF x\n\
+             NO WAI\nVISIBLE \"BUSY\"\nOIC",
+        ),
+        &[],
+    );
+}

@@ -1,0 +1,288 @@
+//! # lolcode — the parallel LOLCODE driver
+//!
+//! One-stop facade over the whole toolchain:
+//!
+//! ```text
+//! source ──lex──▶ tokens ──parse──▶ AST ──sema──▶ analysis
+//!      ├── run (tree-walking interpreter, SPMD over lol-shmem)
+//!      ├── run (bytecode VM, SPMD over lol-shmem)
+//!      └── emit C + OpenSHMEM (the paper's lcc output)
+//! ```
+//!
+//! ```
+//! use lolcode::{run_source, RunConfig, Backend};
+//!
+//! let outs = run_source(
+//!     "HAI 1.2\nVISIBLE \"HAI FROM PE \" ME\nKTHXBYE",
+//!     RunConfig::new(4),
+//! ).unwrap();
+//! assert_eq!(outs[3], "HAI FROM PE 3\n");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+
+use lol_ast::{Program, SourceMap};
+use lol_sema::Analysis;
+pub use lol_shmem::{BarrierKind, LatencyModel, LockKind, ShmemConfig, SpmdError};
+use std::time::Duration;
+
+/// Which execution engine runs the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Tree-walking interpreter (full language, including `SRS`).
+    #[default]
+    Interp,
+    /// Bytecode VM (compiled path; rejects `SRS`).
+    Vm,
+}
+
+/// Everything needed to launch a program.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    pub n_pes: usize,
+    pub backend: Backend,
+    pub latency: LatencyModel,
+    pub barrier: BarrierKind,
+    pub lock: LockKind,
+    pub seed: u64,
+    pub timeout: Duration,
+    /// `GIMMEH` input lines (every PE sees the same stream).
+    pub input: Vec<String>,
+    pub heap_words: usize,
+}
+
+impl RunConfig {
+    /// Defaults for `n_pes` processing elements.
+    pub fn new(n_pes: usize) -> Self {
+        RunConfig {
+            n_pes,
+            backend: Backend::Interp,
+            latency: LatencyModel::Off,
+            barrier: BarrierKind::Centralized,
+            lock: LockKind::SpinCas,
+            seed: 0xC47_F00D,
+            timeout: Duration::from_secs(30),
+            input: Vec::new(),
+            heap_words: 1 << 16,
+        }
+    }
+
+    /// Select the execution backend.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Set the RNG seed (per-PE streams derive from it).
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Set the latency model.
+    pub fn latency(mut self, m: LatencyModel) -> Self {
+        self.latency = m;
+        self
+    }
+
+    /// Set the deadlock watchdog.
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.timeout = t;
+        self
+    }
+
+    /// Provide `GIMMEH` input lines.
+    pub fn input(mut self, lines: &[&str]) -> Self {
+        self.input = lines.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    fn shmem(&self) -> ShmemConfig {
+        ShmemConfig::new(self.n_pes)
+            .heap_words(self.heap_words)
+            .latency(self.latency)
+            .barrier(self.barrier)
+            .lock(self.lock)
+            .seed(self.seed)
+            .timeout(self.timeout)
+    }
+}
+
+/// Anything that can go wrong in the pipeline, with rendered
+/// LOLCODE-flavoured messages.
+#[derive(Debug, Clone)]
+pub enum LolError {
+    /// Lex/parse errors (rendered with source excerpts).
+    Parse(String),
+    /// Semantic errors (rendered with source excerpts).
+    Sema(String),
+    /// Backend compilation errors (e.g. `SRS` under the VM).
+    Compile(String),
+    /// A PE failed at runtime.
+    Runtime(SpmdError),
+}
+
+impl std::fmt::Display for LolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LolError::Parse(s) => write!(f, "{s}"),
+            LolError::Sema(s) => write!(f, "{s}"),
+            LolError::Compile(s) => write!(f, "{s}"),
+            LolError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LolError {}
+
+/// Parse source into an AST (rendered diagnostics on failure).
+pub fn parse_program(src: &str) -> Result<Program, LolError> {
+    let out = lol_parser::parse(src);
+    if out.diags.has_errors() {
+        let sm = SourceMap::new(src);
+        return Err(LolError::Parse(out.diags.render_all(&sm)));
+    }
+    Ok(out.program.expect("program present when no errors"))
+}
+
+/// Parse + semantic analysis. Warnings are returned alongside.
+pub fn check(src: &str) -> Result<(Program, Analysis, Vec<String>), LolError> {
+    let program = parse_program(src)?;
+    let analysis = lol_sema::analyze(&program);
+    let sm = SourceMap::new(src);
+    if analysis.diags.has_errors() {
+        return Err(LolError::Sema(analysis.diags.render_all(&sm)));
+    }
+    let warnings = analysis.diags.iter().map(|d| d.render(&sm)).collect();
+    Ok((program, analysis, warnings))
+}
+
+/// Parse, analyze and execute `src` SPMD; returns per-PE `VISIBLE`
+/// output in PE order.
+pub fn run_source(src: &str, cfg: RunConfig) -> Result<Vec<String>, LolError> {
+    let (program, analysis, _warnings) = check(src)?;
+    match cfg.backend {
+        Backend::Interp => {
+            lol_interp::run_parallel_with_input(&program, &analysis, cfg.shmem(), &cfg.input)
+                .map_err(LolError::Runtime)
+        }
+        Backend::Vm => {
+            let module = lol_vm::compile(&program, &analysis)
+                .map_err(|d| LolError::Compile(d.render(&SourceMap::new(src))))?;
+            lol_vm::run_parallel_with_input(&module, cfg.shmem(), &cfg.input)
+                .map_err(LolError::Runtime)
+        }
+    }
+}
+
+/// Parse, analyze and translate `src` to C + OpenSHMEM (the paper's
+/// `lcc` output).
+pub fn compile_to_c(src: &str) -> Result<String, LolError> {
+    let (program, analysis, _warnings) = check(src)?;
+    lol_c_codegen::emit_c(&program, &analysis)
+        .map_err(|d| LolError::Compile(d.render(&SourceMap::new(src))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_hello() {
+        let outs =
+            run_source("HAI 1.2\nVISIBLE \"HAI\"\nKTHXBYE", RunConfig::new(2)).unwrap();
+        assert_eq!(outs, vec!["HAI\n", "HAI\n"]);
+    }
+
+    #[test]
+    fn pipeline_vm_backend() {
+        let outs = run_source(
+            "HAI 1.2\nVISIBLE SUM OF ME AN 1\nKTHXBYE",
+            RunConfig::new(3).backend(Backend::Vm),
+        )
+        .unwrap();
+        assert_eq!(outs, vec!["1\n", "2\n", "3\n"]);
+    }
+
+    #[test]
+    fn parse_error_is_rendered() {
+        let e = run_source("HAI 1.2\nVISIBLE", RunConfig::new(1)).unwrap_err();
+        match e {
+            LolError::Parse(msg) => assert!(msg.contains("O NOES!")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sema_error_is_rendered() {
+        let e = run_source("HAI 1.2\nghost R 1\nKTHXBYE", RunConfig::new(1)).unwrap_err();
+        match e {
+            LolError::Sema(msg) => assert!(msg.contains("SEM0001"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn vm_rejects_srs_with_compile_error() {
+        let e = run_source(
+            "HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE",
+            RunConfig::new(1).backend(Backend::Vm),
+        )
+        .unwrap_err();
+        match e {
+            LolError::Compile(msg) => assert!(msg.contains("VMC0001"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn runtime_error_carries_pe() {
+        let e = run_source(
+            "HAI 1.2\nBOTH SAEM ME AN 1, O RLY?\nYA RLY\nVISIBLE QUOSHUNT OF 1 AN 0\nOIC\nKTHXBYE",
+            RunConfig::new(2).timeout(Duration::from_secs(5)),
+        )
+        .unwrap_err();
+        match e {
+            LolError::Runtime(se) => {
+                assert_eq!(se.pe, 1);
+                assert!(se.message.contains("RUN0001"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn warnings_are_surfaced() {
+        let (_, _, warnings) =
+            check("HAI 1.2\nWIN, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE").unwrap();
+        assert!(warnings.iter().any(|w| w.contains("SEM0012")), "{warnings:?}");
+    }
+
+    #[test]
+    fn compile_to_c_produces_shmem_code() {
+        let c = compile_to_c("HAI 1.2\nHUGZ\nVISIBLE ME\nKTHXBYE").unwrap();
+        assert!(c.contains("shmem_barrier_all();"));
+        assert!(c.contains("shmem_my_pe()"));
+    }
+
+    #[test]
+    fn gimmeh_input_plumbs_through() {
+        let outs = run_source(
+            "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE x\nKTHXBYE",
+            RunConfig::new(2).input(&["CHEEZ"]),
+        )
+        .unwrap();
+        assert_eq!(outs, vec!["CHEEZ\n", "CHEEZ\n"]);
+    }
+
+    #[test]
+    fn both_backends_agree_on_corpus_hello() {
+        for prog in [corpus::HELLO_PARALLEL, corpus::RING_EXAMPLE, corpus::BARRIER_EXAMPLE] {
+            let a = run_source(prog, RunConfig::new(4).seed(3)).unwrap();
+            let b = run_source(prog, RunConfig::new(4).seed(3).backend(Backend::Vm)).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

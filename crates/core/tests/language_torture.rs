@@ -1,0 +1,302 @@
+//! Language torture: the awkward corners a teaching language gets
+//! poked in. Every case runs on both backends (except `SRS`, which is
+//! interpreter-only by design) and asserts exact output.
+
+use lolcode::{run_source, Backend, LolError, RunConfig};
+use std::time::Duration;
+
+fn cfg() -> RunConfig {
+    RunConfig::new(1).timeout(Duration::from_secs(30))
+}
+
+fn both(src: &str) -> String {
+    let a = run_source(src, cfg()).expect("interp").pop().unwrap();
+    let b = run_source(src, cfg().backend(Backend::Vm)).expect("vm").pop().unwrap();
+    assert_eq!(a, b, "backend divergence on:\n{src}");
+    a
+}
+
+fn prog(body: &str) -> String {
+    format!("HAI 1.2\n{body}\nKTHXBYE")
+}
+
+#[test]
+fn empty_program() {
+    assert_eq!(both("HAI 1.2\nKTHXBYE"), "");
+}
+
+#[test]
+fn ten_deep_nested_loops() {
+    let mut src = String::new();
+    for d in 0..10 {
+        src.push_str(&format!(
+            "IM IN YR l{d} UPPIN YR i{d} TIL BOTH SAEM i{d} AN 2\n"
+        ));
+    }
+    src.push_str("VISIBLE \"x\"!\n");
+    for d in (0..10).rev() {
+        src.push_str(&format!("IM OUTTA YR l{d}\n"));
+    }
+    let out = both(&prog(&src));
+    assert_eq!(out.len(), 1 << 10, "2^10 iterations of the innermost body");
+}
+
+#[test]
+fn switch_falls_through_every_arm_into_default() {
+    let out = both(&prog(
+        "I HAS A x ITZ 1\nx, WTF?\nOMG 1\nVISIBLE \"a\"!\nOMG 2\nVISIBLE \"b\"!\nOMGWTF\nVISIBLE \"d\"!\nOIC\nVISIBLE \"\"",
+    ));
+    assert_eq!(out, "abd\n");
+}
+
+#[test]
+fn switch_no_match_no_default_is_noop() {
+    let out = both(&prog("I HAS A x ITZ 9\nx, WTF?\nOMG 1\nVISIBLE \"a\"\nOIC\nVISIBLE \"after\""));
+    assert_eq!(out, "after\n");
+}
+
+#[test]
+fn mebbe_chain_takes_first_true() {
+    let out = both(&prog(
+        "I HAS A x ITZ 3\n\
+         BOTH SAEM x AN 0, O RLY?\nYA RLY\nVISIBLE 0\n\
+         MEBBE BOTH SAEM x AN 1\nVISIBLE 1\n\
+         MEBBE BOTH SAEM x AN 2\nVISIBLE 2\n\
+         MEBBE BOTH SAEM x AN 3\nVISIBLE 3\n\
+         MEBBE WIN\nVISIBLE \"win\"\n\
+         NO WAI\nVISIBLE \"none\"\nOIC",
+    ));
+    assert_eq!(out, "3\n", "first matching MEBBE wins, later truths skipped");
+}
+
+#[test]
+fn gtfo_in_switch_inside_loop_breaks_switch_only() {
+    let out = both(&prog(
+        "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3\n\
+         i, WTF?\nOMG 1\nVISIBLE \"one\"!\nGTFO\nOMGWTF\nVISIBLE \"x\"!\nOIC\n\
+         IM OUTTA YR l\nVISIBLE \"\"",
+    ));
+    // i=0 -> default x, i=1 -> one (GTFO breaks switch), i=2 -> x.
+    assert_eq!(out, "xonex\n");
+}
+
+#[test]
+fn visible_does_not_touch_it() {
+    let out = both(&prog(
+        "BOTH SAEM 1 AN 1\nVISIBLE \"printing is innocent\"\nO RLY?\nYA RLY\nVISIBLE \"it survived\"\nOIC",
+    ));
+    assert!(out.contains("it survived"), "{out}");
+}
+
+#[test]
+fn shadowing_restores_after_scope() {
+    let out = both(&prog(
+        "I HAS A x ITZ 1\n\
+         IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 1\n\
+         I HAS A x ITZ 99\nVISIBLE x\n\
+         IM OUTTA YR l\n\
+         VISIBLE x",
+    ));
+    assert_eq!(out, "99\n1\n");
+}
+
+#[test]
+fn function_calls_function() {
+    let out = both(
+        "HAI 1.2\n\
+         HOW IZ I dbl YR n\nFOUND YR PRODUKT OF n AN 2\nIF U SAY SO\n\
+         HOW IZ I quad YR n\nFOUND YR I IZ dbl YR I IZ dbl YR n MKAY MKAY\nIF U SAY SO\n\
+         VISIBLE I IZ quad YR 10 MKAY\nKTHXBYE",
+    );
+    assert_eq!(out, "40\n");
+}
+
+#[test]
+fn recursion_near_the_limit_works() {
+    let out = both(
+        "HAI 1.2\n\
+         HOW IZ I down YR n\n\
+         BOTH SAEM n AN 0, O RLY?\nYA RLY\nFOUND YR 0\nOIC\n\
+         FOUND YR SUM OF 1 AN I IZ down YR DIFF OF n AN 1 MKAY\n\
+         IF U SAY SO\n\
+         VISIBLE I IZ down YR 150 MKAY\nKTHXBYE",
+    );
+    assert_eq!(out, "150\n");
+}
+
+#[test]
+fn recursion_past_the_limit_faults_on_both() {
+    let src = "HAI 1.2\nHOW IZ I f YR n\nFOUND YR I IZ f YR n MKAY\nIF U SAY SO\nI IZ f YR 0 MKAY\nKTHXBYE";
+    for backend in [Backend::Interp, Backend::Vm] {
+        let e = run_source(src, cfg().backend(backend)).unwrap_err();
+        match e {
+            LolError::Runtime(e) => assert!(e.message.contains("RUN0130"), "{}", e.message),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn nerfin_goes_negative() {
+    let out = both(&prog(
+        "IM IN YR l NERFIN YR i TIL BOTH SAEM i AN -3\nVISIBLE i!\nIM OUTTA YR l\nVISIBLE \"\"",
+    ));
+    assert_eq!(out, "0-1-2\n");
+}
+
+#[test]
+fn biggr_of_is_max_but_bigger_is_comparison() {
+    let out = both(&prog("VISIBLE BIGGR OF 3 AN 7\nVISIBLE BIGGER 3 AN 7"));
+    assert_eq!(out, "7\nFAIL\n", "the paper's BIGGER is >, 1.2's BIGGR OF is max");
+}
+
+#[test]
+fn troof_array_and_yarn_array() {
+    let out = both(&prog(
+        "I HAS A t ITZ SRSLY LOTZ A TROOFS AN THAR IZ 3\n\
+         t'Z 1 R WIN\nVISIBLE t'Z 0 t'Z 1\n\
+         I HAS A s ITZ SRSLY LOTZ A YARNS AN THAR IZ 2\n\
+         s'Z 0 R \"HA\"\ns'Z 1 R \"I\"\nVISIBLE SMOOSH s'Z 0 AN s'Z 1 MKAY",
+    ));
+    assert_eq!(out, "FAILWIN\nHAI\n");
+}
+
+#[test]
+fn whole_array_copy_local_to_local() {
+    let out = both(&prog(
+        "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\n\
+         I HAS A b ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\n\
+         a'Z 2 R 22\nb R a\na'Z 2 R 99\nVISIBLE b'Z 2",
+    ));
+    assert_eq!(out, "22\n", "copy is by value, not by reference");
+}
+
+#[test]
+fn array_element_type_coercion() {
+    // NUMBR array coerces stored floats (like the C backend's native
+    // arrays would).
+    let out = both(&prog(
+        "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 2\na'Z 0 R 3.9\nVISIBLE a'Z 0",
+    ));
+    assert_eq!(out, "3\n");
+}
+
+#[test]
+fn is_now_a_on_srsly_var_is_rejected() {
+    // The static-typing extension means a SRSLY variable's type is part
+    // of its compiled layout: retyping it is a semantic error (SEM0024)
+    // rather than an interpreter/VM divergence.
+    let src = prog("I HAS A x ITZ SRSLY A NUMBR AN ITZ 3\nx IS NOW A YARN\nVISIBLE x");
+    let e = run_source(&src, cfg()).unwrap_err();
+    match e {
+        LolError::Sema(msg) => assert!(msg.contains("SEM0024"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    // Dynamic variables still retype freely, identically on both backends.
+    let out = both(&prog(
+        "I HAS A x ITZ \"3\"\nx IS NOW A NUMBR\nx R SUM OF x AN 1\nx IS NOW A YARN\nx R SMOOSH x AN \"!\" MKAY\nVISIBLE x",
+    ));
+    assert_eq!(out, "4!\n");
+}
+
+#[test]
+fn smoosh_many_and_empty_visible() {
+    let out = both(&prog(
+        "VISIBLE SMOOSH 1 AN 2 AN 3 AN 4 AN 5 AN 6 AN 7 AN 8 MKAY\nVISIBLE",
+    ));
+    assert_eq!(out, "12345678\n\n");
+}
+
+#[test]
+fn gimmeh_then_arithmetic() {
+    let cfg_in = cfg().input(&["7"]);
+    let a = run_source(
+        &prog("I HAS A x\nGIMMEH x\nVISIBLE PRODUKT OF x AN 6"),
+        cfg_in.clone(),
+    )
+    .unwrap()
+    .pop()
+    .unwrap();
+    let b = run_source(
+        &prog("I HAS A x\nGIMMEH x\nVISIBLE PRODUKT OF x AN 6"),
+        cfg_in.backend(Backend::Vm),
+    )
+    .unwrap()
+    .pop()
+    .unwrap();
+    assert_eq!(a, "42\n");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn string_escapes_through_visible() {
+    let out = both(&prog("VISIBLE \"tab:>pipe::quote:\" end:)next\""));
+    assert_eq!(out, "tab\tpipe:quote\" end\nnext\n");
+}
+
+#[test]
+fn it_works_inside_functions_independently() {
+    let out = both(
+        "HAI 1.2\n\
+         SUM OF 1 AN 1\n\
+         HOW IZ I f\nSUM OF 40 AN 2\nIF U SAY SO\n\
+         I HAS A r ITZ I IZ f MKAY\n\
+         VISIBLE r \" \" IT\n\
+         KTHXBYE",
+    );
+    // Function's IT is 42 (returned); main's IT was last set by the
+    // call expression statement... r is a declaration (doesn't set IT),
+    // so main's IT is still 2 from `SUM OF 1 AN 1`.
+    assert_eq!(out, "42 2\n");
+}
+
+#[test]
+fn noob_comparisons_and_casts() {
+    let out = both(&prog(
+        "I HAS A n\nVISIBLE BOTH SAEM n AN NOOB\nVISIBLE MAEK n A TROOF\nVISIBLE DIFFRINT n AN 0",
+    ));
+    assert_eq!(out, "WIN\nFAIL\nWIN\n", "NOOB==NOOB, NOOB->FAIL, NOOB!=0");
+}
+
+#[test]
+fn wrapping_arithmetic_is_defined() {
+    let out = both(&prog(
+        "I HAS A big ITZ 9223372036854775807\nVISIBLE SUM OF big AN 1",
+    ));
+    assert_eq!(out, "-9223372036854775808\n");
+}
+
+#[test]
+fn srs_chains_interpreter_only() {
+    let out = run_source(
+        &prog(
+            "I HAS A a ITZ \"b\"\nI HAS A b ITZ \"c\"\nI HAS A c ITZ 42\n\
+             VISIBLE SRS SRS a",
+        ),
+        cfg(),
+    )
+    .unwrap()
+    .pop()
+    .unwrap();
+    assert_eq!(out, "42\n", "SRS SRS a -> SRS b -> c -> 42");
+}
+
+#[test]
+fn loop_guard_sees_loop_variable_updates() {
+    let out = both(&prog(
+        "I HAS A sum ITZ 0\n\
+         IM IN YR l UPPIN YR i WILE SMALLR i AN 5\n\
+         sum R SUM OF sum AN i\n\
+         IM OUTTA YR l\nVISIBLE sum",
+    ));
+    assert_eq!(out, "10\n", "0+1+2+3+4");
+}
+
+#[test]
+fn yarn_numeric_comparison_rules() {
+    let out = both(&prog(
+        "VISIBLE BOTH SAEM \"3\" AN 3\nVISIBLE BIGGER \"10\" AN 9\nVISIBLE SUM OF \"2.5\" AN \"2.5\"",
+    ));
+    // BOTH SAEM does not coerce YARN to NUMBR; arithmetic/comparison do.
+    assert_eq!(out, "FAIL\nWIN\n5.00\n");
+}

@@ -1,0 +1,171 @@
+//! Experiment T2 — Table II conformance matrix: the parallel and
+//! distributed computing extensions, exercised on real multi-PE runs
+//! with both backends.
+
+use lolcode::{run_source, Backend, RunConfig};
+use std::time::Duration;
+
+fn cfg(n: usize) -> RunConfig {
+    RunConfig::new(n).timeout(Duration::from_secs(20))
+}
+
+fn both(n: usize, src: &str) -> Vec<String> {
+    let a = run_source(src, cfg(n).seed(1)).expect("interp");
+    let b = run_source(src, cfg(n).seed(1).backend(Backend::Vm)).expect("vm");
+    assert_eq!(a, b, "backends disagree on:\n{src}");
+    a
+}
+
+#[test]
+fn row01_mah_frenz_total_pes() {
+    for n in [1, 2, 7] {
+        let outs = both(n, "HAI 1.2\nVISIBLE MAH FRENZ\nKTHXBYE");
+        for o in outs {
+            assert_eq!(o, format!("{n}\n"));
+        }
+    }
+}
+
+#[test]
+fn row02_me_identifies_pe() {
+    let outs = both(5, "HAI 1.2\nVISIBLE ME\nKTHXBYE");
+    for (i, o) in outs.iter().enumerate() {
+        assert_eq!(o, &format!("{i}\n"));
+    }
+}
+
+#[test]
+fn row03_im_srsly_mesin_wif_blocking_lock() {
+    // All PEs hammer PE 0's counter under the blocking lock: no lost
+    // updates allowed.
+    let n = 6;
+    let src = "HAI 1.2\nWE HAS A x ITZ A NUMBR AN IM SHARIN IT\nHUGZ\n\
+        IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 20\n\
+        TXT MAH BFF 0 AN STUFF\n\
+        IM SRSLY MESIN WIF UR x\nUR x R SUM OF UR x AN 1\nDUN MESIN WIF UR x\n\
+        TTYL\nIM OUTTA YR l\nHUGZ\nVISIBLE x\nKTHXBYE";
+    let outs = both(n, src);
+    assert_eq!(outs[0], format!("{}\n", n * 20));
+}
+
+#[test]
+fn row04_im_mesin_wif_o_rly_trylock() {
+    // Non-blocking test: sets IT, usable with O RLY?.
+    let src = "HAI 1.2\nWE HAS A x ITZ A NUMBR AN IM SHARIN IT\n\
+        IM MESIN WIF x, O RLY?\nYA RLY\nVISIBLE \"GOT\"\nDUN MESIN WIF x\n\
+        NO WAI\nVISIBLE \"NO\"\nOIC\nKTHXBYE";
+    let outs = both(1, src);
+    assert_eq!(outs[0], "GOT\n");
+}
+
+#[test]
+fn row05_dun_mesin_wif_releases() {
+    // Second acquire succeeds only because the first releases.
+    let src = "HAI 1.2\nWE HAS A x ITZ A NUMBR AN IM SHARIN IT\n\
+        IM SRSLY MESIN WIF x\nDUN MESIN WIF x\n\
+        IM SRSLY MESIN WIF x\nDUN MESIN WIF x\nVISIBLE \"twice\"\nKTHXBYE";
+    assert_eq!(both(1, src)[0], "twice\n");
+}
+
+#[test]
+fn row06_hugz_collective_barrier() {
+    // Figure 2 determinism: without HUGZ this value could be stale.
+    let n = 6;
+    let src = "HAI 1.2\nWE HAS A b ITZ SRSLY A NUMBR\n\
+        I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+        TXT MAH BFF k, UR b R SUM OF ME AN 1\nHUGZ\nVISIBLE b\nKTHXBYE";
+    for _ in 0..10 {
+        let outs = both(n, src);
+        for (me, o) in outs.iter().enumerate() {
+            let left = (me + n - 1) % n;
+            assert_eq!(o, &format!("{}\n", left + 1));
+        }
+    }
+}
+
+#[test]
+fn row07_txt_mah_bff_single_statement() {
+    let src = "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR\nx R PRODUKT OF ME AN 5\nHUGZ\n\
+        I HAS A y\nTXT MAH BFF 0, y R UR x\nVISIBLE y\nKTHXBYE";
+    let outs = both(4, src);
+    for o in outs {
+        assert_eq!(o, "0\n");
+    }
+}
+
+#[test]
+fn row08_txt_mah_bff_an_stuff_block() {
+    let src = "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR\nWE HAS A y ITZ SRSLY A NUMBR\n\
+        x R ME\ny R PRODUKT OF ME AN 10\nHUGZ\n\
+        I HAS A a\nI HAS A b\n\
+        TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ AN STUFF\n\
+        a R UR x\nb R UR y\nTTYL\n\
+        VISIBLE SUM OF a AN b\nKTHXBYE";
+    let n = 4;
+    let outs = both(n, src);
+    for (me, o) in outs.iter().enumerate() {
+        let next = (me + 1) % n;
+        assert_eq!(o, &format!("{}\n", next + next * 10));
+    }
+}
+
+#[test]
+fn row09_i_has_a_itz_srsly_a_static_type() {
+    let src = "HAI 1.2\nI HAS A x ITZ SRSLY A NUMBR\nx R 3.9\nVISIBLE x\nKTHXBYE";
+    assert_eq!(both(1, src)[0], "3\n", "SRSLY pins the static type");
+}
+
+#[test]
+fn row10_we_has_a_symmetric_shared_scalar() {
+    let src = "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n\
+        x R SUM OF ME AN 100\nHUGZ\nVISIBLE x\nKTHXBYE";
+    let outs = both(3, src);
+    for (me, o) in outs.iter().enumerate() {
+        assert_eq!(o, &format!("{}\n", me + 100), "one instance per PE");
+    }
+}
+
+#[test]
+fn row11_we_has_a_lotz_a_symmetric_array() {
+    let src = "HAI 1.2\nWE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 100\n\
+        arr'Z 99 R PRODUKT OF ME AN 2\nHUGZ\n\
+        I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+        I HAS A got\nTXT MAH BFF k, got R UR arr'Z 99\nVISIBLE got\nKTHXBYE";
+    let n = 3;
+    let outs = both(n, src);
+    for (me, o) in outs.iter().enumerate() {
+        let next = (me + 1) % n;
+        assert_eq!(o, &format!("{}\n", next * 2));
+    }
+}
+
+#[test]
+fn row12_ur_and_mah_locality_qualifiers() {
+    // UR reads the BFF's instance, MAH the local one — in the same
+    // statement (the paper's key semantic).
+    let src = "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR\nx R SUM OF ME AN 1\nHUGZ\n\
+        I HAS A diff\n\
+        TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ, diff R DIFF OF UR x AN MAH x\n\
+        VISIBLE diff\nKTHXBYE";
+    let n = 4;
+    let outs = both(n, src);
+    for (me, o) in outs.iter().enumerate() {
+        let next = (me + 1) % n;
+        let want = (next as i64 + 1) - (me as i64 + 1);
+        assert_eq!(o, &format!("{want}\n"));
+    }
+}
+
+#[test]
+fn row13_tick_z_array_indexing() {
+    let src = "HAI 1.2\nI HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\n\
+        a'Z 0 R 10\na'Z SUM OF 1 AN 2 R 40\nVISIBLE SUM OF a'Z 0 AN a'Z 3\nKTHXBYE";
+    assert_eq!(both(1, src)[0], "50\n", "index is a full expression");
+}
+
+#[test]
+fn conformance_matrix_summary() {
+    const ROWS: usize = 13;
+    println!("T2 conformance: {ROWS}/13 rows of Table II exercised");
+    assert_eq!(ROWS, 13);
+}

@@ -1,0 +1,114 @@
+//! Experiment T3 — Table III conformance: the additional math/random
+//! extensions (`WHATEVR`, `WHATEVAR`, `SQUAR OF`, `UNSQUAR OF`,
+//! `FLIP OF`), including distribution checks on the random sources.
+
+use lolcode::{run_source, Backend, RunConfig};
+use std::time::Duration;
+
+fn cfg(n: usize) -> RunConfig {
+    RunConfig::new(n).timeout(Duration::from_secs(20))
+}
+
+fn both1(src: &str) -> String {
+    let a = run_source(src, cfg(1).seed(2)).expect("interp").pop().unwrap();
+    let b = run_source(src, cfg(1).seed(2).backend(Backend::Vm)).expect("vm").pop().unwrap();
+    assert_eq!(a, b);
+    a
+}
+
+#[test]
+fn row1_whatevr_random_integer() {
+    // rand() analog: non-negative, below 2^31, varies.
+    let src = "HAI 1.2\n\
+        IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 100\n\
+        I HAS A r ITZ WHATEVR\n\
+        BOTH OF NOT SMALLR r AN 0 AN SMALLR r AN 2147483648, O RLY?\n\
+        NO WAI\nVISIBLE \"OUT OF RANGE\"\nOIC\n\
+        IM OUTTA YR l\nVISIBLE \"done\"\nKTHXBYE";
+    assert_eq!(both1(src), "done\n");
+}
+
+#[test]
+fn whatevr_values_vary() {
+    let src = "HAI 1.2\nVISIBLE WHATEVR\nVISIBLE WHATEVR\nVISIBLE WHATEVR\nKTHXBYE";
+    let out = both1(src);
+    let vals: Vec<&str> = out.lines().collect();
+    assert_eq!(vals.len(), 3);
+    assert!(!(vals[0] == vals[1] && vals[1] == vals[2]), "rand() stuck: {vals:?}");
+}
+
+#[test]
+fn row2_whatevar_random_float_in_unit_interval() {
+    let src = "HAI 1.2\n\
+        IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 200\n\
+        I HAS A f ITZ WHATEVAR\n\
+        BOTH OF NOT SMALLR f AN 0.0 AN SMALLR f AN 1.0, O RLY?\n\
+        NO WAI\nVISIBLE \"OUT OF RANGE\"\nOIC\n\
+        IM OUTTA YR l\nVISIBLE \"done\"\nKTHXBYE";
+    assert_eq!(both1(src), "done\n");
+}
+
+#[test]
+fn whatevar_mean_is_near_half() {
+    // Statistical sanity: mean of 1000 draws ≈ 0.5 (randf analog).
+    let src = "HAI 1.2\nI HAS A acc ITZ SRSLY A NUMBAR AN ITZ 0.0\n\
+        IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 1000\n\
+        acc R SUM OF acc AN WHATEVAR\nIM OUTTA YR l\n\
+        VISIBLE QUOSHUNT OF acc AN 1000.0\nKTHXBYE";
+    let out = both1(src);
+    let mean: f64 = out.trim().parse().unwrap();
+    assert!((mean - 0.5).abs() < 0.05, "mean {mean} too far from 0.5");
+}
+
+#[test]
+fn row3_squar_of() {
+    assert_eq!(both1("HAI 1.2\nVISIBLE SQUAR OF 12\nKTHXBYE"), "144\n");
+    assert_eq!(both1("HAI 1.2\nVISIBLE SQUAR OF 1.5\nKTHXBYE"), "2.25\n");
+    assert_eq!(both1("HAI 1.2\nVISIBLE SQUAR OF -3\nKTHXBYE"), "9\n");
+}
+
+#[test]
+fn row4_unsquar_of() {
+    assert_eq!(both1("HAI 1.2\nVISIBLE UNSQUAR OF 144\nKTHXBYE"), "12.00\n");
+    assert_eq!(both1("HAI 1.2\nVISIBLE UNSQUAR OF 2\nKTHXBYE"), "1.41\n");
+}
+
+#[test]
+fn row5_flip_of() {
+    assert_eq!(both1("HAI 1.2\nVISIBLE FLIP OF 4\nKTHXBYE"), "0.25\n");
+    assert_eq!(both1("HAI 1.2\nVISIBLE FLIP OF 0.5\nKTHXBYE"), "2.00\n");
+}
+
+#[test]
+fn nbody_inverse_distance_idiom() {
+    // The composition the paper built Table III for:
+    // FLIP OF UNSQUAR OF SUM OF dx AN dy with dx=9, dy=16 → 1/5.
+    assert_eq!(
+        both1("HAI 1.2\nVISIBLE FLIP OF UNSQUAR OF SUM OF 9 AN 16\nKTHXBYE"),
+        "0.20\n"
+    );
+}
+
+#[test]
+fn per_pe_streams_are_decorrelated() {
+    // Different PEs draw different sequences (seeded per PE).
+    let src = "HAI 1.2\nVISIBLE WHATEVR\nKTHXBYE";
+    let outs = run_source(src, cfg(8).seed(4)).unwrap();
+    let distinct: std::collections::HashSet<&String> = outs.iter().collect();
+    assert!(distinct.len() >= 6, "PE streams too correlated: {outs:?}");
+}
+
+#[test]
+fn seeds_reproduce_runs() {
+    let src = "HAI 1.2\nVISIBLE WHATEVR \" \" WHATEVAR\nKTHXBYE";
+    let a = run_source(src, cfg(4).seed(99)).unwrap();
+    let b = run_source(src, cfg(4).seed(99)).unwrap();
+    assert_eq!(a, b, "same seed, same run (reproducible teaching demos)");
+}
+
+#[test]
+fn conformance_matrix_summary() {
+    const ROWS: usize = 5;
+    println!("T3 conformance: {ROWS}/5 rows of Table III exercised");
+    assert_eq!(ROWS, 5);
+}

@@ -1,0 +1,185 @@
+//! Lexically scoped environments for per-PE private variables.
+//!
+//! Shared (`WE HAS A`) variables never live here — they live in the
+//! symmetric heap and are resolved through the
+//! [`lol_sema::SharedLayout`]. The environment holds everything
+//! private: scalars (optionally pinned to a static type by
+//! `ITZ SRSLY A`) and local arrays (dynamically sized, per the paper's
+//! array extension).
+
+use crate::value::{cast, RResult, RunError, Value};
+use lol_ast::{LolType, Symbol};
+use std::collections::HashMap;
+
+/// A private variable.
+#[derive(Debug, Clone)]
+pub enum Slot {
+    /// A scalar; `pinned` holds the static type for `ITZ SRSLY A`
+    /// declarations (assignments coerce to it).
+    Scalar { value: Value, pinned: Option<LolType> },
+    /// A local array with element type and dynamic length.
+    Array { elems: Vec<Value>, ty: LolType },
+}
+
+/// A stack of lexical scopes.
+#[derive(Debug, Default)]
+pub struct Env {
+    scopes: Vec<HashMap<Symbol, Slot>>,
+}
+
+impl Env {
+    /// New environment with one (outermost) scope containing `IT`.
+    pub fn new() -> Self {
+        let mut e = Env { scopes: vec![HashMap::new()] };
+        e.declare(Symbol::it(), Slot::Scalar { value: Value::Noob, pinned: None });
+        e
+    }
+
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop().expect("scope underflow");
+        assert!(!self.scopes.is_empty(), "outermost scope popped");
+    }
+
+    /// Declare in the innermost scope (shadowing outer scopes).
+    pub fn declare(&mut self, name: Symbol, slot: Slot) {
+        self.scopes.last_mut().expect("no scope").insert(name, slot);
+    }
+
+    /// Find a variable, innermost scope first.
+    pub fn get(&self, name: Symbol) -> Option<&Slot> {
+        self.scopes.iter().rev().find_map(|s| s.get(&name))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: Symbol) -> Option<&mut Slot> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(&name))
+    }
+
+    /// Is the name bound at all?
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Assign to a scalar variable, honouring its pinned type.
+    pub fn assign_scalar(&mut self, name: Symbol, value: Value) -> RResult<()> {
+        match self.get_mut(name) {
+            Some(Slot::Scalar { value: v, pinned }) => {
+                *v = match pinned {
+                    Some(ty) => cast(&value, *ty)?,
+                    None => value,
+                };
+                Ok(())
+            }
+            Some(Slot::Array { .. }) => Err(RunError::new(
+                "RUN0011",
+                format!("{name} IZ A WHOLE ARRAY — ASSIGN ELEMENTS WIF {name}'Z idx"),
+            )),
+            None => Err(RunError::new("RUN0010", format!("WHO IZ {name}?"))),
+        }
+    }
+
+    /// Read a scalar value.
+    pub fn read_scalar(&self, name: Symbol) -> RResult<Value> {
+        match self.get(name) {
+            Some(Slot::Scalar { value, .. }) => Ok(value.clone()),
+            Some(Slot::Array { .. }) => Err(RunError::new(
+                "RUN0011",
+                format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
+            )),
+            None => Err(RunError::new("RUN0010", format!("WHO IZ {name}?"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn declare_and_read() {
+        let mut e = Env::new();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(5), pinned: None });
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(5));
+    }
+
+    #[test]
+    fn it_is_predeclared() {
+        let e = Env::new();
+        assert_eq!(e.read_scalar(Symbol::it()).unwrap(), Value::Noob);
+    }
+
+    #[test]
+    fn shadowing_and_scope_pop() {
+        let mut e = Env::new();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(1), pinned: None });
+        e.push_scope();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(2), pinned: None });
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(2));
+        e.pop_scope();
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(1));
+    }
+
+    #[test]
+    fn assignment_reaches_outer_scope() {
+        let mut e = Env::new();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(1), pinned: None });
+        e.push_scope();
+        e.assign_scalar(sym("x"), Value::Numbr(9)).unwrap();
+        e.pop_scope();
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(9));
+    }
+
+    #[test]
+    fn pinned_type_coerces_on_assign() {
+        let mut e = Env::new();
+        e.declare(
+            sym("x"),
+            Slot::Scalar { value: Value::Numbr(0), pinned: Some(LolType::Numbr) },
+        );
+        e.assign_scalar(sym("x"), Value::yarn("42")).unwrap();
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(42));
+        e.assign_scalar(sym("x"), Value::Numbar(3.9)).unwrap();
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(3));
+    }
+
+    #[test]
+    fn pinned_type_rejects_impossible_coercion() {
+        let mut e = Env::new();
+        e.declare(
+            sym("x"),
+            Slot::Scalar { value: Value::Numbr(0), pinned: Some(LolType::Numbr) },
+        );
+        assert!(e.assign_scalar(sym("x"), Value::yarn("fish")).is_err());
+    }
+
+    #[test]
+    fn unpinned_is_dynamic() {
+        let mut e = Env::new();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(0), pinned: None });
+        e.assign_scalar(sym("x"), Value::yarn("fish")).unwrap();
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::yarn("fish"));
+    }
+
+    #[test]
+    fn array_slot_errors_on_scalar_ops() {
+        let mut e = Env::new();
+        e.declare(sym("a"), Slot::Array { elems: vec![Value::Numbr(0); 4], ty: LolType::Numbr });
+        assert_eq!(e.read_scalar(sym("a")).unwrap_err().code, "RUN0011");
+        assert_eq!(e.assign_scalar(sym("a"), Value::Numbr(1)).unwrap_err().code, "RUN0011");
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let mut e = Env::new();
+        assert_eq!(e.read_scalar(sym("ghost")).unwrap_err().code, "RUN0010");
+        assert_eq!(e.assign_scalar(sym("ghost"), Value::Noob).unwrap_err().code, "RUN0010");
+    }
+}

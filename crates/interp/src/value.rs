@@ -1,0 +1,388 @@
+//! Runtime values and LOLCODE 1.2 coercion semantics.
+//!
+//! The five types (`NOOB`, `TROOF`, `NUMBR`, `NUMBAR`, `YARN`) coerce
+//! the way the original `lci` interpreter does:
+//!
+//! * arithmetic promotes NUMBR→NUMBAR when either side is (or parses
+//!   as) a float; NUMBR÷NUMBR is integer division,
+//! * casting NUMBAR to YARN keeps two decimal places (the `%.2f` of the
+//!   reference implementation),
+//! * `NOOB` casts implicitly only to TROOF (`FAIL`); any other cast of
+//!   an uninitialized value is a runtime error,
+//! * YARNs coerce numerically by parsing (`"3"` → 3, `"3.5"` → 3.5).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime LOLCODE value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Noob,
+    Troof(bool),
+    Numbr(i64),
+    Numbar(f64),
+    Yarn(Arc<str>),
+}
+
+/// A runtime error with a stable code (rendered LOLCODE-style by the
+/// driver).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl RunError {
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        RunError { code, message: message.into() }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O NOES! [{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Result alias used throughout the interpreter.
+pub type RResult<T> = Result<T, RunError>;
+
+/// A number: integer or float, after numeric coercion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    I(i64),
+    F(f64),
+}
+
+impl Num {
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::I(i) => i as f64,
+            Num::F(f) => f,
+        }
+    }
+}
+
+impl Value {
+    /// Make a YARN value.
+    pub fn yarn(s: impl Into<String>) -> Value {
+        Value::Yarn(Arc::from(s.into().into_boxed_str()))
+    }
+
+    /// The type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Noob => "NOOB",
+            Value::Troof(_) => "TROOF",
+            Value::Numbr(_) => "NUMBR",
+            Value::Numbar(_) => "NUMBAR",
+            Value::Yarn(_) => "YARN",
+        }
+    }
+
+    /// Coerce to TROOF (always succeeds): empty/zero/NOOB are FAIL.
+    pub fn to_troof(&self) -> bool {
+        match self {
+            Value::Noob => false,
+            Value::Troof(b) => *b,
+            Value::Numbr(n) => *n != 0,
+            Value::Numbar(f) => *f != 0.0,
+            Value::Yarn(s) => !s.is_empty(),
+        }
+    }
+
+    /// Coerce to a number for arithmetic.
+    pub fn to_num(&self) -> RResult<Num> {
+        match self {
+            Value::Noob => Err(RunError::new(
+                "RUN0002",
+                "CANT DO MATHS WIF NOOB (DECLARE AN INITIALIZE UR VARIABLE)",
+            )),
+            Value::Troof(b) => Ok(Num::I(*b as i64)),
+            Value::Numbr(n) => Ok(Num::I(*n)),
+            Value::Numbar(f) => Ok(Num::F(*f)),
+            Value::Yarn(s) => parse_yarn_number(s),
+        }
+    }
+
+    /// Explicit cast to NUMBR.
+    pub fn to_numbr(&self) -> RResult<i64> {
+        match self.to_num()? {
+            Num::I(i) => Ok(i),
+            Num::F(f) => Ok(f as i64),
+        }
+    }
+
+    /// Explicit cast to NUMBAR.
+    pub fn to_numbar(&self) -> RResult<f64> {
+        Ok(self.to_num()?.as_f64())
+    }
+
+    /// Coerce to YARN (printing rules; NUMBAR keeps 2 decimals like lci).
+    pub fn to_yarn(&self) -> RResult<String> {
+        match self {
+            Value::Noob => Err(RunError::new("RUN0003", "CANT MAKE A YARN OUT OF NOOB")),
+            Value::Troof(true) => Ok("WIN".to_string()),
+            Value::Troof(false) => Ok("FAIL".to_string()),
+            Value::Numbr(n) => Ok(n.to_string()),
+            Value::Numbar(f) => Ok(format!("{f:.2}")),
+            Value::Yarn(s) => Ok(s.to_string()),
+        }
+    }
+
+    /// `BOTH SAEM` equality: NUMBR/NUMBAR pairs compare numerically,
+    /// otherwise same-type comparison; mixed types are FAIL.
+    pub fn saem(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Noob, Noob) => true,
+            (Troof(a), Troof(b)) => a == b,
+            (Numbr(a), Numbr(b)) => a == b,
+            (Numbar(a), Numbar(b)) => a == b,
+            (Numbr(a), Numbar(b)) | (Numbar(b), Numbr(a)) => *a as f64 == *b,
+            (Yarn(a), Yarn(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Parse a YARN as NUMBR or NUMBAR (decimal point / exponent → float).
+fn parse_yarn_number(s: &str) -> RResult<Num> {
+    let t = s.trim();
+    if t.contains('.') || t.contains('e') || t.contains('E') {
+        t.parse::<f64>()
+            .map(Num::F)
+            .map_err(|_| RunError::new("RUN0004", format!("\"{s}\" IZ NOT A NUMBAR")))
+    } else {
+        t.parse::<i64>()
+            .map(Num::I)
+            .map_err(|_| RunError::new("RUN0004", format!("\"{s}\" IZ NOT A NUMBR")))
+    }
+}
+
+/// Apply a LOLCODE arithmetic operator with promotion rules.
+pub fn arith(op: lol_ast::BinOp, a: &Value, b: &Value) -> RResult<Value> {
+    use lol_ast::BinOp::*;
+    let (na, nb) = (a.to_num()?, b.to_num()?);
+    match (na, nb) {
+        (Num::I(x), Num::I(y)) => {
+            let r = match op {
+                Sum => x.wrapping_add(y),
+                Diff => x.wrapping_sub(y),
+                Produkt => x.wrapping_mul(y),
+                Quoshunt => {
+                    if y == 0 {
+                        return Err(RunError::new("RUN0001", "DIVIDIN BY ZERO IZ NOT ALLOWED"));
+                    }
+                    x.wrapping_div(y)
+                }
+                Mod => {
+                    if y == 0 {
+                        return Err(RunError::new("RUN0001", "MOD BY ZERO IZ NOT ALLOWED"));
+                    }
+                    x.wrapping_rem(y)
+                }
+                BiggrOf => x.max(y),
+                SmallrOf => x.min(y),
+                _ => unreachable!("not an arithmetic op: {op:?}"),
+            };
+            Ok(Value::Numbr(r))
+        }
+        _ => {
+            let (x, y) = (na.as_f64(), nb.as_f64());
+            let r = match op {
+                Sum => x + y,
+                Diff => x - y,
+                Produkt => x * y,
+                Quoshunt => x / y,
+                Mod => x % y,
+                BiggrOf => x.max(y),
+                SmallrOf => x.min(y),
+                _ => unreachable!("not an arithmetic op: {op:?}"),
+            };
+            Ok(Value::Numbar(r))
+        }
+    }
+}
+
+/// Apply a comparison operator (`BIGGER` / `SMALLR`).
+pub fn compare(op: lol_ast::BinOp, a: &Value, b: &Value) -> RResult<Value> {
+    use lol_ast::BinOp::*;
+    let (x, y) = (a.to_num()?.as_f64(), b.to_num()?.as_f64());
+    let r = match op {
+        Bigger => x > y,
+        Smallr => x < y,
+        _ => unreachable!("not a comparison: {op:?}"),
+    };
+    Ok(Value::Troof(r))
+}
+
+/// Default value for a declared (typed) variable.
+pub fn default_for(ty: lol_ast::LolType) -> Value {
+    use lol_ast::LolType;
+    match ty {
+        LolType::Noob => Value::Noob,
+        LolType::Troof => Value::Troof(false),
+        LolType::Numbr => Value::Numbr(0),
+        LolType::Numbar => Value::Numbar(0.0),
+        LolType::Yarn => Value::yarn(""),
+    }
+}
+
+/// Explicit cast (`MAEK`, `IS NOW A`).
+pub fn cast(v: &Value, ty: lol_ast::LolType) -> RResult<Value> {
+    use lol_ast::LolType;
+    Ok(match ty {
+        LolType::Noob => Value::Noob,
+        LolType::Troof => Value::Troof(v.to_troof()),
+        LolType::Numbr => Value::Numbr(v.to_numbr()?),
+        LolType::Numbar => Value::Numbar(v.to_numbar()?),
+        LolType::Yarn => Value::yarn(v.to_yarn()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lol_ast::BinOp;
+
+    #[test]
+    fn troof_coercions() {
+        assert!(!Value::Noob.to_troof());
+        assert!(Value::Troof(true).to_troof());
+        assert!(!Value::Numbr(0).to_troof());
+        assert!(Value::Numbr(-3).to_troof());
+        assert!(!Value::Numbar(0.0).to_troof());
+        assert!(Value::Numbar(0.1).to_troof());
+        assert!(!Value::yarn("").to_troof());
+        assert!(Value::yarn("x").to_troof());
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let v = arith(BinOp::Quoshunt, &Value::Numbr(7), &Value::Numbr(2)).unwrap();
+        assert_eq!(v, Value::Numbr(3), "NUMBR division truncates");
+        let v = arith(BinOp::Sum, &Value::Numbr(2), &Value::Numbr(3)).unwrap();
+        assert_eq!(v, Value::Numbr(5));
+        let v = arith(BinOp::Mod, &Value::Numbr(7), &Value::Numbr(4)).unwrap();
+        assert_eq!(v, Value::Numbr(3));
+    }
+
+    #[test]
+    fn float_promotion() {
+        let v = arith(BinOp::Sum, &Value::Numbr(1), &Value::Numbar(0.5)).unwrap();
+        assert_eq!(v, Value::Numbar(1.5));
+        let v = arith(BinOp::Quoshunt, &Value::Numbar(7.0), &Value::Numbr(2)).unwrap();
+        assert_eq!(v, Value::Numbar(3.5));
+    }
+
+    #[test]
+    fn yarn_numeric_coercion() {
+        let v = arith(BinOp::Sum, &Value::yarn("3"), &Value::Numbr(4)).unwrap();
+        assert_eq!(v, Value::Numbr(7));
+        let v = arith(BinOp::Sum, &Value::yarn("3.5"), &Value::Numbr(1)).unwrap();
+        assert_eq!(v, Value::Numbar(4.5));
+        assert!(arith(BinOp::Sum, &Value::yarn("fish"), &Value::Numbr(1)).is_err());
+    }
+
+    #[test]
+    fn troof_is_numeric_01() {
+        let v = arith(BinOp::Sum, &Value::Troof(true), &Value::Troof(true)).unwrap();
+        assert_eq!(v, Value::Numbr(2));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = arith(BinOp::Quoshunt, &Value::Numbr(1), &Value::Numbr(0)).unwrap_err();
+        assert_eq!(e.code, "RUN0001");
+        let e = arith(BinOp::Mod, &Value::Numbr(1), &Value::Numbr(0)).unwrap_err();
+        assert_eq!(e.code, "RUN0001");
+        // Float division by zero is IEEE.
+        let v = arith(BinOp::Quoshunt, &Value::Numbar(1.0), &Value::Numbar(0.0)).unwrap();
+        assert_eq!(v, Value::Numbar(f64::INFINITY));
+    }
+
+    #[test]
+    fn noob_math_errors() {
+        let e = arith(BinOp::Sum, &Value::Noob, &Value::Numbr(1)).unwrap_err();
+        assert_eq!(e.code, "RUN0002");
+    }
+
+    #[test]
+    fn biggr_smallr_of_are_min_max() {
+        assert_eq!(
+            arith(BinOp::BiggrOf, &Value::Numbr(3), &Value::Numbr(7)).unwrap(),
+            Value::Numbr(7)
+        );
+        assert_eq!(
+            arith(BinOp::SmallrOf, &Value::Numbr(3), &Value::Numbr(7)).unwrap(),
+            Value::Numbr(3)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            compare(BinOp::Bigger, &Value::Numbr(4), &Value::Numbr(3)).unwrap(),
+            Value::Troof(true)
+        );
+        assert_eq!(
+            compare(BinOp::Smallr, &Value::Numbar(1.5), &Value::Numbr(2)).unwrap(),
+            Value::Troof(true)
+        );
+        assert_eq!(
+            compare(BinOp::Bigger, &Value::Numbr(3), &Value::Numbr(3)).unwrap(),
+            Value::Troof(false)
+        );
+    }
+
+    #[test]
+    fn saem_semantics() {
+        assert!(Value::Numbr(1).saem(&Value::Numbr(1)));
+        assert!(Value::Numbr(1).saem(&Value::Numbar(1.0)), "NUMBR widens to NUMBAR");
+        assert!(!Value::Numbr(1).saem(&Value::yarn("1")), "no implicit yarn compare");
+        assert!(Value::yarn("a").saem(&Value::yarn("a")));
+        assert!(Value::Noob.saem(&Value::Noob));
+        assert!(!Value::Noob.saem(&Value::Numbr(0)));
+        assert!(!Value::Troof(false).saem(&Value::Numbr(0)));
+    }
+
+    #[test]
+    fn yarn_casting_rules() {
+        assert_eq!(Value::Numbr(42).to_yarn().unwrap(), "42");
+        assert_eq!(Value::Numbar(1.23456).to_yarn().unwrap(), "1.23", "lci keeps 2 decimals");
+        assert_eq!(Value::Numbar(2.0).to_yarn().unwrap(), "2.00");
+        assert_eq!(Value::Troof(true).to_yarn().unwrap(), "WIN");
+        assert!(Value::Noob.to_yarn().is_err());
+    }
+
+    #[test]
+    fn explicit_casts() {
+        use lol_ast::LolType;
+        assert_eq!(cast(&Value::yarn("3"), LolType::Numbr).unwrap(), Value::Numbr(3));
+        assert_eq!(cast(&Value::Numbar(3.9), LolType::Numbr).unwrap(), Value::Numbr(3));
+        assert_eq!(cast(&Value::Numbr(3), LolType::Numbar).unwrap(), Value::Numbar(3.0));
+        assert_eq!(cast(&Value::Noob, LolType::Troof).unwrap(), Value::Troof(false));
+        assert!(cast(&Value::Noob, LolType::Numbr).is_err());
+        assert_eq!(cast(&Value::Numbr(0), LolType::Troof).unwrap(), Value::Troof(false));
+    }
+
+    #[test]
+    fn defaults() {
+        use lol_ast::LolType;
+        assert_eq!(default_for(LolType::Numbr), Value::Numbr(0));
+        assert_eq!(default_for(LolType::Numbar), Value::Numbar(0.0));
+        assert_eq!(default_for(LolType::Troof), Value::Troof(false));
+        assert_eq!(default_for(LolType::Yarn), Value::yarn(""));
+        assert_eq!(default_for(LolType::Noob), Value::Noob);
+    }
+
+    #[test]
+    fn wrapping_not_panicking() {
+        // Overflow wraps (teaching simulator, not UB).
+        let v = arith(BinOp::Sum, &Value::Numbr(i64::MAX), &Value::Numbr(1)).unwrap();
+        assert_eq!(v, Value::Numbr(i64::MIN));
+    }
+}

@@ -1,0 +1,590 @@
+//! # lol-lexer — tokenizer for parallel LOLCODE
+//!
+//! A hand-written lexer (the paper used `lex`) covering LOLCODE 1.2 plus
+//! the paper's extensions:
+//!
+//! * barewords (keywords are resolved *contextually* by the parser, which
+//!   matches multi-word phrases such as `SUM OF` or `IM SRSLY MESIN WIF`),
+//! * `NUMBR` / `NUMBAR` literals (including negatives and exponents),
+//! * `YARN` literals with the 1.2 escape set — `:)` newline, `:>` tab,
+//!   `:o` bell, `:"` quote, `::` colon, `:(hex)` code point and `:{var}`
+//!   runtime interpolation,
+//! * `'Z` array indexing (Table II),
+//! * statement separators: newline and `,` (equivalent), with `...`
+//!   soft line continuation,
+//! * comments: `BTW` to end of line, `OBTW ... TLDR` blocks,
+//! * `?` (for `O RLY?` / `WTF?` / `CAN HAS x?`) and `!` (for
+//!   `VISIBLE ...!`).
+
+pub mod token;
+
+pub use token::{describe, Token, TokenKind};
+
+use lol_ast::diag::{Diagnostic, Diagnostics};
+use lol_ast::{Span, Symbol, YarnPart};
+
+/// The result of lexing: tokens (always ending with `Eof`) plus any
+/// diagnostics. Lexing is error-tolerant; bad characters become
+/// diagnostics and are skipped so the parser can keep going.
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub diags: Diagnostics,
+}
+
+/// Tokenize LOLCODE source.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, tokens: Vec::new(), diags: Diagnostics::new() }
+    }
+
+    fn run(mut self) -> LexOutput {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.push_separator(start);
+                }
+                b',' => {
+                    self.pos += 1;
+                    self.push_separator(start);
+                }
+                b'?' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Question, start);
+                }
+                b'!' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Bang, start);
+                }
+                b'\'' => self.lex_tick(start),
+                b'.' => self.lex_dots(start),
+                b'"' => self.lex_yarn(start),
+                b'-' => {
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number(start);
+                    } else {
+                        self.error_char(start);
+                    }
+                }
+                b'0'..=b'9' => self.lex_number(start),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_word(start),
+                _ => self.error_char(start),
+            }
+        }
+        let end = self.src.len() as u32;
+        self.tokens.push(Token { kind: TokenKind::Eof, span: Span::new(end, end) });
+        LexOutput { tokens: self.tokens, diags: self.diags }
+    }
+
+    #[inline]
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token { kind, span: Span::new(start as u32, self.pos as u32) });
+    }
+
+    /// Separators collapse: never emit two in a row, never lead the file.
+    fn push_separator(&mut self, start: usize) {
+        match self.tokens.last() {
+            None | Some(Token { kind: TokenKind::Separator, .. }) => {}
+            _ => self.push(TokenKind::Separator, start),
+        }
+    }
+
+    fn error_char(&mut self, start: usize) {
+        let ch = self.src[start..].chars().next().unwrap_or('?');
+        self.pos += ch.len_utf8();
+        self.diags.push(Diagnostic::error(
+            "LEX0001",
+            format!("I DUNNO WAT DIS CHARACTER IZ: {ch:?}"),
+            Span::new(start as u32, self.pos as u32),
+        ));
+    }
+
+    /// `'Z` — the array index marker.
+    fn lex_tick(&mut self, start: usize) {
+        if self.peek_at(1) == Some(b'Z') {
+            self.pos += 2;
+            self.push(TokenKind::TickZ, start);
+        } else {
+            self.pos += 1;
+            self.diags.push(
+                Diagnostic::error(
+                    "LEX0002",
+                    "A LONELY APOSTROPHE — ONLY 'Z (ARRAY INDEX) IZ ALLOWED",
+                    Span::new(start as u32, self.pos as u32),
+                )
+                .with_note("array elements look like arr'Z idx"),
+            );
+        }
+    }
+
+    /// `...` soft line continuation: swallow the dots, trailing blanks
+    /// and the newline.
+    fn lex_dots(&mut self, start: usize) {
+        if self.peek_at(1) == Some(b'.') && self.peek_at(2) == Some(b'.') {
+            self.pos += 3;
+            while matches!(self.peek_at(0), Some(b' ' | b'\t' | b'\r')) {
+                self.pos += 1;
+            }
+            if self.peek_at(0) == Some(b'\n') {
+                self.pos += 1; // swallow: no separator emitted
+            } else if self.peek_at(0).is_none() {
+                // `...` at EOF: harmless.
+            } else {
+                self.diags.push(Diagnostic::error(
+                    "LEX0003",
+                    "STUFF AFTER ... ON DA SAME LINE",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+            }
+        } else {
+            self.error_char(start);
+        }
+    }
+
+    fn lex_number(&mut self, start: usize) {
+        if self.peek_at(0) == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek_at(0).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek_at(0) == Some(b'.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek_at(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // Exponent (needed so the pretty-printer's shortest-float output
+        // round-trips, e.g. `1e-7`).
+        if matches!(self.peek_at(0), Some(b'e' | b'E')) {
+            let mut ahead = 1;
+            if matches!(self.peek_at(1), Some(b'+' | b'-')) {
+                ahead = 2;
+            }
+            if self.peek_at(ahead).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += ahead;
+                while self.peek_at(0).is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32);
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(f) => self.tokens.push(Token { kind: TokenKind::Numbar(f), span }),
+                Err(_) => self.diags.push(Diagnostic::error(
+                    "LEX0004",
+                    format!("DIS NUMBAR IZ 2 WEIRD: {text}"),
+                    span,
+                )),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(n) => self.tokens.push(Token { kind: TokenKind::Numbr(n), span }),
+                Err(_) => self.diags.push(Diagnostic::error(
+                    "LEX0005",
+                    format!("DIS NUMBR IZ 2 BIG 4 ME: {text}"),
+                    span,
+                )),
+            }
+        }
+    }
+
+    fn lex_word(&mut self, start: usize) {
+        while self.peek_at(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        // Comments are handled here because BTW/OBTW are word-shaped.
+        match text {
+            "BTW" => {
+                while self.peek_at(0).is_some_and(|c| c != b'\n') {
+                    self.pos += 1;
+                }
+                // The newline itself is lexed normally (separator).
+            }
+            "OBTW" => self.skip_block_comment(start),
+            _ => {
+                let sym = Symbol::intern(text);
+                self.push(TokenKind::Word(sym), start);
+            }
+        }
+    }
+
+    /// Skip everything until a `TLDR` word.
+    fn skip_block_comment(&mut self, start: usize) {
+        loop {
+            while self.peek_at(0).is_some_and(|c| !(c.is_ascii_alphabetic() || c == b'_')) {
+                self.pos += 1;
+            }
+            if self.peek_at(0).is_none() {
+                self.diags.push(Diagnostic::error(
+                    "LEX0006",
+                    "OBTW WIFOUT TLDR — UR COMMENT NEVER ENDS",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+                return;
+            }
+            let wstart = self.pos;
+            while self.peek_at(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+            if &self.src[wstart..self.pos] == "TLDR" {
+                return;
+            }
+        }
+    }
+
+    fn lex_yarn(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        let mut parts: Vec<YarnPart> = Vec::new();
+        let mut cur = String::new();
+        loop {
+            let Some(b) = self.peek_at(0) else {
+                self.diags.push(Diagnostic::error(
+                    "LEX0007",
+                    "DIS YARN NEVER ENDS — MISSING CLOSING QUOTE",
+                    Span::new(start as u32, self.pos as u32),
+                ));
+                break;
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.diags.push(Diagnostic::error(
+                        "LEX0008",
+                        "YARNS CANT SPAN LINES (USE :) FOR NEWLINE)",
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                    break;
+                }
+                b':' => {
+                    self.pos += 1;
+                    match self.peek_at(0) {
+                        Some(b')') => {
+                            cur.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'>') => {
+                            cur.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'o') => {
+                            cur.push('\x07');
+                            self.pos += 1;
+                        }
+                        Some(b'"') => {
+                            cur.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b':') => {
+                            cur.push(':');
+                            self.pos += 1;
+                        }
+                        Some(b'(') => {
+                            self.pos += 1;
+                            let hstart = self.pos;
+                            while self.peek_at(0).is_some_and(|c| c != b')' && c != b'"') {
+                                self.pos += 1;
+                            }
+                            let hex = &self.src[hstart..self.pos];
+                            if self.peek_at(0) == Some(b')') {
+                                self.pos += 1;
+                            }
+                            match u32::from_str_radix(hex, 16).ok().and_then(char::from_u32) {
+                                Some(c) => cur.push(c),
+                                None => self.diags.push(Diagnostic::error(
+                                    "LEX0009",
+                                    format!("BAD HEX ESCAPE :({hex})"),
+                                    Span::new(hstart as u32, self.pos as u32),
+                                )),
+                            }
+                        }
+                        Some(b'{') => {
+                            self.pos += 1;
+                            let vstart = self.pos;
+                            while self
+                                .peek_at(0)
+                                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                            {
+                                self.pos += 1;
+                            }
+                            let name = &self.src[vstart..self.pos];
+                            if self.peek_at(0) == Some(b'}') {
+                                self.pos += 1;
+                            } else {
+                                self.diags.push(Diagnostic::error(
+                                    "LEX0010",
+                                    "MISSING } IN :{var} INTERPOLASHUN",
+                                    Span::new(vstart as u32, self.pos as u32),
+                                ));
+                            }
+                            if !cur.is_empty() {
+                                parts.push(YarnPart::Text(std::mem::take(&mut cur)));
+                            }
+                            parts.push(YarnPart::Var(lol_ast::Ident::new(
+                                Symbol::intern(name),
+                                Span::new(vstart as u32, self.pos as u32),
+                            )));
+                        }
+                        other => {
+                            self.diags.push(Diagnostic::error(
+                                "LEX0011",
+                                format!(
+                                    "I DUNNO DIS ESCAPE :{}",
+                                    other.map(|c| c as char).unwrap_or(' ')
+                                ),
+                                Span::new((self.pos - 1) as u32, self.pos as u32),
+                            ));
+                            if other.is_some() {
+                                // Skip the whole (possibly multi-byte)
+                                // character, not just one byte.
+                                let ch = self.src[self.pos..].chars().next().unwrap();
+                                self.pos += ch.len_utf8();
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let ch = self.src[self.pos..].chars().next().unwrap();
+                    cur.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        if !cur.is_empty() || parts.is_empty() {
+            parts.push(YarnPart::Text(cur));
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Yarn(parts),
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let out = lex(src);
+        assert!(!out.diags.has_errors(), "unexpected lex errors: {:?}", out.diags.into_vec());
+        out.tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    fn word(s: &str) -> TokenKind {
+        TokenKind::Word(Symbol::intern(s))
+    }
+
+    #[test]
+    fn lexes_hai_kthxbye() {
+        assert_eq!(
+            kinds("HAI 1.2\nKTHXBYE"),
+            vec![
+                word("HAI"),
+                TokenKind::Numbar(1.2),
+                TokenKind::Separator,
+                word("KTHXBYE"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comma_is_separator() {
+        assert_eq!(
+            kinds("HUGZ, HUGZ"),
+            vec![word("HUGZ"), TokenKind::Separator, word("HUGZ"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn separators_collapse() {
+        assert_eq!(
+            kinds("HUGZ\n\n,\n,HUGZ"),
+            vec![word("HUGZ"), TokenKind::Separator, word("HUGZ"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn no_leading_separator() {
+        assert_eq!(kinds("\n\nHUGZ"), vec![word("HUGZ"), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn continuation_swallows_newline() {
+        assert_eq!(
+            kinds("SUM OF ...\n  1 AN 2"),
+            vec![
+                word("SUM"),
+                word("OF"),
+                TokenKind::Numbr(1),
+                word("AN"),
+                TokenKind::Numbr(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative_and_float() {
+        assert_eq!(
+            kinds("42 -7 3.25 -0.5 1e-7"),
+            vec![
+                TokenKind::Numbr(42),
+                TokenKind::Numbr(-7),
+                TokenKind::Numbar(3.25),
+                TokenKind::Numbar(-0.5),
+                TokenKind::Numbar(1e-7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tick_z_token() {
+        assert_eq!(
+            kinds("pos_x'Z i"),
+            vec![word("pos_x"), TokenKind::TickZ, word("i"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn question_and_bang() {
+        assert_eq!(
+            kinds("O RLY?"),
+            vec![word("O"), word("RLY"), TokenKind::Question, TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("VISIBLE x!"),
+            vec![word("VISIBLE"), word("x"), TokenKind::Bang, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn btw_comment_to_eol() {
+        assert_eq!(
+            kinds("HUGZ BTW dis is ignored ??? ---\nHUGZ"),
+            vec![word("HUGZ"), TokenKind::Separator, word("HUGZ"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn obtw_tldr_block() {
+        // The whole block (including its trailing newline separator,
+        // suppressed at file start) vanishes.
+        assert_eq!(
+            kinds("OBTW\n lots of\n stuff 123 ...\nTLDR\nHUGZ"),
+            vec![word("HUGZ"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn yarn_plain() {
+        let k = kinds("\"HAI WORLD\"");
+        assert_eq!(k[0], TokenKind::Yarn(vec![YarnPart::Text("HAI WORLD".into())]));
+    }
+
+    #[test]
+    fn yarn_escapes() {
+        let k = kinds("\"a:)b:>c:\"d::e:of\"");
+        assert_eq!(k[0], TokenKind::Yarn(vec![YarnPart::Text("a\nb\tc\"d:e\x07f".into())]));
+    }
+
+    #[test]
+    fn yarn_hex_escape() {
+        let k = kinds("\":(1F63A)\"");
+        assert_eq!(k[0], TokenKind::Yarn(vec![YarnPart::Text("\u{1F63A}".into())]));
+    }
+
+    #[test]
+    fn yarn_interpolation() {
+        let k = kinds("\"HAI :{name}!\"");
+        match &k[0] {
+            TokenKind::Yarn(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(parts[0], YarnPart::Text("HAI ".into()));
+                assert!(matches!(&parts[1], YarnPart::Var(id) if id.sym.as_str() == "name"));
+                assert_eq!(parts[2], YarnPart::Text("!".into()));
+            }
+            other => panic!("expected yarn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_yarn() {
+        assert_eq!(kinds("\"\"")[0], TokenKind::Yarn(vec![YarnPart::Text(String::new())]));
+    }
+
+    #[test]
+    fn unterminated_yarn_is_error() {
+        let out = lex("\"never ends");
+        assert!(out.diags.has_errors());
+    }
+
+    #[test]
+    fn unterminated_obtw_is_error() {
+        let out = lex("OBTW never ends");
+        assert!(out.diags.has_errors());
+    }
+
+    #[test]
+    fn weird_char_is_error_but_recovers() {
+        let out = lex("HUGZ @ HUGZ");
+        assert!(out.diags.has_errors());
+        let words =
+            out.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Word(_))).count();
+        assert_eq!(words, 2);
+    }
+
+    #[test]
+    fn lone_minus_is_error() {
+        let out = lex("- 5");
+        assert!(out.diags.has_errors());
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let out = lex("HAI 1.2");
+        assert_eq!(out.tokens[0].span, Span::new(0, 3));
+        assert_eq!(out.tokens[1].span, Span::new(4, 7));
+    }
+
+    #[test]
+    fn paper_nbody_header_lexes() {
+        let src = "I HAS A little_time ITZ SRSLY A NUMBAR ...\n  AN ITZ 0.001";
+        let k = kinds(src);
+        assert!(k.contains(&TokenKind::Numbar(0.001)));
+        assert!(k.contains(&word("SRSLY")));
+        // Continuation removed the separator.
+        assert!(!k.contains(&TokenKind::Separator));
+    }
+}

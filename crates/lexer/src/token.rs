@@ -1,0 +1,92 @@
+//! Token definitions shared between the lexer and parser.
+
+use lol_ast::{Span, Symbol, YarnPart};
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// What kind of token this is.
+///
+/// LOLCODE keywords are multi-word phrases (`IM IN YR`, `SUM OF`,
+/// `IM SRSLY MESIN WIF`), so the lexer does **not** classify keywords;
+/// it emits [`TokenKind::Word`]s and the parser matches phrases
+/// contextually. This mirrors how the original interpreter handles the
+/// grammar and keeps identifiers/keywords from clashing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bareword: keyword fragment or identifier.
+    Word(Symbol),
+    /// Integer literal.
+    Numbr(i64),
+    /// Float literal.
+    Numbar(f64),
+    /// String literal (escapes resolved, interpolations preserved).
+    Yarn(Vec<YarnPart>),
+    /// `'Z` — array indexing marker.
+    TickZ,
+    /// Statement separator (newline or comma; collapsed).
+    Separator,
+    /// `?`
+    Question,
+    /// `!`
+    Bang,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl Token {
+    /// The word's symbol, if this token is a word.
+    pub fn word(&self) -> Option<Symbol> {
+        match self.kind {
+            TokenKind::Word(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Does this word token spell exactly `kw`?
+    pub fn is_word(&self, kw: &str) -> bool {
+        matches!(self.kind, TokenKind::Word(s) if s.as_str() == kw)
+    }
+}
+
+/// Render a token kind for diagnostics ("I GOTZ ...").
+pub fn describe(kind: &TokenKind) -> String {
+    match kind {
+        TokenKind::Word(s) => format!("\"{s}\""),
+        TokenKind::Numbr(n) => format!("NUMBR {n}"),
+        TokenKind::Numbar(f) => format!("NUMBAR {f}"),
+        TokenKind::Yarn(_) => "A YARN".into(),
+        TokenKind::TickZ => "'Z".into(),
+        TokenKind::Separator => "END OF STATEMENT".into(),
+        TokenKind::Question => "?".into(),
+        TokenKind::Bang => "!".into(),
+        TokenKind::Eof => "END OF FILE".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_helpers() {
+        let t = Token { kind: TokenKind::Word(Symbol::intern("HUGZ")), span: Span::DUMMY };
+        assert!(t.is_word("HUGZ"));
+        assert!(!t.is_word("HUG"));
+        assert_eq!(t.word(), Some(Symbol::intern("HUGZ")));
+        let n = Token { kind: TokenKind::Numbr(3), span: Span::DUMMY };
+        assert_eq!(n.word(), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(describe(&TokenKind::Word(Symbol::intern("FISH"))), "\"FISH\"");
+        assert_eq!(describe(&TokenKind::Numbr(7)), "NUMBR 7");
+        assert_eq!(describe(&TokenKind::Eof), "END OF FILE");
+        assert_eq!(describe(&TokenKind::Separator), "END OF STATEMENT");
+    }
+}

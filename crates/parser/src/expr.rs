@@ -1,0 +1,249 @@
+//! Expression parsing.
+//!
+//! LOLCODE expressions are fully prefix (`SUM OF x AN y`), so no
+//! precedence climbing is needed: each operator knows its arity and the
+//! optional `AN` separators are pure decoration. The extensions add
+//! `ME`, `MAH FRENZ`, `WHATEVR`, `WHATEVAR`, `SQUAR/UNSQUAR/FLIP OF`,
+//! the `UR`/`MAH` locality qualifiers and `'Z` indexing.
+
+use crate::Parser;
+use lol_ast::diag::Diagnostic;
+use lol_ast::*;
+use lol_lexer::{describe, TokenKind};
+
+impl Parser {
+    /// Parse one expression.
+    pub(crate) fn parse_expr(&mut self) -> Option<Expr> {
+        if !self.enter() {
+            return None;
+        }
+        let out = self.parse_expr_inner();
+        self.leave();
+        out
+    }
+
+    fn parse_expr_inner(&mut self) -> Option<Expr> {
+        let start = self.peek().span;
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Numbr(n) => {
+                self.bump();
+                Some(Expr::new(ExprKind::Lit(Lit::Numbr(*n)), t.span))
+            }
+            TokenKind::Numbar(f) => {
+                self.bump();
+                Some(Expr::new(ExprKind::Lit(Lit::Numbar(*f)), t.span))
+            }
+            TokenKind::Yarn(parts) => {
+                self.bump();
+                Some(Expr::new(ExprKind::Lit(Lit::Yarn(parts.clone())), t.span))
+            }
+            TokenKind::Word(_) => self.parse_word_expr(start),
+            _ => {
+                let got = describe(&t.kind);
+                self.diags.push(Diagnostic::error(
+                    "PAR0020",
+                    format!("I EXPECTED AN EXPRESSION BUT I GOTZ {got}"),
+                    t.span,
+                ));
+                None
+            }
+        }
+    }
+
+    fn parse_word_expr(&mut self, start: Span) -> Option<Expr> {
+        // Binary arithmetic / comparison operators.
+        let bin_table: &[(&[&str], BinOp)] = &[
+            (&["SUM", "OF"], BinOp::Sum),
+            (&["DIFF", "OF"], BinOp::Diff),
+            (&["PRODUKT", "OF"], BinOp::Produkt),
+            (&["QUOSHUNT", "OF"], BinOp::Quoshunt),
+            (&["MOD", "OF"], BinOp::Mod),
+            (&["BIGGR", "OF"], BinOp::BiggrOf),
+            (&["SMALLR", "OF"], BinOp::SmallrOf),
+            (&["BOTH", "SAEM"], BinOp::BothSaem),
+            (&["BOTH", "OF"], BinOp::BothOf),
+            (&["EITHER", "OF"], BinOp::EitherOf),
+            (&["WON", "OF"], BinOp::WonOf),
+            (&["DIFFRINT"], BinOp::Diffrint),
+            // The paper's Table I comparison spellings (after the OF
+            // variants so `SMALLR OF` wins the longest match).
+            (&["BIGGER"], BinOp::Bigger),
+            (&["SMALLR"], BinOp::Smallr),
+        ];
+        for (phrase, op) in bin_table {
+            if self.at_phrase(phrase) {
+                for _ in 0..phrase.len() {
+                    self.bump();
+                }
+                let lhs = Box::new(self.parse_expr()?);
+                self.eat_phrase(&["AN"]); // optional separator
+                let rhs = Box::new(self.parse_expr()?);
+                let span = start.to(rhs.span);
+                return Some(Expr::new(ExprKind::Bin { op: *op, lhs, rhs }, span));
+            }
+        }
+
+        // Unary operators (NOT + the paper's Table III math helpers).
+        let un_table: &[(&[&str], UnOp)] = &[
+            (&["NOT"], UnOp::Not),
+            (&["SQUAR", "OF"], UnOp::Squar),
+            (&["UNSQUAR", "OF"], UnOp::Unsquar),
+            (&["FLIP", "OF"], UnOp::Flip),
+        ];
+        for (phrase, op) in un_table {
+            if self.at_phrase(phrase) {
+                for _ in 0..phrase.len() {
+                    self.bump();
+                }
+                let inner = Box::new(self.parse_expr()?);
+                let span = start.to(inner.span);
+                return Some(Expr::new(ExprKind::Un { op: *op, expr: inner }, span));
+            }
+        }
+
+        // Variadic operators (terminated by MKAY or end of statement).
+        let nary_table: &[(&[&str], NaryOp)] = &[
+            (&["ALL", "OF"], NaryOp::AllOf),
+            (&["ANY", "OF"], NaryOp::AnyOf),
+            (&["SMOOSH"], NaryOp::Smoosh),
+        ];
+        for (phrase, op) in nary_table {
+            if self.at_phrase(phrase) {
+                for _ in 0..phrase.len() {
+                    self.bump();
+                }
+                let mut args = Vec::new();
+                loop {
+                    args.push(self.parse_expr()?);
+                    if self.eat_phrase(&["MKAY"]) || self.at_separator() {
+                        break;
+                    }
+                    // Optional AN between args.
+                    self.eat_phrase(&["AN"]);
+                    if self.eat_phrase(&["MKAY"]) || self.at_separator() {
+                        break;
+                    }
+                }
+                let span = start.to(self.peek().span);
+                return Some(Expr::new(ExprKind::Nary { op: *op, args }, span));
+            }
+        }
+
+        // MAEK expr A type.
+        if self.at_phrase(&["MAEK"]) {
+            self.bump();
+            let inner = Box::new(self.parse_expr()?);
+            self.eat_phrase(&["A"]); // `A` is optional per lci
+            let ty = self.parse_type()?;
+            let span = start.to(self.peek().span);
+            return Some(Expr::new(ExprKind::Cast { expr: inner, ty }, span));
+        }
+
+        // Function call: I IZ name [YR a [AN YR b ...]] MKAY.
+        if self.at_phrase(&["I", "IZ"]) {
+            self.bump();
+            self.bump();
+            let name = self.expect_ident("FOR DA FUNKSHUN CALL")?;
+            let mut args = Vec::new();
+            if self.eat_phrase(&["YR"]) {
+                args.push(self.parse_expr()?);
+                while self.at_phrase(&["AN", "YR"]) {
+                    self.bump();
+                    self.bump();
+                    args.push(self.parse_expr()?);
+                }
+            }
+            self.expect_phrase(&["MKAY"], "TO END DA FUNKSHUN CALL");
+            let span = start.to(self.peek().span);
+            return Some(Expr::new(ExprKind::Call { name, args }, span));
+        }
+
+        // Parallel environment queries (Table II) and randomness
+        // (Table III).
+        if self.at_phrase(&["ME"]) {
+            self.bump();
+            return Some(Expr::new(ExprKind::Me, start));
+        }
+        if self.at_phrase(&["MAH", "FRENZ"]) {
+            self.bump();
+            self.bump();
+            return Some(Expr::new(ExprKind::MahFrenz, start.to(self.peek().span)));
+        }
+        if self.at_phrase(&["WHATEVR"]) {
+            self.bump();
+            return Some(Expr::new(ExprKind::Whatevr, start));
+        }
+        if self.at_phrase(&["WHATEVAR"]) {
+            self.bump();
+            return Some(Expr::new(ExprKind::Whatevar, start));
+        }
+
+        // TROOF / NOOB literals.
+        if self.at_phrase(&["WIN"]) {
+            self.bump();
+            return Some(Expr::new(ExprKind::Lit(Lit::Troof(true)), start));
+        }
+        if self.at_phrase(&["FAIL"]) {
+            self.bump();
+            return Some(Expr::new(ExprKind::Lit(Lit::Troof(false)), start));
+        }
+        if self.at_phrase(&["NOOB"]) {
+            self.bump();
+            return Some(Expr::new(ExprKind::Lit(Lit::Noob), start));
+        }
+
+        // Variable reference (with optional UR/MAH qualifier, SRS
+        // dynamic naming, and 'Z indexing).
+        let vr = self.parse_varref()?;
+        self.finish_varref_expr(vr, start)
+    }
+
+    /// After a var ref, check for `'Z idx`.
+    fn finish_varref_expr(&mut self, vr: VarRef, start: Span) -> Option<Expr> {
+        if matches!(self.peek().kind, TokenKind::TickZ) {
+            self.bump();
+            let idx = Box::new(self.parse_expr()?);
+            let span = start.to(idx.span);
+            return Some(Expr::new(ExprKind::Index { arr: vr, idx }, span));
+        }
+        let span = vr.span;
+        Some(Expr::new(ExprKind::Var(vr), span))
+    }
+
+    /// Parse `[UR|MAH] (name | SRS expr)`.
+    pub(crate) fn parse_varref(&mut self) -> Option<VarRef> {
+        let start = self.peek().span;
+        let locality = if self.at_phrase(&["UR"]) {
+            self.bump();
+            Locality::Ur
+        } else if self.at_phrase(&["MAH"]) && !self.at_phrase(&["MAH", "FRENZ"]) {
+            self.bump();
+            Locality::Mah
+        } else {
+            Locality::Unqualified
+        };
+        if self.at_phrase(&["SRS"]) {
+            self.bump();
+            let e = self.parse_expr()?;
+            let span = start.to(e.span);
+            return Some(VarRef { name: VarName::Srs(Box::new(e)), locality, span });
+        }
+        let id = self.expect_ident("FOR DA VARIABLE")?;
+        let span = start.to(id.span);
+        Some(VarRef { name: VarName::Named(id), locality, span })
+    }
+
+    /// Parse an assignment / GIMMEH target.
+    pub(crate) fn parse_lvalue(&mut self) -> Option<LValue> {
+        let start = self.peek().span;
+        let vr = self.parse_varref()?;
+        if matches!(self.peek().kind, TokenKind::TickZ) {
+            self.bump();
+            let idx = Box::new(self.parse_expr()?);
+            let span = start.to(idx.span);
+            return Some(LValue::Index { arr: vr, idx, span });
+        }
+        Some(LValue::Var(vr))
+    }
+}

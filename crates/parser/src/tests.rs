@@ -1,0 +1,732 @@
+//! Parser unit tests: every construct of Tables I, II and III, the
+//! paper's worked examples (Section VI), and error handling.
+
+use crate::parse;
+use lol_ast::pretty::print_program;
+use lol_ast::*;
+
+fn ok(src: &str) -> Program {
+    parse(src).expect_program(src)
+}
+
+fn body(src: &str) -> Vec<Stmt> {
+    ok(&format!("HAI 1.2\n{src}\nKTHXBYE")).body
+}
+
+fn one_stmt(src: &str) -> Stmt {
+    let mut b = body(src);
+    assert_eq!(b.len(), 1, "expected exactly one statement from {src:?}, got {b:#?}");
+    b.remove(0)
+}
+
+fn expr_of(src: &str) -> Expr {
+    match one_stmt(src).kind {
+        StmtKind::ExprStmt(e) => e,
+        other => panic!("expected expression statement, got {other:?}"),
+    }
+}
+
+fn fails(src: &str) -> bool {
+    parse(src).diags.has_errors()
+}
+
+// ---------------------------------------------------------------------
+// Program frame (Table I rows 1-4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn hai_version_kthxbye() {
+    let p = ok("HAI 1.2\nKTHXBYE");
+    assert_eq!(p.version.as_deref(), Some("1.2"));
+    assert!(p.body.is_empty());
+}
+
+#[test]
+fn hai_without_version() {
+    assert_eq!(ok("HAI\nKTHXBYE").version, None);
+}
+
+#[test]
+fn missing_kthxbye_is_error() {
+    assert!(fails("HAI 1.2\nVISIBLE 1"));
+}
+
+#[test]
+fn stuff_after_kthxbye_is_error() {
+    assert!(fails("HAI 1.2\nKTHXBYE\nVISIBLE 1"));
+}
+
+#[test]
+fn comments_are_invisible() {
+    let p = ok("HAI 1.2 BTW dis is mah program\nOBTW\nlots of wisdom\nTLDR\nVISIBLE 1\nKTHXBYE");
+    assert_eq!(p.body.len(), 1);
+}
+
+#[test]
+fn can_has_includes() {
+    let p = ok("HAI 1.2\nCAN HAS STDIO?\nCAN HAS STDLIB?\nKTHXBYE");
+    assert_eq!(p.includes.len(), 2);
+    assert_eq!(p.includes[0].lib.sym.as_str(), "STDIO");
+    assert_eq!(p.includes[1].lib.sym.as_str(), "STDLIB");
+}
+
+#[test]
+fn can_has_needs_question_mark() {
+    assert!(fails("HAI 1.2\nCAN HAS STDIO\nKTHXBYE"));
+}
+
+// ---------------------------------------------------------------------
+// Declarations (Table I + paper extensions)
+// ---------------------------------------------------------------------
+
+fn decl_of(src: &str) -> Decl {
+    match one_stmt(src).kind {
+        StmtKind::Declare(d) => d,
+        other => panic!("expected declaration, got {other:?}"),
+    }
+}
+
+#[test]
+fn plain_declaration() {
+    let d = decl_of("I HAS A x");
+    assert_eq!(d.name.sym.as_str(), "x");
+    assert_eq!(d.scope, DeclScope::I);
+    assert!(d.ty.is_none() && d.init.is_none() && !d.sharin && !d.srsly);
+}
+
+#[test]
+fn declaration_with_init() {
+    let d = decl_of("I HAS A x ITZ 42");
+    assert!(matches!(d.init, Some(Expr { kind: ExprKind::Lit(Lit::Numbr(42)), .. })));
+}
+
+#[test]
+fn declaration_with_type() {
+    let d = decl_of("I HAS A x ITZ A NUMBR");
+    assert_eq!(d.ty, Some(LolType::Numbr));
+    assert!(!d.srsly);
+}
+
+#[test]
+fn static_typed_declaration() {
+    // Table II: I HAS A [var] ITZ SRSLY A [type].
+    let d = decl_of("I HAS A x ITZ SRSLY A NUMBAR");
+    assert_eq!(d.ty, Some(LolType::Numbar));
+    assert!(d.srsly);
+}
+
+#[test]
+fn multi_clause_declaration() {
+    // The paper: "allowing multiple clauses in declarations".
+    let d = decl_of("I HAS A pe ITZ A NUMBR AN ITZ ME");
+    assert_eq!(d.ty, Some(LolType::Numbr));
+    assert!(matches!(d.init, Some(Expr { kind: ExprKind::Me, .. })));
+}
+
+#[test]
+fn shared_declaration() {
+    // Table II: WE HAS A [var] ITZ SRSLY A [type] AN IM SHARIN IT.
+    let d = decl_of("WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT");
+    assert_eq!(d.scope, DeclScope::We);
+    assert!(d.sharin && d.srsly);
+}
+
+#[test]
+fn shared_array_declaration() {
+    // Table II: WE HAS A [var] ITZ SRSLY LOTZ A [type]S AN THAR IZ [size].
+    let d = decl_of("WE HAS A arr ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32");
+    assert_eq!(d.scope, DeclScope::We);
+    assert_eq!(d.ty, Some(LolType::Numbar));
+    assert!(matches!(
+        d.array_size,
+        Some(Expr { kind: ExprKind::Lit(Lit::Numbr(32)), .. })
+    ));
+}
+
+#[test]
+fn shared_array_with_lock() {
+    let d = decl_of(
+        "WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...\n  AN THAR IZ 32 AN IM SHARIN IT",
+    );
+    assert!(d.sharin);
+    assert!(d.array_size.is_some());
+}
+
+#[test]
+fn local_array() {
+    let d = decl_of("I HAS A vel_x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32");
+    assert_eq!(d.scope, DeclScope::I);
+    assert_eq!(d.ty, Some(LolType::Numbar));
+}
+
+#[test]
+fn bad_array_type_is_error() {
+    assert!(fails("HAI 1.2\nI HAS A x ITZ SRSLY LOTZ A CHEEZBURGERS AN THAR IZ 3\nKTHXBYE"));
+}
+
+// ---------------------------------------------------------------------
+// Assignment, IS NOW A, SRS
+// ---------------------------------------------------------------------
+
+#[test]
+fn simple_assignment() {
+    match one_stmt("x R 5").kind {
+        StmtKind::Assign { target: LValue::Var(v), .. } => {
+            assert_eq!(v.name.as_named().unwrap().sym.as_str(), "x");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn indexed_assignment() {
+    match one_stmt("arr'Z 3 R 5").kind {
+        StmtKind::Assign { target: LValue::Index { arr, idx, .. }, .. } => {
+            assert_eq!(arr.name.as_named().unwrap().sym.as_str(), "arr");
+            assert!(matches!(idx.kind, ExprKind::Lit(Lit::Numbr(3))));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn assignment_to_literal_is_error() {
+    assert!(fails("HAI 1.2\n5 R 6\nKTHXBYE"));
+}
+
+#[test]
+fn is_now_a() {
+    match one_stmt("x IS NOW A YARN").kind {
+        StmtKind::IsNowA { ty, .. } => assert_eq!(ty, LolType::Yarn),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn srs_lvalue_and_expr() {
+    match one_stmt("SRS \"x\" R SRS \"y\"").kind {
+        StmtKind::Assign { target: LValue::Var(v), value } => {
+            assert!(matches!(v.name, VarName::Srs(_)));
+            assert!(matches!(value.kind, ExprKind::Var(VarRef { name: VarName::Srs(_), .. })));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expressions (Table I ops + Table III extensions)
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_binary_ops_parse() {
+    let cases = [
+        ("SUM OF 1 AN 2", BinOp::Sum),
+        ("DIFF OF 1 AN 2", BinOp::Diff),
+        ("PRODUKT OF 1 AN 2", BinOp::Produkt),
+        ("QUOSHUNT OF 1 AN 2", BinOp::Quoshunt),
+        ("MOD OF 1 AN 2", BinOp::Mod),
+        ("BIGGR OF 1 AN 2", BinOp::BiggrOf),
+        ("SMALLR OF 1 AN 2", BinOp::SmallrOf),
+        ("BOTH SAEM 1 AN 2", BinOp::BothSaem),
+        ("DIFFRINT 1 AN 2", BinOp::Diffrint),
+        ("BIGGER 1 AN 2", BinOp::Bigger),
+        ("SMALLR 1 AN 2", BinOp::Smallr),
+        ("BOTH OF WIN AN FAIL", BinOp::BothOf),
+        ("EITHER OF WIN AN FAIL", BinOp::EitherOf),
+        ("WON OF WIN AN FAIL", BinOp::WonOf),
+    ];
+    for (src, want) in cases {
+        match expr_of(src).kind {
+            ExprKind::Bin { op, .. } => assert_eq!(op, want, "{src}"),
+            other => panic!("{src}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn an_separator_is_optional() {
+    // LOLCODE 1.2: `AN` between operands may be omitted.
+    match expr_of("SUM OF 1 2").kind {
+        ExprKind::Bin { op: BinOp::Sum, .. } => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nested_prefix_expression() {
+    // QUOSHUNT OF SUM OF ME AN WHATEVAR AN 1000 — from the n-body listing.
+    match expr_of("QUOSHUNT OF SUM OF ME AN WHATEVAR AN 1000").kind {
+        ExprKind::Bin { op: BinOp::Quoshunt, lhs, rhs } => {
+            assert!(matches!(lhs.kind, ExprKind::Bin { op: BinOp::Sum, .. }));
+            assert!(matches!(rhs.kind, ExprKind::Lit(Lit::Numbr(1000))));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unary_ops_parse() {
+    assert!(matches!(expr_of("NOT WIN").kind, ExprKind::Un { op: UnOp::Not, .. }));
+    assert!(matches!(expr_of("SQUAR OF 3").kind, ExprKind::Un { op: UnOp::Squar, .. }));
+    assert!(matches!(expr_of("UNSQUAR OF 9").kind, ExprKind::Un { op: UnOp::Unsquar, .. }));
+    assert!(matches!(expr_of("FLIP OF 4").kind, ExprKind::Un { op: UnOp::Flip, .. }));
+}
+
+#[test]
+fn table3_nested_idiom() {
+    // FLIP OF UNSQUAR OF SUM OF dx AN dy — the n-body inverse distance.
+    match expr_of("FLIP OF UNSQUAR OF SUM OF dx AN dy").kind {
+        ExprKind::Un { op: UnOp::Flip, expr } => {
+            assert!(matches!(expr.kind, ExprKind::Un { op: UnOp::Unsquar, .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nary_ops_parse() {
+    match expr_of("ALL OF WIN AN WIN AN FAIL MKAY").kind {
+        ExprKind::Nary { op: NaryOp::AllOf, args } => assert_eq!(args.len(), 3),
+        other => panic!("{other:?}"),
+    }
+    match expr_of("ANY OF FAIL AN WIN MKAY").kind {
+        ExprKind::Nary { op: NaryOp::AnyOf, args } => assert_eq!(args.len(), 2),
+        other => panic!("{other:?}"),
+    }
+    match expr_of("SMOOSH \"a\" AN \"b\" AN \"c\" MKAY").kind {
+        ExprKind::Nary { op: NaryOp::Smoosh, args } => assert_eq!(args.len(), 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nary_without_mkay_at_eol() {
+    match expr_of("SMOOSH \"a\" AN \"b\"").kind {
+        ExprKind::Nary { op: NaryOp::Smoosh, args } => assert_eq!(args.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn maek_cast() {
+    match expr_of("MAEK \"3\" A NUMBR").kind {
+        ExprKind::Cast { ty, .. } => assert_eq!(ty, LolType::Numbr),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn me_mah_frenz_whatevr_whatevar() {
+    assert!(matches!(expr_of("ME").kind, ExprKind::Me));
+    assert!(matches!(expr_of("MAH FRENZ").kind, ExprKind::MahFrenz));
+    assert!(matches!(expr_of("WHATEVR").kind, ExprKind::Whatevr));
+    assert!(matches!(expr_of("WHATEVAR").kind, ExprKind::Whatevar));
+}
+
+#[test]
+fn literals() {
+    assert!(matches!(expr_of("42").kind, ExprKind::Lit(Lit::Numbr(42))));
+    assert!(matches!(expr_of("WIN").kind, ExprKind::Lit(Lit::Troof(true))));
+    assert!(matches!(expr_of("FAIL").kind, ExprKind::Lit(Lit::Troof(false))));
+    assert!(matches!(expr_of("NOOB").kind, ExprKind::Lit(Lit::Noob)));
+    match expr_of("3.25").kind {
+        ExprKind::Lit(Lit::Numbar(f)) => assert_eq!(f, 3.25),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn ur_and_mah_qualifiers() {
+    match expr_of("UR x").kind {
+        ExprKind::Var(v) => assert_eq!(v.locality, Locality::Ur),
+        other => panic!("{other:?}"),
+    }
+    match expr_of("MAH x").kind {
+        ExprKind::Var(v) => assert_eq!(v.locality, Locality::Mah),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn remote_indexed_read() {
+    // UR pos_x'Z j — from the n-body inner loop.
+    match expr_of("UR pos_x'Z j").kind {
+        ExprKind::Index { arr, .. } => {
+            assert_eq!(arr.locality, Locality::Ur);
+            assert_eq!(arr.name.as_named().unwrap().sym.as_str(), "pos_x");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control flow (Table I)
+// ---------------------------------------------------------------------
+
+#[test]
+fn o_rly_full_form() {
+    let stmts = body("BOTH SAEM x AN 1, O RLY?\nYA RLY\nVISIBLE \"yes\"\nMEBBE BOTH SAEM x AN 2\nVISIBLE \"two\"\nNO WAI\nVISIBLE \"no\"\nOIC");
+    assert_eq!(stmts.len(), 2); // expr stmt + if
+    match &stmts[1].kind {
+        StmtKind::If(i) => {
+            assert_eq!(i.then_block.len(), 1);
+            assert_eq!(i.mebbes.len(), 1);
+            assert!(i.else_block.is_some());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn o_rly_minimal() {
+    let stmts = body("WIN, O RLY?\nYA RLY\nVISIBLE 1\nOIC");
+    match &stmts[1].kind {
+        StmtKind::If(i) => {
+            assert!(i.mebbes.is_empty());
+            assert!(i.else_block.is_none());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn wtf_switch() {
+    let s = one_stmt("WTF?\nOMG 1\nVISIBLE \"one\"\nGTFO\nOMG 2\nVISIBLE \"two\"\nOMGWTF\nVISIBLE \"other\"\nOIC");
+    match s.kind {
+        StmtKind::Switch(sw) => {
+            assert_eq!(sw.arms.len(), 2);
+            assert_eq!(sw.arms[0].value, Lit::Numbr(1));
+            // GTFO inside the arm is a statement.
+            assert_eq!(sw.arms[0].body.len(), 2);
+            assert!(sw.default.is_some());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn omg_requires_literal() {
+    assert!(fails("HAI 1.2\nWTF?\nOMG SUM OF 1 AN 2\nVISIBLE 1\nOIC\nKTHXBYE"));
+}
+
+#[test]
+fn loop_with_uppin_til() {
+    let s = one_stmt("IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32\nVISIBLE i\nIM OUTTA YR loop");
+    match s.kind {
+        StmtKind::Loop(lp) => {
+            assert_eq!(lp.label.sym.as_str(), "loop");
+            assert_eq!(lp.update, Some((LoopDir::Uppin, Ident::synthetic("i"))));
+            assert!(matches!(lp.guard, Some((GuardKind::Til, _))));
+            assert_eq!(lp.body.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn loop_with_nerfin_wile() {
+    let s = one_stmt("IM IN YR down NERFIN YR n WILE BIGGER n AN 0\nVISIBLE n\nIM OUTTA YR down");
+    match s.kind {
+        StmtKind::Loop(lp) => {
+            assert_eq!(lp.update.unwrap().0, LoopDir::Nerfin);
+            assert!(matches!(lp.guard, Some((GuardKind::Wile, _))));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn infinite_loop_with_gtfo() {
+    let s = one_stmt("IM IN YR forever\nGTFO\nIM OUTTA YR forever");
+    match s.kind {
+        StmtKind::Loop(lp) => {
+            assert!(lp.update.is_none() && lp.guard.is_none());
+            assert!(matches!(lp.body[0].kind, StmtKind::Gtfo));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nested_loops_with_same_label() {
+    // The paper's n-body listing nests three loops all labelled `loop`.
+    let src = "IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 2\nIM IN YR loop UPPIN YR j TIL BOTH SAEM j AN 2\nVISIBLE j\nIM OUTTA YR loop\nIM OUTTA YR loop";
+    let s = one_stmt(src);
+    match s.kind {
+        StmtKind::Loop(outer) => {
+            assert!(matches!(&outer.body[0].kind, StmtKind::Loop(_)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn loop_label_mismatch_is_error() {
+    assert!(fails("HAI 1.2\nIM IN YR a\nGTFO\nIM OUTTA YR b\nKTHXBYE"));
+}
+
+// ---------------------------------------------------------------------
+// Functions (Table I)
+// ---------------------------------------------------------------------
+
+#[test]
+fn function_definition_and_call() {
+    let p = ok("HAI 1.2\nHOW IZ I add YR a AN YR b\nFOUND YR SUM OF a AN b\nIF U SAY SO\nI IZ add YR 1 AN YR 2 MKAY\nKTHXBYE");
+    assert_eq!(p.funcs.len(), 1);
+    assert_eq!(p.funcs[0].name.sym.as_str(), "add");
+    assert_eq!(p.funcs[0].params.len(), 2);
+    match &p.body[0].kind {
+        StmtKind::ExprStmt(Expr { kind: ExprKind::Call { name, args }, .. }) => {
+            assert_eq!(name.sym.as_str(), "add");
+            assert_eq!(args.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn function_without_params() {
+    let p = ok("HAI 1.2\nHOW IZ I greet\nVISIBLE \"HAI\"\nIF U SAY SO\nI IZ greet MKAY\nKTHXBYE");
+    assert!(p.funcs[0].params.is_empty());
+}
+
+#[test]
+fn nested_function_is_error() {
+    assert!(fails(
+        "HAI 1.2\nIM IN YR l\nHOW IZ I f\nIF U SAY SO\nIM OUTTA YR l\nKTHXBYE"
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Parallel extensions (Table II)
+// ---------------------------------------------------------------------
+
+#[test]
+fn hugz_barrier() {
+    assert!(matches!(one_stmt("HUGZ").kind, StmtKind::Hugz));
+}
+
+#[test]
+fn lock_statements() {
+    assert!(matches!(one_stmt("IM SRSLY MESIN WIF x").kind, StmtKind::LockAcquire(_)));
+    assert!(matches!(one_stmt("IM MESIN WIF x").kind, StmtKind::LockTry(_)));
+    assert!(matches!(one_stmt("DUN MESIN WIF x").kind, StmtKind::LockRelease(_)));
+}
+
+#[test]
+fn lock_on_remote_var() {
+    // Section VI.B: IM MESIN WIF UR x inside a TXT block.
+    match one_stmt("IM MESIN WIF UR x").kind {
+        StmtKind::LockTry(v) => assert_eq!(v.locality, Locality::Ur),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn txt_single_statement() {
+    // Section VI.A: TXT MAH BFF next_pe, MAH array R UR array.
+    match one_stmt("TXT MAH BFF next_pe, MAH array R UR array").kind {
+        StmtKind::TxtStmt { pe, stmt } => {
+            assert!(matches!(pe.kind, ExprKind::Var(_)));
+            match stmt.kind {
+                StmtKind::Assign { target: LValue::Var(t), value } => {
+                    assert_eq!(t.locality, Locality::Mah);
+                    assert!(matches!(
+                        value.kind,
+                        ExprKind::Var(VarRef { locality: Locality::Ur, .. })
+                    ));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn txt_multi_remote_refs() {
+    // Section V: TXT MAH BFF k, MAH x R SUM OF UR y AN UR z.
+    match one_stmt("TXT MAH BFF k, MAH x R SUM OF UR y AN UR z").kind {
+        StmtKind::TxtStmt { stmt, .. } => {
+            assert!(matches!(stmt.kind, StmtKind::Assign { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn txt_block_form() {
+    let s = one_stmt("TXT MAH BFF k AN STUFF\nIM MESIN WIF UR x\nx R SUM OF x AN 1\nDUN MESIN WIF UR x\nTTYL");
+    match s.kind {
+        StmtKind::TxtBlock { body, .. } => assert_eq!(body.len(), 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn txt_block_with_trailing_comma() {
+    // The n-body listing writes `TXT MAH BFF k AN STUFF,`.
+    let s = one_stmt("TXT MAH BFF k AN STUFF,\ndx R UR pos_x'Z j\nTTYL");
+    assert!(matches!(s.kind, StmtKind::TxtBlock { .. }));
+}
+
+#[test]
+fn txt_rejects_block_statement_without_an_stuff() {
+    assert!(fails("HAI 1.2\nTXT MAH BFF k, IM IN YR l\nGTFO\nIM OUTTA YR l\nKTHXBYE"));
+}
+
+#[test]
+fn txt_pe_can_be_expression() {
+    match one_stmt("TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ, MAH a R UR a").kind {
+        StmtKind::TxtStmt { pe, .. } => {
+            assert!(matches!(pe.kind, ExprKind::Bin { op: BinOp::Mod, .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper worked examples end-to-end (Section VI)
+// ---------------------------------------------------------------------
+
+#[test]
+fn paper_example_a_initialization() {
+    let src = "HAI 1.2\n\
+I HAS A pe ITZ A NUMBR AN ITZ ME\n\
+I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ\n\
+WE HAS A array ITZ SRSLY LOTZ A NUMBRS ...\n  AN THAR IZ 32\n\
+I HAS A next_pe ITZ A NUMBR ...\n  AN ITZ SUM OF pe AN 1\n\
+next_pe R MOD OF next_pe AN n_pes\n\
+TXT MAH BFF next_pe, MAH array R UR array\n\
+KTHXBYE";
+    let p = ok(src);
+    assert_eq!(p.body.len(), 6);
+}
+
+#[test]
+fn paper_example_b_locks() {
+    let src = "HAI 1.2\n\
+WE HAS A x ITZ A NUMBR AN IM SHARIN IT\n\
+TXT MAH BFF k AN STUFF\n\
+  IM MESIN WIF UR x\n\
+  x R SUM OF x AN 1\n\
+  DUN MESIN WIF UR x\n\
+TTYL\n\
+KTHXBYE";
+    let p = ok(src);
+    assert_eq!(p.body.len(), 2);
+}
+
+#[test]
+fn paper_example_c_barrier() {
+    let src = "HAI 1.2\nTXT MAH BFF k, UR b R MAH a\nHUGZ\nc R SUM OF a AN b\nKTHXBYE";
+    let p = ok(src);
+    assert_eq!(p.body.len(), 3);
+    assert!(matches!(p.body[1].kind, StmtKind::Hugz));
+}
+
+#[test]
+fn paper_section5_trylock_pattern() {
+    let src = "HAI 1.2\n\
+IM SRSLY MESIN WIF x, O RLY?\n\
+NO WAI,\n\
+  IM MESIN WIF x\n\
+OIC\n\
+x R new_value\n\
+DUN MESIN WIF x\n\
+KTHXBYE";
+    let p = ok(src);
+    assert!(matches!(p.body[0].kind, StmtKind::LockAcquire(_)));
+    assert!(matches!(p.body[1].kind, StmtKind::If(_)));
+}
+
+// ---------------------------------------------------------------------
+// VISIBLE / GIMMEH
+// ---------------------------------------------------------------------
+
+#[test]
+fn visible_multiple_args() {
+    // From the n-body listing: VISIBLE pos_x'Z i " " pos_y'Z i.
+    match one_stmt("VISIBLE pos_x'Z i \" \" pos_y'Z i").kind {
+        StmtKind::Visible { args, newline } => {
+            assert_eq!(args.len(), 3);
+            assert!(newline);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn visible_bang_suppresses_newline() {
+    match one_stmt("VISIBLE \"no newline\"!").kind {
+        StmtKind::Visible { newline, .. } => assert!(!newline),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn visible_with_an_separators() {
+    match one_stmt("VISIBLE \"a\" AN \"b\" AN \"c\"").kind {
+        StmtKind::Visible { args, .. } => assert_eq!(args.len(), 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn gimmeh() {
+    assert!(matches!(one_stmt("GIMMEH x").kind, StmtKind::Gimmeh(LValue::Var(_))));
+    assert!(matches!(one_stmt("GIMMEH arr'Z 2").kind, StmtKind::Gimmeh(LValue::Index { .. })));
+}
+
+// ---------------------------------------------------------------------
+// Round-trip through the pretty printer
+// ---------------------------------------------------------------------
+
+#[test]
+fn roundtrip_paper_examples() {
+    let sources = [
+        "HAI 1.2\nVISIBLE \"HAI WORLD\"\nKTHXBYE",
+        "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\nHUGZ\nKTHXBYE",
+        "HAI 1.2\nTXT MAH BFF k, UR b R MAH a\nHUGZ\nc R SUM OF a AN b\nKTHXBYE",
+        "HAI 1.2\nIM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 32\narr'Z i R SUM OF ME AN WHATEVAR\nIM OUTTA YR loop\nKTHXBYE",
+        "HAI 1.2\nHOW IZ I add YR a AN YR b\nFOUND YR SUM OF a AN b\nIF U SAY SO\nKTHXBYE",
+    ];
+    for src in sources {
+        let p1 = ok(src);
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).expect_program(&printed);
+        let reprinted = print_program(&p2);
+        assert_eq!(printed, reprinted, "round-trip failed for {src:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error quality
+// ---------------------------------------------------------------------
+
+#[test]
+fn errors_carry_codes_and_spans() {
+    let out = parse("HAI 1.2\nI HAS A\nKTHXBYE");
+    assert!(out.diags.has_errors());
+    let d = out.diags.iter().next().unwrap();
+    assert!(d.code.starts_with("PAR"));
+    assert!(d.span.lo > 0);
+}
+
+#[test]
+fn recovers_and_reports_multiple_errors() {
+    let out = parse("HAI 1.2\n5 R 6\n7 R 8\nKTHXBYE");
+    let errors = out.diags.iter().filter(|d| d.severity == Severity::Error).count();
+    assert!(errors >= 2, "expected two assignment errors, got {errors}");
+}
+
+#[test]
+fn empty_source_is_error() {
+    assert!(fails(""));
+}
+
+#[test]
+fn garbage_does_not_hang() {
+    // Progress guard: worst-case inputs must terminate.
+    assert!(fails("HAI 1.2\n? ? ? ! ! 'Z 'Z MKAY OIC TTYL\nKTHXBYE"));
+}

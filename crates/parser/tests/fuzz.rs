@@ -1,0 +1,123 @@
+//! Fuzz-style robustness: the front end must never panic or hang, no
+//! matter what bytes arrive — it either parses or returns diagnostics.
+
+use lol_parser::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode soup: parse() terminates without panicking.
+    #[test]
+    fn arbitrary_text_never_panics(src in ".{0,400}") {
+        let _ = parse(&src);
+    }
+
+    /// Keyword soup: sequences of real LOLCODE tokens in random order
+    /// stress the recovery paths much harder than random bytes.
+    #[test]
+    fn keyword_soup_never_panics(
+        words in proptest::collection::vec(
+            prop::sample::select(vec![
+                "HAI", "KTHXBYE", "I", "WE", "HAS", "A", "ITZ", "SRSLY", "LOTZ",
+                "AN", "THAR", "IZ", "R", "SUM", "OF", "VISIBLE", "GIMMEH",
+                "O", "RLY", "YA", "NO", "WAI", "OIC", "WTF", "OMG", "OMGWTF",
+                "IM", "IN", "OUTTA", "YR", "UPPIN", "NERFIN", "TIL", "WILE",
+                "GTFO", "FOUND", "HOW", "SAY", "SO", "MKAY", "MAEK", "SRS",
+                "HUGZ", "TXT", "MAH", "BFF", "STUFF", "TTYL", "UR", "ME",
+                "FRENZ", "MESIN", "WIF", "DUN", "WHATEVR", "WHATEVAR",
+                "SQUAR", "UNSQUAR", "FLIP", "NOT", "WIN", "FAIL", "NOOB",
+                "x", "y", "42", "3.5", "\"yarn\"", ",", "?", "!", "...", "'Z",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Mutation fuzzing: corrupt one byte of a valid program; the
+    /// parser must survive (parse or diagnose, never panic).
+    #[test]
+    fn mutated_valid_program_never_panics(pos in 0usize..200, byte in 0u8..128) {
+        let base = "HAI 1.2\nWE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n\
+                    IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 4\n\
+                    TXT MAH BFF 0, UR x R SUM OF UR x AN 1\n\
+                    IM OUTTA YR l\nHUGZ\nVISIBLE x\nKTHXBYE\n";
+        let mut bytes = base.as_bytes().to_vec();
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        if let Ok(src) = String::from_utf8(bytes) {
+            let _ = parse(&src);
+        }
+    }
+
+    /// Deleting a random line from a valid program never panics.
+    #[test]
+    fn truncated_program_never_panics(skip in 0usize..9) {
+        let base = "HAI 1.2\nI HAS A x ITZ 1\nWIN, O RLY?\nYA RLY\nx R 2\nNO WAI\nx R 3\nOIC\nKTHXBYE";
+        let src: Vec<&str> =
+            base.lines().enumerate().filter(|(i, _)| *i != skip).map(|(_, l)| l).collect();
+        let _ = parse(&src.join("\n"));
+    }
+}
+
+#[test]
+fn deep_but_legal_nesting_is_fine() {
+    // 100 nested loops: well under the limit, parses and round-trips.
+    let mut src = String::from("HAI 1.2\n");
+    for d in 0..100 {
+        src.push_str(&format!("IM IN YR l{d}\n"));
+    }
+    src.push_str("GTFO\n");
+    for d in (0..100).rev() {
+        src.push_str(&format!("IM OUTTA YR l{d}\n"));
+    }
+    src.push_str("KTHXBYE");
+    let out = parse(&src);
+    assert!(!out.diags.has_errors());
+    let printed = lol_ast::pretty::print_program(&out.program.unwrap());
+    assert!(!parse(&printed).diags.has_errors());
+}
+
+#[test]
+fn pathological_nesting_is_diagnosed_not_crashed() {
+    // 400 nested loops: beyond the recursion limit — a PAR0030 error,
+    // never a stack overflow.
+    let mut src = String::from("HAI 1.2\n");
+    for d in 0..400 {
+        src.push_str(&format!("IM IN YR l{d}\n"));
+    }
+    src.push_str("GTFO\n");
+    for d in (0..400).rev() {
+        src.push_str(&format!("IM OUTTA YR l{d}\n"));
+    }
+    src.push_str("KTHXBYE");
+    let out = parse(&src);
+    assert!(out.diags.has_errors());
+    assert!(out.diags.iter().any(|d| d.code == "PAR0030"));
+}
+
+#[test]
+fn deep_expression_nesting_is_diagnosed() {
+    // 400-deep prefix expression.
+    let mut e = String::from("1");
+    for _ in 0..400 {
+        e = format!("SUM OF {e} AN 1");
+    }
+    let out = parse(&format!("HAI 1.2\nVISIBLE {e}\nKTHXBYE"));
+    assert!(out.diags.has_errors());
+    assert!(out.diags.iter().any(|d| d.code == "PAR0030"));
+}
+
+#[test]
+fn enormous_flat_program_is_fine() {
+    let mut src = String::from("HAI 1.2\n");
+    for i in 0..5000 {
+        src.push_str(&format!("I HAS A v{i} ITZ {i}\n"));
+    }
+    src.push_str("KTHXBYE");
+    let out = parse(&src);
+    assert!(!out.diags.has_errors());
+    assert_eq!(out.program.unwrap().body.len(), 5000);
+}

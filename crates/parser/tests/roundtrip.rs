@@ -1,0 +1,323 @@
+//! Property-based round-trip: for a random well-formed AST,
+//! `parse(print(ast))` must succeed and print identically.
+//!
+//! This exercises the parser and pretty-printer against each other over
+//! the whole grammar — every expression form, every statement form, and
+//! nested combinations no hand-written test would think of.
+
+use lol_ast::pretty::print_program;
+use lol_ast::*;
+use lol_parser::parse;
+use proptest::prelude::*;
+
+const NAMES: &[&str] = &[
+    "x", "y", "z", "kitteh", "cheezburger", "bff_1", "pos_x", "vel_y", "n_pes", "ceiling_cat",
+];
+
+fn ident() -> impl Strategy<Value = Ident> {
+    prop::sample::select(NAMES).prop_map(Ident::synthetic)
+}
+
+fn locality() -> impl Strategy<Value = Locality> {
+    prop_oneof![
+        Just(Locality::Unqualified),
+        Just(Locality::Mah),
+        Just(Locality::Ur),
+    ]
+}
+
+fn lol_type() -> impl Strategy<Value = LolType> {
+    prop_oneof![
+        Just(LolType::Troof),
+        Just(LolType::Numbr),
+        Just(LolType::Numbar),
+        Just(LolType::Yarn),
+    ]
+}
+
+fn yarn_text() -> impl Strategy<Value = String> {
+    // Printable ASCII plus the characters with dedicated escapes.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range(' ', '~'),
+            Just(':'),
+            Just('"'),
+            Just('\n'),
+            Just('\t'),
+        ],
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        any::<i64>().prop_map(Lit::Numbr),
+        // Finite floats only: the printer/lexer pair round-trips those.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Lit::Numbar),
+        any::<bool>().prop_map(Lit::Troof),
+        Just(Lit::Noob),
+        yarn_text().prop_map(Lit::yarn),
+        (yarn_text(), ident(), yarn_text()).prop_map(|(a, v, b)| {
+            Lit::Yarn(vec![YarnPart::Text(a), YarnPart::Var(v), YarnPart::Text(b)])
+        }),
+    ]
+}
+
+fn varref() -> impl Strategy<Value = VarRef> {
+    (ident(), locality()).prop_map(|(id, locality)| VarRef {
+        name: VarName::Named(id),
+        locality,
+        span: Span::DUMMY,
+    })
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Sum,
+        BinOp::Diff,
+        BinOp::Produkt,
+        BinOp::Quoshunt,
+        BinOp::Mod,
+        BinOp::BiggrOf,
+        BinOp::SmallrOf,
+        BinOp::BothSaem,
+        BinOp::Diffrint,
+        BinOp::Bigger,
+        BinOp::Smallr,
+        BinOp::BothOf,
+        BinOp::EitherOf,
+        BinOp::WonOf,
+    ])
+}
+
+fn unop() -> impl Strategy<Value = UnOp> {
+    prop::sample::select(vec![UnOp::Not, UnOp::Squar, UnOp::Unsquar, UnOp::Flip])
+}
+
+fn naryop() -> impl Strategy<Value = NaryOp> {
+    prop::sample::select(vec![NaryOp::AllOf, NaryOp::AnyOf, NaryOp::Smoosh])
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        lit().prop_map(|l| Expr::new(ExprKind::Lit(l), Span::DUMMY)),
+        varref().prop_map(|v| Expr::new(ExprKind::Var(v), Span::DUMMY)),
+        Just(Expr::new(ExprKind::Me, Span::DUMMY)),
+        Just(Expr::new(ExprKind::MahFrenz, Span::DUMMY)),
+        Just(Expr::new(ExprKind::Whatevr, Span::DUMMY)),
+        Just(Expr::new(ExprKind::Whatevar, Span::DUMMY)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::new(
+                ExprKind::Bin { op, lhs: Box::new(l), rhs: Box::new(r) },
+                Span::DUMMY
+            )),
+            (unop(), inner.clone()).prop_map(|(op, e)| Expr::new(
+                ExprKind::Un { op, expr: Box::new(e) },
+                Span::DUMMY
+            )),
+            (naryop(), proptest::collection::vec(inner.clone(), 1..4)).prop_map(
+                |(op, args)| Expr::new(ExprKind::Nary { op, args }, Span::DUMMY)
+            ),
+            (inner.clone(), lol_type()).prop_map(|(e, ty)| Expr::new(
+                ExprKind::Cast { expr: Box::new(e), ty },
+                Span::DUMMY
+            )),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(name, args)| Expr::new(ExprKind::Call { name, args }, Span::DUMMY)
+            ),
+            (varref(), inner.clone()).prop_map(|(arr, idx)| Expr::new(
+                ExprKind::Index { arr, idx: Box::new(idx) },
+                Span::DUMMY
+            )),
+            (inner, locality()).prop_map(|(e, locality)| Expr::new(
+                ExprKind::Var(VarRef {
+                    name: VarName::Srs(Box::new(e)),
+                    locality,
+                    span: Span::DUMMY
+                }),
+                Span::DUMMY
+            )),
+        ]
+    })
+}
+
+fn lvalue() -> impl Strategy<Value = LValue> {
+    prop_oneof![
+        varref().prop_map(LValue::Var),
+        (varref(), expr()).prop_map(|(arr, idx)| LValue::Index {
+            arr,
+            idx: Box::new(idx),
+            span: Span::DUMMY
+        }),
+    ]
+}
+
+fn decl() -> impl Strategy<Value = Decl> {
+    (
+        any::<bool>(),
+        ident(),
+        prop::option::of(lol_type()),
+        any::<bool>(),
+        prop::option::of(expr()),
+        any::<bool>(),
+    )
+        .prop_map(|(we, name, ty, srsly, init, sharin)| {
+            // Keep combinations printable-canonical: arrays are generated
+            // separately below; init without type is fine.
+            Decl {
+                scope: if we { DeclScope::We } else { DeclScope::I },
+                name,
+                ty,
+                srsly: srsly && ty.is_some(),
+                array_size: None,
+                init,
+                sharin,
+                span: Span::DUMMY,
+            }
+        })
+}
+
+fn array_decl() -> impl Strategy<Value = Decl> {
+    (any::<bool>(), ident(), lol_type(), any::<bool>(), expr(), any::<bool>()).prop_map(
+        |(we, name, ty, srsly, size, sharin)| Decl {
+            scope: if we { DeclScope::We } else { DeclScope::I },
+            name,
+            ty: Some(ty),
+            srsly,
+            array_size: Some(size),
+            init: None,
+            sharin,
+            span: Span::DUMMY,
+        },
+    )
+}
+
+/// Statements allowed after `TXT MAH BFF expr,`.
+fn simple_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (lvalue(), expr())
+            .prop_map(|(t, v)| Stmt::new(StmtKind::Assign { target: t, value: v }, Span::DUMMY)),
+        expr().prop_map(|e| Stmt::new(StmtKind::ExprStmt(e), Span::DUMMY)),
+        (proptest::collection::vec(expr(), 0..3), any::<bool>())
+            .prop_map(|(args, nl)| Stmt::new(StmtKind::Visible { args, newline: nl }, Span::DUMMY)),
+        lvalue().prop_map(|lv| Stmt::new(StmtKind::Gimmeh(lv), Span::DUMMY)),
+        varref().prop_map(|v| Stmt::new(StmtKind::LockAcquire(v), Span::DUMMY)),
+        varref().prop_map(|v| Stmt::new(StmtKind::LockTry(v), Span::DUMMY)),
+        varref().prop_map(|v| Stmt::new(StmtKind::LockRelease(v), Span::DUMMY)),
+        (lvalue(), lol_type())
+            .prop_map(|(t, ty)| Stmt::new(StmtKind::IsNowA { target: t, ty }, Span::DUMMY)),
+        decl().prop_map(|d| Stmt::new(StmtKind::Declare(d), Span::DUMMY)),
+        array_decl().prop_map(|d| Stmt::new(StmtKind::Declare(d), Span::DUMMY)),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        simple_stmt(),
+        Just(Stmt::new(StmtKind::Hugz, Span::DUMMY)),
+        Just(Stmt::new(StmtKind::Gtfo, Span::DUMMY)),
+        expr().prop_map(|e| Stmt::new(StmtKind::FoundYr(e), Span::DUMMY)),
+        (expr(), simple_stmt()).prop_map(|(pe, s)| Stmt::new(
+            StmtKind::TxtStmt { pe, stmt: Box::new(s) },
+            Span::DUMMY
+        )),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..3);
+        prop_oneof![
+            (block.clone(), proptest::collection::vec((expr(), block.clone()), 0..2),
+             prop::option::of(block.clone()))
+                .prop_map(|(then_block, mebbe_raw, else_block)| {
+                    let mebbes = mebbe_raw
+                        .into_iter()
+                        .map(|(cond, body)| MebbeArm { cond, body })
+                        .collect();
+                    Stmt::new(
+                        StmtKind::If(IfStmt { then_block, mebbes, else_block }),
+                        Span::DUMMY,
+                    )
+                }),
+            (proptest::collection::vec((lit(), block.clone()), 1..3), prop::option::of(block.clone()))
+                .prop_map(|(arms_raw, default)| {
+                    let arms = arms_raw
+                        .into_iter()
+                        .map(|(value, body)| OmgArm { value, body })
+                        .collect();
+                    Stmt::new(StmtKind::Switch(SwitchStmt { arms, default }), Span::DUMMY)
+                }),
+            (
+                ident(),
+                prop::option::of((prop_oneof![Just(LoopDir::Uppin), Just(LoopDir::Nerfin)], ident())),
+                prop::option::of((prop_oneof![Just(GuardKind::Til), Just(GuardKind::Wile)], expr())),
+                block.clone()
+            )
+                .prop_map(|(label, update, guard, body)| Stmt::new(
+                    StmtKind::Loop(LoopStmt { label, update, guard, body }),
+                    Span::DUMMY
+                )),
+            (expr(), block).prop_map(|(pe, body)| Stmt::new(
+                StmtKind::TxtBlock { pe, body },
+                Span::DUMMY
+            )),
+        ]
+    })
+}
+
+fn func() -> impl Strategy<Value = FuncDef> {
+    (ident(), proptest::collection::vec(ident(), 0..3), proptest::collection::vec(stmt(), 0..4))
+        .prop_map(|(name, params, body)| FuncDef { name, params, body, span: Span::DUMMY })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(ident(), 0..2),
+        proptest::collection::vec(stmt(), 0..8),
+        proptest::collection::vec(func(), 0..2),
+    )
+        .prop_map(|(incs, body, funcs)| Program {
+            version: Some("1.2".into()),
+            includes: incs
+                .into_iter()
+                .map(|lib| Include { lib, span: Span::DUMMY })
+                .collect(),
+            body,
+            funcs,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The core invariant: print → parse → print is a fixed point.
+    #[test]
+    fn print_parse_print_is_identity(p in program()) {
+        let printed = print_program(&p);
+        let out = parse(&printed);
+        prop_assert!(
+            !out.diags.has_errors(),
+            "printed program failed to parse:\n{printed}\n{:?}",
+            out.diags.into_vec()
+        );
+        let reparsed = out.program.unwrap();
+        let reprinted = print_program(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// Expressions alone round-trip too (as expression statements).
+    #[test]
+    fn expression_roundtrip(e in expr()) {
+        let p = Program {
+            version: Some("1.2".into()),
+            includes: vec![],
+            body: vec![Stmt::new(StmtKind::ExprStmt(e), Span::DUMMY)],
+            funcs: vec![],
+        };
+        let printed = print_program(&p);
+        let out = parse(&printed);
+        prop_assert!(!out.diags.has_errors(), "failed:\n{printed}");
+        prop_assert_eq!(printed, print_program(&out.program.unwrap()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Compile-time evaluation of constant integer expressions.
+//!
+//! Shared array sizes (`AN THAR IZ <size>`) must be known at analysis
+//! time so the symmetric heap can be laid out statically, exactly as
+//! the paper's compiler lays out C arrays in the symmetric data
+//! segment. Only literals and pure arithmetic fold; anything involving
+//! `ME`, variables or randomness is not constant.
+
+use lol_ast::{BinOp, Expr, ExprKind, Lit, UnOp};
+
+/// Evaluate `e` to an `i64` if it is a compile-time constant.
+pub fn const_eval_i64(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::Lit(Lit::Numbr(n)) => Some(*n),
+        ExprKind::Lit(Lit::Numbar(f)) => {
+            // A float literal used as a size truncates, matching the
+            // language's NUMBAR->NUMBR cast.
+            Some(*f as i64)
+        }
+        ExprKind::Lit(Lit::Troof(b)) => Some(*b as i64),
+        ExprKind::Bin { op, lhs, rhs } => {
+            let l = const_eval_i64(lhs)?;
+            let r = const_eval_i64(rhs)?;
+            Some(match op {
+                BinOp::Sum => l.checked_add(r)?,
+                BinOp::Diff => l.checked_sub(r)?,
+                BinOp::Produkt => l.checked_mul(r)?,
+                BinOp::Quoshunt => l.checked_div(r)?,
+                BinOp::Mod => l.checked_rem(r)?,
+                BinOp::BiggrOf => l.max(r),
+                BinOp::SmallrOf => l.min(r),
+                _ => return None,
+            })
+        }
+        ExprKind::Un { op: UnOp::Squar, expr } => {
+            let v = const_eval_i64(expr)?;
+            v.checked_mul(v)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lol_ast::Span;
+
+    fn num(n: i64) -> Expr {
+        Expr::new(ExprKind::Lit(Lit::Numbr(n)), Span::DUMMY)
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::new(ExprKind::Bin { op, lhs: Box::new(l), rhs: Box::new(r) }, Span::DUMMY)
+    }
+
+    #[test]
+    fn literals_fold() {
+        assert_eq!(const_eval_i64(&num(32)), Some(32));
+        assert_eq!(
+            const_eval_i64(&Expr::new(ExprKind::Lit(Lit::Numbar(4.9)), Span::DUMMY)),
+            Some(4)
+        );
+        assert_eq!(
+            const_eval_i64(&Expr::new(ExprKind::Lit(Lit::Troof(true)), Span::DUMMY)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        assert_eq!(const_eval_i64(&bin(BinOp::Sum, num(4), num(8))), Some(12));
+        assert_eq!(const_eval_i64(&bin(BinOp::Produkt, num(4), num(8))), Some(32));
+        assert_eq!(const_eval_i64(&bin(BinOp::Quoshunt, num(9), num(2))), Some(4));
+        assert_eq!(const_eval_i64(&bin(BinOp::Mod, num(9), num(4))), Some(1));
+        assert_eq!(const_eval_i64(&bin(BinOp::BiggrOf, num(3), num(7))), Some(7));
+        assert_eq!(const_eval_i64(&bin(BinOp::SmallrOf, num(3), num(7))), Some(3));
+    }
+
+    #[test]
+    fn nested_folds() {
+        let e = bin(BinOp::Sum, bin(BinOp::Produkt, num(4), num(4)), num(16));
+        assert_eq!(const_eval_i64(&e), Some(32));
+    }
+
+    #[test]
+    fn me_is_not_constant() {
+        assert_eq!(const_eval_i64(&Expr::new(ExprKind::Me, Span::DUMMY)), None);
+        assert_eq!(const_eval_i64(&bin(BinOp::Sum, num(1), Expr::new(ExprKind::Me, Span::DUMMY))), None);
+    }
+
+    #[test]
+    fn whatevr_is_not_constant() {
+        assert_eq!(const_eval_i64(&Expr::new(ExprKind::Whatevr, Span::DUMMY)), None);
+    }
+
+    #[test]
+    fn division_by_zero_is_not_constant() {
+        assert_eq!(const_eval_i64(&bin(BinOp::Quoshunt, num(1), num(0))), None);
+        assert_eq!(const_eval_i64(&bin(BinOp::Mod, num(1), num(0))), None);
+    }
+
+    #[test]
+    fn overflow_is_not_constant() {
+        assert_eq!(const_eval_i64(&bin(BinOp::Produkt, num(i64::MAX), num(2))), None);
+    }
+
+    #[test]
+    fn squar_folds() {
+        let e = Expr::new(
+            ExprKind::Un { op: UnOp::Squar, expr: Box::new(num(6)) },
+            Span::DUMMY,
+        );
+        assert_eq!(const_eval_i64(&e), Some(36));
+    }
+}

@@ -1,0 +1,153 @@
+//! Symmetric heap layout for `WE HAS A` declarations.
+//!
+//! Shared variables get fixed word offsets assigned in declaration
+//! order, one instance per PE (the PGAS model of Figure 1). Variables
+//! declared `AN IM SHARIN IT` get an adjacent lock cell of
+//! [`LOCK_WORDS`] words — the "hidden lock ... acquired and released by
+//! association" from Section V of the paper.
+
+use lol_ast::{LolType, Span, Symbol};
+use std::collections::HashMap;
+
+/// Words a lock cell occupies. Must match
+/// `lol_shmem::lock::LOCK_WORDS` (asserted by the interpreter crate,
+/// which sees both).
+pub const LOCK_WORDS: usize = 3;
+
+/// Scalar or fixed-size array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedKind {
+    Scalar,
+    Array { len: usize },
+}
+
+impl SharedKind {
+    /// Number of data words this object occupies.
+    pub fn words(self) -> usize {
+        match self {
+            SharedKind::Scalar => 1,
+            SharedKind::Array { len } => len,
+        }
+    }
+}
+
+/// One shared (symmetric) variable.
+#[derive(Debug, Clone)]
+pub struct SharedVar {
+    pub name: Symbol,
+    pub ty: LolType,
+    pub kind: SharedKind,
+    /// Word offset of the data in every PE's symmetric heap.
+    pub addr: u32,
+    /// Word offset of the lock cell, when declared `AN IM SHARIN IT`.
+    pub lock: Option<u32>,
+    pub span: Span,
+}
+
+/// The full symmetric layout of a program.
+#[derive(Debug, Default)]
+pub struct SharedLayout {
+    vars: Vec<SharedVar>,
+    by_name: HashMap<Symbol, usize>,
+    /// Total symmetric words needed per PE.
+    pub total_words: usize,
+}
+
+impl SharedLayout {
+    /// Append a shared variable; returns its index, or `None` if the
+    /// name is already taken.
+    pub(crate) fn push(
+        &mut self,
+        name: Symbol,
+        ty: LolType,
+        kind: SharedKind,
+        sharin: bool,
+        span: Span,
+    ) -> Option<&SharedVar> {
+        if self.by_name.contains_key(&name) {
+            return None;
+        }
+        let addr = self.total_words as u32;
+        self.total_words += kind.words();
+        let lock = if sharin {
+            let l = self.total_words as u32;
+            self.total_words += LOCK_WORDS;
+            Some(l)
+        } else {
+            None
+        };
+        let idx = self.vars.len();
+        self.vars.push(SharedVar { name, ty, kind, addr, lock, span });
+        self.by_name.insert(name, idx);
+        Some(&self.vars[idx])
+    }
+
+    /// Look up a shared variable by name.
+    pub fn get(&self, name: Symbol) -> Option<&SharedVar> {
+        self.by_name.get(&name).map(|&i| &self.vars[i])
+    }
+
+    /// All shared variables in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &SharedVar> {
+        self.vars.iter()
+    }
+
+    /// Number of shared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when the program shares nothing.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_packing() {
+        let mut l = SharedLayout::default();
+        l.push(Symbol::intern("a"), LolType::Numbr, SharedKind::Scalar, false, Span::DUMMY);
+        l.push(Symbol::intern("b"), LolType::Numbar, SharedKind::Array { len: 10 }, false, Span::DUMMY);
+        l.push(Symbol::intern("c"), LolType::Numbr, SharedKind::Scalar, true, Span::DUMMY);
+        assert_eq!(l.get(Symbol::intern("a")).unwrap().addr, 0);
+        assert_eq!(l.get(Symbol::intern("b")).unwrap().addr, 1);
+        let c = l.get(Symbol::intern("c")).unwrap();
+        assert_eq!(c.addr, 11);
+        assert_eq!(c.lock, Some(12));
+        assert_eq!(l.total_words, 12 + LOCK_WORDS);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut l = SharedLayout::default();
+        assert!(l
+            .push(Symbol::intern("x"), LolType::Numbr, SharedKind::Scalar, false, Span::DUMMY)
+            .is_some());
+        assert!(l
+            .push(Symbol::intern("x"), LolType::Numbr, SharedKind::Scalar, false, Span::DUMMY)
+            .is_none());
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = SharedLayout::default();
+        assert!(l.is_empty());
+        assert_eq!(l.total_words, 0);
+        assert!(l.get(Symbol::intern("nope")).is_none());
+    }
+
+    #[test]
+    fn iteration_order_is_declaration_order() {
+        let mut l = SharedLayout::default();
+        for name in ["one", "two", "three"] {
+            l.push(Symbol::intern(name), LolType::Numbr, SharedKind::Scalar, false, Span::DUMMY);
+        }
+        let names: Vec<_> = l.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["one", "two", "three"]);
+    }
+}

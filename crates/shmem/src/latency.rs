@@ -1,0 +1,141 @@
+//! Interconnect latency models.
+//!
+//! The paper demonstrates the same programs on a 16-core Epiphany-III
+//! (a 2D mesh network-on-chip) and a Cray XC40 (Aries, essentially flat
+//! latency at these scales). On a shared-memory host every "remote"
+//! access costs the same, so to reproduce the *shape* of locality
+//! effects the runtime can charge a configurable delay per remote
+//! access. `Off` (the default) adds zero overhead.
+
+use std::time::{Duration, Instant};
+
+/// How much a remote access costs, as a function of source/target PE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// No artificial delay (pure shared-memory speed). Default.
+    #[default]
+    Off,
+    /// Every remote access costs `remote_ns` (flat network — Cray
+    /// Aries analog).
+    Uniform { remote_ns: u64 },
+    /// 2D mesh NoC (Epiphany eMesh analog): PEs are laid out
+    /// row-major on a `width`-wide grid; an access costs
+    /// `base_ns + hops * hop_ns` where `hops` is Manhattan distance.
+    Mesh2D { width: usize, base_ns: u64, hop_ns: u64 },
+}
+
+impl LatencyModel {
+    /// Delay in nanoseconds for an access from `from` to `to`.
+    #[inline]
+    pub fn delay_ns(&self, from: usize, to: usize) -> u64 {
+        if from == to {
+            return 0;
+        }
+        match *self {
+            LatencyModel::Off => 0,
+            LatencyModel::Uniform { remote_ns } => remote_ns,
+            LatencyModel::Mesh2D { width, base_ns, hop_ns } => {
+                let w = width.max(1);
+                let (fx, fy) = (from % w, from / w);
+                let (tx, ty) = (to % w, to / w);
+                let hops = fx.abs_diff(tx) + fy.abs_diff(ty);
+                base_ns + hops as u64 * hop_ns
+            }
+        }
+    }
+
+    /// Busy-wait for the modelled delay (no syscalls; sub-microsecond
+    /// delays need spinning, not sleeping).
+    #[inline]
+    pub fn charge(&self, from: usize, to: usize) {
+        let ns = self.delay_ns(from, to);
+        if ns == 0 {
+            return;
+        }
+        let dur = Duration::from_nanos(ns);
+        let t0 = Instant::now();
+        while t0.elapsed() < dur {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The Epiphany-III configuration used by the paper's Parallella
+    /// demos: 16 cores on a 4×4 mesh, ~11ns per hop relative to a
+    /// cheap local access.
+    pub fn epiphany16() -> Self {
+        LatencyModel::Mesh2D { width: 4, base_ns: 50, hop_ns: 11 }
+    }
+
+    /// A flat "big machine" network (Cray XC40 analog): every remote
+    /// access costs about a microsecond.
+    pub fn xc40() -> Self {
+        LatencyModel::Uniform { remote_ns: 1_000 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_access_is_free_in_every_model() {
+        for m in [
+            LatencyModel::Off,
+            LatencyModel::Uniform { remote_ns: 500 },
+            LatencyModel::epiphany16(),
+        ] {
+            assert_eq!(m.delay_ns(3, 3), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_is_distance_independent() {
+        let m = LatencyModel::Uniform { remote_ns: 700 };
+        assert_eq!(m.delay_ns(0, 1), 700);
+        assert_eq!(m.delay_ns(0, 15), 700);
+    }
+
+    #[test]
+    fn mesh_charges_manhattan_distance() {
+        let m = LatencyModel::Mesh2D { width: 4, base_ns: 50, hop_ns: 10 };
+        // PE 0 = (0,0); PE 5 = (1,1): 2 hops.
+        assert_eq!(m.delay_ns(0, 5), 50 + 2 * 10);
+        // PE 0 -> PE 15 = (3,3): 6 hops.
+        assert_eq!(m.delay_ns(0, 15), 50 + 6 * 10);
+        // Neighbours: 1 hop.
+        assert_eq!(m.delay_ns(0, 1), 50 + 10);
+        // Symmetry.
+        assert_eq!(m.delay_ns(15, 0), m.delay_ns(0, 15));
+    }
+
+    #[test]
+    fn mesh_monotone_in_distance() {
+        let m = LatencyModel::epiphany16();
+        let d1 = m.delay_ns(0, 1);
+        let d2 = m.delay_ns(0, 5);
+        let d3 = m.delay_ns(0, 15);
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    fn charge_actually_waits() {
+        let m = LatencyModel::Uniform { remote_ns: 200_000 }; // 200µs
+        let t0 = Instant::now();
+        m.charge(0, 1);
+        assert!(t0.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn off_charge_is_instant_path() {
+        let m = LatencyModel::Off;
+        m.charge(0, 1); // must not hang
+        assert_eq!(m.delay_ns(0, 1), 0);
+    }
+
+    #[test]
+    fn degenerate_width_is_safe() {
+        let m = LatencyModel::Mesh2D { width: 0, base_ns: 1, hop_ns: 1 };
+        // width clamps to 1: a column topology.
+        assert_eq!(m.delay_ns(0, 3), 1 + 3);
+    }
+}

@@ -1,0 +1,794 @@
+//! AST → bytecode compiler.
+//!
+//! Resolution that the tree-walker repeats on every execution happens
+//! exactly once here: variable names become frame slots, shared names
+//! become heap offsets, pinned (`ITZ SRSLY A`) types become explicit
+//! `Cast` instructions, and control flow becomes jumps. The dynamic
+//! constructs that cannot be resolved statically (`SRS`) are rejected
+//! with a compile error — the documented compiled-subset restriction
+//! (DESIGN.md §3.11).
+
+use crate::ops::{ArrLoc, Chunk, Module, Op};
+use lol_ast::diag::Diagnostic;
+use lol_ast::*;
+use lol_interp::Value;
+use lol_sema::{Analysis, SharedKind, SharedVar};
+use std::collections::HashMap;
+
+type CResult<T> = Result<T, Diagnostic>;
+
+/// Compile an analyzed program to bytecode.
+pub fn compile(program: &Program, analysis: &Analysis) -> CResult<Module> {
+    let mut module = Module::default();
+    let mut func_ids: HashMap<Symbol, u16> = HashMap::new();
+    for (i, f) in program.funcs.iter().enumerate() {
+        func_ids.insert(f.name.sym, i as u16);
+    }
+
+    // Main chunk.
+    {
+        let mut c = FnCompiler::new(analysis, &func_ids, &mut module.consts, false);
+        c.enter_scope();
+        for s in &program.body {
+            c.stmt(s)?;
+        }
+        c.leave_scope();
+        c.code.push(Op::Halt);
+        module.main = Chunk { code: c.code, n_slots: c.n_slots };
+    }
+
+    // Function chunks.
+    for f in &program.funcs {
+        let mut c = FnCompiler::new(analysis, &func_ids, &mut module.consts, true);
+        c.enter_scope();
+        for p in &f.params {
+            let slot = c.alloc_slot(p.sym, SlotKind::Scalar { pinned: None });
+            debug_assert!(slot >= 1);
+        }
+        for s in &f.body {
+            c.stmt(s)?;
+        }
+        c.leave_scope();
+        // Fall-through returns IT.
+        c.code.push(Op::LoadLocal(0));
+        c.code.push(Op::Ret);
+        module.funcs.push((
+            f.name.sym.as_str().to_string(),
+            Chunk { code: c.code, n_slots: c.n_slots },
+            f.params.len() as u8,
+        ));
+    }
+
+    module.shared_words = analysis.shared.total_words;
+    Ok(module)
+}
+
+#[derive(Clone)]
+enum SlotKind {
+    Scalar { pinned: Option<LolType> },
+    Array,
+}
+
+#[derive(Clone)]
+struct LocalSlot {
+    slot: u16,
+    kind: SlotKind,
+}
+
+struct FnCompiler<'a> {
+    analysis: &'a Analysis,
+    func_ids: &'a HashMap<Symbol, u16>,
+    consts: &'a mut Vec<Value>,
+    code: Vec<Op>,
+    scopes: Vec<HashMap<Symbol, LocalSlot>>,
+    n_slots: u16,
+    /// Jump indices to patch per open loop/switch.
+    break_frames: Vec<Vec<usize>>,
+    in_function: bool,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(
+        analysis: &'a Analysis,
+        func_ids: &'a HashMap<Symbol, u16>,
+        consts: &'a mut Vec<Value>,
+        in_function: bool,
+    ) -> Self {
+        FnCompiler {
+            analysis,
+            func_ids,
+            consts,
+            code: Vec::new(),
+            scopes: vec![],
+            n_slots: 1, // slot 0 = IT
+            break_frames: Vec::new(),
+            in_function,
+        }
+    }
+
+    // -- helpers -------------------------------------------------------
+
+    fn enter_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn leave_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn alloc_slot(&mut self, name: Symbol, kind: SlotKind) -> u16 {
+        let slot = self.n_slots;
+        self.n_slots += 1;
+        self.scopes.last_mut().expect("scope").insert(name, LocalSlot { slot, kind });
+        slot
+    }
+
+    fn lookup(&self, name: Symbol) -> Option<LocalSlot> {
+        if let Some(ls) = self.scopes.iter().rev().find_map(|s| s.get(&name)) {
+            return Some(ls.clone());
+        }
+        // `IT` is implicitly slot 0 of every frame.
+        if name == Symbol::it() {
+            return Some(LocalSlot { slot: 0, kind: SlotKind::Scalar { pinned: None } });
+        }
+        None
+    }
+
+    fn konst(&mut self, v: Value) -> u16 {
+        // Linear dedup is fine at compile time for teaching programs.
+        if let Some(i) = self.consts.iter().position(|c| c == &v) {
+            return i as u16;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u16
+    }
+
+    fn emit_const(&mut self, v: Value) {
+        let k = self.konst(v);
+        self.code.push(Op::Const(k));
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn emit_jump_placeholder(&mut self, op: fn(u32) -> Op) -> usize {
+        let at = self.here();
+        self.code.push(op(u32::MAX));
+        at
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.here() as u32;
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) => *t = target,
+            other => panic!("not a jump at {at}: {other:?}"),
+        }
+    }
+
+    fn err(&self, code: &'static str, msg: String, span: Span) -> Diagnostic {
+        Diagnostic::error(code, msg, span)
+    }
+
+    fn shared(&self, name: Symbol) -> Option<&'a SharedVar> {
+        self.analysis.shared.get(name)
+    }
+
+    fn named(&self, vr: &VarRef) -> CResult<Symbol> {
+        match &vr.name {
+            VarName::Named(id) => Ok(id.sym),
+            VarName::Srs(_) => Err(self.err(
+                "VMC0001",
+                "SRS IZ 2 DYNAMIC 4 DA COMPILER — RUN DIS WIF DA INTERPRETER".to_string(),
+                vr.span,
+            )),
+        }
+    }
+
+    /// Is this reference an array (in its locality)?
+    fn is_array_ref(&self, vr: &VarRef) -> CResult<bool> {
+        let name = self.named(vr)?;
+        if vr.locality != Locality::Ur {
+            if let Some(ls) = self.lookup(name) {
+                return Ok(matches!(ls.kind, SlotKind::Array));
+            }
+        }
+        Ok(self
+            .shared(name)
+            .map(|sv| matches!(sv.kind, SharedKind::Array { .. }))
+            .unwrap_or(false))
+    }
+
+    fn arr_loc(&self, vr: &VarRef) -> CResult<ArrLoc> {
+        let name = self.named(vr)?;
+        if vr.locality != Locality::Ur {
+            if let Some(ls) = self.lookup(name) {
+                if matches!(ls.kind, SlotKind::Array) {
+                    return Ok(ArrLoc::Local { slot: ls.slot });
+                }
+            }
+        }
+        let sv = self.shared(name).ok_or_else(|| {
+            self.err("VMC0002", format!("{name} IZ NOT AN ARRAY I KNOW"), vr.span)
+        })?;
+        match sv.kind {
+            SharedKind::Array { len } => Ok(ArrLoc::Shared {
+                off: sv.addr,
+                len: len as u32,
+                ty: sv.ty,
+                remote: vr.locality == Locality::Ur,
+            }),
+            SharedKind::Scalar => {
+                Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), vr.span))
+            }
+        }
+    }
+
+    // -- expressions ---------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> CResult<()> {
+        match &e.kind {
+            ExprKind::Lit(l) => self.literal(l, e.span)?,
+            ExprKind::Var(vr) => self.var_read(vr)?,
+            ExprKind::Index { arr, idx } => {
+                let name = self.named(arr)?;
+                if arr.locality != Locality::Ur {
+                    if let Some(ls) = self.lookup(name) {
+                        match ls.kind {
+                            SlotKind::Array => {
+                                self.expr(idx)?;
+                                self.code.push(Op::LocalArrLoad { slot: ls.slot });
+                                return Ok(());
+                            }
+                            SlotKind::Scalar { .. } => {
+                                return Err(self.err(
+                                    "VMC0002",
+                                    format!("{name} IZ NOT LOTZ A THINGZ"),
+                                    arr.span,
+                                ))
+                            }
+                        }
+                    }
+                }
+                let sv = self.shared(name).ok_or_else(|| {
+                    self.err("VMC0002", format!("WHO IZ {name}?"), arr.span)
+                })?;
+                let SharedKind::Array { len } = sv.kind else {
+                    return Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), arr.span));
+                };
+                self.expr(idx)?;
+                self.code.push(Op::SharedLoadIdx {
+                    off: sv.addr,
+                    len: len as u32,
+                    ty: sv.ty,
+                    remote: arr.locality == Locality::Ur,
+                });
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.code.push(Op::Bin(*op));
+            }
+            ExprKind::Un { op, expr } => {
+                self.expr(expr)?;
+                self.code.push(Op::Un(*op));
+            }
+            ExprKind::Nary { op, args } => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                let n = args.len() as u8;
+                self.code.push(match op {
+                    NaryOp::AllOf => Op::AllOf(n),
+                    NaryOp::AnyOf => Op::AnyOf(n),
+                    NaryOp::Smoosh => Op::Smoosh(n),
+                });
+            }
+            ExprKind::Cast { expr, ty } => {
+                self.expr(expr)?;
+                self.code.push(Op::Cast(*ty));
+            }
+            ExprKind::Call { name, args } => {
+                let Some(&func) = self.func_ids.get(&name.sym) else {
+                    return Err(self.err(
+                        "VMC0003",
+                        format!("I DUNNO HOW IZ I {}", name.sym),
+                        name.span,
+                    ));
+                };
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Op::Call { func, argc: args.len() as u8 });
+            }
+            ExprKind::Me => self.code.push(Op::Me),
+            ExprKind::MahFrenz => self.code.push(Op::MahFrenz),
+            ExprKind::Whatevr => self.code.push(Op::RandI),
+            ExprKind::Whatevar => self.code.push(Op::RandF),
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, l: &Lit, span: Span) -> CResult<()> {
+        match l {
+            Lit::Numbr(n) => self.emit_const(Value::Numbr(*n)),
+            Lit::Numbar(f) => self.emit_const(Value::Numbar(*f)),
+            Lit::Troof(b) => self.emit_const(Value::Troof(*b)),
+            Lit::Noob => self.emit_const(Value::Noob),
+            Lit::Yarn(parts) => {
+                // Pure text folds to one constant; interpolation
+                // becomes loads + SMOOSH.
+                let needs_interp = parts.iter().any(|p| matches!(p, YarnPart::Var(_)));
+                if !needs_interp {
+                    let text: String = parts
+                        .iter()
+                        .map(|p| match p {
+                            YarnPart::Text(t) => t.as_str(),
+                            YarnPart::Var(_) => unreachable!(),
+                        })
+                        .collect();
+                    self.emit_const(Value::yarn(text));
+                } else {
+                    let mut n = 0u8;
+                    for p in parts {
+                        match p {
+                            YarnPart::Text(t) => {
+                                self.emit_const(Value::yarn(t.clone()));
+                            }
+                            YarnPart::Var(id) => {
+                                let vr = VarRef::named(*id);
+                                let vr = VarRef { span, ..vr };
+                                self.var_read(&vr)?;
+                                self.code.push(Op::Cast(LolType::Yarn));
+                            }
+                        }
+                        n += 1;
+                    }
+                    self.code.push(Op::Smoosh(n));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn var_read(&mut self, vr: &VarRef) -> CResult<()> {
+        let name = self.named(vr)?;
+        if vr.locality != Locality::Ur {
+            if let Some(ls) = self.lookup(name) {
+                return match ls.kind {
+                    SlotKind::Scalar { .. } => {
+                        self.code.push(Op::LoadLocal(ls.slot));
+                        Ok(())
+                    }
+                    SlotKind::Array => Err(self.err(
+                        "VMC0004",
+                        format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
+                        vr.span,
+                    )),
+                };
+            }
+        }
+        let Some(sv) = self.shared(name) else {
+            return Err(self.err("VMC0005", format!("WHO IZ {name}?"), vr.span));
+        };
+        match sv.kind {
+            SharedKind::Scalar => {
+                self.code.push(Op::SharedLoad {
+                    off: sv.addr,
+                    ty: sv.ty,
+                    remote: vr.locality == Locality::Ur,
+                });
+                Ok(())
+            }
+            SharedKind::Array { .. } => Err(self.err(
+                "VMC0004",
+                format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
+                vr.span,
+            )),
+        }
+    }
+
+    /// Store the value on top of the stack into a scalar variable.
+    fn var_store(&mut self, vr: &VarRef) -> CResult<()> {
+        let name = self.named(vr)?;
+        if vr.locality != Locality::Ur {
+            if let Some(ls) = self.lookup(name) {
+                return match ls.kind {
+                    SlotKind::Scalar { pinned } => {
+                        if let Some(ty) = pinned {
+                            self.code.push(Op::Cast(ty));
+                        }
+                        self.code.push(Op::StoreLocal(ls.slot));
+                        Ok(())
+                    }
+                    SlotKind::Array => Err(self.err(
+                        "VMC0004",
+                        format!("{name} IZ A WHOLE ARRAY — ASSIGN ELEMENTS"),
+                        vr.span,
+                    )),
+                };
+            }
+        }
+        let Some(sv) = self.shared(name) else {
+            return Err(self.err("VMC0005", format!("WHO IZ {name}?"), vr.span));
+        };
+        match sv.kind {
+            SharedKind::Scalar => {
+                self.code.push(Op::SharedStore {
+                    off: sv.addr,
+                    ty: sv.ty,
+                    remote: vr.locality == Locality::Ur,
+                });
+                Ok(())
+            }
+            SharedKind::Array { .. } => Err(self.err(
+                "VMC0004",
+                format!("{name} IZ A WHOLE ARRAY — ASSIGN ELEMENTS"),
+                vr.span,
+            )),
+        }
+    }
+
+    /// Store stack-top into an lvalue. For indexed stores the compiler
+    /// pushes value first, then the index.
+    fn store_lvalue(&mut self, lv: &LValue) -> CResult<()> {
+        match lv {
+            LValue::Var(vr) => self.var_store(vr),
+            LValue::Index { arr, idx, .. } => {
+                let name = self.named(arr)?;
+                self.expr(idx)?;
+                if arr.locality != Locality::Ur {
+                    if let Some(ls) = self.lookup(name) {
+                        return match ls.kind {
+                            SlotKind::Array => {
+                                self.code.push(Op::LocalArrStore { slot: ls.slot });
+                                Ok(())
+                            }
+                            SlotKind::Scalar { .. } => Err(self.err(
+                                "VMC0002",
+                                format!("{name} IZ NOT LOTZ A THINGZ"),
+                                arr.span,
+                            )),
+                        };
+                    }
+                }
+                let sv = self.shared(name).ok_or_else(|| {
+                    self.err("VMC0005", format!("WHO IZ {name}?"), arr.span)
+                })?;
+                let SharedKind::Array { len } = sv.kind else {
+                    return Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), arr.span));
+                };
+                self.code.push(Op::SharedStoreIdx {
+                    off: sv.addr,
+                    len: len as u32,
+                    ty: sv.ty,
+                    remote: arr.locality == Locality::Ur,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    // -- statements ----------------------------------------------------
+
+    fn block(&mut self, b: &Block) -> CResult<()> {
+        self.enter_scope();
+        for s in b {
+            self.stmt(s)?;
+        }
+        self.leave_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> CResult<()> {
+        match &s.kind {
+            StmtKind::Declare(d) => self.decl(d),
+            StmtKind::Assign { target, value } => self.assign(s, target, value),
+            StmtKind::ExprStmt(e) => {
+                self.expr(e)?;
+                self.code.push(Op::StoreLocal(0));
+                Ok(())
+            }
+            StmtKind::Visible { args, newline } => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Op::Visible { argc: args.len() as u8, newline: *newline });
+                Ok(())
+            }
+            StmtKind::Gimmeh(lv) => {
+                self.code.push(Op::ReadLine);
+                self.store_lvalue(lv)
+            }
+            StmtKind::If(ifs) => self.if_stmt(ifs),
+            StmtKind::Switch(sw) => self.switch(sw),
+            StmtKind::Loop(lp) => self.loop_stmt(lp),
+            StmtKind::Gtfo => {
+                if !self.break_frames.is_empty() {
+                    let at = self.here();
+                    self.code.push(Op::Jump(u32::MAX));
+                    self.break_frames.last_mut().expect("checked").push(at);
+                } else if self.in_function {
+                    self.emit_const(Value::Noob);
+                    self.code.push(Op::Ret);
+                } else {
+                    return Err(self.err(
+                        "VMC0006",
+                        "GTFO OF WHERE?".to_string(),
+                        s.span,
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::FoundYr(e) => {
+                self.expr(e)?;
+                if !self.in_function {
+                    return Err(self.err(
+                        "VMC0006",
+                        "FOUND YR OUTSIDE A FUNKSHUN".to_string(),
+                        s.span,
+                    ));
+                }
+                self.code.push(Op::Ret);
+                Ok(())
+            }
+            StmtKind::IsNowA { target, ty } => match target {
+                LValue::Var(vr) => {
+                    let name = self.named(vr)?;
+                    match self.lookup(name) {
+                        Some(LocalSlot { slot, kind: SlotKind::Scalar { .. } }) => {
+                            self.code.push(Op::LoadLocal(slot));
+                            self.code.push(Op::Cast(*ty));
+                            self.code.push(Op::StoreLocal(slot));
+                            Ok(())
+                        }
+                        _ => Err(self.err(
+                            "VMC0007",
+                            format!("{name} CANT CHANGE TYPE (SHARED/ARRAY TYPES R FIXED)"),
+                            vr.span,
+                        )),
+                    }
+                }
+                LValue::Index { span, .. } => Err(self.err(
+                    "VMC0007",
+                    "ARRAY ELEMENTS KEEP DA ARRAY'S TYPE".to_string(),
+                    *span,
+                )),
+            },
+            StmtKind::Hugz => {
+                self.code.push(Op::Barrier);
+                Ok(())
+            }
+            StmtKind::LockAcquire(vr) => {
+                let (off, remote) = self.lock_cell(vr)?;
+                self.code.push(Op::LockAcquire { off, remote });
+                self.emit_const(Value::Troof(true));
+                self.code.push(Op::StoreLocal(0));
+                Ok(())
+            }
+            StmtKind::LockTry(vr) => {
+                let (off, remote) = self.lock_cell(vr)?;
+                self.code.push(Op::LockTry { off, remote });
+                self.code.push(Op::StoreLocal(0));
+                Ok(())
+            }
+            StmtKind::LockRelease(vr) => {
+                let (off, remote) = self.lock_cell(vr)?;
+                self.code.push(Op::LockRelease { off, remote });
+                Ok(())
+            }
+            StmtKind::TxtStmt { pe, stmt } => {
+                self.expr(pe)?;
+                self.code.push(Op::PushBff);
+                self.stmt(stmt)?;
+                self.code.push(Op::PopBff);
+                Ok(())
+            }
+            StmtKind::TxtBlock { pe, body } => {
+                self.expr(pe)?;
+                self.code.push(Op::PushBff);
+                self.block(body)?;
+                self.code.push(Op::PopBff);
+                Ok(())
+            }
+        }
+    }
+
+    fn lock_cell(&mut self, vr: &VarRef) -> CResult<(u32, bool)> {
+        let name = self.named(vr)?;
+        let sv = self.shared(name).ok_or_else(|| {
+            self.err("VMC0005", format!("{name} IZ NOT SHARED"), vr.span)
+        })?;
+        let off = sv.lock.ok_or_else(|| {
+            self.err(
+                "VMC0008",
+                format!("{name} HAS NO LOCK — DECLARE IT WIF AN IM SHARIN IT"),
+                vr.span,
+            )
+        })?;
+        Ok((off, vr.locality == Locality::Ur))
+    }
+
+    fn decl(&mut self, d: &Decl) -> CResult<()> {
+        match d.scope {
+            DeclScope::We => {
+                // Layout is static; compile the per-PE initializer.
+                if let Some(init) = &d.init {
+                    if let Some(sv) = self.shared(d.name.sym) {
+                        if matches!(sv.kind, SharedKind::Scalar) {
+                            self.expr(init)?;
+                            self.code.push(Op::SharedStore {
+                                off: sv.addr,
+                                ty: sv.ty,
+                                remote: false,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            DeclScope::I => {
+                if let Some(size) = &d.array_size {
+                    self.expr(size)?;
+                    let slot = self.alloc_slot(d.name.sym, SlotKind::Array);
+                    self.code.push(Op::LocalArrNew {
+                        slot,
+                        ty: d.ty.unwrap_or(LolType::Noob),
+                    });
+                    Ok(())
+                } else {
+                    match (&d.init, d.ty) {
+                        (Some(init), Some(ty)) => {
+                            self.expr(init)?;
+                            self.code.push(Op::Cast(ty));
+                        }
+                        (Some(init), None) => self.expr(init)?,
+                        (None, Some(ty)) => {
+                            let v = lol_interp::value::default_for(ty);
+                            self.emit_const(v);
+                        }
+                        (None, None) => self.emit_const(Value::Noob),
+                    }
+                    let pinned = if d.srsly { d.ty } else { None };
+                    let slot = self.alloc_slot(d.name.sym, SlotKind::Scalar { pinned });
+                    self.code.push(Op::StoreLocal(slot));
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn assign(&mut self, s: &Stmt, target: &LValue, value: &Expr) -> CResult<()> {
+        if let LValue::Var(dst) = target {
+            if let ExprKind::Var(src) = &value.kind {
+                let d_arr = self.is_array_ref(dst)?;
+                let s_arr = self.is_array_ref(src)?;
+                match (d_arr, s_arr) {
+                    (true, true) => {
+                        let dst = self.arr_loc(dst)?;
+                        let src = self.arr_loc(src)?;
+                        self.code.push(Op::ArrayCopy { dst, src });
+                        return Ok(());
+                    }
+                    (true, false) | (false, true) => {
+                        return Err(self.err(
+                            "VMC0009",
+                            "U CANT MIX A WHOLE ARRAY AN A SCALAR IN ONE ASSIGNMENT".to_string(),
+                            s.span,
+                        ))
+                    }
+                    (false, false) => {}
+                }
+            } else if self.is_array_ref(dst)? {
+                return Err(self.err(
+                    "VMC0009",
+                    "AN ARRAY CAN ONLY BE ASSIGNED FROM ANOTHER ARRAY".to_string(),
+                    s.span,
+                ));
+            }
+        }
+        self.expr(value)?;
+        self.store_lvalue(target)
+    }
+
+    fn if_stmt(&mut self, ifs: &IfStmt) -> CResult<()> {
+        // IT is the scrutinee.
+        self.code.push(Op::LoadLocal(0));
+        let to_next = self.emit_jump_placeholder(Op::JumpIfFalse);
+        self.block(&ifs.then_block)?;
+        let mut to_end = vec![self.emit_jump_placeholder(Op::Jump)];
+        self.patch_jump(to_next);
+        for m in &ifs.mebbes {
+            self.expr(&m.cond)?;
+            let skip = self.emit_jump_placeholder(Op::JumpIfFalse);
+            self.block(&m.body)?;
+            to_end.push(self.emit_jump_placeholder(Op::Jump));
+            self.patch_jump(skip);
+        }
+        if let Some(e) = &ifs.else_block {
+            self.block(e)?;
+        }
+        for j in to_end {
+            self.patch_jump(j);
+        }
+        Ok(())
+    }
+
+    fn switch(&mut self, sw: &SwitchStmt) -> CResult<()> {
+        // Dispatch: compare IT to each arm literal in turn; on match
+        // jump to that arm's body. Bodies are contiguous (fallthrough);
+        // GTFO patches to the end.
+        self.break_frames.push(Vec::new());
+        let mut body_entries = Vec::new();
+        for arm in &sw.arms {
+            self.code.push(Op::LoadLocal(0));
+            self.literal(&arm.value, Span::DUMMY)?;
+            self.code.push(Op::Bin(BinOp::BothSaem));
+            let no = self.emit_jump_placeholder(Op::JumpIfFalse);
+            let to_body = self.emit_jump_placeholder(Op::Jump);
+            body_entries.push(to_body);
+            self.patch_jump(no);
+        }
+        // No match: jump to default (or end).
+        let to_default = self.emit_jump_placeholder(Op::Jump);
+        for (arm, entry) in sw.arms.iter().zip(body_entries) {
+            self.patch_jump(entry);
+            self.block(&arm.body)?;
+            // falls through into the next arm's body
+        }
+        self.patch_jump(to_default);
+        if let Some(d) = &sw.default {
+            self.block(d)?;
+        }
+        let breaks = self.break_frames.pop().expect("switch break frame");
+        for b in breaks {
+            self.patch_jump(b);
+        }
+        Ok(())
+    }
+
+    fn loop_stmt(&mut self, lp: &LoopStmt) -> CResult<()> {
+        self.enter_scope();
+        let update_slot = match &lp.update {
+            Some((_, var)) => {
+                let slot = self.alloc_slot(var.sym, SlotKind::Scalar { pinned: None });
+                self.emit_const(Value::Numbr(0));
+                self.code.push(Op::StoreLocal(slot));
+                Some(slot)
+            }
+            None => None,
+        };
+        self.break_frames.push(Vec::new());
+        let start = self.here() as u32;
+        let mut guard_exit = None;
+        if let Some((kind, guard)) = &lp.guard {
+            self.expr(guard)?;
+            if matches!(kind, GuardKind::Til) {
+                self.code.push(Op::Un(UnOp::Not));
+            }
+            guard_exit = Some(self.emit_jump_placeholder(Op::JumpIfFalse));
+        }
+        for st in &lp.body {
+            self.stmt(st)?;
+        }
+        if let (Some(slot), Some((dir, _))) = (update_slot, &lp.update) {
+            self.code.push(Op::LoadLocal(slot));
+            self.emit_const(Value::Numbr(1));
+            self.code.push(Op::Bin(match dir {
+                LoopDir::Uppin => BinOp::Sum,
+                LoopDir::Nerfin => BinOp::Diff,
+            }));
+            self.code.push(Op::StoreLocal(slot));
+        }
+        self.code.push(Op::Jump(start));
+        if let Some(g) = guard_exit {
+            self.patch_jump(g);
+        }
+        let breaks = self.break_frames.pop().expect("loop break frame");
+        for b in breaks {
+            self.patch_jump(b);
+        }
+        self.leave_scope();
+        Ok(())
+    }
+}

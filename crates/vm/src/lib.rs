@@ -1,0 +1,346 @@
+//! # lol-vm — the compiled execution path for parallel LOLCODE
+//!
+//! The paper argues that "using a compiler for LOLCODE is more flexible
+//! and efficient than an interpreter" (§II.B). Its compiler emits C;
+//! ours has two back ends: the C emitter (`lol-c-codegen`, faithful to
+//! the paper's output) and this bytecode VM, which is the *measurable*
+//! compiled path in an environment without an OpenSHMEM C toolchain.
+//!
+//! [`compile`] lowers an analyzed program to a [`Module`] (slots
+//! resolved, shared offsets baked in, control flow as jumps); the VM
+//! executes modules SPMD over [`lol_shmem`], byte-for-byte matching the
+//! interpreter's output (see the differential tests below and the
+//! `interp_vs_vm` bench, which reproduces the paper's
+//! compiled-vs-interpreted claim).
+//!
+//! Restriction: `SRS` (dynamic identifiers) is interpreter-only; the
+//! compiler rejects it with `VMC0001` (DESIGN.md §3.11).
+
+#![forbid(unsafe_code)]
+
+mod compile;
+pub mod ops;
+mod run;
+
+pub use compile::compile;
+pub use ops::{Chunk, Module, Op};
+
+use lol_ast::Program;
+use lol_interp::RunError;
+use lol_sema::Analysis;
+use lol_shmem::{run_spmd, Pe, ShmemConfig, SpmdError};
+
+/// Compile and immediately report the first error as a rendered string
+/// (test/CLI convenience).
+pub fn compile_checked(program: &Program, analysis: &Analysis) -> Result<Module, String> {
+    compile(program, analysis).map_err(|d| d.to_string())
+}
+
+/// Run a compiled module on one PE; returns captured output.
+pub fn run_on_pe(module: &Module, pe: &Pe<'_>, input: &[String]) -> Result<String, RunError> {
+    run::Vm::new(module, pe, input).run()
+}
+
+/// Run a compiled module SPMD over `cfg.n_pes` PEs.
+pub fn run_parallel(module: &Module, cfg: ShmemConfig) -> Result<Vec<String>, SpmdError> {
+    run_parallel_with_input(module, cfg, &[])
+}
+
+/// [`run_parallel`] with `GIMMEH` input lines.
+pub fn run_parallel_with_input(
+    module: &Module,
+    cfg: ShmemConfig,
+    input: &[String],
+) -> Result<Vec<String>, SpmdError> {
+    run_spmd(cfg, |pe| match run_on_pe(module, pe, input) {
+        Ok(out) => out,
+        Err(e) => pe.fail(e.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lol_parser::parse;
+    use lol_sema::analyze;
+    use std::time::Duration;
+
+    fn cfg(n: usize) -> ShmemConfig {
+        ShmemConfig::new(n).timeout(Duration::from_secs(15))
+    }
+
+    fn build(src: &str) -> (lol_ast::Program, lol_sema::Analysis) {
+        let p = parse(src).expect_program(src);
+        let a = analyze(&p);
+        assert!(a.is_ok(), "sema: {:?}", a.diags.iter().collect::<Vec<_>>());
+        (p, a)
+    }
+
+    fn run_vm(n: usize, src: &str) -> Vec<String> {
+        let (p, a) = build(src);
+        let m = compile(&p, &a).expect("compile failed");
+        run_parallel(&m, cfg(n)).expect("vm run failed")
+    }
+
+    fn vm1(src: &str) -> String {
+        run_vm(1, src).pop().unwrap()
+    }
+
+    fn prog(body: &str) -> String {
+        format!("HAI 1.2\n{body}\nKTHXBYE")
+    }
+
+    /// Interpreter and VM must produce byte-identical output.
+    fn differential(n: usize, src: &str) {
+        let (p, a) = build(src);
+        let m = compile(&p, &a).expect("compile failed");
+        let vm_out = run_parallel(&m, cfg(n).seed(7)).expect("vm failed");
+        let in_out =
+            lol_interp::run_parallel(&p, &a, cfg(n).seed(7)).expect("interp failed");
+        assert_eq!(vm_out, in_out, "interp/VM divergence on:\n{src}");
+    }
+
+    // -----------------------------------------------------------------
+    // Basics
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn hello_world() {
+        assert_eq!(vm1(&prog("VISIBLE \"HAI WORLD\"")), "HAI WORLD\n");
+    }
+
+    #[test]
+    fn arithmetic_and_it() {
+        assert_eq!(vm1(&prog("SUM OF 40 AN 2\nVISIBLE IT")), "42\n");
+        assert_eq!(vm1(&prog("VISIBLE QUOSHUNT OF 7 AN 2")), "3\n");
+        assert_eq!(vm1(&prog("VISIBLE QUOSHUNT OF 7.0 AN 2")), "3.50\n");
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = prog(
+            "I HAS A x ITZ 2\n\
+             BOTH SAEM x AN 1, O RLY?\nYA RLY\nVISIBLE \"one\"\n\
+             MEBBE BOTH SAEM x AN 2\nVISIBLE \"two\"\n\
+             NO WAI\nVISIBLE \"other\"\nOIC",
+        );
+        assert_eq!(vm1(&src), "two\n");
+    }
+
+    #[test]
+    fn switch_fallthrough_gtfo() {
+        let src = prog(
+            "I HAS A x ITZ 1\nx, WTF?\n\
+             OMG 1\nVISIBLE \"one\"\n\
+             OMG 2\nVISIBLE \"two\"\nGTFO\n\
+             OMG 3\nVISIBLE \"three\"\n\
+             OMGWTF\nVISIBLE \"default\"\nOIC",
+        );
+        assert_eq!(vm1(&src), "one\ntwo\n");
+    }
+
+    #[test]
+    fn loops() {
+        assert_eq!(
+            vm1(&prog("IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 4\nVISIBLE i!\nIM OUTTA YR l")),
+            "0123"
+        );
+    }
+
+    #[test]
+    fn functions_recursion() {
+        let src = "HAI 1.2\n\
+            HOW IZ I fib YR n\n\
+            SMALLR n AN 2, O RLY?\nYA RLY\nFOUND YR n\nOIC\n\
+            FOUND YR SUM OF I IZ fib YR DIFF OF n AN 1 MKAY AN I IZ fib YR DIFF OF n AN 2 MKAY\n\
+            IF U SAY SO\n\
+            VISIBLE I IZ fib YR 15 MKAY\nKTHXBYE";
+        assert_eq!(vm1(src), "610\n");
+    }
+
+    #[test]
+    fn local_arrays() {
+        let src = prog(
+            "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 5\n\
+             IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 5\n\
+             a'Z i R SQUAR OF i\nIM OUTTA YR l\nVISIBLE a'Z 4",
+        );
+        assert_eq!(vm1(&src), "16\n");
+    }
+
+    #[test]
+    fn srs_is_rejected_at_compile_time() {
+        let (p, a) = build(&prog("I HAS A x ITZ 1\nVISIBLE SRS \"x\""));
+        let err = compile(&p, &a).unwrap_err();
+        assert_eq!(err.code, "VMC0001");
+    }
+
+    #[test]
+    fn pinned_types_coerce() {
+        assert_eq!(vm1(&prog("I HAS A x ITZ SRSLY A NUMBR\nx R \"42\"\nVISIBLE x")), "42\n");
+    }
+
+    #[test]
+    fn yarn_interpolation() {
+        assert_eq!(
+            vm1(&prog("I HAS A cat ITZ \"CEILING\"\nVISIBLE \"HAI :{cat} CAT\"")),
+            "HAI CEILING CAT\n"
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel ops
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn me_and_frenz() {
+        let outs = run_vm(4, &prog("VISIBLE \"PE \" ME \" OF \" MAH FRENZ"));
+        for (i, o) in outs.iter().enumerate() {
+            assert_eq!(o, &format!("PE {i} OF 4\n"));
+        }
+    }
+
+    #[test]
+    fn figure2_barrier_example() {
+        let src = prog(
+            "WE HAS A a ITZ SRSLY A NUMBR\n\
+             WE HAS A b ITZ SRSLY A NUMBR\n\
+             a R SUM OF ME AN 1\nHUGZ\n\
+             I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+             TXT MAH BFF k, UR b R MAH a\nHUGZ\n\
+             VISIBLE SUM OF a AN b",
+        );
+        let n = 5;
+        let outs = run_vm(n, &src);
+        for (me, o) in outs.iter().enumerate() {
+            let left = (me + n - 1) % n;
+            assert_eq!(o, &format!("{}\n", me + 1 + left + 1));
+        }
+    }
+
+    #[test]
+    fn locks_remote_increment() {
+        let src = prog(
+            "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\nHUGZ\n\
+             IM IN YR l UPPIN YR j TIL BOTH SAEM j AN 25\n\
+             TXT MAH BFF 0 AN STUFF\n\
+             IM SRSLY MESIN WIF UR x\n\
+             UR x R SUM OF UR x AN 1\n\
+             DUN MESIN WIF UR x\n\
+             TTYL\nIM OUTTA YR l\nHUGZ\nVISIBLE x",
+        );
+        let outs = run_vm(4, &src);
+        assert_eq!(outs[0], "100\n");
+    }
+
+    #[test]
+    fn whole_array_copy() {
+        let src = prog(
+            "WE HAS A array ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\n\
+             IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 8\n\
+             array'Z i R SUM OF PRODUKT OF ME AN 100 AN i\nIM OUTTA YR l\nHUGZ\n\
+             I HAS A mine ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\n\
+             I HAS A next ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+             TXT MAH BFF next, MAH mine R UR array\n\
+             VISIBLE mine'Z 7",
+        );
+        let n = 3;
+        let outs = run_vm(n, &src);
+        for (me, o) in outs.iter().enumerate() {
+            let next = (me + 1) % n;
+            assert_eq!(o, &format!("{}\n", next * 100 + 7));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Differential: VM ≡ interpreter
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn differential_sequential_corpus() {
+        let corpus = [
+            prog("VISIBLE \"HAI\""),
+            prog("I HAS A x ITZ 5\nx R SUM OF x AN 1\nVISIBLE x"),
+            prog("VISIBLE SMOOSH 1 AN \" \" AN 2.5 AN \" \" AN WIN MKAY"),
+            prog("IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10\nVISIBLE SQUAR OF i!\nIM OUTTA YR l"),
+            prog("I HAS A n ITZ 17\nMOD OF n AN 2, WTF?\nOMG 0\nVISIBLE \"even\"\nGTFO\nOMG 1\nVISIBLE \"odd\"\nOIC"),
+            prog("I HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 4\na'Z 0 R 1.5\na'Z 1 R 2.5\nVISIBLE SUM OF a'Z 0 AN a'Z 1"),
+            prog("VISIBLE BIGGR OF 3 AN 7\nVISIBLE SMALLR OF 3 AN 7\nVISIBLE BIGGER 3 AN 7\nVISIBLE SMALLR 3 AN 7"),
+            prog("VISIBLE WHATEVR\nVISIBLE WHATEVAR"),
+            prog("VISIBLE MAEK \"3.5\" A NUMBAR\nVISIBLE MAEK 9 A YARN\nVISIBLE MAEK 0 A TROOF"),
+            "HAI 1.2\nHOW IZ I gcd YR a AN YR b\nBOTH SAEM b AN 0, O RLY?\nYA RLY\nFOUND YR a\nOIC\nFOUND YR I IZ gcd YR b AN YR MOD OF a AN b MKAY\nIF U SAY SO\nVISIBLE I IZ gcd YR 252 AN YR 105 MKAY\nKTHXBYE".to_string(),
+        ];
+        for src in &corpus {
+            differential(1, src);
+        }
+    }
+
+    #[test]
+    fn differential_parallel_corpus() {
+        let corpus = [
+            prog("VISIBLE \"PE \" ME \"/\" MAH FRENZ"),
+            prog(
+                "WE HAS A x ITZ SRSLY A NUMBR\nx R PRODUKT OF ME AN 3\nHUGZ\n\
+                 I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+                 I HAS A y\nTXT MAH BFF k, y R UR x\nVISIBLE y",
+            ),
+            prog(
+                "WE HAS A arr ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 6\n\
+                 IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 6\n\
+                 arr'Z i R SUM OF ME AN WHATEVAR\nIM OUTTA YR l\nHUGZ\n\
+                 I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+                 I HAS A got\nTXT MAH BFF k, got R UR arr'Z 3\nVISIBLE got",
+            ),
+            prog(
+                "WE HAS A c ITZ A NUMBR AN IM SHARIN IT\nHUGZ\n\
+                 IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10\n\
+                 TXT MAH BFF 0 AN STUFF\nIM SRSLY MESIN WIF UR c\n\
+                 UR c R SUM OF UR c AN 1\nDUN MESIN WIF UR c\nTTYL\nIM OUTTA YR l\n\
+                 HUGZ\nVISIBLE c",
+            ),
+        ];
+        for src in &corpus {
+            differential(4, src);
+        }
+    }
+
+    #[test]
+    fn differential_nbody_style_kernel() {
+        // A miniature of the paper's Section VI.D structure.
+        let src = prog(
+            "I HAS A x ITZ SRSLY A NUMBAR\n\
+             I HAS A dx ITZ SRSLY A NUMBAR\n\
+             I HAS A inv ITZ SRSLY A NUMBAR\n\
+             WE HAS A pos ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 8\n\
+             IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 8\n\
+             pos'Z i R SUM OF ME AN WHATEVAR\nIM OUTTA YR l\nHUGZ\n\
+             I HAS A acc ITZ SRSLY A NUMBAR AN ITZ 0.0\n\
+             IM IN YR l UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ\n\
+             DIFFRINT k AN ME, O RLY?\nYA RLY\n\
+             IM IN YR m UPPIN YR j TIL BOTH SAEM j AN 8\n\
+             TXT MAH BFF k, dx R DIFF OF pos'Z 0 AN UR pos'Z j\n\
+             inv R FLIP OF UNSQUAR OF SUM OF PRODUKT OF dx AN dx AN 0.001\n\
+             acc R SUM OF acc AN inv\n\
+             IM OUTTA YR m\nOIC\nIM OUTTA YR l\n\
+             VISIBLE acc",
+        );
+        differential(4, &src);
+    }
+
+    #[test]
+    fn module_structure_is_reasonable() {
+        let (p, a) = build(&prog("VISIBLE \"x\"\nHUGZ"));
+        let m = compile(&p, &a).unwrap();
+        assert!(m.code_len() >= 3); // const+visible, barrier, halt
+        assert!(m.main.code.contains(&Op::Barrier));
+        assert!(matches!(m.main.code.last(), Some(Op::Halt)));
+    }
+
+    #[test]
+    fn consts_are_deduped() {
+        let (p, a) = build(&prog("VISIBLE 7\nVISIBLE 7\nVISIBLE 7"));
+        let m = compile(&p, &a).unwrap();
+        let sevens = m.consts.iter().filter(|v| **v == lol_interp::Value::Numbr(7)).count();
+        assert_eq!(sevens, 1);
+    }
+}

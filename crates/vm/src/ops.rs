@@ -1,0 +1,146 @@
+//! The bytecode instruction set.
+//!
+//! A compact stack machine: expressions leave values on the operand
+//! stack, locals live in a per-frame slot array (slot 0 is `IT`), and
+//! shared (symmetric) accesses carry their resolved heap offset, type
+//! and length — everything the semantic analysis could pin down ahead
+//! of time, which is exactly where the speedup over the tree-walker
+//! comes from.
+
+use lol_ast::{BinOp, LolType, UnOp};
+use lol_interp::Value;
+
+/// Where an array lives, for whole-array copies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrLoc {
+    /// A frame-local array slot.
+    Local { slot: u16 },
+    /// A symmetric array; `remote` selects the current BFF instead of
+    /// the own instance.
+    Shared { off: u32, len: u32, ty: LolType, remote: bool },
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push constant `k`.
+    Const(u16),
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// Pop, cast, push (for `MAEK` / pinned stores / `IS NOW A`).
+    Cast(LolType),
+    /// Pop and discard.
+    Pop,
+
+    /// Load a shared scalar (own or BFF instance).
+    SharedLoad { off: u32, ty: LolType, remote: bool },
+    /// Pop value, store to a shared scalar.
+    SharedStore { off: u32, ty: LolType, remote: bool },
+    /// Pop index, push element of a shared array.
+    SharedLoadIdx { off: u32, len: u32, ty: LolType, remote: bool },
+    /// Pop index then value, store element of a shared array.
+    SharedStoreIdx { off: u32, len: u32, ty: LolType, remote: bool },
+
+    /// Pop size, create a local array in `slot`.
+    LocalArrNew { slot: u16, ty: LolType },
+    /// Pop index, push element of local array in `slot`.
+    LocalArrLoad { slot: u16 },
+    /// Pop index then value, store element of local array.
+    LocalArrStore { slot: u16 },
+    /// Whole-array copy (Section VI.A).
+    ArrayCopy { dst: ArrLoc, src: ArrLoc },
+
+    /// Binary operator on the top two values (lhs below rhs).
+    Bin(BinOp),
+    /// Unary operator on the top value.
+    Un(UnOp),
+    /// N-ary string concat.
+    Smoosh(u8),
+    /// N-ary AND / OR.
+    AllOf(u8),
+    AnyOf(u8),
+
+    /// Unconditional jump (absolute pc).
+    Jump(u32),
+    /// Pop; jump when FAIL-y.
+    JumpIfFalse(u32),
+
+    /// Call function `func` with `argc` stack arguments.
+    Call { func: u16, argc: u8 },
+    /// Return the top of stack from the current function.
+    Ret,
+
+    /// Pop `argc` printed values (pushed left-to-right), emit.
+    Visible { argc: u8, newline: bool },
+    /// Push one input line as a YARN.
+    ReadLine,
+
+    /// `HUGZ`.
+    Barrier,
+    /// Locks on the resolved lock cell.
+    LockAcquire { off: u32, remote: bool },
+    /// Pushes WIN/FAIL.
+    LockTry { off: u32, remote: bool },
+    LockRelease { off: u32, remote: bool },
+
+    /// Pop PE number, validate, push onto the BFF (predication) stack.
+    PushBff,
+    /// Pop the BFF stack.
+    PopBff,
+
+    /// Environment queries / randomness.
+    Me,
+    MahFrenz,
+    RandI,
+    RandF,
+
+    /// End of the main chunk.
+    Halt,
+}
+
+/// A compiled chunk: code plus frame size.
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    pub code: Vec<Op>,
+    /// Number of local slots (slot 0 = IT).
+    pub n_slots: u16,
+}
+
+/// A compiled module: main chunk, function chunks, constant pool.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    pub consts: Vec<Value>,
+    pub main: Chunk,
+    /// Function chunks; `funcs[i].1.n_slots` includes IT + params.
+    pub funcs: Vec<(String, Chunk, u8)>,
+    /// Symmetric words to allocate at startup (from the sema layout).
+    pub shared_words: usize,
+}
+
+impl Module {
+    /// Total instruction count (diagnostics / tests).
+    pub fn code_len(&self) -> usize {
+        self.main.code.len() + self.funcs.iter().map(|(_, c, _)| c.code.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_small() {
+        // The dispatch loop copies ops; keep them cache-friendly.
+        assert!(std::mem::size_of::<Op>() <= 48, "Op grew to {} bytes", std::mem::size_of::<Op>());
+    }
+
+    #[test]
+    fn module_code_len_counts_everything() {
+        let mut m = Module::default();
+        m.main.code = vec![Op::Halt];
+        m.funcs.push(("f".into(), Chunk { code: vec![Op::Ret, Op::Ret], n_slots: 1 }, 0));
+        assert_eq!(m.code_len(), 3);
+    }
+}

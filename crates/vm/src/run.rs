@@ -1,0 +1,377 @@
+//! The stack VM executing compiled modules over the PGAS substrate.
+
+use crate::ops::{ArrLoc, Chunk, Module, Op};
+use lol_ast::LolType;
+use lol_interp::value::{arith, cast, compare, default_for, RResult, RunError, Value};
+use lol_shmem::{Pe, SymAddr};
+use std::collections::VecDeque;
+
+const MAX_CALL_DEPTH: usize = 200;
+
+/// One frame slot: a scalar value or a local array.
+#[derive(Debug, Clone)]
+enum Cell {
+    Val(Value),
+    Arr { elems: Vec<Value>, ty: LolType },
+}
+
+pub(crate) struct Vm<'a, 'w> {
+    module: &'a Module,
+    pe: &'a Pe<'w>,
+    base: SymAddr,
+    stack: Vec<Value>,
+    bff: Vec<usize>,
+    out: String,
+    input: VecDeque<String>,
+    call_depth: usize,
+}
+
+impl<'a, 'w> Vm<'a, 'w> {
+    pub(crate) fn new(module: &'a Module, pe: &'a Pe<'w>, input: &[String]) -> Self {
+        let base = if module.shared_words > 0 {
+            pe.shmalloc(module.shared_words)
+        } else {
+            SymAddr(0)
+        };
+        Vm {
+            module,
+            pe,
+            base,
+            stack: Vec::with_capacity(64),
+            bff: Vec::new(),
+            out: String::new(),
+            input: input.iter().cloned().collect(),
+            call_depth: 0,
+        }
+    }
+
+    pub(crate) fn run(mut self) -> RResult<String> {
+        let mut frame = new_frame(&self.module.main);
+        self.exec(&self.module.main, &mut frame)?;
+        Ok(self.out)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("VM stack underflow (compiler bug)")
+    }
+
+    fn target(&self, remote: bool) -> RResult<usize> {
+        if remote {
+            self.bff.last().copied().ok_or_else(|| {
+                RunError::new("RUN0120", "UR OUTSIDE TXT MAH BFF — WHOS ADDRESS SPACE IZ DIS?")
+            })
+        } else {
+            Ok(self.pe.id())
+        }
+    }
+
+    fn shared_read(&self, off: u32, index: usize, ty: LolType, target: usize) -> Value {
+        let addr = self.base.offset(off as usize + index);
+        match ty {
+            LolType::Numbar => Value::Numbar(self.pe.get_f64(addr, target)),
+            LolType::Troof => Value::Troof(self.pe.get_u64(addr, target) != 0),
+            _ => Value::Numbr(self.pe.get_i64(addr, target)),
+        }
+    }
+
+    fn shared_write(
+        &self,
+        off: u32,
+        index: usize,
+        ty: LolType,
+        target: usize,
+        v: &Value,
+    ) -> RResult<()> {
+        let addr = self.base.offset(off as usize + index);
+        match ty {
+            LolType::Numbar => self.pe.put_f64(addr, target, v.to_numbar()?),
+            LolType::Troof => self.pe.put_u64(addr, target, v.to_troof() as u64),
+            _ => self.pe.put_i64(addr, target, v.to_numbr()?),
+        }
+        Ok(())
+    }
+
+    fn bounds(idx: i64, len: u32) -> RResult<usize> {
+        if idx < 0 || idx as u32 >= len {
+            Err(RunError::new(
+                "RUN0123",
+                format!("INDEX {idx} IZ OUTSIDE DA ARRAY (IT HAS {len} THINGZ)"),
+            ))
+        } else {
+            Ok(idx as usize)
+        }
+    }
+
+    /// Execute a chunk to completion; returns the `Ret` value, if any.
+    fn exec(&mut self, chunk: &Chunk, frame: &mut [Cell]) -> RResult<Option<Value>> {
+        let mut pc = 0usize;
+        let code = &chunk.code;
+        while pc < code.len() {
+            let op = &code[pc];
+            pc += 1;
+            match op {
+                Op::Const(k) => self.stack.push(self.module.consts[*k as usize].clone()),
+                Op::LoadLocal(s) => match &frame[*s as usize] {
+                    Cell::Val(v) => self.stack.push(v.clone()),
+                    Cell::Arr { .. } => {
+                        return Err(RunError::new("RUN0011", "DIS IZ A WHOLE ARRAY"))
+                    }
+                },
+                Op::StoreLocal(s) => {
+                    let v = self.pop();
+                    frame[*s as usize] = Cell::Val(v);
+                }
+                Op::Cast(ty) => {
+                    let v = self.pop();
+                    self.stack.push(cast(&v, *ty)?);
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::SharedLoad { off, ty, remote } => {
+                    let t = self.target(*remote)?;
+                    self.stack.push(self.shared_read(*off, 0, *ty, t));
+                }
+                Op::SharedStore { off, ty, remote } => {
+                    let t = self.target(*remote)?;
+                    let v = self.pop();
+                    self.shared_write(*off, 0, *ty, t, &v)?;
+                }
+                Op::SharedLoadIdx { off, len, ty, remote } => {
+                    let t = self.target(*remote)?;
+                    let i = Self::bounds(self.pop().to_numbr()?, *len)?;
+                    self.stack.push(self.shared_read(*off, i, *ty, t));
+                }
+                Op::SharedStoreIdx { off, len, ty, remote } => {
+                    let t = self.target(*remote)?;
+                    let i = Self::bounds(self.pop().to_numbr()?, *len)?;
+                    let v = self.pop();
+                    self.shared_write(*off, i, *ty, t, &v)?;
+                }
+                Op::LocalArrNew { slot, ty } => {
+                    let n = self.pop().to_numbr()?;
+                    if n <= 0 {
+                        return Err(RunError::new(
+                            "RUN0014",
+                            format!("ARRAY SIZE MUST BE POSITIVE, NOT {n}"),
+                        ));
+                    }
+                    frame[*slot as usize] =
+                        Cell::Arr { elems: vec![default_for(*ty); n as usize], ty: *ty };
+                }
+                Op::LocalArrLoad { slot } => {
+                    let i = self.pop().to_numbr()?;
+                    match &frame[*slot as usize] {
+                        Cell::Arr { elems, .. } => {
+                            let i = Self::bounds(i, elems.len() as u32)?;
+                            self.stack.push(elems[i].clone());
+                        }
+                        Cell::Val(_) => {
+                            return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ"))
+                        }
+                    }
+                }
+                Op::LocalArrStore { slot } => {
+                    let i = self.pop().to_numbr()?;
+                    let v = self.pop();
+                    match &mut frame[*slot as usize] {
+                        Cell::Arr { elems, ty } => {
+                            let i = Self::bounds(i, elems.len() as u32)?;
+                            elems[i] = cast(&v, *ty)?;
+                        }
+                        Cell::Val(_) => {
+                            return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ"))
+                        }
+                    }
+                }
+                Op::ArrayCopy { dst, src } => self.array_copy(dst, src, frame)?,
+                Op::Bin(op) => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    let r = self.binop(*op, a, b)?;
+                    self.stack.push(r);
+                }
+                Op::Un(op) => {
+                    let v = self.pop();
+                    let r = self.unop(*op, v)?;
+                    self.stack.push(r);
+                }
+                Op::Smoosh(n) => {
+                    let vals = self.pop_n(*n);
+                    let mut s = String::new();
+                    for v in vals {
+                        s.push_str(&v.to_yarn()?);
+                    }
+                    self.stack.push(Value::yarn(s));
+                }
+                Op::AllOf(n) => {
+                    let vals = self.pop_n(*n);
+                    self.stack.push(Value::Troof(vals.iter().all(|v| v.to_troof())));
+                }
+                Op::AnyOf(n) => {
+                    let vals = self.pop_n(*n);
+                    self.stack.push(Value::Troof(vals.iter().any(|v| v.to_troof())));
+                }
+                Op::Jump(t) => pc = *t as usize,
+                Op::JumpIfFalse(t) => {
+                    let v = self.pop();
+                    if !v.to_troof() {
+                        pc = *t as usize;
+                    }
+                }
+                Op::Call { func, argc } => {
+                    if self.call_depth >= MAX_CALL_DEPTH {
+                        return Err(RunError::new(
+                            "RUN0130",
+                            format!("2 MUCH RECURSHUN (DEPTH {MAX_CALL_DEPTH})"),
+                        ));
+                    }
+                    let (_, chunk, arity) = &self.module.funcs[*func as usize];
+                    debug_assert_eq!(*arity, *argc, "arity checked by sema");
+                    let mut callee = new_frame(chunk);
+                    // Args were pushed left-to-right: pop into reverse.
+                    for i in (0..*argc).rev() {
+                        let v = self.pop();
+                        callee[1 + i as usize] = Cell::Val(v);
+                    }
+                    self.call_depth += 1;
+                    let r = self.exec(chunk, &mut callee)?;
+                    self.call_depth -= 1;
+                    self.stack.push(r.unwrap_or(Value::Noob));
+                }
+                Op::Ret => {
+                    let v = self.pop();
+                    return Ok(Some(v));
+                }
+                Op::Visible { argc, newline } => {
+                    let vals = self.pop_n(*argc);
+                    for v in vals {
+                        let s = v.to_yarn()?;
+                        self.out.push_str(&s);
+                    }
+                    if *newline {
+                        self.out.push('\n');
+                    }
+                }
+                Op::ReadLine => {
+                    let line = self.input.pop_front().ok_or_else(|| {
+                        RunError::new("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT")
+                    })?;
+                    self.stack.push(Value::yarn(line));
+                }
+                Op::Barrier => self.pe.barrier_all(),
+                Op::LockAcquire { off, remote } => {
+                    let t = self.target(*remote)?;
+                    self.pe.lock(self.base.offset(*off as usize), t);
+                }
+                Op::LockTry { off, remote } => {
+                    let t = self.target(*remote)?;
+                    let got = self.pe.try_lock(self.base.offset(*off as usize), t);
+                    self.stack.push(Value::Troof(got));
+                }
+                Op::LockRelease { off, remote } => {
+                    let t = self.target(*remote)?;
+                    self.pe.unlock(self.base.offset(*off as usize), t);
+                }
+                Op::PushBff => {
+                    let k = self.pop().to_numbr()?;
+                    if k < 0 || k as usize >= self.pe.n_pes() {
+                        return Err(RunError::new(
+                            "RUN0017",
+                            format!(
+                                "PE {k} IZ NOT MAH FREN (THERE R ONLY {} OF US)",
+                                self.pe.n_pes()
+                            ),
+                        ));
+                    }
+                    self.bff.push(k as usize);
+                }
+                Op::PopBff => {
+                    self.bff.pop();
+                }
+                Op::Me => self.stack.push(Value::Numbr(self.pe.id() as i64)),
+                Op::MahFrenz => self.stack.push(Value::Numbr(self.pe.n_pes() as i64)),
+                Op::RandI => self.stack.push(Value::Numbr(self.pe.rand_i64())),
+                Op::RandF => self.stack.push(Value::Numbar(self.pe.rand_f64())),
+                Op::Halt => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    fn pop_n(&mut self, n: u8) -> Vec<Value> {
+        let at = self.stack.len() - n as usize;
+        self.stack.split_off(at)
+    }
+
+    fn binop(&mut self, op: lol_ast::BinOp, a: Value, b: Value) -> RResult<Value> {
+        use lol_ast::BinOp::*;
+        match op {
+            Sum | Diff | Produkt | Quoshunt | Mod | BiggrOf | SmallrOf => arith(op, &a, &b),
+            Bigger | Smallr => compare(op, &a, &b),
+            BothSaem => Ok(Value::Troof(a.saem(&b))),
+            Diffrint => Ok(Value::Troof(!a.saem(&b))),
+            BothOf => Ok(Value::Troof(a.to_troof() && b.to_troof())),
+            EitherOf => Ok(Value::Troof(a.to_troof() || b.to_troof())),
+            WonOf => Ok(Value::Troof(a.to_troof() ^ b.to_troof())),
+        }
+    }
+
+    fn unop(&mut self, op: lol_ast::UnOp, v: Value) -> RResult<Value> {
+        use lol_ast::UnOp::*;
+        match op {
+            Not => Ok(Value::Troof(!v.to_troof())),
+            Squar => arith(lol_ast::BinOp::Produkt, &v, &v),
+            Unsquar => Ok(Value::Numbar(v.to_numbar()?.sqrt())),
+            Flip => Ok(Value::Numbar(1.0 / v.to_numbar()?)),
+        }
+    }
+
+    fn array_copy(&mut self, dst: &ArrLoc, src: &ArrLoc, frame: &mut [Cell]) -> RResult<()> {
+        let values: Vec<Value> = match src {
+            ArrLoc::Local { slot } => match &frame[*slot as usize] {
+                Cell::Arr { elems, .. } => elems.clone(),
+                Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+            },
+            ArrLoc::Shared { off, len, ty, remote } => {
+                let t = self.target(*remote)?;
+                (0..*len as usize).map(|i| self.shared_read(*off, i, *ty, t)).collect()
+            }
+        };
+        match dst {
+            ArrLoc::Local { slot } => {
+                let ty = match &frame[*slot as usize] {
+                    Cell::Arr { ty, .. } => *ty,
+                    Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+                };
+                let converted: RResult<Vec<Value>> = values.iter().map(|v| cast(v, ty)).collect();
+                match &mut frame[*slot as usize] {
+                    Cell::Arr { elems, .. } => *elems = converted?,
+                    Cell::Val(_) => unreachable!(),
+                }
+                Ok(())
+            }
+            ArrLoc::Shared { off, len, ty, remote } => {
+                if values.len() != *len as usize {
+                    return Err(RunError::new(
+                        "RUN0013",
+                        format!(
+                            "ARRAY COPY SIZE MISMATCH: {} THINGZ INTO {len}",
+                            values.len()
+                        ),
+                    ));
+                }
+                let t = self.target(*remote)?;
+                for (i, v) in values.iter().enumerate() {
+                    self.shared_write(*off, i, *ty, t, v)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn new_frame(chunk: &Chunk) -> Vec<Cell> {
+    vec![Cell::Val(Value::Noob); chunk.n_slots as usize]
+}

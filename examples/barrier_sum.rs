@@ -1,0 +1,39 @@
+//! Section VI.C / Figure 2 — barriers and symmetric data movement.
+//!
+//! Each PE copies its local `a` into the *next* PE's `b`
+//! (`TXT MAH BFF k, UR b R MAH a`), everyone hugs, and only then is
+//! `c R SUM OF a AN b` computed — the synchronization the paper calls
+//! "typical for distributed memory applications found on HPC systems".
+//!
+//! ```text
+//! cargo run --release --example barrier_sum [n_pes]
+//! ```
+
+use icanhas::prelude::*;
+
+fn main() {
+    let n_pes: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    println!("Figure 2 on {n_pes} PEs:\n");
+    let outputs =
+        run_source(corpus::BARRIER_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
+    for out in &outputs {
+        print!("{out}");
+    }
+
+    // c on PE p must be (p+1) + (left neighbour + 1), deterministically.
+    for (pe, out) in outputs.iter().enumerate() {
+        let left = (pe + n_pes - 1) % n_pes;
+        let want = format!("PE {pe}: C = {}\n", pe + 1 + left + 1);
+        assert_eq!(out, &want);
+    }
+    println!("\ndeterministic across runs:");
+    for round in 1..=5 {
+        let again =
+            run_source(corpus::BARRIER_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
+        assert_eq!(again, outputs, "HUGZ failed to order the data movement");
+        println!("  round {round}: identical");
+    }
+    println!("\nwithout HUGZ dis would be a race — dats why we hug. KTHXBYE");
+}

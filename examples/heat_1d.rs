@@ -1,0 +1,126 @@
+//! 1D heat diffusion with halo exchange — the canonical distributed
+//! stencil, in parallel LOLCODE. Each PE owns a 16-cell segment of the
+//! rod; every step it reads its neighbours' edge cells with predicated
+//! remote reads (`TXT MAH BFF`), hugs, and updates its segment.
+//!
+//! Demonstrates the read-barrier-compute-write-barrier discipline that
+//! Figure 2 of the paper motivates.
+//!
+//! ```text
+//! cargo run --release --example heat_1d [n_pes] [steps]
+//! ```
+
+use icanhas::prelude::*;
+
+const CELLS: usize = 16;
+
+fn program(steps: usize) -> String {
+    format!(
+        r#"HAI 1.2
+WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cells}
+I HAS A unew ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cells}
+I HAS A lv ITZ SRSLY A NUMBAR
+I HAS A rv ITZ SRSLY A NUMBAR
+I HAS A here ITZ SRSLY A NUMBAR
+I HAS A left ITZ SRSLY A NUMBAR
+I HAS A rite ITZ SRSLY A NUMBAR
+I HAS A last ITZ A NUMBR AN ITZ DIFF OF MAH FRENZ AN 1
+
+BTW PE 0's first cell starts hot, everything else cold
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  u'Z 0 R 100.0
+OIC
+HUGZ
+
+IM IN YR time UPPIN YR t TIL BOTH SAEM t AN {steps}
+  BTW phase 1: read neighbour halos while u iz stable
+  lv R u'Z 0
+  rv R u'Z {last_cell}
+  BIGGER ME AN 0, O RLY?
+  YA RLY
+    TXT MAH BFF DIFF OF ME AN 1, lv R UR u'Z {last_cell}
+  OIC
+  SMALLR ME AN last, O RLY?
+  YA RLY
+    TXT MAH BFF SUM OF ME AN 1, rv R UR u'Z 0
+  OIC
+  HUGZ
+
+  BTW phase 2: stencil into unew (insulated global ends)
+  IM IN YR cells UPPIN YR i TIL BOTH SAEM i AN {cells}
+    here R u'Z i
+    BOTH SAEM i AN 0, O RLY?
+    YA RLY
+      left R lv
+    NO WAI
+      left R u'Z DIFF OF i AN 1
+    OIC
+    BOTH SAEM i AN {last_cell}, O RLY?
+    YA RLY
+      rite R rv
+    NO WAI
+      rite R u'Z SUM OF i AN 1
+    OIC
+    unew'Z i R SUM OF here AN PRODUKT OF 0.25 ...
+      AN SUM OF DIFF OF left AN here AN DIFF OF rite AN here
+  IM OUTTA YR cells
+
+  BTW phase 3: publish unew into u, den hug
+  IM IN YR copy UPPIN YR i TIL BOTH SAEM i AN {cells}
+    u'Z i R unew'Z i
+  IM OUTTA YR copy
+  HUGZ
+IM OUTTA YR time
+
+BTW report da heat dis PE holds
+I HAS A heat ITZ SRSLY A NUMBAR AN ITZ 0.0
+IM IN YR tally UPPIN YR i TIL BOTH SAEM i AN {cells}
+  heat R SUM OF heat AN u'Z i
+IM OUTTA YR tally
+VISIBLE "PE " ME " HEAT " heat
+KTHXBYE
+"#,
+        cells = CELLS,
+        last_cell = CELLS - 1,
+        steps = steps,
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_pes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let steps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    println!("1D heat: {n_pes} PEs x {CELLS} cells, {steps} steps\n");
+    let src = program(steps);
+    let outputs = run_source(&src, RunConfig::new(n_pes)).expect("diffusion failed");
+    let mut total = 0.0f64;
+    for out in &outputs {
+        print!("{out}");
+        let heat: f64 = out
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|t| t.parse().ok())
+            .expect("output shape");
+        total += heat;
+    }
+
+    // Insulated rod: total heat is conserved. Each PE prints with
+    // LOLCODE's 2-decimal YARN cast, so allow ±0.005 per PE of rounding.
+    println!("\ntotal heat = {total:.4} (injected 100.0)");
+    assert!(
+        (total - 100.0).abs() < 0.005 * n_pes as f64 + 1e-9,
+        "heat leaked beyond print rounding!"
+    );
+
+    // Diffusion reality check: after enough steps, heat has spread off
+    // PE 0 (unless it is the whole rod).
+    if n_pes > 1 && steps >= 100 {
+        let pe0: f64 =
+            outputs[0].trim().rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(pe0 < 100.0, "no diffusion happened");
+        println!("heat spread beyond PE 0 (PE 0 holds {pe0:.2}) — KTHXBYE");
+    }
+}

@@ -1,0 +1,54 @@
+//! Section VI.B — parallel synchronization with the implicit locks of
+//! `AN IM SHARIN IT`: every PE increments PE 0's shared counter under
+//! the lock, so no update is ever lost. Also demonstrates the Section V
+//! trylock-then-lock pattern.
+//!
+//! ```text
+//! cargo run --release --example locks [n_pes]
+//! ```
+
+use icanhas::prelude::*;
+
+fn main() {
+    let n_pes: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    println!("== Section VI.B: remote increments under da lock ==");
+    let outputs = run_source(corpus::LOCKS_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
+    for out in &outputs {
+        print!("{out}");
+    }
+    assert_eq!(
+        outputs[0],
+        format!("PE 0 SEES X = {n_pes}\n"),
+        "a lost update — the lock failed!"
+    );
+    println!("--> all {n_pes} increments accounted for\n");
+
+    println!("== Section V: trylock, den fall back to blocking lock ==");
+    let outputs =
+        run_source(corpus::TRYLOCK_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
+    for out in &outputs {
+        print!("{out}");
+    }
+
+    // A heavier contention torture: 100 increments per PE, checked.
+    println!("\n== contention torture: 100 increments x {n_pes} PEs ==");
+    let torture = String::from(
+        "HAI 1.2\n\
+         WE HAS A c ITZ A NUMBR AN IM SHARIN IT\nHUGZ\n\
+         IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 100\n\
+         TXT MAH BFF 0 AN STUFF\n\
+         IM SRSLY MESIN WIF UR c\n\
+         UR c R SUM OF UR c AN 1\n\
+         DUN MESIN WIF UR c\n\
+         TTYL\n\
+         IM OUTTA YR l\nHUGZ\n\
+         BOTH SAEM ME AN 0, O RLY?\nYA RLY\nVISIBLE \"TOTAL = \" c\nOIC\n\
+         KTHXBYE"
+    );
+    let outputs = run_source(&torture, RunConfig::new(n_pes)).expect("torture failed");
+    print!("{}", outputs[0]);
+    assert_eq!(outputs[0], format!("TOTAL = {}\n", n_pes * 100));
+    println!("--> mutual exclusion holds under contention — KTHXBYE");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run your first parallel LOLCODE program.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the three core concepts of the paper in ~20 lines of
+//! LOLCODE: SPMD identity (`ME` / `MAH FRENZ`), symmetric shared memory
+//! (`WE HAS A`), and barrier synchronization (`HUGZ`).
+
+use icanhas::prelude::*;
+
+const PROGRAM: &str = r#"HAI 1.2
+BTW every PE runs dis same program (SPMD!)
+VISIBLE "OH HAI, I IZ PE " ME " OF " MAH FRENZ
+
+BTW a symmetric shared variable: one instance per PE
+WE HAS A x ITZ SRSLY A NUMBR
+x R SQUAR OF ME
+
+BTW all PEs must hug before reading each other's data
+HUGZ
+
+BTW gather: sum every PE's x via remote reads
+I HAS A total ITZ 0
+IM IN YR gather UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+  TXT MAH BFF k, total R SUM OF total AN UR x
+IM OUTTA YR gather
+VISIBLE "SUM OF ALL SQUARZ IZ " total
+KTHXBYE
+"#;
+
+fn main() {
+    let n_pes = 4;
+    println!("== running on {n_pes} PEs (interpreter) ==");
+    let outputs = run_source(PROGRAM, RunConfig::new(n_pes)).expect("program failed");
+    for (pe, out) in outputs.iter().enumerate() {
+        for line in out.lines() {
+            println!("[PE {pe}] {line}");
+        }
+    }
+
+    // The same program through the compiled (bytecode VM) path.
+    println!("\n== same program, compiled backend ==");
+    let vm_out = run_source(PROGRAM, RunConfig::new(n_pes).backend(Backend::Vm))
+        .expect("vm run failed");
+    assert_eq!(outputs, vm_out, "backends must agree");
+    println!("VM output identical to interpreter — OK");
+
+    // Expected total: 0 + 1 + 4 + 9 = 14 on every PE.
+    for out in &outputs {
+        assert!(out.contains("SUM OF ALL SQUARZ IZ 14"), "unexpected: {out}");
+    }
+    println!("\nKTHXBYE (all checks passed)");
+}

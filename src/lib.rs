@@ -1,0 +1,36 @@
+//! # I Can Has Supercomputer? — parallel LOLCODE in Rust
+//!
+//! Facade crate for the workspace: re-exports the public surface of the
+//! toolchain so the examples and integration tests have a single import
+//! root.
+//!
+//! ```
+//! use icanhas::prelude::*;
+//!
+//! let outs = run_source(
+//!     "HAI 1.2\nVISIBLE \"OH HAI PE \" ME\nKTHXBYE",
+//!     RunConfig::new(2),
+//! ).unwrap();
+//! assert_eq!(outs[0], "OH HAI PE 0\n");
+//! ```
+//!
+//! See `README.md` for the architecture tour, `DESIGN.md` for the
+//! paper-to-module mapping and `EXPERIMENTS.md` for the reproduced
+//! tables/figures.
+
+pub use lol_ast as ast;
+pub use lol_sema as sema;
+pub use lol_c_codegen as codegen;
+pub use lol_interp as interp;
+pub use lol_shmem as shmem;
+pub use lol_vm as vm;
+pub use lolcode as driver;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use lol_shmem::{
+        run_spmd, BarrierKind, LatencyModel, LockKind, ShmemConfig, SymAddr, WaitCmp,
+    };
+    pub use lolcode::corpus;
+    pub use lolcode::{check, compile_to_c, parse_program, run_source, Backend, LolError, RunConfig};
+}

@@ -1,0 +1,105 @@
+//! Experiment F2 (negative space) — what `HUGZ` is *for*.
+//!
+//! The paper warns: "Without synchronization, the program cannot
+//! prevent fast PEs from calculating the sum before their b value has
+//! been updated by the remote PE." This test pins down exactly that
+//! contract:
+//!
+//! * with the barrier, the result is always the fresh value;
+//! * without the barrier, every observed value is either the stale
+//!   initial value or the fresh one — never garbage (word-granular
+//!   atomicity), and the program never crashes.
+
+use icanhas::prelude::*;
+use std::time::Duration;
+
+const WITH_HUGZ: &str = "HAI 1.2
+WE HAS A b ITZ SRSLY A NUMBR
+I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
+TXT MAH BFF k, UR b R SUM OF ME AN 100
+HUGZ
+VISIBLE b
+KTHXBYE
+";
+
+const WITHOUT_HUGZ: &str = "HAI 1.2
+WE HAS A b ITZ SRSLY A NUMBR
+I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
+TXT MAH BFF k, UR b R SUM OF ME AN 100
+VISIBLE b
+KTHXBYE
+";
+
+fn cfg(n: usize) -> RunConfig {
+    RunConfig::new(n).timeout(Duration::from_secs(30))
+}
+
+#[test]
+fn with_barrier_always_fresh() {
+    let n = 8;
+    for round in 0..25 {
+        let outs = run_source(WITH_HUGZ, cfg(n)).unwrap();
+        for (me, o) in outs.iter().enumerate() {
+            let left = (me + n - 1) % n;
+            assert_eq!(
+                o,
+                &format!("{}\n", left + 100),
+                "round {round}: HUGZ failed to order the put"
+            );
+        }
+    }
+}
+
+#[test]
+fn without_barrier_stale_or_fresh_never_garbage() {
+    let n = 8;
+    let mut stale_seen = 0usize;
+    for _ in 0..25 {
+        let outs = run_source(WITHOUT_HUGZ, cfg(n)).unwrap();
+        for (me, o) in outs.iter().enumerate() {
+            let left = (me + n - 1) % n;
+            let v: i64 = o.trim().parse().expect("numeric");
+            let fresh = (left + 100) as i64;
+            assert!(
+                v == fresh || v == 0,
+                "PE {me} observed torn/garbage value {v} (expected 0 or {fresh})"
+            );
+            if v == 0 {
+                stale_seen += 1;
+            }
+        }
+    }
+    // We cannot *require* the race to fire (that would be flaky), but
+    // record it when it does: this println is the teaching artifact.
+    println!("stale reads observed without HUGZ: {stale_seen} / {}", 25 * n);
+}
+
+#[test]
+fn sema_warns_about_conditional_hugz() {
+    // The lint that catches the classic deadlock before it runs.
+    let (_, _, warnings) = check(
+        "HAI 1.2\nBOTH SAEM ME AN 0, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE",
+    )
+    .unwrap();
+    assert!(
+        warnings.iter().any(|w| w.contains("SEM0012")),
+        "expected the conditional-barrier lint: {warnings:?}"
+    );
+}
+
+#[test]
+fn actual_conditional_hugz_deadlock_is_caught_by_watchdog() {
+    // And if you run it anyway, the watchdog turns the hang into a
+    // diagnosed failure instead of a frozen terminal.
+    let src = "HAI 1.2\nBOTH SAEM ME AN 0, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE";
+    let err = run_source(src, cfg(2).timeout(Duration::from_millis(300))).unwrap_err();
+    match err {
+        LolError::Runtime(e) => {
+            assert!(
+                e.message.contains("RUN0191") || e.message.contains("RUN0190"),
+                "{e}"
+            );
+        }
+        other => panic!("expected runtime failure, got {other:?}"),
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: the complete paper workflow through the
+//! public facade — every Section VI example, end to end, on multiple
+//! PE counts, with both execution backends and the C emitter.
+
+use icanhas::prelude::*;
+use std::time::Duration;
+
+fn cfg(n: usize) -> RunConfig {
+    RunConfig::new(n).timeout(Duration::from_secs(60))
+}
+
+#[test]
+fn every_corpus_program_runs_on_1_2_4_8_pes() {
+    for src in [
+        corpus::HELLO_PARALLEL,
+        corpus::RING_EXAMPLE,
+        corpus::LOCKS_EXAMPLE,
+        corpus::BARRIER_EXAMPLE,
+        corpus::TRYLOCK_EXAMPLE,
+    ] {
+        for n in [1usize, 2, 4, 8] {
+            let outs = run_source(src, cfg(n)).unwrap_or_else(|e| {
+                panic!("failed at {n} PEs: {e}\n{src}");
+            });
+            assert_eq!(outs.len(), n);
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_every_corpus_program() {
+    for src in [
+        corpus::HELLO_PARALLEL,
+        corpus::RING_EXAMPLE,
+        corpus::LOCKS_EXAMPLE,
+        corpus::BARRIER_EXAMPLE,
+        corpus::TRYLOCK_EXAMPLE,
+    ] {
+        let a = run_source(src, cfg(4).seed(9)).unwrap();
+        let b = run_source(src, cfg(4).seed(9).backend(Backend::Vm)).unwrap();
+        assert_eq!(a, b, "interp/vm divergence on:\n{src}");
+    }
+}
+
+#[test]
+fn every_corpus_program_emits_c() {
+    for src in [
+        corpus::HELLO_PARALLEL,
+        corpus::RING_EXAMPLE,
+        corpus::LOCKS_EXAMPLE,
+        corpus::BARRIER_EXAMPLE,
+        corpus::TRYLOCK_EXAMPLE,
+    ] {
+        let c = compile_to_c(src).unwrap();
+        assert!(c.contains("int main(void)"));
+        assert_eq!(c.matches('{').count(), c.matches('}').count(), "unbalanced C");
+    }
+}
+
+#[test]
+fn nbody_paper_configuration_16_pes() {
+    // The Parallella demo: 16 PEs, 32 particles each, 10 steps.
+    let src = corpus::nbody_paper();
+    let outs = run_source(&src, cfg(16).backend(Backend::Vm).seed(2017)).unwrap();
+    assert_eq!(outs.len(), 16);
+    for (pe, out) in outs.iter().enumerate() {
+        assert!(out.starts_with(&format!("HAI ITZ {pe} I HAS PARTICLZ 2 MUV\n")));
+        // 32 final particle positions, all finite.
+        let positions: Vec<&str> = out.lines().skip(2).collect();
+        assert_eq!(positions.len(), 32);
+        for line in positions {
+            for tok in line.split_whitespace() {
+                let v: f64 = tok.parse().expect("numeric position");
+                assert!(v.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn nbody_cray_analog_32_pes() {
+    // Scaling past the Parallella: 32 PEs (Cray-direction analog),
+    // smaller per-PE problem to keep test time sane.
+    let src = corpus::nbody_source(4, 2);
+    let outs = run_source(&src, cfg(32).backend(Backend::Vm)).unwrap();
+    assert_eq!(outs.len(), 32);
+}
+
+#[test]
+fn latency_models_do_not_change_results() {
+    // Mesh/flat latency shifts time, never values.
+    let baseline = run_source(corpus::BARRIER_EXAMPLE, cfg(4).seed(5)).unwrap();
+    for lat in [LatencyModel::epiphany16(), LatencyModel::xc40()] {
+        let with_lat =
+            run_source(corpus::BARRIER_EXAMPLE, cfg(4).seed(5).latency(lat)).unwrap();
+        assert_eq!(baseline, with_lat, "{lat:?} changed program semantics");
+    }
+}
+
+#[test]
+fn barrier_algorithms_do_not_change_results() {
+    let mut cfg_d = cfg(8).seed(5);
+    cfg_d.barrier = BarrierKind::Dissemination;
+    let a = run_source(corpus::BARRIER_EXAMPLE, cfg(8).seed(5)).unwrap();
+    let b = run_source(corpus::BARRIER_EXAMPLE, cfg_d).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lock_algorithms_do_not_change_results() {
+    let mut cfg_t = cfg(8).seed(5);
+    cfg_t.lock = LockKind::Ticket;
+    let a = run_source(corpus::LOCKS_EXAMPLE, cfg(8).seed(5)).unwrap();
+    let b = run_source(corpus::LOCKS_EXAMPLE, cfg_t).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration at the substrate level: the raw PGAS API
+//! driven the way the generated code drives it, plus property-based
+//! checks of the collective operations.
+
+use icanhas::prelude::*;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn cfg(n: usize) -> ShmemConfig {
+    ShmemConfig::new(n).timeout(Duration::from_secs(30))
+}
+
+#[test]
+fn shmem_api_matches_language_semantics() {
+    // The Figure 2 example, hand-written against the raw API (this is
+    // what the emitted C does through shmem_*).
+    let n = 6;
+    let raw = run_spmd(cfg(n), |pe| {
+        let a = pe.shmalloc(1);
+        let b = pe.shmalloc(1);
+        pe.put_i64(a, pe.id(), pe.id() as i64 + 1);
+        pe.barrier_all();
+        let k = (pe.id() + 1) % pe.n_pes();
+        let mine = pe.get_i64(a, pe.id());
+        pe.put_i64(b, k, mine);
+        pe.barrier_all();
+        pe.get_i64(a, pe.id()) + pe.get_i64(b, pe.id())
+    })
+    .unwrap();
+
+    let lang = run_source(corpus::BARRIER_EXAMPLE, lolcode::RunConfig::new(n)).unwrap();
+    for (pe, (r, l)) in raw.iter().zip(lang.iter()).enumerate() {
+        let printed: i64 =
+            l.trim().rsplit(' ').next().unwrap().parse().expect("numeric");
+        assert_eq!(*r, printed, "substrate and language disagree on PE {pe}");
+    }
+}
+
+#[test]
+fn reductions_against_language_gather() {
+    // reduce_i64(Sum) must equal the language-level TXT gather loop.
+    let n = 8;
+    let raw = run_spmd(cfg(n), |pe| {
+        pe.reduce_i64((pe.id() as i64 + 1) * 3, lol_shmem::world::ReduceOp::Sum)
+    })
+    .unwrap();
+    let want: i64 = (1..=n as i64).map(|v| v * 3).sum();
+    for v in raw {
+        assert_eq!(v, want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Broadcast delivers the root's word to every PE, whatever the
+    /// root and payload.
+    #[test]
+    fn broadcast_any_root(root in 0usize..4, payload in any::<u64>()) {
+        let got = run_spmd(cfg(4), |pe| pe.broadcast_u64(root, payload)).unwrap();
+        for v in got {
+            prop_assert_eq!(v, payload);
+        }
+    }
+
+    /// Put-then-barrier-then-get returns exactly what was put, for any
+    /// word pattern (no tearing, no truncation).
+    #[test]
+    fn put_get_roundtrip(words in proptest::collection::vec(any::<u64>(), 1..32)) {
+        let words2 = words.clone();
+        let got = run_spmd(cfg(2), move |pe| {
+            let a = pe.shmalloc(words2.len());
+            if pe.id() == 0 {
+                pe.put_block(a, 1, &words2);
+            }
+            pe.barrier_all();
+            let mut out = vec![0u64; words2.len()];
+            if pe.id() == 1 {
+                pe.get_block(a, 1, &mut out);
+            }
+            out
+        }).unwrap();
+        prop_assert_eq!(&got[1], &words);
+    }
+
+    /// The AMO counter is exact for any per-PE iteration count.
+    #[test]
+    fn fetch_add_is_exact(iters in 1usize..200) {
+        let n = 4;
+        let got = run_spmd(cfg(n), move |pe| {
+            let a = pe.shmalloc(1);
+            for _ in 0..iters {
+                pe.fetch_add_i64(a, 0, 1);
+            }
+            pe.barrier_all();
+            pe.get_i64(a, 0)
+        }).unwrap();
+        prop_assert_eq!(got[0], (n * iters) as i64);
+    }
+}
