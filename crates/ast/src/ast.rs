@@ -576,11 +576,7 @@ mod tests {
     fn lvalue_span_delegates() {
         let v = VarRef::named(Ident::synthetic("x"));
         assert_eq!(LValue::Var(v.clone()).span(), Span::DUMMY);
-        let idx = LValue::Index {
-            arr: v,
-            idx: Box::new(num(1)),
-            span: Span::new(3, 9),
-        };
+        let idx = LValue::Index { arr: v, idx: Box::new(num(1)), span: Span::new(3, 9) };
         assert_eq!(idx.span(), Span::new(3, 9));
     }
 
@@ -594,9 +590,6 @@ mod tests {
 
     #[test]
     fn lit_yarn_helper() {
-        assert_eq!(
-            Lit::yarn("HAI"),
-            Lit::Yarn(vec![YarnPart::Text("HAI".into())])
-        );
+        assert_eq!(Lit::yarn("HAI"), Lit::Yarn(vec![YarnPart::Text("HAI".into())]));
     }
 }

@@ -354,11 +354,8 @@ mod tests {
             lhs: Box::new(var("a")),
             rhs: Box::new(var("b")),
         });
-        let outer = e(ExprKind::Bin {
-            op: BinOp::Sum,
-            lhs: Box::new(inner),
-            rhs: Box::new(var("c")),
-        });
+        let outer =
+            e(ExprKind::Bin { op: BinOp::Sum, lhs: Box::new(inner), rhs: Box::new(var("c")) });
         assert_eq!(print_expr(&outer), "SUM OF PRODUKT OF a AN b AN c");
     }
 
@@ -392,10 +389,8 @@ mod tests {
 
     #[test]
     fn prints_call_and_smoosh() {
-        let call = e(ExprKind::Call {
-            name: Ident::synthetic("add"),
-            args: vec![var("a"), var("b")],
-        });
+        let call =
+            e(ExprKind::Call { name: Ident::synthetic("add"), args: vec![var("a"), var("b")] });
         assert_eq!(print_expr(&call), "I IZ add YR a AN YR b MKAY");
         let sm = e(ExprKind::Nary { op: NaryOp::Smoosh, args: vec![var("a"), var("b")] });
         assert_eq!(print_expr(&sm), "SMOOSH a AN b MKAY");
@@ -413,10 +408,7 @@ mod tests {
             sharin: true,
             span: Span::DUMMY,
         };
-        assert_eq!(
-            decl(&d),
-            "WE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32 AN IM SHARIN IT"
-        );
+        assert_eq!(decl(&d), "WE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 32 AN IM SHARIN IT");
     }
 
     #[test]
@@ -426,10 +418,7 @@ mod tests {
             includes: vec![Include { lib: Ident::synthetic("STDIO"), span: Span::DUMMY }],
             body: vec![
                 Stmt::new(StmtKind::Hugz, Span::DUMMY),
-                Stmt::new(
-                    StmtKind::Visible { args: vec![var("x")], newline: false },
-                    Span::DUMMY,
-                ),
+                Stmt::new(StmtKind::Visible { args: vec![var("x")], newline: false }, Span::DUMMY),
             ],
             funcs: vec![],
         };

@@ -101,21 +101,14 @@ impl SourceMap {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        LineCol {
-            line: line_idx as u32 + 1,
-            col: offset - self.line_starts[line_idx] + 1,
-        }
+        LineCol { line: line_idx as u32 + 1, col: offset - self.line_starts[line_idx] + 1 }
     }
 
     /// The full text of the (1-based) line, without its newline.
     pub fn line_text(&self, line: u32) -> &str {
         let idx = (line as usize).saturating_sub(1);
         let start = *self.line_starts.get(idx).unwrap_or(&0) as usize;
-        let end = self
-            .line_starts
-            .get(idx + 1)
-            .map(|&s| s as usize)
-            .unwrap_or(self.src.len());
+        let end = self.line_starts.get(idx + 1).map(|&s| s as usize).unwrap_or(self.src.len());
         self.src[start..end].trim_end_matches(['\n', '\r'])
     }
 

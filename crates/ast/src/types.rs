@@ -106,13 +106,7 @@ mod tests {
 
     #[test]
     fn keyword_roundtrip() {
-        for t in [
-            LolType::Noob,
-            LolType::Troof,
-            LolType::Numbr,
-            LolType::Numbar,
-            LolType::Yarn,
-        ] {
+        for t in [LolType::Noob, LolType::Troof, LolType::Numbr, LolType::Numbar, LolType::Yarn] {
             assert_eq!(LolType::from_keyword(t.keyword()), Some(t));
             assert_eq!(LolType::from_plural_keyword(t.plural_keyword()), Some(t));
         }

@@ -217,7 +217,10 @@ mod tests {
             version: None,
             includes: vec![],
             body: vec![Stmt::new(
-                StmtKind::TxtBlock { pe: e(ExprKind::Var(VarRef::named(Ident::synthetic("k")))), body },
+                StmtKind::TxtBlock {
+                    pe: e(ExprKind::Var(VarRef::named(Ident::synthetic("k")))),
+                    body,
+                },
                 Span::DUMMY,
             )],
             funcs: vec![],

@@ -20,28 +20,22 @@ fn bench_barrier(c: &mut Criterion) {
                 BarrierKind::Centralized => "central",
                 BarrierKind::Dissemination => "dissemination",
             };
-            g.bench_with_input(
-                BenchmarkId::new(name, n_pes),
-                &n_pes,
-                |b, &n| {
-                    b.iter_custom(|iters| {
-                        let cfg = ShmemConfig::new(n)
-                            .barrier(kind)
-                            .timeout(Duration::from_secs(60));
-                        let times = run_spmd(cfg, |pe| {
-                            pe.barrier_all(); // line everyone up
-                            let t0 = Instant::now();
-                            for _ in 0..iters {
-                                pe.barrier_all();
-                            }
-                            t0.elapsed()
-                        })
-                        .expect("barrier bench job failed");
-                        // The slowest PE defines the episode length.
-                        times.into_iter().max().unwrap()
+            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, &n| {
+                b.iter_custom(|iters| {
+                    let cfg = ShmemConfig::new(n).barrier(kind).timeout(Duration::from_secs(60));
+                    let times = run_spmd(cfg, |pe| {
+                        pe.barrier_all(); // line everyone up
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            pe.barrier_all();
+                        }
+                        t0.elapsed()
                     })
-                },
-            );
+                    .expect("barrier bench job failed");
+                    // The slowest PE defines the episode length.
+                    times.into_iter().max().unwrap()
+                })
+            });
         }
     }
     g.finish();

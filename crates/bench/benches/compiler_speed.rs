@@ -4,8 +4,15 @@
 //!
 //! Stages: lex, parse, sema, bytecode compile, C emission, full
 //! source→C pipeline. Throughput in source bytes/second.
+//!
+//! The `amortization` group then measures what the compile-once/
+//! run-many API buys: `one_shot_run_source` re-runs the whole front
+//! end on every execution, `artifact_run` reuses one `Compiled`
+//! artifact (only execution remains), and `artifact_run_many` drives a
+//! whole sweep off that artifact through `Engine::run_many`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lolcode::{compile, engine_for, Backend, RunConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -17,9 +24,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.sample_size(30).measurement_time(Duration::from_secs(2));
     g.throughput(Throughput::Bytes(bytes));
 
-    g.bench_function("lex", |b| {
-        b.iter(|| black_box(lol_lexer::lex(black_box(&src))).tokens.len())
-    });
+    g.bench_function("lex", |b| b.iter(|| black_box(lol_lexer::lex(black_box(&src))).tokens.len()));
 
     g.bench_function("parse", |b| {
         b.iter(|| {
@@ -57,8 +62,47 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(lolcode::compile_to_c(black_box(&src)).unwrap().len()))
     });
 
+    g.bench_function("compile_artifact", |b| {
+        b.iter(|| black_box(compile(black_box(&src)).unwrap()))
+    });
+
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// Compile-once/run-many vs one-shot: same program, same executions.
+fn bench_amortization(c: &mut Criterion) {
+    // A front-end-heavy program with a short runtime, so the compile
+    // share of a one-shot run is visible.
+    let src = lolcode::corpus::nbody_source(2, 1);
+    let cfg = RunConfig::new(1).backend(Backend::Vm).timeout(Duration::from_secs(60));
+    let engine = engine_for(Backend::Vm);
+    let artifact = compile(&src).expect("compile");
+    let _ = artifact.vm_module().expect("lowering"); // pay lowering up front
+
+    let mut g = c.benchmark_group("amortization");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("one_shot_run_source", |b| {
+        b.iter(|| lolcode::run_source(black_box(&src), cfg.clone()).expect("run"))
+    });
+
+    g.bench_function("artifact_run", |b| {
+        b.iter(|| engine.run(black_box(&artifact), &cfg).expect("run").outputs)
+    });
+
+    let sweep: Vec<RunConfig> = (0..4).map(|s| cfg.clone().seed(s)).collect();
+    g.bench_function("artifact_run_many_x4", |b| {
+        b.iter(|| {
+            engine
+                .run_many(black_box(&artifact), &sweep)
+                .into_iter()
+                .map(|r| r.expect("run").outputs)
+                .collect::<Vec<_>>()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_amortization);
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! compile time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lol_shmem::ShmemConfig;
+use lolcode::{compile, engine_for, Backend, RunConfig};
 use std::time::Duration;
 
 struct Kernel {
@@ -56,44 +56,26 @@ fn bench_backends(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(2));
 
     for k in kernels() {
-        let program = lolcode::parse_program(&k.src).expect("parse");
-        let analysis = lol_sema::analyze(&program);
-        assert!(analysis.is_ok(), "{}", k.name);
-        let module = lol_vm::compile(&program, &analysis).expect("compile");
+        // One artifact per kernel; both engines execute it (the VM
+        // lowering is cached inside the artifact on first use).
+        let artifact = compile(&k.src).expect("compile");
+        let cfg = RunConfig::new(1).timeout(Duration::from_secs(120));
 
         // Cross-check once: identical output.
-        let a = lol_interp::run_parallel(
-            &program,
-            &analysis,
-            ShmemConfig::new(1).timeout(Duration::from_secs(120)),
-        )
-        .unwrap();
-        let b = lol_vm::run_parallel(
-            &module,
-            ShmemConfig::new(1).timeout(Duration::from_secs(120)),
-        )
-        .unwrap();
-        assert_eq!(a, b, "backend divergence on {}", k.name);
+        let a = engine_for(Backend::Interp).run(&artifact, &cfg).unwrap();
+        let b = engine_for(Backend::Vm).run(&artifact, &cfg).unwrap();
+        assert_eq!(a.outputs, b.outputs, "backend divergence on {}", k.name);
 
-        g.bench_function(format!("interp/{}", k.name), |bch| {
-            bch.iter(|| {
-                lol_interp::run_parallel(
-                    &program,
-                    &analysis,
-                    ShmemConfig::new(1).timeout(Duration::from_secs(120)),
-                )
-                .expect("interp failed")
-            })
-        });
-        g.bench_function(format!("vm/{}", k.name), |bch| {
-            bch.iter(|| {
-                lol_vm::run_parallel(
-                    &module,
-                    ShmemConfig::new(1).timeout(Duration::from_secs(120)),
-                )
-                .expect("vm failed")
-            })
-        });
+        for backend in [Backend::Interp, Backend::Vm] {
+            let engine = engine_for(backend);
+            let label = match backend {
+                Backend::Interp => "interp",
+                Backend::Vm => "vm",
+            };
+            g.bench_function(format!("{label}/{}", k.name), |bch| {
+                bch.iter(|| engine.run(&artifact, &cfg).expect("run failed").outputs)
+            });
+        }
     }
     g.finish();
 }

@@ -22,8 +22,7 @@ fn bench_contended_increment(c: &mut Criterion) {
             };
             g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, &n| {
                 b.iter_custom(|iters| {
-                    let cfg =
-                        ShmemConfig::new(n).lock(kind).timeout(Duration::from_secs(60));
+                    let cfg = ShmemConfig::new(n).lock(kind).timeout(Duration::from_secs(60));
                     let times = run_spmd(cfg, |pe| {
                         let lk = pe.shmalloc_lock();
                         let x = pe.shmalloc(1);
@@ -38,10 +37,7 @@ fn bench_contended_increment(c: &mut Criterion) {
                         let dt = t0.elapsed();
                         pe.barrier_all();
                         // Sanity: nothing lost.
-                        assert_eq!(
-                            pe.get_i64(x, 0),
-                            (iters as i64) * pe.n_pes() as i64
-                        );
+                        assert_eq!(pe.get_i64(x, 0), (iters as i64) * pe.n_pes() as i64);
                         dt
                     })
                     .expect("lock bench job failed");

@@ -7,9 +7,13 @@
 //! phase — expected shape: per-step time grows with PE count because
 //! the remote phase is O(P·n²), and the compiled VM beats the
 //! interpreter at every size by a stable factor.
+//!
+//! The whole sweep reuses one `Compiled` artifact per program — this is
+//! exactly the `Engine::run_many` workload, driven point-by-point so
+//! each PE count gets its own criterion measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lol_shmem::ShmemConfig;
+use lolcode::{compile, engine_for, Backend, RunConfig};
 use std::time::Duration;
 
 const PARTICLES_PER_PE: usize = 8;
@@ -20,31 +24,20 @@ fn bench_nbody_scaling(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
 
     let src = lolcode::corpus::nbody_source(PARTICLES_PER_PE, STEPS);
-    let program = lolcode::parse_program(&src).expect("parse");
-    let analysis = lol_sema::analyze(&program);
-    assert!(analysis.is_ok());
-    let module = lol_vm::compile(&program, &analysis).expect("compile");
+    let artifact = compile(&src).expect("compile");
 
     for n_pes in [1usize, 2, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::new("interp_pes", n_pes), &n_pes, |b, &n| {
-            b.iter(|| {
-                lol_interp::run_parallel(
-                    &program,
-                    &analysis,
-                    ShmemConfig::new(n).timeout(Duration::from_secs(120)),
-                )
-                .expect("nbody interp failed")
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("vm_pes", n_pes), &n_pes, |b, &n| {
-            b.iter(|| {
-                lol_vm::run_parallel(
-                    &module,
-                    ShmemConfig::new(n).timeout(Duration::from_secs(120)),
-                )
-                .expect("nbody vm failed")
-            })
-        });
+        let cfg = RunConfig::new(n_pes).timeout(Duration::from_secs(120));
+        for backend in [Backend::Interp, Backend::Vm] {
+            let engine = engine_for(backend);
+            let name = match backend {
+                Backend::Interp => "interp_pes",
+                Backend::Vm => "vm_pes",
+            };
+            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, _| {
+                b.iter(|| engine.run(&artifact, &cfg).expect("nbody run failed").outputs)
+            });
+        }
     }
     g.finish();
 }
@@ -54,19 +47,12 @@ fn bench_nbody_scaling(c: &mut Criterion) {
 fn bench_nbody_large(c: &mut Criterion) {
     let mut g = c.benchmark_group("VI_D_nbody_large");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
-    let src = lolcode::corpus::nbody_source(4, 1);
-    let program = lolcode::parse_program(&src).expect("parse");
-    let analysis = lol_sema::analyze(&program);
-    let module = lol_vm::compile(&program, &analysis).expect("compile");
+    let artifact = compile(&lolcode::corpus::nbody_source(4, 1)).expect("compile");
+    let engine = engine_for(Backend::Vm);
     for n_pes in [32usize, 64] {
-        g.bench_with_input(BenchmarkId::new("vm_pes", n_pes), &n_pes, |b, &n| {
-            b.iter(|| {
-                lol_vm::run_parallel(
-                    &module,
-                    ShmemConfig::new(n).timeout(Duration::from_secs(120)),
-                )
-                .expect("large nbody failed")
-            })
+        let cfg = RunConfig::new(n_pes).timeout(Duration::from_secs(120));
+        g.bench_with_input(BenchmarkId::new("vm_pes", n_pes), &n_pes, |b, _| {
+            b.iter(|| engine.run(&artifact, &cfg).expect("large nbody failed").outputs)
         });
     }
     g.finish();

@@ -22,12 +22,8 @@ fn bench_get_latency(c: &mut Criterion) {
     let world = World::new(ShmemConfig::new(16));
     let pe0 = world.pe(0);
     let a = lol_shmem::SymAddr(0);
-    g.bench_function("local_off", |b| {
-        b.iter(|| black_box(pe0.get_i64(black_box(a), 0)))
-    });
-    g.bench_function("remote_off", |b| {
-        b.iter(|| black_box(pe0.get_i64(black_box(a), 15)))
-    });
+    g.bench_function("local_off", |b| b.iter(|| black_box(pe0.get_i64(black_box(a), 0))));
+    g.bench_function("remote_off", |b| b.iter(|| black_box(pe0.get_i64(black_box(a), 15))));
 
     // Epiphany-III eMesh model: cost grows with hop count (4x4 mesh).
     let mesh = World::new(ShmemConfig::new(16).latency(LatencyModel::epiphany16()));

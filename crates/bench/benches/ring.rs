@@ -1,13 +1,13 @@
 //! Experiment VI.A — the circular whole-array transfer
 //! (`TXT MAH BFF next_pe, MAH mine R UR array`) as a function of array
-//! size, at the language level (parse once, run many).
+//! size, at the language level (compile once, run many).
 //!
 //! Expected shape: time grows linearly with the array size once the
 //! per-run SPMD launch cost is amortized; the substrate's block path
 //! keeps the per-element cost flat.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lol_shmem::ShmemConfig;
+use lolcode::{compile, engine_for, Backend, RunConfig};
 use std::time::Duration;
 
 fn ring_source(words: usize) -> String {
@@ -30,35 +30,21 @@ fn bench_ring(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     let n_pes = 4;
     for words in [32usize, 256, 2048] {
-        let src = ring_source(words);
-        let program = lolcode::parse_program(&src).expect("parse");
-        let analysis = lol_sema::analyze(&program);
-        assert!(analysis.is_ok());
-        let module = lol_vm::compile(&program, &analysis).expect("compile");
+        // One artifact per size; both engines run it.
+        let artifact = compile(&ring_source(words)).expect("compile");
+        let cfg =
+            RunConfig::new(n_pes).heap_words(words.max(1024) * 2).timeout(Duration::from_secs(60));
         g.throughput(Throughput::Bytes((words * 8) as u64));
-        g.bench_with_input(BenchmarkId::new("interp_words", words), &words, |b, _| {
-            b.iter(|| {
-                lol_interp::run_parallel(
-                    &program,
-                    &analysis,
-                    ShmemConfig::new(n_pes)
-                        .heap_words(words.max(1024) * 2)
-                        .timeout(Duration::from_secs(60)),
-                )
-                .expect("ring run failed")
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("vm_words", words), &words, |b, _| {
-            b.iter(|| {
-                lol_vm::run_parallel(
-                    &module,
-                    ShmemConfig::new(n_pes)
-                        .heap_words(words.max(1024) * 2)
-                        .timeout(Duration::from_secs(60)),
-                )
-                .expect("ring run failed")
-            })
-        });
+        for backend in [Backend::Interp, Backend::Vm] {
+            let engine = engine_for(backend);
+            let name = match backend {
+                Backend::Interp => "interp_words",
+                Backend::Vm => "vm_words",
+            };
+            g.bench_with_input(BenchmarkId::new(name, words), &words, |b, _| {
+                b.iter(|| engine.run(&artifact, &cfg).expect("ring run failed").outputs)
+            });
+        }
     }
     g.finish();
 }

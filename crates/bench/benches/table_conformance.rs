@@ -179,14 +179,17 @@ fn main() {
             r.row,
             r.n_pes,
             if interp_ok { "PASS" } else { "FAIL" },
-            if r.interp_only { "n/a" } else if vm_ok { "PASS" } else { "FAIL" },
+            if r.interp_only {
+                "n/a"
+            } else if vm_ok {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             dt
         );
     }
-    println!(
-        "\nconformance: {pass}/{} rows pass (Table I: 19, II: 13, III: 5)",
-        rows.len()
-    );
+    println!("\nconformance: {pass}/{} rows pass (Table I: 19, II: 13, III: 5)", rows.len());
     if fail > 0 {
         std::process::exit(1);
     }

@@ -72,23 +72,24 @@ fn main() -> ExitCode {
         }
     };
 
-    if check_only {
-        match lolcode::check(&src) {
-            Ok((_, _, warnings)) => {
-                for w in warnings {
-                    eprint!("{w}");
-                }
-                eprintln!("KTHX: {input} IZ GOOD");
-                return ExitCode::SUCCESS;
-            }
-            Err(e) => {
-                eprint!("{e}");
-                return ExitCode::FAILURE;
-            }
+    // Front end runs once; --check stops here, otherwise the same
+    // artifact feeds the C emitter.
+    let artifact = match lolcode::compile(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprint!("{e}");
+            return ExitCode::FAILURE;
         }
+    };
+    if check_only {
+        for w in artifact.warnings() {
+            eprint!("{w}");
+        }
+        eprintln!("KTHX: {input} IZ GOOD");
+        return ExitCode::SUCCESS;
     }
 
-    let c = match lolcode::compile_to_c(&src) {
+    let c = match artifact.emit_c() {
         Ok(c) => c,
         Err(e) => {
             eprint!("{e}");

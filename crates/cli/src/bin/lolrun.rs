@@ -4,30 +4,46 @@
 //!
 //! ```text
 //! lolrun -np 16 code.lol
+//! lolrun -np 8 --stats code.lol            # per-PE comm statistics
+//! lolrun -np 4 --backend both code.lol     # run interp AND vm, diff
 //! ```
+//!
+//! The program is compiled once (parse + sema + optional bytecode
+//! lowering) and the resulting artifact is run on the selected
+//! engine(s); `--backend both` executes the *same* artifact on both.
 
-use lolcode::{Backend, LatencyModel, RunConfig};
+use lolcode::{compile, engine_for, Backend, Compiled, LatencyModel, RunConfig, RunReport};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lolrun [-np <N>] [--backend interp|vm] [--seed <u64>]
-              [--latency off|mesh|flat] [--tag] <input.lol>
+usage: lolrun [-np <N>] [--backend interp|vm|both] [--seed <u64>]
+              [--latency off|mesh|flat] [--tag] [--stats] <input.lol>
   -np <N>          number of processing elements (default 4)
-  --backend <b>    interp (default) or vm (compiled bytecode)
+  --backend <b>    interp (default), vm (compiled bytecode), or both
+                   (run the same compiled artifact on both engines and
+                   verify their outputs match)
   --seed <u64>     RNG seed for WHATEVR/WHATEVAR (default 0xC47F00D)
   --latency <m>    off (default), mesh (Epiphany eMesh analog),
                    flat (Cray-like uniform remote latency)
   --tag            prefix every output line with [PE n]
+  --stats          print per-PE communication statistics and wall time
+                   to stderr after the run
 ";
+
+enum BackendChoice {
+    One(Backend),
+    Both,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
     let mut n_pes = 4usize;
-    let mut backend = Backend::Interp;
+    let mut backend = BackendChoice::One(Backend::Interp);
     let mut seed = 0xC47_F00Du64;
     let mut latency = LatencyModel::Off;
     let mut tag = false;
+    let mut stats = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -37,7 +53,8 @@ fn main() -> ExitCode {
                 n_pes = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(n) if n >= 1 => n,
                     _ => {
-                        eprintln!("O NOES! -np NEEDS A POSITIV NUMBR\n{USAGE}");
+                        let got = args.get(i).map(|s| s.as_str()).unwrap_or("(nothing)");
+                        eprintln!("O NOES! -np NEEDS A POSITIV NUMBR, NOT {got}\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -45,10 +62,12 @@ fn main() -> ExitCode {
             "--backend" => {
                 i += 1;
                 backend = match args.get(i).map(|s| s.as_str()) {
-                    Some("interp") => Backend::Interp,
-                    Some("vm") => Backend::Vm,
-                    _ => {
-                        eprintln!("O NOES! --backend IZ interp OR vm\n{USAGE}");
+                    Some("interp") => BackendChoice::One(Backend::Interp),
+                    Some("vm") => BackendChoice::One(Backend::Vm),
+                    Some("both") => BackendChoice::Both,
+                    other => {
+                        let got = other.unwrap_or("(nothing)");
+                        eprintln!("O NOES! --backend IZ interp, vm OR both, NOT {got}\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -58,7 +77,8 @@ fn main() -> ExitCode {
                 seed = match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(s) => s,
                     None => {
-                        eprintln!("O NOES! --seed NEEDS A NUMBR\n{USAGE}");
+                        let got = args.get(i).map(|s| s.as_str()).unwrap_or("(nothing)");
+                        eprintln!("O NOES! --seed NEEDS A NUMBR, NOT {got}\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -69,13 +89,15 @@ fn main() -> ExitCode {
                     Some("off") => LatencyModel::Off,
                     Some("mesh") => LatencyModel::epiphany16(),
                     Some("flat") => LatencyModel::xc40(),
-                    _ => {
-                        eprintln!("O NOES! --latency IZ off, mesh OR flat\n{USAGE}");
+                    other => {
+                        let got = other.unwrap_or("(nothing)");
+                        eprintln!("O NOES! --latency IZ off, mesh OR flat, NOT {got}\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
             }
             "--tag" => tag = true,
+            "--stats" => stats = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -115,27 +137,115 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut cfg = RunConfig::new(n_pes).backend(backend).seed(seed).latency(latency);
-    cfg.input = stdin_lines;
-
-    match lolcode::run_source(&src, cfg) {
-        Ok(outputs) => {
-            for (pe, out) in outputs.iter().enumerate() {
-                if tag {
-                    for line in out.lines() {
-                        println!("[PE {pe}] {line}");
-                    }
-                } else {
-                    print!("{out}");
-                }
-            }
-            ExitCode::SUCCESS
-        }
+    // Compile once; every run below reuses the artifact.
+    let artifact = match compile(&src) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in artifact.warnings() {
+        eprint!("{w}");
+    }
+
+    let mut cfg = RunConfig::new(n_pes).seed(seed).latency(latency);
+    cfg.input = stdin_lines;
+
+    match backend {
+        BackendChoice::One(b) => match engine_for(b).run(&artifact, &cfg.backend(b)) {
+            Ok(report) => {
+                print_outputs(&report, tag);
+                if stats {
+                    print_stats(&report);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        BackendChoice::Both => run_both(&artifact, &cfg, tag, stats),
+    }
+}
+
+/// `--backend both`: run the same artifact on both engines and diff
+/// the per-PE outputs. Prints the (agreed) output once.
+fn run_both(artifact: &Compiled, cfg: &RunConfig, tag: bool, stats: bool) -> ExitCode {
+    let mut reports = Vec::new();
+    for b in [Backend::Interp, Backend::Vm] {
+        match engine_for(b).run(artifact, &cfg.clone().backend(b)) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("O NOES! {b:?} ENGINE HAZ A SAD: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    let (interp, vm) = (&reports[0], &reports[1]);
+    if interp.outputs != vm.outputs {
+        eprintln!("O NOES! DA BACKENDS DISAGREE:");
+        for pe in 0..interp.n_pes() {
+            if interp.output(pe) != vm.output(pe) {
+                eprintln!("[PE {pe}] interp: {:?}", interp.output(pe));
+                eprintln!("[PE {pe}]     vm: {:?}", vm.output(pe));
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    print_outputs(interp, tag);
+    eprintln!(
+        "KTHX: interp ({:?}) AN vm ({:?}) AGREE ON ALL {} PEs",
+        interp.wall,
+        vm.wall,
+        interp.n_pes()
+    );
+    if stats {
+        print_stats(interp);
+        print_stats(vm);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_outputs(report: &RunReport, tag: bool) {
+    for (pe, out) in report.outputs.iter().enumerate() {
+        if tag {
+            for line in out.lines() {
+                println!("[PE {pe}] {line}");
+            }
+        } else {
+            print!("{out}");
+        }
+    }
+}
+
+/// Per-PE `CommStats` plus job totals and wall time, on stderr (so
+/// program output stays pipeable).
+fn print_stats(report: &RunReport) {
+    eprintln!("== {:?} stats: {} PEs, wall {:?} ==", report.backend, report.n_pes(), report.wall);
+    for (pe, s) in report.stats.iter().enumerate() {
+        eprintln!("[PE {pe}] {s}");
+    }
+    // Barriers are collective: every PE counts the same episode, so
+    // the job-wide number is per-PE, not a sum.
+    let total = report.total_stats();
+    eprintln!(
+        "[job]  gets {}/{} (local/remote), puts {}/{}, block words {}/{} (get/put), \
+         amos {}, barriers {}/PE, locks {}+{}t/{}r | remote fraction {:.1}%",
+        total.local_gets,
+        total.remote_gets,
+        total.local_puts,
+        total.remote_puts,
+        total.block_get_words,
+        total.block_put_words,
+        total.amos,
+        report.stats[0].barriers,
+        total.lock_acquires,
+        total.lock_tries,
+        total.lock_releases,
+        100.0 * total.remote_fraction()
+    );
 }
 
 /// Crude isatty: when stdin can't give us a size hint treat it as a

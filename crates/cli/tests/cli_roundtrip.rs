@@ -17,11 +17,8 @@ const HELLO: &str = "HAI 1.2\nVISIBLE \"HAI ITZ \" ME \" OF \" MAH FRENZ\nKTHXBY
 #[test]
 fn lolrun_executes_on_n_pes() {
     let prog = write_temp("hello.lol", HELLO);
-    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
-        .args(["-np", "3"])
-        .arg(&prog)
-        .output()
-        .unwrap();
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_lolrun")).args(["-np", "3"]).arg(&prog).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(stdout, "HAI ITZ 0 OF 3\nHAI ITZ 1 OF 3\nHAI ITZ 2 OF 3\n");
@@ -41,6 +38,77 @@ fn lolrun_vm_backend_and_tagging() {
 }
 
 #[test]
+fn lolrun_stats_prints_per_pe_comm_stats_on_stderr() {
+    let prog = write_temp("stats.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "2", "--stats"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Program output stays clean on stdout...
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, "HAI ITZ 0 OF 2\nHAI ITZ 1 OF 2\n");
+    // ...stats land on stderr, one line per PE plus job totals.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Interp stats: 2 PEs, wall"), "{stderr}");
+    assert!(stderr.contains("[PE 0]"), "{stderr}");
+    assert!(stderr.contains("[PE 1]"), "{stderr}");
+    assert!(stderr.contains("[job]"), "{stderr}");
+}
+
+#[test]
+fn lolrun_backend_both_runs_both_engines_and_agrees() {
+    let prog = write_temp("both.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "3", "--backend", "both"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Output printed once, not twice.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, "HAI ITZ 0 OF 3\nHAI ITZ 1 OF 3\nHAI ITZ 2 OF 3\n");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("AGREE ON ALL 3 PEs"), "{stderr}");
+}
+
+#[test]
+fn lolrun_backend_both_rejects_interp_only_programs() {
+    // SRS runs on the interpreter but cannot lower to bytecode, so
+    // `--backend both` must fail loudly rather than silently compare
+    // one engine against nothing.
+    let prog = write_temp("srs.lol", "HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--backend", "both"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("VMC0001"), "{stderr}");
+}
+
+#[test]
+fn lolrun_rejects_bad_flag_values_with_usage() {
+    let prog = write_temp("hello3.lol", HELLO);
+    for (flag, bad) in
+        [("--backend", "turbo"), ("--latency", "warp"), ("-np", "zero"), ("--seed", "cat")]
+    {
+        let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+            .args([flag, bad])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag} {bad} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("O NOES!"), "{stderr}");
+        assert!(stderr.contains(bad), "error should echo the bad value: {stderr}");
+        assert!(stderr.contains("usage:"), "{stderr}");
+    }
+}
+
+#[test]
 fn lolrun_reports_errors_lolcode_style() {
     let prog = write_temp("bad.lol", "HAI 1.2\nVISIBLE ghost\nKTHXBYE\n");
     let out = Command::new(env!("CARGO_BIN_EXE_lolrun")).arg(&prog).output().unwrap();
@@ -52,10 +120,8 @@ fn lolrun_reports_errors_lolcode_style() {
 
 #[test]
 fn lolrun_pipes_stdin_to_gimmeh() {
-    let prog = write_temp(
-        "echo.lol",
-        "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE \"GOT \" x\nKTHXBYE\n",
-    );
+    let prog =
+        write_temp("echo.lol", "HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE \"GOT \" x\nKTHXBYE\n");
     let mut child = Command::new(env!("CARGO_BIN_EXE_lolrun"))
         .args(["-np", "1"])
         .arg(&prog)

@@ -122,10 +122,8 @@ mod tests {
 
     #[test]
     fn functions_are_emitted_with_prototypes() {
-        let c = gen(
-            "HAI 1.2\nHOW IZ I add YR a AN YR b\nFOUND YR SUM OF a AN b\nIF U SAY SO\n\
-             VISIBLE I IZ add YR 1 AN YR 2 MKAY\nKTHXBYE",
-        );
+        let c = gen("HAI 1.2\nHOW IZ I add YR a AN YR b\nFOUND YR SUM OF a AN b\nIF U SAY SO\n\
+             VISIBLE I IZ add YR 1 AN YR 2 MKAY\nKTHXBYE");
         assert!(c.contains("static lol_value_t f_add(lol_value_t v_a, lol_value_t v_b);"));
         assert!(c.contains("return lol_sum(v_a, v_b);"));
         assert!(c.contains("f_add(lol_from_int(1LL), lol_from_int(2LL))"));

@@ -65,12 +65,12 @@ fn differential(tag: &str, src: &str, stdin: &[&str]) {
     let c = emit_c(&p, &a).expect("codegen");
     let c_out = compile_and_run(&c, tag, &stdin.join("\n"));
     let input: Vec<String> = stdin.iter().map(|s| s.to_string()).collect();
-    let i_out = lol_interp::run_parallel_with_input(
-        &p,
-        &a,
-        ShmemConfig::new(1).timeout(Duration::from_secs(10)),
-        &input,
-    )
+    let i_out = lol_shmem::run_spmd(ShmemConfig::new(1).timeout(Duration::from_secs(10)), |pe| {
+        match lol_interp::run_on_pe(&p, &a, pe, &input) {
+            Ok(out) => out,
+            Err(e) => pe.fail(e.to_string()),
+        }
+    })
     .expect("interp")
     .pop()
     .unwrap();

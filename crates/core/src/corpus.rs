@@ -269,10 +269,7 @@ mod tests {
         let outs = run_source(RING_EXAMPLE, cfg(n)).unwrap();
         for (me, o) in outs.iter().enumerate() {
             let next = (me + 1) % n;
-            assert_eq!(
-                o,
-                &format!("PE {me} GOT {} .. {}\n", next * 1000, next * 1000 + 31)
-            );
+            assert_eq!(o, &format!("PE {me} GOT {} .. {}\n", next * 1000, next * 1000 + 31));
         }
     }
 
@@ -345,8 +342,7 @@ mod tests {
 
     #[test]
     fn corpus_compiles_to_c() {
-        for src in [HELLO_PARALLEL, RING_EXAMPLE, LOCKS_EXAMPLE, BARRIER_EXAMPLE, TRYLOCK_EXAMPLE]
-        {
+        for src in [HELLO_PARALLEL, RING_EXAMPLE, LOCKS_EXAMPLE, BARRIER_EXAMPLE, TRYLOCK_EXAMPLE] {
             let c = crate::compile_to_c(src).unwrap();
             assert!(c.contains("shmem_init();"));
         }

@@ -1,0 +1,326 @@
+//! Compile-once / run-many execution: [`Compiled`] artifacts,
+//! [`Engine`] backends and structured [`RunReport`]s.
+//!
+//! The front end (lex → parse → sema) runs **once**, producing a
+//! [`Compiled`] artifact. Any number of executions — across PE counts,
+//! seeds, latency models and backends — then reuse that artifact:
+//!
+//! ```
+//! use lolcode::{compile, engine_for, Backend, RunConfig};
+//!
+//! let artifact = compile("HAI 1.2\nVISIBLE \"HAI \" ME\nKTHXBYE").unwrap();
+//! let engine = engine_for(Backend::Interp);
+//! let sweep: Vec<RunConfig> = (1..=4).map(RunConfig::new).collect();
+//! for report in engine.run_many(&artifact, &sweep) {
+//!     let report = report.unwrap();
+//!     assert_eq!(report.outputs.len(), report.config.n_pes);
+//! }
+//! ```
+//!
+//! A [`RunReport`] carries everything a run produced: per-PE `VISIBLE`
+//! output, per-PE communication statistics from the PGAS substrate,
+//! wall-clock time, and the effective configuration — where the old
+//! `run_source` API returned bare stdout strings and dropped the rest.
+
+use crate::{Backend, LolError, RunConfig};
+use lol_ast::{Program, SourceMap};
+use lol_sema::Analysis;
+use lol_shmem::{run_spmd, CommStats};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A program that has been parsed and semantically analyzed exactly
+/// once, ready to run any number of times on any [`Engine`].
+///
+/// Backend lowering (the bytecode module for [`VmEngine`]) happens
+/// lazily on first use and is cached, so an interpreter-only workload
+/// never pays for it and a VM sweep pays exactly once.
+pub struct Compiled {
+    source: String,
+    program: Program,
+    analysis: Analysis,
+    warnings: Vec<String>,
+    vm_module: OnceLock<Result<lol_vm::Module, LolError>>,
+}
+
+impl Compiled {
+    /// Lex, parse and analyze `src`. This is the only place in the
+    /// pipeline that looks at source text.
+    pub fn new(src: &str) -> Result<Self, LolError> {
+        let (program, analysis, warnings) = crate::check(src)?;
+        Ok(Compiled {
+            source: src.to_string(),
+            program,
+            analysis,
+            warnings,
+            vm_module: OnceLock::new(),
+        })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The semantic analysis (shared layout, symbol info).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Non-fatal diagnostics from analysis, already rendered.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The bytecode module for the VM backend, lowered on first call
+    /// and cached. Fails for interpreter-only constructs (`SRS`).
+    pub fn vm_module(&self) -> Result<&lol_vm::Module, LolError> {
+        self.vm_module
+            .get_or_init(|| {
+                lol_vm::compile(&self.program, &self.analysis)
+                    .map_err(|d| LolError::Compile(d.render(&SourceMap::new(&self.source))))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Translate to C + OpenSHMEM (the paper's `lcc` output).
+    pub fn emit_c(&self) -> Result<String, LolError> {
+        lol_c_codegen::emit_c(&self.program, &self.analysis)
+            .map_err(|d| LolError::Compile(d.render(&SourceMap::new(&self.source))))
+    }
+}
+
+impl std::fmt::Debug for Compiled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiled")
+            .field("source_bytes", &self.source.len())
+            .field("warnings", &self.warnings.len())
+            .field("vm_lowered", &self.vm_module.get().is_some())
+            .finish()
+    }
+}
+
+/// Everything one execution produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Which engine ran.
+    pub backend: Backend,
+    /// Per-PE `VISIBLE` output, in PE order.
+    pub outputs: Vec<String>,
+    /// Per-PE communication statistics, in PE order.
+    pub stats: Vec<CommStats>,
+    /// Wall-clock time of the SPMD job (launch to join).
+    pub wall: Duration,
+    /// The effective configuration the job ran with.
+    pub config: RunConfig,
+}
+
+impl RunReport {
+    /// Number of PEs that ran.
+    pub fn n_pes(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// One PE's captured output.
+    pub fn output(&self, pe: usize) -> &str {
+        &self.outputs[pe]
+    }
+
+    /// Job-wide communication totals (all PEs folded together).
+    pub fn total_stats(&self) -> CommStats {
+        self.stats.iter().sum()
+    }
+}
+
+/// An execution backend that can run a [`Compiled`] artifact.
+pub trait Engine: Sync {
+    /// Which [`Backend`] this engine implements.
+    fn backend(&self) -> Backend;
+
+    /// Execute the artifact once under `cfg`.
+    fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError>;
+
+    /// Execute the artifact once per config — a sweep over PE counts,
+    /// seeds, latency models, … — reusing the artifact throughout (the
+    /// front end never reruns). Reports come back in config order; a
+    /// failing config does not abort the rest of the sweep.
+    fn run_many(
+        &self,
+        artifact: &Compiled,
+        configs: &[RunConfig],
+    ) -> Vec<Result<RunReport, LolError>> {
+        configs.iter().map(|cfg| self.run(artifact, cfg)).collect()
+    }
+}
+
+/// Assemble a report from per-PE `(output, stats)` pairs.
+fn report(
+    backend: Backend,
+    per_pe: Vec<(String, CommStats)>,
+    wall: Duration,
+    config: RunConfig,
+) -> RunReport {
+    let (outputs, stats) = per_pe.into_iter().unzip();
+    RunReport { backend, outputs, stats, wall, config }
+}
+
+/// The tree-walking interpreter backend (full language, including
+/// `SRS`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterpEngine;
+
+impl Engine for InterpEngine {
+    fn backend(&self) -> Backend {
+        Backend::Interp
+    }
+
+    fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
+        let t0 = Instant::now();
+        let per_pe = run_spmd(cfg.shmem(), |pe| {
+            match lol_interp::run_on_pe(&artifact.program, &artifact.analysis, pe, &cfg.input) {
+                Ok(out) => (out, pe.stats()),
+                Err(e) => pe.fail(e.to_string()),
+            }
+        })
+        .map_err(LolError::Runtime)?;
+        Ok(report(Backend::Interp, per_pe, t0.elapsed(), cfg.clone()))
+    }
+}
+
+/// The bytecode VM backend (compiled path; rejects `SRS`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmEngine;
+
+impl Engine for VmEngine {
+    fn backend(&self) -> Backend {
+        Backend::Vm
+    }
+
+    fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
+        let module = artifact.vm_module()?;
+        let t0 = Instant::now();
+        let per_pe = run_spmd(cfg.shmem(), |pe| match lol_vm::run_on_pe(module, pe, &cfg.input) {
+            Ok(out) => (out, pe.stats()),
+            Err(e) => pe.fail(e.to_string()),
+        })
+        .map_err(LolError::Runtime)?;
+        Ok(report(Backend::Vm, per_pe, t0.elapsed(), cfg.clone()))
+    }
+}
+
+/// The engine implementing `backend`.
+pub fn engine_for(backend: Backend) -> &'static dyn Engine {
+    match backend {
+        Backend::Interp => &InterpEngine,
+        Backend::Vm => &VmEngine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    fn cfg(n: usize) -> RunConfig {
+        RunConfig::new(n).timeout(Duration::from_secs(30))
+    }
+
+    #[test]
+    fn compiled_artifact_runs_on_both_engines() {
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        let a = InterpEngine.run(&artifact, &cfg(3)).unwrap();
+        let b = VmEngine.run(&artifact, &cfg(3)).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.backend, Backend::Interp);
+        assert_eq!(b.backend, Backend::Vm);
+    }
+
+    #[test]
+    fn report_carries_stats_wall_and_config() {
+        let artifact = Compiled::new(corpus::BARRIER_EXAMPLE).unwrap();
+        for engine in [engine_for(Backend::Interp), engine_for(Backend::Vm)] {
+            let r = engine.run(&artifact, &cfg(4).seed(9)).unwrap();
+            assert_eq!(r.n_pes(), 4);
+            assert_eq!(r.stats.len(), 4);
+            assert_eq!(r.config.n_pes, 4);
+            assert_eq!(r.config.seed, 9);
+            assert!(r.wall > Duration::ZERO);
+            // The barrier example hugs twice plus the implicit
+            // shmalloc barriers; every PE must agree on barrier count.
+            for s in &r.stats {
+                assert_eq!(s.barriers, r.stats[0].barriers, "{:?}", engine.backend());
+                assert!(s.barriers >= 2);
+            }
+            // `TXT MAH BFF k, UR b R MAH a` does one remote put per PE.
+            assert!(r.total_stats().remote_puts >= 4, "{:?}", engine.backend());
+        }
+    }
+
+    #[test]
+    fn run_many_sweeps_pe_counts_from_one_artifact() {
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        let sweep: Vec<RunConfig> = (1..=4).map(cfg).collect();
+        let reports = InterpEngine.run_many(&artifact, &sweep);
+        assert_eq!(reports.len(), 4);
+        for (i, r) in reports.into_iter().enumerate() {
+            let r = r.unwrap();
+            assert_eq!(r.n_pes(), i + 1);
+            assert_eq!(r.output(0), format!("HAI ITZ 0 OF {}\n", i + 1));
+        }
+    }
+
+    #[test]
+    fn run_many_continues_past_failing_configs() {
+        let artifact =
+            Compiled::new("HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN DIFF OF ME AN 1\nKTHXBYE").unwrap();
+        // 2 PEs: PE 1 divides by zero. 1 PE: fails on PE... ME=0 ->
+        // ME-1 = -1, fine. Sweep mixes passing and failing configs.
+        let sweep = vec![cfg(1), cfg(2).timeout(Duration::from_secs(5)), cfg(1)];
+        let reports = VmEngine.run_many(&artifact, &sweep);
+        assert!(reports[0].is_ok());
+        assert!(matches!(reports[1], Err(LolError::Runtime(_))));
+        assert!(reports[2].is_ok(), "sweep must continue after a failure");
+    }
+
+    #[test]
+    fn vm_lowering_happens_once_and_is_shared() {
+        let artifact = Compiled::new(corpus::RING_EXAMPLE).unwrap();
+        let m1 = artifact.vm_module().unwrap() as *const _;
+        VmEngine.run(&artifact, &cfg(2)).unwrap();
+        let m2 = artifact.vm_module().unwrap() as *const _;
+        assert_eq!(m1, m2, "module must be lowered once and cached");
+    }
+
+    #[test]
+    fn vm_engine_reports_srs_as_compile_error() {
+        let artifact =
+            Compiled::new("HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE").unwrap();
+        // The interpreter runs it fine...
+        let ok = InterpEngine.run(&artifact, &cfg(1)).unwrap();
+        assert_eq!(ok.outputs[0], "1\n");
+        // ...the VM rejects it at (lazy) lowering time.
+        match VmEngine.run(&artifact, &cfg(1)) {
+            Err(LolError::Compile(msg)) => assert!(msg.contains("VMC0001"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_sweep_changes_whatevr_streams() {
+        let artifact = Compiled::new("HAI 1.2\nVISIBLE WHATEVR\nKTHXBYE").unwrap();
+        let sweep = vec![cfg(2).seed(1), cfg(2).seed(1), cfg(2).seed(2)];
+        let r: Vec<_> = InterpEngine
+            .run_many(&artifact, &sweep)
+            .into_iter()
+            .map(|r| r.unwrap().outputs)
+            .collect();
+        assert_eq!(r[0], r[1], "same seed must reproduce");
+        assert_ne!(r[0], r[2], "different seed must differ");
+    }
+}

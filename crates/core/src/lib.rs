@@ -3,14 +3,50 @@
 //! One-stop facade over the whole toolchain:
 //!
 //! ```text
-//! source ──lex──▶ tokens ──parse──▶ AST ──sema──▶ analysis
-//!      ├── run (tree-walking interpreter, SPMD over lol-shmem)
-//!      ├── run (bytecode VM, SPMD over lol-shmem)
+//! source ──lex──▶ tokens ──parse──▶ AST ──sema──▶ Compiled artifact
+//!      ├── InterpEngine (tree-walking interpreter, SPMD over lol-shmem)
+//!      ├── VmEngine     (bytecode VM, SPMD over lol-shmem)
 //!      └── emit C + OpenSHMEM (the paper's lcc output)
 //! ```
 //!
+//! ## Compile once, run many
+//!
+//! The front end runs **once** per program ([`compile`] → [`Compiled`]);
+//! executions are then cheap to repeat across PE counts, seeds, latency
+//! models and backends via an [`Engine`], and each run returns a
+//! structured [`RunReport`] — per-PE output, per-PE communication
+//! statistics, wall-clock time and the effective config:
+//!
 //! ```
-//! use lolcode::{run_source, RunConfig, Backend};
+//! use lolcode::{compile, engine_for, Backend, RunConfig};
+//!
+//! let artifact = compile(
+//!     "HAI 1.2\nVISIBLE \"HAI FROM PE \" ME\nKTHXBYE",
+//! ).unwrap();
+//!
+//! // One artifact, many runs: sweep the PE count on the VM backend.
+//! let engine = engine_for(Backend::Vm);
+//! let sweep: Vec<RunConfig> = [1, 2, 4].into_iter().map(RunConfig::new).collect();
+//! for report in engine.run_many(&artifact, &sweep) {
+//!     let report = report.unwrap();
+//!     assert_eq!(report.outputs.len(), report.config.n_pes);
+//!     assert_eq!(report.stats.len(), report.config.n_pes); // per-PE CommStats
+//! }
+//!
+//! // Same artifact, other backend — no re-parsing, no re-analysis.
+//! let report = engine_for(Backend::Interp)
+//!     .run(&artifact, &RunConfig::new(4))
+//!     .unwrap();
+//! assert_eq!(report.outputs[3], "HAI FROM PE 3\n");
+//! ```
+//!
+//! ## One-shot convenience
+//!
+//! [`run_source`] and [`compile_to_c`] remain as thin shims over the
+//! artifact API for scripts and tests that run a program once:
+//!
+//! ```
+//! use lolcode::{run_source, RunConfig};
 //!
 //! let outs = run_source(
 //!     "HAI 1.2\nVISIBLE \"HAI FROM PE \" ME\nKTHXBYE",
@@ -22,10 +58,13 @@
 #![forbid(unsafe_code)]
 
 pub mod corpus;
+mod engine;
+
+pub use engine::{engine_for, Compiled, Engine, InterpEngine, RunReport, VmEngine};
 
 use lol_ast::{Program, SourceMap};
 use lol_sema::Analysis;
-pub use lol_shmem::{BarrierKind, LatencyModel, LockKind, ShmemConfig, SpmdError};
+pub use lol_shmem::{BarrierKind, CommStats, LatencyModel, LockKind, ShmemConfig, SpmdError};
 use std::time::Duration;
 
 /// Which execution engine runs the program.
@@ -69,6 +108,13 @@ impl RunConfig {
         }
     }
 
+    /// Change the PE count (handy when building sweeps from a base
+    /// config: `(1..=8).map(|n| base.clone().pes(n))`).
+    pub fn pes(mut self, n_pes: usize) -> Self {
+        self.n_pes = n_pes;
+        self
+    }
+
     /// Select the execution backend.
     pub fn backend(mut self, b: Backend) -> Self {
         self.backend = b;
@@ -87,6 +133,18 @@ impl RunConfig {
         self
     }
 
+    /// Set the barrier algorithm for `HUGZ`.
+    pub fn barrier(mut self, b: BarrierKind) -> Self {
+        self.barrier = b;
+        self
+    }
+
+    /// Set the lock algorithm for `IM MESIN WIF`.
+    pub fn lock(mut self, l: LockKind) -> Self {
+        self.lock = l;
+        self
+    }
+
     /// Set the deadlock watchdog.
     pub fn timeout(mut self, t: Duration) -> Self {
         self.timeout = t;
@@ -99,7 +157,14 @@ impl RunConfig {
         self
     }
 
-    fn shmem(&self) -> ShmemConfig {
+    /// Set the symmetric heap size (in 8-byte words).
+    pub fn heap_words(mut self, words: usize) -> Self {
+        self.heap_words = words;
+        self
+    }
+
+    /// The substrate configuration this run config implies.
+    pub fn shmem(&self) -> ShmemConfig {
         ShmemConfig::new(self.n_pes)
             .heap_words(self.heap_words)
             .latency(self.latency)
@@ -159,30 +224,31 @@ pub fn check(src: &str) -> Result<(Program, Analysis, Vec<String>), LolError> {
     Ok((program, analysis, warnings))
 }
 
+/// Run the front end once, producing a reusable [`Compiled`] artifact.
+///
+/// Equivalent to [`Compiled::new`]; this free function reads better at
+/// call sites: `compile(src)?`.
+pub fn compile(src: &str) -> Result<Compiled, LolError> {
+    Compiled::new(src)
+}
+
 /// Parse, analyze and execute `src` SPMD; returns per-PE `VISIBLE`
 /// output in PE order.
+///
+/// One-shot shim over the artifact API: compiles, runs once on the
+/// engine `cfg.backend` selects, and discards everything but the
+/// outputs. Use [`compile`] + [`Engine::run`] to keep the artifact
+/// (for repeated runs) and the full [`RunReport`] (for stats/timing).
 pub fn run_source(src: &str, cfg: RunConfig) -> Result<Vec<String>, LolError> {
-    let (program, analysis, _warnings) = check(src)?;
-    match cfg.backend {
-        Backend::Interp => {
-            lol_interp::run_parallel_with_input(&program, &analysis, cfg.shmem(), &cfg.input)
-                .map_err(LolError::Runtime)
-        }
-        Backend::Vm => {
-            let module = lol_vm::compile(&program, &analysis)
-                .map_err(|d| LolError::Compile(d.render(&SourceMap::new(src))))?;
-            lol_vm::run_parallel_with_input(&module, cfg.shmem(), &cfg.input)
-                .map_err(LolError::Runtime)
-        }
-    }
+    let artifact = compile(src)?;
+    let report = engine_for(cfg.backend).run(&artifact, &cfg)?;
+    Ok(report.outputs)
 }
 
 /// Parse, analyze and translate `src` to C + OpenSHMEM (the paper's
-/// `lcc` output).
+/// `lcc` output). Shim over [`compile`] + [`Compiled::emit_c`].
 pub fn compile_to_c(src: &str) -> Result<String, LolError> {
-    let (program, analysis, _warnings) = check(src)?;
-    lol_c_codegen::emit_c(&program, &analysis)
-        .map_err(|d| LolError::Compile(d.render(&SourceMap::new(src))))
+    compile(src)?.emit_c()
 }
 
 #[cfg(test)]
@@ -191,8 +257,7 @@ mod tests {
 
     #[test]
     fn pipeline_hello() {
-        let outs =
-            run_source("HAI 1.2\nVISIBLE \"HAI\"\nKTHXBYE", RunConfig::new(2)).unwrap();
+        let outs = run_source("HAI 1.2\nVISIBLE \"HAI\"\nKTHXBYE", RunConfig::new(2)).unwrap();
         assert_eq!(outs, vec!["HAI\n", "HAI\n"]);
     }
 
@@ -255,9 +320,14 @@ mod tests {
 
     #[test]
     fn warnings_are_surfaced() {
-        let (_, _, warnings) =
-            check("HAI 1.2\nWIN, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE").unwrap();
+        let (_, _, warnings) = check("HAI 1.2\nWIN, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE").unwrap();
         assert!(warnings.iter().any(|w| w.contains("SEM0012")), "{warnings:?}");
+    }
+
+    #[test]
+    fn compiled_artifact_surfaces_warnings_too() {
+        let artifact = compile("HAI 1.2\nWIN, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE").unwrap();
+        assert!(artifact.warnings().iter().any(|w| w.contains("SEM0012")));
     }
 
     #[test]
@@ -284,5 +354,13 @@ mod tests {
             let b = run_source(prog, RunConfig::new(4).seed(3).backend(Backend::Vm)).unwrap();
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn run_config_sweep_builder() {
+        let base = RunConfig::new(1).seed(42).timeout(Duration::from_secs(5));
+        let sweep: Vec<RunConfig> = (1..=3).map(|n| base.clone().pes(n)).collect();
+        assert_eq!(sweep.iter().map(|c| c.n_pes).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(sweep.iter().all(|c| c.seed == 42));
     }
 }

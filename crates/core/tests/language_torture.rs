@@ -29,9 +29,7 @@ fn empty_program() {
 fn ten_deep_nested_loops() {
     let mut src = String::new();
     for d in 0..10 {
-        src.push_str(&format!(
-            "IM IN YR l{d} UPPIN YR i{d} TIL BOTH SAEM i{d} AN 2\n"
-        ));
+        src.push_str(&format!("IM IN YR l{d} UPPIN YR i{d} TIL BOTH SAEM i{d} AN 2\n"));
     }
     src.push_str("VISIBLE \"x\"!\n");
     for d in (0..10).rev() {
@@ -175,9 +173,8 @@ fn whole_array_copy_local_to_local() {
 fn array_element_type_coercion() {
     // NUMBR array coerces stored floats (like the C backend's native
     // arrays would).
-    let out = both(&prog(
-        "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 2\na'Z 0 R 3.9\nVISIBLE a'Z 0",
-    ));
+    let out =
+        both(&prog("I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 2\na'Z 0 R 3.9\nVISIBLE a'Z 0"));
     assert_eq!(out, "3\n");
 }
 
@@ -201,22 +198,17 @@ fn is_now_a_on_srsly_var_is_rejected() {
 
 #[test]
 fn smoosh_many_and_empty_visible() {
-    let out = both(&prog(
-        "VISIBLE SMOOSH 1 AN 2 AN 3 AN 4 AN 5 AN 6 AN 7 AN 8 MKAY\nVISIBLE",
-    ));
+    let out = both(&prog("VISIBLE SMOOSH 1 AN 2 AN 3 AN 4 AN 5 AN 6 AN 7 AN 8 MKAY\nVISIBLE"));
     assert_eq!(out, "12345678\n\n");
 }
 
 #[test]
 fn gimmeh_then_arithmetic() {
     let cfg_in = cfg().input(&["7"]);
-    let a = run_source(
-        &prog("I HAS A x\nGIMMEH x\nVISIBLE PRODUKT OF x AN 6"),
-        cfg_in.clone(),
-    )
-    .unwrap()
-    .pop()
-    .unwrap();
+    let a = run_source(&prog("I HAS A x\nGIMMEH x\nVISIBLE PRODUKT OF x AN 6"), cfg_in.clone())
+        .unwrap()
+        .pop()
+        .unwrap();
     let b = run_source(
         &prog("I HAS A x\nGIMMEH x\nVISIBLE PRODUKT OF x AN 6"),
         cfg_in.backend(Backend::Vm),
@@ -260,9 +252,7 @@ fn noob_comparisons_and_casts() {
 
 #[test]
 fn wrapping_arithmetic_is_defined() {
-    let out = both(&prog(
-        "I HAS A big ITZ 9223372036854775807\nVISIBLE SUM OF big AN 1",
-    ));
+    let out = both(&prog("I HAS A big ITZ 9223372036854775807\nVISIBLE SUM OF big AN 1"));
     assert_eq!(out, "-9223372036854775808\n");
 }
 

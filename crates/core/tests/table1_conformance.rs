@@ -118,10 +118,7 @@ fn row13_maek_casts_expression() {
 
 #[test]
 fn row14_is_now_a_casts_variable() {
-    expect(
-        "HAI 1.2\nI HAS A x ITZ \"3\"\nx IS NOW A NUMBR\nVISIBLE SUM OF x AN 1\nKTHXBYE",
-        "4\n",
-    );
+    expect("HAI 1.2\nI HAS A x ITZ \"3\"\nx IS NOW A NUMBR\nVISIBLE SUM OF x AN 1\nKTHXBYE", "4\n");
 }
 
 #[test]
@@ -162,18 +159,12 @@ fn row18_im_in_yr_loop_constructs() {
         "HAI 1.2\nI HAS A n ITZ 2\nIM IN YR l NERFIN YR j WILE BIGGER n AN 0\nVISIBLE n!\nn R DIFF OF n AN 1\nIM OUTTA YR l\nVISIBLE \"\"\nKTHXBYE",
         "21\n",
     );
-    expect(
-        "HAI 1.2\nIM IN YR l\nVISIBLE \"once\"\nGTFO\nIM OUTTA YR l\nKTHXBYE",
-        "once\n",
-    );
+    expect("HAI 1.2\nIM IN YR l\nVISIBLE \"once\"\nGTFO\nIM OUTTA YR l\nKTHXBYE", "once\n");
 }
 
 #[test]
 fn row19_triple_dot_continuation() {
-    expect(
-        "HAI 1.2\nVISIBLE SUM OF 1 ...\n  AN 2\nKTHXBYE",
-        "3\n",
-    );
+    expect("HAI 1.2\nVISIBLE SUM OF 1 ...\n  AN 2\nKTHXBYE", "3\n");
 }
 
 #[test]

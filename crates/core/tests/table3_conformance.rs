@@ -83,10 +83,7 @@ fn row5_flip_of() {
 fn nbody_inverse_distance_idiom() {
     // The composition the paper built Table III for:
     // FLIP OF UNSQUAR OF SUM OF dx AN dy with dx=9, dy=16 → 1/5.
-    assert_eq!(
-        both1("HAI 1.2\nVISIBLE FLIP OF UNSQUAR OF SUM OF 9 AN 16\nKTHXBYE"),
-        "0.20\n"
-    );
+    assert_eq!(both1("HAI 1.2\nVISIBLE FLIP OF UNSQUAR OF SUM OF 9 AN 16\nKTHXBYE"), "0.20\n");
 }
 
 #[test]

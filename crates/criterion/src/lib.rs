@@ -1,0 +1,322 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in environments without network access, so the
+//! real criterion crate cannot be fetched. This crate implements the
+//! exact API subset the `lol-bench` benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! the `criterion_group!` / `criterion_main!` macros — with a simple
+//! mean-of-samples measurement loop instead of criterion's statistical
+//! machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! group/name  mean 12.345 µs  (30 samples)  42.0 MiB/s
+//! ```
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every
+//! benchmark body exactly once, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter,
+/// rendered as `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("put", 64)` renders as `put/64`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// The timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Measured mean seconds per iteration (filled in by `iter`).
+    mean_secs: f64,
+    samples: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean wall time.
+    ///
+    /// Protocol: one untimed warm-up call, then up to `sample_size`
+    /// timed samples or until the measurement-time budget is spent,
+    /// whichever comes first. In `--test` mode the routine runs once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.mean_secs = 0.0;
+            return;
+        }
+        std::hint::black_box(routine()); // warm-up
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut n = 0usize;
+        while n < self.samples && (n == 0 || start.elapsed() < budget) {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            total += t.elapsed();
+            n += 1;
+        }
+        self.mean_secs = total.as_secs_f64() / n as f64;
+        self.samples = n;
+    }
+
+    /// Run `routine(iters)`, which performs `iters` iterations and
+    /// returns the elapsed time it measured itself.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine(1));
+            self.mean_secs = 0.0;
+            return;
+        }
+        // Calibrate: pick an iteration count that fills roughly one
+        // sample's share of the measurement budget.
+        let d0 = routine(1).max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time.as_secs_f64() / self.samples.max(1) as f64;
+        let iters = ((per_sample / d0.as_secs_f64()).clamp(1.0, 1e6)) as u64;
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let mut n = 0usize;
+        while n < self.samples && (n == 0 || start.elapsed() < budget) {
+            total += routine(iters);
+            total_iters += iters;
+            n += 1;
+        }
+        self.mean_secs = total.as_secs_f64() / total_iters as f64;
+        self.samples = n;
+    }
+}
+
+/// A named group of benchmarks sharing sample/time/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget for one benchmark's samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time `f`.
+    pub fn bench_function<ID: IntoBenchmarkId, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_secs: 0.0,
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        self.report(&id.into_benchmark_id(), &b);
+        self
+    }
+
+    /// Time `f` with a borrowed input value.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean_secs: 0.0,
+            samples: self.sample_size,
+            measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b, input);
+        self.report(&id.into_benchmark_id(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if self.criterion.test_mode {
+            println!("{}/{id}: ok (test mode)", self.name);
+            return;
+        }
+        let mut line = format!(
+            "{}/{id}  mean {}  ({} samples)",
+            self.name,
+            format_secs(b.mean_secs),
+            b.samples
+        );
+        if let Some(tp) = self.throughput {
+            let (per_unit, label) = match tp {
+                Throughput::Bytes(n) => (n as f64 / (1 << 20) as f64, "MiB/s"),
+                Throughput::BytesDecimal(n) => (n as f64 / 1e6, "MB/s"),
+                Throughput::Elements(n) => (n as f64 / 1e6, "Melem/s"),
+            };
+            if b.mean_secs > 0.0 {
+                line.push_str(&format!("  {:.1} {label}", per_unit / b.mean_secs));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// End the group (parity with criterion; reporting is per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Parity shim for criterion's CLI integration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Time a stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export for benches written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { test_mode: false };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        let mut runs = 0;
+        g.bench_function("noop", |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        assert!(runs >= 2, "warm-up + at least one sample, got {runs}");
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("put", 64).into_benchmark_id(), "put/64");
+        assert_eq!(BenchmarkId::from_parameter(8).into_benchmark_id(), "8");
+    }
+}

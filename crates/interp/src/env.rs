@@ -86,10 +86,9 @@ impl Env {
     pub fn read_scalar(&self, name: Symbol) -> RResult<Value> {
         match self.get(name) {
             Some(Slot::Scalar { value, .. }) => Ok(value.clone()),
-            Some(Slot::Array { .. }) => Err(RunError::new(
-                "RUN0011",
-                format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
-            )),
+            Some(Slot::Array { .. }) => {
+                Err(RunError::new("RUN0011", format!("{name} IZ A WHOLE ARRAY, NOT A VALUE")))
+            }
             None => Err(RunError::new("RUN0010", format!("WHO IZ {name}?"))),
         }
     }
@@ -140,10 +139,7 @@ mod tests {
     #[test]
     fn pinned_type_coerces_on_assign() {
         let mut e = Env::new();
-        e.declare(
-            sym("x"),
-            Slot::Scalar { value: Value::Numbr(0), pinned: Some(LolType::Numbr) },
-        );
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(0), pinned: Some(LolType::Numbr) });
         e.assign_scalar(sym("x"), Value::yarn("42")).unwrap();
         assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(42));
         e.assign_scalar(sym("x"), Value::Numbar(3.9)).unwrap();
@@ -153,10 +149,7 @@ mod tests {
     #[test]
     fn pinned_type_rejects_impossible_coercion() {
         let mut e = Env::new();
-        e.declare(
-            sym("x"),
-            Slot::Scalar { value: Value::Numbr(0), pinned: Some(LolType::Numbr) },
-        );
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(0), pinned: Some(LolType::Numbr) });
         assert!(e.assign_scalar(sym("x"), Value::yarn("fish")).is_err());
     }
 

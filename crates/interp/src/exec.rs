@@ -68,10 +68,7 @@ impl<'a, 'w> Interp<'a, 'w> {
             match self.exec_stmt(s)? {
                 Flow::Normal => {}
                 Flow::Break | Flow::Return(_) => {
-                    return Err(RunError::new(
-                        "RUN0019",
-                        "GTFO/FOUND YR ESCAPED DA PROGRAM BODY",
-                    ))
+                    return Err(RunError::new("RUN0019", "GTFO/FOUND YR ESCAPED DA PROGRAM BODY"))
                 }
             }
         }
@@ -109,7 +106,10 @@ impl<'a, 'w> Interp<'a, 'w> {
 
     fn shared_or_err(&self, name: Symbol) -> RResult<&'a SharedVar> {
         self.shared(name).ok_or_else(|| {
-            RunError::new("RUN0121", format!("{name} IZ NOT SHARED — ONLY WE HAS A VARIABLES R REMOTE"))
+            RunError::new(
+                "RUN0121",
+                format!("{name} IZ NOT SHARED — ONLY WE HAS A VARIABLES R REMOTE"),
+            )
         })
     }
 
@@ -139,10 +139,9 @@ impl<'a, 'w> Interp<'a, 'w> {
     fn shared_len(sv: &SharedVar) -> RResult<usize> {
         match sv.kind {
             SharedKind::Array { len } => Ok(len),
-            SharedKind::Scalar => Err(RunError::new(
-                "RUN0122",
-                format!("{} IZ A SCALAR, NOT LOTZ A THINGZ", sv.name),
-            )),
+            SharedKind::Scalar => {
+                Err(RunError::new("RUN0122", format!("{} IZ A SCALAR, NOT LOTZ A THINGZ", sv.name)))
+            }
         }
     }
 
@@ -271,10 +270,7 @@ impl<'a, 'w> Interp<'a, 'w> {
         if vr.locality != Locality::Ur && self.env.contains(name) {
             return Ok(matches!(self.env.get(name), Some(Slot::Array { .. })));
         }
-        Ok(self
-            .shared(name)
-            .map(|sv| matches!(sv.kind, SharedKind::Array { .. }))
-            .unwrap_or(false))
+        Ok(self.shared(name).map(|sv| matches!(sv.kind, SharedKind::Array { .. })).unwrap_or(false))
     }
 
     /// Whole-array copy: `MAH array R UR array` (Section VI.A).
@@ -284,7 +280,12 @@ impl<'a, 'w> Interp<'a, 'w> {
         let values: Vec<Value> = if src.locality != Locality::Ur && self.env.contains(src_name) {
             match self.env.get(src_name) {
                 Some(Slot::Array { elems, .. }) => elems.clone(),
-                _ => return Err(RunError::new("RUN0122", format!("{src_name} IZ NOT LOTZ A THINGZ"))),
+                _ => {
+                    return Err(RunError::new(
+                        "RUN0122",
+                        format!("{src_name} IZ NOT LOTZ A THINGZ"),
+                    ))
+                }
             }
         } else {
             let sv = self.shared_or_err(src_name)?;
@@ -298,7 +299,12 @@ impl<'a, 'w> Interp<'a, 'w> {
         if dst.locality != Locality::Ur && self.env.contains(dst_name) {
             let ty = match self.env.get(dst_name) {
                 Some(Slot::Array { ty, .. }) => *ty,
-                _ => return Err(RunError::new("RUN0122", format!("{dst_name} IZ NOT LOTZ A THINGZ"))),
+                _ => {
+                    return Err(RunError::new(
+                        "RUN0122",
+                        format!("{dst_name} IZ NOT LOTZ A THINGZ"),
+                    ))
+                }
             };
             let converted: RResult<Vec<Value>> = values.iter().map(|v| cast(v, ty)).collect();
             let converted = converted?;
@@ -520,9 +526,10 @@ impl<'a, 'w> Interp<'a, 'w> {
                 Ok(Flow::Normal)
             }
             StmtKind::Gimmeh(lv) => {
-                let line = self.input.pop_front().ok_or_else(|| {
-                    RunError::new("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT")
-                })?;
+                let line = self
+                    .input
+                    .pop_front()
+                    .ok_or_else(|| RunError::new("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT"))?;
                 let v = Value::yarn(line);
                 self.write_lvalue(lv, v)?;
                 Ok(Flow::Normal)
@@ -728,10 +735,9 @@ impl<'a, 'w> Interp<'a, 'w> {
                     ))
                 }
             }
-            LValue::Index { .. } => Err(RunError::new(
-                "RUN0015",
-                "ARRAY ELEMENTS KEEP DA ARRAY'S TYPE",
-            )),
+            LValue::Index { .. } => {
+                Err(RunError::new("RUN0015", "ARRAY ELEMENTS KEEP DA ARRAY'S TYPE"))
+            }
         }
     }
 

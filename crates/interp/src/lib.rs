@@ -23,13 +23,19 @@ pub use value::{RResult, RunError, Value};
 use exec::Interp;
 use lol_ast::Program;
 use lol_sema::Analysis;
-use lol_shmem::{run_spmd, Pe, ShmemConfig, SpmdError};
+use lol_shmem::Pe;
 
 // The lock layout planned by sema must match the substrate's.
 const _: () = assert!(lol_sema::LOCK_WORDS == lol_shmem::lock::LOCK_WORDS);
 
-/// Run `program` on a single PE (call from inside [`run_spmd`], one
-/// call per PE). Returns the PE's captured `VISIBLE` output.
+/// Run `program` on a single PE (call from inside
+/// [`lol_shmem::run_spmd`], one call per PE). Returns the PE's captured
+/// `VISIBLE` output.
+///
+/// This is the whole public execution surface of the crate: SPMD
+/// launching, output collection and statistics gathering live in the
+/// `lolcode` driver's `InterpEngine`, which runs a compiled artifact
+/// through this entry point on every PE.
 pub fn run_on_pe(
     program: &Program,
     analysis: &Analysis,
@@ -39,40 +45,38 @@ pub fn run_on_pe(
     Interp::new(program, analysis, pe, input).run(program)
 }
 
-/// Run `program` SPMD on `cfg.n_pes` PEs; returns each PE's output in
-/// PE order. A LOLCODE runtime error on any PE aborts the job and is
-/// reported as an [`SpmdError`] carrying the rendered message.
-pub fn run_parallel(
-    program: &Program,
-    analysis: &Analysis,
-    cfg: ShmemConfig,
-) -> Result<Vec<String>, SpmdError> {
-    run_parallel_with_input(program, analysis, cfg, &[])
-}
-
-/// [`run_parallel`] with `GIMMEH` input lines (every PE receives the
-/// same input stream).
-pub fn run_parallel_with_input(
-    program: &Program,
-    analysis: &Analysis,
-    cfg: ShmemConfig,
-    input: &[String],
-) -> Result<Vec<String>, SpmdError> {
-    run_spmd(cfg, |pe| match run_on_pe(program, analysis, pe, input) {
-        Ok(out) => out,
-        Err(e) => pe.fail(e.to_string()),
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use lol_parser::parse;
     use lol_sema::analyze;
+    use lol_shmem::{run_spmd, ShmemConfig, SpmdError};
     use std::time::Duration;
 
     fn cfg(n: usize) -> ShmemConfig {
         ShmemConfig::new(n).timeout(Duration::from_secs(15))
+    }
+
+    /// SPMD launch helper (what `lolcode`'s `InterpEngine` does, minus
+    /// the stats/timing plumbing).
+    fn run_parallel(
+        program: &Program,
+        analysis: &Analysis,
+        cfg: ShmemConfig,
+    ) -> Result<Vec<String>, SpmdError> {
+        run_parallel_with_input(program, analysis, cfg, &[])
+    }
+
+    fn run_parallel_with_input(
+        program: &Program,
+        analysis: &Analysis,
+        cfg: ShmemConfig,
+        input: &[String],
+    ) -> Result<Vec<String>, SpmdError> {
+        run_spmd(cfg, |pe| match run_on_pe(program, analysis, pe, input) {
+            Ok(out) => out,
+            Err(e) => pe.fail(e.to_string()),
+        })
     }
 
     /// Parse + analyze + run on `n` PEs, returning per-PE outputs.
@@ -93,10 +97,7 @@ mod tests {
         let a = analyze(&p);
         assert!(a.is_ok());
         let input: Vec<String> = input.iter().map(|s| s.to_string()).collect();
-        run_parallel_with_input(&p, &a, cfg(1), &input)
-            .expect("run failed")
-            .pop()
-            .unwrap()
+        run_parallel_with_input(&p, &a, cfg(1), &input).expect("run failed").pop().unwrap()
     }
 
     fn run_err(n: usize, src: &str) -> SpmdError {
@@ -150,24 +151,22 @@ mod tests {
     fn srsly_static_typing_coerces() {
         // The paper's static typing extension: assignments coerce to
         // the pinned type.
-        assert_eq!(
-            run1(&prog("I HAS A x ITZ SRSLY A NUMBR\nx R \"42\"\nVISIBLE x")),
-            "42\n"
-        );
-        assert_eq!(
-            run1(&prog("I HAS A x ITZ SRSLY A NUMBR\nx R 3.9\nVISIBLE x")),
-            "3\n"
-        );
+        assert_eq!(run1(&prog("I HAS A x ITZ SRSLY A NUMBR\nx R \"42\"\nVISIBLE x")), "42\n");
+        assert_eq!(run1(&prog("I HAS A x ITZ SRSLY A NUMBR\nx R 3.9\nVISIBLE x")), "3\n");
     }
 
     #[test]
     fn it_and_o_rly() {
         assert_eq!(
-            run1(&prog("BOTH SAEM 1 AN 1, O RLY?\nYA RLY\nVISIBLE \"yes\"\nNO WAI\nVISIBLE \"no\"\nOIC")),
+            run1(&prog(
+                "BOTH SAEM 1 AN 1, O RLY?\nYA RLY\nVISIBLE \"yes\"\nNO WAI\nVISIBLE \"no\"\nOIC"
+            )),
             "yes\n"
         );
         assert_eq!(
-            run1(&prog("BOTH SAEM 1 AN 2, O RLY?\nYA RLY\nVISIBLE \"yes\"\nNO WAI\nVISIBLE \"no\"\nOIC")),
+            run1(&prog(
+                "BOTH SAEM 1 AN 2, O RLY?\nYA RLY\nVISIBLE \"yes\"\nNO WAI\nVISIBLE \"no\"\nOIC"
+            )),
             "no\n"
         );
     }
@@ -261,13 +260,15 @@ mod tests {
 
     #[test]
     fn function_gtfo_returns_noob_troof_cast() {
-        let src = "HAI 1.2\nHOW IZ I f\nGTFO\nIF U SAY SO\nVISIBLE MAEK I IZ f MKAY A TROOF\nKTHXBYE";
+        let src =
+            "HAI 1.2\nHOW IZ I f\nGTFO\nIF U SAY SO\nVISIBLE MAEK I IZ f MKAY A TROOF\nKTHXBYE";
         assert_eq!(run1(src), "FAIL\n");
     }
 
     #[test]
     fn infinite_recursion_is_diagnosed() {
-        let src = "HAI 1.2\nHOW IZ I f\nFOUND YR I IZ f MKAY\nIF U SAY SO\nVISIBLE I IZ f MKAY\nKTHXBYE";
+        let src =
+            "HAI 1.2\nHOW IZ I f\nFOUND YR I IZ f MKAY\nIF U SAY SO\nVISIBLE I IZ f MKAY\nKTHXBYE";
         let e = run_err(1, src);
         assert!(e.message.contains("RUN0130"), "{}", e.message);
     }
@@ -363,9 +364,13 @@ mod tests {
         assert_eq!(run1(&prog("VISIBLE UNSQUAR OF 16")), "4.00\n");
         assert_eq!(run1(&prog("VISIBLE FLIP OF 4")), "0.25\n");
         // WHATEVR / WHATEVAR produce in-range values.
-        let out = run1(&prog("I HAS A r ITZ WHATEVR\nVISIBLE BOTH OF NOT SMALLR r AN 0 AN SMALLR r AN 2147483648"));
+        let out = run1(&prog(
+            "I HAS A r ITZ WHATEVR\nVISIBLE BOTH OF NOT SMALLR r AN 0 AN SMALLR r AN 2147483648",
+        ));
         assert_eq!(out, "WIN\n");
-        let out = run1(&prog("I HAS A f ITZ WHATEVAR\nVISIBLE BOTH OF NOT SMALLR f AN 0.0 AN SMALLR f AN 1.0"));
+        let out = run1(&prog(
+            "I HAS A f ITZ WHATEVAR\nVISIBLE BOTH OF NOT SMALLR f AN 0.0 AN SMALLR f AN 1.0",
+        ));
         assert_eq!(out, "WIN\n");
     }
 
@@ -534,10 +539,7 @@ mod tests {
 
     #[test]
     fn bff_out_of_range_is_diagnosed() {
-        let e = run_err(
-            2,
-            &prog("WE HAS A x ITZ SRSLY A NUMBR\nTXT MAH BFF 7, x R UR x"),
-        );
+        let e = run_err(2, &prog("WE HAS A x ITZ SRSLY A NUMBR\nTXT MAH BFF 7, x R UR x"));
         assert!(e.message.contains("RUN0017"), "{}", e.message);
     }
 

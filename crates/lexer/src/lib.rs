@@ -560,8 +560,7 @@ mod tests {
     fn weird_char_is_error_but_recovers() {
         let out = lex("HUGZ @ HUGZ");
         assert!(out.diags.has_errors());
-        let words =
-            out.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Word(_))).count();
+        let words = out.tokens.iter().filter(|t| matches!(t.kind, TokenKind::Word(_))).count();
         assert_eq!(words, 2);
     }
 

@@ -237,7 +237,10 @@ impl Parser {
                 saw_end = true;
                 self.skip_separators();
                 if !matches!(self.peek().kind, TokenKind::Eof) {
-                    self.error_here("PAR0004", "STUFF AFTER KTHXBYE? DATS NOT HOW DIS WORKS".into());
+                    self.error_here(
+                        "PAR0004",
+                        "STUFF AFTER KTHXBYE? DATS NOT HOW DIS WORKS".into(),
+                    );
                 }
                 break;
             }

@@ -137,17 +137,12 @@ fn shared_array_declaration() {
     let d = decl_of("WE HAS A arr ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32");
     assert_eq!(d.scope, DeclScope::We);
     assert_eq!(d.ty, Some(LolType::Numbar));
-    assert!(matches!(
-        d.array_size,
-        Some(Expr { kind: ExprKind::Lit(Lit::Numbr(32)), .. })
-    ));
+    assert!(matches!(d.array_size, Some(Expr { kind: ExprKind::Lit(Lit::Numbr(32)), .. })));
 }
 
 #[test]
 fn shared_array_with_lock() {
-    let d = decl_of(
-        "WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...\n  AN THAR IZ 32 AN IM SHARIN IT",
-    );
+    let d = decl_of("WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...\n  AN THAR IZ 32 AN IM SHARIN IT");
     assert!(d.sharin);
     assert!(d.array_size.is_some());
 }
@@ -492,9 +487,7 @@ fn function_without_params() {
 
 #[test]
 fn nested_function_is_error() {
-    assert!(fails(
-        "HAI 1.2\nIM IN YR l\nHOW IZ I f\nIF U SAY SO\nIM OUTTA YR l\nKTHXBYE"
-    ));
+    assert!(fails("HAI 1.2\nIM IN YR l\nHOW IZ I f\nIF U SAY SO\nIM OUTTA YR l\nKTHXBYE"));
 }
 
 // ---------------------------------------------------------------------
@@ -556,7 +549,9 @@ fn txt_multi_remote_refs() {
 
 #[test]
 fn txt_block_form() {
-    let s = one_stmt("TXT MAH BFF k AN STUFF\nIM MESIN WIF UR x\nx R SUM OF x AN 1\nDUN MESIN WIF UR x\nTTYL");
+    let s = one_stmt(
+        "TXT MAH BFF k AN STUFF\nIM MESIN WIF UR x\nx R SUM OF x AN 1\nDUN MESIN WIF UR x\nTTYL",
+    );
     match s.kind {
         StmtKind::TxtBlock { body, .. } => assert_eq!(body.len(), 3),
         other => panic!("{other:?}"),

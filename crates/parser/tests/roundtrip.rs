@@ -10,20 +10,15 @@ use lol_ast::*;
 use lol_parser::parse;
 use proptest::prelude::*;
 
-const NAMES: &[&str] = &[
-    "x", "y", "z", "kitteh", "cheezburger", "bff_1", "pos_x", "vel_y", "n_pes", "ceiling_cat",
-];
+const NAMES: &[&str] =
+    &["x", "y", "z", "kitteh", "cheezburger", "bff_1", "pos_x", "vel_y", "n_pes", "ceiling_cat"];
 
 fn ident() -> impl Strategy<Value = Ident> {
     prop::sample::select(NAMES).prop_map(Ident::synthetic)
 }
 
 fn locality() -> impl Strategy<Value = Locality> {
-    prop_oneof![
-        Just(Locality::Unqualified),
-        Just(Locality::Mah),
-        Just(Locality::Ur),
-    ]
+    prop_oneof![Just(Locality::Unqualified), Just(Locality::Mah), Just(Locality::Ur),]
 }
 
 fn lol_type() -> impl Strategy<Value = LolType> {
@@ -38,13 +33,7 @@ fn lol_type() -> impl Strategy<Value = LolType> {
 fn yarn_text() -> impl Strategy<Value = String> {
     // Printable ASCII plus the characters with dedicated escapes.
     proptest::collection::vec(
-        prop_oneof![
-            proptest::char::range(' ', '~'),
-            Just(':'),
-            Just('"'),
-            Just('\n'),
-            Just('\t'),
-        ],
+        prop_oneof![proptest::char::range(' ', '~'), Just(':'), Just('"'), Just('\n'), Just('\t'),],
         0..12,
     )
     .prop_map(|cs| cs.into_iter().collect())
@@ -114,20 +103,16 @@ fn expr() -> impl Strategy<Value = Expr> {
                 ExprKind::Bin { op, lhs: Box::new(l), rhs: Box::new(r) },
                 Span::DUMMY
             )),
-            (unop(), inner.clone()).prop_map(|(op, e)| Expr::new(
-                ExprKind::Un { op, expr: Box::new(e) },
-                Span::DUMMY
-            )),
-            (naryop(), proptest::collection::vec(inner.clone(), 1..4)).prop_map(
-                |(op, args)| Expr::new(ExprKind::Nary { op, args }, Span::DUMMY)
-            ),
+            (unop(), inner.clone())
+                .prop_map(|(op, e)| Expr::new(ExprKind::Un { op, expr: Box::new(e) }, Span::DUMMY)),
+            (naryop(), proptest::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(op, args)| Expr::new(ExprKind::Nary { op, args }, Span::DUMMY)),
             (inner.clone(), lol_type()).prop_map(|(e, ty)| Expr::new(
                 ExprKind::Cast { expr: Box::new(e), ty },
                 Span::DUMMY
             )),
-            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(name, args)| Expr::new(ExprKind::Call { name, args }, Span::DUMMY)
-            ),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::new(ExprKind::Call { name, args }, Span::DUMMY)),
             (varref(), inner.clone()).prop_map(|(arr, idx)| Expr::new(
                 ExprKind::Index { arr, idx: Box::new(idx) },
                 Span::DUMMY
@@ -228,40 +213,43 @@ fn stmt() -> impl Strategy<Value = Stmt> {
     leaf.prop_recursive(3, 16, 3, |inner| {
         let block = proptest::collection::vec(inner.clone(), 0..3);
         prop_oneof![
-            (block.clone(), proptest::collection::vec((expr(), block.clone()), 0..2),
-             prop::option::of(block.clone()))
+            (
+                block.clone(),
+                proptest::collection::vec((expr(), block.clone()), 0..2),
+                prop::option::of(block.clone())
+            )
                 .prop_map(|(then_block, mebbe_raw, else_block)| {
-                    let mebbes = mebbe_raw
-                        .into_iter()
-                        .map(|(cond, body)| MebbeArm { cond, body })
-                        .collect();
-                    Stmt::new(
-                        StmtKind::If(IfStmt { then_block, mebbes, else_block }),
-                        Span::DUMMY,
-                    )
+                    let mebbes =
+                        mebbe_raw.into_iter().map(|(cond, body)| MebbeArm { cond, body }).collect();
+                    Stmt::new(StmtKind::If(IfStmt { then_block, mebbes, else_block }), Span::DUMMY)
                 }),
-            (proptest::collection::vec((lit(), block.clone()), 1..3), prop::option::of(block.clone()))
+            (
+                proptest::collection::vec((lit(), block.clone()), 1..3),
+                prop::option::of(block.clone())
+            )
                 .prop_map(|(arms_raw, default)| {
-                    let arms = arms_raw
-                        .into_iter()
-                        .map(|(value, body)| OmgArm { value, body })
-                        .collect();
+                    let arms =
+                        arms_raw.into_iter().map(|(value, body)| OmgArm { value, body }).collect();
                     Stmt::new(StmtKind::Switch(SwitchStmt { arms, default }), Span::DUMMY)
                 }),
             (
                 ident(),
-                prop::option::of((prop_oneof![Just(LoopDir::Uppin), Just(LoopDir::Nerfin)], ident())),
-                prop::option::of((prop_oneof![Just(GuardKind::Til), Just(GuardKind::Wile)], expr())),
+                prop::option::of((
+                    prop_oneof![Just(LoopDir::Uppin), Just(LoopDir::Nerfin)],
+                    ident()
+                )),
+                prop::option::of((
+                    prop_oneof![Just(GuardKind::Til), Just(GuardKind::Wile)],
+                    expr()
+                )),
                 block.clone()
             )
                 .prop_map(|(label, update, guard, body)| Stmt::new(
                     StmtKind::Loop(LoopStmt { label, update, guard, body }),
                     Span::DUMMY
                 )),
-            (expr(), block).prop_map(|(pe, body)| Stmt::new(
-                StmtKind::TxtBlock { pe, body },
-                Span::DUMMY
-            )),
+            (expr(), block)
+                .prop_map(|(pe, body)| Stmt::new(StmtKind::TxtBlock { pe, body }, Span::DUMMY)),
         ]
     })
 }
@@ -279,10 +267,7 @@ fn program() -> impl Strategy<Value = Program> {
     )
         .prop_map(|(incs, body, funcs)| Program {
             version: Some("1.2".into()),
-            includes: incs
-                .into_iter()
-                .map(|lib| Include { lib, span: Span::DUMMY })
-                .collect(),
+            includes: incs.into_iter().map(|lib| Include { lib, span: Span::DUMMY }).collect(),
             body,
             funcs,
         })

@@ -1,0 +1,588 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! This workspace builds without network access, so the real proptest
+//! crate cannot be fetched. This crate implements the API subset the
+//! workspace's property tests use — `Strategy` with `prop_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, `BoxedStrategy`, `Just`,
+//! `any`, ranges and tuples as strategies, `collection::vec`,
+//! `sample::select`, `option::of`, `char::range`, the `prop_oneof!`
+//! (weighted and unweighted) and `proptest!` macros — with plain
+//! random generation and **no shrinking**: a failing case panics with
+//! the generated inputs left to the assertion message.
+//!
+//! Generation is deterministic per test (the RNG is seeded from the
+//! test's name), so failures reproduce across runs.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic xoshiro256** generator driving all strategies.
+///
+/// `lol_shmem::rng::PeRng` carries its own copy of this algorithm:
+/// the stand-in crates mirror crates-io packages and stay
+/// dependency-free on purpose. If you fix one generator, fix both.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from raw entropy.
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state.
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Seed deterministically from a test's name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.s = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift; bias is negligible for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy: Clone + 'static {
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: 'static, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| f(self.gen_value(rng)))
+    }
+
+    /// Keep only values satisfying `pred` (regenerates on reject).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..10_000 {
+                let v = self.gen_value(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({reason}): rejected 10000 candidates in a row");
+        })
+    }
+
+    /// Recursive strategies: `self` is the leaf; `recurse` builds one
+    /// more level from the strategy for the level below. `depth` levels
+    /// are stacked, so generation is bounded by construction.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value>,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            cur = recurse(cur).boxed();
+        }
+        cur
+    }
+
+    /// Type-erase.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| s.gen_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Arc::clone(&self.gen) }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generation function.
+    pub fn from_fn<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+        BoxedStrategy { gen: Arc::new(f) }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Ranges as strategies (uniform over [start, end)).
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Simple pattern strategies for `&str`: supports the `.{m,n}` form
+/// (a random string of `m..=n` arbitrary printable chars); any other
+/// pattern generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        if let Some(rest) = self.strip_prefix(".{") {
+            if let Some(body) = rest.strip_suffix('}') {
+                if let Some((lo, hi)) = body.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.parse::<usize>(), hi.parse::<usize>()) {
+                        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                        return (0..len)
+                            .map(|_| {
+                                // Mostly ASCII, some multi-byte soup.
+                                if rng.below(8) == 0 {
+                                    char::from_u32(0x80 + rng.below(0xFFF) as u32).unwrap_or('¿')
+                                } else {
+                                    (0x20 + rng.below(0x5F) as u8) as char
+                                }
+                            })
+                            .collect();
+                    }
+                }
+            }
+        }
+        self.to_string()
+    }
+}
+
+// Tuples of strategies.
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+}
+
+/// Weighted union over type-erased branches (used by `prop_oneof!`).
+pub fn union<T: 'static>(branches: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+    let total: u64 = branches.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    BoxedStrategy::from_fn(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, s) in &branches {
+            if pick < *w as u64 {
+                return s.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!()
+    })
+}
+
+// ---------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Half raw bit patterns (hits infinities, NaNs, subnormals),
+        // half human-scale values.
+        if rng.next_u64() & 1 == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    BoxedStrategy::from_fn(A::arbitrary)
+}
+
+// ---------------------------------------------------------------------
+// Submodules mirroring proptest's layout
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::*;
+
+    /// Accepted sizes for [`vec`]: an exact length or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let n = size.lo + rng.below((size.hi - size.lo) as u64) as usize;
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    /// One element drawn uniformly from the given collection.
+    pub fn select<T, C>(options: C) -> BoxedStrategy<T>
+    where
+        T: Clone + 'static,
+        C: Into<Vec<T>>,
+    {
+        let options: Vec<T> = options.into();
+        assert!(!options.is_empty(), "select over an empty collection");
+        BoxedStrategy::from_fn(move |rng| options[rng.below(options.len() as u64) as usize].clone())
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy,
+        S::Value: 'static,
+    {
+        BoxedStrategy::from_fn(
+            move |rng| {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(inner.gen_value(rng))
+                }
+            },
+        )
+    }
+}
+
+pub mod char {
+    use super::*;
+
+    /// A char drawn uniformly from `[lo, hi]`.
+    pub fn range(
+        lo: ::core::primitive::char,
+        hi: ::core::primitive::char,
+    ) -> BoxedStrategy<::core::primitive::char> {
+        assert!(lo <= hi);
+        BoxedStrategy::from_fn(move |rng| loop {
+            let cp = lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32;
+            if let Some(c) = ::core::primitive::char::from_u32(cp) {
+                return c;
+            }
+        })
+    }
+}
+
+pub mod test_runner {
+    pub use super::TestRng;
+
+    /// How many cases each `proptest!` test runs.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// `prop::` path alias, as re-exported by proptest's prelude.
+pub mod prop {
+    pub use super::char;
+    pub use super::{collection, option, sample};
+}
+
+pub mod prelude {
+    pub use super::test_runner::TestRng;
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Union of strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// No-shrink analog of proptest's `prop_assert!`: plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// No-shrink analog of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// No-shrink analog of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Each test body runs `config.cases` times with
+/// fresh inputs drawn from its strategies; the RNG is seeded from the
+/// test name, so runs are deterministic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_and_filters_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        let s = (-5i64..5).prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..500 {
+            let v = s.clone().gen_value(&mut rng);
+            assert!((-5..5).contains(&v) && v != 0);
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected_loosely() {
+        let mut rng = TestRng::from_seed(3);
+        let s = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let ones = (0..1000).filter(|_| s.gen_value(&mut rng) == 1).count();
+        assert!(ones > 700, "expected mostly 1s, got {ones}");
+    }
+
+    #[test]
+    fn recursive_is_bounded() {
+        let leaf = Just(0u32);
+        let s = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a.max(b) + 1)
+        });
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..50 {
+            assert!(s.gen_value(&mut rng) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0i64..10, b in 10i64..20) {
+            prop_assert!(a < b);
+        }
+
+        #[test]
+        fn string_pattern_generates_bounded_len(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+        }
+    }
+}

@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn me_is_not_constant() {
         assert_eq!(const_eval_i64(&Expr::new(ExprKind::Me, Span::DUMMY)), None);
-        assert_eq!(const_eval_i64(&bin(BinOp::Sum, num(1), Expr::new(ExprKind::Me, Span::DUMMY))), None);
+        assert_eq!(
+            const_eval_i64(&bin(BinOp::Sum, num(1), Expr::new(ExprKind::Me, Span::DUMMY))),
+            None
+        );
     }
 
     #[test]
@@ -106,10 +109,7 @@ mod tests {
 
     #[test]
     fn squar_folds() {
-        let e = Expr::new(
-            ExprKind::Un { op: UnOp::Squar, expr: Box::new(num(6)) },
-            Span::DUMMY,
-        );
+        let e = Expr::new(ExprKind::Un { op: UnOp::Squar, expr: Box::new(num(6)) }, Span::DUMMY);
         assert_eq!(const_eval_i64(&e), Some(36));
     }
 }

@@ -111,7 +111,13 @@ mod tests {
     fn sequential_packing() {
         let mut l = SharedLayout::default();
         l.push(Symbol::intern("a"), LolType::Numbr, SharedKind::Scalar, false, Span::DUMMY);
-        l.push(Symbol::intern("b"), LolType::Numbar, SharedKind::Array { len: 10 }, false, Span::DUMMY);
+        l.push(
+            Symbol::intern("b"),
+            LolType::Numbar,
+            SharedKind::Array { len: 10 },
+            false,
+            Span::DUMMY,
+        );
         l.push(Symbol::intern("c"), LolType::Numbr, SharedKind::Scalar, true, Span::DUMMY);
         assert_eq!(l.get(Symbol::intern("a")).unwrap().addr, 0);
         assert_eq!(l.get(Symbol::intern("b")).unwrap().addr, 1);

@@ -83,11 +83,7 @@ mod tests {
 
     fn ok(src: &str) -> Analysis {
         let a = analyze_src(src);
-        assert!(
-            a.is_ok(),
-            "unexpected sema errors: {:?}",
-            a.diags.iter().collect::<Vec<_>>()
-        );
+        assert!(a.is_ok(), "unexpected sema errors: {:?}", a.diags.iter().collect::<Vec<_>>());
         a
     }
 
@@ -149,7 +145,9 @@ mod tests {
 
     #[test]
     fn const_size_arithmetic() {
-        let a = ok("HAI 1.2\nWE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ PRODUKT OF 4 AN 8\nKTHXBYE");
+        let a = ok(
+            "HAI 1.2\nWE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ PRODUKT OF 4 AN 8\nKTHXBYE",
+        );
         let arr = a.shared.get(Symbol::intern("arr")).unwrap();
         assert!(matches!(arr.kind, SharedKind::Array { len: 32 }));
     }
@@ -183,7 +181,9 @@ mod tests {
     #[test]
     fn shared_decl_in_nested_block_is_error() {
         assert_eq!(
-            err_code("HAI 1.2\nIM IN YR l\nWE HAS A x ITZ SRSLY A NUMBR\nGTFO\nIM OUTTA YR l\nKTHXBYE"),
+            err_code(
+                "HAI 1.2\nIM IN YR l\nWE HAS A x ITZ SRSLY A NUMBR\nGTFO\nIM OUTTA YR l\nKTHXBYE"
+            ),
             "SEM0005"
         );
     }
@@ -351,7 +351,9 @@ mod tests {
     #[test]
     fn duplicate_function_is_error() {
         assert_eq!(
-            err_code("HAI 1.2\nHOW IZ I f\nGTFO\nIF U SAY SO\nHOW IZ I f\nGTFO\nIF U SAY SO\nKTHXBYE"),
+            err_code(
+                "HAI 1.2\nHOW IZ I f\nGTFO\nIF U SAY SO\nHOW IZ I f\nGTFO\nIF U SAY SO\nKTHXBYE"
+            ),
             "SEM0011"
         );
     }
@@ -379,10 +381,7 @@ mod tests {
 
     #[test]
     fn indexing_scalar_is_error() {
-        assert_eq!(
-            err_code("HAI 1.2\nI HAS A x ITZ 1\nVISIBLE x'Z 0\nKTHXBYE"),
-            "SEM0022"
-        );
+        assert_eq!(err_code("HAI 1.2\nI HAS A x ITZ 1\nVISIBLE x'Z 0\nKTHXBYE"), "SEM0022");
     }
 
     #[test]

@@ -107,12 +107,8 @@ impl<'p> Checker<'p> {
         let top = self.scopes.last_mut().expect("scope stack never empty");
         match top.entry(name) {
             std::collections::hash_map::Entry::Occupied(_) => self.diags.push(
-                Diagnostic::error(
-                    "SEM0016",
-                    format!("U ALREADY HAS A {name} IN DIS SCOPE"),
-                    span,
-                )
-                .with_note("shadowing is allowed in a nested scope, not the same one"),
+                Diagnostic::error("SEM0016", format!("U ALREADY HAS A {name} IN DIS SCOPE"), span)
+                    .with_note("shadowing is allowed in a nested scope, not the same one"),
             ),
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(info);
@@ -161,8 +157,8 @@ impl<'p> Checker<'p> {
                     _ => None,
                 };
                 let target_is_plain_var = matches!(target, LValue::Var(_));
-                let target_is_array = target_is_plain_var
-                    && tinfo.as_ref().map(|i| i.is_array).unwrap_or(false);
+                let target_is_array =
+                    target_is_plain_var && tinfo.as_ref().map(|i| i.is_array).unwrap_or(false);
                 let value_is_array = vinfo.as_ref().map(|i| i.is_array).unwrap_or(false);
                 match (target_is_array, value_is_array) {
                     (true, true) => {
@@ -173,9 +169,7 @@ impl<'p> Checker<'p> {
                             if a != b {
                                 self.diags.push(Diagnostic::error(
                                     "SEM0014",
-                                    format!(
-                                        "ARRAY SIZES DONT MATCH: {a} ELEMENTS CANT HOLD {b}"
-                                    ),
+                                    format!("ARRAY SIZES DONT MATCH: {a} ELEMENTS CANT HOLD {b}"),
                                     s.span,
                                 ));
                             }
@@ -288,8 +282,7 @@ impl<'p> Checker<'p> {
                         self.diags.push(
                             Diagnostic::error(
                                 "SEM0024",
-                                "SRSLY TYPED AN SHARED VARIABLES KEEP THEIR TYPE 4EVER"
-                                    .to_string(),
+                                "SRSLY TYPED AN SHARED VARIABLES KEEP THEIR TYPE 4EVER".to_string(),
                                 target.span(),
                             )
                             .with_note("drop SRSLY if u wants dynamic retyping"),
@@ -398,10 +391,15 @@ impl<'p> Checker<'p> {
                     self.diags.push(
                         Diagnostic::error(
                             "SEM0003",
-                            format!("SHARED VARIABLE {} NEEDS A TYPE (NUMBR, NUMBAR OR TROOF)", d.name.sym),
+                            format!(
+                                "SHARED VARIABLE {} NEEDS A TYPE (NUMBR, NUMBAR OR TROOF)",
+                                d.name.sym
+                            ),
                             d.span,
                         )
-                        .with_note("symmetric memory is laid out statically, like the paper's C backend"),
+                        .with_note(
+                            "symmetric memory is laid out statically, like the paper's C backend",
+                        ),
                     );
                     return;
                 };
@@ -463,11 +461,13 @@ impl<'p> Checker<'p> {
                     );
                 }
                 let is_array = d.array_size.is_some();
-                let array_len = d
-                    .array_size
-                    .as_ref()
-                    .and_then(const_eval_i64)
-                    .and_then(|n| if n > 0 { Some(n as usize) } else { None });
+                let array_len = d.array_size.as_ref().and_then(const_eval_i64).and_then(|n| {
+                    if n > 0 {
+                        Some(n as usize)
+                    } else {
+                        None
+                    }
+                });
                 self.declare(
                     d.name.sym,
                     VarInfo {
@@ -616,33 +616,27 @@ impl<'p> Checker<'p> {
             Locality::Unqualified => {}
         }
         match &vr.name {
-            VarName::Named(id) => {
-                match self.resolve(id.sym) {
-                    None => self.diags.push(
-                        Diagnostic::error(
-                            "SEM0001",
-                            format!("WHO IZ {}?", id.sym),
-                            id.span,
-                        )
+            VarName::Named(id) => match self.resolve(id.sym) {
+                None => self.diags.push(
+                    Diagnostic::error("SEM0001", format!("WHO IZ {}?", id.sym), id.span)
                         .with_note("declare it wif I HAS A (or WE HAS A for shared)"),
-                    ),
-                    Some(info) => {
-                        if vr.locality == Locality::Ur && !info.shared {
-                            self.diags.push(
-                                Diagnostic::error(
-                                    "SEM0017",
-                                    format!(
-                                        "{} IZ PRIVATE — ONLY WE HAS A VARIABLES R REMOTELY VISIBLE",
-                                        id.sym
-                                    ),
-                                    vr.span,
-                                )
-                                .with_note("the PGAS model shares only symmetric allocations"),
-                            );
-                        }
+                ),
+                Some(info) => {
+                    if vr.locality == Locality::Ur && !info.shared {
+                        self.diags.push(
+                            Diagnostic::error(
+                                "SEM0017",
+                                format!(
+                                    "{} IZ PRIVATE — ONLY WE HAS A VARIABLES R REMOTELY VISIBLE",
+                                    id.sym
+                                ),
+                                vr.span,
+                            )
+                            .with_note("the PGAS model shares only symmetric allocations"),
+                        );
                     }
                 }
-            }
+            },
             VarName::Srs(e) => {
                 self.features.uses_srs = true;
                 self.check_expr(e);

@@ -21,7 +21,7 @@
 //! watchdog) — that is what turns the classic "some PE skipped the
 //! barrier" teaching bug into an actionable error instead of a hang.
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -127,7 +127,8 @@ pub(crate) struct DisseminationBarrier {
 
 impl DisseminationBarrier {
     pub(crate) fn new(n: usize) -> Self {
-        let rounds = if n <= 1 { 0 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
+        let rounds =
+            if n <= 1 { 0 } else { usize::BITS as usize - (n - 1).leading_zeros() as usize };
         let flags = (0..rounds)
             .map(|_| (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect())
             .collect();

@@ -46,6 +46,8 @@ pub mod barrier;
 pub mod heap;
 pub mod latency;
 pub mod lock;
+pub mod pad;
+pub mod rng;
 pub mod stats;
 pub mod world;
 

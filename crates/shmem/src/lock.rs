@@ -58,10 +58,7 @@ impl<'a> LockWords<'a> {
                 .is_ok(),
             LockKind::Ticket => {
                 let t = self.serving.load(Ordering::Acquire);
-                if self
-                    .next
-                    .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
+                if self.next.compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Relaxed).is_ok()
                 {
                     // next == serving == t: the queue was empty and we
                     // took ticket t, which is already being served.
@@ -110,9 +107,7 @@ impl<'a> LockWords<'a> {
         let holder = self.owner.load(Ordering::Relaxed);
         if holder != encode(me) {
             if holder == 0 {
-                panic!(
-                    "O NOES! [RUN0180] PE {me} DID DUN MESIN WIF BUT NOBODY WUZ MESIN WIF IT"
-                );
+                panic!("O NOES! [RUN0180] PE {me} DID DUN MESIN WIF BUT NOBODY WUZ MESIN WIF IT");
             }
             panic!(
                 "O NOES! [RUN0181] PE {me} TRIED TO DUN MESIN WIF A LOCK HELD BY PE {}",

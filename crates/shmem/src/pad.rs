@@ -1,0 +1,60 @@
+//! Cache-line padding (offline stand-in for `crossbeam_utils::CachePadded`).
+//!
+//! Aligning each hot atomic to its own cache line keeps one PE's
+//! spinning from invalidating its neighbours' lines (false sharing) —
+//! the same trick real barrier/lock implementations use. 128 bytes
+//! covers the two-line prefetcher granularity on modern x86 and the
+//! 128-byte lines on some ARM parts.
+
+/// Pads and aligns `T` to 128 bytes.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_access() {
+        let vals: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(**v, i as u64);
+            assert_eq!(v as *const _ as usize % 128, 0, "entry {i} misaligned");
+        }
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-PE deterministic random streams (offline stand-in for
+//! `rand::rngs::SmallRng`).
+//!
+//! `WHATEVR` / `WHATEVAR` need a small, fast, seedable generator with
+//! independent per-PE streams; statistical perfection is not required
+//! (the paper's original uses libc `rand()`). This is xoshiro256**
+//! seeded via SplitMix64 — the same construction SmallRng used — so
+//! per-seed determinism and stream independence carry over.
+
+/// A small, fast, seedable PRNG (xoshiro256**).
+///
+/// The offline `proptest` stand-in crate carries its own copy of this
+/// algorithm (`proptest::TestRng`): the stand-ins stay dependency-free
+/// on purpose. If you fix one generator, fix both.
+#[derive(Clone, Debug)]
+pub struct PeRng {
+    s: [u64; 4],
+}
+
+impl PeRng {
+    /// Expand a 64-bit seed into the full state (SplitMix64), as
+    /// `SeedableRng::seed_from_u64` does.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        PeRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.s = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform `i64` in `[0, bound)`; `bound` must be positive.
+    pub fn gen_i64_below(&mut self, bound: i64) -> i64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as i64
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = PeRng::seed_from_u64(42);
+        let mut b = PeRng::seed_from_u64(42);
+        let mut c = PeRng::seed_from_u64(43);
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut r = PeRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let i = r.gen_i64_below(1 << 31);
+            assert!((0..(1i64 << 31)).contains(&i));
+            let f = r.gen_unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn draws_are_not_constant() {
+        let mut r = PeRng::seed_from_u64(1);
+        let first = r.gen_i64_below(1 << 31);
+        assert!((0..100).any(|_| r.gen_i64_below(1 << 31) != first));
+    }
+}

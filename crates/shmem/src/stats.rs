@@ -55,6 +55,44 @@ impl CommStats {
             (self.remote_gets + self.remote_puts) as f64 / total as f64
         }
     }
+
+    /// Fold another PE's counts into this one (job-wide totals).
+    pub fn absorb(&mut self, other: &CommStats) {
+        self.local_gets += other.local_gets;
+        self.remote_gets += other.remote_gets;
+        self.local_puts += other.local_puts;
+        self.remote_puts += other.remote_puts;
+        self.block_get_words += other.block_get_words;
+        self.block_put_words += other.block_put_words;
+        self.amos += other.amos;
+        self.barriers += other.barriers;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_tries += other.lock_tries;
+        self.lock_releases += other.lock_releases;
+    }
+}
+
+impl std::ops::Add for CommStats {
+    type Output = CommStats;
+    fn add(mut self, rhs: CommStats) -> CommStats {
+        self.absorb(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for CommStats {
+    fn sum<I: Iterator<Item = CommStats>>(iter: I) -> CommStats {
+        iter.fold(CommStats::default(), |acc, s| acc + s)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a CommStats> for CommStats {
+    fn sum<I: Iterator<Item = &'a CommStats>>(iter: I) -> CommStats {
+        iter.fold(CommStats::default(), |mut acc, s| {
+            acc.absorb(s);
+            acc
+        })
+    }
 }
 
 impl fmt::Display for CommStats {
@@ -145,6 +183,18 @@ mod tests {
     #[test]
     fn empty_stats_fraction_is_zero() {
         assert_eq!(CommStats::default().remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sum_aggregates_per_pe_counts() {
+        let a = CommStats { local_gets: 2, remote_puts: 3, barriers: 1, ..Default::default() };
+        let b = CommStats { local_gets: 5, amos: 7, barriers: 1, ..Default::default() };
+        let total: CommStats = [a, b].iter().sum();
+        assert_eq!(total.local_gets, 7);
+        assert_eq!(total.remote_puts, 3);
+        assert_eq!(total.amos, 7);
+        assert_eq!(total.barriers, 2);
+        assert_eq!(a + b, total);
     }
 
     #[test]

@@ -12,15 +12,14 @@ use crate::barrier::{BarrierKind, CentralBarrier, DisseminationBarrier, SpinGuar
 use crate::heap::{f64_to_word, i64_to_word, word_to_f64, word_to_i64, Heap, SymAddr};
 use crate::latency::LatencyModel;
 use crate::lock::{LockKind, LockWords, LOCK_WORDS};
+use crate::pad::CachePadded;
+use crate::rng::PeRng;
 use crate::stats::{CommStats, StatCells};
 use crate::WaitCmp;
-use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Job configuration (the "machine" we simulate).
@@ -150,7 +149,7 @@ impl World {
             generation: Cell::new(0),
             heap_cursor: Cell::new(0),
             alloc_seq: Cell::new(0),
-            rng: RefCell::new(SmallRng::seed_from_u64(
+            rng: RefCell::new(PeRng::seed_from_u64(
                 self.cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             )),
             stats: StatCells::default(),
@@ -235,7 +234,8 @@ where
             Err(message) => {
                 // RUN0190 is the "another PE already failed" secondary
                 // panic: report the PE that actually caused the abort.
-                let slot = if message.contains("[RUN0190]") { &mut bystander } else { &mut root_cause };
+                let slot =
+                    if message.contains("[RUN0190]") { &mut bystander } else { &mut root_cause };
                 if slot.is_none() {
                     *slot = Some(SpmdError { pe: id, message });
                 }
@@ -270,7 +270,7 @@ pub struct Pe<'w> {
     generation: Cell<u64>,
     heap_cursor: Cell<usize>,
     alloc_seq: Cell<usize>,
-    rng: RefCell<SmallRng>,
+    rng: RefCell<PeRng>,
     stats: StatCells,
 }
 
@@ -318,7 +318,10 @@ impl<'w> Pe<'w> {
     pub fn shmalloc(&self, words: usize) -> SymAddr {
         let seq = self.alloc_seq.get();
         {
-            let mut log = self.world.alloc_log.lock();
+            // `unwrap_or_else(into_inner)`: a PE that fails validation
+            // panics while holding the lock; later PEs must still read
+            // the (consistent) log rather than propagate the poison.
+            let mut log = self.world.alloc_log.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(&prev) = log.get(seq) {
                 if prev as usize != words {
                     self.world.abort_job();
@@ -340,8 +343,7 @@ impl<'w> Pe<'w> {
             panic!(
                 "O NOES! [RUN0111] NOT ENUF SYMMETRIC HEAP: PE {} NEEDS {end} WORDS \
                  BUT ONLY HAS {} (GROW heap_words)",
-                self.id,
-                self.world.cfg.heap_words
+                self.id, self.world.cfg.heap_words
             );
         }
         self.heap_cursor.set(end);
@@ -610,12 +612,12 @@ impl<'w> Pe<'w> {
 
     /// `WHATEVR`: uniform integer in `[0, 2^31)` (libc `rand()` analog).
     pub fn rand_i64(&self) -> i64 {
-        self.rng.borrow_mut().gen_range(0..(1i64 << 31))
+        self.rng.borrow_mut().gen_i64_below(1i64 << 31)
     }
 
     /// `WHATEVAR`: uniform float in `[0, 1)` (`randf()` analog).
     pub fn rand_f64(&self) -> f64 {
-        self.rng.borrow_mut().gen_range(0.0..1.0)
+        self.rng.borrow_mut().gen_unit_f64()
     }
 
     // ------------------------------------------------------------------
@@ -960,8 +962,11 @@ mod tests {
             }
         })
         .unwrap_err();
-        assert!(err.message.contains("RUN0191") || err.message.contains("RUN0190"),
-            "unexpected: {}", err.message);
+        assert!(
+            err.message.contains("RUN0191") || err.message.contains("RUN0190"),
+            "unexpected: {}",
+            err.message
+        );
     }
 
     #[test]
@@ -1008,10 +1013,7 @@ mod tests {
         })
         .unwrap();
         for (local, remote) in r {
-            assert!(
-                remote > local,
-                "remote ({remote:?}) should cost more than local ({local:?})"
-            );
+            assert!(remote > local, "remote ({remote:?}) should cost more than local ({local:?})");
             assert!(remote >= Duration::from_micros(20 * 50));
         }
     }

@@ -193,10 +193,7 @@ impl<'a> FnCompiler<'a> {
                 return Ok(matches!(ls.kind, SlotKind::Array));
             }
         }
-        Ok(self
-            .shared(name)
-            .map(|sv| matches!(sv.kind, SharedKind::Array { .. }))
-            .unwrap_or(false))
+        Ok(self.shared(name).map(|sv| matches!(sv.kind, SharedKind::Array { .. })).unwrap_or(false))
     }
 
     fn arr_loc(&self, vr: &VarRef) -> CResult<ArrLoc> {
@@ -218,9 +215,7 @@ impl<'a> FnCompiler<'a> {
                 ty: sv.ty,
                 remote: vr.locality == Locality::Ur,
             }),
-            SharedKind::Scalar => {
-                Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), vr.span))
-            }
+            SharedKind::Scalar => Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), vr.span)),
         }
     }
 
@@ -250,9 +245,9 @@ impl<'a> FnCompiler<'a> {
                         }
                     }
                 }
-                let sv = self.shared(name).ok_or_else(|| {
-                    self.err("VMC0002", format!("WHO IZ {name}?"), arr.span)
-                })?;
+                let sv = self
+                    .shared(name)
+                    .ok_or_else(|| self.err("VMC0002", format!("WHO IZ {name}?"), arr.span))?;
                 let SharedKind::Array { len } = sv.kind else {
                     return Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), arr.span));
                 };
@@ -380,11 +375,9 @@ impl<'a> FnCompiler<'a> {
                 });
                 Ok(())
             }
-            SharedKind::Array { .. } => Err(self.err(
-                "VMC0004",
-                format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
-                vr.span,
-            )),
+            SharedKind::Array { .. } => {
+                Err(self.err("VMC0004", format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"), vr.span))
+            }
         }
     }
 
@@ -452,9 +445,9 @@ impl<'a> FnCompiler<'a> {
                         };
                     }
                 }
-                let sv = self.shared(name).ok_or_else(|| {
-                    self.err("VMC0005", format!("WHO IZ {name}?"), arr.span)
-                })?;
+                let sv = self
+                    .shared(name)
+                    .ok_or_else(|| self.err("VMC0005", format!("WHO IZ {name}?"), arr.span))?;
                 let SharedKind::Array { len } = sv.kind else {
                     return Err(self.err("VMC0002", format!("{name} IZ A SCALAR"), arr.span));
                 };
@@ -512,11 +505,7 @@ impl<'a> FnCompiler<'a> {
                     self.emit_const(Value::Noob);
                     self.code.push(Op::Ret);
                 } else {
-                    return Err(self.err(
-                        "VMC0006",
-                        "GTFO OF WHERE?".to_string(),
-                        s.span,
-                    ));
+                    return Err(self.err("VMC0006", "GTFO OF WHERE?".to_string(), s.span));
                 }
                 Ok(())
             }
@@ -596,9 +585,9 @@ impl<'a> FnCompiler<'a> {
 
     fn lock_cell(&mut self, vr: &VarRef) -> CResult<(u32, bool)> {
         let name = self.named(vr)?;
-        let sv = self.shared(name).ok_or_else(|| {
-            self.err("VMC0005", format!("{name} IZ NOT SHARED"), vr.span)
-        })?;
+        let sv = self
+            .shared(name)
+            .ok_or_else(|| self.err("VMC0005", format!("{name} IZ NOT SHARED"), vr.span))?;
         let off = sv.lock.ok_or_else(|| {
             self.err(
                 "VMC0008",
@@ -631,10 +620,7 @@ impl<'a> FnCompiler<'a> {
                 if let Some(size) = &d.array_size {
                     self.expr(size)?;
                     let slot = self.alloc_slot(d.name.sym, SlotKind::Array);
-                    self.code.push(Op::LocalArrNew {
-                        slot,
-                        ty: d.ty.unwrap_or(LolType::Noob),
-                    });
+                    self.code.push(Op::LocalArrNew { slot, ty: d.ty.unwrap_or(LolType::Noob) });
                     Ok(())
                 } else {
                     match (&d.init, d.ty) {

@@ -28,7 +28,7 @@ pub use ops::{Chunk, Module, Op};
 use lol_ast::Program;
 use lol_interp::RunError;
 use lol_sema::Analysis;
-use lol_shmem::{run_spmd, Pe, ShmemConfig, SpmdError};
+use lol_shmem::Pe;
 
 /// Compile and immediately report the first error as a rendered string
 /// (test/CLI convenience).
@@ -37,25 +37,13 @@ pub fn compile_checked(program: &Program, analysis: &Analysis) -> Result<Module,
 }
 
 /// Run a compiled module on one PE; returns captured output.
+///
+/// This is the whole public execution surface of the crate: SPMD
+/// launching, output collection and statistics gathering live in the
+/// `lolcode` driver's `VmEngine`, which runs a compiled artifact
+/// through this entry point on every PE.
 pub fn run_on_pe(module: &Module, pe: &Pe<'_>, input: &[String]) -> Result<String, RunError> {
     run::Vm::new(module, pe, input).run()
-}
-
-/// Run a compiled module SPMD over `cfg.n_pes` PEs.
-pub fn run_parallel(module: &Module, cfg: ShmemConfig) -> Result<Vec<String>, SpmdError> {
-    run_parallel_with_input(module, cfg, &[])
-}
-
-/// [`run_parallel`] with `GIMMEH` input lines.
-pub fn run_parallel_with_input(
-    module: &Module,
-    cfg: ShmemConfig,
-    input: &[String],
-) -> Result<Vec<String>, SpmdError> {
-    run_spmd(cfg, |pe| match run_on_pe(module, pe, input) {
-        Ok(out) => out,
-        Err(e) => pe.fail(e.to_string()),
-    })
 }
 
 #[cfg(test)]
@@ -63,6 +51,7 @@ mod tests {
     use super::*;
     use lol_parser::parse;
     use lol_sema::analyze;
+    use lol_shmem::{run_spmd, ShmemConfig, SpmdError};
     use std::time::Duration;
 
     fn cfg(n: usize) -> ShmemConfig {
@@ -74,6 +63,27 @@ mod tests {
         let a = analyze(&p);
         assert!(a.is_ok(), "sema: {:?}", a.diags.iter().collect::<Vec<_>>());
         (p, a)
+    }
+
+    /// SPMD launch helper (what `lolcode`'s `VmEngine` does, minus the
+    /// stats/timing plumbing).
+    fn run_parallel(module: &Module, cfg: ShmemConfig) -> Result<Vec<String>, SpmdError> {
+        run_spmd(cfg, |pe| match run_on_pe(module, pe, &[]) {
+            Ok(out) => out,
+            Err(e) => pe.fail(e.to_string()),
+        })
+    }
+
+    /// Interpreter-side launch helper for the differential tests.
+    fn interp_parallel(
+        program: &Program,
+        analysis: &Analysis,
+        cfg: ShmemConfig,
+    ) -> Result<Vec<String>, SpmdError> {
+        run_spmd(cfg, |pe| match lol_interp::run_on_pe(program, analysis, pe, &[]) {
+            Ok(out) => out,
+            Err(e) => pe.fail(e.to_string()),
+        })
     }
 
     fn run_vm(n: usize, src: &str) -> Vec<String> {
@@ -95,8 +105,7 @@ mod tests {
         let (p, a) = build(src);
         let m = compile(&p, &a).expect("compile failed");
         let vm_out = run_parallel(&m, cfg(n).seed(7)).expect("vm failed");
-        let in_out =
-            lol_interp::run_parallel(&p, &a, cfg(n).seed(7)).expect("interp failed");
+        let in_out = interp_parallel(&p, &a, cfg(n).seed(7)).expect("interp failed");
         assert_eq!(vm_out, in_out, "interp/VM divergence on:\n{src}");
     }
 

@@ -35,22 +35,50 @@ pub enum Op {
     Pop,
 
     /// Load a shared scalar (own or BFF instance).
-    SharedLoad { off: u32, ty: LolType, remote: bool },
+    SharedLoad {
+        off: u32,
+        ty: LolType,
+        remote: bool,
+    },
     /// Pop value, store to a shared scalar.
-    SharedStore { off: u32, ty: LolType, remote: bool },
+    SharedStore {
+        off: u32,
+        ty: LolType,
+        remote: bool,
+    },
     /// Pop index, push element of a shared array.
-    SharedLoadIdx { off: u32, len: u32, ty: LolType, remote: bool },
+    SharedLoadIdx {
+        off: u32,
+        len: u32,
+        ty: LolType,
+        remote: bool,
+    },
     /// Pop index then value, store element of a shared array.
-    SharedStoreIdx { off: u32, len: u32, ty: LolType, remote: bool },
+    SharedStoreIdx {
+        off: u32,
+        len: u32,
+        ty: LolType,
+        remote: bool,
+    },
 
     /// Pop size, create a local array in `slot`.
-    LocalArrNew { slot: u16, ty: LolType },
+    LocalArrNew {
+        slot: u16,
+        ty: LolType,
+    },
     /// Pop index, push element of local array in `slot`.
-    LocalArrLoad { slot: u16 },
+    LocalArrLoad {
+        slot: u16,
+    },
     /// Pop index then value, store element of local array.
-    LocalArrStore { slot: u16 },
+    LocalArrStore {
+        slot: u16,
+    },
     /// Whole-array copy (Section VI.A).
-    ArrayCopy { dst: ArrLoc, src: ArrLoc },
+    ArrayCopy {
+        dst: ArrLoc,
+        src: ArrLoc,
+    },
 
     /// Binary operator on the top two values (lhs below rhs).
     Bin(BinOp),
@@ -68,22 +96,37 @@ pub enum Op {
     JumpIfFalse(u32),
 
     /// Call function `func` with `argc` stack arguments.
-    Call { func: u16, argc: u8 },
+    Call {
+        func: u16,
+        argc: u8,
+    },
     /// Return the top of stack from the current function.
     Ret,
 
     /// Pop `argc` printed values (pushed left-to-right), emit.
-    Visible { argc: u8, newline: bool },
+    Visible {
+        argc: u8,
+        newline: bool,
+    },
     /// Push one input line as a YARN.
     ReadLine,
 
     /// `HUGZ`.
     Barrier,
     /// Locks on the resolved lock cell.
-    LockAcquire { off: u32, remote: bool },
+    LockAcquire {
+        off: u32,
+        remote: bool,
+    },
     /// Pushes WIN/FAIL.
-    LockTry { off: u32, remote: bool },
-    LockRelease { off: u32, remote: bool },
+    LockTry {
+        off: u32,
+        remote: bool,
+    },
+    LockRelease {
+        off: u32,
+        remote: bool,
+    },
 
     /// Pop PE number, validate, push onto the BFF (predication) stack.
     PushBff,

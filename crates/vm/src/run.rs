@@ -28,11 +28,8 @@ pub(crate) struct Vm<'a, 'w> {
 
 impl<'a, 'w> Vm<'a, 'w> {
     pub(crate) fn new(module: &'a Module, pe: &'a Pe<'w>, input: &[String]) -> Self {
-        let base = if module.shared_words > 0 {
-            pe.shmalloc(module.shared_words)
-        } else {
-            SymAddr(0)
-        };
+        let base =
+            if module.shared_words > 0 { pe.shmalloc(module.shared_words) } else { SymAddr(0) };
         Vm {
             module,
             pe,
@@ -167,9 +164,7 @@ impl<'a, 'w> Vm<'a, 'w> {
                             let i = Self::bounds(i, elems.len() as u32)?;
                             self.stack.push(elems[i].clone());
                         }
-                        Cell::Val(_) => {
-                            return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ"))
-                        }
+                        Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
                     }
                 }
                 Op::LocalArrStore { slot } => {
@@ -180,9 +175,7 @@ impl<'a, 'w> Vm<'a, 'w> {
                             let i = Self::bounds(i, elems.len() as u32)?;
                             elems[i] = cast(&v, *ty)?;
                         }
-                        Cell::Val(_) => {
-                            return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ"))
-                        }
+                        Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
                     }
                 }
                 Op::ArrayCopy { dst, src } => self.array_copy(dst, src, frame)?,
@@ -356,10 +349,7 @@ impl<'a, 'w> Vm<'a, 'w> {
                 if values.len() != *len as usize {
                     return Err(RunError::new(
                         "RUN0013",
-                        format!(
-                            "ARRAY COPY SIZE MISMATCH: {} THINGZ INTO {len}",
-                            values.len()
-                        ),
+                        format!("ARRAY COPY SIZE MISMATCH: {} THINGZ INTO {len}", values.len()),
                     ));
                 }
                 let t = self.target(*remote)?;

@@ -12,28 +12,30 @@
 use icanhas::prelude::*;
 
 fn main() {
-    let n_pes: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let n_pes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
 
     println!("Figure 2 on {n_pes} PEs:\n");
-    let outputs =
-        run_source(corpus::BARRIER_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
-    for out in &outputs {
+    let artifact = compile(corpus::BARRIER_EXAMPLE).expect("compile failed");
+    let engine = engine_for(Backend::Interp);
+    let first = engine.run(&artifact, &RunConfig::new(n_pes)).expect("run failed");
+    for out in &first.outputs {
         print!("{out}");
     }
 
     // c on PE p must be (p+1) + (left neighbour + 1), deterministically.
-    for (pe, out) in outputs.iter().enumerate() {
+    for (pe, out) in first.outputs.iter().enumerate() {
         let left = (pe + n_pes - 1) % n_pes;
         let want = format!("PE {pe}: C = {}\n", pe + 1 + left + 1);
         assert_eq!(out, &want);
     }
+
+    // Five more rounds off the same artifact — one run_many sweep.
     println!("\ndeterministic across runs:");
-    for round in 1..=5 {
-        let again =
-            run_source(corpus::BARRIER_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
-        assert_eq!(again, outputs, "HUGZ failed to order the data movement");
-        println!("  round {round}: identical");
+    let sweep: Vec<RunConfig> = (0..5).map(|_| RunConfig::new(n_pes)).collect();
+    for (round, report) in engine.run_many(&artifact, &sweep).into_iter().enumerate() {
+        let report = report.expect("run failed");
+        assert_eq!(report.outputs, first.outputs, "HUGZ failed to order the data movement");
+        println!("  round {}: identical ({:?})", round + 1, report.wall);
     }
     println!("\nwithout HUGZ dis would be a race — dats why we hug. KTHXBYE");
 }

@@ -1,7 +1,7 @@
 //! Communication statistics — make the invisible visible.
 //!
-//! Runs the paper's examples on an instrumented substrate and prints
-//! each algorithm's communication profile: how many local vs remote
+//! Runs the paper's examples and prints each algorithm's communication
+//! profile straight off the `RunReport`: how many local vs remote
 //! accesses, barriers and lock operations it performs. This is the
 //! teaching payoff of a simulator over real hardware: students *see*
 //! that n-body's remote-force phase dominates traffic.
@@ -11,36 +11,26 @@
 //! ```
 
 use icanhas::prelude::*;
-use icanhas::shmem::CommStats;
-use lol_sema::analyze;
 
-/// Run a LOLCODE program and collect per-PE comm stats.
-fn profile(src: &str, n_pes: usize) -> Vec<CommStats> {
-    let program = parse_program(src).expect("parse");
-    let analysis = analyze(&program);
-    assert!(analysis.is_ok());
-    run_spmd(ShmemConfig::new(n_pes), |pe| {
-        lol_interp::run_on_pe(&program, &analysis, pe, &[]).expect("run");
-        pe.stats()
-    })
-    .expect("job failed")
+/// Run a LOLCODE program and return the full report (outputs + stats).
+fn profile(src: &str, n_pes: usize) -> RunReport {
+    let artifact = compile(src).expect("compile");
+    engine_for(Backend::Interp).run(&artifact, &RunConfig::new(n_pes)).expect("job failed")
 }
 
-fn report(name: &str, stats: &[CommStats]) {
-    let total_remote: u64 = stats.iter().map(|s| s.remote_gets + s.remote_puts).sum();
-    let total_local: u64 = stats.iter().map(|s| s.local_gets + s.local_puts).sum();
-    let barriers = stats[0].barriers;
-    let locks: u64 = stats.iter().map(|s| s.lock_acquires + s.lock_tries).sum();
-    println!("== {name} ({} PEs) ==", stats.len());
-    println!("  PE 0: {}", stats[0]);
+fn report(name: &str, r: &RunReport) {
+    let total = r.total_stats();
+    let total_remote = total.remote_gets + total.remote_puts;
+    let total_local = total.local_gets + total.local_puts;
+    let locks = total.lock_acquires + total.lock_tries;
+    println!("== {name} ({} PEs, wall {:?}) ==", r.n_pes(), r.wall);
+    println!("  PE 0: {}", r.stats[0]);
     println!(
         "  job totals: {total_local} local + {total_remote} remote scalar ops, \
-         {barriers} barrier(s)/PE, {locks} lock ops"
+         {} barrier(s)/PE, {locks} lock ops",
+        r.stats[0].barriers
     );
-    println!(
-        "  remote fraction: {:.1}%\n",
-        100.0 * total_remote as f64 / (total_remote + total_local).max(1) as f64
-    );
+    println!("  remote fraction: {:.1}%\n", 100.0 * total.remote_fraction());
 }
 
 fn main() {
@@ -64,13 +54,13 @@ fn main() {
     let particles = 8u64;
     let expected_remote_gets = steps * particles * (n as u64 - 1) * particles * 2; // x and y
     assert_eq!(
-        nbody[0].remote_gets, expected_remote_gets,
+        nbody.stats[0].remote_gets, expected_remote_gets,
         "n-body remote-get count should be steps*n*(P-1)*n*2"
     );
     println!(
         "n-body remote gets/PE = {} = steps({steps}) x n({particles}) x \
          neighbours({}) x n({particles}) x 2 coords — O(P*n^2) confirmed. KTHXBYE",
-        nbody[0].remote_gets,
+        nbody.stats[0].remote_gets,
         n - 1
     );
 }

@@ -10,7 +10,10 @@ use icanhas::prelude::*;
 
 fn main() {
     println!("== Section VI.C barrier example, compiled to C ==\n");
-    let c = compile_to_c(corpus::BARRIER_EXAMPLE).expect("codegen failed");
+    // The artifact API: one front-end pass feeds the C emitter (and
+    // could feed the interpreter/VM engines too, without re-parsing).
+    let artifact = compile(corpus::BARRIER_EXAMPLE).expect("front end failed");
+    let c = artifact.emit_c().expect("codegen failed");
 
     // Show everything after the embedded runtime (the interesting part).
     let tail = c.split("/* ---- end runtime ---- */").nth(1).unwrap_or(&c);
@@ -25,17 +28,8 @@ fn main() {
     println!("\n== n-body (Section VI.D) C statistics ==");
     let nbody_c = compile_to_c(&corpus::nbody_paper()).expect("codegen failed");
     println!("  total lines: {}", nbody_c.lines().count());
-    println!(
-        "  remote gets: {}",
-        nbody_c.matches("shmem_double_g(").count()
-    );
-    println!(
-        "  barriers:    {}",
-        nbody_c.matches("shmem_barrier_all();").count()
-    );
-    println!(
-        "  symmetric arrays: {}",
-        nbody_c.matches("static double g_").count()
-    );
+    println!("  remote gets: {}", nbody_c.matches("shmem_double_g(").count());
+    println!("  barriers:    {}", nbody_c.matches("shmem_barrier_all();").count());
+    println!("  symmetric arrays: {}", nbody_c.matches("static double g_").count());
     println!("\nwrite it out wif: cargo run -p lol-cli --bin lcc -- code.lol -o code.c --stub");
 }

@@ -94,16 +94,16 @@ fn main() {
 
     println!("1D heat: {n_pes} PEs x {CELLS} cells, {steps} steps\n");
     let src = program(steps);
-    let outputs = run_source(&src, RunConfig::new(n_pes)).expect("diffusion failed");
+    let artifact = compile(&src).expect("compile failed");
+    let report = engine_for(Backend::Interp)
+        .run(&artifact, &RunConfig::new(n_pes))
+        .expect("diffusion failed");
+    let outputs = &report.outputs;
     let mut total = 0.0f64;
-    for out in &outputs {
+    for out in outputs {
         print!("{out}");
-        let heat: f64 = out
-            .trim()
-            .rsplit(' ')
-            .next()
-            .and_then(|t| t.parse().ok())
-            .expect("output shape");
+        let heat: f64 =
+            out.trim().rsplit(' ').next().and_then(|t| t.parse().ok()).expect("output shape");
         total += heat;
     }
 
@@ -118,8 +118,7 @@ fn main() {
     // Diffusion reality check: after enough steps, heat has spread off
     // PE 0 (unless it is the whole rod).
     if n_pes > 1 && steps >= 100 {
-        let pe0: f64 =
-            outputs[0].trim().rsplit(' ').next().unwrap().parse().unwrap();
+        let pe0: f64 = outputs[0].trim().rsplit(' ').next().unwrap().parse().unwrap();
         assert!(pe0 < 100.0, "no diffusion happened");
         println!("heat spread beyond PE 0 (PE 0 holds {pe0:.2}) — KTHXBYE");
     }

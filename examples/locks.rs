@@ -10,25 +10,32 @@
 use icanhas::prelude::*;
 
 fn main() {
-    let n_pes: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n_pes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let engine = engine_for(Backend::Interp);
 
     println!("== Section VI.B: remote increments under da lock ==");
-    let outputs = run_source(corpus::LOCKS_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
-    for out in &outputs {
+    let artifact = compile(corpus::LOCKS_EXAMPLE).expect("compile failed");
+    let report = engine.run(&artifact, &RunConfig::new(n_pes)).expect("run failed");
+    for out in &report.outputs {
         print!("{out}");
     }
     assert_eq!(
-        outputs[0],
+        report.outputs[0],
         format!("PE 0 SEES X = {n_pes}\n"),
         "a lost update — the lock failed!"
     );
-    println!("--> all {n_pes} increments accounted for\n");
+    // The report's lock counters account for every acquire/release.
+    let total = report.total_stats();
+    assert_eq!(total.lock_acquires, total.lock_releases);
+    println!(
+        "--> all {n_pes} increments accounted for ({} lock acquires/releases)\n",
+        total.lock_acquires
+    );
 
     println!("== Section V: trylock, den fall back to blocking lock ==");
-    let outputs =
-        run_source(corpus::TRYLOCK_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
-    for out in &outputs {
+    let artifact = compile(corpus::TRYLOCK_EXAMPLE).expect("compile failed");
+    let report = engine.run(&artifact, &RunConfig::new(n_pes)).expect("run failed");
+    for out in &report.outputs {
         print!("{out}");
     }
 
@@ -45,10 +52,16 @@ fn main() {
          TTYL\n\
          IM OUTTA YR l\nHUGZ\n\
          BOTH SAEM ME AN 0, O RLY?\nYA RLY\nVISIBLE \"TOTAL = \" c\nOIC\n\
-         KTHXBYE"
+         KTHXBYE",
     );
-    let outputs = run_source(&torture, RunConfig::new(n_pes)).expect("torture failed");
-    print!("{}", outputs[0]);
-    assert_eq!(outputs[0], format!("TOTAL = {}\n", n_pes * 100));
-    println!("--> mutual exclusion holds under contention — KTHXBYE");
+    let artifact = compile(&torture).expect("compile failed");
+    let report = engine.run(&artifact, &RunConfig::new(n_pes)).expect("torture failed");
+    print!("{}", report.outputs[0]);
+    assert_eq!(report.outputs[0], format!("TOTAL = {}\n", n_pes * 100));
+    println!(
+        "--> mutual exclusion holds under contention \
+         ({} acquires in {:?}) — KTHXBYE",
+        report.total_stats().lock_acquires,
+        report.wall
+    );
 }

@@ -7,7 +7,6 @@
 //! ```
 
 use icanhas::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -21,37 +20,43 @@ fn main() {
          (paper config: 16 x 32, 10)"
     );
 
+    // One artifact for both backends; the report's wall clock covers
+    // the SPMD job only, so the comparison is pure execution cost.
+    let artifact = compile(&src).expect("compile failed");
+    let cfg = RunConfig::new(n_pes).seed(2017);
+
     // Interpreted run (the lci-like path).
-    let t0 = Instant::now();
-    let interp_out =
-        run_source(&src, RunConfig::new(n_pes).seed(2017)).expect("interpreter run failed");
-    let interp_time = t0.elapsed();
-    println!("interpreter: {interp_time:?}");
+    let interp = engine_for(Backend::Interp).run(&artifact, &cfg).expect("interpreter run failed");
+    println!("interpreter: {:?}", interp.wall);
 
     // Compiled (bytecode VM) run — the paper's "compiler is more
     // efficient than an interpreter" path.
-    let t0 = Instant::now();
-    let vm_out = run_source(&src, RunConfig::new(n_pes).seed(2017).backend(Backend::Vm))
-        .expect("vm run failed");
-    let vm_time = t0.elapsed();
-    println!("compiled VM: {vm_time:?}");
+    let vm = engine_for(Backend::Vm).run(&artifact, &cfg).expect("vm run failed");
+    println!("compiled VM: {:?}", vm.wall);
     println!(
         "speedup (compiled over interpreted): {:.2}x",
-        interp_time.as_secs_f64() / vm_time.as_secs_f64()
+        interp.wall.as_secs_f64() / vm.wall.as_secs_f64()
     );
 
-    assert_eq!(interp_out, vm_out, "backends must agree bit-for-bit");
+    assert_eq!(interp.outputs, vm.outputs, "backends must agree bit-for-bit");
+
+    // The remote-force phase dominates communication: O(steps·n²·(P-1))
+    // remote gets per PE, visible directly in the report.
+    println!(
+        "remote gets/PE: {} (O(steps*n^2*(P-1)) all-to-all force phase)",
+        interp.stats[0].remote_gets
+    );
 
     // Show PE 0's output (greeting + final particle positions).
     println!("\n--- PE 0 output (first 6 lines) ---");
-    for line in interp_out[0].lines().take(6) {
+    for line in interp.outputs[0].lines().take(6) {
         println!("{line}");
     }
     println!("...");
 
     // Physics sanity: all final positions finite.
     let mut n_positions = 0;
-    for out in &interp_out {
+    for out in &interp.outputs {
         for line in out.lines().skip(2) {
             for tok in line.split_whitespace() {
                 let v: f64 = tok.parse().expect("position should be numeric");
@@ -60,8 +65,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\n{} finite coordinates across {} PEs — KTHXBYE",
-        n_positions, n_pes
-    );
+    println!("\n{} finite coordinates across {} PEs — KTHXBYE", n_positions, n_pes);
 }

@@ -2,6 +2,10 @@
 //! parallel LOLCODE using `WHATEVAR` (Table III) for sampling, a shared
 //! hit counter per PE, and a `TXT MAH BFF` gather on PE 0.
 //!
+//! The seed sweep at the end is the compile-once/run-many API doing
+//! what it is for: one `Compiled` artifact, many statistically
+//! independent runs via `Engine::run_many`.
+//!
 //! ```text
 //! cargo run --release --example pi_monte_carlo [n_pes] [samples_per_pe]
 //! ```
@@ -40,32 +44,54 @@ KTHXBYE
     )
 }
 
+/// Parse the estimate back out of PE 0's output line.
+fn estimate(outputs: &[String]) -> f64 {
+    outputs[0]
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("PI IZ LIEK "))
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|t| t.parse().ok())
+        .expect("output shape")
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let n_pes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let samples: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
 
     println!("Monte-Carlo pi: {n_pes} PEs x {samples} samples\n");
-    let src = program(samples);
-    let outputs =
-        run_source(&src, RunConfig::new(n_pes).seed(0xCA7)).expect("sampling failed");
-    print!("{}", outputs[0]);
+    let artifact = compile(&program(samples)).expect("compile failed");
+    let engine = engine_for(Backend::Interp);
+    let base = RunConfig::new(n_pes).seed(0xCA7);
 
-    // Parse the estimate back out and sanity-check it.
-    let line = outputs[0].lines().next().unwrap();
-    let pi: f64 = line
-        .strip_prefix("PI IZ LIEK ")
-        .and_then(|r| r.split_whitespace().next())
-        .and_then(|t| t.parse().ok())
-        .expect("output shape");
+    let report = engine.run(&artifact, &base).expect("sampling failed");
+    print!("{}", report.outputs[0]);
+
+    let pi = estimate(&report.outputs);
     let err = (pi - std::f64::consts::PI).abs();
     println!("|estimate - pi| = {err:.4}");
     assert!(err < 0.05, "estimate too far off: {pi}");
 
-    // Statistical scaling: more PEs, same seed base, tighter estimate
-    // is *likely* but not guaranteed — so just demonstrate reruns.
-    println!("\nsame seed reproduces:");
-    let again = run_source(&src, RunConfig::new(n_pes).seed(0xCA7)).expect("rerun failed");
-    assert_eq!(again, outputs);
-    println!("  identical output — KTHXBYE");
+    // Same seed reproduces bit-for-bit.
+    let again = engine.run(&artifact, &base).expect("rerun failed");
+    assert_eq!(again.outputs, report.outputs);
+    println!("same seed reproduces: identical output");
+
+    // Seed sweep over the same artifact: independent estimates whose
+    // mean should tighten on pi (law of large numbers, visibly).
+    let sweep: Vec<RunConfig> = (1..=8u64).map(|s| base.clone().seed(s)).collect();
+    let estimates: Vec<f64> = engine
+        .run_many(&artifact, &sweep)
+        .into_iter()
+        .map(|r| estimate(&r.expect("sweep run failed").outputs))
+        .collect();
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    println!("\nseed sweep over one artifact ({} runs):", estimates.len());
+    for (cfg, est) in sweep.iter().zip(&estimates) {
+        println!("  seed {:>2}: {est:.4}", cfg.seed);
+    }
+    println!("  mean = {mean:.4} (|mean - pi| = {:.4})", (mean - std::f64::consts::PI).abs());
+    assert!((mean - std::f64::consts::PI).abs() < 0.05, "sweep mean too far off: {mean}");
+    println!("KTHXBYE");
 }

@@ -5,8 +5,10 @@
 //! ```
 //!
 //! Demonstrates the three core concepts of the paper in ~20 lines of
-//! LOLCODE: SPMD identity (`ME` / `MAH FRENZ`), symmetric shared memory
-//! (`WE HAS A`), and barrier synchronization (`HUGZ`).
+//! LOLCODE — SPMD identity (`ME` / `MAH FRENZ`), symmetric shared
+//! memory (`WE HAS A`), barrier synchronization (`HUGZ`) — and the
+//! toolchain's compile-once/run-many shape: one `Compiled` artifact,
+//! two engines, structured `RunReport`s.
 
 use icanhas::prelude::*;
 
@@ -32,23 +34,38 @@ KTHXBYE
 
 fn main() {
     let n_pes = 4;
+
+    // The front end runs exactly once...
+    let artifact = compile(PROGRAM).expect("program failed to compile");
+
+    // ...and the artifact runs as many times as you like.
     println!("== running on {n_pes} PEs (interpreter) ==");
-    let outputs = run_source(PROGRAM, RunConfig::new(n_pes)).expect("program failed");
-    for (pe, out) in outputs.iter().enumerate() {
+    let report =
+        engine_for(Backend::Interp).run(&artifact, &RunConfig::new(n_pes)).expect("program failed");
+    for (pe, out) in report.outputs.iter().enumerate() {
         for line in out.lines() {
             println!("[PE {pe}] {line}");
         }
     }
+    println!("(wall time: {:?})", report.wall);
 
-    // The same program through the compiled (bytecode VM) path.
-    println!("\n== same program, compiled backend ==");
-    let vm_out = run_source(PROGRAM, RunConfig::new(n_pes).backend(Backend::Vm))
-        .expect("vm run failed");
-    assert_eq!(outputs, vm_out, "backends must agree");
+    // The same artifact through the compiled (bytecode VM) path.
+    println!("\n== same artifact, compiled backend ==");
+    let vm_report =
+        engine_for(Backend::Vm).run(&artifact, &RunConfig::new(n_pes)).expect("vm run failed");
+    assert_eq!(report.outputs, vm_report.outputs, "backends must agree");
     println!("VM output identical to interpreter — OK");
 
+    // The report also carries the substrate's communication counters:
+    // the gather loop does one remote get per (PE, neighbour) pair.
+    let total = report.total_stats();
+    println!(
+        "\ncommunication: {} remote gets, {} barriers/PE",
+        total.remote_gets, report.stats[0].barriers
+    );
+
     // Expected total: 0 + 1 + 4 + 9 = 14 on every PE.
-    for out in &outputs {
+    for out in &report.outputs {
         assert!(out.contains("SUM OF ALL SQUARZ IZ 14"), "unexpected: {out}");
     }
     println!("\nKTHXBYE (all checks passed)");

@@ -10,20 +10,30 @@
 use icanhas::prelude::*;
 
 fn main() {
-    let n_pes: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n_pes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
 
     println!("ring transfer on {n_pes} PEs (paper Section VI.A)\n");
-    let outputs = run_source(corpus::RING_EXAMPLE, RunConfig::new(n_pes)).expect("run failed");
-    for out in &outputs {
+    let artifact = compile(corpus::RING_EXAMPLE).expect("compile failed");
+    let report =
+        engine_for(Backend::Interp).run(&artifact, &RunConfig::new(n_pes)).expect("run failed");
+    for out in &report.outputs {
         print!("{out}");
     }
 
     // Verify the ring: PE p must have received PE (p+1)%n's data.
-    for (pe, out) in outputs.iter().enumerate() {
+    for (pe, out) in report.outputs.iter().enumerate() {
         let next = (pe + 1) % n_pes;
         let want = format!("PE {pe} GOT {} .. {}\n", next * 1000, next * 1000 + 31);
         assert_eq!(out, &want, "ring broken at PE {pe}");
     }
-    println!("\nring verified: each PE holds its neighbour's 32 NUMBRs — KTHXBYE");
+
+    // The report counts the copy's traffic: each PE pulls its
+    // neighbour's 32 words.
+    let total = report.total_stats();
+    println!(
+        "\nremote words copied: {} ({} per PE)",
+        total.remote_gets + total.block_get_words,
+        (total.remote_gets + total.block_get_words) / n_pes as u64
+    );
+    println!("ring verified: each PE holds its neighbour's 32 NUMBRs — KTHXBYE");
 }

@@ -4,6 +4,27 @@
 //! toolchain so the examples and integration tests have a single import
 //! root.
 //!
+//! The core of that surface is the compile-once/run-many API: compile
+//! a program to a [`Compiled`](prelude::Compiled) artifact, run it any
+//! number of times on an [`Engine`](prelude::Engine), and get a
+//! structured [`RunReport`](prelude::RunReport) back from each run:
+//!
+//! ```
+//! use icanhas::prelude::*;
+//!
+//! let artifact = compile(
+//!     "HAI 1.2\nVISIBLE \"OH HAI PE \" ME\nKTHXBYE",
+//! ).unwrap();
+//! let report = engine_for(Backend::Interp)
+//!     .run(&artifact, &RunConfig::new(2))
+//!     .unwrap();
+//! assert_eq!(report.outputs[0], "OH HAI PE 0\n");
+//! assert_eq!(report.stats.len(), 2); // per-PE CommStats
+//! ```
+//!
+//! The one-shot [`run_source`](prelude::run_source) shim remains for
+//! scripts that run a program exactly once:
+//!
 //! ```
 //! use icanhas::prelude::*;
 //!
@@ -19,9 +40,9 @@
 //! tables/figures.
 
 pub use lol_ast as ast;
-pub use lol_sema as sema;
 pub use lol_c_codegen as codegen;
 pub use lol_interp as interp;
+pub use lol_sema as sema;
 pub use lol_shmem as shmem;
 pub use lol_vm as vm;
 pub use lolcode as driver;
@@ -29,8 +50,11 @@ pub use lolcode as driver;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use lol_shmem::{
-        run_spmd, BarrierKind, LatencyModel, LockKind, ShmemConfig, SymAddr, WaitCmp,
+        run_spmd, BarrierKind, CommStats, LatencyModel, LockKind, ShmemConfig, SymAddr, WaitCmp,
     };
     pub use lolcode::corpus;
-    pub use lolcode::{check, compile_to_c, parse_program, run_source, Backend, LolError, RunConfig};
+    pub use lolcode::{
+        check, compile, compile_to_c, engine_for, parse_program, run_source, Backend, Compiled,
+        Engine, InterpEngine, LolError, RunConfig, RunReport, VmEngine,
+    };
 }

@@ -25,14 +25,29 @@ fn gen_expr() -> impl Strategy<Value = String> {
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (prop::sample::select(vec!["SUM OF", "DIFF OF", "PRODUKT OF", "BIGGR OF", "SMALLR OF"]),
-             inner.clone(), inner.clone())
+            (
+                prop::sample::select(vec![
+                    "SUM OF",
+                    "DIFF OF",
+                    "PRODUKT OF",
+                    "BIGGR OF",
+                    "SMALLR OF"
+                ]),
+                inner.clone(),
+                inner.clone()
+            )
                 .prop_map(|(op, a, b)| format!("{op} {a} AN {b}")),
-            (prop::sample::select(vec!["BOTH SAEM", "DIFFRINT", "BIGGER", "SMALLR"]),
-             inner.clone(), inner.clone())
+            (
+                prop::sample::select(vec!["BOTH SAEM", "DIFFRINT", "BIGGER", "SMALLR"]),
+                inner.clone(),
+                inner.clone()
+            )
                 .prop_map(|(op, a, b)| format!("{op} {a} AN {b}")),
-            (prop::sample::select(vec!["BOTH OF", "EITHER OF", "WON OF"]),
-             inner.clone(), inner.clone())
+            (
+                prop::sample::select(vec!["BOTH OF", "EITHER OF", "WON OF"]),
+                inner.clone(),
+                inner.clone()
+            )
                 .prop_map(|(op, a, b)| format!("{op} {a} AN {b}")),
             inner.clone().prop_map(|a| format!("NOT {a}")),
             inner.clone().prop_map(|a| format!("SQUAR OF {a}")),
@@ -52,9 +67,7 @@ fn gen_stmts(depth: u32) -> BoxedStrategy<String> {
         gen_expr().prop_map(|e| e), // bare expression: sets IT
     ];
     if depth == 0 {
-        return proptest::collection::vec(simple, 1..4)
-            .prop_map(|v| v.join("\n"))
-            .boxed();
+        return proptest::collection::vec(simple, 1..4).prop_map(|v| v.join("\n")).boxed();
     }
     let nested = prop_oneof![
         4 => proptest::collection::vec(simple.clone(), 1..4).prop_map(|v| v.join("\n")),
@@ -72,17 +85,10 @@ fn gen_stmts(depth: u32) -> BoxedStrategy<String> {
 }
 
 fn gen_program() -> impl Strategy<Value = String> {
-    (
-        proptest::collection::vec(-50i64..50, 5),
-        gen_stmts(2),
-        gen_stmts(2),
-    )
-        .prop_map(|(inits, body1, body2)| {
-            let decls: String = inits
-                .iter()
-                .enumerate()
-                .map(|(i, v)| format!("I HAS A v{i} ITZ {v}\n"))
-                .collect();
+    (proptest::collection::vec(-50i64..50, 5), gen_stmts(2), gen_stmts(2)).prop_map(
+        |(inits, body1, body2)| {
+            let decls: String =
+                inits.iter().enumerate().map(|(i, v)| format!("I HAS A v{i} ITZ {v}\n")).collect();
             format!(
                 "HAI 1.2\n\
                  WE HAS A s0 ITZ SRSLY A NUMBR\n\
@@ -91,13 +97,26 @@ fn gen_program() -> impl Strategy<Value = String> {
                  VISIBLE v0 \" \" v1 \" \" v2 \" \" v3 \" \" v4 \" \" s0 \" \" IT\n\
                  KTHXBYE\n"
             )
-        })
+        },
+    )
 }
 
 fn run_both(src: &str, n_pes: usize) -> (Result<Vec<String>, String>, Result<Vec<String>, String>) {
     let cfg = RunConfig::new(n_pes).timeout(Duration::from_secs(20)).seed(17);
-    let a = run_source(src, cfg.clone()).map_err(|e| e.to_string());
-    let b = run_source(src, cfg.backend(Backend::Vm)).map_err(|e| e.to_string());
+    // One shared artifact: both engines execute the identical program.
+    let artifact = match compile(src) {
+        Ok(a) => a,
+        Err(e) => {
+            let e = e.to_string();
+            return (Err(e.clone()), Err(e));
+        }
+    };
+    let a = engine_for(Backend::Interp)
+        .run(&artifact, &cfg)
+        .map(|r| r.outputs)
+        .map_err(|e| e.to_string());
+    let b =
+        engine_for(Backend::Vm).run(&artifact, &cfg).map(|r| r.outputs).map_err(|e| e.to_string());
     (a, b)
 }
 

@@ -1,0 +1,91 @@
+//! Backend-equivalence suite over the paper corpus: every program in
+//! `lolcode::corpus` is compiled **once** to a shared `Compiled`
+//! artifact and driven through *both* `Engine` implementations across
+//! seeds and PE counts; the per-PE outputs must match byte-for-byte.
+//!
+//! This is the corpus-pinned complement to the generated-program
+//! equivalence in `backend_equivalence.rs`, and doubles as the
+//! demonstration that `Engine::run_many` re-executes one artifact
+//! across a config sweep without re-running the front end.
+
+use icanhas::prelude::*;
+use std::time::Duration;
+
+/// Every corpus program (name, source, max PE count to sweep).
+fn corpus_programs() -> Vec<(&'static str, String, usize)> {
+    vec![
+        ("hello", corpus::HELLO_PARALLEL.to_string(), 8),
+        ("ring", corpus::RING_EXAMPLE.to_string(), 8),
+        ("locks", corpus::LOCKS_EXAMPLE.to_string(), 8),
+        ("barrier", corpus::BARRIER_EXAMPLE.to_string(), 8),
+        ("trylock", corpus::TRYLOCK_EXAMPLE.to_string(), 8),
+        ("nbody", corpus::nbody_source(4, 2), 4),
+    ]
+}
+
+fn sweep(max_pes: usize) -> Vec<RunConfig> {
+    let mut configs = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        if n > max_pes {
+            break;
+        }
+        for seed in [0u64, 17, 0xC47_F00D] {
+            configs.push(RunConfig::new(n).seed(seed).timeout(Duration::from_secs(60)));
+        }
+    }
+    configs
+}
+
+#[test]
+fn every_corpus_program_agrees_across_engines_and_seeds() {
+    for (name, src, max_pes) in corpus_programs() {
+        // ONE artifact per program; both engines and every config in
+        // the sweep reuse it.
+        let artifact = compile(&src).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+        let configs = sweep(max_pes);
+        let interp = InterpEngine.run_many(&artifact, &configs);
+        let vm = VmEngine.run_many(&artifact, &configs);
+        for ((cfg, a), b) in configs.iter().zip(interp).zip(vm) {
+            let a = a.unwrap_or_else(|e| {
+                panic!("{name}: interp failed at {} PEs seed {}: {e}", cfg.n_pes, cfg.seed)
+            });
+            let b = b.unwrap_or_else(|e| {
+                panic!("{name}: vm failed at {} PEs seed {}: {e}", cfg.n_pes, cfg.seed)
+            });
+            assert_eq!(
+                a.outputs, b.outputs,
+                "{name}: engine divergence at {} PEs seed {}",
+                cfg.n_pes, cfg.seed
+            );
+            assert_eq!(a.outputs.len(), cfg.n_pes);
+            // Both engines run the same algorithm on the same
+            // substrate: their communication *shape* must agree too.
+            assert_eq!(
+                a.stats.iter().map(|s| s.barriers).collect::<Vec<_>>(),
+                b.stats.iter().map(|s| s.barriers).collect::<Vec<_>>(),
+                "{name}: barrier-count divergence at {} PEs seed {}",
+                cfg.n_pes,
+                cfg.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_same_engine_is_deterministic_from_shared_artifact() {
+    for (name, src, max_pes) in corpus_programs() {
+        let artifact = compile(&src).unwrap();
+        let n = max_pes.min(4);
+        let cfg = RunConfig::new(n).seed(99).timeout(Duration::from_secs(60));
+        for engine in [engine_for(Backend::Interp), engine_for(Backend::Vm)] {
+            let one = engine.run(&artifact, &cfg).unwrap();
+            let two = engine.run(&artifact, &cfg).unwrap();
+            assert_eq!(
+                one.outputs,
+                two.outputs,
+                "{name}: {:?} engine not deterministic under a fixed seed",
+                engine.backend()
+            );
+        }
+    }
+}

@@ -36,10 +36,14 @@ fn cfg(n: usize) -> RunConfig {
 
 #[test]
 fn with_barrier_always_fresh() {
+    // Compile once, run 25 rounds off the artifact.
     let n = 8;
-    for round in 0..25 {
-        let outs = run_source(WITH_HUGZ, cfg(n)).unwrap();
-        for (me, o) in outs.iter().enumerate() {
+    let artifact = compile(WITH_HUGZ).unwrap();
+    let sweep: Vec<RunConfig> = (0..25).map(|_| cfg(n)).collect();
+    for (round, report) in
+        engine_for(Backend::Interp).run_many(&artifact, &sweep).into_iter().enumerate()
+    {
+        for (me, o) in report.unwrap().outputs.iter().enumerate() {
             let left = (me + n - 1) % n;
             assert_eq!(
                 o,
@@ -54,8 +58,10 @@ fn with_barrier_always_fresh() {
 fn without_barrier_stale_or_fresh_never_garbage() {
     let n = 8;
     let mut stale_seen = 0usize;
-    for _ in 0..25 {
-        let outs = run_source(WITHOUT_HUGZ, cfg(n)).unwrap();
+    let artifact = compile(WITHOUT_HUGZ).unwrap();
+    let sweep: Vec<RunConfig> = (0..25).map(|_| cfg(n)).collect();
+    for report in engine_for(Backend::Interp).run_many(&artifact, &sweep) {
+        let outs = report.unwrap().outputs;
         for (me, o) in outs.iter().enumerate() {
             let left = (me + n - 1) % n;
             let v: i64 = o.trim().parse().expect("numeric");
@@ -77,10 +83,8 @@ fn without_barrier_stale_or_fresh_never_garbage() {
 #[test]
 fn sema_warns_about_conditional_hugz() {
     // The lint that catches the classic deadlock before it runs.
-    let (_, _, warnings) = check(
-        "HAI 1.2\nBOTH SAEM ME AN 0, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE",
-    )
-    .unwrap();
+    let (_, _, warnings) =
+        check("HAI 1.2\nBOTH SAEM ME AN 0, O RLY?\nYA RLY\nHUGZ\nOIC\nKTHXBYE").unwrap();
     assert!(
         warnings.iter().any(|w| w.contains("SEM0012")),
         "expected the conditional-barrier lint: {warnings:?}"
@@ -95,10 +99,7 @@ fn actual_conditional_hugz_deadlock_is_caught_by_watchdog() {
     let err = run_source(src, cfg(2).timeout(Duration::from_millis(300))).unwrap_err();
     match err {
         LolError::Runtime(e) => {
-            assert!(
-                e.message.contains("RUN0191") || e.message.contains("RUN0190"),
-                "{e}"
-            );
+            assert!(e.message.contains("RUN0191") || e.message.contains("RUN0190"), "{e}");
         }
         other => panic!("expected runtime failure, got {other:?}"),
     }

@@ -1,9 +1,22 @@
 //! Cross-crate integration: the complete paper workflow through the
 //! public facade — every Section VI example, end to end, on multiple
 //! PE counts, with both execution backends and the C emitter.
+//!
+//! Each corpus program is compiled **once** to a `Compiled` artifact;
+//! every check below (PE sweep, backend comparison, config ablations,
+//! C emission) reuses that artifact — the compile-once/run-many
+//! workflow an applications-first PDC course needs.
 
 use icanhas::prelude::*;
 use std::time::Duration;
+
+const CORPUS: &[&str] = &[
+    corpus::HELLO_PARALLEL,
+    corpus::RING_EXAMPLE,
+    corpus::LOCKS_EXAMPLE,
+    corpus::BARRIER_EXAMPLE,
+    corpus::TRYLOCK_EXAMPLE,
+];
 
 fn cfg(n: usize) -> RunConfig {
     RunConfig::new(n).timeout(Duration::from_secs(60))
@@ -11,59 +24,59 @@ fn cfg(n: usize) -> RunConfig {
 
 #[test]
 fn every_corpus_program_runs_on_1_2_4_8_pes() {
-    for src in [
-        corpus::HELLO_PARALLEL,
-        corpus::RING_EXAMPLE,
-        corpus::LOCKS_EXAMPLE,
-        corpus::BARRIER_EXAMPLE,
-        corpus::TRYLOCK_EXAMPLE,
-    ] {
-        for n in [1usize, 2, 4, 8] {
-            let outs = run_source(src, cfg(n)).unwrap_or_else(|e| {
-                panic!("failed at {n} PEs: {e}\n{src}");
+    for src in CORPUS {
+        let artifact = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let sweep: Vec<RunConfig> = [1usize, 2, 4, 8].into_iter().map(cfg).collect();
+        for (c, report) in sweep.iter().zip(engine_for(Backend::Interp).run_many(&artifact, &sweep))
+        {
+            let report = report.unwrap_or_else(|e| {
+                panic!("failed at {} PEs: {e}\n{src}", c.n_pes);
             });
-            assert_eq!(outs.len(), n);
+            assert_eq!(report.outputs.len(), c.n_pes);
+            assert_eq!(report.stats.len(), c.n_pes);
         }
     }
 }
 
 #[test]
 fn backends_agree_on_every_corpus_program() {
-    for src in [
-        corpus::HELLO_PARALLEL,
-        corpus::RING_EXAMPLE,
-        corpus::LOCKS_EXAMPLE,
-        corpus::BARRIER_EXAMPLE,
-        corpus::TRYLOCK_EXAMPLE,
-    ] {
-        let a = run_source(src, cfg(4).seed(9)).unwrap();
-        let b = run_source(src, cfg(4).seed(9).backend(Backend::Vm)).unwrap();
-        assert_eq!(a, b, "interp/vm divergence on:\n{src}");
+    for src in CORPUS {
+        // One artifact, both engines — the comparison can't be polluted
+        // by front-end differences because there is only one front end
+        // pass.
+        let artifact = compile(src).unwrap();
+        let a = engine_for(Backend::Interp).run(&artifact, &cfg(4).seed(9)).unwrap();
+        let b = engine_for(Backend::Vm).run(&artifact, &cfg(4).seed(9)).unwrap();
+        assert_eq!(a.outputs, b.outputs, "interp/vm divergence on:\n{src}");
     }
 }
 
 #[test]
 fn every_corpus_program_emits_c() {
-    for src in [
-        corpus::HELLO_PARALLEL,
-        corpus::RING_EXAMPLE,
-        corpus::LOCKS_EXAMPLE,
-        corpus::BARRIER_EXAMPLE,
-        corpus::TRYLOCK_EXAMPLE,
-    ] {
-        let c = compile_to_c(src).unwrap();
+    for src in CORPUS {
+        let c = compile(src).unwrap().emit_c().unwrap();
         assert!(c.contains("int main(void)"));
         assert_eq!(c.matches('{').count(), c.matches('}').count(), "unbalanced C");
     }
 }
 
 #[test]
+fn one_artifact_serves_execution_and_c_emission() {
+    // The same artifact feeds an engine run and the C emitter.
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let report = engine_for(Backend::Vm).run(&artifact, &cfg(4)).unwrap();
+    assert_eq!(report.n_pes(), 4);
+    let c = artifact.emit_c().unwrap();
+    assert!(c.contains("shmem_barrier_all();"));
+}
+
+#[test]
 fn nbody_paper_configuration_16_pes() {
     // The Parallella demo: 16 PEs, 32 particles each, 10 steps.
-    let src = corpus::nbody_paper();
-    let outs = run_source(&src, cfg(16).backend(Backend::Vm).seed(2017)).unwrap();
-    assert_eq!(outs.len(), 16);
-    for (pe, out) in outs.iter().enumerate() {
+    let artifact = compile(&corpus::nbody_paper()).unwrap();
+    let report = engine_for(Backend::Vm).run(&artifact, &cfg(16).seed(2017)).unwrap();
+    assert_eq!(report.n_pes(), 16);
+    for (pe, out) in report.outputs.iter().enumerate() {
         assert!(out.starts_with(&format!("HAI ITZ {pe} I HAS PARTICLZ 2 MUV\n")));
         // 32 final particle positions, all finite.
         let positions: Vec<&str> = out.lines().skip(2).collect();
@@ -75,42 +88,68 @@ fn nbody_paper_configuration_16_pes() {
             }
         }
     }
+    // The all-to-all force phase is remote-get dominated; the report
+    // proves it without instrumenting the program.
+    assert!(report.stats[0].remote_gets > 0);
 }
 
 #[test]
 fn nbody_cray_analog_32_pes() {
     // Scaling past the Parallella: 32 PEs (Cray-direction analog),
     // smaller per-PE problem to keep test time sane.
-    let src = corpus::nbody_source(4, 2);
-    let outs = run_source(&src, cfg(32).backend(Backend::Vm)).unwrap();
-    assert_eq!(outs.len(), 32);
+    let artifact = compile(&corpus::nbody_source(4, 2)).unwrap();
+    let report = engine_for(Backend::Vm).run(&artifact, &cfg(32)).unwrap();
+    assert_eq!(report.n_pes(), 32);
 }
 
 #[test]
 fn latency_models_do_not_change_results() {
-    // Mesh/flat latency shifts time, never values.
-    let baseline = run_source(corpus::BARRIER_EXAMPLE, cfg(4).seed(5)).unwrap();
-    for lat in [LatencyModel::epiphany16(), LatencyModel::xc40()] {
-        let with_lat =
-            run_source(corpus::BARRIER_EXAMPLE, cfg(4).seed(5).latency(lat)).unwrap();
-        assert_eq!(baseline, with_lat, "{lat:?} changed program semantics");
+    // Mesh/flat latency shifts time, never values: one artifact, a
+    // run_many sweep over the latency models.
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let sweep = vec![
+        cfg(4).seed(5),
+        cfg(4).seed(5).latency(LatencyModel::epiphany16()),
+        cfg(4).seed(5).latency(LatencyModel::xc40()),
+    ];
+    let reports = engine_for(Backend::Interp).run_many(&artifact, &sweep);
+    let baseline = reports[0].as_ref().unwrap();
+    for (c, r) in sweep.iter().zip(&reports).skip(1) {
+        assert_eq!(
+            baseline.outputs,
+            r.as_ref().unwrap().outputs,
+            "{:?} changed program semantics",
+            c.latency
+        );
     }
 }
 
 #[test]
 fn barrier_algorithms_do_not_change_results() {
-    let mut cfg_d = cfg(8).seed(5);
-    cfg_d.barrier = BarrierKind::Dissemination;
-    let a = run_source(corpus::BARRIER_EXAMPLE, cfg(8).seed(5)).unwrap();
-    let b = run_source(corpus::BARRIER_EXAMPLE, cfg_d).unwrap();
-    assert_eq!(a, b);
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let engine = engine_for(Backend::Interp);
+    let a = engine.run(&artifact, &cfg(8).seed(5)).unwrap();
+    let b = engine.run(&artifact, &cfg(8).seed(5).barrier(BarrierKind::Dissemination)).unwrap();
+    assert_eq!(a.outputs, b.outputs);
 }
 
 #[test]
 fn lock_algorithms_do_not_change_results() {
-    let mut cfg_t = cfg(8).seed(5);
-    cfg_t.lock = LockKind::Ticket;
-    let a = run_source(corpus::LOCKS_EXAMPLE, cfg(8).seed(5)).unwrap();
-    let b = run_source(corpus::LOCKS_EXAMPLE, cfg_t).unwrap();
-    assert_eq!(a, b);
+    let artifact = compile(corpus::LOCKS_EXAMPLE).unwrap();
+    let engine = engine_for(Backend::Interp);
+    let a = engine.run(&artifact, &cfg(8).seed(5)).unwrap();
+    let b = engine.run(&artifact, &cfg(8).seed(5).lock(LockKind::Ticket)).unwrap();
+    assert_eq!(a.outputs, b.outputs);
+}
+
+#[test]
+fn run_source_shim_matches_engine_path() {
+    // Backward compatibility: the one-shot shim must agree with the
+    // artifact API it wraps.
+    for backend in [Backend::Interp, Backend::Vm] {
+        let shim = run_source(corpus::BARRIER_EXAMPLE, cfg(4).seed(7).backend(backend)).unwrap();
+        let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+        let report = engine_for(backend).run(&artifact, &cfg(4).seed(7)).unwrap();
+        assert_eq!(shim, report.outputs);
+    }
 }

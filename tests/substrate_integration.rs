@@ -28,10 +28,10 @@ fn shmem_api_matches_language_semantics() {
     })
     .unwrap();
 
-    let lang = run_source(corpus::BARRIER_EXAMPLE, lolcode::RunConfig::new(n)).unwrap();
-    for (pe, (r, l)) in raw.iter().zip(lang.iter()).enumerate() {
-        let printed: i64 =
-            l.trim().rsplit(' ').next().unwrap().parse().expect("numeric");
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let lang = engine_for(Backend::Interp).run(&artifact, &lolcode::RunConfig::new(n)).unwrap();
+    for (pe, (r, l)) in raw.iter().zip(lang.outputs.iter()).enumerate() {
+        let printed: i64 = l.trim().rsplit(' ').next().unwrap().parse().expect("numeric");
         assert_eq!(*r, printed, "substrate and language disagree on PE {pe}");
     }
 }
