@@ -6,9 +6,14 @@
 //! cost, no communication): the VM should win by a factor on
 //! compute-bound kernels because name/locality resolution happened at
 //! compile time.
+//!
+//! The backend matrix comes from [`SweepSpec`]: one sweep per kernel
+//! cross-checks both engines against each other up front (replacing the
+//! old hand-rolled diff loop), and its configs then drive the per-point
+//! criterion measurements.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lolcode::{compile, engine_for, Backend, RunConfig};
+use lolcode::{compile, engine_for, Backend, RunConfig, SweepSpec};
 use std::time::Duration;
 
 struct Kernel {
@@ -56,23 +61,22 @@ fn bench_backends(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(2));
 
     for k in kernels() {
-        // One artifact per kernel; both engines execute it (the VM
-        // lowering is cached inside the artifact on first use).
+        // One artifact per kernel; the sweep runs it on both engines
+        // (the VM lowering is cached inside the artifact on first use)
+        // and cross-checks their outputs before anything is timed.
         let artifact = compile(&k.src).expect("compile");
-        let cfg = RunConfig::new(1).timeout(Duration::from_secs(120));
+        let spec = SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(120)))
+            .backends([Backend::Interp, Backend::Vm]);
+        let check = spec.run(&artifact);
+        assert!(check.all_ok(), "kernel {} failed:\n{}", k.name, check.speedup_table());
+        let outs: Vec<_> =
+            check.entries.iter().map(|e| e.result.as_ref().unwrap().outputs.clone()).collect();
+        assert_eq!(outs[0], outs[1], "backend divergence on {}", k.name);
 
-        // Cross-check once: identical output.
-        let a = engine_for(Backend::Interp).run(&artifact, &cfg).unwrap();
-        let b = engine_for(Backend::Vm).run(&artifact, &cfg).unwrap();
-        assert_eq!(a.outputs, b.outputs, "backend divergence on {}", k.name);
-
-        for backend in [Backend::Interp, Backend::Vm] {
-            let engine = engine_for(backend);
-            let label = match backend {
-                Backend::Interp => "interp",
-                Backend::Vm => "vm",
-            };
-            g.bench_function(format!("{label}/{}", k.name), |bch| {
+        // The same spec's configs drive the per-point measurements.
+        for cfg in spec.configs() {
+            let engine = engine_for(cfg.backend);
+            g.bench_function(format!("{}/{}", cfg.backend, k.name), |bch| {
                 bch.iter(|| engine.run(&artifact, &cfg).expect("run failed").outputs)
             });
         }

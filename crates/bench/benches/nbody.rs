@@ -8,12 +8,13 @@
 //! the remote phase is O(P·n²), and the compiled VM beats the
 //! interpreter at every size by a stable factor.
 //!
-//! The whole sweep reuses one `Compiled` artifact per program — this is
-//! exactly the `Engine::run_many` workload, driven point-by-point so
-//! each PE count gets its own criterion measurement.
+//! The config matrix comes from [`SweepSpec`] (one `Compiled` artifact,
+//! backends × PE counts), driven point-by-point so each config gets its
+//! own criterion measurement; a final group times the *whole* sweep
+//! under different worker caps — the `--jobs` ablation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lolcode::{compile, engine_for, Backend, RunConfig};
+use lolcode::{compile, engine_for, Backend, RunConfig, SweepSpec};
 use std::time::Duration;
 
 const PARTICLES_PER_PE: usize = 8;
@@ -26,18 +27,16 @@ fn bench_nbody_scaling(c: &mut Criterion) {
     let src = lolcode::corpus::nbody_source(PARTICLES_PER_PE, STEPS);
     let artifact = compile(&src).expect("compile");
 
-    for n_pes in [1usize, 2, 4, 8, 16] {
-        let cfg = RunConfig::new(n_pes).timeout(Duration::from_secs(120));
-        for backend in [Backend::Interp, Backend::Vm] {
-            let engine = engine_for(backend);
-            let name = match backend {
-                Backend::Interp => "interp_pes",
-                Backend::Vm => "vm_pes",
-            };
-            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, _| {
-                b.iter(|| engine.run(&artifact, &cfg).expect("nbody run failed").outputs)
-            });
-        }
+    let spec = SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(120)))
+        .backends([Backend::Interp, Backend::Vm])
+        .pes([1, 2, 4, 8, 16]);
+    for cfg in spec.configs() {
+        let engine = engine_for(cfg.backend);
+        g.bench_with_input(
+            BenchmarkId::new(&format!("{}_pes", cfg.backend), cfg.n_pes),
+            &cfg.n_pes,
+            |b, _| b.iter(|| engine.run(&artifact, &cfg).expect("nbody run failed").outputs),
+        );
     }
     g.finish();
 }
@@ -58,5 +57,32 @@ fn bench_nbody_large(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_nbody_scaling, bench_nbody_large);
+/// The sweep scheduler's own ablation: the identical 8-config matrix
+/// (2 backends × 2 PE counts × 2 seeds) executed end-to-end under
+/// worker caps 1 and 4. On a multicore host the 4-worker sweep should
+/// finish in a fraction of the serial wall time; the reports are
+/// byte-identical either way (checked once before timing).
+fn bench_sweep_jobs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_jobs");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let artifact = compile(&lolcode::corpus::nbody_source(6, 2)).expect("compile");
+    let spec = SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(120)))
+        .backends([Backend::Interp, Backend::Vm])
+        .pes([1, 2])
+        .seeds([1, 2]);
+    assert_eq!(spec.configs().len(), 8);
+    let serial = spec.clone().jobs(1).run(&artifact);
+    let racing = spec.clone().jobs(4).run(&artifact);
+    assert!(serial.all_ok() && racing.all_ok());
+    assert_eq!(serial.to_json_stable(), racing.to_json_stable(), "jobs changed the results");
+    for jobs in [1usize, 4] {
+        let spec = spec.clone().jobs(jobs);
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, _| {
+            b.iter(|| spec.run(&artifact).ok_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nbody_scaling, bench_nbody_large, bench_sweep_jobs);
 criterion_main!(benches);

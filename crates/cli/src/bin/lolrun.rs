@@ -6,28 +6,50 @@
 //! lolrun -np 16 code.lol
 //! lolrun -np 8 --stats code.lol            # per-PE comm statistics
 //! lolrun -np 4 --backend both code.lol     # run interp AND vm, diff
+//! lolrun --sweep "pes=1..8;seeds=3" code.lol       # scaling table
+//! lolrun --sweep "pes=1..8" --json code.lol        # machine-readable
 //! ```
 //!
 //! The program is compiled once (parse + sema + optional bytecode
 //! lowering) and the resulting artifact is run on the selected
-//! engine(s); `--backend both` executes the *same* artifact on both.
+//! engine(s); `--backend both` executes the *same* artifact on both,
+//! and `--sweep` fans a whole config matrix out over a worker pool.
 
-use lolcode::{compile, engine_for, Backend, Compiled, LatencyModel, RunConfig, RunReport};
+use lolcode::{
+    compile, engine_for, Backend, Compiled, LatencyModel, RunConfig, RunReport, SweepSpec,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: lolrun [-np <N>] [--backend interp|vm|both] [--seed <u64>]
-              [--latency off|mesh|flat] [--tag] [--stats] <input.lol>
+              [--latency <model>] [--tag] [--stats]
+              [--sweep <spec>] [--jobs <N>] [--json] <input.lol>
   -np <N>          number of processing elements (default 4)
   --backend <b>    interp (default), vm (compiled bytecode), or both
                    (run the same compiled artifact on both engines and
                    verify their outputs match)
   --seed <u64>     RNG seed for WHATEVR/WHATEVAR (default 0xC47F00D)
-  --latency <m>    off (default), mesh (Epiphany eMesh analog),
-                   flat (Cray-like uniform remote latency)
+  --latency <m>    off (default), mesh[:W[:BASE:HOP]] (Epiphany eMesh
+                   analog), torus[:WxH[:BASE:HOP]] (wraparound mesh),
+                   flat[:NS] (Cray-like uniform remote latency)
   --tag            prefix every output line with [PE n]
   --stats          print per-PE communication statistics and wall time
                    to stderr after the run
+  --sweep <spec>   run a config matrix instead of a single job and
+                   print a scaling report. Spec is ;-separated clauses:
+                     pes=1..16 or pes=1,2,4   PE counts
+                     seeds=3                  3 seeds off the base seed
+                     seeds=7,9 or seeds=0..2  explicit seed values
+                     latency=off,mesh:4       latency models
+                     backend=interp|vm|both   engines to sweep
+                     jobs=4                   worker cap
+                   e.g. --sweep \"pes=1..16;seeds=3;latency=off,mesh:4\"
+                   Unset axes inherit -np/--seed/--latency/--backend.
+  --jobs <N>       cap concurrent sweep jobs (default: min(cores,
+                   number of configs)). Use --jobs 1 when the wall/
+                   speedup columns are the result: concurrent jobs
+                   contend for cores and bias each other's timings
+  --json           with --sweep: emit the report as JSON on stdout
 ";
 
 enum BackendChoice {
@@ -44,6 +66,9 @@ fn main() -> ExitCode {
     let mut latency = LatencyModel::Off;
     let mut tag = false;
     let mut stats = false;
+    let mut sweep: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut json = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -85,17 +110,40 @@ fn main() -> ExitCode {
             }
             "--latency" => {
                 i += 1;
-                latency = match args.get(i).map(|s| s.as_str()) {
-                    Some("off") => LatencyModel::Off,
-                    Some("mesh") => LatencyModel::epiphany16(),
-                    Some("flat") => LatencyModel::xc40(),
-                    other => {
-                        let got = other.unwrap_or("(nothing)");
-                        eprintln!("O NOES! --latency IZ off, mesh OR flat, NOT {got}\n{USAGE}");
+                latency = match args.get(i).map(|s| s.parse::<LatencyModel>()) {
+                    Some(Ok(m)) => m,
+                    Some(Err(e)) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("O NOES! --latency NEEDS A MODEL\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
             }
+            "--sweep" => {
+                i += 1;
+                sweep = match args.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => {
+                        eprintln!("O NOES! --sweep NEEDS A SPEC\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        let got = args.get(i).map(|s| s.as_str()).unwrap_or("(nothing)");
+                        eprintln!("O NOES! --jobs NEEDS A NUMBR, NOT {got}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--json" => json = true,
             "--tag" => tag = true,
             "--stats" => stats = true,
             "-h" | "--help" => {
@@ -152,6 +200,25 @@ fn main() -> ExitCode {
     let mut cfg = RunConfig::new(n_pes).seed(seed).latency(latency);
     cfg.input = stdin_lines;
 
+    if let Some(spec) = sweep {
+        if stats || tag {
+            eprintln!(
+                "O NOES! --stats AN --tag DONT WORK WIF --sweep (DA REPORT HAZ DA STATS)\n{USAGE}"
+            );
+            return ExitCode::FAILURE;
+        }
+        let base = match &backend {
+            BackendChoice::One(b) => cfg.clone().backend(*b),
+            BackendChoice::Both => cfg.clone(),
+        };
+        let both = matches!(backend, BackendChoice::Both);
+        return run_sweep(&artifact, &spec, base, both, jobs, json);
+    }
+    if jobs.is_some() || json {
+        eprintln!("O NOES! --jobs AN --json ONLY MEAN SOMETHING WIF --sweep\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
     match backend {
         BackendChoice::One(b) => match engine_for(b).run(&artifact, &cfg.backend(b)) {
             Ok(report) => {
@@ -167,6 +234,50 @@ fn main() -> ExitCode {
             }
         },
         BackendChoice::Both => run_both(&artifact, &cfg, tag, stats),
+    }
+}
+
+/// `--sweep`: parse the spec over the base config, fan the matrix out
+/// over the worker pool, and print a scaling table (or JSON).
+fn run_sweep(
+    artifact: &Compiled,
+    spec: &str,
+    base: RunConfig,
+    both_backends: bool,
+    jobs: Option<usize>,
+    json: bool,
+) -> ExitCode {
+    let mut spec = match SweepSpec::parse(spec, base) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // `--backend both` fills the backend axis only when the spec
+    // itself didn't set one (unset axes inherit the flags; set axes
+    // win).
+    if both_backends && spec.backends_requested().is_empty() {
+        spec = spec.backends([Backend::Interp, Backend::Vm]);
+    }
+    if let Some(j) = jobs {
+        spec = spec.jobs(j);
+    }
+    let report = spec.run(artifact);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.speedup_table());
+    }
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "O NOES! {} OF {} SWEEP CONFIGS HAZ A SAD",
+            report.entries.len() - report.ok_count(),
+            report.entries.len()
+        );
+        ExitCode::FAILURE
     }
 }
 

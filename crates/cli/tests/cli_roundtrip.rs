@@ -109,6 +109,111 @@ fn lolrun_rejects_bad_flag_values_with_usage() {
 }
 
 #[test]
+fn lolrun_sweep_prints_scaling_table() {
+    let prog = write_temp("sweep.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--sweep", "pes=1..4;seeds=2", "--jobs", "2"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("backend"), "{stdout}");
+    assert!(stdout.contains("speedup"), "{stdout}");
+    assert!(stdout.contains("8 configs, 8 ok"), "{stdout}");
+}
+
+#[test]
+fn lolrun_sweep_json_is_machine_readable() {
+    let prog = write_temp("sweepj.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--sweep", "pes=1,2;latency=off,torus:2x1", "--json"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"configs\": 4"), "{stdout}");
+    assert!(stdout.contains("\"latency\": \"torus:2x1:50:11\""), "{stdout}");
+    assert!(stdout.contains("\"output_hash\""), "{stdout}");
+}
+
+#[test]
+fn lolrun_sweep_spec_backend_clause_beats_backend_both_flag() {
+    // `--backend both` only fills the axis when the spec leaves it
+    // unset; an explicit backend= clause wins.
+    let prog = write_temp("sweepb.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--backend", "both", "--sweep", "backend=vm;pes=1,2", "--json"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"configs\": 2"), "{stdout}");
+    assert!(stdout.contains("\"backend\": \"vm\""), "{stdout}");
+    assert!(!stdout.contains("\"backend\": \"interp\""), "{stdout}");
+}
+
+#[test]
+fn lolrun_jobs_and_json_require_sweep() {
+    let prog = write_temp("nosweep.lol", HELLO);
+    for flags in [vec!["--jobs", "2"], vec!["--json"]] {
+        let out =
+            Command::new(env!("CARGO_BIN_EXE_lolrun")).args(&flags).arg(&prog).output().unwrap();
+        assert!(!out.status.success(), "{flags:?} without --sweep should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("ONLY MEAN SOMETHING WIF --sweep"), "{stderr}");
+    }
+}
+
+#[test]
+fn lolrun_stats_and_tag_are_rejected_with_sweep() {
+    // Single-run presentation flags don't apply to a sweep report;
+    // reject loudly instead of silently ignoring the request.
+    let prog = write_temp("sweepstats.lol", HELLO);
+    for flag in ["--stats", "--tag"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+            .args(["--sweep", "pes=1,2", flag])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag} with --sweep should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("DONT WORK WIF --sweep"), "{stderr}");
+    }
+}
+
+#[test]
+fn lolrun_sweep_rejects_absurd_matrices_fast() {
+    let prog = write_temp("sweephuge.lol", HELLO);
+    let t0 = std::time::Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--sweep", "pes=1..4000000000"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("O NOES!"));
+    assert!(t0.elapsed() < std::time::Duration::from_secs(5), "rejection must be instant");
+}
+
+#[test]
+fn lolrun_sweep_rejects_bad_spec_and_zero_width_mesh() {
+    let prog = write_temp("sweepbad.lol", HELLO);
+    for spec in ["pes=wat", "latency=mesh:0", "warp=9"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+            .args(["--sweep", spec])
+            .arg(&prog)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{spec} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("O NOES!"), "{stderr}");
+    }
+}
+
+#[test]
 fn lolrun_reports_errors_lolcode_style() {
     let prog = write_temp("bad.lol", "HAI 1.2\nVISIBLE ghost\nKTHXBYE\n");
     let out = Command::new(env!("CARGO_BIN_EXE_lolrun")).arg(&prog).output().unwrap();

@@ -247,6 +247,168 @@ pub fn nbody_paper() -> String {
     nbody_source(32, 10)
 }
 
+/// Build a 2-D heat-diffusion stencil (not in the paper; the canonical
+/// locality-sensitive PDC workload). The plate is distributed by row
+/// blocks: each PE owns `rows` rows of `cols` cells, exchanges one halo
+/// row with each neighbouring PE per step (nearest-neighbour traffic —
+/// exactly what the mesh/torus latency models reward), applies the
+/// insulated 5-point stencil, and reports its block's total heat.
+///
+/// PE 0 injects 100.0 units of heat into one cell before the first
+/// step, so total heat across all PEs is conserved at 100 (mod YARN
+/// print rounding).
+pub fn heat2d_source(rows: usize, cols: usize, steps: usize) -> String {
+    assert!(rows >= 1 && cols >= 2, "heat2d needs at least a 1x2 block per PE");
+    format!(
+        "\
+HAI 1.2
+BTW 2-D heat: row-block distribution, halo rows, 5-point stencil
+WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cells}
+I HAS A unew ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cells}
+I HAS A hup ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cols}
+I HAS A hdn ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cols}
+I HAS A here ITZ SRSLY A NUMBAR
+I HAS A nn ITZ SRSLY A NUMBAR
+I HAS A ss ITZ SRSLY A NUMBAR
+I HAS A ww ITZ SRSLY A NUMBAR
+I HAS A ee ITZ SRSLY A NUMBAR
+I HAS A idx ITZ SRSLY A NUMBR
+I HAS A last ITZ A NUMBR AN ITZ DIFF OF MAH FRENZ AN 1
+
+BTW PE 0 injects da heat in da middle of its block
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  u'Z {hot} R 100.0
+OIC
+HUGZ
+
+IM IN YR time UPPIN YR t TIL BOTH SAEM t AN {steps}
+  BTW phase 1: halo rows (insulated plate: default to own edge row)
+  IM IN YR halo UPPIN YR j TIL BOTH SAEM j AN {cols}
+    hup'Z j R u'Z j
+    hdn'Z j R u'Z SUM OF {lastrow} AN j
+  IM OUTTA YR halo
+  BIGGER ME AN 0, O RLY?
+  YA RLY
+    IM IN YR getup UPPIN YR j TIL BOTH SAEM j AN {cols}
+      TXT MAH BFF DIFF OF ME AN 1, hup'Z j R UR u'Z SUM OF {lastrow} AN j
+    IM OUTTA YR getup
+  OIC
+  SMALLR ME AN last, O RLY?
+  YA RLY
+    IM IN YR getdn UPPIN YR j TIL BOTH SAEM j AN {cols}
+      TXT MAH BFF SUM OF ME AN 1, hdn'Z j R UR u'Z j
+    IM OUTTA YR getdn
+  OIC
+  HUGZ
+
+  BTW phase 2: insulated 5-point stencil into unew
+  IM IN YR rows UPPIN YR r TIL BOTH SAEM r AN {rows}
+    IM IN YR colz UPPIN YR cc TIL BOTH SAEM cc AN {cols}
+      idx R SUM OF PRODUKT OF r AN {cols} AN cc
+      here R u'Z idx
+      BOTH SAEM r AN 0, O RLY?
+      YA RLY
+        nn R hup'Z cc
+      NO WAI
+        nn R u'Z DIFF OF idx AN {cols}
+      OIC
+      BOTH SAEM r AN {lastr}, O RLY?
+      YA RLY
+        ss R hdn'Z cc
+      NO WAI
+        ss R u'Z SUM OF idx AN {cols}
+      OIC
+      BOTH SAEM cc AN 0, O RLY?
+      YA RLY
+        ww R here
+      NO WAI
+        ww R u'Z DIFF OF idx AN 1
+      OIC
+      BOTH SAEM cc AN {lastc}, O RLY?
+      YA RLY
+        ee R here
+      NO WAI
+        ee R u'Z SUM OF idx AN 1
+      OIC
+      unew'Z idx R SUM OF here AN PRODUKT OF 0.125 ...
+        AN SUM OF SUM OF DIFF OF nn AN here AN DIFF OF ss AN here ...
+        AN SUM OF DIFF OF ww AN here AN DIFF OF ee AN here
+    IM OUTTA YR colz
+  IM OUTTA YR rows
+
+  BTW phase 3: publish unew, den hug
+  IM IN YR copy UPPIN YR i TIL BOTH SAEM i AN {cells}
+    u'Z i R unew'Z i
+  IM OUTTA YR copy
+  HUGZ
+IM OUTTA YR time
+
+I HAS A heat ITZ SRSLY A NUMBAR AN ITZ 0.0
+IM IN YR tally UPPIN YR i TIL BOTH SAEM i AN {cells}
+  heat R SUM OF heat AN u'Z i
+IM OUTTA YR tally
+VISIBLE \"PE \" ME \" HEAT \" heat
+KTHXBYE
+",
+        cells = rows * cols,
+        cols = cols,
+        rows = rows,
+        lastrow = (rows - 1) * cols,
+        lastr = rows - 1,
+        lastc = cols - 1,
+        hot = (rows / 2) * cols + cols / 2,
+        steps = steps,
+    )
+}
+
+/// Build a parallel histogram (not in the paper; the canonical
+/// irregular-communication PDC workload). Each PE draws
+/// `samples_per_pe` seeded `WHATEVR` values, bins them into its own
+/// instance of a shared `LOTZ`, hugs, then all-gathers every PE's bins
+/// with remote reads to form the global histogram — so the gather phase
+/// does `(P-1) * bins` remote gets per PE, a sweep-visible all-to-all.
+///
+/// Every PE prints the same global bin counts plus the total
+/// (`P * samples_per_pe`), making the output an easy determinism and
+/// backend-equivalence oracle.
+pub fn histogram_source(bins: usize, samples_per_pe: usize) -> String {
+    assert!(bins >= 2, "histogram needs at least 2 bins");
+    format!(
+        "\
+HAI 1.2
+BTW parallel histogram: local binning, HUGZ, all-gather reduction
+WE HAS A bins ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {bins} AN IM SHARIN IT
+I HAS A total ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {bins}
+I HAS A b ITZ SRSLY A NUMBR
+
+IM IN YR draw UPPIN YR i TIL BOTH SAEM i AN {samples}
+  b R MOD OF WHATEVR AN {bins}
+  bins'Z b R SUM OF bins'Z b AN 1
+IM OUTTA YR draw
+HUGZ
+
+IM IN YR gather UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+  IM IN YR acc UPPIN YR j TIL BOTH SAEM j AN {bins}
+    TXT MAH BFF k, total'Z j R SUM OF total'Z j AN UR bins'Z j
+  IM OUTTA YR acc
+IM OUTTA YR gather
+
+I HAS A grand ITZ 0
+VISIBLE \"PE \" ME \" BINZ\"!
+IM IN YR show UPPIN YR j TIL BOTH SAEM j AN {bins}
+  VISIBLE \" \" total'Z j!
+  grand R SUM OF grand AN total'Z j
+IM OUTTA YR show
+VISIBLE \"\"
+VISIBLE \"PE \" ME \" TOTAL \" grand
+KTHXBYE
+",
+        bins = bins,
+        samples = samples_per_pe,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +500,63 @@ mod tests {
         let c = run_source(&src, cfg(2).seed(6)).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heat2d_conserves_heat_and_diffuses() {
+        let src = heat2d_source(3, 6, 12);
+        let n = 4;
+        let outs = run_source(&src, cfg(n)).unwrap();
+        let mut total = 0.0f64;
+        for (me, o) in outs.iter().enumerate() {
+            assert!(o.starts_with(&format!("PE {me} HEAT ")), "{o}");
+            let heat: f64 = o.trim().rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(heat.is_finite());
+            total += heat;
+        }
+        // Insulated plate: heat conserved mod 2-decimal print rounding.
+        assert!((total - 100.0).abs() < 0.005 * n as f64 + 1e-9, "leaked: {total}");
+        // Diffusion reality check: heat has crossed the PE-0 boundary.
+        let pe0: f64 = outs[0].trim().rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(pe0 < 100.0, "no diffusion happened");
+    }
+
+    #[test]
+    fn heat2d_interp_and_vm_agree() {
+        let src = heat2d_source(2, 4, 5);
+        let a = run_source(&src, cfg(3)).unwrap();
+        let b = run_source(&src, cfg(3).backend(Backend::Vm)).unwrap();
+        assert_eq!(a, b, "heat2d must be backend-independent");
+    }
+
+    #[test]
+    fn histogram_counts_every_sample() {
+        let (bins, samples, n) = (8, 50, 4);
+        let src = histogram_source(bins, samples);
+        let outs = run_source(&src, cfg(n).seed(21)).unwrap();
+        // Every PE agrees on the same global histogram.
+        let strip = |o: &str| o.replace(|c: char| c.is_ascii_digit(), "#");
+        for o in &outs[1..] {
+            assert_eq!(strip(o), strip(&outs[0]), "PEs disagree on shape");
+        }
+        let total_line = outs[0].lines().last().unwrap();
+        assert_eq!(total_line, format!("PE 0 TOTAL {}", n * samples));
+        // Global bin counts identical across PEs.
+        let global: Vec<String> = outs
+            .iter()
+            .map(|o| o.lines().next().unwrap().split_once(" BINZ ").unwrap().1.to_string())
+            .collect();
+        assert!(global.iter().all(|g| g == &global[0]), "{global:?}");
+    }
+
+    #[test]
+    fn histogram_is_seed_deterministic_and_backend_equal() {
+        let src = histogram_source(4, 20);
+        let a = run_source(&src, cfg(3).seed(5)).unwrap();
+        let b = run_source(&src, cfg(3).seed(5).backend(Backend::Vm)).unwrap();
+        let c = run_source(&src, cfg(3).seed(6)).unwrap();
+        assert_eq!(a, b, "backends must agree");
+        assert_ne!(a, c, "different seed must redistribute samples");
     }
 
     #[test]

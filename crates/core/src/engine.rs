@@ -181,6 +181,7 @@ impl Engine for InterpEngine {
     }
 
     fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
+        cfg.validate()?;
         let t0 = Instant::now();
         let per_pe = run_spmd(cfg.shmem(), |pe| {
             match lol_interp::run_on_pe(&artifact.program, &artifact.analysis, pe, &cfg.input) {
@@ -203,6 +204,7 @@ impl Engine for VmEngine {
     }
 
     fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
+        cfg.validate()?;
         let module = artifact.vm_module()?;
         let t0 = Instant::now();
         let per_pe = run_spmd(cfg.shmem(), |pe| match lol_vm::run_on_pe(module, pe, &cfg.input) {

@@ -40,6 +40,23 @@
 //! assert_eq!(report.outputs[3], "HAI FROM PE 3\n");
 //! ```
 //!
+//! ## Sweeps
+//!
+//! [`SweepSpec`] turns the run-many pattern into an orchestrated config
+//! matrix: cartesian products over PE counts × seeds × latency models ×
+//! backends, dispatched onto a bounded worker pool, aggregated into a
+//! [`SweepReport`] with speedup/efficiency columns and dependency-free
+//! JSON output:
+//!
+//! ```
+//! use lolcode::{compile, SweepSpec};
+//!
+//! let artifact = compile("HAI 1.2\nVISIBLE ME\nKTHXBYE").unwrap();
+//! let report = SweepSpec::new().pes([1, 2, 4]).run(&artifact);
+//! assert!(report.all_ok());
+//! println!("{}", report.speedup_table());
+//! ```
+//!
 //! ## One-shot convenience
 //!
 //! [`run_source`] and [`compile_to_c`] remain as thin shims over the
@@ -59,8 +76,10 @@
 
 pub mod corpus;
 mod engine;
+pub mod sweep;
 
 pub use engine::{engine_for, Compiled, Engine, InterpEngine, RunReport, VmEngine};
+pub use sweep::{SweepEntry, SweepReport, SweepSpec};
 
 use lol_ast::{Program, SourceMap};
 use lol_sema::Analysis;
@@ -75,6 +94,15 @@ pub enum Backend {
     Interp,
     /// Bytecode VM (compiled path; rejects `SRS`).
     Vm,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Interp => "interp",
+            Backend::Vm => "vm",
+        })
+    }
 }
 
 /// Everything needed to launch a program.
@@ -163,6 +191,14 @@ impl RunConfig {
         self
     }
 
+    /// Check the configuration before launching: PE count, heap size,
+    /// latency-model parameters. Engines call this up front, so a bad
+    /// config (e.g. a zero-width mesh) is a [`LolError::Config`]
+    /// instead of a mid-run panic.
+    pub fn validate(&self) -> Result<(), LolError> {
+        self.shmem().validate().map_err(LolError::Config)
+    }
+
     /// The substrate configuration this run config implies.
     pub fn shmem(&self) -> ShmemConfig {
         ShmemConfig::new(self.n_pes)
@@ -185,6 +221,9 @@ pub enum LolError {
     Sema(String),
     /// Backend compilation errors (e.g. `SRS` under the VM).
     Compile(String),
+    /// Invalid run configuration (e.g. a zero-width mesh latency
+    /// model), rejected before any PE launches.
+    Config(String),
     /// A PE failed at runtime.
     Runtime(SpmdError),
 }
@@ -195,6 +234,7 @@ impl std::fmt::Display for LolError {
             LolError::Parse(s) => write!(f, "{s}"),
             LolError::Sema(s) => write!(f, "{s}"),
             LolError::Compile(s) => write!(f, "{s}"),
+            LolError::Config(s) => write!(f, "{s}"),
             LolError::Runtime(e) => write!(f, "{e}"),
         }
     }

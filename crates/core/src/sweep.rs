@@ -1,0 +1,808 @@
+//! Parallel sweep orchestration: config matrices, a bounded worker
+//! pool, and aggregated scaling reports.
+//!
+//! The paper's central evidence is *scaling behaviour* — the same SPMD
+//! programs swept across PE counts on a 16-core Epiphany-III mesh and a
+//! Cray XC40. [`SweepSpec`] makes that the default workflow instead of
+//! a hand-rolled loop: describe a cartesian product of PE counts ×
+//! seeds × latency models × backends, and [`SweepSpec::run`] dispatches
+//! the independent jobs onto a bounded pool of scoped OS threads,
+//! reusing one [`Compiled`] artifact throughout. Results come back in
+//! config order regardless of completion order, so a sweep is
+//! reproducible no matter how many workers ran it.
+//!
+//! ```
+//! use lolcode::{compile, SweepSpec};
+//!
+//! let artifact = compile("HAI 1.2\nVISIBLE \"HAI \" ME\nKTHXBYE").unwrap();
+//! let report = SweepSpec::new().pes([1, 2, 4]).seeds([7, 8]).run(&artifact);
+//! assert_eq!(report.entries.len(), 6);
+//! println!("{}", report.speedup_table());
+//! ```
+//!
+//! [`SweepReport`] aggregates the per-config [`RunReport`]s into the
+//! derived metrics a scaling figure needs — speedup vs. the 1-PE
+//! baseline of the same (backend, latency, seed) group, parallel
+//! efficiency, and job-wide communication totals — and serializes to
+//! JSON without any external dependency ([`SweepReport::to_json`]).
+
+use crate::{engine_for, Backend, Compiled, LatencyModel, LolError, RunConfig, RunReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------------
+
+/// Hard cap on one sweep's config count — a typo'd spec
+/// (`pes=1..4000000000`) must fail fast, not allocate for hours.
+pub const MAX_CONFIGS: usize = 100_000;
+
+/// Hard cap on the values one spec-string axis clause may expand to.
+const MAX_AXIS_VALUES: u64 = 65_536;
+
+/// A cartesian product of run configurations plus a worker budget.
+///
+/// Axes left unset fall back to the base config's single value, so a
+/// spec is never empty: `SweepSpec::new()` describes exactly one run.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    base: RunConfig,
+    pes: Vec<usize>,
+    seeds: Vec<u64>,
+    latencies: Vec<LatencyModel>,
+    backends: Vec<Backend>,
+    jobs: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepSpec {
+    /// An empty spec over the default [`RunConfig`]: one config, auto
+    /// worker count.
+    pub fn new() -> Self {
+        Self::over(RunConfig::new(1))
+    }
+
+    /// An empty spec whose unset axes inherit from `base` (timeout,
+    /// input, heap size, barrier/lock algorithms always do).
+    pub fn over(base: RunConfig) -> Self {
+        SweepSpec {
+            base,
+            pes: Vec::new(),
+            seeds: Vec::new(),
+            latencies: Vec::new(),
+            backends: Vec::new(),
+            jobs: 0,
+        }
+    }
+
+    /// Sweep these PE counts (innermost axis).
+    pub fn pes(mut self, pes: impl IntoIterator<Item = usize>) -> Self {
+        self.pes = pes.into_iter().collect();
+        self
+    }
+
+    /// Sweep these RNG seeds.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sweep `count` seeds derived from the base config's seed
+    /// (`base.seed + 0 .. base.seed + count`).
+    pub fn seed_count(mut self, count: u64) -> Self {
+        let base = self.base.seed;
+        self.seeds = (0..count).map(|i| base.wrapping_add(i)).collect();
+        self
+    }
+
+    /// Sweep these latency models.
+    pub fn latencies(mut self, models: impl IntoIterator<Item = LatencyModel>) -> Self {
+        self.latencies = models.into_iter().collect();
+        self
+    }
+
+    /// Sweep these backends (outermost axis).
+    pub fn backends(mut self, backends: impl IntoIterator<Item = Backend>) -> Self {
+        self.backends = backends.into_iter().collect();
+        self
+    }
+
+    /// Cap the worker pool at `jobs` concurrent SPMD jobs. `0` (the
+    /// default) means `min(available cores, number of configs)`.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The worker cap (`0` = auto).
+    pub fn jobs_requested(&self) -> usize {
+        self.jobs
+    }
+
+    /// The explicitly-set backend axis (empty = inherit the base
+    /// config's backend). Lets callers distinguish "unset" from "set"
+    /// before layering their own default on top.
+    pub fn backends_requested(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// The worker count a sweep of `n_configs` would actually use.
+    pub fn effective_jobs(&self, n_configs: usize) -> usize {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cap = if self.jobs > 0 { self.jobs } else { cores };
+        cap.min(n_configs).max(1)
+    }
+
+    /// Materialize the cartesian product, in deterministic order:
+    /// backends × latencies × seeds × PE counts (PE count innermost, so
+    /// consecutive entries form a scaling curve).
+    pub fn configs(&self) -> Vec<RunConfig> {
+        fn one<T: Clone>(v: &[T], fallback: T) -> Vec<T> {
+            if v.is_empty() {
+                vec![fallback]
+            } else {
+                v.to_vec()
+            }
+        }
+        let backends = one(&self.backends, self.base.backend);
+        let latencies = one(&self.latencies, self.base.latency);
+        let seeds = one(&self.seeds, self.base.seed);
+        let pes = one(&self.pes, self.base.n_pes);
+        let mut out =
+            Vec::with_capacity(backends.len() * latencies.len() * seeds.len() * pes.len());
+        for &backend in &backends {
+            for &latency in &latencies {
+                for &seed in &seeds {
+                    for &n_pes in &pes {
+                        out.push(
+                            self.base
+                                .clone()
+                                .backend(backend)
+                                .latency(latency)
+                                .seed(seed)
+                                .pes(n_pes),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check the spec axis-by-axis (bad latency models, zero PE
+    /// counts, absurd matrix sizes) without materializing the product.
+    pub fn validate(&self) -> Result<(), LolError> {
+        if let Some(&n) = self.pes.iter().find(|&&n| n == 0) {
+            return Err(LolError::Config(format!(
+                "O NOES! [RUN0121] A JOB NEEDS AT LEAST ONE PE, NOT {n}"
+            )));
+        }
+        for m in &self.latencies {
+            m.validate().map_err(LolError::Config)?;
+        }
+        self.base.validate()?;
+        let total = self
+            .pes
+            .len()
+            .max(1)
+            .saturating_mul(self.seeds.len().max(1))
+            .saturating_mul(self.latencies.len().max(1))
+            .saturating_mul(self.backends.len().max(1));
+        if total > MAX_CONFIGS {
+            return Err(LolError::Config(format!(
+                "O NOES! DIS SWEEP HAZ {total} CONFIGS — MAX IZ {MAX_CONFIGS}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Run the whole product against one artifact on a bounded worker
+    /// pool and aggregate the results.
+    ///
+    /// Jobs are claimed from a shared queue by `effective_jobs` scoped
+    /// OS threads; each result lands in its config-order slot, so the
+    /// report's outputs and stats are identical whether one worker ran
+    /// everything serially or the whole pool raced. Wall times are
+    /// *not*: concurrent jobs contend for cores, biasing per-config
+    /// walls (and the speedup/efficiency columns derived from them)
+    /// upward — use [`SweepSpec::jobs`]`(1)` when the timing columns
+    /// are the result. A failing config records its error and does not
+    /// abort the rest.
+    pub fn run(&self, artifact: &Compiled) -> SweepReport {
+        let configs = self.configs();
+        let n = configs.len();
+        let workers = self.effective_jobs(n);
+        let t0 = Instant::now();
+        let mut slots: Vec<Mutex<Option<Result<RunReport, LolError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        if workers <= 1 {
+            for (cfg, slot) in configs.iter().zip(&mut slots) {
+                *slot.get_mut().unwrap() = Some(engine_for(cfg.backend).run(artifact, cfg));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let result = engine_for(configs[i].backend).run(artifact, &configs[i]);
+                        *slots[i].lock().unwrap() = Some(result);
+                    });
+                }
+            });
+        }
+
+        let results = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every sweep slot filled"))
+            .collect();
+        SweepReport::assemble(configs, results, workers, t0.elapsed())
+    }
+
+    /// Parse a `lolrun --sweep` spec string on top of `base`.
+    ///
+    /// Grammar: semicolon-separated `key=value` clauses —
+    ///
+    /// * `pes=1..16` or `pes=1,2,4,8` — PE counts (`a..b` inclusive)
+    /// * `seeds=3` — 3 seeds derived from the base seed;
+    ///   `seeds=7,9` or `seeds=0..2` — explicit seed values
+    /// * `latency=off,mesh:4,torus:4x4,flat:1000` — latency models
+    ///   (see [`LatencyModel::from_str`][std::str::FromStr])
+    /// * `backend=interp|vm|both`
+    /// * `jobs=4` — worker cap (`0` = auto)
+    ///
+    /// Example: `"pes=1..16;seeds=3;latency=off,mesh:4"`.
+    pub fn parse(spec: &str, base: RunConfig) -> Result<SweepSpec, String> {
+        let mut out = SweepSpec::over(base);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("O NOES! SWEEP CLAUSE NEEDS key=value, GOT: {clause}"))?;
+            match key.trim() {
+                "pes" => out.pes = parse_int_list(value).map_err(|e| format!("pes: {e}"))?,
+                "seeds" => {
+                    let v = value.trim();
+                    if !v.contains(',') && !v.contains("..") {
+                        let count: u64 = v
+                            .parse()
+                            .map_err(|_| format!("O NOES! seeds WANTS A NUMBR, GOT: {v}"))?;
+                        if count == 0 || count > MAX_AXIS_VALUES {
+                            return Err(format!(
+                                "O NOES! seeds WANTS 1..{MAX_AXIS_VALUES} SEEDS, NOT {count}"
+                            ));
+                        }
+                        out = out.seed_count(count);
+                    } else {
+                        out.seeds = parse_int_list(value).map_err(|e| format!("seeds: {e}"))?;
+                    }
+                }
+                "latency" => {
+                    out.latencies = value
+                        .split(',')
+                        .map(|tok| tok.trim().parse::<LatencyModel>())
+                        .collect::<Result<_, _>>()?;
+                }
+                "backend" | "backends" => {
+                    let mut backends = Vec::new();
+                    for tok in value.split(',') {
+                        match tok.trim() {
+                            "interp" => backends.push(Backend::Interp),
+                            "vm" => backends.push(Backend::Vm),
+                            "both" => backends.extend([Backend::Interp, Backend::Vm]),
+                            other => {
+                                return Err(format!(
+                                    "O NOES! backend IZ interp, vm OR both, NOT {other}"
+                                ))
+                            }
+                        }
+                    }
+                    out.backends = backends;
+                }
+                "jobs" => {
+                    out.jobs = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("O NOES! jobs WANTS A NUMBR, GOT: {value}"))?;
+                }
+                other => return Err(format!("O NOES! I DUNNO DIS SWEEP AXIS: {other}")),
+            }
+        }
+        out.validate().map_err(|e| e.to_string())?;
+        Ok(out)
+    }
+}
+
+/// Parse `1,2,4` / `1..8` / mixtures of both into a list, preserving
+/// order. `a..b` is inclusive on both ends.
+fn parse_int_list<T>(s: &str) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr + TryFrom<u64>,
+{
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        let tok = tok.trim();
+        if let Some((lo, hi)) = tok.split_once("..") {
+            let parse = |t: &str| {
+                t.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("O NOES! {t} IZ NOT A NUMBR IN RANGE {tok}"))
+            };
+            let (lo, hi) = (parse(lo)?, parse(hi)?);
+            if lo > hi {
+                return Err(format!("O NOES! BACKWARDS RANGE: {tok}"));
+            }
+            if hi - lo >= MAX_AXIS_VALUES {
+                return Err(format!(
+                    "O NOES! RANGE {tok} HAZ 2 MANY VALUES (MAX {MAX_AXIS_VALUES})"
+                ));
+            }
+            for v in lo..=hi {
+                out.push(T::try_from(v).map_err(|_| format!("O NOES! {v} IZ 2 BIG"))?);
+            }
+        } else {
+            out.push(tok.parse().map_err(|_| format!("O NOES! {tok} IZ NOT A NUMBR"))?);
+        }
+    }
+    if out.is_empty() {
+        return Err("O NOES! EMPTY LIST".to_string());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// SweepReport
+// ---------------------------------------------------------------------
+
+/// One config's slot in a sweep: the config, its outcome, and metrics
+/// derived against the sweep's baselines.
+#[derive(Clone, Debug)]
+pub struct SweepEntry {
+    /// The effective configuration (includes the backend).
+    pub config: RunConfig,
+    /// The run's outcome; failures don't abort the sweep.
+    pub result: Result<RunReport, LolError>,
+    /// Wall-time speedup vs. the 1-PE entry of the same
+    /// (backend, latency, seed) group, when that baseline exists.
+    ///
+    /// Timing caveat: with more than one worker, concurrently-running
+    /// jobs contend for cores, which *systematically* inflates walls
+    /// (the 1-PE baseline most of all) — outputs and stats are exact
+    /// at any worker count, but publication-grade speedup curves
+    /// should come from a [`SweepSpec::jobs`]`(1)` sweep.
+    pub speedup: Option<f64>,
+    /// `speedup / n_pes` — parallel efficiency.
+    pub efficiency: Option<f64>,
+}
+
+impl SweepEntry {
+    /// FNV-1a hash over the per-PE outputs (stable fingerprint for
+    /// machine-readable reports without embedding full outputs).
+    pub fn output_hash(&self) -> Option<u64> {
+        let report = self.result.as_ref().ok()?;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for out in &report.outputs {
+            eat(out.as_bytes());
+            eat(&[0x1E]); // record separator: "a","" != "","a"
+        }
+        Some(h)
+    }
+}
+
+/// Aggregated result of a [`SweepSpec::run`]: entries in config order
+/// plus derived scaling metrics.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// One entry per config, in [`SweepSpec::configs`] order.
+    pub entries: Vec<SweepEntry>,
+    /// Worker threads the scheduler actually used.
+    pub jobs: usize,
+    /// Wall-clock time of the whole sweep (launch to last join).
+    pub total_wall: Duration,
+}
+
+impl SweepReport {
+    fn assemble(
+        configs: Vec<RunConfig>,
+        results: Vec<Result<RunReport, LolError>>,
+        jobs: usize,
+        total_wall: Duration,
+    ) -> Self {
+        let mut entries: Vec<SweepEntry> = configs
+            .into_iter()
+            .zip(results)
+            .map(|(config, result)| SweepEntry { config, result, speedup: None, efficiency: None })
+            .collect();
+        // Baselines: the 1-PE wall time of each (backend, latency,
+        // seed) group.
+        let key = |c: &RunConfig| (c.backend, c.latency.to_string(), c.seed);
+        let baselines: Vec<((Backend, String, u64), Duration)> = entries
+            .iter()
+            .filter(|e| e.config.n_pes == 1)
+            .filter_map(|e| e.result.as_ref().ok().map(|r| (key(&e.config), r.wall)))
+            .collect();
+        for e in &mut entries {
+            let Ok(report) = &e.result else { continue };
+            let k = key(&e.config);
+            let Some((_, base)) = baselines.iter().find(|(bk, _)| *bk == k) else { continue };
+            let wall = report.wall.as_secs_f64();
+            if wall > 0.0 {
+                let speedup = base.as_secs_f64() / wall;
+                e.speedup = Some(speedup);
+                e.efficiency = Some(speedup / e.config.n_pes as f64);
+            }
+        }
+        SweepReport { entries, jobs, total_wall }
+    }
+
+    /// Number of configs that ran successfully.
+    pub fn ok_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.result.is_ok()).count()
+    }
+
+    /// Did every config succeed?
+    pub fn all_ok(&self) -> bool {
+        self.ok_count() == self.entries.len()
+    }
+
+    /// Render a human-readable scaling table (one row per config).
+    pub fn speedup_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8}  outcome\n",
+            "backend", "latency", "seed", "pes", "wall", "speedup", "eff", "remote%"
+        ));
+        for e in &self.entries {
+            let c = &e.config;
+            let opt = |v: Option<f64>, prec: usize| match v {
+                Some(v) => format!("{v:.prec$}"),
+                None => "-".to_string(),
+            };
+            match &e.result {
+                Ok(r) => {
+                    let total = r.total_stats();
+                    out.push_str(&format!(
+                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>7.1}%  ok\n",
+                        c.backend.to_string(),
+                        c.latency.to_string(),
+                        c.seed,
+                        c.n_pes,
+                        format!("{:.1?}", r.wall),
+                        opt(e.speedup, 2),
+                        opt(e.efficiency, 2),
+                        100.0 * total.remote_fraction(),
+                    ));
+                }
+                Err(err) => {
+                    let first = err.to_string();
+                    let first = first.lines().next().unwrap_or("").to_string();
+                    out.push_str(&format!(
+                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8}  FAILED: {}\n",
+                        c.backend.to_string(),
+                        c.latency.to_string(),
+                        c.seed,
+                        c.n_pes,
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        first,
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} configs, {} ok, {} workers, total wall {:.1?}\n",
+            self.entries.len(),
+            self.ok_count(),
+            self.jobs,
+            self.total_wall,
+        ));
+        out
+    }
+
+    /// Machine-readable JSON, including timing-derived fields
+    /// (`wall_ns`, `speedup`, `efficiency`, worker count).
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// JSON with every timing-dependent field omitted: byte-identical
+    /// across repeated runs and worker counts for a deterministic
+    /// program, so it can be diffed or content-hashed in CI.
+    pub fn to_json_stable(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, timing: bool) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"configs\": {},\n", self.entries.len()));
+        out.push_str(&format!("  \"ok\": {},\n", self.ok_count()));
+        if timing {
+            out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+            out.push_str(&format!("  \"total_wall_ns\": {},\n", self.total_wall.as_nanos()));
+        }
+        out.push_str("  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let c = &e.config;
+            out.push_str(&format!("\"index\": {i}, "));
+            out.push_str(&format!("\"backend\": \"{}\", ", c.backend));
+            out.push_str(&format!("\"pes\": {}, ", c.n_pes));
+            out.push_str(&format!("\"seed\": {}, ", c.seed));
+            out.push_str(&format!("\"latency\": \"{}\", ", c.latency));
+            match &e.result {
+                Ok(r) => {
+                    out.push_str("\"ok\": true, ");
+                    if timing {
+                        out.push_str(&format!("\"wall_ns\": {}, ", r.wall.as_nanos()));
+                        let opt = |v: Option<f64>| match v {
+                            Some(v) => format!("{v:.4}"),
+                            None => "null".to_string(),
+                        };
+                        out.push_str(&format!("\"speedup\": {}, ", opt(e.speedup)));
+                        out.push_str(&format!("\"efficiency\": {}, ", opt(e.efficiency)));
+                    }
+                    out.push_str(&format!(
+                        "\"output_hash\": \"{:016x}\", ",
+                        e.output_hash().expect("ok entry hashes")
+                    ));
+                    let t = r.total_stats();
+                    out.push_str(&format!(
+                        "\"stats\": {{\"local_gets\": {}, \"remote_gets\": {}, \
+                         \"local_puts\": {}, \"remote_puts\": {}, \
+                         \"block_get_words\": {}, \"block_put_words\": {}, \
+                         \"amos\": {}, \"barriers_per_pe\": {}, \
+                         \"lock_acquires\": {}, \"remote_fraction\": {:.4}}}",
+                        t.local_gets,
+                        t.remote_gets,
+                        t.local_puts,
+                        t.remote_puts,
+                        t.block_get_words,
+                        t.block_put_words,
+                        t.amos,
+                        r.stats.first().map(|s| s.barriers).unwrap_or(0),
+                        t.lock_acquires,
+                        t.remote_fraction(),
+                    ));
+                }
+                Err(err) => {
+                    out.push_str("\"ok\": false, ");
+                    out.push_str(&format!("\"error\": \"{}\"", json_escape(&err.to_string())));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, corpus};
+
+    fn base() -> RunConfig {
+        RunConfig::new(1).timeout(Duration::from_secs(30))
+    }
+
+    #[test]
+    fn empty_spec_is_one_config() {
+        let configs = SweepSpec::over(base()).configs();
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].n_pes, 1);
+    }
+
+    #[test]
+    fn cartesian_product_order_is_backend_latency_seed_pes() {
+        let spec = SweepSpec::over(base())
+            .pes([1, 2])
+            .seeds([5, 6])
+            .latencies([LatencyModel::Off, LatencyModel::xc40()])
+            .backends([Backend::Interp, Backend::Vm]);
+        let configs = spec.configs();
+        assert_eq!(configs.len(), 16);
+        // PE count is the innermost axis...
+        assert_eq!(configs[0].n_pes, 1);
+        assert_eq!(configs[1].n_pes, 2);
+        // ...then seeds...
+        assert_eq!((configs[0].seed, configs[2].seed), (5, 6));
+        // ...then latency, then backend (outermost).
+        assert_eq!(configs[4].latency, LatencyModel::xc40());
+        assert_eq!(configs[8].backend, Backend::Vm);
+    }
+
+    #[test]
+    fn run_returns_entries_in_config_order() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let spec = SweepSpec::over(base()).pes([1, 2, 3, 4]).jobs(4);
+        let report = spec.run(&artifact);
+        assert!(report.all_ok());
+        for (i, e) in report.entries.iter().enumerate() {
+            assert_eq!(e.config.n_pes, i + 1);
+            let r = e.result.as_ref().unwrap();
+            assert_eq!(r.outputs.len(), i + 1);
+            assert_eq!(r.output(0), format!("HAI ITZ 0 OF {}\n", i + 1));
+        }
+    }
+
+    #[test]
+    fn speedup_and_efficiency_derive_from_1pe_baseline() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let report = SweepSpec::over(base()).pes([1, 4]).run(&artifact);
+        let one = &report.entries[0];
+        assert_eq!(one.speedup.map(|s| (s * 100.0).round()), Some(100.0), "baseline speedup is 1");
+        assert_eq!(one.efficiency.map(|s| (s * 100.0).round()), Some(100.0));
+        let four = &report.entries[1];
+        let (s, e) = (four.speedup.unwrap(), four.efficiency.unwrap());
+        assert!((e - s / 4.0).abs() < 1e-12, "efficiency = speedup / pes");
+    }
+
+    #[test]
+    fn no_baseline_means_no_speedup() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let report = SweepSpec::over(base()).pes([2, 4]).run(&artifact);
+        assert!(report.all_ok());
+        assert!(report.entries.iter().all(|e| e.speedup.is_none()));
+    }
+
+    #[test]
+    fn failing_config_does_not_abort_sweep() {
+        let artifact =
+            compile("HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN DIFF OF ME AN 1\nKTHXBYE").unwrap();
+        // 1 PE: ME-1 = -1, fine. 2 PEs: PE 1 divides by zero.
+        let spec = SweepSpec::over(base().timeout(Duration::from_secs(5))).pes([1, 2, 1]).jobs(2);
+        let report = spec.run(&artifact);
+        assert!(report.entries[0].result.is_ok());
+        assert!(matches!(report.entries[1].result, Err(LolError::Runtime(_))));
+        assert!(report.entries[2].result.is_ok());
+        assert_eq!(report.ok_count(), 2);
+        assert!(!report.all_ok());
+        // The failed entry still renders in table and JSON.
+        assert!(report.speedup_table().contains("FAILED"));
+        assert!(report.to_json().contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree_exactly() {
+        let artifact = compile("HAI 1.2\nVISIBLE SUM OF WHATEVR AN ME\nKTHXBYE").unwrap();
+        let spec = SweepSpec::over(base()).pes([1, 2, 3]).seeds([1, 2]);
+        let serial = spec.clone().jobs(1).run(&artifact);
+        let parallel = spec.jobs(4).run(&artifact);
+        assert_eq!(serial.entries.len(), parallel.entries.len());
+        for (a, b) in serial.entries.iter().zip(&parallel.entries) {
+            assert_eq!(a.config.n_pes, b.config.n_pes);
+            assert_eq!(a.config.seed, b.config.seed);
+            assert_eq!(a.result.as_ref().unwrap().outputs, b.result.as_ref().unwrap().outputs);
+        }
+        assert_eq!(serial.to_json_stable(), parallel.to_json_stable());
+    }
+
+    #[test]
+    fn invalid_config_is_reported_per_entry() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let bad = LatencyModel::Mesh2D { width: 0, base_ns: 1, hop_ns: 1 };
+        let report = SweepSpec::over(base()).latencies([LatencyModel::Off, bad]).run(&artifact);
+        assert!(report.entries[0].result.is_ok());
+        match &report.entries[1].result {
+            Err(LolError::Config(msg)) => assert!(msg.contains("RUN0120"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_string_round_trip() {
+        let spec =
+            SweepSpec::parse("pes=1..4;seeds=3;latency=off,mesh:4;backend=both", base()).unwrap();
+        let configs = spec.configs();
+        // 2 backends x 2 latencies x 3 seeds x 4 PE counts.
+        assert_eq!(configs.len(), 48);
+        assert_eq!(configs[0].backend, Backend::Interp);
+        assert_eq!(configs[0].n_pes, 1);
+        assert_eq!(configs[3].n_pes, 4);
+        // seeds derive from the base seed.
+        assert_eq!(configs[0].seed, base().seed);
+        assert_eq!(configs[4].seed, base().seed + 1);
+        assert_eq!(configs[47].backend, Backend::Vm);
+        assert_eq!(configs[47].latency, LatencyModel::Mesh2D { width: 4, base_ns: 50, hop_ns: 11 });
+    }
+
+    #[test]
+    fn spec_string_rejects_junk() {
+        for bad in [
+            "pes=0..2", // zero PEs fails validation
+            "pes=two",
+            "wat=1",
+            "latency=mesh:0", // zero-width mesh rejected at parse
+            "backend=fortran",
+            "pes", // no '='
+            "seeds=",
+            "pes=4..1",                                           // backwards range
+            "seeds=0",                                            // zero seeds would silently no-op
+            "pes=1..4000000000", // absurd range must fail fast, not OOM
+            "seeds=99999999",    // absurd seed count likewise
+            "pes=1..200;seeds=600;latency=off,flat;backend=both", // product over cap
+        ] {
+            assert!(SweepSpec::parse(bad, base()).is_err(), "{bad} should be rejected");
+        }
+        // Explicit seed lists and ranges still work.
+        let spec = SweepSpec::parse("seeds=7,9;jobs=2", base()).unwrap();
+        assert_eq!(spec.configs().iter().map(|c| c.seed).collect::<Vec<_>>(), vec![7, 9]);
+        assert_eq!(spec.jobs_requested(), 2);
+    }
+
+    #[test]
+    fn json_shapes_are_wellformed_enough() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let report = SweepSpec::over(base()).pes([1, 2]).run(&artifact);
+        let full = report.to_json();
+        assert!(full.contains("\"total_wall_ns\""));
+        assert!(full.contains("\"speedup\""));
+        assert!(full.contains("\"output_hash\""));
+        let stable = report.to_json_stable();
+        assert!(!stable.contains("wall_ns"));
+        assert!(!stable.contains("speedup"));
+        assert!(!stable.contains("\"jobs\""));
+        assert!(stable.contains("\"output_hash\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        for json in [&full, &stable] {
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+        }
+    }
+
+    #[test]
+    fn output_hash_distinguishes_output_boundaries() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let r1 = SweepSpec::over(base()).pes([2]).run(&artifact);
+        let r2 = SweepSpec::over(base()).pes([3]).run(&artifact);
+        assert_ne!(r1.entries[0].output_hash(), r2.entries[0].output_hash());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

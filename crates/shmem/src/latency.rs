@@ -21,11 +21,51 @@ pub enum LatencyModel {
     /// 2D mesh NoC (Epiphany eMesh analog): PEs are laid out
     /// row-major on a `width`-wide grid; an access costs
     /// `base_ns + hops * hop_ns` where `hops` is Manhattan distance.
+    ///
+    /// `width` must be ≥ 1 — enforced by [`LatencyModel::validate`],
+    /// which every config-construction path calls before a job runs.
     Mesh2D { width: usize, base_ns: u64, hop_ns: u64 },
+    /// 2D torus: like [`LatencyModel::Mesh2D`] but with wraparound
+    /// links in both dimensions, so the worst-case hop count halves.
+    /// PEs are laid out row-major on a `width × height` grid (PE ids
+    /// beyond `width * height` wrap around in the vertical dimension).
+    ///
+    /// `width` and `height` must be ≥ 1 — enforced by
+    /// [`LatencyModel::validate`].
+    Torus2D { width: usize, height: usize, base_ns: u64, hop_ns: u64 },
 }
 
 impl LatencyModel {
+    /// Check the model's parameters. Config-construction paths
+    /// ([`crate::ShmemConfig`] consumers, CLI/spec parsers) call this
+    /// so a zero-width mesh is rejected up front with a proper error
+    /// instead of being silently clamped per-access.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            LatencyModel::Off | LatencyModel::Uniform { .. } => Ok(()),
+            LatencyModel::Mesh2D { width, .. } => {
+                if width == 0 {
+                    Err("O NOES! [RUN0120] MESH WIDTH MUST BE AT LEAST 1, NOT 0".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            LatencyModel::Torus2D { width, height, .. } => {
+                if width == 0 || height == 0 {
+                    Err(format!(
+                        "O NOES! [RUN0120] TORUS DIMENSHUNS MUST BE AT LEAST 1x1, NOT {width}x{height}"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Delay in nanoseconds for an access from `from` to `to`.
+    ///
+    /// Requires a valid model (see [`LatencyModel::validate`]); a
+    /// zero-width grid panics here rather than silently degrading.
     #[inline]
     pub fn delay_ns(&self, from: usize, to: usize) -> u64 {
         if from == to {
@@ -35,10 +75,17 @@ impl LatencyModel {
             LatencyModel::Off => 0,
             LatencyModel::Uniform { remote_ns } => remote_ns,
             LatencyModel::Mesh2D { width, base_ns, hop_ns } => {
-                let w = width.max(1);
-                let (fx, fy) = (from % w, from / w);
-                let (tx, ty) = (to % w, to / w);
+                let (fx, fy) = (from % width, from / width);
+                let (tx, ty) = (to % width, to / width);
                 let hops = fx.abs_diff(tx) + fy.abs_diff(ty);
+                base_ns + hops as u64 * hop_ns
+            }
+            LatencyModel::Torus2D { width, height, base_ns, hop_ns } => {
+                let (fx, fy) = (from % width, (from / width) % height);
+                let (tx, ty) = (to % width, (to / width) % height);
+                let dx = fx.abs_diff(tx);
+                let dy = fy.abs_diff(ty);
+                let hops = dx.min(width - dx) + dy.min(height - dy);
                 base_ns + hops as u64 * hop_ns
             }
         }
@@ -71,6 +118,100 @@ impl LatencyModel {
     pub fn xc40() -> Self {
         LatencyModel::Uniform { remote_ns: 1_000 }
     }
+
+    /// A 4×4 torus with Epiphany-like per-hop costs — the "what if the
+    /// eMesh had wraparound links" counterfactual for the benches.
+    pub fn torus16() -> Self {
+        LatencyModel::Torus2D { width: 4, height: 4, base_ns: 50, hop_ns: 11 }
+    }
+}
+
+/// Compact, round-trippable label: `off`, `flat:1000`, `mesh:4:50:11`,
+/// `torus:4x4:50:11`. [`LatencyModel::from_str`] parses the same forms.
+impl std::fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            LatencyModel::Off => write!(f, "off"),
+            LatencyModel::Uniform { remote_ns } => write!(f, "flat:{remote_ns}"),
+            LatencyModel::Mesh2D { width, base_ns, hop_ns } => {
+                write!(f, "mesh:{width}:{base_ns}:{hop_ns}")
+            }
+            LatencyModel::Torus2D { width, height, base_ns, hop_ns } => {
+                write!(f, "torus:{width}x{height}:{base_ns}:{hop_ns}")
+            }
+        }
+    }
+}
+
+/// Parse a latency-model token (as used by `lolrun --latency` and
+/// `--sweep "latency=..."`):
+///
+/// * `off`
+/// * `flat` (Cray XC40 analog) or `flat:<remote_ns>`
+/// * `mesh` (Epiphany-III 4×4) or `mesh:<width>[:<base_ns>:<hop_ns>]`
+/// * `torus` (4×4) or `torus:<w>[x<h>][:<base_ns>:<hop_ns>]`
+impl std::str::FromStr for LatencyModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let bad = |what: &str| format!("O NOES! I DUNNO DIS LATENCY MODEL: {what}");
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        let parse_u64 =
+            |tok: &str| tok.parse::<u64>().map_err(|_| bad(&format!("{s} ({tok} NOT A NUMBR)")));
+        let model = match head {
+            "off" if rest.is_empty() => LatencyModel::Off,
+            "flat" => match rest.as_slice() {
+                [] => LatencyModel::xc40(),
+                [ns] => LatencyModel::Uniform { remote_ns: parse_u64(ns)? },
+                _ => return Err(bad(s)),
+            },
+            "mesh" => match rest.as_slice() {
+                [] => LatencyModel::epiphany16(),
+                [w] => {
+                    LatencyModel::Mesh2D { width: parse_u64(w)? as usize, base_ns: 50, hop_ns: 11 }
+                }
+                [w, base, hop] => LatencyModel::Mesh2D {
+                    width: parse_u64(w)? as usize,
+                    base_ns: parse_u64(base)?,
+                    hop_ns: parse_u64(hop)?,
+                },
+                _ => return Err(bad(s)),
+            },
+            "torus" => {
+                let dims = |tok: &str| -> Result<(usize, usize), String> {
+                    match tok.split_once('x') {
+                        Some((w, h)) => Ok((parse_u64(w)? as usize, parse_u64(h)? as usize)),
+                        None => {
+                            let w = parse_u64(tok)? as usize;
+                            Ok((w, w))
+                        }
+                    }
+                };
+                match rest.as_slice() {
+                    [] => LatencyModel::torus16(),
+                    [d] => {
+                        let (width, height) = dims(d)?;
+                        LatencyModel::Torus2D { width, height, base_ns: 50, hop_ns: 11 }
+                    }
+                    [d, base, hop] => {
+                        let (width, height) = dims(d)?;
+                        LatencyModel::Torus2D {
+                            width,
+                            height,
+                            base_ns: parse_u64(base)?,
+                            hop_ns: parse_u64(hop)?,
+                        }
+                    }
+                    _ => return Err(bad(s)),
+                }
+            }
+            _ => return Err(bad(s)),
+        };
+        model.validate()?;
+        Ok(model)
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +224,7 @@ mod tests {
             LatencyModel::Off,
             LatencyModel::Uniform { remote_ns: 500 },
             LatencyModel::epiphany16(),
+            LatencyModel::torus16(),
         ] {
             assert_eq!(m.delay_ns(3, 3), 0);
         }
@@ -118,6 +260,35 @@ mod tests {
     }
 
     #[test]
+    fn torus_wraps_both_dimensions() {
+        let m = LatencyModel::Torus2D { width: 4, height: 4, base_ns: 50, hop_ns: 10 };
+        // PE 0 = (0,0) -> PE 3 = (3,0): 1 hop via the wraparound link.
+        assert_eq!(m.delay_ns(0, 3), 50 + 10);
+        // PE 0 -> PE 12 = (0,3): 1 hop vertically.
+        assert_eq!(m.delay_ns(0, 12), 50 + 10);
+        // PE 0 -> PE 15 = (3,3): corner is 2 wrap hops.
+        assert_eq!(m.delay_ns(0, 15), 50 + 2 * 10);
+        // PE 0 -> PE 10 = (2,2): true middle, no shortcut (2+2 hops).
+        assert_eq!(m.delay_ns(0, 10), 50 + 4 * 10);
+        // Symmetry.
+        assert_eq!(m.delay_ns(15, 0), m.delay_ns(0, 15));
+    }
+
+    #[test]
+    fn torus_never_costs_more_than_mesh() {
+        let mesh = LatencyModel::Mesh2D { width: 4, base_ns: 50, hop_ns: 11 };
+        let torus = LatencyModel::Torus2D { width: 4, height: 4, base_ns: 50, hop_ns: 11 };
+        for from in 0..16 {
+            for to in 0..16 {
+                assert!(
+                    torus.delay_ns(from, to) <= mesh.delay_ns(from, to),
+                    "torus beat by mesh for {from}->{to}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn charge_actually_waits() {
         let m = LatencyModel::Uniform { remote_ns: 200_000 }; // 200µs
         let t0 = Instant::now();
@@ -133,9 +304,56 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_width_is_safe() {
+    fn zero_width_is_rejected_not_clamped() {
         let m = LatencyModel::Mesh2D { width: 0, base_ns: 1, hop_ns: 1 };
-        // width clamps to 1: a column topology.
-        assert_eq!(m.delay_ns(0, 3), 1 + 3);
+        let err = m.validate().unwrap_err();
+        assert!(err.contains("RUN0120"), "{err}");
+        for m in [
+            LatencyModel::Torus2D { width: 0, height: 4, base_ns: 1, hop_ns: 1 },
+            LatencyModel::Torus2D { width: 4, height: 0, base_ns: 1, hop_ns: 1 },
+        ] {
+            assert!(m.validate().unwrap_err().contains("RUN0120"));
+        }
+        // Valid models pass.
+        for m in [
+            LatencyModel::Off,
+            LatencyModel::xc40(),
+            LatencyModel::epiphany16(),
+            LatencyModel::torus16(),
+        ] {
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for m in [
+            LatencyModel::Off,
+            LatencyModel::Uniform { remote_ns: 1234 },
+            LatencyModel::Mesh2D { width: 7, base_ns: 5, hop_ns: 3 },
+            LatencyModel::Torus2D { width: 3, height: 5, base_ns: 9, hop_ns: 2 },
+        ] {
+            let label = m.to_string();
+            assert_eq!(label.parse::<LatencyModel>().unwrap(), m, "{label}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_shorthand_and_rejects_junk() {
+        assert_eq!("off".parse::<LatencyModel>().unwrap(), LatencyModel::Off);
+        assert_eq!("flat".parse::<LatencyModel>().unwrap(), LatencyModel::xc40());
+        assert_eq!("mesh".parse::<LatencyModel>().unwrap(), LatencyModel::epiphany16());
+        assert_eq!(
+            "mesh:8".parse::<LatencyModel>().unwrap(),
+            LatencyModel::Mesh2D { width: 8, base_ns: 50, hop_ns: 11 }
+        );
+        assert_eq!("torus".parse::<LatencyModel>().unwrap(), LatencyModel::torus16());
+        assert_eq!(
+            "torus:2x3:7:1".parse::<LatencyModel>().unwrap(),
+            LatencyModel::Torus2D { width: 2, height: 3, base_ns: 7, hop_ns: 1 }
+        );
+        for junk in ["", "wat", "mesh:0", "torus:0x3", "flat:abc", "mesh:1:2", "off:1"] {
+            assert!(junk.parse::<LatencyModel>().is_err(), "{junk} should be rejected");
+        }
     }
 }

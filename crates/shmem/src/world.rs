@@ -91,6 +91,20 @@ impl ShmemConfig {
         self.seed = s;
         self
     }
+
+    /// Check the whole configuration before a job is built: PE count,
+    /// heap size and latency-model parameters. [`World::new`] enforces
+    /// this, and driver layers call it to surface the error without
+    /// panicking.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_pes == 0 {
+            return Err("O NOES! [RUN0121] A JOB NEEDS AT LEAST ONE PE".to_string());
+        }
+        if self.heap_words == 0 {
+            return Err("O NOES! [RUN0122] DA SYMMETRIC HEAP CANNOT BE EMPTY".to_string());
+        }
+        self.latency.validate()
+    }
 }
 
 /// Reduction operators for [`Pe::reduce_i64`] / [`Pe::reduce_f64`].
@@ -119,8 +133,9 @@ pub struct World {
 impl World {
     /// Build the job state. (Usually called through [`run_spmd`].)
     pub fn new(cfg: ShmemConfig) -> Self {
-        assert!(cfg.n_pes >= 1, "a job needs at least one PE");
-        assert!(cfg.heap_words >= 1, "the symmetric heap cannot be empty");
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let heaps = (0..cfg.n_pes).map(|_| Heap::new(cfg.heap_words)).collect();
         World {
             central: CentralBarrier::new(cfg.n_pes),

@@ -1,0 +1,167 @@
+//! Property tests for the PGAS substrate's primitives, via the in-tree
+//! `proptest` stand-in: latency-model algebra (symmetry, zero-on-self),
+//! `CommStats` fold associativity, and barrier round-trips under random
+//! PE counts.
+
+use lol_shmem::{run_spmd, BarrierKind, CommStats, LatencyModel, ShmemConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Every latency model the generators can produce (valid params only;
+/// invalid ones are covered by the validation tests below).
+fn gen_model() -> BoxedStrategy<LatencyModel> {
+    prop_oneof![
+        Just(LatencyModel::Off),
+        (1u64..100_000).prop_map(|remote_ns| LatencyModel::Uniform { remote_ns }),
+        (1usize..12, 0u64..500, 0u64..50).prop_map(|(width, base_ns, hop_ns)| {
+            LatencyModel::Mesh2D { width, base_ns, hop_ns }
+        }),
+        (1usize..12, 1usize..12, 0u64..500, 0u64..50).prop_map(
+            |(width, height, base_ns, hop_ns)| LatencyModel::Torus2D {
+                width,
+                height,
+                base_ns,
+                hop_ns
+            }
+        ),
+    ]
+}
+
+fn gen_stats() -> BoxedStrategy<CommStats> {
+    (
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
+        (any::<u16>(), any::<u16>(), any::<u16>()),
+    )
+        .prop_map(|((lg, rg, lp, rp), (bg, bp, am, ba), (la, lt, lr))| CommStats {
+            local_gets: lg as u64,
+            remote_gets: rg as u64,
+            local_puts: lp as u64,
+            remote_puts: rp as u64,
+            block_get_words: bg as u64,
+            block_put_words: bp as u64,
+            amos: am as u64,
+            barriers: ba as u64,
+            lock_acquires: la as u64,
+            lock_tries: lt as u64,
+            lock_releases: lr as u64,
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `delay(a, b) == delay(b, a)` for every model: all modelled
+    /// interconnects are undirected.
+    #[test]
+    fn delay_is_symmetric(m in gen_model(), a in 0usize..256, b in 0usize..256) {
+        prop_assert_eq!(m.delay_ns(a, b), m.delay_ns(b, a), "{:?} {} {}", m, a, b);
+    }
+
+    /// A PE talking to itself is always free.
+    #[test]
+    fn delay_is_zero_on_self(m in gen_model(), a in 0usize..256) {
+        prop_assert_eq!(m.delay_ns(a, a), 0, "{:?} {}", m, a);
+    }
+
+    /// Remote access under a validated model never underflows/panics
+    /// and `Off` is always free.
+    #[test]
+    fn delay_is_total_and_off_is_free(m in gen_model(), a in 0usize..256, b in 0usize..256) {
+        m.validate().unwrap();
+        let d = m.delay_ns(a, b);
+        if matches!(m, LatencyModel::Off) {
+            prop_assert_eq!(d, 0);
+        }
+    }
+
+    /// Torus wraparound can only shorten paths relative to the same
+    /// mesh, never lengthen them.
+    #[test]
+    fn torus_never_costs_more_than_mesh(
+        width in 1usize..10,
+        height in 1usize..10,
+        hop_ns in 1u64..40,
+        a in 0usize..100,
+        b in 0usize..100,
+    ) {
+        let mesh = LatencyModel::Mesh2D { width, base_ns: 10, hop_ns };
+        let torus = LatencyModel::Torus2D { width, height, base_ns: 10, hop_ns };
+        // Compare only PEs whose row index agrees between the two
+        // layouts (the torus wraps rows modulo `height`).
+        if (a / width) < height && (b / width) < height {
+            prop_assert!(torus.delay_ns(a, b) <= mesh.delay_ns(a, b));
+        }
+    }
+
+    /// CommStats folding is associative and commutative, with the
+    /// default value as identity — so job-wide totals don't depend on
+    /// the order PEs are folded in.
+    #[test]
+    fn stats_fold_is_associative(a in gen_stats(), b in gen_stats(), c in gen_stats()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + CommStats::default(), a);
+        // `Sum` over any ordering agrees with pairwise `+`.
+        let s1: CommStats = [a, b, c].iter().sum();
+        let s2: CommStats = [c, a, b].iter().sum();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(s1, a + b + c);
+    }
+}
+
+proptest! {
+    // Each case spins up a real SPMD job; keep the count tame.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Barrier round-trip under random PE counts and both algorithms:
+    /// every PE observes every other PE's pre-barrier write after each
+    /// episode, and per-PE barrier counts agree exactly.
+    #[test]
+    fn barrier_round_trips_under_random_pe_counts(
+        n in 1usize..17,
+        episodes in 1u64..4,
+        dissemination in any::<bool>(),
+    ) {
+        let kind = if dissemination { BarrierKind::Dissemination } else { BarrierKind::Centralized };
+        let cfg = ShmemConfig::new(n).barrier(kind).timeout(Duration::from_secs(20));
+        let stats = run_spmd(cfg, |pe| {
+            let slot = pe.shmalloc(1);
+            for round in 1..=episodes {
+                pe.put_i64(slot, pe.id(), round as i64);
+                pe.barrier_all();
+                for other in 0..pe.n_pes() {
+                    let seen = pe.get_i64(slot, other);
+                    assert!(
+                        seen >= round as i64,
+                        "PE {} saw PE {other} at round {seen} < {round}",
+                        pe.id()
+                    );
+                }
+                pe.barrier_all();
+            }
+            pe.stats()
+        })
+        .unwrap();
+        // shmalloc adds one implicit barrier; then 2 per episode.
+        let want = 1 + 2 * episodes;
+        for (id, s) in stats.iter().enumerate() {
+            prop_assert_eq!(s.barriers, want, "PE {} barrier count ({:?})", id, kind);
+        }
+    }
+}
+
+#[test]
+fn invalid_latency_model_fails_job_construction() {
+    let cfg = ShmemConfig::new(2).latency(LatencyModel::Mesh2D { width: 0, base_ns: 1, hop_ns: 1 });
+    let err = cfg.validate().unwrap_err();
+    assert!(err.contains("RUN0120"), "{err}");
+    // World::new enforces the same thing with a panic.
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = lol_shmem::World::new(cfg);
+    }))
+    .unwrap_err();
+    let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("RUN0120"), "{msg}");
+}

@@ -4,7 +4,8 @@
 //! remote reads (`TXT MAH BFF`), hugs, and updates its segment.
 //!
 //! Demonstrates the read-barrier-compute-write-barrier discipline that
-//! Figure 2 of the paper motivates.
+//! Figure 2 of the paper motivates, and drives the PE scaling curve
+//! through [`SweepSpec`] so the run prints a speedup table for free.
 //!
 //! ```text
 //! cargo run --release --example heat_1d [n_pes] [steps]
@@ -95,10 +96,15 @@ fn main() {
     println!("1D heat: {n_pes} PEs x {CELLS} cells, {steps} steps\n");
     let src = program(steps);
     let artifact = compile(&src).expect("compile failed");
-    let report = engine_for(Backend::Interp)
-        .run(&artifact, &RunConfig::new(n_pes))
-        .expect("diffusion failed");
-    let outputs = &report.outputs;
+
+    // Sweep the PE scaling curve up to n_pes on one artifact; the
+    // physics checks below run on the sweep's final (largest) config.
+    let report = SweepSpec::over(RunConfig::new(1))
+        .pes((1..=n_pes).filter(|p| *p == n_pes || n_pes.is_multiple_of(*p)))
+        .run(&artifact);
+    println!("{}", report.speedup_table());
+    let last = report.entries.last().expect("sweep is nonempty");
+    let outputs = &last.result.as_ref().expect("diffusion failed").outputs;
     let mut total = 0.0f64;
     for out in outputs {
         print!("{out}");

@@ -1,0 +1,57 @@
+//! Latency-model sweep over the locality-sensitive corpus workloads:
+//! the 2-D heat stencil (nearest-neighbour halo traffic) and the
+//! parallel histogram (all-to-all gather) under `off`, flat (Cray
+//! analog), mesh (Epiphany eMesh analog) and torus interconnects.
+//!
+//! The point the paper makes with two real machines, reproduced with
+//! one [`SweepSpec`] axis: nearest-neighbour algorithms barely feel a
+//! mesh, all-to-all algorithms pay the full diameter — and a torus's
+//! wraparound links claw part of that back.
+//!
+//! ```text
+//! cargo run --release --example latency_sweep [n_pes]
+//! ```
+
+use icanhas::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_pes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let workloads = [
+        ("heat2d (nearest-neighbour)", corpus::heat2d_source(3, 8, 30)),
+        ("histogram (all-to-all)", corpus::histogram_source(16, 200)),
+    ];
+    let models = [
+        LatencyModel::Off,
+        LatencyModel::xc40(),
+        LatencyModel::Mesh2D { width: 4, base_ns: 200, hop_ns: 400 },
+        LatencyModel::Torus2D { width: 4, height: 4, base_ns: 200, hop_ns: 400 },
+    ];
+
+    for (name, src) in workloads {
+        println!("== {name}: {n_pes} PEs ==");
+        let artifact = compile(&src).expect("compile failed");
+        let report = SweepSpec::over(RunConfig::new(n_pes).backend(Backend::Vm))
+            .latencies(models)
+            .run(&artifact);
+        assert!(report.all_ok(), "{}", report.speedup_table());
+        for e in &report.entries {
+            let r = e.result.as_ref().unwrap();
+            let t = r.total_stats();
+            println!(
+                "  {:<16} wall {:>10.1?}  remote ops {:>6}  remote fraction {:>5.1}%",
+                e.config.latency.to_string(),
+                r.wall,
+                t.remote_gets + t.remote_puts,
+                100.0 * t.remote_fraction(),
+            );
+        }
+        // Same program, same answers, whatever the interconnect costs.
+        let outs: Vec<_> =
+            report.entries.iter().map(|e| &e.result.as_ref().unwrap().outputs).collect();
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "latency must not change results");
+        println!();
+    }
+    println!("KTHXBYE");
+}

@@ -2,6 +2,11 @@
 //! configuration: 32 particles per PE, 10 timesteps, 16 PEs (the
 //! Parallella's Epiphany-III core count, simulated as threads).
 //!
+//! This is the sweep-subsystem showcase: one `Compiled` artifact, a
+//! [`SweepSpec`] over backends × PE counts, and the aggregated
+//! [`SweepReport`] speedup table — the paper's scaling-figure workflow
+//! as a single builder chain instead of hand-rolled loops.
+//!
 //! ```text
 //! cargo run --release --example nbody [n_pes] [particles] [steps]
 //! ```
@@ -16,47 +21,54 @@ fn main() {
 
     let src = corpus::nbody_source(particles, steps);
     println!(
-        "2D n-body: {n_pes} PEs x {particles} particles, {steps} steps \
+        "2D n-body: up to {n_pes} PEs x {particles} particles, {steps} steps \
          (paper config: 16 x 32, 10)"
     );
 
-    // One artifact for both backends; the report's wall clock covers
-    // the SPMD job only, so the comparison is pure execution cost.
+    // One artifact; the sweep runs it on both backends across a PE
+    // scaling curve (1, 2, 4, ... up to n_pes).
     let artifact = compile(&src).expect("compile failed");
-    let cfg = RunConfig::new(n_pes).seed(2017);
+    let mut pes = Vec::new();
+    let mut p = 1;
+    while p < n_pes {
+        pes.push(p);
+        p *= 2;
+    }
+    pes.push(n_pes);
+    let report = SweepSpec::over(RunConfig::new(1).seed(2017))
+        .backends([Backend::Interp, Backend::Vm])
+        .pes(pes)
+        .run(&artifact);
 
-    // Interpreted run (the lci-like path).
-    let interp = engine_for(Backend::Interp).run(&artifact, &cfg).expect("interpreter run failed");
-    println!("interpreter: {:?}", interp.wall);
+    println!("\n{}", report.speedup_table());
 
-    // Compiled (bytecode VM) run — the paper's "compiler is more
-    // efficient than an interpreter" path.
-    let vm = engine_for(Backend::Vm).run(&artifact, &cfg).expect("vm run failed");
-    println!("compiled VM: {:?}", vm.wall);
-    println!(
-        "speedup (compiled over interpreted): {:.2}x",
-        interp.wall.as_secs_f64() / vm.wall.as_secs_f64()
-    );
-
-    assert_eq!(interp.outputs, vm.outputs, "backends must agree bit-for-bit");
+    // The paper's headline: the compiled path wins at every size.
+    let half = report.entries.len() / 2;
+    let (interp, vm) = report.entries.split_at(half);
+    for (a, b) in interp.iter().zip(vm) {
+        let (ra, rb) = (a.result.as_ref().expect("interp run"), b.result.as_ref().expect("vm run"));
+        assert_eq!(ra.outputs, rb.outputs, "backends must agree bit-for-bit");
+        println!(
+            "{:>3} PEs: interp {:>10.1?}  vm {:>10.1?}  compiled speedup {:.2}x",
+            a.config.n_pes,
+            ra.wall,
+            rb.wall,
+            ra.wall.as_secs_f64() / rb.wall.as_secs_f64()
+        );
+    }
 
     // The remote-force phase dominates communication: O(steps·n²·(P-1))
     // remote gets per PE, visible directly in the report.
+    let last = interp.last().unwrap().result.as_ref().unwrap();
     println!(
-        "remote gets/PE: {} (O(steps*n^2*(P-1)) all-to-all force phase)",
-        interp.stats[0].remote_gets
+        "\nremote gets/PE at {} PEs: {} (O(steps*n^2*(P-1)) all-to-all force phase)",
+        last.n_pes(),
+        last.stats[0].remote_gets
     );
-
-    // Show PE 0's output (greeting + final particle positions).
-    println!("\n--- PE 0 output (first 6 lines) ---");
-    for line in interp.outputs[0].lines().take(6) {
-        println!("{line}");
-    }
-    println!("...");
 
     // Physics sanity: all final positions finite.
     let mut n_positions = 0;
-    for out in &interp.outputs {
+    for out in &last.outputs {
         for line in out.lines().skip(2) {
             for tok in line.split_whitespace() {
                 let v: f64 = tok.parse().expect("position should be numeric");
@@ -65,5 +77,5 @@ fn main() {
             }
         }
     }
-    println!("\n{} finite coordinates across {} PEs — KTHXBYE", n_positions, n_pes);
+    println!("{} finite coordinates across {} PEs — KTHXBYE", n_positions, last.n_pes());
 }

@@ -55,6 +55,7 @@ pub mod prelude {
     pub use lolcode::corpus;
     pub use lolcode::{
         check, compile, compile_to_c, engine_for, parse_program, run_source, Backend, Compiled,
-        Engine, InterpEngine, LolError, RunConfig, RunReport, VmEngine,
+        Engine, InterpEngine, LolError, RunConfig, RunReport, SweepEntry, SweepReport, SweepSpec,
+        VmEngine,
     };
 }

@@ -9,6 +9,7 @@
 //! across a config sweep without re-running the front end.
 
 use icanhas::prelude::*;
+use proptest::TestRng;
 use std::time::Duration;
 
 /// Every corpus program (name, source, max PE count to sweep).
@@ -19,6 +20,8 @@ fn corpus_programs() -> Vec<(&'static str, String, usize)> {
         ("locks", corpus::LOCKS_EXAMPLE.to_string(), 8),
         ("barrier", corpus::BARRIER_EXAMPLE.to_string(), 8),
         ("trylock", corpus::TRYLOCK_EXAMPLE.to_string(), 8),
+        ("heat2d", corpus::heat2d_source(2, 4, 3), 8),
+        ("histogram", corpus::histogram_source(4, 12), 8),
         ("nbody", corpus::nbody_source(4, 2), 4),
     ]
 }
@@ -69,6 +72,205 @@ fn every_corpus_program_agrees_across_engines_and_seeds() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Grammar-based differential testing
+// ---------------------------------------------------------------------
+
+/// A small seeded LOLCODE generator (no `SRS`) covering constructs the
+/// `backend_equivalence.rs` proptest generator doesn't reach: `MAEK`
+/// casts, `IS NOW A`, `WTF?` switches, `NERFIN`/`WILE` loops, seeded
+/// `WHATEVR`, and a barrier-fenced remote-read phase (`TXT MAH BFF` /
+/// `UR`). Generation is plain weighted recursion over one [`TestRng`],
+/// so the whole 200-program battery reproduces from its seed.
+struct ProgramGen {
+    rng: TestRng,
+    next_loop: u32,
+}
+
+impl ProgramGen {
+    fn new(seed: u64) -> Self {
+        ProgramGen { rng: TestRng::from_seed(seed), next_loop: 0 }
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.rng.below(options.len() as u64) as usize]
+    }
+
+    /// An expression of bounded depth over vars `v0..v4`, the local
+    /// shared instance `s0`, the gathered remote value `g0`, and the
+    /// array `a0`.
+    fn expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.below(3) == 0 {
+            return match self.rng.below(9) {
+                0 => (self.rng.below(200) as i64 - 100).to_string(),
+                1 => format!("v{}", self.rng.below(5)),
+                2 => "s0".to_string(),
+                3 => "g0".to_string(),
+                4 => format!("a0'Z {}", self.rng.below(8)),
+                5 => "ME".to_string(),
+                6 => "MAH FRENZ".to_string(),
+                7 => self.pick(&["WIN", "FAIL"]).to_string(),
+                // Numeric YARNs: LOLCODE's weak casts let them flow
+                // through arithmetic instead of faulting everything.
+                _ => format!("\"{}\"", self.pick(&["42", "7", "0", "31"])),
+            };
+        }
+        match self.rng.below(8) {
+            0 | 1 => {
+                let op = self.pick(&["SUM OF", "DIFF OF", "PRODUKT OF", "BIGGR OF", "SMALLR OF"]);
+                format!("{op} {} AN {}", self.expr(depth - 1), self.expr(depth - 1))
+            }
+            2 => {
+                let op = self.pick(&["BOTH SAEM", "DIFFRINT"]);
+                format!("{op} {} AN {}", self.expr(depth - 1), self.expr(depth - 1))
+            }
+            3 => {
+                let op = self.pick(&["BOTH OF", "EITHER OF", "WON OF"]);
+                format!("{op} {} AN {}", self.expr(depth - 1), self.expr(depth - 1))
+            }
+            4 => format!("NOT {}", self.expr(depth - 1)),
+            5 => {
+                let ty = self.pick(&["NUMBR", "YARN", "TROOF"]);
+                format!("MAEK {} A {ty}", self.expr(depth - 1))
+            }
+            6 => format!("SMOOSH {} AN {} MKAY", self.expr(depth - 1), self.expr(depth - 1)),
+            // Seeded per-PE stream: same seed => same values on both
+            // engines. Keep it bounded so arithmetic stays tame.
+            _ => "MOD OF WHATEVR AN 97".to_string(),
+        }
+    }
+
+    /// One statement; `depth` bounds nesting.
+    fn stmt(&mut self, depth: u32) -> String {
+        let simple_kinds = 6u64;
+        let kinds = if depth == 0 { simple_kinds } else { simple_kinds + 3 };
+        match self.rng.below(kinds) {
+            0 => format!("v{} R {}", self.rng.below(5), self.expr(2)),
+            1 => format!("VISIBLE {}", self.expr(2)),
+            2 => format!("s0 R {}", self.expr(2)),
+            3 => format!("a0'Z {} R {}", self.rng.below(8), self.expr(2)),
+            4 => self.expr(2), // bare expression: sets IT
+            5 => {
+                let ty = self.pick(&["NUMBR", "YARN", "TROOF"]);
+                format!("v{} IS NOW A {ty}", self.rng.below(5))
+            }
+            6 => {
+                // O RLY? with optional MEBBE arm.
+                let cond = self.expr(2);
+                let yes = self.block(depth - 1);
+                let no = self.block(depth - 1);
+                if self.rng.below(2) == 0 {
+                    let mebbe_cond = self.expr(1);
+                    let mebbe = self.block(depth - 1);
+                    format!(
+                        "{cond}, O RLY?\nYA RLY\n{yes}\nMEBBE {mebbe_cond}\n{mebbe}\nNO WAI\n{no}\nOIC"
+                    )
+                } else {
+                    format!("{cond}, O RLY?\nYA RLY\n{yes}\nNO WAI\n{no}\nOIC")
+                }
+            }
+            7 => {
+                // Bounded counted loop, UPPIN/NERFIN x TIL/WILE.
+                let id = self.next_loop;
+                self.next_loop += 1;
+                let body = self.block(depth - 1);
+                let n = 1 + self.rng.below(3);
+                if self.rng.below(2) == 0 {
+                    format!(
+                        "IM IN YR lp{id} UPPIN YR x{id} TIL BOTH SAEM x{id} AN {n}\n{body}\nIM OUTTA YR lp{id}"
+                    )
+                } else {
+                    format!(
+                        "IM IN YR lp{id} NERFIN YR x{id} WILE DIFFRINT x{id} AN -{n}\n{body}\nIM OUTTA YR lp{id}"
+                    )
+                }
+            }
+            _ => {
+                // WTF? switch on IT with literal arms.
+                let scrutinee = self.expr(2);
+                let a = self.block(depth - 1);
+                let b = self.block(depth - 1);
+                let d = self.block(depth - 1);
+                format!(
+                    "MOD OF MAEK {scrutinee} A NUMBR AN 3\nWTF?\nOMG 0\n{a}\nGTFO\nOMG 1\n{b}\nGTFO\nOMGWTF\n{d}\nOIC"
+                )
+            }
+        }
+    }
+
+    fn block(&mut self, depth: u32) -> String {
+        let n = 1 + self.rng.below(3);
+        (0..n).map(|_| self.stmt(depth)).collect::<Vec<_>>().join("\n")
+    }
+
+    /// A whole program: local phase, barrier, deterministic remote-read
+    /// phase (reads a neighbour's `s0` *after* a HUGZ with no
+    /// subsequent writes), barrier, second local phase, then print
+    /// every variable so divergence anywhere becomes visible output.
+    fn program(&mut self) -> String {
+        let decls: String = (0..5)
+            .map(|i| format!("I HAS A v{i} ITZ {}\n", self.rng.below(100) as i64 - 50))
+            .collect();
+        let phase1 = self.block(2);
+        let phase2 = self.block(2);
+        format!(
+            "HAI 1.2\n\
+             WE HAS A s0 ITZ SRSLY A NUMBR\n\
+             I HAS A a0 ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\n\
+             I HAS A g0 ITZ 0\n\
+             {decls}{phase1}\n\
+             s0 R SUM OF PRODUKT OF ME AN 10 AN v0\n\
+             HUGZ\n\
+             TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ, g0 R UR s0\n\
+             HUGZ\n\
+             {phase2}\n\
+             SUM OF v0 AN 1\n\
+             VISIBLE v0 \" \" v1 \" \" v2 \" \" v3 \" \" v4 \" \" s0 \" \" g0 \" \" IT\n\
+             KTHXBYE\n"
+        )
+    }
+}
+
+/// ~200 generated programs, each compiled once and driven through both
+/// engines at 1 and 3 PEs: per-PE outputs must match byte-for-byte, or
+/// both engines must fault. Extends the corpus-pinned coverage above
+/// with grammar-directed coverage of casts, switches and loop forms.
+#[test]
+fn generated_grammar_programs_agree_across_engines() {
+    let mut gen = ProgramGen::new(0x1CA4_BEEF);
+    let mut compiled = 0usize;
+    let mut faulted = 0usize;
+    for case in 0..200 {
+        let src = gen.program();
+        // The generator can produce semantically invalid programs
+        // (e.g. YARN maths at analysis time); both engines share the
+        // front end, so those reject identically by construction.
+        let Ok(artifact) = compile(&src) else { continue };
+        compiled += 1;
+        for n_pes in [1usize, 3] {
+            let cfg = RunConfig::new(n_pes).seed(case as u64).timeout(Duration::from_secs(20));
+            let a = InterpEngine.run(&artifact, &cfg);
+            let b = VmEngine.run(&artifact, &cfg);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    x.outputs, y.outputs,
+                    "case {case}: engine divergence at {n_pes} PEs on:\n{src}"
+                ),
+                (Err(_), Err(_)) => faulted += 1, // both faulted: fine
+                (a, b) => panic!(
+                    "case {case}: one backend faulted at {n_pes} PEs: {:?} vs {:?}\n{src}",
+                    a.map(|r| r.outputs),
+                    b.map(|r| r.outputs)
+                ),
+            }
+        }
+    }
+    // The battery must mostly exercise the *run* path, not die in the
+    // front end or at runtime.
+    assert!(compiled >= 150, "only {compiled}/200 programs compiled — generator drifted");
+    assert!(faulted <= compiled / 2, "{faulted} runtime faults in {compiled} programs");
 }
 
 #[test]

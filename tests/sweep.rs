@@ -1,0 +1,133 @@
+//! Sweep-orchestrator integration tests: determinism across worker
+//! counts, stable-JSON byte-identity, and (ignored by default) the
+//! wall-clock win from running independent configs concurrently.
+
+use icanhas::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A workload whose *duration* varies per config: the seeded `WHATEVR`
+/// picks the iteration count, so different seeds/PE counts finish at
+/// different times and a racing worker pool completes them out of
+/// order — exactly what the config-order result contract must absorb.
+const RANDOM_DURATION: &str = "\
+HAI 1.2
+I HAS A n ITZ SUM OF 2000 AN MOD OF WHATEVR AN 8000
+I HAS A acc ITZ SRSLY A NUMBR AN ITZ 0
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN n
+  acc R SUM OF acc AN MOD OF PRODUKT OF i AN 7 AN 13
+IM OUTTA YR l
+VISIBLE \"PE \" ME \" DID \" n \" ITERASHUNS, ACC \" acc
+KTHXBYE
+";
+
+fn spec() -> SweepSpec {
+    SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(60)))
+        .pes([1, 2, 3, 4])
+        .seeds([11, 12, 13])
+        .backends([Backend::Interp, Backend::Vm])
+}
+
+#[test]
+fn sweep_is_deterministic_across_job_counts() {
+    let artifact = compile(RANDOM_DURATION).unwrap();
+    let serial = spec().jobs(1).run(&artifact);
+    let racing = spec().jobs(4).run(&artifact);
+    assert_eq!(serial.entries.len(), 24);
+    assert_eq!(racing.entries.len(), 24);
+    for (i, (a, b)) in serial.entries.iter().zip(&racing.entries).enumerate() {
+        // Same config in the same slot...
+        assert_eq!(a.config.n_pes, b.config.n_pes, "slot {i}");
+        assert_eq!(a.config.seed, b.config.seed, "slot {i}");
+        assert_eq!(a.config.backend, b.config.backend, "slot {i}");
+        // ...with identical per-PE outputs and communication shape.
+        let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        assert_eq!(ra.outputs, rb.outputs, "slot {i}");
+        assert_eq!(ra.stats, rb.stats, "slot {i}");
+    }
+    // The timing-free JSON renderings are byte-identical.
+    assert_eq!(serial.to_json_stable(), racing.to_json_stable());
+    // And a re-run of the same sweep reproduces them again.
+    let again = spec().jobs(4).run(&artifact);
+    assert_eq!(again.to_json_stable(), racing.to_json_stable());
+}
+
+#[test]
+fn sweep_interleaves_backends_without_cross_talk() {
+    // Interp and VM configs race on the same artifact (and trigger the
+    // lazy VM lowering concurrently); outputs must still match the
+    // engine-equivalence contract pairwise.
+    let artifact = compile(RANDOM_DURATION).unwrap();
+    let report = spec().jobs(6).run(&artifact);
+    let (interp, vm) = report.entries.split_at(12);
+    for (a, b) in interp.iter().zip(vm) {
+        assert_eq!(a.config.n_pes, b.config.n_pes);
+        assert_eq!(a.config.seed, b.config.seed);
+        assert_eq!(
+            a.result.as_ref().unwrap().outputs,
+            b.result.as_ref().unwrap().outputs,
+            "engines diverge at {} PEs seed {}",
+            a.config.n_pes,
+            a.config.seed
+        );
+    }
+}
+
+/// The checked-in program CI's smoke sweep runs (`corpus/heat2d_4x8.lol`)
+/// must stay in sync with the corpus generator it was written from, and
+/// the exact CI sweep spec must succeed against it.
+#[test]
+fn checked_in_heat2d_matches_corpus_and_ci_sweep_passes() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/heat2d_4x8.lol");
+    let on_disk = std::fs::read_to_string(path).expect("corpus/heat2d_4x8.lol exists");
+    assert_eq!(
+        on_disk,
+        corpus::heat2d_source(4, 8, 20),
+        "regenerate corpus/heat2d_4x8.lol from corpus::heat2d_source(4, 8, 20)"
+    );
+    let artifact = compile(&on_disk).unwrap();
+    // Same matrix as .github/workflows/ci.yml: pes=1..4, both backends.
+    let report = SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(60)))
+        .pes([1, 2, 3, 4])
+        .backends([Backend::Interp, Backend::Vm])
+        .jobs(2)
+        .run(&artifact);
+    assert!(report.all_ok(), "{}", report.speedup_table());
+    assert_eq!(report.entries.len(), 8);
+}
+
+/// Acceptance check for the scheduler's point: ≥8 configs of a
+/// non-trivial corpus program complete measurably faster on 4 workers
+/// than on 1, with byte-identical stable reports. Timing-sensitive, so
+/// ignored by default — run with `cargo test -- --ignored sweep_scales`.
+#[test]
+#[ignore = "timing-sensitive; run explicitly: cargo test -- --ignored"]
+fn sweep_scales_with_worker_count() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 2 {
+        eprintln!("skipping: {cores} core(s) cannot demonstrate worker-pool speedup");
+        return;
+    }
+    let artifact = compile(&corpus::nbody_source(10, 3)).unwrap();
+    let spec = SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(120)))
+        .pes([1, 2])
+        .seeds([1, 2])
+        .backends([Backend::Interp, Backend::Vm]); // 8 configs
+    assert!(spec.configs().len() >= 8);
+
+    let t0 = Instant::now();
+    let serial = spec.clone().jobs(1).run(&artifact);
+    let serial_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let parallel = spec.jobs(4).run(&artifact);
+    let parallel_wall = t1.elapsed();
+
+    assert!(serial.all_ok() && parallel.all_ok());
+    assert_eq!(serial.to_json_stable(), parallel.to_json_stable());
+    // Loose: 4 workers must beat 1 worker by a real margin (the jobs
+    // are seconds-scale compute, so scheduling noise is small).
+    assert!(
+        parallel_wall < serial_wall.mul_f64(0.8),
+        "no speedup from workers: serial {serial_wall:?} vs parallel {parallel_wall:?}"
+    );
+}
