@@ -40,6 +40,7 @@ fn bench_ring(c: &mut Criterion) {
             let name = match backend {
                 Backend::Interp => "interp_words",
                 Backend::Vm => "vm_words",
+                other => unreachable!("ring bench sweeps interp/vm only, got {other}"),
             };
             g.bench_with_input(BenchmarkId::new(name, words), &words, |b, _| {
                 b.iter(|| engine.run(&artifact, &cfg).expect("ring run failed").outputs)

@@ -5,20 +5,28 @@
 //! ```
 //!
 //! Translates parallel LOLCODE to C with OpenSHMEM calls. With
-//! `--stub`, also writes a single-PE `shmem.h` stub next to the output
-//! so the result builds on machines without an OpenSHMEM installation:
+//! `--stub`, also writes the multi-PE pthread `shmem.h` stub next to
+//! the output so the result builds *and runs SPMD* on machines without
+//! an OpenSHMEM installation:
 //!
 //! ```text
 //! lcc code.lol -o prog.c --stub
-//! cc -std=c99 -I. prog.c -lm -o prog && ./prog
+//! cc -std=c99 -I. prog.c -lm -pthread -o prog
+//! ./prog                         # 1 PE, stdout
+//! LOL_STUB_NPES=8 ./prog         # 8 PE threads
 //! ```
+//!
+//! (`lolrun --backend c` drives exactly this pipeline automatically,
+//! with per-PE output capture.)
 
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: lcc <input.lol> [-o <output.c>] [--stub] [--check]
   -o <file>   write C output here (default: stdout)
-  --stub      also write a single-PE shmem.h stub beside the output
+  --stub      also write the multi-PE pthread shmem.h stub beside the
+              output (build: cc -std=c99 -I. out.c -lm -pthread;
+              run N PEs: LOL_STUB_NPES=N ./a.out)
   --check     parse + analyze only; print warnings, emit nothing
 ";
 

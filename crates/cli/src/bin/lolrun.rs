@@ -1,33 +1,40 @@
 //! `lolrun` — the SPMD launcher, the `coprsh -np 16 ./executable.x` /
-//! `aprun` analog from Section VI.E, except it runs parallel LOLCODE
-//! directly on the thread-based PGAS substrate:
+//! `aprun` analog from Section VI.E, running parallel LOLCODE on any
+//! registered engine: the thread-based PGAS substrate (interp/vm) or
+//! the `lcc`-emitted C binary over the SHMEM stub (c):
 //!
 //! ```text
 //! lolrun -np 16 code.lol
 //! lolrun -np 8 --stats code.lol            # per-PE comm statistics
-//! lolrun -np 4 --backend both code.lol     # run interp AND vm, diff
-//! lolrun --sweep "pes=1..8;seeds=3" code.lol       # scaling table
-//! lolrun --sweep "pes=1..8" --json code.lol        # machine-readable
+//! lolrun -np 4 --backend c code.lol        # the paper's C path
+//! lolrun --sweep "pes=1..8;seeds=3" code.lol           # scaling table
+//! lolrun --sweep "pes=1..8;backend=all" --json code.lol
+//! lolrun --sweep "pes=1..64" --json-lines code.lol     # stream JSONL
 //! ```
 //!
-//! The program is compiled once (parse + sema + optional bytecode
+//! The program is compiled once (parse + sema + lazy bytecode/C
 //! lowering) and the resulting artifact is run on the selected
-//! engine(s); `--backend both` executes the *same* artifact on both,
-//! and `--sweep` fans a whole config matrix out over a worker pool.
+//! engine(s); `--sweep` fans a whole config matrix out over a worker
+//! pool under a global thread budget. The old `--backend both` is
+//! deprecated sugar for a two-backend sweep.
 
 use lolcode::{
-    compile, engine_for, Backend, Compiled, LatencyModel, RunConfig, RunReport, SweepSpec,
+    compile, engine_for, jsonl_record, Backend, Compiled, LatencyModel, RunConfig, RunReport,
+    SweepSpec,
 };
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lolrun [-np <N>] [--backend interp|vm|both] [--seed <u64>]
+usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
               [--latency <model>] [--tag] [--stats]
-              [--sweep <spec>] [--jobs <N>] [--json] <input.lol>
+              [--sweep <spec>] [--jobs <N>] [--json|--json-lines]
+              <input.lol>
   -np <N>          number of processing elements (default 4)
-  --backend <b>    interp (default), vm (compiled bytecode), or both
-                   (run the same compiled artifact on both engines and
-                   verify their outputs match)
+  --backend <b>    interp (default), vm (compiled bytecode), or c
+                   (lcc-emitted C + SHMEM stub, compiled by the system
+                   C compiler and run as a native binary).
+                   `both` is deprecated: it now warns and forwards to
+                   an equivalent --sweep \"backend=interp,vm\" run
   --seed <u64>     RNG seed for WHATEVR/WHATEVAR (default 0xC47F00D)
   --latency <m>    off (default), mesh[:W[:BASE:HOP]] (Epiphany eMesh
                    analog), torus[:WxH[:BASE:HOP]] (wraparound mesh),
@@ -41,15 +48,22 @@ usage: lolrun [-np <N>] [--backend interp|vm|both] [--seed <u64>]
                      seeds=3                  3 seeds off the base seed
                      seeds=7,9 or seeds=0..2  explicit seed values
                      latency=off,mesh:4       latency models
-                     backend=interp|vm|both   engines to sweep
+                     backend=interp,vm,c      engines to sweep (also:
+                                              both = interp,vm / all)
                      jobs=4                   worker cap
-                   e.g. --sweep \"pes=1..16;seeds=3;latency=off,mesh:4\"
+                     threads=8                global PE-thread budget
+                   e.g. --sweep \"pes=1,2,4;backend=interp,vm,c\"
                    Unset axes inherit -np/--seed/--latency/--backend.
   --jobs <N>       cap concurrent sweep jobs (default: min(cores,
-                   number of configs)). Use --jobs 1 when the wall/
-                   speedup columns are the result: concurrent jobs
-                   contend for cores and bias each other's timings
+                   number of configs)); jobs are additionally gated so
+                   in-flight PEs fit the thread budget. Use --jobs 1
+                   when the wall/speedup columns are the result:
+                   concurrent jobs contend for cores and bias each
+                   other's timings
   --json           with --sweep: emit the report as JSON on stdout
+  --json-lines     with --sweep: stream one JSONL record per config as
+                   it completes (resumable/inspectable mid-run), plus
+                   a final summary record
 ";
 
 enum BackendChoice {
@@ -69,6 +83,7 @@ fn main() -> ExitCode {
     let mut sweep: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut json = false;
+    let mut json_lines = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -87,12 +102,16 @@ fn main() -> ExitCode {
             "--backend" => {
                 i += 1;
                 backend = match args.get(i).map(|s| s.as_str()) {
-                    Some("interp") => BackendChoice::One(Backend::Interp),
-                    Some("vm") => BackendChoice::One(Backend::Vm),
                     Some("both") => BackendChoice::Both,
-                    other => {
-                        let got = other.unwrap_or("(nothing)");
-                        eprintln!("O NOES! --backend IZ interp, vm OR both, NOT {got}\n{USAGE}");
+                    Some(name) => match name.parse::<Backend>() {
+                        Ok(b) => BackendChoice::One(b),
+                        Err(_) => {
+                            eprintln!("O NOES! --backend IZ interp, vm OR c, NOT {name}\n{USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("O NOES! --backend IZ interp, vm OR c, NOT (nothing)\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -144,6 +163,7 @@ fn main() -> ExitCode {
                 };
             }
             "--json" => json = true,
+            "--json-lines" => json_lines = true,
             "--tag" => tag = true,
             "--stats" => stats = true,
             "-h" | "--help" => {
@@ -200,6 +220,11 @@ fn main() -> ExitCode {
     let mut cfg = RunConfig::new(n_pes).seed(seed).latency(latency);
     cfg.input = stdin_lines;
 
+    if json && json_lines {
+        eprintln!("O NOES! PICK --json OR --json-lines, NOT BOTH\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+
     if let Some(spec) = sweep {
         if stats || tag {
             eprintln!(
@@ -209,36 +234,67 @@ fn main() -> ExitCode {
         }
         let base = match &backend {
             BackendChoice::One(b) => cfg.clone().backend(*b),
-            BackendChoice::Both => cfg.clone(),
+            BackendChoice::Both => {
+                warn_both_deprecated();
+                cfg.clone()
+            }
         };
         let both = matches!(backend, BackendChoice::Both);
-        return run_sweep(&artifact, &spec, base, both, jobs, json);
+        return run_sweep(&artifact, &spec, base, both, jobs, json, json_lines);
     }
-    if jobs.is_some() || json {
-        eprintln!("O NOES! --jobs AN --json ONLY MEAN SOMETHING WIF --sweep\n{USAGE}");
-        return ExitCode::FAILURE;
-    }
-
     match backend {
-        BackendChoice::One(b) => match engine_for(b).run(&artifact, &cfg.backend(b)) {
-            Ok(report) => {
-                print_outputs(&report, tag);
-                if stats {
-                    print_stats(&report);
+        BackendChoice::One(b) => {
+            // Sweep-only presentation flags make no sense on a single
+            // run (but DO work with `--backend both`, which forwards
+            // to a sweep below).
+            if jobs.is_some() || json || json_lines {
+                eprintln!(
+                    "O NOES! --jobs, --json AN --json-lines ONLY MEAN SOMETHING WIF --sweep\n{USAGE}"
+                );
+                return ExitCode::FAILURE;
+            }
+            match engine_for(b).run(&artifact, &cfg.backend(b)) {
+                Ok(report) => {
+                    print_outputs(&report, tag);
+                    if stats {
+                        print_stats(&report);
+                    }
+                    ExitCode::SUCCESS
                 }
-                ExitCode::SUCCESS
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
+        }
+        // Deprecated: forward to the equivalent two-backend sweep at
+        // the requested PE count (same artifact, same diff — the sweep
+        // report's output hashes are the agreement check).
+        BackendChoice::Both => {
+            if stats || tag {
+                eprintln!("O NOES! --stats AN --tag DONT WORK WIF --backend both ANYMOAR (IT IZ A SWEEP NAO)\n{USAGE}");
+                return ExitCode::FAILURE;
             }
-        },
-        BackendChoice::Both => run_both(&artifact, &cfg, tag, stats),
+            warn_both_deprecated();
+            run_sweep(&artifact, "backend=interp,vm", cfg, false, jobs, json, json_lines)
+        }
     }
 }
 
+fn warn_both_deprecated() {
+    eprintln!(
+        "HMM... --backend both IZ DEPRECATED: FORWARDIN 2 AN EKWIVALENT \
+         --sweep \"backend=interp,vm\" RUN (DA REPORT'S output_hash COLUMN IZ DA DIFF)"
+    );
+}
+
 /// `--sweep`: parse the spec over the base config, fan the matrix out
-/// over the worker pool, and print a scaling table (or JSON).
+/// over the worker pool, and print a scaling table (or JSON / JSONL).
+///
+/// Exit code: failure only for *hard* failures (parse errors, runtime
+/// faults, backend disagreement). Engines the machine simply doesn't
+/// have (e.g. `backend=c` without a C compiler) are reported as
+/// UNSUPPORTED entries and don't fail the sweep.
 fn run_sweep(
     artifact: &Compiled,
     spec: &str,
@@ -246,6 +302,7 @@ fn run_sweep(
     both_backends: bool,
     jobs: Option<usize>,
     json: bool,
+    json_lines: bool,
 ) -> ExitCode {
     let mut spec = match SweepSpec::parse(spec, base) {
         Ok(s) => s,
@@ -263,60 +320,75 @@ fn run_sweep(
     if let Some(j) = jobs {
         spec = spec.jobs(j);
     }
-    let report = spec.run(artifact);
-    if json {
-        print!("{}", report.to_json());
+    let report = if json_lines {
+        // Stream one record per completed config. `println!` locks
+        // stdout per call, so records from racing workers stay intact.
+        let report = spec.run_with(artifact, |i, cfg, result| {
+            println!("{}", jsonl_record(i, cfg, result));
+        });
+        println!(
+            "{{\"summary\": true, \"configs\": {}, \"ok\": {}, \"unsupported\": {}, \
+             \"jobs\": {}, \"total_wall_ns\": {}}}",
+            report.entries.len(),
+            report.ok_count(),
+            report.unsupported_count(),
+            report.jobs,
+            report.total_wall.as_nanos()
+        );
+        report
     } else {
-        print!("{}", report.speedup_table());
+        let report = spec.run(artifact);
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.speedup_table());
+        }
+        report
+    };
+    // Cross-backend agreement: interp and vm share the substrate (and
+    // its RNG), so any two ok entries that differ only in that backend
+    // pair must have identical per-PE output — the old
+    // `--backend both` diff, generalized to the whole matrix. The C
+    // backend is exempt: its WHATEVR stream is the stub's own RNG, so
+    // only the equivalence tests (which avoid WHATEVR) pin it.
+    let mut disagreement = false;
+    let diffable = [Backend::Interp, Backend::Vm];
+    for (i, a) in report.entries.iter().enumerate() {
+        for b in &report.entries[i + 1..] {
+            if a.config.backend != b.config.backend
+                && diffable.contains(&a.config.backend)
+                && diffable.contains(&b.config.backend)
+                && a.config.n_pes == b.config.n_pes
+                && a.config.seed == b.config.seed
+                && a.config.latency == b.config.latency
+                && a.result.is_ok()
+                && b.result.is_ok()
+                && a.output_hash() != b.output_hash()
+            {
+                eprintln!(
+                    "O NOES! DA BACKENDS DISAGREE AT pes={} seed={}: {} != {}",
+                    a.config.n_pes, a.config.seed, a.config.backend, b.config.backend
+                );
+                disagreement = true;
+            }
+        }
     }
-    if report.all_ok() {
-        ExitCode::SUCCESS
-    } else {
+    let hard = report.hard_failure_count();
+    if report.unsupported_count() > 0 {
         eprintln!(
-            "O NOES! {} OF {} SWEEP CONFIGS HAZ A SAD",
-            report.entries.len() - report.ok_count(),
+            "HMM... {} OF {} CONFIGS R UNSUPPORTED ON DIS MACHINE (NOT COUNTED AS FAILURES)",
+            report.unsupported_count(),
             report.entries.len()
         );
+    }
+    if hard > 0 {
+        eprintln!("O NOES! {hard} OF {} SWEEP CONFIGS HAZ A SAD", report.entries.len());
+    }
+    if hard == 0 && !disagreement {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
-}
-
-/// `--backend both`: run the same artifact on both engines and diff
-/// the per-PE outputs. Prints the (agreed) output once.
-fn run_both(artifact: &Compiled, cfg: &RunConfig, tag: bool, stats: bool) -> ExitCode {
-    let mut reports = Vec::new();
-    for b in [Backend::Interp, Backend::Vm] {
-        match engine_for(b).run(artifact, &cfg.clone().backend(b)) {
-            Ok(r) => reports.push(r),
-            Err(e) => {
-                eprintln!("O NOES! {b:?} ENGINE HAZ A SAD: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let (interp, vm) = (&reports[0], &reports[1]);
-    if interp.outputs != vm.outputs {
-        eprintln!("O NOES! DA BACKENDS DISAGREE:");
-        for pe in 0..interp.n_pes() {
-            if interp.output(pe) != vm.output(pe) {
-                eprintln!("[PE {pe}] interp: {:?}", interp.output(pe));
-                eprintln!("[PE {pe}]     vm: {:?}", vm.output(pe));
-            }
-        }
-        return ExitCode::FAILURE;
-    }
-    print_outputs(interp, tag);
-    eprintln!(
-        "KTHX: interp ({:?}) AN vm ({:?}) AGREE ON ALL {} PEs",
-        interp.wall,
-        vm.wall,
-        interp.n_pes()
-    );
-    if stats {
-        print_stats(interp);
-        print_stats(vm);
-    }
-    ExitCode::SUCCESS
 }
 
 fn print_outputs(report: &RunReport, tag: bool) {

@@ -58,7 +58,7 @@ fn lolrun_stats_prints_per_pe_comm_stats_on_stderr() {
 }
 
 #[test]
-fn lolrun_backend_both_runs_both_engines_and_agrees() {
+fn lolrun_backend_both_is_deprecated_and_forwards_to_a_sweep() {
     let prog = write_temp("both.lol", HELLO);
     let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
         .args(["-np", "3", "--backend", "both"])
@@ -66,18 +66,22 @@ fn lolrun_backend_both_runs_both_engines_and_agrees() {
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    // Output printed once, not twice.
-    let stdout = String::from_utf8(out.stdout).unwrap();
-    assert_eq!(stdout, "HAI ITZ 0 OF 3\nHAI ITZ 1 OF 3\nHAI ITZ 2 OF 3\n");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("AGREE ON ALL 3 PEs"), "{stderr}");
+    assert!(stderr.contains("DEPRECATED"), "{stderr}");
+    assert!(stderr.contains("backend=interp,vm"), "{stderr}");
+    // The forwarded sweep runs both engines at the requested PE count
+    // and prints the scaling report, not raw program output.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("x-interp"), "{stdout}");
+    assert!(stdout.contains("2 configs, 2 ok"), "{stdout}");
+    assert!(stdout.contains("interp") && stdout.contains("vm"), "{stdout}");
 }
 
 #[test]
 fn lolrun_backend_both_rejects_interp_only_programs() {
-    // SRS runs on the interpreter but cannot lower to bytecode, so
-    // `--backend both` must fail loudly rather than silently compare
-    // one engine against nothing.
+    // SRS runs on the interpreter but cannot lower to bytecode, so the
+    // forwarded sweep must fail loudly (FAILED vm entry) rather than
+    // silently compare one engine against nothing.
     let prog = write_temp("srs.lol", "HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE\n");
     let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
         .args(["--backend", "both"])
@@ -85,8 +89,85 @@ fn lolrun_backend_both_rejects_interp_only_programs() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VMC0001"), "{stdout}");
+    assert!(stdout.contains("FAILED"), "{stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("VMC0001"), "{stderr}");
+    assert!(stderr.contains("HAZ A SAD"), "{stderr}");
+}
+
+#[test]
+fn lolrun_c_backend_runs_or_reports_unsupported() {
+    // `--backend c` is the paper's lcc path as a first-class engine:
+    // with a system C compiler it must produce the same per-PE output
+    // as the other engines; without one it must say so clearly.
+    let prog = write_temp("cback.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "3", "--backend", "c"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    if out.status.success() {
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(stdout, "HAI ITZ 0 OF 3\nHAI ITZ 1 OF 3\nHAI ITZ 2 OF 3\n");
+    } else {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("NO C COMPILER"), "{stderr}");
+    }
+}
+
+#[test]
+fn lolrun_three_backend_sweep_reports_all_engines() {
+    // The blessed replacement for `--backend both`, now covering all
+    // three of the paper's execution paths in one matrix.
+    let prog = write_temp("sweep3.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--sweep", "pes=1,2;backend=interp,vm,c", "--json"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"configs\": 6"), "{stdout}");
+    for backend in ["interp", "vm", "c"] {
+        assert!(stdout.contains(&format!("\"backend\": \"{backend}\"")), "{stdout}");
+    }
+    assert!(stdout.contains("\"vs_interp\""), "{stdout}");
+    // Either the C engine ran (ok) or it is flagged unsupported —
+    // never a hard failure.
+    let c_ran = !stdout.contains("\"unsupported\": true");
+    if c_ran {
+        assert!(!stdout.contains("\"ok\": false"), "{stdout}");
+    }
+}
+
+#[test]
+fn lolrun_json_lines_streams_one_record_per_config() {
+    let prog = write_temp("jsonl.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--sweep", "pes=1..3", "--json-lines"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "3 entry records + 1 summary: {stdout}");
+    for line in &lines[..3] {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"index\":"), "{line}");
+        assert!(line.contains("\"output_hash\""), "{line}");
+    }
+    assert!(lines[3].contains("\"summary\": true"), "{stdout}");
+    assert!(lines[3].contains("\"ok\": 3"), "{stdout}");
+    // --json and --json-lines are mutually exclusive.
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["--sweep", "pes=1", "--json", "--json-lines"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NOT BOTH"));
 }
 
 #[test]
@@ -281,6 +362,7 @@ fn lcc_full_paper_workflow_compiles_with_cc() {
     let bin = prog.with_file_name("work.x");
     let cc = Command::new("cc")
         .arg("-std=c99")
+        .arg("-pthread")
         .arg("-I")
         .arg(c_path.parent().unwrap())
         .arg(&c_path)
@@ -290,9 +372,21 @@ fn lcc_full_paper_workflow_compiles_with_cc() {
         .output()
         .unwrap();
     assert!(cc.status.success(), "{}", String::from_utf8_lossy(&cc.stderr));
+    // No env: the stub behaves like the old single-PE one.
     let run = Command::new(&bin).output().unwrap();
     assert!(run.status.success());
     assert_eq!(String::from_utf8(run.stdout).unwrap(), "42\n");
+    // The same binary fans out over threads when asked to, capturing
+    // each PE's output separately (multi-PE prints race on a shared
+    // stdout, so the capture files are the deterministic view).
+    let cap = prog.with_file_name("cap");
+    let run =
+        Command::new(&bin).env("LOL_STUB_NPES", "3").env("LOL_STUB_OUT", &cap).output().unwrap();
+    assert!(run.status.success());
+    for pe in 0..3 {
+        let text = std::fs::read_to_string(prog.with_file_name(format!("cap.pe{pe}.out"))).unwrap();
+        assert_eq!(text, "42\n", "PE {pe}");
+    }
 }
 
 #[test]

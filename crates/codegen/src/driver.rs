@@ -1,0 +1,347 @@
+//! Build-and-run driver for the C backend: the part of the paper's
+//! `lcc code.lol -o executable.x && coprsh -np 16 ./executable.x`
+//! workflow that happens *after* code generation.
+//!
+//! [`build`] writes the generated C plus the multi-PE
+//! [`SHMEM_STUB_H`][crate::SHMEM_STUB_H] runtime into a fresh temp
+//! directory and hands them to the system C compiler (probed **once**
+//! per process — [`cc`]); the resulting [`CBinary`] can then be
+//! [run][CBinary::run] any number of times across PE counts, seeds and
+//! inputs. Each run talks to the stub over a small env protocol
+//! (`LOL_STUB_NPES` / `LOL_STUB_SEED` / `LOL_STUB_OUT`) and reads the
+//! per-PE outputs and operation counters back from capture files, so a
+//! C-backend run reports the same per-PE shape as the in-process
+//! engines.
+//!
+//! Everything here degrades cleanly: no compiler on the machine is
+//! [`DriverError::NoCompiler`] (callers surface it as "unsupported",
+//! not a failure), and a hung binary is killed at the caller's
+//! deadline.
+
+use crate::runtime::SHMEM_STUB_H;
+use lol_shmem::CommStats;
+use std::io::Read as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The stub's hard PE-thread cap (`LOL_STUB_MAX_PES` in
+/// [`SHMEM_STUB_H`]); callers should treat wider configs as
+/// unsupported rather than spawn a binary that will refuse to start.
+pub const MAX_PES: usize = 256;
+
+/// The probed system C compiler.
+#[derive(Debug, Clone)]
+pub struct CcInfo {
+    /// Invocable name or path (`cc`, `gcc`, `clang`, or `$LOL_CC`).
+    pub path: String,
+    /// First line of `--version` output.
+    pub version: String,
+}
+
+/// Probe for a working C compiler, once per process. Honors `LOL_CC`,
+/// then tries `cc`, `gcc`, `clang`. `None` means the C backend is
+/// unsupported on this machine.
+pub fn cc() -> Option<&'static CcInfo> {
+    static PROBE: OnceLock<Option<CcInfo>> = OnceLock::new();
+    PROBE
+        .get_or_init(|| {
+            let env = std::env::var("LOL_CC").ok();
+            let candidates: Vec<&str> =
+                env.as_deref().into_iter().chain(["cc", "gcc", "clang"]).collect();
+            for cand in candidates {
+                if let Ok(out) = Command::new(cand).arg("--version").output() {
+                    if out.status.success() {
+                        let version = String::from_utf8_lossy(&out.stdout)
+                            .lines()
+                            .next()
+                            .unwrap_or("")
+                            .to_string();
+                        return Some(CcInfo { path: cand.to_string(), version });
+                    }
+                }
+            }
+            None
+        })
+        .as_ref()
+}
+
+/// Anything the build-and-run pipeline can fail with.
+#[derive(Debug, Clone)]
+pub enum DriverError {
+    /// No usable C compiler on this machine (probe failed).
+    NoCompiler,
+    /// The C compiler rejected the generated translation unit.
+    Build(String),
+    /// Filesystem / process-spawn trouble.
+    Io(String),
+    /// The binary outlived the caller's deadline and was killed.
+    Timeout(Duration),
+    /// The binary exited nonzero (a LOLCODE runtime fault, rendered on
+    /// stderr by `lol_die`).
+    Program {
+        /// Exit code when the process exited normally.
+        status: Option<i32>,
+        /// Captured stderr (the `O NOES! [RUNxxxx]` message).
+        stderr: String,
+    },
+    /// The binary exited zero but the capture files are missing or
+    /// malformed — a stub/driver protocol bug, not a user error.
+    Protocol(String),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::NoCompiler => {
+                write!(f, "NO C COMPILER ON DIS MACHINE (TRIED $LOL_CC, cc, gcc, clang)")
+            }
+            DriverError::Build(msg) => write!(f, "DA C COMPILER SEZ NO WAI:\n{msg}"),
+            DriverError::Io(msg) => write!(f, "I/O HAZ A SAD: {msg}"),
+            DriverError::Timeout(d) => write!(f, "DA BINARY RAN 2 LONG (> {d:?}) AN GOT KILLED"),
+            DriverError::Program { status, stderr } => {
+                write!(f, "DA BINARY EXITED {:?}: {}", status, stderr.trim())
+            }
+            DriverError::Protocol(msg) => write!(f, "STUB PROTOCOL HAZ A SAD: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// One execution request against a built binary.
+#[derive(Debug, Clone)]
+pub struct RunRequest<'a> {
+    /// Number of PE threads the stub spawns.
+    pub n_pes: usize,
+    /// Seed mixed into every PE's `WHATEVR` stream.
+    pub seed: u64,
+    /// `GIMMEH` input lines; every PE replays the same stream.
+    pub input: &'a [String],
+    /// Kill-and-report deadline for the whole SPMD job.
+    pub timeout: Duration,
+}
+
+/// What one run of the binary produced (the C analog of a `RunReport`).
+#[derive(Debug, Clone)]
+pub struct CRunOutput {
+    /// Per-PE `VISIBLE` output, in PE order.
+    pub outputs: Vec<String>,
+    /// Per-PE operation counts, in PE order. The stub counts scalar
+    /// gets/puts (local vs remote), atomics and barriers; counters it
+    /// has no instrumentation for stay zero.
+    pub stats: Vec<CommStats>,
+    /// Wall-clock time from spawn to exit.
+    pub wall: Duration,
+}
+
+/// A compiled C-backend binary in its own temp directory; the
+/// directory (sources, binary, per-run capture files) is removed on
+/// drop. Safe to run concurrently — each run gets a private capture
+/// prefix.
+#[derive(Debug)]
+pub struct CBinary {
+    dir: PathBuf,
+    bin: PathBuf,
+    runs: AtomicU64,
+}
+
+impl Drop for CBinary {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Compile a generated translation unit against the bundled stub.
+pub fn build(c_source: &str) -> Result<CBinary, DriverError> {
+    let cc = cc().ok_or(DriverError::NoCompiler)?;
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lolcc-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let io = |e: std::io::Error| DriverError::Io(e.to_string());
+    std::fs::create_dir_all(&dir).map_err(io)?;
+    std::fs::write(dir.join("shmem.h"), SHMEM_STUB_H).map_err(io)?;
+    let c_path = dir.join("prog.c");
+    std::fs::write(&c_path, c_source).map_err(io)?;
+    let bin = dir.join("prog");
+    let out = Command::new(&cc.path)
+        .args(["-std=c99", "-O1", "-pthread", "-I"])
+        .arg(&dir)
+        .arg(&c_path)
+        .arg("-lm")
+        .arg("-o")
+        .arg(&bin)
+        .output()
+        .map_err(io)?;
+    if !out.status.success() {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(DriverError::Build(String::from_utf8_lossy(&out.stderr).into_owned()));
+    }
+    Ok(CBinary { dir, bin, runs: AtomicU64::new(0) })
+}
+
+impl CBinary {
+    /// Path of the compiled executable (inside the temp dir).
+    pub fn path(&self) -> &std::path::Path {
+        &self.bin
+    }
+
+    /// Execute the binary once and collect per-PE outputs and stats.
+    pub fn run(&self, req: &RunRequest<'_>) -> Result<CRunOutput, DriverError> {
+        let io = |e: std::io::Error| DriverError::Io(e.to_string());
+        let run_id = self.runs.fetch_add(1, Ordering::Relaxed);
+        let out_dir = self.dir.join(format!("run{run_id}"));
+        std::fs::create_dir_all(&out_dir).map_err(io)?;
+        let prefix = out_dir.join("out");
+
+        let mut child = Command::new(&self.bin)
+            .env("LOL_STUB_NPES", req.n_pes.to_string())
+            .env("LOL_STUB_SEED", req.seed.to_string())
+            .env("LOL_STUB_OUT", &prefix)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null()) // VISIBLE goes to the capture files
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(io)?;
+        let t0 = Instant::now();
+        {
+            // Feed GIMMEH from a detached thread and close stdin so an
+            // over-reading program sees EOF instead of blocking. The
+            // thread matters: input larger than the OS pipe buffer
+            // against a child that deadlocks before reading would
+            // otherwise block *this* thread on write_all and keep the
+            // timeout watchdog below from ever running. A dead child
+            // (broken pipe) just ends the writer; the exit status
+            // reports the failure.
+            use std::io::Write as _;
+            let mut stdin = child.stdin.take().expect("piped stdin");
+            let mut text = req.input.join("\n");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            std::thread::spawn(move || {
+                let _ = stdin.write_all(text.as_bytes());
+            });
+        }
+        let status = loop {
+            match child.try_wait().map_err(io)? {
+                Some(status) => break status,
+                None if t0.elapsed() > req.timeout => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    let _ = std::fs::remove_dir_all(&out_dir);
+                    return Err(DriverError::Timeout(req.timeout));
+                }
+                None => std::thread::sleep(Duration::from_millis(2)),
+            }
+        };
+        let wall = t0.elapsed();
+        let mut stderr = String::new();
+        if let Some(mut pipe) = child.stderr.take() {
+            let _ = pipe.read_to_string(&mut stderr);
+        }
+        if !status.success() {
+            let _ = std::fs::remove_dir_all(&out_dir);
+            return Err(DriverError::Program { status: status.code(), stderr });
+        }
+
+        let mut outputs = Vec::with_capacity(req.n_pes);
+        for pe in 0..req.n_pes {
+            let path = out_dir.join(format!("out.pe{pe}.out"));
+            outputs.push(
+                std::fs::read_to_string(&path).map_err(|e| {
+                    DriverError::Protocol(format!("missing capture for PE {pe}: {e}"))
+                })?,
+            );
+        }
+        let stats_text = std::fs::read_to_string(out_dir.join("out.stats"))
+            .map_err(|e| DriverError::Protocol(format!("missing stats file: {e}")))?;
+        let stats = parse_stats(&stats_text, req.n_pes)?;
+        let _ = std::fs::remove_dir_all(&out_dir);
+        Ok(CRunOutput { outputs, stats, wall })
+    }
+}
+
+/// Parse the stub's stats file: one line per PE,
+/// `pe local_gets remote_gets local_puts remote_puts amos barriers`.
+fn parse_stats(text: &str, n_pes: usize) -> Result<Vec<CommStats>, DriverError> {
+    let mut out = vec![CommStats::default(); n_pes];
+    let mut filled = vec![false; n_pes];
+    for line in text.lines() {
+        let fields: Vec<u64> = line
+            .split_whitespace()
+            .map(|f| f.parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| DriverError::Protocol(format!("bad stats line {line:?}: {e}")))?;
+        let [pe, local_gets, remote_gets, local_puts, remote_puts, amos, barriers] = fields[..]
+        else {
+            return Err(DriverError::Protocol(format!("bad stats line {line:?}")));
+        };
+        let slot = out
+            .get_mut(pe as usize)
+            .ok_or_else(|| DriverError::Protocol(format!("stats for unknown PE {pe}")))?;
+        if std::mem::replace(&mut filled[pe as usize], true) {
+            return Err(DriverError::Protocol(format!("duplicate stats row for PE {pe}")));
+        }
+        *slot = CommStats {
+            local_gets,
+            remote_gets,
+            local_puts,
+            remote_puts,
+            amos,
+            barriers,
+            ..CommStats::default()
+        };
+    }
+    if let Some(pe) = filled.iter().position(|&f| !f) {
+        return Err(DriverError::Protocol(format!("stats file has no row for PE {pe}")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_stats_round_trip() {
+        let text = "0 1 2 3 4 5 6\n1 10 20 30 40 50 60\n";
+        let stats = parse_stats(text, 2).unwrap();
+        assert_eq!(stats[0].local_gets, 1);
+        assert_eq!(stats[0].barriers, 6);
+        assert_eq!(stats[1].remote_puts, 40);
+        assert_eq!(stats[1].amos, 50);
+    }
+
+    #[test]
+    fn parse_stats_rejects_short_files_and_junk() {
+        assert!(matches!(parse_stats("0 1 2 3 4 5 6\n", 2), Err(DriverError::Protocol(_))));
+        assert!(matches!(parse_stats("0 1 2\n", 1), Err(DriverError::Protocol(_))));
+        assert!(matches!(parse_stats("zero 1 2 3 4 5 6\n", 1), Err(DriverError::Protocol(_))));
+        assert!(matches!(parse_stats("7 1 2 3 4 5 6\n", 1), Err(DriverError::Protocol(_))));
+        // A duplicated PE row must not masquerade as full coverage.
+        assert!(matches!(
+            parse_stats("0 1 2 3 4 5 6\n0 9 9 9 9 9 9\n", 2),
+            Err(DriverError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn probe_is_cached_and_consistent() {
+        // Two calls must agree (OnceLock) whatever the machine has.
+        let a = cc().map(|c| c.path.clone());
+        let b = cc().map(|c| c.path.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_render_lolcode_style() {
+        assert!(DriverError::NoCompiler.to_string().contains("NO C COMPILER"));
+        assert!(DriverError::Timeout(Duration::from_secs(3)).to_string().contains("KILLED"));
+    }
+}

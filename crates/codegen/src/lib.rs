@@ -15,12 +15,18 @@
 //! * carries the dynamic value semantics in an embedded C runtime.
 //!
 //! Because no OpenSHMEM library exists in this environment, the crate
-//! also ships [`SHMEM_STUB_H`], a single-PE stub good enough to compile
-//! and *run* the generated C with any C99 compiler — the tests do
-//! exactly that and compare the output against the interpreter.
+//! also ships [`SHMEM_STUB_H`], a multi-PE pthread stub good enough to
+//! compile and *run* the generated C with any C99 compiler — and the
+//! [`driver`] module that probes the system compiler, builds the
+//! generated C against that stub, executes the binary across PE
+//! counts, and parses the per-PE outputs and operation counters back
+//! out. That driver is what makes the C path a first-class engine
+//! (`Backend::C` in the `lolcode` crate) rather than emit-only; the
+//! tests compile-and-run against the interpreter differentially.
 
 #![forbid(unsafe_code)]
 
+pub mod driver;
 mod emit;
 pub mod runtime;
 
@@ -74,9 +80,18 @@ mod tests {
             "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n\
              WE HAS A pos ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32",
         ));
-        assert!(c.contains("static long long g_x;"), "{c}");
-        assert!(c.contains("static long g_x__lock;"));
-        assert!(c.contains("static double g_pos[32];"));
+        assert!(c.contains("static LOL_SYMMETRIC long long g_x;"), "{c}");
+        assert!(c.contains("static LOL_SYMMETRIC long g_x__lock;"));
+        assert!(c.contains("static LOL_SYMMETRIC double g_pos[32];"));
+        // Every symmetric object registers (in declaration order) so
+        // the multi-PE stub can translate remote addresses.
+        assert!(c.contains("LOL_SYM_REG(&g_x, sizeof g_x);"));
+        assert!(c.contains("LOL_SYM_REG(&g_x__lock, sizeof g_x__lock);"));
+        assert!(c.contains("LOL_SYM_REG(g_pos, sizeof g_pos);"));
+        let reg_x = c.find("LOL_SYM_REG(&g_x,").unwrap();
+        let reg_pos = c.find("LOL_SYM_REG(g_pos,").unwrap();
+        let done = c.find("LOL_SYM_REG_DONE();").unwrap();
+        assert!(reg_x < reg_pos && reg_pos < done, "registration order = declaration order");
     }
 
     #[test]

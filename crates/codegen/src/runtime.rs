@@ -1,5 +1,5 @@
 //! The C runtime preamble emitted at the top of every generated file,
-//! and the single-PE OpenSHMEM stub used by the compile-and-run tests.
+//! and the multi-PE OpenSHMEM stub used by the compile-and-run path.
 
 /// C99 runtime for dynamic LOLCODE values, emitted verbatim into every
 /// generated translation unit (the paper's `lcc` similarly pairs its
@@ -10,6 +10,31 @@ pub const LOL_RUNTIME: &str = r#"/* ---- parallel LOLCODE runtime (generated, do
 #include <string.h>
 #include <math.h>
 #include <shmem.h>
+
+/* Backend hooks. A stub shmem.h (see lcc --stub) may define these
+   before this point to intercept symmetric storage, I/O and RNG; a
+   build against a real OpenSHMEM library leaves them unset and gets
+   the pass-through defaults. */
+#ifndef LOL_SYMMETRIC
+#define LOL_SYMMETRIC
+#endif
+#ifndef LOL_SYM_REG
+#define LOL_SYM_REG(p, n) ((void)0)
+#define LOL_SYM_REG_DONE() ((void)0)
+#endif
+#ifndef LOL_MAIN_DRIVER
+#define LOL_MAIN_DRIVER(fn) fn()
+#endif
+#ifndef LOL_PUTS
+#define LOL_PUTS(s) fputs((s), stdout)
+#endif
+#ifndef LOL_GETS
+#define LOL_GETS(buf, n) fgets((buf), (n), stdin)
+#endif
+#ifndef LOL_SRAND
+#define LOL_SRAND(seed) srand(seed)
+#define LOL_RAND() rand()
+#endif
 
 typedef enum { LOL_NOOB, LOL_TROOF, LOL_NUMBR, LOL_NUMBAR, LOL_YARN } lol_type_t;
 typedef struct {
@@ -157,12 +182,12 @@ static lol_value_t lol_cast(lol_value_t v, lol_type_t ty) {
 static void lol_print(lol_value_t v) {
     char b[256];
     lol_to_str(v, b, sizeof b);
-    fputs(b, stdout);
+    LOL_PUTS(b);
 }
 
 static lol_value_t lol_gimmeh(void) {
     char b[256];
-    if (!fgets(b, sizeof b, stdin)) lol_die("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT");
+    if (!LOL_GETS(b, sizeof b)) lol_die("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT");
     b[strcspn(b, "\r\n")] = '\0';
     return lol_from_str(b);
 }
@@ -206,38 +231,289 @@ static void lol_lock_release(long *cell, int target) {
     shmem_long_atomic_swap(cell, 0, target);
 }
 
-static lol_value_t lol_whatevr(void) { return lol_from_int(rand()); }
-static lol_value_t lol_whatevar(void) { return lol_from_dbl((double)rand() / ((double)RAND_MAX + 1.0)); }
+static lol_value_t lol_whatevr(void) { return lol_from_int(LOL_RAND()); }
+static lol_value_t lol_whatevar(void) { return lol_from_dbl((double)LOL_RAND() / ((double)RAND_MAX + 1.0)); }
 /* ---- end runtime ---- */
 "#;
 
-/// A single-PE OpenSHMEM stub, good enough to compile and run the
-/// generated C with any C99 compiler when no real OpenSHMEM library is
-/// installed (`lcc --stub`; also used by this crate's tests). This is
-/// the "simulate what you don't have" substitution from DESIGN.md §2.
-pub const SHMEM_STUB_H: &str = r#"/* single-PE OpenSHMEM stub (np=1) for toolchains without SHMEM */
+/// A multi-PE OpenSHMEM stub over POSIX threads, good enough to compile
+/// and *run* the generated C with any C99 compiler when no real
+/// OpenSHMEM library is installed (`lcc --stub`; also the substrate the
+/// [`driver`][crate::driver] uses to run the C backend as an engine).
+/// This is the "simulate what you don't have" substitution from
+/// DESIGN.md §2, upgraded from the original single-PE stub:
+///
+/// * every `WE HAS A` object is thread-local (`LOL_SYMMETRIC`), so each
+///   PE thread owns its copy of the symmetric segment;
+/// * each thread registers its copies in program order
+///   (`LOL_SYM_REG`), and remote `shmem_*_g`/`_p`/atomics translate an
+///   address through the (index, offset) pair into the target PE's
+///   copy;
+/// * the PE count, RNG seed and per-PE output capture come from the
+///   `LOL_STUB_NPES` / `LOL_STUB_SEED` / `LOL_STUB_OUT` environment
+///   variables. Without them the binary behaves like the old stub: one
+///   PE, stdout, streaming stdin.
+///
+/// Compile with `cc -std=c99 -I<dir-with-shmem.h> prog.c -lm -pthread`.
+pub const SHMEM_STUB_H: &str = r#"/* multi-PE OpenSHMEM stub over pthreads, for toolchains without SHMEM */
 #ifndef LOL_SHMEM_STUB_H
 #define LOL_SHMEM_STUB_H
+#include <pthread.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define LOL_STUB_MAX_PES 256
+#define LOL_STUB_MAX_SYMS 256
+
+/* hooks consumed by the generated runtime (see LOL_RUNTIME) */
+#define LOL_SYMMETRIC __thread
+#define LOL_SYM_REG(p, n) lol_stub_sym_reg((void *)(p), (n))
+#define LOL_SYM_REG_DONE() lol_stub_sym_done()
+#define LOL_MAIN_DRIVER(fn) lol_stub_launch(fn)
+#define LOL_PUTS(s) lol_stub_puts(s)
+#define LOL_GETS(buf, n) lol_stub_gets((buf), (n))
+#define LOL_SRAND(seed) lol_stub_srand((unsigned long long)(seed))
+#define LOL_RAND() lol_stub_rand()
+
+typedef struct { char *addr; size_t size; } lol_stub_sym_t;
+typedef struct {
+    unsigned long long local_gets, remote_gets, local_puts, remote_puts, amos, barriers;
+} lol_stub_stats_t;
+
+static int lol_stub_npes = 1;
+static int lol_stub_passthrough = 1; /* old single-PE behavior: no env, no capture */
+static __thread int lol_stub_me = 0;
+static lol_stub_sym_t lol_stub_syms[LOL_STUB_MAX_PES][LOL_STUB_MAX_SYMS];
+static int lol_stub_nsyms[LOL_STUB_MAX_PES];
+static lol_stub_stats_t lol_stub_stats[LOL_STUB_MAX_PES];
+static FILE *lol_stub_cap[LOL_STUB_MAX_PES]; /* per-PE capture files, or NULL */
+
+/* mutex+cond barrier: pthread_barrier_t is optional under -std=c99 */
+static pthread_mutex_t lol_stub_bar_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t lol_stub_bar_cv = PTHREAD_COND_INITIALIZER;
+static int lol_stub_bar_waiting = 0;
+static unsigned long long lol_stub_bar_gen = 0;
+
+static void lol_stub_barrier_wait(void) {
+    if (lol_stub_npes <= 1) return;
+    pthread_mutex_lock(&lol_stub_bar_mu);
+    unsigned long long gen = lol_stub_bar_gen;
+    if (++lol_stub_bar_waiting == lol_stub_npes) {
+        lol_stub_bar_waiting = 0;
+        lol_stub_bar_gen++;
+        pthread_cond_broadcast(&lol_stub_bar_cv);
+    } else {
+        while (gen == lol_stub_bar_gen)
+            pthread_cond_wait(&lol_stub_bar_cv, &lol_stub_bar_mu);
+    }
+    pthread_mutex_unlock(&lol_stub_bar_mu);
+}
+
+static void lol_stub_fatal(const char *msg) {
+    fprintf(stderr, "lol-stub: %s\n", msg);
+    exit(2);
+}
+
+/* -- symmetric segment: per-thread registry + address translation -- */
+
+static void lol_stub_sym_reg(void *p, size_t n) {
+    int me = lol_stub_me;
+    if (lol_stub_nsyms[me] >= LOL_STUB_MAX_SYMS) lol_stub_fatal("too many symmetric objects");
+    lol_stub_syms[me][lol_stub_nsyms[me]].addr = (char *)p;
+    lol_stub_syms[me][lol_stub_nsyms[me]].size = n;
+    lol_stub_nsyms[me]++;
+}
+
+/* all PEs must finish registering before anyone translates */
+static void lol_stub_sym_done(void) { lol_stub_barrier_wait(); }
+
+static void *lol_stub_xlate(const void *p, int pe) {
+    int me = lol_stub_me;
+    int i;
+    if (pe == me) return (void *)p;
+    if (pe < 0 || pe >= lol_stub_npes) lol_stub_fatal("PE out of range");
+    for (i = 0; i < lol_stub_nsyms[me]; i++) {
+        char *base = lol_stub_syms[me][i].addr;
+        if ((const char *)p >= base && (const char *)p < base + lol_stub_syms[me][i].size)
+            return lol_stub_syms[pe][i].addr + ((const char *)p - base);
+    }
+    lol_stub_fatal("address is not symmetric");
+    return NULL;
+}
+
+/* -- the OpenSHMEM surface the generated code uses -- */
+
 static void shmem_init(void) {}
 static void shmem_finalize(void) {}
-static int shmem_my_pe(void) { return 0; }
-static int shmem_n_pes(void) { return 1; }
-static void shmem_barrier_all(void) {}
-static long long shmem_longlong_g(const long long *src, int pe) { (void)pe; return *src; }
-static void shmem_longlong_p(long long *dst, long long v, int pe) { (void)pe; *dst = v; }
-static double shmem_double_g(const double *src, int pe) { (void)pe; return *src; }
-static void shmem_double_p(double *dst, double v, int pe) { (void)pe; *dst = v; }
+static int shmem_my_pe(void) { return lol_stub_me; }
+static int shmem_n_pes(void) { return lol_stub_npes; }
+static void shmem_barrier_all(void) {
+    lol_stub_stats[lol_stub_me].barriers++;
+    lol_stub_barrier_wait();
+}
+
+static long long shmem_longlong_g(const long long *src, int pe) {
+    long long v;
+    if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_gets++; return *src; }
+    lol_stub_stats[lol_stub_me].remote_gets++;
+    __atomic_load((long long *)lol_stub_xlate(src, pe), &v, __ATOMIC_SEQ_CST);
+    return v;
+}
+static void shmem_longlong_p(long long *dst, long long v, int pe) {
+    if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_puts++; *dst = v; return; }
+    lol_stub_stats[lol_stub_me].remote_puts++;
+    __atomic_store((long long *)lol_stub_xlate(dst, pe), &v, __ATOMIC_SEQ_CST);
+}
+static double shmem_double_g(const double *src, int pe) {
+    double v;
+    if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_gets++; return *src; }
+    lol_stub_stats[lol_stub_me].remote_gets++;
+    __atomic_load((double *)lol_stub_xlate(src, pe), &v, __ATOMIC_SEQ_CST);
+    return v;
+}
+static void shmem_double_p(double *dst, double v, int pe) {
+    if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_puts++; *dst = v; return; }
+    lol_stub_stats[lol_stub_me].remote_puts++;
+    __atomic_store((double *)lol_stub_xlate(dst, pe), &v, __ATOMIC_SEQ_CST);
+}
 static long shmem_long_atomic_compare_swap(long *target, long cond, long value, int pe) {
-    (void)pe;
-    long old = *target;
-    if (old == cond) *target = value;
-    return old;
+    long *t = (long *)lol_stub_xlate(target, pe);
+    long expected = cond;
+    lol_stub_stats[lol_stub_me].amos++;
+    __atomic_compare_exchange_n(t, &expected, value, 0, __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+    return expected;
 }
 static long shmem_long_atomic_swap(long *target, long value, int pe) {
-    (void)pe;
-    long old = *target;
-    *target = value;
-    return old;
+    long *t = (long *)lol_stub_xlate(target, pe);
+    lol_stub_stats[lol_stub_me].amos++;
+    return __atomic_exchange_n(t, value, __ATOMIC_SEQ_CST);
+}
+
+/* -- per-PE output capture (VISIBLE) -- */
+
+static void lol_stub_puts(const char *s) {
+    FILE *f = lol_stub_cap[lol_stub_me];
+    fputs(s, f ? f : stdout);
+}
+
+/* -- per-PE stdin replay (GIMMEH): every PE sees the whole stream -- */
+
+static pthread_mutex_t lol_stub_in_mu = PTHREAD_MUTEX_INITIALIZER;
+static char *lol_stub_in_buf = NULL;
+static size_t lol_stub_in_len = 0;
+static int lol_stub_in_ready = 0;
+static __thread size_t lol_stub_in_pos = 0;
+
+static void lol_stub_slurp(void) {
+    pthread_mutex_lock(&lol_stub_in_mu);
+    if (!lol_stub_in_ready) {
+        size_t cap = 4096, n;
+        lol_stub_in_buf = (char *)malloc(cap);
+        if (!lol_stub_in_buf) lol_stub_fatal("out of memory");
+        while ((n = fread(lol_stub_in_buf + lol_stub_in_len, 1, cap - lol_stub_in_len, stdin)) > 0) {
+            lol_stub_in_len += n;
+            if (lol_stub_in_len == cap) {
+                cap *= 2;
+                lol_stub_in_buf = (char *)realloc(lol_stub_in_buf, cap);
+                if (!lol_stub_in_buf) lol_stub_fatal("out of memory");
+            }
+        }
+        lol_stub_in_ready = 1;
+    }
+    pthread_mutex_unlock(&lol_stub_in_mu);
+}
+
+static char *lol_stub_gets(char *buf, int n) {
+    int i = 0;
+    if (lol_stub_passthrough) return fgets(buf, n, stdin);
+    lol_stub_slurp();
+    if (lol_stub_in_pos >= lol_stub_in_len) return NULL;
+    while (i < n - 1 && lol_stub_in_pos < lol_stub_in_len) {
+        char c = lol_stub_in_buf[lol_stub_in_pos++];
+        buf[i++] = c;
+        if (c == '\n') break;
+    }
+    buf[i] = '\0';
+    return buf;
+}
+
+/* -- per-PE deterministic RNG (xorshift64*) -- */
+
+static unsigned long long lol_stub_seed0 = 0;
+static __thread unsigned long long lol_stub_rng_state = 0x853c49e6748fea9bULL;
+
+static void lol_stub_srand(unsigned long long seed) {
+    lol_stub_rng_state = (seed ^ lol_stub_seed0) * 0x9E3779B97F4A7C15ULL + 0x853c49e6748fea9bULL
+        + (unsigned long long)lol_stub_me;
+    /* xorshift's zero state is absorbing; the mix above is invertible,
+       so some seed lands exactly on it */
+    if (lol_stub_rng_state == 0) lol_stub_rng_state = 0x853c49e6748fea9bULL;
+}
+static int lol_stub_rand(void) {
+    unsigned long long x = lol_stub_rng_state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    lol_stub_rng_state = x;
+    return (int)(((x * 0x2545F4914F6CDD1DULL) >> 33) & 0x7fffffff);
+}
+
+/* -- SPMD launch: LOL_STUB_NPES threads, each running lol_main -- */
+
+typedef int (*lol_stub_main_fn)(void);
+static lol_stub_main_fn lol_stub_fn;
+
+static void *lol_stub_thread(void *arg) {
+    lol_stub_me = (int)(size_t)arg;
+    return (void *)(size_t)(unsigned)lol_stub_fn();
+}
+
+static int lol_stub_launch(lol_stub_main_fn fn) {
+    pthread_t tid[LOL_STUB_MAX_PES];
+    const char *np = getenv("LOL_STUB_NPES");
+    const char *seed = getenv("LOL_STUB_SEED");
+    const char *out = getenv("LOL_STUB_OUT");
+    int pe, rc = 0;
+    lol_stub_npes = np ? atoi(np) : 1;
+    if (lol_stub_npes < 1) lol_stub_npes = 1;
+    if (lol_stub_npes > LOL_STUB_MAX_PES) lol_stub_fatal("too many PEs (max 256)");
+    if (seed) lol_stub_seed0 = strtoull(seed, NULL, 10);
+    lol_stub_passthrough = (lol_stub_npes == 1 && !out);
+    if (lol_stub_passthrough) return fn();
+    if (out) {
+        char path[4096];
+        for (pe = 0; pe < lol_stub_npes; pe++) {
+            snprintf(path, sizeof path, "%s.pe%d.out", out, pe);
+            lol_stub_cap[pe] = fopen(path, "w");
+            if (!lol_stub_cap[pe]) lol_stub_fatal("cannot open per-PE capture file");
+        }
+    }
+    lol_stub_fn = fn;
+    for (pe = 0; pe < lol_stub_npes; pe++)
+        if (pthread_create(&tid[pe], NULL, lol_stub_thread, (void *)(size_t)pe) != 0)
+            lol_stub_fatal("pthread_create failed");
+    for (pe = 0; pe < lol_stub_npes; pe++) {
+        void *ret = NULL;
+        pthread_join(tid[pe], &ret);
+        if ((int)(size_t)ret != 0) rc = (int)(size_t)ret;
+    }
+    if (out) {
+        char path[4096];
+        FILE *f;
+        for (pe = 0; pe < lol_stub_npes; pe++) fclose(lol_stub_cap[pe]);
+        snprintf(path, sizeof path, "%s.stats", out);
+        f = fopen(path, "w");
+        if (f) {
+            for (pe = 0; pe < lol_stub_npes; pe++) {
+                lol_stub_stats_t *s = &lol_stub_stats[pe];
+                fprintf(f, "%d %llu %llu %llu %llu %llu %llu\n", pe, s->local_gets,
+                        s->remote_gets, s->local_puts, s->remote_puts, s->amos, s->barriers);
+            }
+            fclose(f);
+        }
+    }
+    return rc;
 }
 #endif
 "#;
@@ -257,6 +533,13 @@ mod tests {
             "shmem_long_atomic_compare_swap",
             "%.2f", // NUMBAR printing matches the interpreter
             "lol_arr_new",
+            // the hook macros a stub shmem.h may override
+            "#ifndef LOL_SYMMETRIC",
+            "#ifndef LOL_SYM_REG",
+            "#ifndef LOL_MAIN_DRIVER",
+            "#ifndef LOL_PUTS",
+            "#ifndef LOL_GETS",
+            "#ifndef LOL_SRAND",
         ] {
             assert!(LOL_RUNTIME.contains(needle), "runtime lacks {needle}");
         }
@@ -278,6 +561,19 @@ mod tests {
             "shmem_double_p",
             "shmem_long_atomic_compare_swap",
             "shmem_long_atomic_swap",
+            // every hook the runtime leaves overridable must be defined
+            "#define LOL_SYMMETRIC",
+            "#define LOL_SYM_REG",
+            "#define LOL_SYM_REG_DONE",
+            "#define LOL_MAIN_DRIVER",
+            "#define LOL_PUTS",
+            "#define LOL_GETS",
+            "#define LOL_SRAND",
+            "#define LOL_RAND",
+            // the engine-driver env protocol
+            "LOL_STUB_NPES",
+            "LOL_STUB_SEED",
+            "LOL_STUB_OUT",
         ] {
             assert!(SHMEM_STUB_H.contains(needle), "stub lacks {needle}");
         }

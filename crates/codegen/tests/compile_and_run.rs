@@ -1,61 +1,39 @@
 //! End-to-end validation of the C backend: generate C, compile it with
-//! the system C compiler against the single-PE OpenSHMEM stub, run the
-//! binary, and compare its stdout byte-for-byte with the interpreter
-//! running the same program on one PE.
+//! the system C compiler against the multi-PE pthread OpenSHMEM stub
+//! (via the [`lol_c_codegen::driver`]), run the binary across PE
+//! counts, and compare its per-PE output byte-for-byte with the
+//! interpreter running the same program on the Rust substrate.
 //!
-//! This is the `lcc code.lol -o executable.x` pipeline of Section VI.E,
-//! minus the real OpenSHMEM library (substituted per DESIGN.md §2).
+//! This is the `lcc code.lol -o executable.x && coprsh -np N ...`
+//! pipeline of Section VI.E, minus the real OpenSHMEM library
+//! (substituted per DESIGN.md §2).
 
-use lol_c_codegen::{emit_c, SHMEM_STUB_H};
+use lol_c_codegen::driver::{self, RunRequest};
+use lol_c_codegen::emit_c;
 use lol_parser::parse;
 use lol_sema::analyze;
 use lol_shmem::ShmemConfig;
-use std::path::PathBuf;
-use std::process::Command;
 use std::time::Duration;
 
-fn cc_available() -> bool {
-    Command::new("cc").arg("--version").output().map(|o| o.status.success()).unwrap_or(false)
+/// Interpreter per-PE outputs on the Rust substrate.
+fn interp_outputs(src: &str, stdin: &[&str], n_pes: usize) -> Vec<String> {
+    let p = parse(src).expect_program(src);
+    let a = analyze(&p);
+    assert!(a.is_ok(), "sema: {:?}", a.diags.iter().collect::<Vec<_>>());
+    let input: Vec<String> = stdin.iter().map(|s| s.to_string()).collect();
+    lol_shmem::run_spmd(ShmemConfig::new(n_pes).timeout(Duration::from_secs(30)), |pe| {
+        match lol_interp::run_on_pe(&p, &a, pe, &input) {
+            Ok(out) => out,
+            Err(e) => pe.fail(e.to_string()),
+        }
+    })
+    .expect("interp")
 }
 
-/// Compile generated C with the stub and run it; returns stdout.
-fn compile_and_run(c_source: &str, tag: &str, stdin: &str) -> String {
-    let dir = std::env::temp_dir().join(format!("lolcc_test_{tag}_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("shmem.h"), SHMEM_STUB_H).unwrap();
-    let c_path = dir.join("prog.c");
-    std::fs::write(&c_path, c_source).unwrap();
-    let bin: PathBuf = dir.join("prog");
-    let out = Command::new("cc")
-        .args(["-std=c99", "-O1", "-I"])
-        .arg(&dir)
-        .arg("-o")
-        .arg(&bin)
-        .arg(&c_path)
-        .arg("-lm")
-        .output()
-        .expect("cc failed to start");
-    assert!(
-        out.status.success(),
-        "cc failed:\n{}\n--- source ---\n{c_source}",
-        String::from_utf8_lossy(&out.stderr)
-    );
-    let mut child = Command::new(&bin)
-        .stdin(std::process::Stdio::piped())
-        .stdout(std::process::Stdio::piped())
-        .spawn()
-        .expect("binary failed to start");
-    use std::io::Write;
-    child.stdin.take().unwrap().write_all(stdin.as_bytes()).unwrap();
-    let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "binary exited nonzero");
-    let _ = std::fs::remove_dir_all(&dir);
-    String::from_utf8(out.stdout).expect("non-UTF8 program output")
-}
-
-/// Generated-C output must match the interpreter at np=1.
-fn differential(tag: &str, src: &str, stdin: &[&str]) {
-    if !cc_available() {
+/// Build once via the driver, run at every PE count, and diff per-PE
+/// output against the interpreter at the same PE count.
+fn differential_pes(tag: &str, src: &str, stdin: &[&str], pe_counts: &[usize]) {
+    if driver::cc().is_none() {
         eprintln!("skipping {tag}: no C compiler");
         return;
     }
@@ -63,18 +41,24 @@ fn differential(tag: &str, src: &str, stdin: &[&str]) {
     let a = analyze(&p);
     assert!(a.is_ok(), "sema: {:?}", a.diags.iter().collect::<Vec<_>>());
     let c = emit_c(&p, &a).expect("codegen");
-    let c_out = compile_and_run(&c, tag, &stdin.join("\n"));
+    let binary = driver::build(&c).unwrap_or_else(|e| panic!("{tag}: build failed: {e}\n{c}"));
     let input: Vec<String> = stdin.iter().map(|s| s.to_string()).collect();
-    let i_out = lol_shmem::run_spmd(ShmemConfig::new(1).timeout(Duration::from_secs(10)), |pe| {
-        match lol_interp::run_on_pe(&p, &a, pe, &input) {
-            Ok(out) => out,
-            Err(e) => pe.fail(e.to_string()),
-        }
-    })
-    .expect("interp")
-    .pop()
-    .unwrap();
-    assert_eq!(c_out, i_out, "C backend diverges from interpreter on {tag}:\n{src}");
+    for &n_pes in pe_counts {
+        let req = RunRequest { n_pes, seed: 7, input: &input, timeout: Duration::from_secs(30) };
+        let run = binary.run(&req).unwrap_or_else(|e| panic!("{tag}@{n_pes}: run failed: {e}"));
+        assert_eq!(run.outputs.len(), n_pes, "{tag}: one capture per PE");
+        assert_eq!(run.stats.len(), n_pes, "{tag}: one stats row per PE");
+        let expect = interp_outputs(src, stdin, n_pes);
+        assert_eq!(
+            run.outputs, expect,
+            "C backend diverges from interpreter on {tag} at {n_pes} PEs:\n{src}"
+        );
+    }
+}
+
+/// Single-PE differential (the original Section VI.E check).
+fn differential(tag: &str, src: &str, stdin: &[&str]) {
+    differential_pes(tag, src, stdin, &[1]);
 }
 
 fn prog(body: &str) -> String {
@@ -252,4 +236,175 @@ fn trylock_pattern_matches() {
         ),
         &[],
     );
+}
+
+// ---------------------------------------------------------------------
+// Multi-PE: the part the single-PE stub could never check
+// ---------------------------------------------------------------------
+
+#[test]
+fn hello_multi_pe_matches() {
+    differential_pes(
+        "hello_mp",
+        &prog("VISIBLE \"HAI ITZ \" ME \" OF \" MAH FRENZ"),
+        &[],
+        &[1, 2, 4, 8],
+    );
+}
+
+#[test]
+fn barrier_and_remote_put_match_multi_pe() {
+    // The paper's Section VI.C pattern: every PE puts into its
+    // neighbour's symmetric b, barriers, then reads locally.
+    differential_pes(
+        "figure2_mp",
+        &prog(
+            "WE HAS A a ITZ SRSLY A NUMBR\nWE HAS A b ITZ SRSLY A NUMBR\n\
+             WE HAS A c ITZ SRSLY A NUMBR\n\
+             a R SUM OF ME AN 1\nHUGZ\n\
+             I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+             TXT MAH BFF k, UR b R MAH a\nHUGZ\n\
+             c R SUM OF a AN b\nVISIBLE \"PE \" ME \":: C = \" c",
+        ),
+        &[],
+        &[2, 4, 7],
+    );
+}
+
+#[test]
+fn remote_reads_and_doubles_match_multi_pe() {
+    // Remote element gets of a NUMBAR array (the heat-stencil halo
+    // pattern): exercises shmem_double_g through address translation.
+    differential_pes(
+        "halo_mp",
+        &prog(
+            "WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 4\n\
+             IM IN YR f UPPIN YR i TIL BOTH SAEM i AN 4\n\
+             u'Z i R SUM OF PRODUKT OF ME AN 10.0 AN i\nIM OUTTA YR f\n\
+             HUGZ\n\
+             I HAS A nxt ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+             I HAS A got ITZ 0.0\n\
+             TXT MAH BFF nxt, got R UR u'Z 3\n\
+             VISIBLE \"PE \" ME \" GOT \" got",
+        ),
+        &[],
+        &[1, 2, 4],
+    );
+}
+
+#[test]
+fn remote_locks_serialize_increments_multi_pe() {
+    // Every PE increments PE 0's shared counter under its lock; after
+    // the barrier PE 0 must see exactly MAH FRENZ increments — the
+    // canonical mutual-exclusion check, via remote atomics.
+    differential_pes(
+        "locks_mp",
+        &prog(
+            "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\nHUGZ\n\
+             I HAS A k ITZ 0\n\
+             TXT MAH BFF k AN STUFF\n\
+             IM SRSLY MESIN WIF UR x\nUR x R SUM OF UR x AN 1\nDUN MESIN WIF UR x\n\
+             TTYL\nHUGZ\n\
+             VISIBLE \"PE \" ME \" SEES X = \" x",
+        ),
+        &[],
+        &[1, 2, 4, 6],
+    );
+}
+
+#[test]
+fn gimmeh_replays_stream_per_pe() {
+    // Every PE sees the same stdin stream, like the interpreter's
+    // per-PE input queue.
+    differential_pes(
+        "gimmeh_mp",
+        &prog("I HAS A x\nGIMMEH x\nI HAS A y\nGIMMEH y\nVISIBLE ME \" SEZ \" x \"+\" y"),
+        &["CHEEZ", "BURGER"],
+        &[1, 3],
+    );
+}
+
+#[test]
+fn driver_reports_comm_stats_per_pe() {
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let src = prog(
+        "WE HAS A a ITZ SRSLY A NUMBR\nWE HAS A b ITZ SRSLY A NUMBR\n\
+         a R ME\nHUGZ\n\
+         I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+         TXT MAH BFF k, UR b R MAH a\nHUGZ\nVISIBLE b",
+    );
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    let req = RunRequest { n_pes: 4, seed: 1, input: &[], timeout: Duration::from_secs(30) };
+    let run = binary.run(&req).unwrap();
+    for (pe, s) in run.stats.iter().enumerate() {
+        assert_eq!(s.barriers, 2, "PE {pe} barrier episodes");
+        assert_eq!(s.remote_puts, 1, "PE {pe} one remote put");
+    }
+    assert!(run.wall > Duration::ZERO);
+}
+
+#[test]
+fn driver_times_out_deadlocked_binaries() {
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    // PE 0 skips the barrier: a guaranteed deadlock at n_pes > 1.
+    let src = prog("BOTH SAEM ME AN 0, O RLY?\nNO WAI\nHUGZ\nOIC");
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    let req = RunRequest { n_pes: 2, seed: 1, input: &[], timeout: Duration::from_millis(400) };
+    match binary.run(&req) {
+        Err(driver::DriverError::Timeout(_)) => {}
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn driver_surfaces_runtime_faults_with_stderr() {
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let src = prog("VISIBLE QUOSHUNT OF 1 AN 0");
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    let req = RunRequest { n_pes: 2, seed: 1, input: &[], timeout: Duration::from_secs(10) };
+    match binary.run(&req) {
+        Err(driver::DriverError::Program { stderr, .. }) => {
+            assert!(stderr.contains("RUN0001"), "{stderr}");
+        }
+        other => panic!("expected program fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_whatevr_is_deterministic_per_seed_in_c() {
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let src = prog("VISIBLE MOD OF WHATEVR AN 1000");
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    let run = |seed| {
+        let req = RunRequest { n_pes: 3, seed, input: &[], timeout: Duration::from_secs(10) };
+        binary.run(&req).unwrap().outputs
+    };
+    assert_eq!(run(5), run(5), "same seed must reproduce");
+    assert_ne!(run(5), run(6), "different seed must differ");
+    let outs = run(5);
+    assert_ne!(outs[0], outs[1], "PEs draw from distinct streams");
 }

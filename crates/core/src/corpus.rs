@@ -566,7 +566,7 @@ mod tests {
             assert!(c.contains("shmem_init();"));
         }
         let c = crate::compile_to_c(&nbody_paper()).unwrap();
-        assert!(c.contains("static double g_pos_x[32];"));
-        assert!(c.contains("static long g_pos_x__lock;"));
+        assert!(c.contains("static LOL_SYMMETRIC double g_pos_x[32];"));
+        assert!(c.contains("static LOL_SYMMETRIC long g_pos_x__lock;"));
     }
 }

@@ -21,11 +21,21 @@
 //! output, per-PE communication statistics from the PGAS substrate,
 //! wall-clock time, and the effective configuration — where the old
 //! `run_source` API returned bare stdout strings and dropped the rest.
+//!
+//! Engines are looked up through an [`EngineRegistry`] rather than a
+//! hardcoded match, so the paper's full three-path pipeline — interpret
+//! ([`InterpEngine`]), run bytecode ([`VmEngine`]), or translate to C
+//! over the SHMEM runtime and execute the binary ([`CEngine`]) — sits
+//! behind one dispatch point, and a future backend slots in without
+//! touching callers. [`engine_for`] consults the process-wide standard
+//! registry; embedders that want to substitute or extend engines build
+//! their own [`EngineRegistry`].
 
-use crate::{Backend, LolError, RunConfig};
+use crate::{Backend, LatencyModel, LolError, RunConfig};
 use lol_ast::{Program, SourceMap};
+use lol_c_codegen::driver::{self, DriverError, RunRequest};
 use lol_sema::Analysis;
-use lol_shmem::{run_spmd, CommStats};
+use lol_shmem::{run_spmd, CommStats, SpmdError};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -41,6 +51,7 @@ pub struct Compiled {
     analysis: Analysis,
     warnings: Vec<String>,
     vm_module: OnceLock<Result<lol_vm::Module, LolError>>,
+    c_binary: OnceLock<Result<driver::CBinary, LolError>>,
 }
 
 impl Compiled {
@@ -54,6 +65,7 @@ impl Compiled {
             analysis,
             warnings,
             vm_module: OnceLock::new(),
+            c_binary: OnceLock::new(),
         })
     }
 
@@ -94,6 +106,24 @@ impl Compiled {
         lol_c_codegen::emit_c(&self.program, &self.analysis)
             .map_err(|d| LolError::Compile(d.render(&SourceMap::new(&self.source))))
     }
+
+    /// The compiled C-backend binary, emitted and built by the system
+    /// C compiler on first call and cached (like [`Self::vm_module`],
+    /// so a sweep across PE counts pays for `cc` exactly once). Fails
+    /// with [`LolError::Unsupported`] when the machine has no C
+    /// compiler, [`LolError::Compile`] for emit/`cc` errors.
+    pub fn c_binary(&self) -> Result<&driver::CBinary, LolError> {
+        self.c_binary
+            .get_or_init(|| {
+                let c = self.emit_c()?;
+                driver::build(&c).map_err(|e| match e {
+                    DriverError::NoCompiler => LolError::Unsupported(format!("O NOES! {e}")),
+                    other => LolError::Compile(format!("O NOES! DA C BACKEND HAZ A SAD: {other}")),
+                })
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
 }
 
 impl std::fmt::Debug for Compiled {
@@ -102,6 +132,7 @@ impl std::fmt::Debug for Compiled {
             .field("source_bytes", &self.source.len())
             .field("warnings", &self.warnings.len())
             .field("vm_lowered", &self.vm_module.get().is_some())
+            .field("c_built", &self.c_binary.get().is_some())
             .finish()
     }
 }
@@ -139,9 +170,17 @@ impl RunReport {
 }
 
 /// An execution backend that can run a [`Compiled`] artifact.
-pub trait Engine: Sync {
+pub trait Engine: Send + Sync {
     /// Which [`Backend`] this engine implements.
     fn backend(&self) -> Backend;
+
+    /// Can this engine run *at all* on this machine? In-process
+    /// engines always can; the C engine needs a system C compiler.
+    /// When `false`, [`Engine::run`] returns [`LolError::Unsupported`]
+    /// for every config.
+    fn available(&self) -> bool {
+        true
+    }
 
     /// Execute the artifact once under `cfg`.
     fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError>;
@@ -216,12 +255,177 @@ impl Engine for VmEngine {
     }
 }
 
-/// The engine implementing `backend`.
-pub fn engine_for(backend: Backend) -> &'static dyn Engine {
-    match backend {
-        Backend::Interp => &InterpEngine,
-        Backend::Vm => &VmEngine,
+/// The out-of-process C backend: `lcc`-emitted C + the multi-PE SHMEM
+/// stub, compiled by the system C compiler (probed once per process)
+/// and run as a native binary; per-PE outputs and operation counts are
+/// parsed back into the same [`RunReport`] shape the in-process
+/// engines produce.
+///
+/// Degradation contract: on a machine without a C compiler — or for a
+/// config the C path has no way to honor (latency models are simulated
+/// by the Rust substrate only) — `run` returns
+/// [`LolError::Unsupported`] with a clear reason instead of failing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CEngine;
+
+impl Engine for CEngine {
+    fn backend(&self) -> Backend {
+        Backend::C
     }
+
+    fn available(&self) -> bool {
+        driver::cc().is_some()
+    }
+
+    fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
+        cfg.validate()?;
+        if cfg.latency != LatencyModel::Off {
+            return Err(LolError::Unsupported(format!(
+                "O NOES! DA C BACKEND CANT SIMULATE LATENCY MODEL {} (ONLY off)",
+                cfg.latency
+            )));
+        }
+        if cfg.n_pes > driver::MAX_PES {
+            return Err(LolError::Unsupported(format!(
+                "O NOES! DA C BACKEND'S STUB CAPS AT {} PE THREADS, NOT {}",
+                driver::MAX_PES,
+                cfg.n_pes
+            )));
+        }
+        // The stub has exactly one barrier (mutex+cond) and one lock
+        // (CAS) implementation; labeling a dissemination-barrier or
+        // ticket-lock config with centralized results would corrupt
+        // ablation sweeps, so refuse rather than mislabel.
+        // (`heap_words` is genuinely meaningless here — the C
+        // symmetric segment is statically sized — so it is ignored.)
+        if cfg.barrier != lol_shmem::BarrierKind::default() {
+            return Err(LolError::Unsupported(format!(
+                "O NOES! DA C BACKEND'S STUB ONLY HAZ DA DEFAULT BARRIER, NOT {:?}",
+                cfg.barrier
+            )));
+        }
+        if cfg.lock != lol_shmem::LockKind::default() {
+            return Err(LolError::Unsupported(format!(
+                "O NOES! DA C BACKEND'S STUB ONLY HAZ DA DEFAULT LOCK, NOT {:?}",
+                cfg.lock
+            )));
+        }
+        let binary = artifact.c_binary()?;
+        let req = RunRequest {
+            n_pes: cfg.n_pes,
+            seed: cfg.seed,
+            input: &cfg.input,
+            timeout: cfg.timeout,
+        };
+        let t0 = Instant::now();
+        match binary.run(&req) {
+            Ok(out) => Ok(RunReport {
+                backend: Backend::C,
+                outputs: out.outputs,
+                stats: out.stats,
+                wall: out.wall,
+                config: cfg.clone(),
+            }),
+            Err(DriverError::Program { stderr, .. }) => Err(LolError::Runtime(SpmdError {
+                // The stub reports faults process-wide, not per PE.
+                pe: 0,
+                message: if stderr.trim().is_empty() {
+                    "DA C BINARY DIED WIF NO MESSAGE".to_string()
+                } else {
+                    stderr.trim().to_string()
+                },
+            })),
+            Err(DriverError::Timeout(_)) => Err(LolError::Runtime(SpmdError {
+                pe: 0,
+                message: format!(
+                    "RUN0015 WATCHDOG: DA C BINARY HAZ BEEN RUNNIN {:?} — PROBABLY DEADLOCK",
+                    t0.elapsed()
+                ),
+            })),
+            Err(DriverError::NoCompiler) => {
+                Err(LolError::Unsupported(format!("O NOES! {}", DriverError::NoCompiler)))
+            }
+            Err(other) => {
+                Err(LolError::Compile(format!("O NOES! DA C BACKEND HAZ A SAD: {other}")))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine registry
+// ---------------------------------------------------------------------
+
+/// A table of execution engines, keyed by the [`Backend`] each one
+/// implements. [`EngineRegistry::standard`] holds the three paper
+/// paths (interp / vm / c); [`EngineRegistry::register`] swaps or adds
+/// engines, so an embedder (or a future backend) extends dispatch
+/// without touching every call site.
+pub struct EngineRegistry {
+    engines: Vec<Box<dyn Engine>>,
+}
+
+impl EngineRegistry {
+    /// An empty registry (no engines).
+    pub fn new() -> Self {
+        EngineRegistry { engines: Vec::new() }
+    }
+
+    /// The three standard engines: [`InterpEngine`], [`VmEngine`],
+    /// [`CEngine`].
+    pub fn standard() -> Self {
+        let mut reg = Self::new();
+        reg.register(Box::new(InterpEngine));
+        reg.register(Box::new(VmEngine));
+        reg.register(Box::new(CEngine));
+        reg
+    }
+
+    /// Add `engine`, replacing any previous engine for the same
+    /// backend.
+    pub fn register(&mut self, engine: Box<dyn Engine>) {
+        let backend = engine.backend();
+        self.engines.retain(|e| e.backend() != backend);
+        self.engines.push(engine);
+    }
+
+    /// The engine for `backend`, if registered.
+    pub fn get(&self, backend: Backend) -> Option<&dyn Engine> {
+        self.engines.iter().find(|e| e.backend() == backend).map(|e| e.as_ref())
+    }
+
+    /// Every registered engine, in registration order.
+    pub fn engines(&self) -> impl Iterator<Item = &dyn Engine> {
+        self.engines.iter().map(|e| e.as_ref())
+    }
+
+    /// The backends this registry can dispatch.
+    pub fn backends(&self) -> Vec<Backend> {
+        self.engines.iter().map(|e| e.backend()).collect()
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl std::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRegistry").field("backends", &self.backends()).finish()
+    }
+}
+
+/// The process-wide standard registry (built once, on first use).
+pub fn registry() -> &'static EngineRegistry {
+    static REGISTRY: OnceLock<EngineRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(EngineRegistry::standard)
+}
+
+/// The standard engine implementing `backend`.
+pub fn engine_for(backend: Backend) -> &'static dyn Engine {
+    registry().get(backend).expect("standard registry covers every Backend variant")
 }
 
 #[cfg(test)]
@@ -309,6 +513,121 @@ mod tests {
         // ...the VM rejects it at (lazy) lowering time.
         match VmEngine.run(&artifact, &cfg(1)) {
             Err(LolError::Compile(msg)) => assert!(msg.contains("VMC0001"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn standard_registry_covers_all_backends() {
+        for b in Backend::ALL {
+            assert_eq!(engine_for(b).backend(), b);
+            assert!(registry().get(b).is_some());
+        }
+        assert_eq!(registry().backends(), Backend::ALL.to_vec());
+    }
+
+    #[test]
+    fn registry_register_replaces_same_backend() {
+        struct FakeInterp;
+        impl Engine for FakeInterp {
+            fn backend(&self) -> Backend {
+                Backend::Interp
+            }
+            fn available(&self) -> bool {
+                false
+            }
+            fn run(&self, _: &Compiled, _: &RunConfig) -> Result<RunReport, LolError> {
+                Err(LolError::Unsupported("FAKE".into()))
+            }
+        }
+        let mut reg = EngineRegistry::standard();
+        assert!(reg.get(Backend::Interp).unwrap().available());
+        reg.register(Box::new(FakeInterp));
+        assert_eq!(reg.backends().len(), 3, "replacement, not duplication");
+        assert!(!reg.get(Backend::Interp).unwrap().available());
+        assert!(reg.get(Backend::Vm).unwrap().available(), "other engines untouched");
+    }
+
+    #[test]
+    fn c_engine_runs_multi_pe_or_degrades_cleanly() {
+        let engine = engine_for(Backend::C);
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        match engine.run(&artifact, &cfg(3)) {
+            Ok(r) => {
+                assert!(engine.available());
+                assert_eq!(r.backend, Backend::C);
+                assert_eq!(r.n_pes(), 3);
+                for pe in 0..3 {
+                    assert_eq!(r.output(pe), format!("HAI ITZ {pe} OF 3\n"));
+                }
+            }
+            Err(LolError::Unsupported(msg)) => {
+                assert!(!engine.available(), "unsupported only without a compiler: {msg}");
+            }
+            Err(other) => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn c_engine_reports_latency_models_as_unsupported() {
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        let cfg = cfg(2).latency(crate::LatencyModel::xc40());
+        match CEngine.run(&artifact, &cfg) {
+            Err(LolError::Unsupported(msg)) => assert!(msg.contains("LATENCY"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_engine_reports_over_cap_pe_counts_as_unsupported() {
+        // The stub caps PE threads; wider configs must degrade, not
+        // spawn a binary that refuses to start (a hard failure).
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        match CEngine.run(&artifact, &cfg(257)) {
+            Err(LolError::Unsupported(msg)) => assert!(msg.contains("257"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_engine_refuses_to_mislabel_barrier_and_lock_ablations() {
+        // The stub has exactly one barrier and one lock algorithm;
+        // running a dissemination/ticket config would return
+        // centralized/CAS results under the wrong label.
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        use lol_shmem::{BarrierKind, LockKind};
+        match CEngine.run(&artifact, &cfg(2).barrier(BarrierKind::Dissemination)) {
+            Err(LolError::Unsupported(msg)) => assert!(msg.contains("BARRIER"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        match CEngine.run(&artifact, &cfg(2).lock(LockKind::Ticket)) {
+            Err(LolError::Unsupported(msg)) => assert!(msg.contains("LOCK"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_binary_is_built_once_and_shared() {
+        if !CEngine.available() {
+            eprintln!("skipping: no C compiler");
+            return;
+        }
+        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+        let b1 = artifact.c_binary().unwrap() as *const _;
+        CEngine.run(&artifact, &cfg(2)).unwrap();
+        let b2 = artifact.c_binary().unwrap() as *const _;
+        assert_eq!(b1, b2, "binary must be built once and cached");
+    }
+
+    #[test]
+    fn c_engine_surfaces_runtime_faults() {
+        if !CEngine.available() {
+            eprintln!("skipping: no C compiler");
+            return;
+        }
+        let artifact = Compiled::new("HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE").unwrap();
+        match CEngine.run(&artifact, &cfg(1)) {
+            Err(LolError::Runtime(se)) => assert!(se.message.contains("RUN0001"), "{se}"),
             other => panic!("{other:?}"),
         }
     }

@@ -6,8 +6,13 @@
 //! source ──lex──▶ tokens ──parse──▶ AST ──sema──▶ Compiled artifact
 //!      ├── InterpEngine (tree-walking interpreter, SPMD over lol-shmem)
 //!      ├── VmEngine     (bytecode VM, SPMD over lol-shmem)
-//!      └── emit C + OpenSHMEM (the paper's lcc output)
+//!      └── CEngine      (emit C + OpenSHMEM — the paper's lcc — then
+//!                        cc + multi-PE SHMEM stub, run as a binary)
 //! ```
+//!
+//! Engines dispatch through the [`EngineRegistry`] ([`engine_for`]
+//! consults the process-wide standard one), so every execution path —
+//! including future backends — sits behind the same [`Engine`] trait.
 //!
 //! ## Compile once, run many
 //!
@@ -78,8 +83,11 @@ pub mod corpus;
 mod engine;
 pub mod sweep;
 
-pub use engine::{engine_for, Compiled, Engine, InterpEngine, RunReport, VmEngine};
-pub use sweep::{SweepEntry, SweepReport, SweepSpec};
+pub use engine::{
+    engine_for, registry, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, RunReport,
+    VmEngine,
+};
+pub use sweep::{jsonl_record, SweepEntry, SweepReport, SweepSpec};
 
 use lol_ast::{Program, SourceMap};
 use lol_sema::Analysis;
@@ -87,13 +95,23 @@ pub use lol_shmem::{BarrierKind, CommStats, LatencyModel, LockKind, ShmemConfig,
 use std::time::Duration;
 
 /// Which execution engine runs the program.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// Tree-walking interpreter (full language, including `SRS`).
     #[default]
     Interp,
     /// Bytecode VM (compiled path; rejects `SRS`).
     Vm,
+    /// Translate to C + OpenSHMEM (the paper's `lcc`), compile with the
+    /// system C compiler against the bundled multi-PE stub, and run
+    /// the binary. Unsupported (cleanly) on machines without a C
+    /// compiler; ignores latency models.
+    C,
+}
+
+impl Backend {
+    /// Every backend the standard registry ships, in display order.
+    pub const ALL: [Backend; 3] = [Backend::Interp, Backend::Vm, Backend::C];
 }
 
 impl std::fmt::Display for Backend {
@@ -101,7 +119,21 @@ impl std::fmt::Display for Backend {
         f.write_str(match self {
             Backend::Interp => "interp",
             Backend::Vm => "vm",
+            Backend::C => "c",
         })
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "interp" => Ok(Backend::Interp),
+            "vm" => Ok(Backend::Vm),
+            "c" | "cc" | "lcc" => Ok(Backend::C),
+            other => Err(format!("O NOES! backend IZ interp, vm OR c, NOT {other}")),
+        }
     }
 }
 
@@ -224,6 +256,12 @@ pub enum LolError {
     /// Invalid run configuration (e.g. a zero-width mesh latency
     /// model), rejected before any PE launches.
     Config(String),
+    /// The selected engine cannot run this config on this machine at
+    /// all (e.g. the C backend without a C compiler, or with a latency
+    /// model it has no way to simulate). Distinct from a failure: sweep
+    /// reports render it as skipped-with-reason, and equivalence tests
+    /// skip instead of failing.
+    Unsupported(String),
     /// A PE failed at runtime.
     Runtime(SpmdError),
 }
@@ -235,8 +273,17 @@ impl std::fmt::Display for LolError {
             LolError::Sema(s) => write!(f, "{s}"),
             LolError::Compile(s) => write!(f, "{s}"),
             LolError::Config(s) => write!(f, "{s}"),
+            LolError::Unsupported(s) => write!(f, "{s}"),
             LolError::Runtime(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl LolError {
+    /// Is this "this engine can't run that here" rather than a real
+    /// failure? Sweeps and tests use this to degrade instead of die.
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, LolError::Unsupported(_))
     }
 }
 

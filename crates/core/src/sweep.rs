@@ -23,12 +23,24 @@
 //! [`SweepReport`] aggregates the per-config [`RunReport`]s into the
 //! derived metrics a scaling figure needs — speedup vs. the 1-PE
 //! baseline of the same (backend, latency, seed) group, parallel
-//! efficiency, and job-wide communication totals — and serializes to
-//! JSON without any external dependency ([`SweepReport::to_json`]).
+//! efficiency, cross-backend wall-time ratios against the interpreter
+//! (vm-over-interp, c-over-interp, per identical config), and job-wide
+//! communication totals — and serializes to JSON without any external
+//! dependency ([`SweepReport::to_json`]).
+//!
+//! Two scheduler/reporting refinements matter at scale:
+//!
+//! * **Thread budget** ([`SweepSpec::threads`]): every config is
+//!   weighted by its PE count and jobs only launch while the in-flight
+//!   PE threads fit the budget, so `jobs × PEs` can't oversubscribe
+//!   the machine.
+//! * **Streaming** ([`SweepSpec::run_with`] + [`jsonl_record`]): each
+//!   entry can be emitted as a JSONL record the moment it completes,
+//!   so a big matrix is inspectable mid-run and a killed sweep keeps
+//!   everything already finished.
 
 use crate::{engine_for, Backend, Compiled, LatencyModel, LolError, RunConfig, RunReport};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -54,6 +66,7 @@ pub struct SweepSpec {
     latencies: Vec<LatencyModel>,
     backends: Vec<Backend>,
     jobs: usize,
+    threads: usize,
 }
 
 impl Default for SweepSpec {
@@ -79,6 +92,7 @@ impl SweepSpec {
             latencies: Vec::new(),
             backends: Vec::new(),
             jobs: 0,
+            threads: 0,
         }
     }
 
@@ -121,9 +135,35 @@ impl SweepSpec {
         self
     }
 
+    /// Set the global *thread* budget: the scheduler weights every
+    /// queued config by its PE count, and only starts a job when the
+    /// in-flight PE threads plus the job's own fit inside the budget —
+    /// so `jobs × PEs` can never oversubscribe the machine, no matter
+    /// how wide the worker pool is. `0` (the default) means the number
+    /// of available cores. A single config wider than the whole budget
+    /// still runs — alone.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The worker cap (`0` = auto).
     pub fn jobs_requested(&self) -> usize {
         self.jobs
+    }
+
+    /// The thread budget (`0` = auto: available cores).
+    pub fn threads_requested(&self) -> usize {
+        self.threads
+    }
+
+    /// The thread budget a run would actually enforce.
+    pub fn effective_thread_budget(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
     }
 
     /// The explicitly-set backend axis (empty = inherit the base
@@ -206,38 +246,124 @@ impl SweepSpec {
     /// Run the whole product against one artifact on a bounded worker
     /// pool and aggregate the results.
     ///
-    /// Jobs are claimed from a shared queue by `effective_jobs` scoped
-    /// OS threads; each result lands in its config-order slot, so the
-    /// report's outputs and stats are identical whether one worker ran
-    /// everything serially or the whole pool raced. Wall times are
-    /// *not*: concurrent jobs contend for cores, biasing per-config
-    /// walls (and the speedup/efficiency columns derived from them)
-    /// upward — use [`SweepSpec::jobs`]`(1)` when the timing columns
-    /// are the result. A failing config records its error and does not
-    /// abort the rest.
+    /// Jobs are claimed from a shared queue by up to `effective_jobs`
+    /// scoped OS threads, under the global [thread
+    /// budget][SweepSpec::threads]: each config weighs its PE count,
+    /// and a worker only starts a job when the in-flight weight plus
+    /// the job's own fits the budget (a job at least as wide as the
+    /// whole budget runs alone). Each result lands in its config-order
+    /// slot, so the report's outputs and stats are identical whether
+    /// one worker ran everything serially or the whole pool raced.
+    /// Wall times are *not*: concurrent jobs contend for cores,
+    /// biasing per-config walls (and the speedup/efficiency columns
+    /// derived from them) upward — use [`SweepSpec::jobs`]`(1)` when
+    /// the timing columns are the result. A failing config records its
+    /// error and does not abort the rest.
     pub fn run(&self, artifact: &Compiled) -> SweepReport {
+        self.run_with(artifact, |_, _, _| {})
+    }
+
+    /// [`SweepSpec::run`], streaming: `on_entry(index, config, result)`
+    /// fires as each config *completes* (completion order, not config
+    /// order — the index says which slot it is), before the aggregated
+    /// report exists. This is what `lolrun --json-lines` rides: big
+    /// matrices become inspectable mid-run, and a killed sweep leaves
+    /// every finished entry on record. Derived columns (speedup,
+    /// vs-interp ratios) need the whole matrix and therefore only
+    /// appear in the final [`SweepReport`].
+    ///
+    /// Callbacks may fire concurrently from different worker threads;
+    /// use [`jsonl_record`] (or your own locking) for serialized
+    /// output.
+    pub fn run_with(
+        &self,
+        artifact: &Compiled,
+        on_entry: impl Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync,
+    ) -> SweepReport {
         let configs = self.configs();
         let n = configs.len();
         let workers = self.effective_jobs(n);
+        let budget = self.effective_thread_budget();
+        // A job wider than the budget still has to run; capping its
+        // weight at the whole budget makes it run alone.
+        let weight = |cfg: &RunConfig| cfg.n_pes.clamp(1, budget);
         let t0 = Instant::now();
         let mut slots: Vec<Mutex<Option<Result<RunReport, LolError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
 
         if workers <= 1 {
-            for (cfg, slot) in configs.iter().zip(&mut slots) {
-                *slot.get_mut().unwrap() = Some(engine_for(cfg.backend).run(artifact, cfg));
+            for (i, (cfg, slot)) in configs.iter().zip(&mut slots).enumerate() {
+                let result = engine_for(cfg.backend).run(artifact, cfg);
+                on_entry(i, cfg, &result);
+                *slot.get_mut().unwrap() = Some(result);
             }
         } else {
-            let next = AtomicUsize::new(0);
+            struct Sched {
+                claimed: Vec<bool>,
+                in_flight: usize,
+            }
+            let sched = Mutex::new(Sched { claimed: vec![false; n], in_flight: 0 });
+            let turnstile = Condvar::new();
+            // Returns the claimed weight and wakes budget waiters even
+            // if the job body panics (engine bug or user callback) —
+            // otherwise a worker parked in `turnstile.wait` would
+            // sleep forever and the scope join (which re-raises the
+            // panic) would never be reached. Locks are poison-tolerant
+            // for the same reason.
+            struct BudgetGuard<'a> {
+                sched: &'a Mutex<Sched>,
+                turnstile: &'a Condvar,
+                weight: usize,
+            }
+            impl Drop for BudgetGuard<'_> {
+                fn drop(&mut self) {
+                    self.sched
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .in_flight -= self.weight;
+                    self.turnstile.notify_all();
+                }
+            }
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
+                        let i = {
+                            let mut st =
+                                sched.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            loop {
+                                if st.claimed.iter().all(|&c| c) {
+                                    return; // queue drained
+                                }
+                                // First unclaimed config whose PE
+                                // weight fits the remaining budget
+                                // (weights never exceed the budget, so
+                                // an idle pool always finds one).
+                                let fit = (0..n).find(|&i| {
+                                    !st.claimed[i] && st.in_flight + weight(&configs[i]) <= budget
+                                });
+                                match fit {
+                                    Some(i) => {
+                                        st.claimed[i] = true;
+                                        st.in_flight += weight(&configs[i]);
+                                        break i;
+                                    }
+                                    None => {
+                                        st = turnstile
+                                            .wait(st)
+                                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    }
+                                }
+                            }
+                        };
+                        let _return_budget = BudgetGuard {
+                            sched: &sched,
+                            turnstile: &turnstile,
+                            weight: weight(&configs[i]),
+                        };
                         let result = engine_for(configs[i].backend).run(artifact, &configs[i]);
-                        *slots[i].lock().unwrap() = Some(result);
+                        on_entry(i, &configs[i], &result);
+                        *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                            Some(result);
                     });
                 }
             });
@@ -259,10 +385,13 @@ impl SweepSpec {
     ///   `seeds=7,9` or `seeds=0..2` — explicit seed values
     /// * `latency=off,mesh:4,torus:4x4,flat:1000` — latency models
     ///   (see [`LatencyModel::from_str`][std::str::FromStr])
-    /// * `backend=interp|vm|both`
+    /// * `backend=interp,vm,c` — engines to sweep; `both` expands to
+    ///   `interp,vm`, `all` to every registered backend
     /// * `jobs=4` — worker cap (`0` = auto)
+    /// * `threads=8` — global PE-thread budget (`0` = auto: cores)
     ///
-    /// Example: `"pes=1..16;seeds=3;latency=off,mesh:4"`.
+    /// Example: `"pes=1..16;seeds=3;latency=off,mesh:4"` or
+    /// `"pes=1,2,4;backend=interp,vm,c"`.
     pub fn parse(spec: &str, base: RunConfig) -> Result<SweepSpec, String> {
         let mut out = SweepSpec::over(base);
         for clause in spec.split(';') {
@@ -301,14 +430,13 @@ impl SweepSpec {
                     let mut backends = Vec::new();
                     for tok in value.split(',') {
                         match tok.trim() {
-                            "interp" => backends.push(Backend::Interp),
-                            "vm" => backends.push(Backend::Vm),
                             "both" => backends.extend([Backend::Interp, Backend::Vm]),
-                            other => {
-                                return Err(format!(
-                                    "O NOES! backend IZ interp, vm OR both, NOT {other}"
-                                ))
-                            }
+                            "all" => backends.extend(Backend::ALL),
+                            other => backends.push(other.parse::<Backend>().map_err(|_| {
+                                format!(
+                                    "O NOES! backend IZ interp, vm, c, both OR all, NOT {other}"
+                                )
+                            })?),
                         }
                     }
                     out.backends = backends;
@@ -318,6 +446,12 @@ impl SweepSpec {
                         .trim()
                         .parse()
                         .map_err(|_| format!("O NOES! jobs WANTS A NUMBR, GOT: {value}"))?;
+                }
+                "threads" => {
+                    out.threads = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("O NOES! threads WANTS A NUMBR, GOT: {value}"))?;
                 }
                 other => return Err(format!("O NOES! I DUNNO DIS SWEEP AXIS: {other}")),
             }
@@ -387,26 +521,113 @@ pub struct SweepEntry {
     pub speedup: Option<f64>,
     /// `speedup / n_pes` — parallel efficiency.
     pub efficiency: Option<f64>,
+    /// Cross-backend ratio: the interpreter's wall time at the *same*
+    /// (latency, seed, PE count) divided by this entry's — i.e. how
+    /// many times faster than interp this backend ran this config
+    /// (> 1 = faster). `Some(≈1.0)` on interp entries themselves,
+    /// `None` when the matrix has no matching interp entry. The same
+    /// multi-worker timing caveat as [`SweepEntry::speedup`] applies.
+    pub vs_interp: Option<f64>,
 }
 
 impl SweepEntry {
     /// FNV-1a hash over the per-PE outputs (stable fingerprint for
     /// machine-readable reports without embedding full outputs).
     pub fn output_hash(&self) -> Option<u64> {
-        let report = self.result.as_ref().ok()?;
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-        };
-        for out in &report.outputs {
-            eat(out.as_bytes());
-            eat(&[0x1E]); // record separator: "a","" != "","a"
-        }
-        Some(h)
+        self.result.as_ref().ok().map(output_hash)
     }
+
+    /// Did this config fail only because the engine can't run here
+    /// (e.g. C backend without a compiler)?
+    pub fn is_unsupported(&self) -> bool {
+        matches!(&self.result, Err(e) if e.is_unsupported())
+    }
+}
+
+/// FNV-1a hash over per-PE outputs (stable fingerprint for
+/// machine-readable reports without embedding full outputs).
+fn output_hash(report: &RunReport) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for out in &report.outputs {
+        eat(out.as_bytes());
+        eat(&[0x1E]); // record separator: "a","" != "","a"
+    }
+    h
+}
+
+/// One self-contained JSONL record for a completed config — the
+/// streaming (`--json-lines`) serialization, also usable straight from
+/// a [`SweepSpec::run_with`] callback. Contains the config, outcome,
+/// wall time, output hash and comm stats; matrix-derived columns
+/// (speedup/efficiency/vs-interp) don't exist until the sweep ends and
+/// are deliberately absent.
+pub fn jsonl_record(
+    index: usize,
+    config: &RunConfig,
+    result: &Result<RunReport, LolError>,
+) -> String {
+    let mut out = String::from("{");
+    push_config_json(&mut out, index, config);
+    match result {
+        Ok(r) => {
+            out.push_str("\"ok\": true, ");
+            out.push_str(&format!("\"wall_ns\": {}, ", r.wall.as_nanos()));
+            out.push_str(&format!("\"output_hash\": \"{:016x}\", ", output_hash(r)));
+            push_stats_json(&mut out, r);
+        }
+        Err(err) => push_error_json(&mut out, err),
+    }
+    out.push('}');
+    out
+}
+
+/// The shared per-entry identification prefix (`"index"` through
+/// `"latency"`), used by both the streaming records and the final
+/// report so the two serializations can never drift apart.
+fn push_config_json(out: &mut String, index: usize, config: &RunConfig) {
+    out.push_str(&format!("\"index\": {index}, "));
+    out.push_str(&format!("\"backend\": \"{}\", ", config.backend));
+    out.push_str(&format!("\"pes\": {}, ", config.n_pes));
+    out.push_str(&format!("\"seed\": {}, ", config.seed));
+    out.push_str(&format!("\"latency\": \"{}\", ", config.latency));
+}
+
+/// The shared failure arm: `"ok": false` plus the unsupported flag and
+/// the rendered error.
+fn push_error_json(out: &mut String, err: &LolError) {
+    out.push_str("\"ok\": false, ");
+    if err.is_unsupported() {
+        out.push_str("\"unsupported\": true, ");
+    }
+    out.push_str(&format!("\"error\": \"{}\"", json_escape(&err.to_string())));
+}
+
+/// The shared `"stats": {...}` object (job-wide totals).
+fn push_stats_json(out: &mut String, r: &RunReport) {
+    let t = r.total_stats();
+    out.push_str(&format!(
+        "\"stats\": {{\"local_gets\": {}, \"remote_gets\": {}, \
+         \"local_puts\": {}, \"remote_puts\": {}, \
+         \"block_get_words\": {}, \"block_put_words\": {}, \
+         \"amos\": {}, \"barriers_per_pe\": {}, \
+         \"lock_acquires\": {}, \"remote_fraction\": {:.4}}}",
+        t.local_gets,
+        t.remote_gets,
+        t.local_puts,
+        t.remote_puts,
+        t.block_get_words,
+        t.block_put_words,
+        t.amos,
+        r.stats.first().map(|s| s.barriers).unwrap_or(0),
+        t.lock_acquires,
+        t.remote_fraction(),
+    ));
 }
 
 /// Aggregated result of a [`SweepSpec::run`]: entries in config order
@@ -431,25 +652,46 @@ impl SweepReport {
         let mut entries: Vec<SweepEntry> = configs
             .into_iter()
             .zip(results)
-            .map(|(config, result)| SweepEntry { config, result, speedup: None, efficiency: None })
+            .map(|(config, result)| SweepEntry {
+                config,
+                result,
+                speedup: None,
+                efficiency: None,
+                vs_interp: None,
+            })
             .collect();
-        // Baselines: the 1-PE wall time of each (backend, latency,
-        // seed) group.
+        // Scaling baselines: the 1-PE wall time of each
+        // (backend, latency, seed) group.
         let key = |c: &RunConfig| (c.backend, c.latency.to_string(), c.seed);
         let baselines: Vec<((Backend, String, u64), Duration)> = entries
             .iter()
             .filter(|e| e.config.n_pes == 1)
             .filter_map(|e| e.result.as_ref().ok().map(|r| (key(&e.config), r.wall)))
             .collect();
+        // Cross-backend baselines: the interpreter's wall time at each
+        // (latency, seed, PE count) — interp is the paper's reference
+        // substrate, so every backend reports its factor over it.
+        let xkey = |c: &RunConfig| (c.latency.to_string(), c.seed, c.n_pes);
+        let interp_walls: Vec<((String, u64, usize), Duration)> = entries
+            .iter()
+            .filter(|e| e.config.backend == Backend::Interp)
+            .filter_map(|e| e.result.as_ref().ok().map(|r| (xkey(&e.config), r.wall)))
+            .collect();
         for e in &mut entries {
             let Ok(report) = &e.result else { continue };
-            let k = key(&e.config);
-            let Some((_, base)) = baselines.iter().find(|(bk, _)| *bk == k) else { continue };
             let wall = report.wall.as_secs_f64();
-            if wall > 0.0 {
+            if wall <= 0.0 {
+                continue;
+            }
+            let k = key(&e.config);
+            if let Some((_, base)) = baselines.iter().find(|(bk, _)| *bk == k) {
                 let speedup = base.as_secs_f64() / wall;
                 e.speedup = Some(speedup);
                 e.efficiency = Some(speedup / e.config.n_pes as f64);
+            }
+            let xk = xkey(&e.config);
+            if let Some((_, iw)) = interp_walls.iter().find(|(bk, _)| *bk == xk) {
+                e.vs_interp = Some(iw.as_secs_f64() / wall);
             }
         }
         SweepReport { entries, jobs, total_wall }
@@ -465,12 +707,29 @@ impl SweepReport {
         self.ok_count() == self.entries.len()
     }
 
+    /// Configs that failed because the engine can't run on this
+    /// machine/config at all (e.g. C backend without a compiler).
+    pub fn unsupported_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_unsupported()).count()
+    }
+
+    /// Real failures: neither ok nor unsupported. This is what a CI
+    /// gate should look at — a sweep that only lost engines the
+    /// machine doesn't have is still a pass.
+    pub fn hard_failure_count(&self) -> usize {
+        self.entries.len() - self.ok_count() - self.unsupported_count()
+    }
+
     /// Render a human-readable scaling table (one row per config).
+    /// `x-interp` is the cross-backend column: this backend's
+    /// wall-time factor over the interpreter on the identical config
+    /// (vm-over-interp, c-over-interp, ... — > 1 = faster than
+    /// interp).
     pub fn speedup_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8}  outcome\n",
-            "backend", "latency", "seed", "pes", "wall", "speedup", "eff", "remote%"
+            "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
+            "backend", "latency", "seed", "pes", "wall", "speedup", "eff", "x-interp", "remote%"
         ));
         for e in &self.entries {
             let c = &e.config;
@@ -482,7 +741,7 @@ impl SweepReport {
                 Ok(r) => {
                     let total = r.total_stats();
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>7.1}%  ok\n",
+                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>7.1}%  ok\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
                         c.seed,
@@ -490,14 +749,16 @@ impl SweepReport {
                         format!("{:.1?}", r.wall),
                         opt(e.speedup, 2),
                         opt(e.efficiency, 2),
+                        opt(e.vs_interp, 2),
                         100.0 * total.remote_fraction(),
                     ));
                 }
                 Err(err) => {
                     let first = err.to_string();
                     let first = first.lines().next().unwrap_or("").to_string();
+                    let outcome = if e.is_unsupported() { "UNSUPPORTED" } else { "FAILED" };
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8}  FAILED: {}\n",
+                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  {}: {}\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
                         c.seed,
@@ -506,15 +767,23 @@ impl SweepReport {
                         "-",
                         "-",
                         "-",
+                        "-",
+                        outcome,
                         first,
                     ));
                 }
             }
         }
+        let unsupported = self.unsupported_count();
         out.push_str(&format!(
-            "{} configs, {} ok, {} workers, total wall {:.1?}\n",
+            "{} configs, {} ok{}, {} workers, total wall {:.1?}\n",
             self.entries.len(),
             self.ok_count(),
+            if unsupported > 0 {
+                format!(" ({unsupported} unsupported here)")
+            } else {
+                String::new()
+            },
             self.jobs,
             self.total_wall,
         ));
@@ -548,12 +817,7 @@ impl SweepReport {
                 out.push(',');
             }
             out.push_str("\n    {");
-            let c = &e.config;
-            out.push_str(&format!("\"index\": {i}, "));
-            out.push_str(&format!("\"backend\": \"{}\", ", c.backend));
-            out.push_str(&format!("\"pes\": {}, ", c.n_pes));
-            out.push_str(&format!("\"seed\": {}, ", c.seed));
-            out.push_str(&format!("\"latency\": \"{}\", ", c.latency));
+            push_config_json(&mut out, i, &e.config);
             match &e.result {
                 Ok(r) => {
                     out.push_str("\"ok\": true, ");
@@ -565,34 +829,15 @@ impl SweepReport {
                         };
                         out.push_str(&format!("\"speedup\": {}, ", opt(e.speedup)));
                         out.push_str(&format!("\"efficiency\": {}, ", opt(e.efficiency)));
+                        out.push_str(&format!("\"vs_interp\": {}, ", opt(e.vs_interp)));
                     }
                     out.push_str(&format!(
                         "\"output_hash\": \"{:016x}\", ",
                         e.output_hash().expect("ok entry hashes")
                     ));
-                    let t = r.total_stats();
-                    out.push_str(&format!(
-                        "\"stats\": {{\"local_gets\": {}, \"remote_gets\": {}, \
-                         \"local_puts\": {}, \"remote_puts\": {}, \
-                         \"block_get_words\": {}, \"block_put_words\": {}, \
-                         \"amos\": {}, \"barriers_per_pe\": {}, \
-                         \"lock_acquires\": {}, \"remote_fraction\": {:.4}}}",
-                        t.local_gets,
-                        t.remote_gets,
-                        t.local_puts,
-                        t.remote_puts,
-                        t.block_get_words,
-                        t.block_put_words,
-                        t.amos,
-                        r.stats.first().map(|s| s.barriers).unwrap_or(0),
-                        t.lock_acquires,
-                        t.remote_fraction(),
-                    ));
+                    push_stats_json(&mut out, r);
                 }
-                Err(err) => {
-                    out.push_str("\"ok\": false, ");
-                    out.push_str(&format!("\"error\": \"{}\"", json_escape(&err.to_string())));
-                }
+                Err(err) => push_error_json(&mut out, err),
             }
             out.push('}');
         }
@@ -804,5 +1049,113 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn vs_interp_ratios_cover_matching_configs_only() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let report = SweepSpec::over(base())
+            .pes([1, 2])
+            .backends([Backend::Interp, Backend::Vm])
+            .run(&artifact);
+        assert!(report.all_ok());
+        // interp entries compare against themselves: ratio ≈ 1.
+        for e in &report.entries[..2] {
+            let r = e.vs_interp.expect("interp has a matching interp entry");
+            assert!((r - 1.0).abs() < 1e-9, "interp vs itself should be 1.0, got {r}");
+        }
+        // vm entries carry vm-over-interp at the same PE count.
+        for e in &report.entries[2..] {
+            assert_eq!(e.config.backend, Backend::Vm);
+            assert!(e.vs_interp.unwrap() > 0.0);
+        }
+        // A vm-only sweep has no interp baseline: no ratio.
+        let vm_only = SweepSpec::over(base()).pes([1, 2]).backends([Backend::Vm]).run(&artifact);
+        assert!(vm_only.entries.iter().all(|e| e.vs_interp.is_none()));
+        // The ratio appears in timing JSON and the table header, never
+        // in the byte-stable JSON.
+        assert!(report.to_json().contains("\"vs_interp\""));
+        assert!(report.speedup_table().contains("x-interp"));
+        assert!(!report.to_json_stable().contains("vs_interp"));
+    }
+
+    #[test]
+    fn thread_budget_serializes_wide_jobs_but_keeps_results_exact() {
+        let artifact = compile("HAI 1.2\nVISIBLE SUM OF WHATEVR AN ME\nKTHXBYE").unwrap();
+        let spec = SweepSpec::over(base()).pes([1, 2, 4]).seeds([1, 2]).jobs(4);
+        // Budget of 1 PE-thread: every job runs alone, whatever the
+        // worker count says.
+        let tight = spec.clone().threads(1).run(&artifact);
+        let loose = spec.threads(64).run(&artifact);
+        assert!(tight.all_ok() && loose.all_ok());
+        assert_eq!(tight.to_json_stable(), loose.to_json_stable());
+        assert_eq!(SweepSpec::parse("pes=1,2;threads=3", base()).unwrap().threads_requested(), 3);
+        assert!(SweepSpec::parse("threads=lots", base()).is_err());
+    }
+
+    #[test]
+    fn run_with_streams_every_entry_exactly_once() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let spec = SweepSpec::over(base()).pes([1, 2, 3, 4]).jobs(4);
+        let seen = Mutex::new(vec![0usize; 4]);
+        let report = spec.run_with(&artifact, |i, cfg, result| {
+            assert_eq!(cfg.n_pes, i + 1);
+            assert!(result.is_ok());
+            seen.lock().unwrap()[i] += 1;
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![1, 1, 1, 1]);
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn jsonl_records_are_single_line_and_carry_outcomes() {
+        let artifact =
+            compile("HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN DIFF OF ME AN 1\nKTHXBYE").unwrap();
+        let spec = SweepSpec::over(base().timeout(Duration::from_secs(5))).pes([1, 2]);
+        let lines = Mutex::new(Vec::new());
+        spec.run_with(&artifact, |i, cfg, result| {
+            lines.lock().unwrap().push(jsonl_record(i, cfg, result));
+        });
+        let mut lines = lines.into_inner().unwrap();
+        lines.sort(); // completion order is racy; index is in the record
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(!line.contains('\n'), "JSONL records must be single-line");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(lines[0].contains("\"ok\": true"));
+        assert!(lines[0].contains("\"output_hash\""));
+        assert!(lines[1].contains("\"ok\": false"));
+        assert!(lines[1].contains("RUN0001"));
+    }
+
+    #[test]
+    fn backend_clause_accepts_c_and_all() {
+        let spec = SweepSpec::parse("pes=1;backend=interp,vm,c", base()).unwrap();
+        assert_eq!(
+            spec.configs().iter().map(|c| c.backend).collect::<Vec<_>>(),
+            vec![Backend::Interp, Backend::Vm, Backend::C]
+        );
+        let all = SweepSpec::parse("backend=all", base()).unwrap();
+        assert_eq!(all.backends_requested(), &Backend::ALL);
+        assert!(SweepSpec::parse("backend=fortran", base()).is_err());
+    }
+
+    #[test]
+    fn unsupported_entries_are_not_hard_failures() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        // The C engine can't simulate latency models, so this sweep
+        // mixes ok entries (interp) with unsupported ones (c).
+        let report = SweepSpec::over(base())
+            .pes([1])
+            .latencies([LatencyModel::xc40()])
+            .backends([Backend::Interp, Backend::C])
+            .run(&artifact);
+        assert_eq!(report.ok_count(), 1);
+        assert_eq!(report.unsupported_count(), 1);
+        assert_eq!(report.hard_failure_count(), 0);
+        assert!(!report.all_ok());
+        assert!(report.speedup_table().contains("UNSUPPORTED"));
+        assert!(report.to_json().contains("\"unsupported\": true"));
     }
 }

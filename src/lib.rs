@@ -54,8 +54,8 @@ pub mod prelude {
     };
     pub use lolcode::corpus;
     pub use lolcode::{
-        check, compile, compile_to_c, engine_for, parse_program, run_source, Backend, Compiled,
-        Engine, InterpEngine, LolError, RunConfig, RunReport, SweepEntry, SweepReport, SweepSpec,
-        VmEngine,
+        check, compile, compile_to_c, engine_for, jsonl_record, parse_program, registry,
+        run_source, Backend, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, LolError,
+        RunConfig, RunReport, SweepEntry, SweepReport, SweepSpec, VmEngine,
     };
 }

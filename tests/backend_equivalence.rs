@@ -165,3 +165,82 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// C engine: generated differentials (cc-gated, so fewer cases)
+// ---------------------------------------------------------------------
+
+/// Integer-only expression: the subset whose semantics are defined
+/// identically on every backend (no YARN weak-casts, no floats, no
+/// division). `depth` bounds nesting.
+fn int_expr(rng: &mut proptest::TestRng, depth: u32) -> String {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(4) {
+            0 => (rng.below(200) as i64 - 100).to_string(),
+            1 => "ME".to_string(),
+            2 => "MAH FRENZ".to_string(),
+            _ => (rng.below(7) as i64).to_string(),
+        };
+    }
+    let ops = ["SUM OF", "DIFF OF", "PRODUKT OF", "BIGGR OF", "SMALLR OF"];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    format!("{op} {} AN {}", int_expr(rng, depth - 1), int_expr(rng, depth - 1))
+}
+
+/// ~24 generated integer-arithmetic programs, each run on all three
+/// engines at 1 and 3 PEs: the C binary's per-PE output must equal the
+/// substrate engines' byte-for-byte. Skips when no C compiler exists
+/// (the binary is what's under test).
+#[test]
+fn generated_int_programs_agree_with_c_engine() {
+    let c_engine = engine_for(Backend::C);
+    if !c_engine.available() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let mut rng = proptest::TestRng::from_seed(0xC0DE_CAFE);
+    for case in 0..24 {
+        let body: String = (0..3).map(|_| format!("VISIBLE {}\n", int_expr(&mut rng, 3))).collect();
+        let src = format!("HAI 1.2\n{body}KTHXBYE\n");
+        let artifact = compile(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
+        for n_pes in [1usize, 3] {
+            let cfg = RunConfig::new(n_pes).seed(case as u64).timeout(Duration::from_secs(30));
+            let interp = InterpEngine.run(&artifact, &cfg).unwrap().outputs;
+            let vm = VmEngine.run(&artifact, &cfg).unwrap().outputs;
+            let c = c_engine.run(&artifact, &cfg).unwrap().outputs;
+            assert_eq!(interp, vm, "case {case} at {n_pes} PEs:\n{src}");
+            assert_eq!(interp, c, "case {case}: C diverges at {n_pes} PEs:\n{src}");
+        }
+    }
+}
+
+/// Division faults must agree across all three engines: either every
+/// backend succeeds with identical output, or every backend reports
+/// RUN0001.
+#[test]
+fn division_faults_agree_with_c_engine() {
+    let c_engine = engine_for(Backend::C);
+    if !c_engine.available() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    for den in [-2i64, -1, 0, 1, 3] {
+        let src = format!("HAI 1.2\nVISIBLE QUOSHUNT OF 7 AN {den}\nKTHXBYE\n");
+        let artifact = compile(&src).unwrap();
+        let cfg = RunConfig::new(2).timeout(Duration::from_secs(30));
+        let interp = InterpEngine.run(&artifact, &cfg);
+        let c = c_engine.run(&artifact, &cfg);
+        match (interp, c) {
+            (Ok(a), Ok(b)) => assert_eq!(a.outputs, b.outputs, "den={den}"),
+            (Err(ea), Err(eb)) => {
+                assert!(ea.to_string().contains("RUN0001"), "den={den}: {ea}");
+                assert!(eb.to_string().contains("RUN0001"), "den={den}: {eb}");
+            }
+            (a, b) => panic!(
+                "den={den}: fault divergence: interp={:?} c={:?}",
+                a.map(|r| r.outputs),
+                b.map(|r| r.outputs)
+            ),
+        }
+    }
+}

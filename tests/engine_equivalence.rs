@@ -273,6 +273,86 @@ fn generated_grammar_programs_agree_across_engines() {
     assert!(faulted <= compiled / 2, "{faulted} runtime faults in {compiled} programs");
 }
 
+// ---------------------------------------------------------------------
+// C engine: the third execution path against the corpus
+// ---------------------------------------------------------------------
+
+/// The corpus subset the C engine must agree with interp on, swept
+/// across PE counts from one shared artifact per program. Excludes the
+/// `WHATEVR`-based programs (nbody, histogram): the C stub's RNG is a
+/// deliberately different stream, so only deterministic programs pin
+/// output equality. Skips (rather than fails) when the machine has no
+/// C compiler — mirroring the engine's own `Unsupported` degradation.
+#[test]
+fn c_engine_agrees_with_interp_on_corpus_subset() {
+    let c_engine = engine_for(Backend::C);
+    if !c_engine.available() {
+        eprintln!("skipping: no C compiler — C engine unsupported here");
+        // The engine must *say* so, not crash.
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        assert!(matches!(
+            c_engine.run(&artifact, &RunConfig::new(1)),
+            Err(LolError::Unsupported(_))
+        ));
+        return;
+    }
+    let programs: Vec<(&str, String)> = vec![
+        ("hello", corpus::HELLO_PARALLEL.to_string()),
+        ("ring", corpus::RING_EXAMPLE.to_string()),
+        ("locks", corpus::LOCKS_EXAMPLE.to_string()),
+        ("barrier", corpus::BARRIER_EXAMPLE.to_string()),
+        ("trylock", corpus::TRYLOCK_EXAMPLE.to_string()),
+        ("heat2d", corpus::heat2d_source(2, 4, 3)),
+    ];
+    for (name, src) in programs {
+        let artifact = compile(&src).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+        let configs: Vec<RunConfig> = [1usize, 2, 4]
+            .into_iter()
+            .map(|n| RunConfig::new(n).seed(3).timeout(Duration::from_secs(60)))
+            .collect();
+        let interp = InterpEngine.run_many(&artifact, &configs);
+        let c = c_engine.run_many(&artifact, &configs);
+        for ((cfg, a), b) in configs.iter().zip(interp).zip(c) {
+            let a = a.unwrap_or_else(|e| panic!("{name}: interp failed at {} PEs: {e}", cfg.n_pes));
+            let b = b.unwrap_or_else(|e| panic!("{name}: c failed at {} PEs: {e}", cfg.n_pes));
+            assert_eq!(
+                a.outputs, b.outputs,
+                "{name}: C engine diverges from interp at {} PEs",
+                cfg.n_pes
+            );
+            assert_eq!(b.backend, Backend::C);
+            assert_eq!(b.stats.len(), cfg.n_pes, "{name}: per-PE stats from the C run");
+        }
+    }
+}
+
+/// One artifact, all three engines: the paper's "same program, three
+/// substrates" demonstration in a single assertion.
+#[test]
+fn one_artifact_runs_on_every_registered_backend() {
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let cfg = RunConfig::new(4).seed(11).timeout(Duration::from_secs(60));
+    let mut outputs: Vec<(Backend, Vec<String>)> = Vec::new();
+    for backend in Backend::ALL {
+        let engine = engine_for(backend);
+        match engine.run(&artifact, &cfg.clone().backend(backend)) {
+            Ok(r) => outputs.push((backend, r.outputs)),
+            Err(LolError::Unsupported(msg)) => {
+                assert!(!engine.available(), "only an unavailable engine may bail: {msg}")
+            }
+            Err(e) => panic!("{backend:?}: {e}"),
+        }
+    }
+    assert!(outputs.len() >= 2, "interp and vm always run");
+    for pair in outputs.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "{:?} and {:?} disagree on the barrier example",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
 #[test]
 fn same_seed_same_engine_is_deterministic_from_shared_artifact() {
     for (name, src, max_pes) in corpus_programs() {

@@ -95,6 +95,78 @@ fn checked_in_heat2d_matches_corpus_and_ci_sweep_passes() {
     assert_eq!(report.entries.len(), 8);
 }
 
+/// The acceptance matrix for the C backend: the CI 3-backend smoke
+/// sweep spec (`pes=1,2,4;backend=interp,vm,c`) against the checked-in
+/// heat stencil. On a machine with a C compiler every config must run
+/// and agree with interp per config; without one the C entries must
+/// degrade to UNSUPPORTED and never count as hard failures.
+#[test]
+fn three_backend_ci_sweep_runs_or_degrades_cleanly() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/heat2d_4x8.lol");
+    let on_disk = std::fs::read_to_string(path).unwrap();
+    let artifact = compile(&on_disk).unwrap();
+    let spec = SweepSpec::parse(
+        "pes=1,2,4;backend=interp,vm,c",
+        RunConfig::new(1).timeout(Duration::from_secs(120)),
+    )
+    .unwrap();
+    let report = spec.run(&artifact);
+    assert_eq!(report.entries.len(), 9);
+    assert_eq!(report.hard_failure_count(), 0, "{}", report.speedup_table());
+    let c_available = engine_for(Backend::C).available();
+    if c_available {
+        assert!(report.all_ok(), "{}", report.speedup_table());
+        // Per-config agreement across all three backends (heat2d is
+        // deterministic, so the C stub's own RNG plays no part).
+        for chunk in report.entries.chunks(3) {
+            // entries are grouped per backend, 3 PE counts each
+            assert_eq!(chunk.len(), 3);
+        }
+        for i in 0..3 {
+            let interp_hash = report.entries[i].output_hash();
+            assert_eq!(interp_hash, report.entries[3 + i].output_hash(), "vm pes idx {i}");
+            assert_eq!(interp_hash, report.entries[6 + i].output_hash(), "c pes idx {i}");
+        }
+        // The cross-backend columns exist for every non-interp entry.
+        assert!(report.entries[3..].iter().all(|e| e.vs_interp.is_some()));
+    } else {
+        assert_eq!(report.unsupported_count(), 3, "{}", report.speedup_table());
+        assert_eq!(report.ok_count(), 6);
+    }
+}
+
+/// The thread budget keeps `jobs × PEs` inside the core count without
+/// changing a single byte of the results.
+#[test]
+fn thread_budget_does_not_change_results() {
+    let artifact = compile(RANDOM_DURATION).unwrap();
+    let unbounded = spec().jobs(4).threads(usize::MAX).run(&artifact);
+    let tight = spec().jobs(4).threads(1).run(&artifact);
+    assert!(unbounded.all_ok() && tight.all_ok());
+    assert_eq!(unbounded.to_json_stable(), tight.to_json_stable());
+}
+
+/// Streaming callbacks fire once per config with the final result —
+/// the JSONL records and the end-of-run report must tell one story.
+#[test]
+fn streaming_entries_match_the_final_report() {
+    use std::sync::Mutex;
+    let artifact = compile(RANDOM_DURATION).unwrap();
+    let streamed: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let report = spec().jobs(3).run_with(&artifact, |i, cfg, result| {
+        streamed.lock().unwrap().push((i, jsonl_record(i, cfg, result)));
+    });
+    let mut streamed = streamed.into_inner().unwrap();
+    streamed.sort_by_key(|(i, _)| *i);
+    assert_eq!(streamed.len(), report.entries.len());
+    for ((i, line), entry) in streamed.iter().zip(&report.entries) {
+        assert!(line.contains(&format!("\"index\": {i}")));
+        assert!(line.contains(&format!("\"backend\": \"{}\"", entry.config.backend)));
+        let hash = format!("{:016x}", entry.output_hash().unwrap());
+        assert!(line.contains(&hash), "record {i} must carry the final output hash");
+    }
+}
+
 /// Acceptance check for the scheduler's point: ≥8 configs of a
 /// non-trivial corpus program complete measurably faster on 4 workers
 /// than on 1, with byte-identical stable reports. Timing-sensitive, so
