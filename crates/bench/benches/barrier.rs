@@ -5,22 +5,65 @@
 //! algorithms (centralized sense-reversing vs dissemination). Expected
 //! shape: centralized degrades roughly linearly with contention,
 //! dissemination grows ~logarithmically (it wins at higher PE counts).
+//!
+//! The ablation rides the sweep axis (`SweepSpec::barriers`) instead of
+//! a hand-rolled loop: the same `barrier=central,dissem` matrix a
+//! `lolrun --sweep` user writes is what gets timed, end to end through
+//! an engine. A raw-substrate microbench of the same two algorithms
+//! lives next to it for the no-interpreter-overhead number.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lol_shmem::{run_spmd, BarrierKind, ShmemConfig};
+use lolcode::{compile, Compiled, RunConfig, SweepSpec};
 use std::time::{Duration, Instant};
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("F2_barrier");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+/// A barrier-heavy program: `iters` back-to-back `HUGZ` episodes.
+fn barrier_storm(iters: usize) -> Compiled {
+    compile(&format!(
+        "HAI 1.2\n\
+         IM IN YR l UPPIN YR i TIL BOTH SAEM i AN {iters}\n\
+         HUGZ\n\
+         IM OUTTA YR l\n\
+         KTHXBYE"
+    ))
+    .expect("barrier storm compiles")
+}
 
-    for kind in [BarrierKind::Centralized, BarrierKind::Dissemination] {
-        for n_pes in [2usize, 4, 8, 16] {
-            let name = match kind {
-                BarrierKind::Centralized => "central",
-                BarrierKind::Dissemination => "dissemination",
-            };
-            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, &n| {
+/// The ablation as a sweep axis: one spec per (algorithm, PE count)
+/// cell, timed through `SweepSpec::run` on the VM engine (`jobs` is 1
+/// by construction — a single config — so walls are uncontended).
+fn bench_barrier_ablation_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_barrier_ablation_sweep");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let artifact = barrier_storm(50);
+    for kind in BarrierKind::ALL {
+        for n_pes in [2usize, 4, 8] {
+            let spec = SweepSpec::over(
+                RunConfig::new(n_pes)
+                    .backend(lolcode::Backend::Vm)
+                    .timeout(Duration::from_secs(60)),
+            )
+            .barriers([kind]);
+            g.bench_with_input(BenchmarkId::new(&kind.to_string(), n_pes), &spec, |b, spec| {
+                b.iter(|| {
+                    let report = spec.run(&artifact);
+                    assert!(report.all_ok(), "{}", report.speedup_table());
+                    report.entries[0].result.as_ref().unwrap().wall
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Raw-substrate counterpart: the same two algorithms without any
+/// language runtime in the way (the per-episode floor).
+fn bench_barrier_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("F2_barrier_substrate");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in BarrierKind::ALL {
+        for n_pes in [2usize, 8, 16] {
+            g.bench_with_input(BenchmarkId::new(&kind.to_string(), n_pes), &n_pes, |b, &n| {
                 b.iter_custom(|iters| {
                     let cfg = ShmemConfig::new(n).barrier(kind).timeout(Duration::from_secs(60));
                     let times = run_spmd(cfg, |pe| {
@@ -76,5 +119,10 @@ fn bench_figure2_phase(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_barrier, bench_figure2_phase);
+criterion_group!(
+    benches,
+    bench_barrier_ablation_sweep,
+    bench_barrier_substrate,
+    bench_figure2_phase
+);
 criterion_main!(benches);

@@ -5,22 +5,72 @@
 //! (unfair, cheap uncontended) vs Ticket (FIFO-fair, slightly more
 //! state). Expected shape: similar at low PE counts; ticket's fairness
 //! costs a little throughput but bounds waiting.
+//!
+//! The ablation rides the sweep axis (`SweepSpec::locks`) — the same
+//! `lock=cas,ticket` matrix a `lolrun --sweep` user writes, timed end
+//! to end through an engine — with a raw-substrate microbench beside
+//! it for the no-interpreter-overhead floor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lol_shmem::{run_spmd, LockKind, ShmemConfig};
+use lolcode::{compile, Compiled, RunConfig, SweepSpec};
 use std::time::{Duration, Instant};
 
-fn bench_contended_increment(c: &mut Criterion) {
-    let mut g = c.benchmark_group("VI_B_lock_increment");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+/// The Section VI.B pattern, iterated: every PE increments PE 0's
+/// shared counter `iters` times under the implicit lock.
+fn lock_storm(iters: usize) -> Compiled {
+    compile(&format!(
+        "HAI 1.2\n\
+         WE HAS A x ITZ A NUMBR AN IM SHARIN IT\n\
+         HUGZ\n\
+         I HAS A k ITZ 0\n\
+         IM IN YR l UPPIN YR i TIL BOTH SAEM i AN {iters}\n\
+         TXT MAH BFF k AN STUFF\n\
+         IM SRSLY MESIN WIF UR x\n\
+         UR x R SUM OF UR x AN 1\n\
+         DUN MESIN WIF UR x\n\
+         TTYL\n\
+         IM OUTTA YR l\n\
+         HUGZ\n\
+         KTHXBYE"
+    ))
+    .expect("lock storm compiles")
+}
 
-    for kind in [LockKind::SpinCas, LockKind::Ticket] {
+/// The ablation as a sweep axis: one spec per (algorithm, PE count)
+/// cell, timed through `SweepSpec::run` on the VM engine.
+fn bench_lock_ablation_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("VI_B_lock_ablation_sweep");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let artifact = lock_storm(25);
+    for kind in LockKind::ALL {
         for n_pes in [1usize, 2, 4, 8] {
-            let name = match kind {
-                LockKind::SpinCas => "spincas",
-                LockKind::Ticket => "ticket",
-            };
-            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, &n| {
+            let spec = SweepSpec::over(
+                RunConfig::new(n_pes)
+                    .backend(lolcode::Backend::Vm)
+                    .timeout(Duration::from_secs(60)),
+            )
+            .locks([kind]);
+            g.bench_with_input(BenchmarkId::new(&kind.to_string(), n_pes), &spec, |b, spec| {
+                b.iter(|| {
+                    let report = spec.run(&artifact);
+                    assert!(report.all_ok(), "{}", report.speedup_table());
+                    report.entries[0].result.as_ref().unwrap().wall
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Raw-substrate counterpart: the contended increment without any
+/// language runtime in the way.
+fn bench_lock_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("VI_B_lock_substrate");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in LockKind::ALL {
+        for n_pes in [1usize, 4, 8] {
+            g.bench_with_input(BenchmarkId::new(&kind.to_string(), n_pes), &n_pes, |b, &n| {
                 b.iter_custom(|iters| {
                     let cfg = ShmemConfig::new(n).lock(kind).timeout(Duration::from_secs(60));
                     let times = run_spmd(cfg, |pe| {
@@ -84,5 +134,5 @@ fn bench_trylock_pattern(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_contended_increment, bench_trylock_pattern);
+criterion_group!(benches, bench_lock_ablation_sweep, bench_lock_substrate, bench_trylock_pattern);
 criterion_main!(benches);

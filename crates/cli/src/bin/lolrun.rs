@@ -19,14 +19,15 @@
 //! deprecated sugar for a two-backend sweep.
 
 use lolcode::{
-    compile, engine_for, jsonl_record, Backend, Compiled, LatencyModel, RunConfig, RunReport,
-    SweepSpec,
+    compile, engine_for, jsonl_record, Backend, BarrierKind, Compiled, LatencyModel, LockKind,
+    RunConfig, RunReport, SweepSpec,
 };
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
-              [--latency <model>] [--tag] [--stats]
+              [--latency <model>] [--barrier <algo>] [--lock <algo>]
+              [--tag] [--stats]
               [--sweep <spec>] [--jobs <N>] [--json|--json-lines]
               <input.lol>
   -np <N>          number of processing elements (default 4)
@@ -39,6 +40,8 @@ usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
   --latency <m>    off (default), mesh[:W[:BASE:HOP]] (Epiphany eMesh
                    analog), torus[:WxH[:BASE:HOP]] (wraparound mesh),
                    flat[:NS] (Cray-like uniform remote latency)
+  --barrier <a>    HUGZ barrier algorithm: central (default) or dissem
+  --lock <a>       IM MESIN WIF lock algorithm: cas (default) or ticket
   --tag            prefix every output line with [PE n]
   --stats          print per-PE communication statistics and wall time
                    to stderr after the run
@@ -48,12 +51,15 @@ usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
                      seeds=3                  3 seeds off the base seed
                      seeds=7,9 or seeds=0..2  explicit seed values
                      latency=off,mesh:4       latency models
+                     barrier=central,dissem   barrier algorithms
+                     lock=cas,ticket          lock algorithms
                      backend=interp,vm,c      engines to sweep (also:
                                               both = interp,vm / all)
                      jobs=4                   worker cap
                      threads=8                global PE-thread budget
-                   e.g. --sweep \"pes=1,2,4;backend=interp,vm,c\"
-                   Unset axes inherit -np/--seed/--latency/--backend.
+                   e.g. --sweep \"pes=1,2,4;backend=all;barrier=central,dissem\"
+                   Unset axes inherit -np/--seed/--latency/--barrier/
+                   --lock/--backend.
   --jobs <N>       cap concurrent sweep jobs (default: min(cores,
                    number of configs)); jobs are additionally gated so
                    in-flight PEs fit the thread budget. Use --jobs 1
@@ -78,6 +84,8 @@ fn main() -> ExitCode {
     let mut backend = BackendChoice::One(Backend::Interp);
     let mut seed = 0xC47_F00Du64;
     let mut latency = LatencyModel::Off;
+    let mut barrier = BarrierKind::default();
+    let mut lock = LockKind::default();
     let mut tag = false;
     let mut stats = false;
     let mut sweep: Option<String> = None;
@@ -137,6 +145,34 @@ fn main() -> ExitCode {
                     }
                     None => {
                         eprintln!("O NOES! --latency NEEDS A MODEL\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--barrier" => {
+                i += 1;
+                barrier = match args.get(i).map(|s| s.parse::<BarrierKind>()) {
+                    Some(Ok(b)) => b,
+                    Some(Err(e)) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("O NOES! --barrier IZ central OR dissem, NOT (nothing)\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--lock" => {
+                i += 1;
+                lock = match args.get(i).map(|s| s.parse::<LockKind>()) {
+                    Some(Ok(l)) => l,
+                    Some(Err(e)) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("O NOES! --lock IZ cas OR ticket, NOT (nothing)\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -217,7 +253,7 @@ fn main() -> ExitCode {
         eprint!("{w}");
     }
 
-    let mut cfg = RunConfig::new(n_pes).seed(seed).latency(latency);
+    let mut cfg = RunConfig::new(n_pes).seed(seed).latency(latency).barrier(barrier).lock(lock);
     cfg.input = stdin_lines;
 
     if json && json_lines {
@@ -361,6 +397,8 @@ fn run_sweep(
                 && a.config.n_pes == b.config.n_pes
                 && a.config.seed == b.config.seed
                 && a.config.latency == b.config.latency
+                && a.config.barrier == b.config.barrier
+                && a.config.lock == b.config.lock
                 && a.result.is_ok()
                 && b.result.is_ok()
                 && a.output_hash() != b.output_hash()

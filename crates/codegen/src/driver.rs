@@ -3,12 +3,14 @@
 //! workflow that happens *after* code generation.
 //!
 //! [`build`] writes the generated C plus the multi-PE
-//! [`SHMEM_STUB_H`][crate::SHMEM_STUB_H] runtime into a fresh temp
+//! [`SHMEM_STUB_H`] runtime into a fresh temp
 //! directory and hands them to the system C compiler (probed **once**
 //! per process — [`cc`]); the resulting [`CBinary`] can then be
-//! [run][CBinary::run] any number of times across PE counts, seeds and
-//! inputs. Each run talks to the stub over a small env protocol
-//! (`LOL_STUB_NPES` / `LOL_STUB_SEED` / `LOL_STUB_OUT`) and reads the
+//! [run][CBinary::run] any number of times across PE counts, seeds,
+//! inputs, interconnect models and barrier/lock algorithms. Each run
+//! talks to the stub over a small env protocol (`LOL_STUB_NPES` /
+//! `LOL_STUB_SEED` / `LOL_STUB_OUT` / `LOL_STUB_LATENCY` /
+//! `LOL_STUB_BARRIER` / `LOL_STUB_LOCK`) and reads the
 //! per-PE outputs and operation counters back from capture files, so a
 //! C-backend run reports the same per-PE shape as the in-process
 //! engines.
@@ -19,7 +21,7 @@
 //! deadline.
 
 use crate::runtime::SHMEM_STUB_H;
-use lol_shmem::CommStats;
+use lol_shmem::{BarrierKind, CommStats, LatencyModel, LockKind};
 use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
@@ -122,6 +124,30 @@ pub struct RunRequest<'a> {
     pub input: &'a [String],
     /// Kill-and-report deadline for the whole SPMD job.
     pub timeout: Duration,
+    /// Interconnect latency model the stub charges at its remote-access
+    /// choke point (`LOL_STUB_LATENCY`; the model's canonical
+    /// `Display` token crosses the process boundary).
+    pub latency: LatencyModel,
+    /// Barrier algorithm for `shmem_barrier_all` (`LOL_STUB_BARRIER`).
+    pub barrier: BarrierKind,
+    /// Lock algorithm for the Table II implicit locks (`LOL_STUB_LOCK`).
+    pub lock: LockKind,
+}
+
+impl Default for RunRequest<'_> {
+    /// One PE, default seed/knobs, 30s watchdog — the base tests and
+    /// sweeps override from.
+    fn default() -> Self {
+        RunRequest {
+            n_pes: 1,
+            seed: 0xC47_F00D,
+            input: &[],
+            timeout: Duration::from_secs(30),
+            latency: LatencyModel::Off,
+            barrier: BarrierKind::default(),
+            lock: LockKind::default(),
+        }
+    }
 }
 
 /// What one run of the binary produced (the C analog of a `RunReport`).
@@ -169,8 +195,11 @@ pub fn build(c_source: &str) -> Result<CBinary, DriverError> {
     let c_path = dir.join("prog.c");
     std::fs::write(&c_path, c_source).map_err(io)?;
     let bin = dir.join("prog");
+    // _POSIX_C_SOURCE unhides clock_gettime/nanosleep under -std=c99:
+    // the stub's latency models busy-wait on the monotonic clock (and
+    // degrade to zero-delay when the host genuinely lacks it).
     let out = Command::new(&cc.path)
-        .args(["-std=c99", "-O1", "-pthread", "-I"])
+        .args(["-std=c99", "-D_POSIX_C_SOURCE=200809L", "-O1", "-pthread", "-I"])
         .arg(&dir)
         .arg(&c_path)
         .arg("-lm")
@@ -203,6 +232,9 @@ impl CBinary {
             .env("LOL_STUB_NPES", req.n_pes.to_string())
             .env("LOL_STUB_SEED", req.seed.to_string())
             .env("LOL_STUB_OUT", &prefix)
+            .env("LOL_STUB_LATENCY", req.latency.to_string())
+            .env("LOL_STUB_BARRIER", req.barrier.to_string())
+            .env("LOL_STUB_LOCK", req.lock.to_string())
             .stdin(Stdio::piped())
             .stdout(Stdio::null()) // VISIBLE goes to the capture files
             .stderr(Stdio::piped())

@@ -81,12 +81,12 @@ mod tests {
              WE HAS A pos ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32",
         ));
         assert!(c.contains("static LOL_SYMMETRIC long long g_x;"), "{c}");
-        assert!(c.contains("static LOL_SYMMETRIC long g_x__lock;"));
+        assert!(c.contains("static LOL_SYMMETRIC long g_x__lock[3];"));
         assert!(c.contains("static LOL_SYMMETRIC double g_pos[32];"));
         // Every symmetric object registers (in declaration order) so
         // the multi-PE stub can translate remote addresses.
         assert!(c.contains("LOL_SYM_REG(&g_x, sizeof g_x);"));
-        assert!(c.contains("LOL_SYM_REG(&g_x__lock, sizeof g_x__lock);"));
+        assert!(c.contains("LOL_SYM_REG(g_x__lock, sizeof g_x__lock);"));
         assert!(c.contains("LOL_SYM_REG(g_pos, sizeof g_pos);"));
         let reg_x = c.find("LOL_SYM_REG(&g_x,").unwrap();
         let reg_pos = c.find("LOL_SYM_REG(g_pos,").unwrap();
@@ -123,9 +123,9 @@ mod tests {
              IM SRSLY MESIN WIF x\nDUN MESIN WIF x\n\
              IM MESIN WIF x, O RLY?\nYA RLY\nDUN MESIN WIF x\nOIC",
         ));
-        assert!(c.contains("lol_lock_acquire(&g_x__lock, shmem_my_pe());"));
-        assert!(c.contains("lol_lock_release(&g_x__lock, shmem_my_pe());"));
-        assert!(c.contains("lol_lock_try(&g_x__lock"));
+        assert!(c.contains("lol_lock_acquire(g_x__lock, shmem_my_pe());"));
+        assert!(c.contains("lol_lock_release(g_x__lock, shmem_my_pe());"));
+        assert!(c.contains("lol_lock_try(g_x__lock"));
     }
 
     #[test]

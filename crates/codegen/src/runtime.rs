@@ -35,6 +35,12 @@ pub const LOL_RUNTIME: &str = r#"/* ---- parallel LOLCODE runtime (generated, do
 #define LOL_SRAND(seed) srand(seed)
 #define LOL_RAND() rand()
 #endif
+#ifndef LOL_LOCK_KIND
+#define LOL_LOCK_KIND 0 /* 0 = CAS spin lock, 1 = FIFO ticket lock */
+#endif
+#ifndef LOL_LOCK_RELAX
+#define LOL_LOCK_RELAX() ((void)0) /* back off inside lock spin loops */
+#endif
 
 typedef enum { LOL_NOOB, LOL_TROOF, LOL_NUMBR, LOL_NUMBAR, LOL_YARN } lol_type_t;
 typedef struct {
@@ -218,17 +224,37 @@ static void lol_arr_set(lol_arr_t *a, long long i, lol_value_t v) {
     a->e[lol_idx(i, a->n)] = lol_cast(v, a->ty);
 }
 
-/* per-instance global locks over OpenSHMEM atomics (Table II locks) */
+/* per-instance global locks over OpenSHMEM atomics (Table II locks).
+   Each lock is three symmetric longs — [owner, next_ticket, now_serving]
+   — mirroring the Rust substrate's LOCK_WORDS layout. The CAS algorithm
+   uses only cell[0]; the ticket algorithm queues on cell[1]/cell[2].
+   LOL_LOCK_KIND selects the algorithm (the stub wires it to the
+   LOL_STUB_LOCK env var; real-OpenSHMEM builds can -DLOL_LOCK_KIND=1). */
 static void lol_lock_acquire(long *cell, int target) {
     long me1 = (long)shmem_my_pe() + 1;
-    while (shmem_long_atomic_compare_swap(cell, 0, me1, target) != 0) {}
+    if (LOL_LOCK_KIND == 1) {
+        long t = shmem_long_atomic_fetch_inc(&cell[1], target);
+        while (shmem_long_atomic_fetch(&cell[2], target) != t) LOL_LOCK_RELAX();
+        shmem_long_atomic_swap(&cell[0], me1, target);
+    } else {
+        while (shmem_long_atomic_compare_swap(&cell[0], 0, me1, target) != 0) LOL_LOCK_RELAX();
+    }
 }
 static int lol_lock_try(long *cell, int target) {
     long me1 = (long)shmem_my_pe() + 1;
-    return shmem_long_atomic_compare_swap(cell, 0, me1, target) == 0;
+    if (LOL_LOCK_KIND == 1) {
+        /* queue empty iff next == serving: claim ticket t only if it is
+           already being served (no waiting, like the Rust try_acquire) */
+        long t = shmem_long_atomic_fetch(&cell[2], target);
+        if (shmem_long_atomic_compare_swap(&cell[1], t, t + 1, target) != t) return 0;
+        shmem_long_atomic_swap(&cell[0], me1, target);
+        return 1;
+    }
+    return shmem_long_atomic_compare_swap(&cell[0], 0, me1, target) == 0;
 }
 static void lol_lock_release(long *cell, int target) {
-    shmem_long_atomic_swap(cell, 0, target);
+    shmem_long_atomic_swap(&cell[0], 0, target);
+    if (LOL_LOCK_KIND == 1) shmem_long_atomic_fetch_inc(&cell[2], target);
 }
 
 static lol_value_t lol_whatevr(void) { return lol_from_int(LOL_RAND()); }
@@ -252,7 +278,15 @@ static lol_value_t lol_whatevar(void) { return lol_from_dbl((double)LOL_RAND() /
 /// * the PE count, RNG seed and per-PE output capture come from the
 ///   `LOL_STUB_NPES` / `LOL_STUB_SEED` / `LOL_STUB_OUT` environment
 ///   variables. Without them the binary behaves like the old stub: one
-///   PE, stdout, streaming stdin.
+///   PE, stdout, streaming stdin;
+/// * the interconnect latency model, barrier algorithm and lock
+///   algorithm come from `LOL_STUB_LATENCY` (`off` / `flat:NS` /
+///   `mesh:W:BASE:HOP` / `torus:WxH:BASE:HOP` — the same tokens the
+///   Rust substrate's `LatencyModel` round-trips), `LOL_STUB_BARRIER`
+///   (`central` / `dissem`) and `LOL_STUB_LOCK` (`cas` / `ticket`).
+///   The latency charge sits in `lol_stub_xlate`, the single remote-
+///   access choke point, so every remote get/put/atomic pays the
+///   modelled delay exactly once.
 ///
 /// Compile with `cc -std=c99 -I<dir-with-shmem.h> prog.c -lm -pthread`.
 pub const SHMEM_STUB_H: &str = r#"/* multi-PE OpenSHMEM stub over pthreads, for toolchains without SHMEM */
@@ -262,9 +296,12 @@ pub const SHMEM_STUB_H: &str = r#"/* multi-PE OpenSHMEM stub over pthreads, for 
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
+#include <time.h>
 
 #define LOL_STUB_MAX_PES 256
 #define LOL_STUB_MAX_SYMS 256
+/* ceil(log2(LOL_STUB_MAX_PES)): dissemination-barrier rounds */
+#define LOL_STUB_MAX_ROUNDS 8
 
 /* hooks consumed by the generated runtime (see LOL_RUNTIME) */
 #define LOL_SYMMETRIC __thread
@@ -275,6 +312,9 @@ pub const SHMEM_STUB_H: &str = r#"/* multi-PE OpenSHMEM stub over pthreads, for 
 #define LOL_GETS(buf, n) lol_stub_gets((buf), (n))
 #define LOL_SRAND(seed) lol_stub_srand((unsigned long long)(seed))
 #define LOL_RAND() lol_stub_rand()
+#define LOL_LOCK_KIND lol_stub_lock_kind
+#define LOL_LOCK_RELAX() lol_stub_relax()
+static int lol_stub_lock_kind = 0; /* 0 = cas, 1 = ticket (LOL_STUB_LOCK) */
 
 typedef struct { char *addr; size_t size; } lol_stub_sym_t;
 typedef struct {
@@ -289,30 +329,151 @@ static int lol_stub_nsyms[LOL_STUB_MAX_PES];
 static lol_stub_stats_t lol_stub_stats[LOL_STUB_MAX_PES];
 static FILE *lol_stub_cap[LOL_STUB_MAX_PES]; /* per-PE capture files, or NULL */
 
-/* mutex+cond barrier: pthread_barrier_t is optional under -std=c99 */
+static void lol_stub_fatal(const char *msg) {
+    fprintf(stderr, "lol-stub: %s\n", msg);
+    exit(2);
+}
+
+/* Briefly back off in a spin loop: oversubscribed PE threads (more PEs
+   than cores) must let the thread they wait on run. Guarded on
+   CLOCK_MONOTONIC because nanosleep comes from the same POSIX level;
+   without it (strict-C99 build) the loop degrades to a pure spin. */
+static __thread unsigned lol_stub_spin_count = 0;
+static void lol_stub_relax(void) {
+#ifdef CLOCK_MONOTONIC
+    if ((++lol_stub_spin_count & 0xFF) == 0) {
+        struct timespec ts;
+        ts.tv_sec = 0;
+        ts.tv_nsec = 10000; /* 10us */
+        nanosleep(&ts, NULL);
+    }
+#else
+    ++lol_stub_spin_count;
+#endif
+}
+
+/* -- barrier algorithms (LOL_STUB_BARRIER: central | dissem) -- */
+
+/* mutex+cond centralized barrier: pthread_barrier_t is optional under
+   -std=c99, and one shared generation counter is the teaching-friendly
+   default (the analog of the Rust substrate's CentralBarrier) */
 static pthread_mutex_t lol_stub_bar_mu = PTHREAD_MUTEX_INITIALIZER;
 static pthread_cond_t lol_stub_bar_cv = PTHREAD_COND_INITIALIZER;
 static int lol_stub_bar_waiting = 0;
 static unsigned long long lol_stub_bar_gen = 0;
+static int lol_stub_bar_kind = 0; /* 0 = central, 1 = dissem */
+
+/* dissemination barrier: log2(npes) rounds of pairwise signalling on
+   per-(round, PE) generation counters, like DisseminationBarrier */
+static int lol_stub_dissem_rounds = 0;
+static unsigned long long lol_stub_dissem_flags[LOL_STUB_MAX_ROUNDS][LOL_STUB_MAX_PES];
+static __thread unsigned long long lol_stub_dissem_gen = 0;
+
+static void lol_stub_dissem_wait(void) {
+    int r;
+    unsigned long long g = ++lol_stub_dissem_gen;
+    for (r = 0; r < lol_stub_dissem_rounds; r++) {
+        int partner = (lol_stub_me + (1 << r)) % lol_stub_npes;
+        __atomic_add_fetch(&lol_stub_dissem_flags[r][partner], 1, __ATOMIC_ACQ_REL);
+        while (__atomic_load_n(&lol_stub_dissem_flags[r][lol_stub_me], __ATOMIC_ACQUIRE) < g)
+            lol_stub_relax();
+    }
+}
 
 static void lol_stub_barrier_wait(void) {
     if (lol_stub_npes <= 1) return;
+    if (lol_stub_bar_kind == 1) { lol_stub_dissem_wait(); return; }
     pthread_mutex_lock(&lol_stub_bar_mu);
-    unsigned long long gen = lol_stub_bar_gen;
-    if (++lol_stub_bar_waiting == lol_stub_npes) {
-        lol_stub_bar_waiting = 0;
-        lol_stub_bar_gen++;
-        pthread_cond_broadcast(&lol_stub_bar_cv);
-    } else {
-        while (gen == lol_stub_bar_gen)
-            pthread_cond_wait(&lol_stub_bar_cv, &lol_stub_bar_mu);
+    {
+        unsigned long long gen = lol_stub_bar_gen;
+        if (++lol_stub_bar_waiting == lol_stub_npes) {
+            lol_stub_bar_waiting = 0;
+            lol_stub_bar_gen++;
+            pthread_cond_broadcast(&lol_stub_bar_cv);
+        } else {
+            while (gen == lol_stub_bar_gen)
+                pthread_cond_wait(&lol_stub_bar_cv, &lol_stub_bar_mu);
+        }
     }
     pthread_mutex_unlock(&lol_stub_bar_mu);
 }
 
-static void lol_stub_fatal(const char *msg) {
-    fprintf(stderr, "lol-stub: %s\n", msg);
-    exit(2);
+/* -- interconnect latency model (LOL_STUB_LATENCY) --
+   Canonical tokens, same grammar the Rust substrate's LatencyModel
+   round-trips: off | flat:<ns> | mesh:<w>[:<base>:<hop>] |
+   torus:<w>[x<h>][:<base>:<hop>] */
+
+static int lol_stub_lat_kind = 0; /* 0 off, 1 flat, 2 mesh, 3 torus */
+static int lol_stub_lat_w = 1, lol_stub_lat_h = 1;
+static unsigned long long lol_stub_lat_base = 0, lol_stub_lat_hop = 0;
+
+static void lol_stub_parse_latency(const char *s) {
+    char *end;
+    if (!s || !*s || strcmp(s, "off") == 0) { lol_stub_lat_kind = 0; return; }
+    if (strncmp(s, "flat", 4) == 0) {
+        lol_stub_lat_kind = 1;
+        lol_stub_lat_base = s[4] == ':' ? strtoull(s + 5, NULL, 10) : 1000;
+        return;
+    }
+    if (strncmp(s, "mesh", 4) == 0 || strncmp(s, "torus", 5) == 0) {
+        int torus = s[0] == 't';
+        const char *p = s + (torus ? 5 : 4);
+        lol_stub_lat_kind = torus ? 3 : 2;
+        lol_stub_lat_w = 4; /* bare mesh/torus = the 4x4 Epiphany-shaped default */
+        lol_stub_lat_h = 4;
+        lol_stub_lat_base = 50;
+        lol_stub_lat_hop = 11;
+        if (*p == ':') {
+            lol_stub_lat_w = (int)strtoul(p + 1, &end, 10);
+            lol_stub_lat_h = lol_stub_lat_w;
+            if (torus && *end == 'x') lol_stub_lat_h = (int)strtoul(end + 1, &end, 10);
+            if (*end == ':') {
+                lol_stub_lat_base = strtoull(end + 1, &end, 10);
+                if (*end == ':') lol_stub_lat_hop = strtoull(end + 1, &end, 10);
+            }
+        }
+        lol_stub_lat_h = torus ? lol_stub_lat_h : lol_stub_lat_w;
+        if (lol_stub_lat_w < 1 || lol_stub_lat_h < 1)
+            lol_stub_fatal("latency grid dimensions must be >= 1");
+        return;
+    }
+    lol_stub_fatal("unknown LOL_STUB_LATENCY model (off|flat:NS|mesh:W:B:H|torus:WxH:B:H)");
+}
+
+static unsigned long long lol_stub_delay_ns(int from, int to) {
+    int fx, fy, tx, ty, dx, dy;
+    if (from == to || lol_stub_lat_kind == 0) return 0;
+    if (lol_stub_lat_kind == 1) return lol_stub_lat_base;
+    fx = from % lol_stub_lat_w; fy = from / lol_stub_lat_w;
+    tx = to % lol_stub_lat_w;   ty = to / lol_stub_lat_w;
+    if (lol_stub_lat_kind == 3) { fy %= lol_stub_lat_h; ty %= lol_stub_lat_h; }
+    dx = fx > tx ? fx - tx : tx - fx;
+    dy = fy > ty ? fy - ty : ty - fy;
+    if (lol_stub_lat_kind == 3) { /* wraparound links halve worst-case hops */
+        if (lol_stub_lat_w - dx < dx) dx = lol_stub_lat_w - dx;
+        if (lol_stub_lat_h - dy < dy) dy = lol_stub_lat_h - dy;
+    }
+    return lol_stub_lat_base + (unsigned long long)(dx + dy) * lol_stub_lat_hop;
+}
+
+/* Busy-wait out the modelled delay (sub-microsecond delays need
+   spinning, not sleeping). Degrades to zero cost when time.h has no
+   monotonic clock (strict C99 without POSIX). */
+static void lol_stub_charge(int pe) {
+#ifdef CLOCK_MONOTONIC
+    struct timespec ts;
+    unsigned long long t0, now;
+    unsigned long long ns = lol_stub_delay_ns(lol_stub_me, pe);
+    if (ns == 0) return;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    t0 = (unsigned long long)ts.tv_sec * 1000000000ull + (unsigned long long)ts.tv_nsec;
+    do {
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        now = (unsigned long long)ts.tv_sec * 1000000000ull + (unsigned long long)ts.tv_nsec;
+    } while (now - t0 < ns);
+#else
+    (void)pe;
+#endif
 }
 
 /* -- symmetric segment: per-thread registry + address translation -- */
@@ -328,11 +489,16 @@ static void lol_stub_sym_reg(void *p, size_t n) {
 /* all PEs must finish registering before anyone translates */
 static void lol_stub_sym_done(void) { lol_stub_barrier_wait(); }
 
+/* The single remote-access choke point: every remote get/put/atomic
+   translates through here, so charging the interconnect model here
+   covers the whole SHMEM surface (mirroring the Rust substrate, which
+   charges in each Pe accessor). */
 static void *lol_stub_xlate(const void *p, int pe) {
     int me = lol_stub_me;
     int i;
     if (pe == me) return (void *)p;
     if (pe < 0 || pe >= lol_stub_npes) lol_stub_fatal("PE out of range");
+    lol_stub_charge(pe);
     for (i = 0; i < lol_stub_nsyms[me]; i++) {
         char *base = lol_stub_syms[me][i].addr;
         if ((const char *)p >= base && (const char *)p < base + lol_stub_syms[me][i].size)
@@ -388,6 +554,16 @@ static long shmem_long_atomic_swap(long *target, long value, int pe) {
     long *t = (long *)lol_stub_xlate(target, pe);
     lol_stub_stats[lol_stub_me].amos++;
     return __atomic_exchange_n(t, value, __ATOMIC_SEQ_CST);
+}
+static long shmem_long_atomic_fetch(const long *target, int pe) {
+    long v;
+    lol_stub_stats[lol_stub_me].amos++;
+    __atomic_load((long *)lol_stub_xlate(target, pe), &v, __ATOMIC_SEQ_CST);
+    return v;
+}
+static long shmem_long_atomic_fetch_inc(long *target, int pe) {
+    lol_stub_stats[lol_stub_me].amos++;
+    return __atomic_fetch_add((long *)lol_stub_xlate(target, pe), 1, __ATOMIC_SEQ_CST);
 }
 
 /* -- per-PE output capture (VISIBLE) -- */
@@ -474,11 +650,26 @@ static int lol_stub_launch(lol_stub_main_fn fn) {
     const char *np = getenv("LOL_STUB_NPES");
     const char *seed = getenv("LOL_STUB_SEED");
     const char *out = getenv("LOL_STUB_OUT");
+    const char *lat = getenv("LOL_STUB_LATENCY");
+    const char *bar = getenv("LOL_STUB_BARRIER");
+    const char *lock = getenv("LOL_STUB_LOCK");
     int pe, rc = 0;
     lol_stub_npes = np ? atoi(np) : 1;
     if (lol_stub_npes < 1) lol_stub_npes = 1;
     if (lol_stub_npes > LOL_STUB_MAX_PES) lol_stub_fatal("too many PEs (max 256)");
     if (seed) lol_stub_seed0 = strtoull(seed, NULL, 10);
+    if (lat) lol_stub_parse_latency(lat);
+    if (bar) {
+        if (strcmp(bar, "central") == 0) lol_stub_bar_kind = 0;
+        else if (strcmp(bar, "dissem") == 0) lol_stub_bar_kind = 1;
+        else lol_stub_fatal("unknown LOL_STUB_BARRIER (central|dissem)");
+    }
+    if (lock) {
+        if (strcmp(lock, "cas") == 0) lol_stub_lock_kind = 0;
+        else if (strcmp(lock, "ticket") == 0) lol_stub_lock_kind = 1;
+        else lol_stub_fatal("unknown LOL_STUB_LOCK (cas|ticket)");
+    }
+    while ((1 << lol_stub_dissem_rounds) < lol_stub_npes) lol_stub_dissem_rounds++;
     lol_stub_passthrough = (lol_stub_npes == 1 && !out);
     if (lol_stub_passthrough) return fn();
     if (out) {
@@ -540,6 +731,8 @@ mod tests {
             "#ifndef LOL_PUTS",
             "#ifndef LOL_GETS",
             "#ifndef LOL_SRAND",
+            "#ifndef LOL_LOCK_KIND",
+            "#ifndef LOL_LOCK_RELAX",
         ] {
             assert!(LOL_RUNTIME.contains(needle), "runtime lacks {needle}");
         }
@@ -570,10 +763,23 @@ mod tests {
             "#define LOL_GETS",
             "#define LOL_SRAND",
             "#define LOL_RAND",
+            "#define LOL_LOCK_KIND",
+            "#define LOL_LOCK_RELAX",
+            // the ticket-lock AMOs the runtime's lock functions use
+            "shmem_long_atomic_fetch",
+            "shmem_long_atomic_fetch_inc",
             // the engine-driver env protocol
             "LOL_STUB_NPES",
             "LOL_STUB_SEED",
             "LOL_STUB_OUT",
+            "LOL_STUB_LATENCY",
+            "LOL_STUB_BARRIER",
+            "LOL_STUB_LOCK",
+            // latency models charge at the remote-access choke point
+            "lol_stub_charge",
+            "lol_stub_delay_ns",
+            // both barrier algorithms exist
+            "lol_stub_dissem_wait",
         ] {
             assert!(SHMEM_STUB_H.contains(needle), "stub lacks {needle}");
         }

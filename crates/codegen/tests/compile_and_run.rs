@@ -44,7 +44,13 @@ fn differential_pes(tag: &str, src: &str, stdin: &[&str], pe_counts: &[usize]) {
     let binary = driver::build(&c).unwrap_or_else(|e| panic!("{tag}: build failed: {e}\n{c}"));
     let input: Vec<String> = stdin.iter().map(|s| s.to_string()).collect();
     for &n_pes in pe_counts {
-        let req = RunRequest { n_pes, seed: 7, input: &input, timeout: Duration::from_secs(30) };
+        let req = RunRequest {
+            n_pes,
+            seed: 7,
+            input: &input,
+            timeout: Duration::from_secs(30),
+            ..Default::default()
+        };
         let run = binary.run(&req).unwrap_or_else(|e| panic!("{tag}@{n_pes}: run failed: {e}"));
         assert_eq!(run.outputs.len(), n_pes, "{tag}: one capture per PE");
         assert_eq!(run.stats.len(), n_pes, "{tag}: one stats row per PE");
@@ -340,7 +346,8 @@ fn driver_reports_comm_stats_per_pe() {
     let a = analyze(&p);
     let c = emit_c(&p, &a).unwrap();
     let binary = driver::build(&c).unwrap();
-    let req = RunRequest { n_pes: 4, seed: 1, input: &[], timeout: Duration::from_secs(30) };
+    let req =
+        RunRequest { n_pes: 4, seed: 1, timeout: Duration::from_secs(30), ..Default::default() };
     let run = binary.run(&req).unwrap();
     for (pe, s) in run.stats.iter().enumerate() {
         assert_eq!(s.barriers, 2, "PE {pe} barrier episodes");
@@ -361,7 +368,8 @@ fn driver_times_out_deadlocked_binaries() {
     let a = analyze(&p);
     let c = emit_c(&p, &a).unwrap();
     let binary = driver::build(&c).unwrap();
-    let req = RunRequest { n_pes: 2, seed: 1, input: &[], timeout: Duration::from_millis(400) };
+    let req =
+        RunRequest { n_pes: 2, seed: 1, timeout: Duration::from_millis(400), ..Default::default() };
     match binary.run(&req) {
         Err(driver::DriverError::Timeout(_)) => {}
         other => panic!("expected timeout, got {other:?}"),
@@ -379,13 +387,178 @@ fn driver_surfaces_runtime_faults_with_stderr() {
     let a = analyze(&p);
     let c = emit_c(&p, &a).unwrap();
     let binary = driver::build(&c).unwrap();
-    let req = RunRequest { n_pes: 2, seed: 1, input: &[], timeout: Duration::from_secs(10) };
+    let req =
+        RunRequest { n_pes: 2, seed: 1, timeout: Duration::from_secs(10), ..Default::default() };
     match binary.run(&req) {
         Err(driver::DriverError::Program { stderr, .. }) => {
             assert!(stderr.contains("RUN0001"), "{stderr}");
         }
         other => panic!("expected program fault, got {other:?}"),
     }
+}
+
+#[test]
+fn stub_barrier_and_lock_variants_agree_with_the_default() {
+    // The LOL_STUB_BARRIER / LOL_STUB_LOCK env protocol swaps the
+    // algorithms, never the results: the canonical lock-increment
+    // program must produce identical per-PE output under every
+    // barrier × lock combination, with mutual exclusion intact at
+    // 6 contending PEs.
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    use lol_shmem::{BarrierKind, LockKind};
+    let src = prog(
+        "WE HAS A x ITZ A NUMBR AN IM SHARIN IT\nHUGZ\n\
+         I HAS A k ITZ 0\n\
+         TXT MAH BFF k AN STUFF\n\
+         IM SRSLY MESIN WIF UR x\nUR x R SUM OF UR x AN 1\nDUN MESIN WIF UR x\n\
+         TTYL\nHUGZ\n\
+         VISIBLE \"PE \" ME \" SEES X = \" x",
+    );
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    let baseline = binary.run(&RunRequest { n_pes: 6, ..Default::default() }).unwrap().outputs;
+    assert!(baseline[0].contains("SEES X = 6"), "{baseline:?}");
+    for barrier in BarrierKind::ALL {
+        for lock in LockKind::ALL {
+            let req = RunRequest { n_pes: 6, barrier, lock, ..Default::default() };
+            let run =
+                binary.run(&req).unwrap_or_else(|e| panic!("barrier={barrier} lock={lock}: {e}"));
+            assert_eq!(run.outputs, baseline, "barrier={barrier} lock={lock}");
+        }
+    }
+}
+
+#[test]
+fn stub_dissemination_barrier_orders_remote_puts() {
+    // Figure 2 under the dissemination barrier at a non-power-of-two
+    // PE count: the barrier must still publish every PE's remote put
+    // before any PE reads.
+    differential_pes_with(
+        "dissem_mp",
+        &prog(
+            "WE HAS A a ITZ SRSLY A NUMBR\nWE HAS A b ITZ SRSLY A NUMBR\n\
+             a R SUM OF ME AN 1\nHUGZ\n\
+             I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+             TXT MAH BFF k, UR b R MAH a\nHUGZ\n\
+             VISIBLE \"PE \" ME \" HAZ \" SUM OF a AN b",
+        ),
+        &[2, 5, 8],
+        |req| req.barrier = lol_shmem::BarrierKind::Dissemination,
+    );
+}
+
+/// `differential_pes` with a request tweak applied to every C run —
+/// the interpreter side keeps its defaults, pinning that the tweak
+/// changes timing at most, never output.
+fn differential_pes_with(
+    tag: &str,
+    src: &str,
+    pe_counts: &[usize],
+    tweak: impl Fn(&mut RunRequest<'_>),
+) {
+    if driver::cc().is_none() {
+        eprintln!("skipping {tag}: no C compiler");
+        return;
+    }
+    let p = parse(src).expect_program(src);
+    let a = analyze(&p);
+    assert!(a.is_ok(), "sema: {:?}", a.diags.iter().collect::<Vec<_>>());
+    let c = emit_c(&p, &a).expect("codegen");
+    let binary = driver::build(&c).unwrap_or_else(|e| panic!("{tag}: build failed: {e}"));
+    for &n_pes in pe_counts {
+        let mut req = RunRequest { n_pes, seed: 7, ..Default::default() };
+        tweak(&mut req);
+        let run = binary.run(&req).unwrap_or_else(|e| panic!("{tag}@{n_pes}: run failed: {e}"));
+        let expect = interp_outputs(src, &[], n_pes);
+        assert_eq!(run.outputs, expect, "{tag}: divergence at {n_pes} PEs");
+    }
+}
+
+#[test]
+fn stub_latency_model_charges_remote_accesses() {
+    // A 2-PE ping of 40 remote puts under flat:2ms must take ≥ 80ms
+    // longer than with the model off, with identical output — the
+    // charge sits in lol_stub_xlate, so only remote traffic pays.
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let src = prog(
+        "WE HAS A b ITZ SRSLY A NUMBR\n\
+         I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n\
+         IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 40\n\
+         TXT MAH BFF k, UR b R MAH i\nIM OUTTA YR l\n\
+         HUGZ\nVISIBLE \"PE \" ME \" B = \" b",
+    );
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    let off = binary.run(&RunRequest { n_pes: 2, ..Default::default() }).unwrap();
+    let slow = binary
+        .run(&RunRequest {
+            n_pes: 2,
+            latency: lol_shmem::LatencyModel::Uniform { remote_ns: 2_000_000 },
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(off.outputs, slow.outputs, "latency models must never change results");
+    assert!(
+        slow.wall >= off.wall + Duration::from_millis(60),
+        "flat:2ms × 40 remote puts × 2 PEs should dominate: off {:?} vs flat {:?}",
+        off.wall,
+        slow.wall
+    );
+}
+
+#[test]
+fn stub_mesh_model_charges_by_distance() {
+    // On a 1×N mesh (width N, one row), PE 0 → PE (N-1) is N-1 hops:
+    // far traffic must cost measurably more than neighbour traffic
+    // with the same op count.
+    if driver::cc().is_none() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let src = prog(
+        "WE HAS A b ITZ SRSLY A NUMBR\n\
+         BOTH SAEM ME AN 0, O RLY?\nYA RLY\n\
+         IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 30\n\
+         TXT MAH BFF 1, UR b R MAH i\n\
+         TXT MAH BFF DIFF OF MAH FRENZ AN 1, UR b R MAH i\n\
+         IM OUTTA YR l\nOIC\n\
+         HUGZ\nVISIBLE \"PE \" ME \" B = \" b",
+    );
+    let p = parse(&src).expect_program(&src);
+    let a = analyze(&p);
+    let c = emit_c(&p, &a).unwrap();
+    let binary = driver::build(&c).unwrap();
+    // 8 PEs on a 1-row mesh: hop(0→1)=1, hop(0→7)=7. base=0 so the
+    // wall difference is purely per-hop cost.
+    let near_far = |hop_ns: u64| {
+        binary
+            .run(&RunRequest {
+                n_pes: 8,
+                latency: lol_shmem::LatencyModel::Mesh2D { width: 8, base_ns: 0, hop_ns },
+                ..Default::default()
+            })
+            .unwrap()
+    };
+    let cheap = near_far(1_000);
+    let pricey = near_far(400_000);
+    assert_eq!(cheap.outputs, pricey.outputs);
+    // 30 iterations × (1 + 7 hops) × 400µs ≈ 96ms vs ≈ 0.24ms.
+    assert!(
+        pricey.wall >= cheap.wall + Duration::from_millis(40),
+        "per-hop cost must scale the wall: {:?} vs {:?}",
+        cheap.wall,
+        pricey.wall
+    );
 }
 
 #[test]
@@ -400,7 +573,8 @@ fn seeded_whatevr_is_deterministic_per_seed_in_c() {
     let c = emit_c(&p, &a).unwrap();
     let binary = driver::build(&c).unwrap();
     let run = |seed| {
-        let req = RunRequest { n_pes: 3, seed, input: &[], timeout: Duration::from_secs(10) };
+        let req =
+            RunRequest { n_pes: 3, seed, timeout: Duration::from_secs(10), ..Default::default() };
         binary.run(&req).unwrap().outputs
     };
     assert_eq!(run(5), run(5), "same seed must reproduce");

@@ -567,6 +567,6 @@ mod tests {
         }
         let c = crate::compile_to_c(&nbody_paper()).unwrap();
         assert!(c.contains("static LOL_SYMMETRIC double g_pos_x[32];"));
-        assert!(c.contains("static LOL_SYMMETRIC long g_pos_x__lock;"));
+        assert!(c.contains("static LOL_SYMMETRIC long g_pos_x__lock[3];"));
     }
 }

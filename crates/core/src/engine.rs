@@ -31,7 +31,7 @@
 //! registry; embedders that want to substitute or extend engines build
 //! their own [`EngineRegistry`].
 
-use crate::{Backend, LatencyModel, LolError, RunConfig};
+use crate::{Backend, LolError, RunConfig};
 use lol_ast::{Program, SourceMap};
 use lol_c_codegen::driver::{self, DriverError, RunRequest};
 use lol_sema::Analysis;
@@ -138,6 +138,17 @@ impl std::fmt::Debug for Compiled {
 }
 
 /// Everything one execution produced.
+///
+/// ```
+/// use lolcode::{compile, engine_for, Backend, RunConfig};
+///
+/// let artifact = compile("HAI 1.2\nVISIBLE \"OH HAI \" ME\nKTHXBYE").unwrap();
+/// let report = engine_for(Backend::Vm).run(&artifact, &RunConfig::new(2)).unwrap();
+/// assert_eq!(report.output(1), "OH HAI 1\n");     // per-PE VISIBLE output
+/// assert_eq!(report.stats.len(), 2);              // per-PE CommStats
+/// assert_eq!(report.total_stats().scalar_ops(), 0); // job-wide totals
+/// assert_eq!(report.config.n_pes, 2);             // the effective config
+/// ```
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// Which engine ran.
@@ -170,6 +181,26 @@ impl RunReport {
 }
 
 /// An execution backend that can run a [`Compiled`] artifact.
+///
+/// The three standard engines ([`InterpEngine`], [`VmEngine`],
+/// [`CEngine`]) are reached through [`engine_for`]; all of them accept
+/// the same [`RunConfig`], including the latency/barrier/lock ablation
+/// axes:
+///
+/// ```
+/// use lolcode::{compile, engine_for, Backend, Engine, RunConfig};
+///
+/// let artifact = compile("HAI 1.2\nVISIBLE ME\nKTHXBYE").unwrap();
+/// let engine: &dyn Engine = engine_for(Backend::Interp);
+/// assert_eq!(engine.backend(), Backend::Interp);
+/// assert!(engine.available()); // in-process engines always are
+///
+/// // run_many sweeps one artifact across configs without re-parsing.
+/// let sweep: Vec<RunConfig> = (1..=3).map(RunConfig::new).collect();
+/// let reports = engine.run_many(&artifact, &sweep);
+/// assert_eq!(reports.len(), 3);
+/// assert_eq!(reports[2].as_ref().unwrap().outputs.len(), 3);
+/// ```
 pub trait Engine: Send + Sync {
     /// Which [`Backend`] this engine implements.
     fn backend(&self) -> Backend;
@@ -261,9 +292,14 @@ impl Engine for VmEngine {
 /// parsed back into the same [`RunReport`] shape the in-process
 /// engines produce.
 ///
+/// The full sweep matrix crosses the process boundary: interconnect
+/// latency models ([`RunConfig::latency`]) and the barrier/lock
+/// algorithm ablations ([`RunConfig::barrier`] / [`RunConfig::lock`])
+/// ride the stub's env protocol, so the paper's third path sweeps the
+/// same axes as the in-process engines.
+///
 /// Degradation contract: on a machine without a C compiler — or for a
-/// config the C path has no way to honor (latency models are simulated
-/// by the Rust substrate only) — `run` returns
+/// PE count beyond the stub's thread cap — `run` returns
 /// [`LolError::Unsupported`] with a clear reason instead of failing.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CEngine;
@@ -279,12 +315,6 @@ impl Engine for CEngine {
 
     fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
         cfg.validate()?;
-        if cfg.latency != LatencyModel::Off {
-            return Err(LolError::Unsupported(format!(
-                "O NOES! DA C BACKEND CANT SIMULATE LATENCY MODEL {} (ONLY off)",
-                cfg.latency
-            )));
-        }
         if cfg.n_pes > driver::MAX_PES {
             return Err(LolError::Unsupported(format!(
                 "O NOES! DA C BACKEND'S STUB CAPS AT {} PE THREADS, NOT {}",
@@ -292,30 +322,22 @@ impl Engine for CEngine {
                 cfg.n_pes
             )));
         }
-        // The stub has exactly one barrier (mutex+cond) and one lock
-        // (CAS) implementation; labeling a dissemination-barrier or
-        // ticket-lock config with centralized results would corrupt
-        // ablation sweeps, so refuse rather than mislabel.
-        // (`heap_words` is genuinely meaningless here — the C
-        // symmetric segment is statically sized — so it is ignored.)
-        if cfg.barrier != lol_shmem::BarrierKind::default() {
-            return Err(LolError::Unsupported(format!(
-                "O NOES! DA C BACKEND'S STUB ONLY HAZ DA DEFAULT BARRIER, NOT {:?}",
-                cfg.barrier
-            )));
-        }
-        if cfg.lock != lol_shmem::LockKind::default() {
-            return Err(LolError::Unsupported(format!(
-                "O NOES! DA C BACKEND'S STUB ONLY HAZ DA DEFAULT LOCK, NOT {:?}",
-                cfg.lock
-            )));
-        }
+        // Latency models, barrier algorithms and lock algorithms all
+        // cross the env protocol: the stub charges the interconnect
+        // model at its remote-access choke point and dispatches on the
+        // selected barrier/lock algorithm, so the full ablation matrix
+        // runs on all three backends. (`heap_words` is genuinely
+        // meaningless here — the C symmetric segment is statically
+        // sized — so it is ignored.)
         let binary = artifact.c_binary()?;
         let req = RunRequest {
             n_pes: cfg.n_pes,
             seed: cfg.seed,
             input: &cfg.input,
             timeout: cfg.timeout,
+            latency: cfg.latency,
+            barrier: cfg.barrier,
+            lock: cfg.lock,
         };
         let t0 = Instant::now();
         match binary.run(&req) {
@@ -569,16 +591,6 @@ mod tests {
     }
 
     #[test]
-    fn c_engine_reports_latency_models_as_unsupported() {
-        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
-        let cfg = cfg(2).latency(crate::LatencyModel::xc40());
-        match CEngine.run(&artifact, &cfg) {
-            Err(LolError::Unsupported(msg)) => assert!(msg.contains("LATENCY"), "{msg}"),
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
     fn c_engine_reports_over_cap_pe_counts_as_unsupported() {
         // The stub caps PE threads; wider configs must degrade, not
         // spawn a binary that refuses to start (a hard failure).
@@ -590,20 +602,62 @@ mod tests {
     }
 
     #[test]
-    fn c_engine_refuses_to_mislabel_barrier_and_lock_ablations() {
-        // The stub has exactly one barrier and one lock algorithm;
-        // running a dissemination/ticket config would return
-        // centralized/CAS results under the wrong label.
-        let artifact = Compiled::new(corpus::HELLO_PARALLEL).unwrap();
+    fn c_engine_runs_the_full_ablation_matrix() {
+        // Latency models, barrier algorithms and lock algorithms used
+        // to be Unsupported on the C path; now every combination runs
+        // (through the stub's env protocol) and produces the same
+        // output as the default config.
+        if !CEngine.available() {
+            eprintln!("skipping: no C compiler");
+            return;
+        }
         use lol_shmem::{BarrierKind, LockKind};
-        match CEngine.run(&artifact, &cfg(2).barrier(BarrierKind::Dissemination)) {
-            Err(LolError::Unsupported(msg)) => assert!(msg.contains("BARRIER"), "{msg}"),
-            other => panic!("{other:?}"),
+        let artifact = Compiled::new(corpus::LOCKS_EXAMPLE).unwrap();
+        let baseline = CEngine.run(&artifact, &cfg(4)).unwrap();
+        for latency in [
+            crate::LatencyModel::xc40(),
+            crate::LatencyModel::epiphany16(),
+            "torus:2x2:10:5".parse().unwrap(),
+        ] {
+            for barrier in BarrierKind::ALL {
+                for lock in LockKind::ALL {
+                    let c = cfg(4).latency(latency).barrier(barrier).lock(lock);
+                    let r = CEngine.run(&artifact, &c).unwrap_or_else(|e| {
+                        panic!("latency={latency} barrier={barrier} lock={lock}: {e}")
+                    });
+                    assert_eq!(
+                        r.outputs, baseline.outputs,
+                        "outputs must not depend on latency={latency} barrier={barrier} lock={lock}"
+                    );
+                }
+            }
         }
-        match CEngine.run(&artifact, &cfg(2).lock(LockKind::Ticket)) {
-            Err(LolError::Unsupported(msg)) => assert!(msg.contains("LOCK"), "{msg}"),
-            other => panic!("{other:?}"),
+    }
+
+    #[test]
+    fn c_engine_latency_model_slows_remote_traffic() {
+        // The paper's locality shape on the third backend: the same
+        // halo-exchange program must take measurably longer under a
+        // heavy flat model than with latency off, with identical
+        // output (the model charges time, never changes results).
+        if !CEngine.available() {
+            eprintln!("skipping: no C compiler");
+            return;
         }
+        let artifact = Compiled::new(corpus::BARRIER_EXAMPLE).unwrap();
+        let off = CEngine.run(&artifact, &cfg(2)).unwrap();
+        let slow = CEngine
+            .run(&artifact, &cfg(2).latency(crate::LatencyModel::Uniform { remote_ns: 30_000_000 }))
+            .unwrap();
+        assert_eq!(off.outputs, slow.outputs);
+        // BARRIER_EXAMPLE does one remote put per PE; 2 PEs × 30ms
+        // dwarfs scheduling noise.
+        assert!(
+            slow.wall > off.wall + Duration::from_millis(20),
+            "flat:30ms should slow the run: off {:?} vs flat {:?}",
+            off.wall,
+            slow.wall
+        );
     }
 
     #[test]

@@ -78,6 +78,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod corpus;
 mod engine;
@@ -140,15 +141,25 @@ impl std::str::FromStr for Backend {
 /// Everything needed to launch a program.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
+    /// Number of processing elements (`MAH FRENZ`).
     pub n_pes: usize,
+    /// Which execution engine runs the program.
     pub backend: Backend,
+    /// Remote-access latency model (all three backends honor it).
     pub latency: LatencyModel,
+    /// Barrier algorithm for `HUGZ` (ablation axis).
     pub barrier: BarrierKind,
+    /// Lock algorithm for `IM MESIN WIF` (ablation axis).
     pub lock: LockKind,
+    /// Base seed for the per-PE `WHATEVR` streams.
     pub seed: u64,
+    /// Deadlock watchdog: how long the job may run before being
+    /// declared wedged.
     pub timeout: Duration,
     /// `GIMMEH` input lines (every PE sees the same stream).
     pub input: Vec<String>,
+    /// Words of symmetric heap per PE (in-process engines only; the C
+    /// stub's segment is statically sized).
     pub heap_words: usize,
 }
 

@@ -5,7 +5,8 @@
 //! programs swept across PE counts on a 16-core Epiphany-III mesh and a
 //! Cray XC40. [`SweepSpec`] makes that the default workflow instead of
 //! a hand-rolled loop: describe a cartesian product of PE counts ×
-//! seeds × latency models × backends, and [`SweepSpec::run`] dispatches
+//! seeds × latency models × barrier algorithms × lock algorithms ×
+//! backends, and [`SweepSpec::run`] dispatches
 //! the independent jobs onto a bounded pool of scoped OS threads,
 //! reusing one [`Compiled`] artifact throughout. Results come back in
 //! config order regardless of completion order, so a sweep is
@@ -22,7 +23,8 @@
 //!
 //! [`SweepReport`] aggregates the per-config [`RunReport`]s into the
 //! derived metrics a scaling figure needs — speedup vs. the 1-PE
-//! baseline of the same (backend, latency, seed) group, parallel
+//! baseline of the same (backend, latency, barrier, lock, seed) group,
+//! parallel
 //! efficiency, cross-backend wall-time ratios against the interpreter
 //! (vm-over-interp, c-over-interp, per identical config), and job-wide
 //! communication totals — and serializes to JSON without any external
@@ -39,7 +41,10 @@
 //!   so a big matrix is inspectable mid-run and a killed sweep keeps
 //!   everything already finished.
 
-use crate::{engine_for, Backend, Compiled, LatencyModel, LolError, RunConfig, RunReport};
+use crate::{
+    engine_for, Backend, BarrierKind, Compiled, LatencyModel, LockKind, LolError, RunConfig,
+    RunReport,
+};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -58,12 +63,35 @@ const MAX_AXIS_VALUES: u64 = 65_536;
 ///
 /// Axes left unset fall back to the base config's single value, so a
 /// spec is never empty: `SweepSpec::new()` describes exactly one run.
+///
+/// ```
+/// use lolcode::{BarrierKind, LockKind, SweepSpec};
+///
+/// // The full interconnect × synchronization ablation matrix:
+/// // 2 latencies × 2 barriers × 2 locks × 3 PE counts = 24 configs.
+/// let spec = SweepSpec::new()
+///     .pes([1, 2, 4])
+///     .latencies(["flat".parse().unwrap(), "mesh".parse().unwrap()])
+///     .barriers(BarrierKind::ALL)
+///     .locks(LockKind::ALL);
+/// assert_eq!(spec.configs().len(), 24);
+///
+/// // The same matrix as a `lolrun --sweep` spec string.
+/// let parsed = SweepSpec::parse(
+///     "latency=flat,mesh;barrier=central,dissem;lock=cas,ticket;pes=1,2,4",
+///     lolcode::RunConfig::new(1),
+/// )
+/// .unwrap();
+/// assert_eq!(parsed.configs().len(), 24);
+/// ```
 #[derive(Clone, Debug)]
 pub struct SweepSpec {
     base: RunConfig,
     pes: Vec<usize>,
     seeds: Vec<u64>,
     latencies: Vec<LatencyModel>,
+    barriers: Vec<BarrierKind>,
+    locks: Vec<LockKind>,
     backends: Vec<Backend>,
     jobs: usize,
     threads: usize,
@@ -83,13 +111,15 @@ impl SweepSpec {
     }
 
     /// An empty spec whose unset axes inherit from `base` (timeout,
-    /// input, heap size, barrier/lock algorithms always do).
+    /// input and heap size always do).
     pub fn over(base: RunConfig) -> Self {
         SweepSpec {
             base,
             pes: Vec::new(),
             seeds: Vec::new(),
             latencies: Vec::new(),
+            barriers: Vec::new(),
+            locks: Vec::new(),
             backends: Vec::new(),
             jobs: 0,
             threads: 0,
@@ -119,6 +149,20 @@ impl SweepSpec {
     /// Sweep these latency models.
     pub fn latencies(mut self, models: impl IntoIterator<Item = LatencyModel>) -> Self {
         self.latencies = models.into_iter().collect();
+        self
+    }
+
+    /// Sweep these barrier algorithms (ablation axis; see
+    /// [`BarrierKind::ALL`]).
+    pub fn barriers(mut self, kinds: impl IntoIterator<Item = BarrierKind>) -> Self {
+        self.barriers = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sweep these lock algorithms (ablation axis; see
+    /// [`LockKind::ALL`]).
+    pub fn locks(mut self, kinds: impl IntoIterator<Item = LockKind>) -> Self {
+        self.locks = kinds.into_iter().collect();
         self
     }
 
@@ -181,8 +225,9 @@ impl SweepSpec {
     }
 
     /// Materialize the cartesian product, in deterministic order:
-    /// backends × latencies × seeds × PE counts (PE count innermost, so
-    /// consecutive entries form a scaling curve).
+    /// backends × latencies × barriers × locks × seeds × PE counts
+    /// (PE count innermost, so consecutive entries form a scaling
+    /// curve).
     pub fn configs(&self) -> Vec<RunConfig> {
         fn one<T: Clone>(v: &[T], fallback: T) -> Vec<T> {
             if v.is_empty() {
@@ -193,22 +238,36 @@ impl SweepSpec {
         }
         let backends = one(&self.backends, self.base.backend);
         let latencies = one(&self.latencies, self.base.latency);
+        let barriers = one(&self.barriers, self.base.barrier);
+        let locks = one(&self.locks, self.base.lock);
         let seeds = one(&self.seeds, self.base.seed);
         let pes = one(&self.pes, self.base.n_pes);
-        let mut out =
-            Vec::with_capacity(backends.len() * latencies.len() * seeds.len() * pes.len());
+        let mut out = Vec::with_capacity(
+            backends.len()
+                * latencies.len()
+                * barriers.len()
+                * locks.len()
+                * seeds.len()
+                * pes.len(),
+        );
         for &backend in &backends {
             for &latency in &latencies {
-                for &seed in &seeds {
-                    for &n_pes in &pes {
-                        out.push(
-                            self.base
-                                .clone()
-                                .backend(backend)
-                                .latency(latency)
-                                .seed(seed)
-                                .pes(n_pes),
-                        );
+                for &barrier in &barriers {
+                    for &lock in &locks {
+                        for &seed in &seeds {
+                            for &n_pes in &pes {
+                                out.push(
+                                    self.base
+                                        .clone()
+                                        .backend(backend)
+                                        .latency(latency)
+                                        .barrier(barrier)
+                                        .lock(lock)
+                                        .seed(seed)
+                                        .pes(n_pes),
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -234,6 +293,8 @@ impl SweepSpec {
             .max(1)
             .saturating_mul(self.seeds.len().max(1))
             .saturating_mul(self.latencies.len().max(1))
+            .saturating_mul(self.barriers.len().max(1))
+            .saturating_mul(self.locks.len().max(1))
             .saturating_mul(self.backends.len().max(1));
         if total > MAX_CONFIGS {
             return Err(LolError::Config(format!(
@@ -385,13 +446,15 @@ impl SweepSpec {
     ///   `seeds=7,9` or `seeds=0..2` — explicit seed values
     /// * `latency=off,mesh:4,torus:4x4,flat:1000` — latency models
     ///   (see [`LatencyModel::from_str`][std::str::FromStr])
+    /// * `barrier=central,dissem` — barrier algorithms (ablation axis)
+    /// * `lock=cas,ticket` — lock algorithms (ablation axis)
     /// * `backend=interp,vm,c` — engines to sweep; `both` expands to
     ///   `interp,vm`, `all` to every registered backend
     /// * `jobs=4` — worker cap (`0` = auto)
     /// * `threads=8` — global PE-thread budget (`0` = auto: cores)
     ///
     /// Example: `"pes=1..16;seeds=3;latency=off,mesh:4"` or
-    /// `"pes=1,2,4;backend=interp,vm,c"`.
+    /// `"backend=all;latency=flat,mesh;barrier=central,dissem;lock=cas,ticket;pes=1,2,4"`.
     pub fn parse(spec: &str, base: RunConfig) -> Result<SweepSpec, String> {
         let mut out = SweepSpec::over(base);
         for clause in spec.split(';') {
@@ -424,6 +487,18 @@ impl SweepSpec {
                     out.latencies = value
                         .split(',')
                         .map(|tok| tok.trim().parse::<LatencyModel>())
+                        .collect::<Result<_, _>>()?;
+                }
+                "barrier" | "barriers" => {
+                    out.barriers = value
+                        .split(',')
+                        .map(|tok| tok.trim().parse::<BarrierKind>())
+                        .collect::<Result<_, _>>()?;
+                }
+                "lock" | "locks" => {
+                    out.locks = value
+                        .split(',')
+                        .map(|tok| tok.trim().parse::<LockKind>())
                         .collect::<Result<_, _>>()?;
                 }
                 "backend" | "backends" => {
@@ -588,7 +663,7 @@ pub fn jsonl_record(
 }
 
 /// The shared per-entry identification prefix (`"index"` through
-/// `"latency"`), used by both the streaming records and the final
+/// `"lock"`), used by both the streaming records and the final
 /// report so the two serializations can never drift apart.
 fn push_config_json(out: &mut String, index: usize, config: &RunConfig) {
     out.push_str(&format!("\"index\": {index}, "));
@@ -596,6 +671,8 @@ fn push_config_json(out: &mut String, index: usize, config: &RunConfig) {
     out.push_str(&format!("\"pes\": {}, ", config.n_pes));
     out.push_str(&format!("\"seed\": {}, ", config.seed));
     out.push_str(&format!("\"latency\": \"{}\", ", config.latency));
+    out.push_str(&format!("\"barrier\": \"{}\", ", config.barrier));
+    out.push_str(&format!("\"lock\": \"{}\", ", config.lock));
 }
 
 /// The shared failure arm: `"ok": false` plus the unsupported flag and
@@ -661,18 +738,22 @@ impl SweepReport {
             })
             .collect();
         // Scaling baselines: the 1-PE wall time of each
-        // (backend, latency, seed) group.
-        let key = |c: &RunConfig| (c.backend, c.latency.to_string(), c.seed);
-        let baselines: Vec<((Backend, String, u64), Duration)> = entries
+        // (backend, latency, barrier, lock, seed) group — every
+        // ablation axis gets its own scaling curve.
+        type GroupKey = (Backend, String, BarrierKind, LockKind, u64);
+        let key = |c: &RunConfig| (c.backend, c.latency.to_string(), c.barrier, c.lock, c.seed);
+        let baselines: Vec<(GroupKey, Duration)> = entries
             .iter()
             .filter(|e| e.config.n_pes == 1)
             .filter_map(|e| e.result.as_ref().ok().map(|r| (key(&e.config), r.wall)))
             .collect();
         // Cross-backend baselines: the interpreter's wall time at each
-        // (latency, seed, PE count) — interp is the paper's reference
-        // substrate, so every backend reports its factor over it.
-        let xkey = |c: &RunConfig| (c.latency.to_string(), c.seed, c.n_pes);
-        let interp_walls: Vec<((String, u64, usize), Duration)> = entries
+        // (latency, barrier, lock, seed, PE count) — interp is the
+        // paper's reference substrate, so every backend reports its
+        // factor over it.
+        type XKey = (String, BarrierKind, LockKind, u64, usize);
+        let xkey = |c: &RunConfig| (c.latency.to_string(), c.barrier, c.lock, c.seed, c.n_pes);
+        let interp_walls: Vec<(XKey, Duration)> = entries
             .iter()
             .filter(|e| e.config.backend == Backend::Interp)
             .filter_map(|e| e.result.as_ref().ok().map(|r| (xkey(&e.config), r.wall)))
@@ -728,8 +809,18 @@ impl SweepReport {
     pub fn speedup_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
-            "backend", "latency", "seed", "pes", "wall", "speedup", "eff", "x-interp", "remote%"
+            "{:<7} {:<16} {:<7} {:<6} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
+            "backend",
+            "latency",
+            "barrier",
+            "lock",
+            "seed",
+            "pes",
+            "wall",
+            "speedup",
+            "eff",
+            "x-interp",
+            "remote%"
         ));
         for e in &self.entries {
             let c = &e.config;
@@ -741,9 +832,12 @@ impl SweepReport {
                 Ok(r) => {
                     let total = r.total_stats();
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>7.1}%  ok\n",
+                        "{:<7} {:<16} {:<7} {:<6} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} \
+                         {:>7.1}%  ok\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
+                        c.barrier.to_string(),
+                        c.lock.to_string(),
                         c.seed,
                         c.n_pes,
                         format!("{:.1?}", r.wall),
@@ -758,9 +852,12 @@ impl SweepReport {
                     let first = first.lines().next().unwrap_or("").to_string();
                     let outcome = if e.is_unsupported() { "UNSUPPORTED" } else { "FAILED" };
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  {}: {}\n",
+                        "{:<7} {:<16} {:<7} {:<6} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  \
+                         {}: {}\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
+                        c.barrier.to_string(),
+                        c.lock.to_string(),
                         c.seed,
                         c.n_pes,
                         "-",
@@ -1130,6 +1227,72 @@ mod tests {
     }
 
     #[test]
+    fn barrier_and_lock_axes_round_trip_through_the_spec_string() {
+        let spec =
+            SweepSpec::parse("pes=1,2;barrier=central,dissem;lock=cas,ticket", base()).unwrap();
+        let configs = spec.configs();
+        // 2 barriers × 2 locks × 2 PE counts, barrier outermost of the
+        // two new axes, PE count innermost.
+        assert_eq!(configs.len(), 8);
+        assert_eq!(
+            configs.iter().map(|c| (c.barrier, c.lock, c.n_pes)).collect::<Vec<_>>(),
+            vec![
+                (BarrierKind::Centralized, LockKind::SpinCas, 1),
+                (BarrierKind::Centralized, LockKind::SpinCas, 2),
+                (BarrierKind::Centralized, LockKind::Ticket, 1),
+                (BarrierKind::Centralized, LockKind::Ticket, 2),
+                (BarrierKind::Dissemination, LockKind::SpinCas, 1),
+                (BarrierKind::Dissemination, LockKind::SpinCas, 2),
+                (BarrierKind::Dissemination, LockKind::Ticket, 1),
+                (BarrierKind::Dissemination, LockKind::Ticket, 2),
+            ]
+        );
+        // Long-form aliases parse to the same values.
+        let alias = SweepSpec::parse("barrier=centralized,dissemination;lock=spincas", base())
+            .unwrap()
+            .configs();
+        assert_eq!(alias[0].barrier, BarrierKind::Centralized);
+        assert_eq!(alias[1].barrier, BarrierKind::Dissemination);
+        assert_eq!(alias[0].lock, LockKind::SpinCas);
+        // Bad values are rejected with the axis named.
+        for bad in ["barrier=tree", "lock=mcs", "barrier=", "lock=cas,"] {
+            let err = SweepSpec::parse(bad, base()).unwrap_err();
+            assert!(err.contains("O NOES!"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn barrier_and_lock_groups_get_their_own_scaling_baselines() {
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let report = SweepSpec::over(base())
+            .pes([1, 2])
+            .barriers(BarrierKind::ALL)
+            .locks(LockKind::ALL)
+            .run(&artifact);
+        assert!(report.all_ok(), "{}", report.speedup_table());
+        assert_eq!(report.entries.len(), 8);
+        // Every (barrier, lock) group has its own 1-PE baseline, so
+        // every entry gets a speedup column.
+        for e in &report.entries {
+            assert!(
+                e.speedup.is_some(),
+                "missing baseline for barrier={} lock={}",
+                e.config.barrier,
+                e.config.lock
+            );
+        }
+        // The new axes appear in both serializations and the table.
+        assert!(report.to_json().contains("\"barrier\": \"dissem\""));
+        assert!(report.to_json_stable().contains("\"lock\": \"ticket\""));
+        let table = report.speedup_table();
+        assert!(table.contains("barrier") && table.contains("dissem"), "{table}");
+        let record = jsonl_record(0, &report.entries[0].config, &report.entries[0].result);
+        assert!(
+            record.contains("\"barrier\": \"central\"") && record.contains("\"lock\": \"cas\"")
+        );
+    }
+
+    #[test]
     fn backend_clause_accepts_c_and_all() {
         let spec = SweepSpec::parse("pes=1;backend=interp,vm,c", base()).unwrap();
         assert_eq!(
@@ -1144,11 +1307,12 @@ mod tests {
     #[test]
     fn unsupported_entries_are_not_hard_failures() {
         let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
-        // The C engine can't simulate latency models, so this sweep
-        // mixes ok entries (interp) with unsupported ones (c).
+        // The C stub caps PE threads at 256, so this sweep mixes ok
+        // entries (interp runs 257 oversubscribed threads fine) with
+        // unsupported ones (c refuses past the cap) — whatever
+        // compilers the machine has.
         let report = SweepSpec::over(base())
-            .pes([1])
-            .latencies([LatencyModel::xc40()])
+            .pes([257])
             .backends([Backend::Interp, Backend::C])
             .run(&artifact);
         assert_eq!(report.ok_count(), 1);

@@ -334,7 +334,7 @@ pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
 pub mod collection {
     use super::*;
 
-    /// Accepted sizes for [`vec`]: an exact length or a range.
+    /// Accepted sizes for [`vec()`]: an exact length or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -26,13 +26,44 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which barrier algorithm `HUGZ` uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum BarrierKind {
     /// Centralized sense-reversing barrier (default).
     #[default]
     Centralized,
     /// Dissemination barrier (log-rounds pairwise signalling).
     Dissemination,
+}
+
+impl BarrierKind {
+    /// Every algorithm, in ablation-sweep order.
+    pub const ALL: [BarrierKind; 2] = [BarrierKind::Centralized, BarrierKind::Dissemination];
+}
+
+/// Compact, round-trippable label (`central` / `dissem`) — the token
+/// the sweep grammar (`barrier=central,dissem`) and the C driver's
+/// `LOL_STUB_BARRIER` env protocol both use.
+impl std::fmt::Display for BarrierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BarrierKind::Centralized => "central",
+            BarrierKind::Dissemination => "dissem",
+        })
+    }
+}
+
+/// Parse a barrier-algorithm token: `central` (or `centralized`) /
+/// `dissem` (or `dissemination`).
+impl std::str::FromStr for BarrierKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "central" | "centralized" => Ok(BarrierKind::Centralized),
+            "dissem" | "dissemination" => Ok(BarrierKind::Dissemination),
+            other => Err(format!("O NOES! barrier IZ central OR dissem, NOT {other}")),
+        }
+    }
 }
 
 /// Supervised spin loop: spins, periodically yields, watches the
@@ -249,6 +280,16 @@ mod tests {
     #[test]
     fn dissemination_single_pe_is_noop() {
         exercise_dissemination(1, 10);
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in BarrierKind::ALL {
+            assert_eq!(kind.to_string().parse::<BarrierKind>().unwrap(), kind);
+        }
+        assert_eq!("centralized".parse::<BarrierKind>().unwrap(), BarrierKind::Centralized);
+        assert_eq!("dissemination".parse::<BarrierKind>().unwrap(), BarrierKind::Dissemination);
+        assert!("tree".parse::<BarrierKind>().is_err());
     }
 
     #[test]

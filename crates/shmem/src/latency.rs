@@ -17,14 +17,24 @@ pub enum LatencyModel {
     Off,
     /// Every remote access costs `remote_ns` (flat network — Cray
     /// Aries analog).
-    Uniform { remote_ns: u64 },
+    Uniform {
+        /// Cost of every remote access, in nanoseconds.
+        remote_ns: u64,
+    },
     /// 2D mesh NoC (Epiphany eMesh analog): PEs are laid out
     /// row-major on a `width`-wide grid; an access costs
     /// `base_ns + hops * hop_ns` where `hops` is Manhattan distance.
     ///
     /// `width` must be ≥ 1 — enforced by [`LatencyModel::validate`],
     /// which every config-construction path calls before a job runs.
-    Mesh2D { width: usize, base_ns: u64, hop_ns: u64 },
+    Mesh2D {
+        /// Grid width (PEs per row, row-major layout).
+        width: usize,
+        /// Fixed cost of any remote access, in nanoseconds.
+        base_ns: u64,
+        /// Additional cost per mesh hop, in nanoseconds.
+        hop_ns: u64,
+    },
     /// 2D torus: like [`LatencyModel::Mesh2D`] but with wraparound
     /// links in both dimensions, so the worst-case hop count halves.
     /// PEs are laid out row-major on a `width × height` grid (PE ids
@@ -32,7 +42,16 @@ pub enum LatencyModel {
     ///
     /// `width` and `height` must be ≥ 1 — enforced by
     /// [`LatencyModel::validate`].
-    Torus2D { width: usize, height: usize, base_ns: u64, hop_ns: u64 },
+    Torus2D {
+        /// Grid width (PEs per row, row-major layout).
+        width: usize,
+        /// Grid height (rows before the vertical wraparound).
+        height: usize,
+        /// Fixed cost of any remote access, in nanoseconds.
+        base_ns: u64,
+        /// Additional cost per torus hop, in nanoseconds.
+        hop_ns: u64,
+    },
 }
 
 impl LatencyModel {
@@ -127,7 +146,7 @@ impl LatencyModel {
 }
 
 /// Compact, round-trippable label: `off`, `flat:1000`, `mesh:4:50:11`,
-/// `torus:4x4:50:11`. [`LatencyModel::from_str`] parses the same forms.
+/// `torus:4x4:50:11`; the `FromStr` impl parses the same forms.
 impl std::fmt::Display for LatencyModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {

@@ -41,6 +41,7 @@
 //! [`LockKind`]) so the benches can ablate the design choices.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod barrier;
 pub mod heap;
@@ -62,11 +63,17 @@ pub use world::{run_spmd, Pe, ShmemConfig, SpmdError, World};
 /// `SHMEM_CMP_*`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WaitCmp {
+    /// Wait until the word equals the operand (`SHMEM_CMP_EQ`).
     Eq,
+    /// Wait until the word differs from the operand (`SHMEM_CMP_NE`).
     Ne,
+    /// Wait until the word exceeds the operand (`SHMEM_CMP_GT`).
     Gt,
+    /// Wait until the word is at least the operand (`SHMEM_CMP_GE`).
     Ge,
+    /// Wait until the word is below the operand (`SHMEM_CMP_LT`).
     Lt,
+    /// Wait until the word is at most the operand (`SHMEM_CMP_LE`).
     Le,
 }
 

@@ -26,13 +26,43 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const LOCK_WORDS: usize = 3;
 
 /// Which lock algorithm the runtime uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum LockKind {
     /// CAS spin lock with exponential backoff (default).
     #[default]
     SpinCas,
     /// FIFO ticket lock.
     Ticket,
+}
+
+impl LockKind {
+    /// Every algorithm, in ablation-sweep order.
+    pub const ALL: [LockKind; 2] = [LockKind::SpinCas, LockKind::Ticket];
+}
+
+/// Compact, round-trippable label (`cas` / `ticket`) — the token the
+/// sweep grammar (`lock=cas,ticket`) and the C driver's
+/// `LOL_STUB_LOCK` env protocol both use.
+impl std::fmt::Display for LockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LockKind::SpinCas => "cas",
+            LockKind::Ticket => "ticket",
+        })
+    }
+}
+
+/// Parse a lock-algorithm token: `cas` (or `spincas`) / `ticket`.
+impl std::str::FromStr for LockKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "cas" | "spincas" => Ok(LockKind::SpinCas),
+            "ticket" => Ok(LockKind::Ticket),
+            other => Err(format!("O NOES! lock IZ cas OR ticket, NOT {other}")),
+        }
+    }
 }
 
 /// The three atomic words backing one lock instance.
@@ -153,6 +183,15 @@ mod tests {
 
     fn both_kinds() -> [LockKind; 2] {
         [LockKind::SpinCas, LockKind::Ticket]
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in LockKind::ALL {
+            assert_eq!(kind.to_string().parse::<LockKind>().unwrap(), kind);
+        }
+        assert_eq!("spincas".parse::<LockKind>().unwrap(), LockKind::SpinCas);
+        assert!("mcs".parse::<LockKind>().is_err());
     }
 
     #[test]

@@ -110,9 +110,13 @@ impl ShmemConfig {
 /// Reduction operators for [`Pe::reduce_i64`] / [`Pe::reduce_f64`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReduceOp {
+    /// Wrapping sum (`shmem_sum_reduce`).
     Sum,
+    /// Wrapping product (`shmem_prod_reduce`).
     Prod,
+    /// Minimum (`shmem_min_reduce`).
     Min,
+    /// Maximum (`shmem_max_reduce`).
     Max,
 }
 
@@ -186,7 +190,9 @@ impl World {
 /// message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpmdError {
+    /// The first PE that panicked.
     pub pe: usize,
+    /// The panic message (usually an `O NOES! [RUNxxxx]` diagnostic).
     pub message: String,
 }
 

@@ -326,6 +326,83 @@ fn c_engine_agrees_with_interp_on_corpus_subset() {
     }
 }
 
+/// All three engines under the interconnect models: mesh vs flat
+/// latency changes *timing*, never *outputs* — the fidelity contract
+/// the latency knob is built on, pinned on every backend at once.
+#[test]
+fn latency_models_change_timing_but_not_outputs_on_all_engines() {
+    // ~40 remote puts per PE through the halo pattern, so a 3ms flat
+    // model adds a wall-clock margin far beyond scheduling noise.
+    let src = "\
+HAI 1.2
+WE HAS A b ITZ SRSLY A NUMBR
+I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 40
+TXT MAH BFF k, UR b R MAH i
+IM OUTTA YR l
+HUGZ
+VISIBLE \"PE \" ME \" B = \" b
+KTHXBYE
+";
+    let artifact = compile(src).unwrap();
+    let base = RunConfig::new(2).seed(4).timeout(Duration::from_secs(60));
+    let heavy = LatencyModel::Uniform { remote_ns: 3_000_000 };
+    for backend in Backend::ALL {
+        let engine = engine_for(backend);
+        if !engine.available() {
+            eprintln!("skipping {backend:?}: unavailable here");
+            continue;
+        }
+        let run = |latency: LatencyModel| {
+            engine
+                .run(&artifact, &base.clone().backend(backend).latency(latency))
+                .unwrap_or_else(|e| panic!("{backend:?} under {latency}: {e}"))
+        };
+        let off = run(LatencyModel::Off);
+        let mesh = run(LatencyModel::epiphany16());
+        let flat = run(heavy);
+        assert_eq!(off.outputs, mesh.outputs, "{backend:?}: mesh changed outputs");
+        assert_eq!(off.outputs, flat.outputs, "{backend:?}: flat changed outputs");
+        // 40 remote puts × 3ms each per PE ≥ 120ms of modelled delay.
+        assert!(
+            flat.wall > off.wall + Duration::from_millis(60),
+            "{backend:?}: flat:3ms should slow the run (off {:?} vs flat {:?})",
+            off.wall,
+            flat.wall
+        );
+    }
+}
+
+/// The barrier/lock ablation axes on all three engines: every
+/// algorithm combination must agree byte-for-byte with the default on
+/// the lock-contention corpus program.
+#[test]
+fn barrier_and_lock_ablations_agree_on_all_engines() {
+    use lolcode::{BarrierKind, LockKind};
+    let artifact = compile(corpus::LOCKS_EXAMPLE).unwrap();
+    let base = RunConfig::new(4).seed(7).timeout(Duration::from_secs(60));
+    for backend in Backend::ALL {
+        let engine = engine_for(backend);
+        if !engine.available() {
+            eprintln!("skipping {backend:?}: unavailable here");
+            continue;
+        }
+        let baseline = engine.run(&artifact, &base.clone().backend(backend)).unwrap();
+        for barrier in BarrierKind::ALL {
+            for lock in LockKind::ALL {
+                let cfg = base.clone().backend(backend).barrier(barrier).lock(lock);
+                let r = engine
+                    .run(&artifact, &cfg)
+                    .unwrap_or_else(|e| panic!("{backend:?} barrier={barrier} lock={lock}: {e}"));
+                assert_eq!(
+                    r.outputs, baseline.outputs,
+                    "{backend:?}: barrier={barrier} lock={lock} changed outputs"
+                );
+            }
+        }
+    }
+}
+
 /// One artifact, all three engines: the paper's "same program, three
 /// substrates" demonstration in a single assertion.
 #[test]

@@ -135,6 +135,61 @@ fn three_backend_ci_sweep_runs_or_degrades_cleanly() {
     }
 }
 
+/// The full interconnect matrix (the acceptance sweep for the C
+/// backend's latency/barrier/lock support): 3 backends × 2 latency
+/// models × 2 barrier algorithms × 2 lock algorithms × 3 PE counts on
+/// the checked-in heat stencil. With a C compiler present, **zero**
+/// UNSUPPORTED rows; without one, exactly the C third degrades. In
+/// both cases outputs must not depend on latency/barrier/lock — those
+/// knobs change timing, never results.
+#[test]
+fn full_interconnect_matrix_has_no_unsupported_rows() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/heat2d_4x8.lol");
+    let on_disk = std::fs::read_to_string(path).unwrap();
+    let artifact = compile(&on_disk).unwrap();
+    let spec = SweepSpec::parse(
+        "backend=all;latency=flat,mesh;barrier=central,dissem;lock=cas,ticket;pes=1,2,4",
+        RunConfig::new(1).timeout(Duration::from_secs(120)),
+    )
+    .unwrap();
+    let report = spec.run(&artifact);
+    assert_eq!(report.entries.len(), 3 * 2 * 2 * 2 * 3);
+    assert_eq!(report.hard_failure_count(), 0, "{}", report.speedup_table());
+    if engine_for(Backend::C).available() {
+        assert_eq!(report.unsupported_count(), 0, "{}", report.speedup_table());
+        assert!(report.all_ok());
+    } else {
+        assert_eq!(report.unsupported_count(), 24, "only the C third may degrade");
+    }
+    // heat2d is deterministic: every ok entry — any backend, any
+    // latency model, any barrier, any lock — at the same PE count must
+    // produce identical output.
+    for pes in [1usize, 2, 4] {
+        let hashes: Vec<_> = report
+            .entries
+            .iter()
+            .filter(|e| e.config.n_pes == pes && e.result.is_ok())
+            .filter_map(|e| e.output_hash())
+            .collect();
+        assert!(!hashes.is_empty());
+        assert!(
+            hashes.iter().all(|h| h == &hashes[0]),
+            "outputs diverge across the ablation matrix at {pes} PEs"
+        );
+    }
+    // The report JSON groups by the new axes: every combination shows
+    // up as its own (barrier, lock) label pair.
+    let json = report.to_json_stable();
+    for needle in [
+        "\"barrier\": \"central\"",
+        "\"barrier\": \"dissem\"",
+        "\"lock\": \"cas\"",
+        "\"lock\": \"ticket\"",
+    ] {
+        assert!(json.contains(needle), "report JSON lacks {needle}");
+    }
+}
+
 /// The thread budget keeps `jobs × PEs` inside the core count without
 /// changing a single byte of the results.
 #[test]
