@@ -19,16 +19,18 @@
 //! deprecated sugar for a two-backend sweep.
 
 use lolcode::{
-    compile, engine_for, jsonl_record, Backend, BarrierKind, Compiled, LatencyModel, LockKind,
-    RunConfig, RunReport, SweepSpec,
+    compile, engine_for, jsonl_record, parse_jsonl_done, Backend, BarrierKind, ClockMode, Compiled,
+    LatencyModel, LockKind, RunConfig, RunReport, SweepSpec,
 };
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
               [--latency <model>] [--barrier <algo>] [--lock <algo>]
+              [--clock wall|virtual] [--trace[=FORMAT]]
               [--tag] [--stats]
-              [--sweep <spec>] [--jobs <N>] [--json|--json-lines]
+              [--sweep <spec>] [--resume <prev.jsonl>] [--jobs <N>]
+              [--json|--json-lines]
               <input.lol>
   -np <N>          number of processing elements (default 4)
   --backend <b>    interp (default), vm (compiled bytecode), or c
@@ -42,6 +44,17 @@ usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
                    flat[:NS] (Cray-like uniform remote latency)
   --barrier <a>    HUGZ barrier algorithm: central (default) or dissem
   --lock <a>       IM MESIN WIF lock algorithm: cas (default) or ticket
+  --clock <c>      wall (default): latency models busy-wait real time;
+                   virtual: latency is *accounted* on a deterministic
+                   per-PE logical clock instead — virtual walls are
+                   machine-independent and byte-reproducible
+  --trace[=F]      record communication events and render them to
+                   stderr after the run. F is one of
+                     gantt (default)  per-PE ASCII timeline
+                     events           flat event log
+                     matrix           PExPE bytes/ops matrix
+                     svg              dependency-free SVG timeline
+                   (e.g. `lolrun --trace=svg prog.lol 2>timeline.svg`)
   --tag            prefix every output line with [PE n]
   --stats          print per-PE communication statistics and wall time
                    to stderr after the run
@@ -53,19 +66,23 @@ usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
                      latency=off,mesh:4       latency models
                      barrier=central,dissem   barrier algorithms
                      lock=cas,ticket          lock algorithms
+                     clock=wall,virtual       latency clock modes
                      backend=interp,vm,c      engines to sweep (also:
                                               both = interp,vm / all)
                      jobs=4                   worker cap
                      threads=8                global PE-thread budget
-                   e.g. --sweep \"pes=1,2,4;backend=all;barrier=central,dissem\"
+                   e.g. --sweep \"pes=1,2,4;backend=all;clock=virtual\"
                    Unset axes inherit -np/--seed/--latency/--barrier/
-                   --lock/--backend.
+                   --lock/--clock/--backend.
+  --resume <f>     with --sweep: read a previous --json-lines file and
+                   re-run only the configs it is missing or records as
+                   failed; already-ok configs report SKIPPED
   --jobs <N>       cap concurrent sweep jobs (default: min(cores,
                    number of configs)); jobs are additionally gated so
                    in-flight PEs fit the thread budget. Use --jobs 1
                    when the wall/speedup columns are the result:
                    concurrent jobs contend for cores and bias each
-                   other's timings
+                   other's timings (virtual-time walls are immune)
   --json           with --sweep: emit the report as JSON on stdout
   --json-lines     with --sweep: stream one JSONL record per config as
                    it completes (resumable/inspectable mid-run), plus
@@ -77,6 +94,15 @@ enum BackendChoice {
     Both,
 }
 
+/// `--trace[=FORMAT]` renderings.
+#[derive(Clone, Copy)]
+enum TraceFormat {
+    Gantt,
+    Events,
+    Matrix,
+    Svg,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut input: Option<String> = None;
@@ -86,9 +112,12 @@ fn main() -> ExitCode {
     let mut latency = LatencyModel::Off;
     let mut barrier = BarrierKind::default();
     let mut lock = LockKind::default();
+    let mut clock = ClockMode::default();
+    let mut trace: Option<TraceFormat> = None;
     let mut tag = false;
     let mut stats = false;
     let mut sweep: Option<String> = None;
+    let mut resume: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut json = false;
     let mut json_lines = false;
@@ -177,12 +206,51 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--clock" => {
+                i += 1;
+                clock = match args.get(i).map(|s| s.parse::<ClockMode>()) {
+                    Some(Ok(c)) => c,
+                    Some(Err(e)) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("O NOES! --clock IZ wall OR virtual, NOT (nothing)\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            a if a == "--trace" || a.starts_with("--trace=") => {
+                let fmt = a.strip_prefix("--trace=").unwrap_or("gantt");
+                trace = match fmt {
+                    "gantt" => Some(TraceFormat::Gantt),
+                    "events" => Some(TraceFormat::Events),
+                    "matrix" => Some(TraceFormat::Matrix),
+                    "svg" => Some(TraceFormat::Svg),
+                    other => {
+                        eprintln!(
+                            "O NOES! --trace FORMAT IZ gantt, events, matrix OR svg, NOT {other}\n{USAGE}"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
             "--sweep" => {
                 i += 1;
                 sweep = match args.get(i) {
                     Some(s) => Some(s.clone()),
                     None => {
                         eprintln!("O NOES! --sweep NEEDS A SPEC\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--resume" => {
+                i += 1;
+                resume = match args.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => {
+                        eprintln!("O NOES! --resume NEEDS A JSONL FILE\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -253,18 +321,28 @@ fn main() -> ExitCode {
         eprint!("{w}");
     }
 
-    let mut cfg = RunConfig::new(n_pes).seed(seed).latency(latency).barrier(barrier).lock(lock);
+    let mut cfg = RunConfig::new(n_pes)
+        .seed(seed)
+        .latency(latency)
+        .barrier(barrier)
+        .lock(lock)
+        .clock(clock)
+        .trace(trace.is_some());
     cfg.input = stdin_lines;
 
     if json && json_lines {
         eprintln!("O NOES! PICK --json OR --json-lines, NOT BOTH\n{USAGE}");
         return ExitCode::FAILURE;
     }
+    if resume.is_some() && sweep.is_none() {
+        eprintln!("O NOES! --resume ONLY MEANS SOMETHING WIF --sweep\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
 
     if let Some(spec) = sweep {
-        if stats || tag {
+        if stats || tag || trace.is_some() {
             eprintln!(
-                "O NOES! --stats AN --tag DONT WORK WIF --sweep (DA REPORT HAZ DA STATS)\n{USAGE}"
+                "O NOES! --stats, --tag AN --trace DONT WORK WIF --sweep (DA REPORT HAZ DA STATS)\n{USAGE}"
             );
             return ExitCode::FAILURE;
         }
@@ -276,7 +354,8 @@ fn main() -> ExitCode {
             }
         };
         let both = matches!(backend, BackendChoice::Both);
-        return run_sweep(&artifact, &spec, base, both, jobs, json, json_lines);
+        let opts = SweepOpts { both_backends: both, jobs, resume, json, json_lines };
+        return run_sweep(&artifact, &spec, base, opts);
     }
     match backend {
         BackendChoice::One(b) => {
@@ -295,6 +374,9 @@ fn main() -> ExitCode {
                     if stats {
                         print_stats(&report);
                     }
+                    if let Some(fmt) = trace {
+                        print_trace(&report, fmt);
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -307,13 +389,45 @@ fn main() -> ExitCode {
         // the requested PE count (same artifact, same diff — the sweep
         // report's output hashes are the agreement check).
         BackendChoice::Both => {
-            if stats || tag {
-                eprintln!("O NOES! --stats AN --tag DONT WORK WIF --backend both ANYMOAR (IT IZ A SWEEP NAO)\n{USAGE}");
+            if stats || tag || trace.is_some() {
+                eprintln!("O NOES! --stats, --tag AN --trace DONT WORK WIF --backend both ANYMOAR (IT IZ A SWEEP NAO)\n{USAGE}");
                 return ExitCode::FAILURE;
             }
             warn_both_deprecated();
-            run_sweep(&artifact, "backend=interp,vm", cfg, false, jobs, json, json_lines)
+            let opts = SweepOpts { both_backends: false, jobs, resume: None, json, json_lines };
+            run_sweep(&artifact, "backend=interp,vm", cfg, opts)
         }
+    }
+}
+
+/// Presentation/scheduling options forwarded from the flag parser to
+/// [`run_sweep`].
+struct SweepOpts {
+    both_backends: bool,
+    jobs: Option<usize>,
+    resume: Option<String>,
+    json: bool,
+    json_lines: bool,
+}
+
+/// Render the recorded trace to stderr (program output stays clean on
+/// stdout; `2>file.svg` captures a timeline).
+fn print_trace(report: &RunReport, fmt: TraceFormat) {
+    let Some(trace) = &report.trace else {
+        eprintln!("HMM... NO TRACE WUZ RECORDED");
+        return;
+    };
+    match fmt {
+        TraceFormat::Gantt => {
+            eprint!("{}", trace.gantt(100));
+            eprint!("{}", trace.comm_matrix().render());
+        }
+        TraceFormat::Events => eprint!("{}", trace.event_log()),
+        TraceFormat::Matrix => eprint!("{}", trace.comm_matrix().render()),
+        TraceFormat::Svg => eprint!("{}", trace.to_svg()),
+    }
+    if let Some(vw) = report.virtual_wall {
+        eprintln!("virtual wall: {vw:?} (deterministic)");
     }
 }
 
@@ -331,15 +445,8 @@ fn warn_both_deprecated() {
 /// faults, backend disagreement). Engines the machine simply doesn't
 /// have (e.g. `backend=c` without a C compiler) are reported as
 /// UNSUPPORTED entries and don't fail the sweep.
-fn run_sweep(
-    artifact: &Compiled,
-    spec: &str,
-    base: RunConfig,
-    both_backends: bool,
-    jobs: Option<usize>,
-    json: bool,
-    json_lines: bool,
-) -> ExitCode {
+fn run_sweep(artifact: &Compiled, spec: &str, base: RunConfig, opts: SweepOpts) -> ExitCode {
+    let SweepOpts { both_backends, jobs, resume, json, json_lines } = opts;
     let mut spec = match SweepSpec::parse(spec, base) {
         Ok(s) => s,
         Err(e) => {
@@ -356,24 +463,41 @@ fn run_sweep(
     if let Some(j) = jobs {
         spec = spec.jobs(j);
     }
+    // `--resume`: collect the previous run's completed configs; only
+    // the missing/failed ones run below.
+    let done = match &resume {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let done = parse_jsonl_done(&text);
+                eprintln!("HMM... --resume FOUND {} FINISHED CONFIGS IN {path}", done.len());
+                done
+            }
+            Err(e) => {
+                eprintln!("O NOES! CANT READ --resume FILE {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Default::default(),
+    };
     let report = if json_lines {
         // Stream one record per completed config. `println!` locks
         // stdout per call, so records from racing workers stay intact.
-        let report = spec.run_with(artifact, |i, cfg, result| {
+        let report = spec.run_resumable(artifact, &done, |i, cfg, result| {
             println!("{}", jsonl_record(i, cfg, result));
         });
         println!(
             "{{\"summary\": true, \"configs\": {}, \"ok\": {}, \"unsupported\": {}, \
-             \"jobs\": {}, \"total_wall_ns\": {}}}",
+             \"skipped\": {}, \"jobs\": {}, \"total_wall_ns\": {}}}",
             report.entries.len(),
             report.ok_count(),
             report.unsupported_count(),
+            report.skipped_count(),
             report.jobs,
             report.total_wall.as_nanos()
         );
         report
     } else {
-        let report = spec.run(artifact);
+        let report = spec.run_resumable(artifact, &done, |_, _, _| {});
         if json {
             print!("{}", report.to_json());
         } else {
@@ -399,6 +523,7 @@ fn run_sweep(
                 && a.config.latency == b.config.latency
                 && a.config.barrier == b.config.barrier
                 && a.config.lock == b.config.lock
+                && a.config.clock == b.config.clock
                 && a.result.is_ok()
                 && b.result.is_ok()
                 && a.output_hash() != b.output_hash()
@@ -444,7 +569,23 @@ fn print_outputs(report: &RunReport, tag: bool) {
 /// Per-PE `CommStats` plus job totals and wall time, on stderr (so
 /// program output stays pipeable).
 fn print_stats(report: &RunReport) {
-    eprintln!("== {:?} stats: {} PEs, wall {:?} ==", report.backend, report.n_pes(), report.wall);
+    match report.virtual_wall {
+        Some(vw) => eprintln!(
+            "== {:?} stats: {} PEs, wall {:?}, virtual wall {:?} ==",
+            report.backend,
+            report.n_pes(),
+            report.wall,
+            vw
+        ),
+        None => {
+            eprintln!(
+                "== {:?} stats: {} PEs, wall {:?} ==",
+                report.backend,
+                report.n_pes(),
+                report.wall
+            )
+        }
+    }
     for (pe, s) in report.stats.iter().enumerate() {
         eprintln!("[PE {pe}] {s}");
     }

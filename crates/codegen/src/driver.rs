@@ -22,6 +22,7 @@
 
 use crate::runtime::SHMEM_STUB_H;
 use lol_shmem::{BarrierKind, CommStats, LatencyModel, LockKind};
+use lol_trace::{ClockMode, EventKind, PeTrace, TraceEvent};
 use std::io::Read as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
@@ -132,6 +133,13 @@ pub struct RunRequest<'a> {
     pub barrier: BarrierKind,
     /// Lock algorithm for the Table II implicit locks (`LOL_STUB_LOCK`).
     pub lock: LockKind,
+    /// Which clock the latency model charges (`LOL_STUB_CLOCK`):
+    /// busy-waited wall time or the deterministic virtual clock, whose
+    /// final per-PE values come back on the stats protocol.
+    pub clock: ClockMode,
+    /// Record communication events (`LOL_STUB_TRACE`); per-PE trace
+    /// files are parsed back into [`CRunOutput::traces`].
+    pub trace: bool,
 }
 
 impl Default for RunRequest<'_> {
@@ -146,6 +154,8 @@ impl Default for RunRequest<'_> {
             latency: LatencyModel::Off,
             barrier: BarrierKind::default(),
             lock: LockKind::default(),
+            clock: ClockMode::default(),
+            trace: false,
         }
     }
 }
@@ -161,6 +171,12 @@ pub struct CRunOutput {
     pub stats: Vec<CommStats>,
     /// Wall-clock time from spawn to exit.
     pub wall: Duration,
+    /// The job's virtual wall (max final per-PE logical clock), when
+    /// the request ran under [`ClockMode::Virtual`].
+    pub virtual_ns: Option<u64>,
+    /// Per-PE event streams parsed from the stub's trace files, when
+    /// the request enabled tracing.
+    pub traces: Option<Vec<PeTrace>>,
 }
 
 /// A compiled C-backend binary in its own temp directory; the
@@ -235,6 +251,8 @@ impl CBinary {
             .env("LOL_STUB_LATENCY", req.latency.to_string())
             .env("LOL_STUB_BARRIER", req.barrier.to_string())
             .env("LOL_STUB_LOCK", req.lock.to_string())
+            .env("LOL_STUB_CLOCK", req.clock.to_string())
+            .env("LOL_STUB_TRACE", if req.trace { TRACE_CAP } else { "0" })
             .stdin(Stdio::piped())
             .stdout(Stdio::null()) // VISIBLE goes to the capture files
             .stderr(Stdio::piped())
@@ -293,16 +311,80 @@ impl CBinary {
         }
         let stats_text = std::fs::read_to_string(out_dir.join("out.stats"))
             .map_err(|e| DriverError::Protocol(format!("missing stats file: {e}")))?;
-        let stats = parse_stats(&stats_text, req.n_pes)?;
+        let (stats, vclocks) = parse_stats(&stats_text, req.n_pes)?;
+        let virtual_ns =
+            (req.clock == ClockMode::Virtual).then(|| vclocks.iter().copied().max().unwrap_or(0));
+        let traces = if req.trace {
+            let mut pes = Vec::with_capacity(req.n_pes);
+            for pe in 0..req.n_pes {
+                let path = out_dir.join(format!("out.pe{pe}.trace"));
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    DriverError::Protocol(format!("missing trace for PE {pe}: {e}"))
+                })?;
+                pes.push(parse_trace(&text, pe)?);
+            }
+            Some(pes)
+        } else {
+            None
+        };
         let _ = std::fs::remove_dir_all(&out_dir);
-        Ok(CRunOutput { outputs, stats, wall })
+        Ok(CRunOutput { outputs, stats, wall, virtual_ns, traces })
     }
 }
 
+/// Per-PE event cap the driver asks the stub for (`LOL_STUB_TRACE`);
+/// matches the Rust substrate's default `trace_capacity`.
+const TRACE_CAP: &str = "65536";
+
+/// Parse one stub trace file: `<code> <peer> <addr> <bytes> <t_ns>`
+/// event lines in issue order, then a `= <dropped> <end_ns>` trailer.
+fn parse_trace(text: &str, pe: usize) -> Result<PeTrace, DriverError> {
+    let bad = |line: &str| DriverError::Protocol(format!("bad trace line {line:?}"));
+    let mut out = PeTrace::default();
+    let mut sealed = false;
+    for line in text.lines() {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if sealed {
+            return Err(DriverError::Protocol("trace data after trailer".to_string()));
+        }
+        match fields.as_slice() {
+            ["=", dropped, end] => {
+                out.dropped = dropped.parse().map_err(|_| bad(line))?;
+                out.end_ns = end.parse().map_err(|_| bad(line))?;
+                sealed = true;
+            }
+            [code, peer, addr, bytes, t_ns] => {
+                let mut chars = code.chars();
+                let (Some(c), None) = (chars.next(), chars.next()) else {
+                    return Err(bad(line));
+                };
+                let kind = EventKind::from_code(c).ok_or_else(|| bad(line))?;
+                out.events.push(TraceEvent {
+                    kind,
+                    pe: pe as u32,
+                    peer: peer.parse().map_err(|_| bad(line))?,
+                    addr: addr.parse().map_err(|_| bad(line))?,
+                    bytes: bytes.parse().map_err(|_| bad(line))?,
+                    seq: out.events.len() as u32,
+                    t_ns: t_ns.parse().map_err(|_| bad(line))?,
+                });
+            }
+            _ => return Err(bad(line)),
+        }
+    }
+    if !sealed {
+        return Err(DriverError::Protocol(format!("trace for PE {pe} has no trailer")));
+    }
+    Ok(out)
+}
+
 /// Parse the stub's stats file: one line per PE,
-/// `pe local_gets remote_gets local_puts remote_puts amos barriers`.
-fn parse_stats(text: &str, n_pes: usize) -> Result<Vec<CommStats>, DriverError> {
+/// `pe local_gets remote_gets local_puts remote_puts amos barriers
+/// [vclock_ns]` — the optional 8th column is the PE's final virtual
+/// clock (0 under the wall clock; absent in legacy 7-column files).
+fn parse_stats(text: &str, n_pes: usize) -> Result<(Vec<CommStats>, Vec<u64>), DriverError> {
     let mut out = vec![CommStats::default(); n_pes];
+    let mut vclocks = vec![0u64; n_pes];
     let mut filled = vec![false; n_pes];
     for line in text.lines() {
         let fields: Vec<u64> = line
@@ -310,10 +392,12 @@ fn parse_stats(text: &str, n_pes: usize) -> Result<Vec<CommStats>, DriverError> 
             .map(|f| f.parse::<u64>())
             .collect::<Result<_, _>>()
             .map_err(|e| DriverError::Protocol(format!("bad stats line {line:?}: {e}")))?;
-        let [pe, local_gets, remote_gets, local_puts, remote_puts, amos, barriers] = fields[..]
-        else {
-            return Err(DriverError::Protocol(format!("bad stats line {line:?}")));
-        };
+        let (pe, local_gets, remote_gets, local_puts, remote_puts, amos, barriers, vclock) =
+            match *fields.as_slice() {
+                [a, b, c, d, e, f, g] => (a, b, c, d, e, f, g, 0),
+                [a, b, c, d, e, f, g, v] => (a, b, c, d, e, f, g, v),
+                _ => return Err(DriverError::Protocol(format!("bad stats line {line:?}"))),
+            };
         let slot = out
             .get_mut(pe as usize)
             .ok_or_else(|| DriverError::Protocol(format!("stats for unknown PE {pe}")))?;
@@ -329,11 +413,12 @@ fn parse_stats(text: &str, n_pes: usize) -> Result<Vec<CommStats>, DriverError> 
             barriers,
             ..CommStats::default()
         };
+        vclocks[pe as usize] = vclock;
     }
     if let Some(pe) = filled.iter().position(|&f| !f) {
         return Err(DriverError::Protocol(format!("stats file has no row for PE {pe}")));
     }
-    Ok(out)
+    Ok((out, vclocks))
 }
 
 #[cfg(test)]
@@ -342,12 +427,17 @@ mod tests {
 
     #[test]
     fn parse_stats_round_trip() {
+        // Legacy 7-column rows parse with a zero virtual clock.
         let text = "0 1 2 3 4 5 6\n1 10 20 30 40 50 60\n";
-        let stats = parse_stats(text, 2).unwrap();
+        let (stats, vclocks) = parse_stats(text, 2).unwrap();
         assert_eq!(stats[0].local_gets, 1);
         assert_eq!(stats[0].barriers, 6);
         assert_eq!(stats[1].remote_puts, 40);
         assert_eq!(stats[1].amos, 50);
+        assert_eq!(vclocks, vec![0, 0]);
+        // 8-column rows carry the per-PE final virtual clock.
+        let (_, vclocks) = parse_stats("0 1 2 3 4 5 6 777\n1 1 2 3 4 5 6 999\n", 2).unwrap();
+        assert_eq!(vclocks, vec![777, 999]);
     }
 
     #[test]
@@ -361,6 +451,29 @@ mod tests {
             parse_stats("0 1 2 3 4 5 6\n0 9 9 9 9 9 9\n", 2),
             Err(DriverError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn parse_trace_round_trip_and_rejects_junk() {
+        let text = "P 1 3 8 150\nB 0 0 0 150\nb 0 0 0 300\n= 2 321\n";
+        let pt = parse_trace(text, 0).unwrap();
+        assert_eq!(pt.events.len(), 3);
+        assert_eq!(pt.events[0].kind, EventKind::Put);
+        assert_eq!(pt.events[0].peer, 1);
+        assert_eq!(pt.events[0].addr, 3);
+        assert_eq!(pt.events[0].bytes, 8);
+        assert_eq!(pt.events[0].t_ns, 150);
+        assert_eq!((pt.events[1].seq, pt.events[2].seq), (1, 2));
+        assert_eq!(pt.dropped, 2);
+        assert_eq!(pt.end_ns, 321);
+        for junk in [
+            "P 1 3 8\n= 0 0\n",     // short event line
+            "? 1 3 8 150\n= 0 0\n", // unknown code
+            "P 1 3 8 150\n",        // missing trailer
+            "= 0 0\nP 1 3 8 150\n", // data after trailer
+        ] {
+            assert!(matches!(parse_trace(junk, 0), Err(DriverError::Protocol(_))), "{junk:?}");
+        }
     }
 
     #[test]

@@ -41,18 +41,46 @@ pub const LOL_RUNTIME: &str = r#"/* ---- parallel LOLCODE runtime (generated, do
 #ifndef LOL_LOCK_RELAX
 #define LOL_LOCK_RELAX() ((void)0) /* back off inside lock spin loops */
 #endif
+#ifndef LOL_LOCK_TRACE
+/* lock-event trace hook: kind char ('L'/'T'/'U'), lock cell, target PE,
+   result byte. The stub wires it to its event recorder. */
+#define LOL_LOCK_TRACE(k, cell, pe, b) ((void)0)
+#endif
+#ifndef LOL_LOCK_ENTER
+/* lock-op cost hooks: the stub's virtual clock charges each lock
+   operation exactly once (like the Rust substrate's Pe::lock) and
+   suppresses the per-AMO charge inside the op — spin retries must not
+   advance deterministic time. */
+#define LOL_LOCK_ENTER(pe) ((void)0)
+#define LOL_LOCK_EXIT() ((void)0)
+#endif
 
 typedef enum { LOL_NOOB, LOL_TROOF, LOL_NUMBR, LOL_NUMBAR, LOL_YARN } lol_type_t;
+/* YARNs are heap-allocated, so strings have no length cap. Values are
+   copied freely and the program is one short-lived process, so yarn
+   storage is deliberately never freed (arena-by-leak, like many
+   short-lived compilers). */
 typedef struct {
     lol_type_t t;
     long long i;
     double f;
-    char s[256];
+    char *s;
 } lol_value_t;
+
+/* scratch big enough for any numeric rendering (%.2f of 1e308) */
+#define LOL_NUM_BUF 400
 
 static void lol_die(const char *code, const char *msg) {
     fprintf(stderr, "O NOES! [%s] %s\n", code, msg);
     exit(1);
+}
+
+static char *lol_strdup(const char *s) {
+    size_t n = strlen(s) + 1;
+    char *p = (char *)malloc(n);
+    if (!p) lol_die("RUN0150", "OUT OF MEMOREZ FOR A YARN");
+    memcpy(p, s, n);
+    return p;
 }
 
 static lol_value_t lol_noob(void) { lol_value_t v; memset(&v, 0, sizeof v); v.t = LOL_NOOB; return v; }
@@ -62,7 +90,7 @@ static lol_value_t lol_from_bool(int b) { lol_value_t v = lol_noob(); v.t = LOL_
 static lol_value_t lol_from_str(const char *s) {
     lol_value_t v = lol_noob();
     v.t = LOL_YARN;
-    snprintf(v.s, sizeof v.s, "%s", s);
+    v.s = lol_strdup(s);
     return v;
 }
 
@@ -72,7 +100,7 @@ static int lol_to_bool(lol_value_t v) {
     case LOL_TROOF: return v.i != 0;
     case LOL_NUMBR: return v.i != 0;
     case LOL_NUMBAR: return v.f != 0.0;
-    case LOL_YARN: return v.s[0] != '\0';
+    case LOL_YARN: return v.s && v.s[0] != '\0';
     }
     return 0;
 }
@@ -107,14 +135,18 @@ static double lol_to_dbl(lol_value_t v) {
     return (double)i;
 }
 
-static void lol_to_str(lol_value_t v, char *buf, size_t n) {
+/* Render `v` as a C string: YARNs return their heap storage directly
+   (no length cap), everything else renders into the caller's scratch
+   buffer (LOL_NUM_BUF bytes is always enough for numerics). */
+static const char *lol_to_cstr(lol_value_t v, char *buf, size_t n) {
     switch (v.t) {
     case LOL_NOOB: lol_die("RUN0003", "CANT MAKE A YARN OUT OF NOOB");
-    case LOL_TROOF: snprintf(buf, n, "%s", v.i ? "WIN" : "FAIL"); return;
-    case LOL_NUMBR: snprintf(buf, n, "%lld", v.i); return;
-    case LOL_NUMBAR: snprintf(buf, n, "%.2f", v.f); return;
-    case LOL_YARN: snprintf(buf, n, "%s", v.s); return;
+    case LOL_TROOF: snprintf(buf, n, "%s", v.i ? "WIN" : "FAIL"); return buf;
+    case LOL_NUMBR: snprintf(buf, n, "%lld", v.i); return buf;
+    case LOL_NUMBAR: snprintf(buf, n, "%.2f", v.f); return buf;
+    case LOL_YARN: return v.s ? v.s : "";
     }
+    return "";
 }
 
 #define LOL_ARITH(NAME, IOP, FOP, ZCHK)                                        \
@@ -161,12 +193,16 @@ static lol_value_t lol_unsquar(lol_value_t v) { return lol_from_dbl(sqrt(lol_to_
 static lol_value_t lol_flip(lol_value_t v) { return lol_from_dbl(1.0 / lol_to_dbl(v)); }
 
 static lol_value_t lol_smoosh(lol_value_t a, lol_value_t b) {
-    char ba[256], bb[256];
-    lol_to_str(a, ba, sizeof ba);
-    lol_to_str(b, bb, sizeof bb);
+    char ba[LOL_NUM_BUF], bb[LOL_NUM_BUF];
+    const char *sa = lol_to_cstr(a, ba, sizeof ba);
+    const char *sb = lol_to_cstr(b, bb, sizeof bb);
+    size_t na = strlen(sa), nb = strlen(sb);
     lol_value_t v = lol_noob();
     v.t = LOL_YARN;
-    snprintf(v.s, sizeof v.s, "%s%s", ba, bb);
+    v.s = (char *)malloc(na + nb + 1);
+    if (!v.s) lol_die("RUN0150", "OUT OF MEMOREZ FOR A YARN");
+    memcpy(v.s, sa, na);
+    memcpy(v.s + na, sb, nb + 1);
     return v;
 }
 
@@ -177,25 +213,48 @@ static lol_value_t lol_cast(lol_value_t v, lol_type_t ty) {
     case LOL_NUMBR: return lol_from_int(lol_to_int(v));
     case LOL_NUMBAR: return lol_from_dbl(lol_to_dbl(v));
     case LOL_YARN: {
-        char b[256];
-        lol_to_str(v, b, sizeof b);
-        return lol_from_str(b);
+        char b[LOL_NUM_BUF];
+        return lol_from_str(lol_to_cstr(v, b, sizeof b));
     }
     }
     return lol_noob();
 }
 
 static void lol_print(lol_value_t v) {
-    char b[256];
-    lol_to_str(v, b, sizeof b);
-    LOL_PUTS(b);
+    char b[LOL_NUM_BUF];
+    LOL_PUTS(lol_to_cstr(v, b, sizeof b));
 }
 
+/* Read one whole input line of any length (heap-grown; the 256-byte
+   line cap is gone along with the YARN cap). */
 static lol_value_t lol_gimmeh(void) {
-    char b[256];
-    if (!LOL_GETS(b, sizeof b)) lol_die("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT");
-    b[strcspn(b, "\r\n")] = '\0';
-    return lol_from_str(b);
+    size_t cap = 64, len = 0, n;
+    char chunk[256];
+    int got = 0;
+    char *buf = (char *)malloc(cap);
+    lol_value_t v;
+    if (!buf) lol_die("RUN0150", "OUT OF MEMOREZ FOR A YARN");
+    buf[0] = '\0';
+    for (;;) {
+        if (!LOL_GETS(chunk, sizeof chunk)) break;
+        got = 1;
+        n = strlen(chunk);
+        while (len + n + 1 > cap) {
+            cap *= 2;
+            buf = (char *)realloc(buf, cap);
+            if (!buf) lol_die("RUN0150", "OUT OF MEMOREZ FOR A YARN");
+        }
+        memcpy(buf + len, chunk, n + 1);
+        len += n;
+        if (n > 0 && chunk[n - 1] == '\n') break; /* full line read */
+        if (n + 1 < sizeof chunk) break; /* short read, no newline: EOF */
+    }
+    if (!got) lol_die("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT");
+    buf[strcspn(buf, "\r\n")] = '\0';
+    v = lol_noob();
+    v.t = LOL_YARN;
+    v.s = buf;
+    return v;
 }
 
 static long long lol_idx(long long i, long long len) {
@@ -232,6 +291,7 @@ static void lol_arr_set(lol_arr_t *a, long long i, lol_value_t v) {
    LOL_STUB_LOCK env var; real-OpenSHMEM builds can -DLOL_LOCK_KIND=1). */
 static void lol_lock_acquire(long *cell, int target) {
     long me1 = (long)shmem_my_pe() + 1;
+    LOL_LOCK_ENTER(target);
     if (LOL_LOCK_KIND == 1) {
         long t = shmem_long_atomic_fetch_inc(&cell[1], target);
         while (shmem_long_atomic_fetch(&cell[2], target) != t) LOL_LOCK_RELAX();
@@ -239,22 +299,32 @@ static void lol_lock_acquire(long *cell, int target) {
     } else {
         while (shmem_long_atomic_compare_swap(&cell[0], 0, me1, target) != 0) LOL_LOCK_RELAX();
     }
+    LOL_LOCK_EXIT();
+    LOL_LOCK_TRACE('L', cell, target, 0);
 }
 static int lol_lock_try(long *cell, int target) {
     long me1 = (long)shmem_my_pe() + 1;
+    int got;
+    LOL_LOCK_ENTER(target);
     if (LOL_LOCK_KIND == 1) {
         /* queue empty iff next == serving: claim ticket t only if it is
            already being served (no waiting, like the Rust try_acquire) */
         long t = shmem_long_atomic_fetch(&cell[2], target);
-        if (shmem_long_atomic_compare_swap(&cell[1], t, t + 1, target) != t) return 0;
-        shmem_long_atomic_swap(&cell[0], me1, target);
-        return 1;
+        got = shmem_long_atomic_compare_swap(&cell[1], t, t + 1, target) == t;
+        if (got) shmem_long_atomic_swap(&cell[0], me1, target);
+    } else {
+        got = shmem_long_atomic_compare_swap(&cell[0], 0, me1, target) == 0;
     }
-    return shmem_long_atomic_compare_swap(&cell[0], 0, me1, target) == 0;
+    LOL_LOCK_EXIT();
+    LOL_LOCK_TRACE('T', cell, target, (unsigned)got);
+    return got;
 }
 static void lol_lock_release(long *cell, int target) {
+    LOL_LOCK_ENTER(target);
     shmem_long_atomic_swap(&cell[0], 0, target);
     if (LOL_LOCK_KIND == 1) shmem_long_atomic_fetch_inc(&cell[2], target);
+    LOL_LOCK_EXIT();
+    LOL_LOCK_TRACE('U', cell, target, 0);
 }
 
 static lol_value_t lol_whatevr(void) { return lol_from_int(LOL_RAND()); }
@@ -286,7 +356,22 @@ static lol_value_t lol_whatevar(void) { return lol_from_dbl((double)LOL_RAND() /
 ///   (`central` / `dissem`) and `LOL_STUB_LOCK` (`cas` / `ticket`).
 ///   The latency charge sits in `lol_stub_xlate`, the single remote-
 ///   access choke point, so every remote get/put/atomic pays the
-///   modelled delay exactly once.
+///   modelled delay exactly once. Wall-mode busy-waits subtract the
+///   measured `clock_gettime` overhead (calibrated at startup) so the
+///   injected delays stay accurate on fast hosts;
+/// * `LOL_STUB_CLOCK=virtual` switches the latency charge from
+///   busy-waiting to *accounting* on a per-PE logical clock (delay +
+///   1ns per remote op; barriers max-sync the clocks, explicit ones
+///   adding 10ns) — mirroring the Rust substrate's `ClockMode::Virtual`
+///   so virtual walls agree across backends. Final per-PE clocks ride
+///   the stats file's 8th column;
+/// * `LOL_STUB_TRACE=<cap>` records up to `cap` communication events
+///   per PE (remote get/put `G`/`P`, explicit barriers `B`/`b`, lock
+///   ops `L`/`T`/`U` via the `LOL_LOCK_TRACE` hook) and writes them to
+///   `<out>.pe<N>.trace` as `<code> <peer> <word-addr> <bytes> <t_ns>`
+///   lines plus a `= <dropped> <end_ns>` trailer. Word addresses are
+///   cumulative over the registration order, matching the Rust
+///   substrate's symmetric layout, so traces diff across backends.
 ///
 /// Compile with `cc -std=c99 -I<dir-with-shmem.h> prog.c -lm -pthread`.
 pub const SHMEM_STUB_H: &str = r#"/* multi-PE OpenSHMEM stub over pthreads, for toolchains without SHMEM */
@@ -314,7 +399,15 @@ pub const SHMEM_STUB_H: &str = r#"/* multi-PE OpenSHMEM stub over pthreads, for 
 #define LOL_RAND() lol_stub_rand()
 #define LOL_LOCK_KIND lol_stub_lock_kind
 #define LOL_LOCK_RELAX() lol_stub_relax()
+#define LOL_LOCK_TRACE(k, cell, pe, b) lol_stub_trace_ev((k), (pe), (const void *)(cell), (b))
+#define LOL_LOCK_ENTER(pe) lol_stub_lock_enter(pe)
+#define LOL_LOCK_EXIT() lol_stub_lock_exit()
 static int lol_stub_lock_kind = 0; /* 0 = cas, 1 = ticket (LOL_STUB_LOCK) */
+/* >0 while inside a lol_lock_* op: virtual-clock charging is then done
+   once at LOL_LOCK_ENTER (mirroring the Rust substrate's one charge
+   per lock op) and suppressed for the AMOs the op spins on — retries
+   are scheduling-dependent and must not advance deterministic time. */
+static __thread int lol_stub_lock_depth = 0;
 
 typedef struct { char *addr; size_t size; } lol_stub_sym_t;
 typedef struct {
@@ -328,6 +421,102 @@ static lol_stub_sym_t lol_stub_syms[LOL_STUB_MAX_PES][LOL_STUB_MAX_SYMS];
 static int lol_stub_nsyms[LOL_STUB_MAX_PES];
 static lol_stub_stats_t lol_stub_stats[LOL_STUB_MAX_PES];
 static FILE *lol_stub_cap[LOL_STUB_MAX_PES]; /* per-PE capture files, or NULL */
+
+/* -- clocks: wall trace epoch + the virtual-time logical clock -- */
+
+static int lol_stub_clock_virtual = 0; /* LOL_STUB_CLOCK=virtual */
+static __thread unsigned long long lol_stub_vclock = 0;
+static __thread int lol_stub_bar_parity = 0;
+/* double-buffered per-barrier clock publication (parity stops episode
+   k+1's stores racing episode k's reads — same scheme as the Rust
+   substrate's World::vclock_pub) */
+static unsigned long long lol_stub_vpub[2][LOL_STUB_MAX_PES];
+static unsigned long long lol_stub_vclock_final[LOL_STUB_MAX_PES];
+static unsigned long long lol_stub_end_ns[LOL_STUB_MAX_PES];
+static unsigned long long lol_stub_epoch = 0; /* wall ns at launch */
+static unsigned long long lol_stub_clk_overhead = 0; /* calibrated clock_gettime cost */
+
+static unsigned long long lol_stub_wall_raw(void) {
+#ifdef CLOCK_MONOTONIC
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (unsigned long long)ts.tv_sec * 1000000000ull + (unsigned long long)ts.tv_nsec;
+#else
+    return 0;
+#endif
+}
+
+/* this PE's timestamp on the job's clock (wall offset or virtual) */
+static unsigned long long lol_stub_now_ns(void) {
+    if (lol_stub_clock_virtual) return lol_stub_vclock;
+    return lol_stub_wall_raw() - lol_stub_epoch;
+}
+
+/* Measure the floor cost of one clock_gettime call (min of many
+   back-to-back pairs). Wall-mode busy-waits subtract it so the
+   injected latency is accurate even when the delay is only a few
+   clock-read costs long (fast machines, ~10ns models). */
+static void lol_stub_calibrate_clock(void) {
+#ifdef CLOCK_MONOTONIC
+    unsigned long long best = (unsigned long long)-1, a, b;
+    int i;
+    for (i = 0; i < 128; i++) {
+        a = lol_stub_wall_raw();
+        b = lol_stub_wall_raw();
+        if (b > a && b - a < best) best = b - a;
+    }
+    if (best != (unsigned long long)-1) lol_stub_clk_overhead = best;
+#endif
+}
+
+/* -- bounded per-PE event recorder (LOL_STUB_TRACE=<cap>) -- */
+
+typedef struct {
+    char kind;
+    int peer;
+    unsigned addr, bytes;
+    unsigned long long t;
+} lol_stub_ev_t;
+
+static unsigned lol_stub_trace_cap = 0; /* 0 = tracing off */
+static lol_stub_ev_t *lol_stub_evs[LOL_STUB_MAX_PES];
+static unsigned lol_stub_nevs[LOL_STUB_MAX_PES];
+static unsigned long long lol_stub_evdrop[LOL_STUB_MAX_PES];
+
+/* Word offset of a symmetric address in the job-wide layout:
+   cumulative over registration order, which matches the Rust
+   substrate's SharedLayout (data cell then lock cell, declaration
+   order) — so the same program yields the same addresses on every
+   backend. */
+static unsigned lol_stub_word_addr(const void *p) {
+    int me = lol_stub_me, i;
+    unsigned base = 0;
+    for (i = 0; i < lol_stub_nsyms[me]; i++) {
+        char *a = lol_stub_syms[me][i].addr;
+        if ((const char *)p >= a && (const char *)p < a + lol_stub_syms[me][i].size)
+            return base + (unsigned)(((const char *)p - a) / 8);
+        base += (unsigned)(lol_stub_syms[me][i].size / 8);
+    }
+    return 0;
+}
+
+static void lol_stub_trace_ev(char kind, int peer, const void *addr, unsigned bytes) {
+    int me = lol_stub_me;
+    unsigned n;
+    if (lol_stub_trace_cap == 0) return;
+    if (!lol_stub_evs[me]) {
+        lol_stub_evs[me] = (lol_stub_ev_t *)malloc(sizeof(lol_stub_ev_t) * lol_stub_trace_cap);
+        if (!lol_stub_evs[me]) { lol_stub_evdrop[me]++; return; }
+    }
+    n = lol_stub_nevs[me];
+    if (n >= lol_stub_trace_cap) { lol_stub_evdrop[me]++; return; }
+    lol_stub_evs[me][n].kind = kind;
+    lol_stub_evs[me][n].peer = peer;
+    lol_stub_evs[me][n].addr = addr ? lol_stub_word_addr(addr) : 0;
+    lol_stub_evs[me][n].bytes = bytes;
+    lol_stub_evs[me][n].t = lol_stub_now_ns();
+    lol_stub_nevs[me] = n + 1;
+}
 
 static void lol_stub_fatal(const char *msg) {
     fprintf(stderr, "lol-stub: %s\n", msg);
@@ -380,22 +569,42 @@ static void lol_stub_dissem_wait(void) {
     }
 }
 
-static void lol_stub_barrier_wait(void) {
-    if (lol_stub_npes <= 1) return;
-    if (lol_stub_bar_kind == 1) { lol_stub_dissem_wait(); return; }
-    pthread_mutex_lock(&lol_stub_bar_mu);
-    {
-        unsigned long long gen = lol_stub_bar_gen;
-        if (++lol_stub_bar_waiting == lol_stub_npes) {
-            lol_stub_bar_waiting = 0;
-            lol_stub_bar_gen++;
-            pthread_cond_broadcast(&lol_stub_bar_cv);
+/* One barrier episode. `explicit_` = user-visible HUGZ (costs 10
+   virtual ns); the registration fence passes 0 (clock-sync only), so
+   virtual walls match the Rust substrate's barrier accounting. */
+static void lol_stub_barrier_wait(int explicit_) {
+    int parity = lol_stub_bar_parity;
+    if (lol_stub_clock_virtual)
+        __atomic_store_n(&lol_stub_vpub[parity][lol_stub_me], lol_stub_vclock, __ATOMIC_RELEASE);
+    if (lol_stub_npes > 1) {
+        if (lol_stub_bar_kind == 1) {
+            lol_stub_dissem_wait();
         } else {
-            while (gen == lol_stub_bar_gen)
-                pthread_cond_wait(&lol_stub_bar_cv, &lol_stub_bar_mu);
+            pthread_mutex_lock(&lol_stub_bar_mu);
+            {
+                unsigned long long gen = lol_stub_bar_gen;
+                if (++lol_stub_bar_waiting == lol_stub_npes) {
+                    lol_stub_bar_waiting = 0;
+                    lol_stub_bar_gen++;
+                    pthread_cond_broadcast(&lol_stub_bar_cv);
+                } else {
+                    while (gen == lol_stub_bar_gen)
+                        pthread_cond_wait(&lol_stub_bar_cv, &lol_stub_bar_mu);
+                }
+            }
+            pthread_mutex_unlock(&lol_stub_bar_mu);
         }
     }
-    pthread_mutex_unlock(&lol_stub_bar_mu);
+    if (lol_stub_clock_virtual) {
+        unsigned long long sync = 0, v;
+        int pe;
+        for (pe = 0; pe < lol_stub_npes; pe++) {
+            v = __atomic_load_n(&lol_stub_vpub[parity][pe], __ATOMIC_ACQUIRE);
+            if (v > sync) sync = v;
+        }
+        lol_stub_vclock = sync + (explicit_ ? 10 : 0);
+        lol_stub_bar_parity ^= 1;
+    }
 }
 
 /* -- interconnect latency model (LOL_STUB_LATENCY) --
@@ -456,25 +665,46 @@ static unsigned long long lol_stub_delay_ns(int from, int to) {
     return lol_stub_lat_base + (unsigned long long)(dx + dy) * lol_stub_lat_hop;
 }
 
-/* Busy-wait out the modelled delay (sub-microsecond delays need
-   spinning, not sleeping). Degrades to zero cost when time.h has no
-   monotonic clock (strict C99 without POSIX). */
+/* Pay the modelled delay for touching `pe`. Virtual mode *accounts*
+   it (delay + 1ns per remote op, like the Rust substrate); wall mode
+   busy-waits it out (sub-microsecond delays need spinning, not
+   sleeping), minus the calibrated clock-read overhead so the injected
+   latency stays accurate on fast machines. Degrades to zero cost when
+   time.h has no monotonic clock (strict C99 without POSIX). */
 static void lol_stub_charge(int pe) {
-#ifdef CLOCK_MONOTONIC
-    struct timespec ts;
-    unsigned long long t0, now;
     unsigned long long ns = lol_stub_delay_ns(lol_stub_me, pe);
+    if (lol_stub_clock_virtual) {
+        if (pe != lol_stub_me && !lol_stub_lock_depth) lol_stub_vclock += ns + 1;
+        return;
+    }
     if (ns == 0) return;
-    clock_gettime(CLOCK_MONOTONIC, &ts);
-    t0 = (unsigned long long)ts.tv_sec * 1000000000ull + (unsigned long long)ts.tv_nsec;
-    do {
-        clock_gettime(CLOCK_MONOTONIC, &ts);
-        now = (unsigned long long)ts.tv_sec * 1000000000ull + (unsigned long long)ts.tv_nsec;
-    } while (now - t0 < ns);
-#else
-    (void)pe;
+#ifdef CLOCK_MONOTONIC
+    {
+        unsigned long long t0, now;
+        /* The loop's final clock read lands ~one read-cost past the
+           deadline on average; shrinking the target by the calibrated
+           floor cost centers the error instead of always overshooting. */
+        if (ns <= lol_stub_clk_overhead) return;
+        ns -= lol_stub_clk_overhead;
+        t0 = lol_stub_wall_raw();
+        do {
+            now = lol_stub_wall_raw();
+        } while (now - t0 < ns);
+    }
 #endif
 }
+
+/* One fixed virtual charge per lock operation (acquire/try/release),
+   paid up front like the Rust substrate's Pe::lock; the AMOs inside
+   the op then charge nothing (see lol_stub_charge). Wall mode is
+   untouched: it busy-waits per AMO, which is what a real spinning
+   lock over a slow interconnect feels like. */
+static void lol_stub_lock_enter(int pe) {
+    if (lol_stub_clock_virtual && pe != lol_stub_me)
+        lol_stub_vclock += lol_stub_delay_ns(lol_stub_me, pe) + 1;
+    lol_stub_lock_depth++;
+}
+static void lol_stub_lock_exit(void) { lol_stub_lock_depth--; }
 
 /* -- symmetric segment: per-thread registry + address translation -- */
 
@@ -486,8 +716,10 @@ static void lol_stub_sym_reg(void *p, size_t n) {
     lol_stub_nsyms[me]++;
 }
 
-/* all PEs must finish registering before anyone translates */
-static void lol_stub_sym_done(void) { lol_stub_barrier_wait(); }
+/* all PEs must finish registering before anyone translates (internal
+   fence: untraced, free in virtual time — like the Rust substrate's
+   collective-allocation barrier) */
+static void lol_stub_sym_done(void) { lol_stub_barrier_wait(0); }
 
 /* The single remote-access choke point: every remote get/put/atomic
    translates through here, so charging the interconnect model here
@@ -516,7 +748,9 @@ static int shmem_my_pe(void) { return lol_stub_me; }
 static int shmem_n_pes(void) { return lol_stub_npes; }
 static void shmem_barrier_all(void) {
     lol_stub_stats[lol_stub_me].barriers++;
-    lol_stub_barrier_wait();
+    lol_stub_trace_ev('B', lol_stub_me, NULL, 0);
+    lol_stub_barrier_wait(1);
+    lol_stub_trace_ev('b', lol_stub_me, NULL, 0);
 }
 
 static long long shmem_longlong_g(const long long *src, int pe) {
@@ -524,24 +758,28 @@ static long long shmem_longlong_g(const long long *src, int pe) {
     if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_gets++; return *src; }
     lol_stub_stats[lol_stub_me].remote_gets++;
     __atomic_load((long long *)lol_stub_xlate(src, pe), &v, __ATOMIC_SEQ_CST);
+    lol_stub_trace_ev('G', pe, src, 8);
     return v;
 }
 static void shmem_longlong_p(long long *dst, long long v, int pe) {
     if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_puts++; *dst = v; return; }
     lol_stub_stats[lol_stub_me].remote_puts++;
     __atomic_store((long long *)lol_stub_xlate(dst, pe), &v, __ATOMIC_SEQ_CST);
+    lol_stub_trace_ev('P', pe, dst, 8);
 }
 static double shmem_double_g(const double *src, int pe) {
     double v;
     if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_gets++; return *src; }
     lol_stub_stats[lol_stub_me].remote_gets++;
     __atomic_load((double *)lol_stub_xlate(src, pe), &v, __ATOMIC_SEQ_CST);
+    lol_stub_trace_ev('G', pe, src, 8);
     return v;
 }
 static void shmem_double_p(double *dst, double v, int pe) {
     if (pe == lol_stub_me) { lol_stub_stats[lol_stub_me].local_puts++; *dst = v; return; }
     lol_stub_stats[lol_stub_me].remote_puts++;
     __atomic_store((double *)lol_stub_xlate(dst, pe), &v, __ATOMIC_SEQ_CST);
+    lol_stub_trace_ev('P', pe, dst, 8);
 }
 static long shmem_long_atomic_compare_swap(long *target, long cond, long value, int pe) {
     long *t = (long *)lol_stub_xlate(target, pe);
@@ -641,8 +879,12 @@ typedef int (*lol_stub_main_fn)(void);
 static lol_stub_main_fn lol_stub_fn;
 
 static void *lol_stub_thread(void *arg) {
+    int rc;
     lol_stub_me = (int)(size_t)arg;
-    return (void *)(size_t)(unsigned)lol_stub_fn();
+    rc = lol_stub_fn();
+    lol_stub_vclock_final[lol_stub_me] = lol_stub_vclock;
+    lol_stub_end_ns[lol_stub_me] = lol_stub_now_ns();
+    return (void *)(size_t)(unsigned)rc;
 }
 
 static int lol_stub_launch(lol_stub_main_fn fn) {
@@ -653,6 +895,8 @@ static int lol_stub_launch(lol_stub_main_fn fn) {
     const char *lat = getenv("LOL_STUB_LATENCY");
     const char *bar = getenv("LOL_STUB_BARRIER");
     const char *lock = getenv("LOL_STUB_LOCK");
+    const char *clk = getenv("LOL_STUB_CLOCK");
+    const char *trace = getenv("LOL_STUB_TRACE");
     int pe, rc = 0;
     lol_stub_npes = np ? atoi(np) : 1;
     if (lol_stub_npes < 1) lol_stub_npes = 1;
@@ -669,6 +913,14 @@ static int lol_stub_launch(lol_stub_main_fn fn) {
         else if (strcmp(lock, "ticket") == 0) lol_stub_lock_kind = 1;
         else lol_stub_fatal("unknown LOL_STUB_LOCK (cas|ticket)");
     }
+    if (clk) {
+        if (strcmp(clk, "wall") == 0) lol_stub_clock_virtual = 0;
+        else if (strcmp(clk, "virtual") == 0) lol_stub_clock_virtual = 1;
+        else lol_stub_fatal("unknown LOL_STUB_CLOCK (wall|virtual)");
+    }
+    if (trace) lol_stub_trace_cap = (unsigned)strtoul(trace, NULL, 10);
+    if (!lol_stub_clock_virtual && lol_stub_lat_kind != 0) lol_stub_calibrate_clock();
+    lol_stub_epoch = lol_stub_wall_raw();
     while ((1 << lol_stub_dissem_rounds) < lol_stub_npes) lol_stub_dissem_rounds++;
     lol_stub_passthrough = (lol_stub_npes == 1 && !out);
     if (lol_stub_passthrough) return fn();
@@ -698,10 +950,27 @@ static int lol_stub_launch(lol_stub_main_fn fn) {
         if (f) {
             for (pe = 0; pe < lol_stub_npes; pe++) {
                 lol_stub_stats_t *s = &lol_stub_stats[pe];
-                fprintf(f, "%d %llu %llu %llu %llu %llu %llu\n", pe, s->local_gets,
-                        s->remote_gets, s->local_puts, s->remote_puts, s->amos, s->barriers);
+                /* 8th column: the PE's final virtual clock (0 on wall) */
+                fprintf(f, "%d %llu %llu %llu %llu %llu %llu %llu\n", pe, s->local_gets,
+                        s->remote_gets, s->local_puts, s->remote_puts, s->amos, s->barriers,
+                        lol_stub_vclock_final[pe]);
             }
             fclose(f);
+        }
+        if (lol_stub_trace_cap > 0) {
+            unsigned i;
+            for (pe = 0; pe < lol_stub_npes; pe++) {
+                snprintf(path, sizeof path, "%s.pe%d.trace", out, pe);
+                f = fopen(path, "w");
+                if (!f) continue;
+                for (i = 0; i < lol_stub_nevs[pe]; i++) {
+                    lol_stub_ev_t *e = &lol_stub_evs[pe][i];
+                    fprintf(f, "%c %d %u %u %llu\n", e->kind, e->peer, e->addr, e->bytes, e->t);
+                }
+                /* trailer: dropped count + the PE's final clock */
+                fprintf(f, "= %llu %llu\n", lol_stub_evdrop[pe], lol_stub_end_ns[pe]);
+                fclose(f);
+            }
         }
     }
     return rc;
@@ -733,9 +1002,14 @@ mod tests {
             "#ifndef LOL_SRAND",
             "#ifndef LOL_LOCK_KIND",
             "#ifndef LOL_LOCK_RELAX",
+            "#ifndef LOL_LOCK_TRACE",
+            // YARNs are heap-allocated (no 256-byte cap)
+            "char *s;",
+            "lol_strdup",
         ] {
             assert!(LOL_RUNTIME.contains(needle), "runtime lacks {needle}");
         }
+        assert!(!LOL_RUNTIME.contains("char s[256]"), "the YARN cap is supposed to be gone");
     }
 
     #[test]
@@ -775,6 +1049,15 @@ mod tests {
             "LOL_STUB_LATENCY",
             "LOL_STUB_BARRIER",
             "LOL_STUB_LOCK",
+            // the trace + virtual-clock protocol
+            "LOL_STUB_CLOCK",
+            "LOL_STUB_TRACE",
+            "#define LOL_LOCK_TRACE",
+            "lol_stub_trace_ev",
+            "lol_stub_word_addr",
+            "lol_stub_vclock",
+            "lol_stub_vpub",
+            "lol_stub_calibrate_clock",
             // latency models charge at the remote-access choke point
             "lol_stub_charge",
             "lol_stub_delay_ns",

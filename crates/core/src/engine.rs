@@ -35,7 +35,8 @@ use crate::{Backend, LolError, RunConfig};
 use lol_ast::{Program, SourceMap};
 use lol_c_codegen::driver::{self, DriverError, RunRequest};
 use lol_sema::Analysis;
-use lol_shmem::{run_spmd, CommStats, SpmdError};
+use lol_shmem::{run_spmd, CommStats, Pe, SpmdError};
+use lol_trace::{ClockMode, PeTrace, Trace};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -159,6 +160,14 @@ pub struct RunReport {
     pub stats: Vec<CommStats>,
     /// Wall-clock time of the SPMD job (launch to join).
     pub wall: Duration,
+    /// The job's *virtual* wall — the maximum final per-PE logical
+    /// clock — present iff the config ran under [`ClockMode::Virtual`].
+    /// Deterministic: a fixed program/config reproduces it byte for
+    /// byte on any machine.
+    pub virtual_wall: Option<Duration>,
+    /// Per-PE communication event streams, present iff
+    /// [`RunConfig::trace`] was set.
+    pub trace: Option<Trace>,
     /// The effective configuration the job ran with.
     pub config: RunConfig,
 }
@@ -177,6 +186,14 @@ impl RunReport {
     /// Job-wide communication totals (all PEs folded together).
     pub fn total_stats(&self) -> CommStats {
         self.stats.iter().sum()
+    }
+
+    /// The wall time scaling metrics should use: the virtual wall when
+    /// the run accounted time ([`ClockMode::Virtual`]), the real wall
+    /// otherwise. Sweeps derive speedup/efficiency from this, which is
+    /// what makes `clock=virtual` scaling curves machine-independent.
+    pub fn effective_wall(&self) -> Duration {
+        self.virtual_wall.unwrap_or(self.wall)
     }
 }
 
@@ -229,15 +246,39 @@ pub trait Engine: Send + Sync {
     }
 }
 
-/// Assemble a report from per-PE `(output, stats)` pairs.
+/// What the in-process engines collect from each PE at the end of its
+/// SPMD body.
+type PeOutcome = (String, CommStats, Option<PeTrace>, u64);
+
+/// Collect one PE's results (output, stats, trace, virtual clock) —
+/// shared by the interpreter and VM engine bodies.
+fn pe_outcome(pe: &Pe<'_>, out: String) -> PeOutcome {
+    (out, pe.stats(), pe.take_trace(), pe.virtual_ns())
+}
+
+/// Assemble a report from per-PE outcomes.
 fn report(
     backend: Backend,
-    per_pe: Vec<(String, CommStats)>,
+    per_pe: Vec<PeOutcome>,
     wall: Duration,
     config: RunConfig,
 ) -> RunReport {
-    let (outputs, stats) = per_pe.into_iter().unzip();
-    RunReport { backend, outputs, stats, wall, config }
+    let mut outputs = Vec::with_capacity(per_pe.len());
+    let mut stats = Vec::with_capacity(per_pe.len());
+    let mut traces = Vec::with_capacity(per_pe.len());
+    let mut virtual_ns = 0u64;
+    for (out, st, tr, vns) in per_pe {
+        outputs.push(out);
+        stats.push(st);
+        traces.push(tr);
+        virtual_ns = virtual_ns.max(vns);
+    }
+    let trace = config.trace.then(|| {
+        Trace::new(config.clock, traces.into_iter().map(Option::unwrap_or_default).collect())
+    });
+    let virtual_wall =
+        (config.clock == ClockMode::Virtual).then(|| Duration::from_nanos(virtual_ns));
+    RunReport { backend, outputs, stats, wall, virtual_wall, trace, config }
 }
 
 /// The tree-walking interpreter backend (full language, including
@@ -255,7 +296,7 @@ impl Engine for InterpEngine {
         let t0 = Instant::now();
         let per_pe = run_spmd(cfg.shmem(), |pe| {
             match lol_interp::run_on_pe(&artifact.program, &artifact.analysis, pe, &cfg.input) {
-                Ok(out) => (out, pe.stats()),
+                Ok(out) => pe_outcome(pe, out),
                 Err(e) => pe.fail(e.to_string()),
             }
         })
@@ -278,7 +319,7 @@ impl Engine for VmEngine {
         let module = artifact.vm_module()?;
         let t0 = Instant::now();
         let per_pe = run_spmd(cfg.shmem(), |pe| match lol_vm::run_on_pe(module, pe, &cfg.input) {
-            Ok(out) => (out, pe.stats()),
+            Ok(out) => pe_outcome(pe, out),
             Err(e) => pe.fail(e.to_string()),
         })
         .map_err(LolError::Runtime)?;
@@ -338,6 +379,8 @@ impl Engine for CEngine {
             latency: cfg.latency,
             barrier: cfg.barrier,
             lock: cfg.lock,
+            clock: cfg.clock,
+            trace: cfg.trace,
         };
         let t0 = Instant::now();
         match binary.run(&req) {
@@ -346,6 +389,8 @@ impl Engine for CEngine {
                 outputs: out.outputs,
                 stats: out.stats,
                 wall: out.wall,
+                virtual_wall: out.virtual_ns.map(Duration::from_nanos),
+                trace: out.traces.map(|pes| Trace::new(cfg.clock, pes)),
                 config: cfg.clone(),
             }),
             Err(DriverError::Program { stderr, .. }) => Err(LolError::Runtime(SpmdError {

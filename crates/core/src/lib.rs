@@ -88,11 +88,12 @@ pub use engine::{
     engine_for, registry, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, RunReport,
     VmEngine,
 };
-pub use sweep::{jsonl_record, SweepEntry, SweepReport, SweepSpec};
+pub use sweep::{config_key, jsonl_record, parse_jsonl_done, SweepEntry, SweepReport, SweepSpec};
 
 use lol_ast::{Program, SourceMap};
 use lol_sema::Analysis;
 pub use lol_shmem::{BarrierKind, CommStats, LatencyModel, LockKind, ShmemConfig, SpmdError};
+pub use lol_trace::{ClockMode, CommMatrix, EventKind, PeTrace, Trace, TraceEvent};
 use std::time::Duration;
 
 /// Which execution engine runs the program.
@@ -161,6 +162,14 @@ pub struct RunConfig {
     /// Words of symmetric heap per PE (in-process engines only; the C
     /// stub's segment is statically sized).
     pub heap_words: usize,
+    /// Which clock the latency model charges against: busy-waited real
+    /// time (default) or the deterministic virtual clock — see
+    /// [`ClockMode`]. Under [`ClockMode::Virtual`] the report carries
+    /// [`RunReport::virtual_wall`].
+    pub clock: ClockMode,
+    /// Record communication events; the report carries
+    /// [`RunReport::trace`] when set.
+    pub trace: bool,
 }
 
 impl RunConfig {
@@ -176,6 +185,8 @@ impl RunConfig {
             timeout: Duration::from_secs(30),
             input: Vec::new(),
             heap_words: 1 << 16,
+            clock: ClockMode::Wall,
+            trace: false,
         }
     }
 
@@ -234,6 +245,18 @@ impl RunConfig {
         self
     }
 
+    /// Select the clock the latency model charges against.
+    pub fn clock(mut self, c: ClockMode) -> Self {
+        self.clock = c;
+        self
+    }
+
+    /// Enable (or disable) communication-event tracing.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Check the configuration before launching: PE count, heap size,
     /// latency-model parameters. Engines call this up front, so a bad
     /// config (e.g. a zero-width mesh) is a [`LolError::Config`]
@@ -251,6 +274,8 @@ impl RunConfig {
             .lock(self.lock)
             .seed(self.seed)
             .timeout(self.timeout)
+            .clock(self.clock)
+            .trace(self.trace)
     }
 }
 
@@ -273,6 +298,10 @@ pub enum LolError {
     /// reports render it as skipped-with-reason, and equivalence tests
     /// skip instead of failing.
     Unsupported(String),
+    /// The config was deliberately not run — e.g. a resumed sweep
+    /// (`lolrun --sweep --resume prev.jsonl`) found it already
+    /// completed in a previous run. Never a failure.
+    Skipped(String),
     /// A PE failed at runtime.
     Runtime(SpmdError),
 }
@@ -285,6 +314,7 @@ impl std::fmt::Display for LolError {
             LolError::Compile(s) => write!(f, "{s}"),
             LolError::Config(s) => write!(f, "{s}"),
             LolError::Unsupported(s) => write!(f, "{s}"),
+            LolError::Skipped(s) => write!(f, "{s}"),
             LolError::Runtime(e) => write!(f, "{e}"),
         }
     }
@@ -295,6 +325,11 @@ impl LolError {
     /// failure? Sweeps and tests use this to degrade instead of die.
     pub fn is_unsupported(&self) -> bool {
         matches!(self, LolError::Unsupported(_))
+    }
+
+    /// Was this config deliberately skipped (resume) rather than run?
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, LolError::Skipped(_))
     }
 }
 

@@ -42,9 +42,10 @@
 //!   everything already finished.
 
 use crate::{
-    engine_for, Backend, BarrierKind, Compiled, LatencyModel, LockKind, LolError, RunConfig,
-    RunReport,
+    engine_for, Backend, BarrierKind, ClockMode, Compiled, LatencyModel, LockKind, LolError,
+    RunConfig, RunReport,
 };
+use std::collections::HashSet;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -92,6 +93,7 @@ pub struct SweepSpec {
     latencies: Vec<LatencyModel>,
     barriers: Vec<BarrierKind>,
     locks: Vec<LockKind>,
+    clocks: Vec<ClockMode>,
     backends: Vec<Backend>,
     jobs: usize,
     threads: usize,
@@ -120,6 +122,7 @@ impl SweepSpec {
             latencies: Vec::new(),
             barriers: Vec::new(),
             locks: Vec::new(),
+            clocks: Vec::new(),
             backends: Vec::new(),
             jobs: 0,
             threads: 0,
@@ -163,6 +166,16 @@ impl SweepSpec {
     /// [`LockKind::ALL`]).
     pub fn locks(mut self, kinds: impl IntoIterator<Item = LockKind>) -> Self {
         self.locks = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sweep these clock modes (see [`ClockMode::ALL`]). Virtual-time
+    /// entries carry deterministic virtual walls, which feed the
+    /// speedup/efficiency columns for their group — so a
+    /// `clock=virtual` sweep produces machine-independent scaling
+    /// curves.
+    pub fn clocks(mut self, modes: impl IntoIterator<Item = ClockMode>) -> Self {
+        self.clocks = modes.into_iter().collect();
         self
     }
 
@@ -225,9 +238,9 @@ impl SweepSpec {
     }
 
     /// Materialize the cartesian product, in deterministic order:
-    /// backends × latencies × barriers × locks × seeds × PE counts
-    /// (PE count innermost, so consecutive entries form a scaling
-    /// curve).
+    /// backends × clocks × latencies × barriers × locks × seeds × PE
+    /// counts (PE count innermost, so consecutive entries form a
+    /// scaling curve).
     pub fn configs(&self) -> Vec<RunConfig> {
         fn one<T: Clone>(v: &[T], fallback: T) -> Vec<T> {
             if v.is_empty() {
@@ -237,6 +250,7 @@ impl SweepSpec {
             }
         }
         let backends = one(&self.backends, self.base.backend);
+        let clocks = one(&self.clocks, self.base.clock);
         let latencies = one(&self.latencies, self.base.latency);
         let barriers = one(&self.barriers, self.base.barrier);
         let locks = one(&self.locks, self.base.lock);
@@ -244,6 +258,7 @@ impl SweepSpec {
         let pes = one(&self.pes, self.base.n_pes);
         let mut out = Vec::with_capacity(
             backends.len()
+                * clocks.len()
                 * latencies.len()
                 * barriers.len()
                 * locks.len()
@@ -251,21 +266,24 @@ impl SweepSpec {
                 * pes.len(),
         );
         for &backend in &backends {
-            for &latency in &latencies {
-                for &barrier in &barriers {
-                    for &lock in &locks {
-                        for &seed in &seeds {
-                            for &n_pes in &pes {
-                                out.push(
-                                    self.base
-                                        .clone()
-                                        .backend(backend)
-                                        .latency(latency)
-                                        .barrier(barrier)
-                                        .lock(lock)
-                                        .seed(seed)
-                                        .pes(n_pes),
-                                );
+            for &clock in &clocks {
+                for &latency in &latencies {
+                    for &barrier in &barriers {
+                        for &lock in &locks {
+                            for &seed in &seeds {
+                                for &n_pes in &pes {
+                                    out.push(
+                                        self.base
+                                            .clone()
+                                            .backend(backend)
+                                            .clock(clock)
+                                            .latency(latency)
+                                            .barrier(barrier)
+                                            .lock(lock)
+                                            .seed(seed)
+                                            .pes(n_pes),
+                                    );
+                                }
                             }
                         }
                     }
@@ -295,6 +313,7 @@ impl SweepSpec {
             .saturating_mul(self.latencies.len().max(1))
             .saturating_mul(self.barriers.len().max(1))
             .saturating_mul(self.locks.len().max(1))
+            .saturating_mul(self.clocks.len().max(1))
             .saturating_mul(self.backends.len().max(1));
         if total > MAX_CONFIGS {
             return Err(LolError::Config(format!(
@@ -341,6 +360,38 @@ impl SweepSpec {
         artifact: &Compiled,
         on_entry: impl Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync,
     ) -> SweepReport {
+        self.run_inner(artifact, &|_| false, &on_entry)
+    }
+
+    /// [`SweepSpec::run_with`], resuming a previous sweep: any config
+    /// whose [`config_key`] appears in `done` (the ok entries of a
+    /// prior `--json-lines` file — see [`parse_jsonl_done`]) is not
+    /// re-run; its slot records [`LolError::Skipped`] instead, which
+    /// counts as neither a success nor a failure. Missing and failed
+    /// configs run normally, so `lolrun --sweep … --resume prev.jsonl`
+    /// finishes exactly the work a killed or extended sweep left over.
+    pub fn run_resumable(
+        &self,
+        artifact: &Compiled,
+        done: &HashSet<String>,
+        on_entry: impl Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync,
+    ) -> SweepReport {
+        self.run_inner(artifact, &|cfg| done.contains(&config_key(cfg)), &on_entry)
+    }
+
+    fn run_inner(
+        &self,
+        artifact: &Compiled,
+        skip: &(dyn Fn(&RunConfig) -> bool + Sync),
+        on_entry: &dyn EntryCallback,
+    ) -> SweepReport {
+        let exec = |cfg: &RunConfig| -> Result<RunReport, LolError> {
+            if skip(cfg) {
+                Err(LolError::Skipped("DUN THIS ONE ALREADY (--resume)".to_string()))
+            } else {
+                engine_for(cfg.backend).run(artifact, cfg)
+            }
+        };
         let configs = self.configs();
         let n = configs.len();
         let workers = self.effective_jobs(n);
@@ -354,7 +405,7 @@ impl SweepSpec {
 
         if workers <= 1 {
             for (i, (cfg, slot)) in configs.iter().zip(&mut slots).enumerate() {
-                let result = engine_for(cfg.backend).run(artifact, cfg);
+                let result = exec(cfg);
                 on_entry(i, cfg, &result);
                 *slot.get_mut().unwrap() = Some(result);
             }
@@ -421,7 +472,7 @@ impl SweepSpec {
                             turnstile: &turnstile,
                             weight: weight(&configs[i]),
                         };
-                        let result = engine_for(configs[i].backend).run(artifact, &configs[i]);
+                        let result = exec(&configs[i]);
                         on_entry(i, &configs[i], &result);
                         *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                             Some(result);
@@ -448,6 +499,8 @@ impl SweepSpec {
     ///   (see [`LatencyModel::from_str`][std::str::FromStr])
     /// * `barrier=central,dissem` — barrier algorithms (ablation axis)
     /// * `lock=cas,ticket` — lock algorithms (ablation axis)
+    /// * `clock=wall,virtual` — latency clock modes; `virtual` rows
+    ///   report deterministic virtual walls
     /// * `backend=interp,vm,c` — engines to sweep; `both` expands to
     ///   `interp,vm`, `all` to every registered backend
     /// * `jobs=4` — worker cap (`0` = auto)
@@ -501,6 +554,12 @@ impl SweepSpec {
                         .map(|tok| tok.trim().parse::<LockKind>())
                         .collect::<Result<_, _>>()?;
                 }
+                "clock" | "clocks" => {
+                    out.clocks = value
+                        .split(',')
+                        .map(|tok| tok.trim().parse::<ClockMode>())
+                        .collect::<Result<_, _>>()?;
+                }
                 "backend" | "backends" => {
                     let mut backends = Vec::new();
                     for tok in value.split(',') {
@@ -535,6 +594,12 @@ impl SweepSpec {
         Ok(out)
     }
 }
+
+/// The streaming per-entry callback shape `run_with`/`run_resumable`
+/// share (a named trait keeps the internal dispatch signature
+/// readable).
+trait EntryCallback: Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync {}
+impl<T: Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync> EntryCallback for T {}
 
 /// Parse `1,2,4` / `1..8` / mixtures of both into a list, preserving
 /// order. `a..b` is inclusive on both ends.
@@ -617,6 +682,62 @@ impl SweepEntry {
     pub fn is_unsupported(&self) -> bool {
         matches!(&self.result, Err(e) if e.is_unsupported())
     }
+
+    /// Was this config deliberately not run (resumed sweep found it
+    /// already completed)?
+    pub fn is_skipped(&self) -> bool {
+        matches!(&self.result, Err(e) if e.is_skipped())
+    }
+}
+
+/// The identity of a config inside a sweep matrix, as a stable string
+/// key: `backend|latency|barrier|lock|clock|seed|pes`. Resume matching
+/// ([`SweepSpec::run_resumable`]) and the JSONL done-set parser agree
+/// on this format.
+pub fn config_key(c: &RunConfig) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}",
+        c.backend, c.latency, c.barrier, c.lock, c.clock, c.seed, c.n_pes
+    )
+}
+
+/// Collect the [`config_key`]s of every *successful* entry in a
+/// previous sweep's `--json-lines` output. Feed the result to
+/// [`SweepSpec::run_resumable`] to re-run only the missing/failed
+/// configs. Records without a `clock` field (pre-virtual-time files)
+/// parse as `wall`; summary records and malformed lines are ignored.
+pub fn parse_jsonl_done(text: &str) -> HashSet<String> {
+    let str_field = |line: &str, name: &str| -> Option<String> {
+        let tag = format!("\"{name}\": \"");
+        let start = line.find(&tag)? + tag.len();
+        Some(line[start..].split('"').next()?.to_string())
+    };
+    let num_field = |line: &str, name: &str| -> Option<u64> {
+        let tag = format!("\"{name}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    };
+    let mut done = HashSet::new();
+    for line in text.lines() {
+        if !line.contains("\"ok\": true") || line.contains("\"summary\"") {
+            continue;
+        }
+        let (Some(backend), Some(latency), Some(barrier), Some(lock)) = (
+            str_field(line, "backend"),
+            str_field(line, "latency"),
+            str_field(line, "barrier"),
+            str_field(line, "lock"),
+        ) else {
+            continue;
+        };
+        let clock = str_field(line, "clock").unwrap_or_else(|| "wall".to_string());
+        let (Some(seed), Some(pes)) = (num_field(line, "seed"), num_field(line, "pes")) else {
+            continue;
+        };
+        done.insert(format!("{backend}|{latency}|{barrier}|{lock}|{clock}|{seed}|{pes}"));
+    }
+    done
 }
 
 /// FNV-1a hash over per-PE outputs (stable fingerprint for
@@ -653,6 +774,9 @@ pub fn jsonl_record(
         Ok(r) => {
             out.push_str("\"ok\": true, ");
             out.push_str(&format!("\"wall_ns\": {}, ", r.wall.as_nanos()));
+            if let Some(vw) = r.virtual_wall {
+                out.push_str(&format!("\"virtual_wall_ns\": {}, ", vw.as_nanos()));
+            }
             out.push_str(&format!("\"output_hash\": \"{:016x}\", ", output_hash(r)));
             push_stats_json(&mut out, r);
         }
@@ -673,14 +797,18 @@ fn push_config_json(out: &mut String, index: usize, config: &RunConfig) {
     out.push_str(&format!("\"latency\": \"{}\", ", config.latency));
     out.push_str(&format!("\"barrier\": \"{}\", ", config.barrier));
     out.push_str(&format!("\"lock\": \"{}\", ", config.lock));
+    out.push_str(&format!("\"clock\": \"{}\", ", config.clock));
 }
 
-/// The shared failure arm: `"ok": false` plus the unsupported flag and
-/// the rendered error.
+/// The shared failure arm: `"ok": false` plus the unsupported/skipped
+/// flags and the rendered error.
 fn push_error_json(out: &mut String, err: &LolError) {
     out.push_str("\"ok\": false, ");
     if err.is_unsupported() {
         out.push_str("\"unsupported\": true, ");
+    }
+    if err.is_skipped() {
+        out.push_str("\"skipped\": true, ");
     }
     out.push_str(&format!("\"error\": \"{}\"", json_escape(&err.to_string())));
 }
@@ -738,29 +866,33 @@ impl SweepReport {
             })
             .collect();
         // Scaling baselines: the 1-PE wall time of each
-        // (backend, latency, barrier, lock, seed) group — every
-        // ablation axis gets its own scaling curve.
-        type GroupKey = (Backend, String, BarrierKind, LockKind, u64);
-        let key = |c: &RunConfig| (c.backend, c.latency.to_string(), c.barrier, c.lock, c.seed);
+        // (backend, latency, barrier, lock, clock, seed) group — every
+        // ablation axis gets its own scaling curve. Virtual-clock
+        // groups use their deterministic virtual walls, so their
+        // speedup/efficiency columns are machine-independent.
+        type GroupKey = (Backend, String, BarrierKind, LockKind, ClockMode, u64);
+        let key =
+            |c: &RunConfig| (c.backend, c.latency.to_string(), c.barrier, c.lock, c.clock, c.seed);
         let baselines: Vec<(GroupKey, Duration)> = entries
             .iter()
             .filter(|e| e.config.n_pes == 1)
-            .filter_map(|e| e.result.as_ref().ok().map(|r| (key(&e.config), r.wall)))
+            .filter_map(|e| e.result.as_ref().ok().map(|r| (key(&e.config), r.effective_wall())))
             .collect();
         // Cross-backend baselines: the interpreter's wall time at each
-        // (latency, barrier, lock, seed, PE count) — interp is the
-        // paper's reference substrate, so every backend reports its
-        // factor over it.
-        type XKey = (String, BarrierKind, LockKind, u64, usize);
-        let xkey = |c: &RunConfig| (c.latency.to_string(), c.barrier, c.lock, c.seed, c.n_pes);
+        // (latency, barrier, lock, clock, seed, PE count) — interp is
+        // the paper's reference substrate, so every backend reports
+        // its factor over it.
+        type XKey = (String, BarrierKind, LockKind, ClockMode, u64, usize);
+        let xkey =
+            |c: &RunConfig| (c.latency.to_string(), c.barrier, c.lock, c.clock, c.seed, c.n_pes);
         let interp_walls: Vec<(XKey, Duration)> = entries
             .iter()
             .filter(|e| e.config.backend == Backend::Interp)
-            .filter_map(|e| e.result.as_ref().ok().map(|r| (xkey(&e.config), r.wall)))
+            .filter_map(|e| e.result.as_ref().ok().map(|r| (xkey(&e.config), r.effective_wall())))
             .collect();
         for e in &mut entries {
             let Ok(report) = &e.result else { continue };
-            let wall = report.wall.as_secs_f64();
+            let wall = report.effective_wall().as_secs_f64();
             if wall <= 0.0 {
                 continue;
             }
@@ -794,11 +926,18 @@ impl SweepReport {
         self.entries.iter().filter(|e| e.is_unsupported()).count()
     }
 
-    /// Real failures: neither ok nor unsupported. This is what a CI
-    /// gate should look at — a sweep that only lost engines the
-    /// machine doesn't have is still a pass.
+    /// Configs a resumed sweep deliberately left alone (already done in
+    /// the previous run's JSONL file).
+    pub fn skipped_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_skipped()).count()
+    }
+
+    /// Real failures: neither ok, unsupported nor skipped. This is
+    /// what a CI gate should look at — a sweep that only lost engines
+    /// the machine doesn't have (or re-ran a finished matrix) is still
+    /// a pass.
     pub fn hard_failure_count(&self) -> usize {
-        self.entries.len() - self.ok_count() - self.unsupported_count()
+        self.entries.len() - self.ok_count() - self.unsupported_count() - self.skipped_count()
     }
 
     /// Render a human-readable scaling table (one row per config).
@@ -809,11 +948,12 @@ impl SweepReport {
     pub fn speedup_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<7} {:<16} {:<7} {:<6} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
+            "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
             "backend",
             "latency",
             "barrier",
             "lock",
+            "clock",
             "seed",
             "pes",
             "wall",
@@ -832,15 +972,18 @@ impl SweepReport {
                 Ok(r) => {
                     let total = r.total_stats();
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:<7} {:<6} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} \
+                        "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} \
                          {:>7.1}%  ok\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
                         c.barrier.to_string(),
                         c.lock.to_string(),
+                        c.clock.to_string(),
                         c.seed,
                         c.n_pes,
-                        format!("{:.1?}", r.wall),
+                        // Virtual rows show their deterministic virtual
+                        // wall (the clock column says which is which).
+                        format!("{:.1?}", r.effective_wall()),
                         opt(e.speedup, 2),
                         opt(e.efficiency, 2),
                         opt(e.vs_interp, 2),
@@ -850,14 +993,21 @@ impl SweepReport {
                 Err(err) => {
                     let first = err.to_string();
                     let first = first.lines().next().unwrap_or("").to_string();
-                    let outcome = if e.is_unsupported() { "UNSUPPORTED" } else { "FAILED" };
+                    let outcome = if e.is_unsupported() {
+                        "UNSUPPORTED"
+                    } else if e.is_skipped() {
+                        "SKIPPED"
+                    } else {
+                        "FAILED"
+                    };
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:<7} {:<6} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  \
-                         {}: {}\n",
+                        "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} \
+                         {:>8}  {}: {}\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
                         c.barrier.to_string(),
                         c.lock.to_string(),
+                        c.clock.to_string(),
                         c.seed,
                         c.n_pes,
                         "-",
@@ -872,8 +1022,9 @@ impl SweepReport {
             }
         }
         let unsupported = self.unsupported_count();
+        let skipped = self.skipped_count();
         out.push_str(&format!(
-            "{} configs, {} ok{}, {} workers, total wall {:.1?}\n",
+            "{} configs, {} ok{}{}, {} workers, total wall {:.1?}\n",
             self.entries.len(),
             self.ok_count(),
             if unsupported > 0 {
@@ -881,6 +1032,7 @@ impl SweepReport {
             } else {
                 String::new()
             },
+            if skipped > 0 { format!(" ({skipped} skipped via --resume)") } else { String::new() },
             self.jobs,
             self.total_wall,
         ));
@@ -927,6 +1079,12 @@ impl SweepReport {
                         out.push_str(&format!("\"speedup\": {}, ", opt(e.speedup)));
                         out.push_str(&format!("\"efficiency\": {}, ", opt(e.efficiency)));
                         out.push_str(&format!("\"vs_interp\": {}, ", opt(e.vs_interp)));
+                    }
+                    // Virtual walls are deterministic, so they belong
+                    // in the byte-stable JSON too — that's what lets
+                    // CI diff machine-independent timing.
+                    if let Some(vw) = r.virtual_wall {
+                        out.push_str(&format!("\"virtual_wall_ns\": {}, ", vw.as_nanos()));
                     }
                     out.push_str(&format!(
                         "\"output_hash\": \"{:016x}\", ",

@@ -56,6 +56,9 @@ pub use barrier::BarrierKind;
 pub use heap::SymAddr;
 pub use latency::LatencyModel;
 pub use lock::LockKind;
+// Tracing/virtual-time vocabulary (defined in the leaf `lol-trace`
+// crate; re-exported because `ShmemConfig` and `Pe` speak it).
+pub use lol_trace::{ClockMode, EventKind, PeTrace, Trace, TraceBuffer, TraceEvent};
 pub use stats::CommStats;
 pub use world::{run_spmd, Pe, ShmemConfig, SpmdError, World};
 

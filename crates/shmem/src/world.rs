@@ -16,11 +16,12 @@ use crate::pad::CachePadded;
 use crate::rng::PeRng;
 use crate::stats::{CommStats, StatCells};
 use crate::WaitCmp;
+use lol_trace::{ClockMode, EventKind, PeTrace, TraceBuffer, VIRT_BARRIER_NS, VIRT_OP_NS};
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Job configuration (the "machine" we simulate).
 #[derive(Clone, Debug)]
@@ -40,6 +41,15 @@ pub struct ShmemConfig {
     pub timeout: Duration,
     /// Base seed for per-PE RNG (`WHATEVR` / `WHATEVAR`).
     pub seed: u64,
+    /// Which clock latency models charge against: busy-wait real time
+    /// ([`ClockMode::Wall`]) or advance a deterministic per-PE logical
+    /// clock ([`ClockMode::Virtual`]).
+    pub clock: ClockMode,
+    /// Record communication events into per-PE trace buffers.
+    pub trace: bool,
+    /// Per-PE trace buffer bound (events beyond it are counted, not
+    /// stored).
+    pub trace_capacity: usize,
 }
 
 impl ShmemConfig {
@@ -53,6 +63,9 @@ impl ShmemConfig {
             lock: LockKind::SpinCas,
             timeout: Duration::from_secs(30),
             seed: 0xC47_F00D,
+            clock: ClockMode::Wall,
+            trace: false,
+            trace_capacity: 1 << 16,
         }
     }
 
@@ -89,6 +102,25 @@ impl ShmemConfig {
     /// Set the RNG base seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Select the clock latency models charge against (wall busy-wait
+    /// vs. deterministic virtual time).
+    pub fn clock(mut self, c: ClockMode) -> Self {
+        self.clock = c;
+        self
+    }
+
+    /// Enable (or disable) communication-event tracing.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Bound each PE's trace buffer at `cap` events.
+    pub fn trace_capacity(mut self, cap: usize) -> Self {
+        self.trace_capacity = cap;
         self
     }
 
@@ -132,6 +164,14 @@ pub struct World {
     abort: AtomicBool,
     /// Collective-allocation validation: words requested per call index.
     alloc_log: Mutex<Vec<u32>>,
+    /// Virtual-clock publication slots, double-buffered by barrier
+    /// parity: at barrier episode `k`, every PE publishes its logical
+    /// clock to `vclock_pub[k % 2][pe]`, waits, then adopts the
+    /// maximum. The parity buffer stops episode `k+1`'s stores from
+    /// racing episode `k`'s reads.
+    vclock_pub: [Box<[CachePadded<AtomicU64>]>; 2],
+    /// Job start (wall-clock trace timestamps are offsets from this).
+    t0: Instant,
 }
 
 impl World {
@@ -141,12 +181,15 @@ impl World {
             panic!("{e}");
         }
         let heaps = (0..cfg.n_pes).map(|_| Heap::new(cfg.heap_words)).collect();
+        let slots = || (0..cfg.n_pes).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
         World {
             central: CentralBarrier::new(cfg.n_pes),
             dissem: DisseminationBarrier::new(cfg.n_pes),
             coll: (0..cfg.n_pes).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             abort: AtomicBool::new(false),
             alloc_log: Mutex::new(Vec::new()),
+            vclock_pub: [slots(), slots()],
+            t0: Instant::now(),
             heaps,
             cfg,
         }
@@ -172,6 +215,13 @@ impl World {
                 self.cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             )),
             stats: StatCells::default(),
+            vclock: Cell::new(0),
+            bar_parity: Cell::new(false),
+            tracer: RefCell::new(if self.cfg.trace {
+                Some(TraceBuffer::new(id, self.cfg.trace_capacity))
+            } else {
+                None
+            }),
         }
     }
 
@@ -293,6 +343,15 @@ pub struct Pe<'w> {
     alloc_seq: Cell<usize>,
     rng: RefCell<PeRng>,
     stats: StatCells,
+    /// Per-PE logical clock (ns), advanced only under
+    /// [`ClockMode::Virtual`].
+    vclock: Cell<u64>,
+    /// Barrier-episode parity for the double-buffered virtual-clock
+    /// publication slots.
+    bar_parity: Cell<bool>,
+    /// Event recorder, present only when the config enables tracing
+    /// (taken by [`Pe::take_trace`]).
+    tracer: RefCell<Option<TraceBuffer>>,
 }
 
 impl<'w> Pe<'w> {
@@ -320,6 +379,64 @@ impl<'w> Pe<'w> {
 
     fn guard(&self, what: &'static str) -> SpinGuard<'w> {
         SpinGuard::new(&self.world.abort, self.world.cfg.timeout, self.id, what)
+    }
+
+    // ------------------------------------------------------------------
+    // Clock + trace plumbing
+    // ------------------------------------------------------------------
+
+    /// This PE's current timestamp on the job's clock: ns since launch
+    /// ([`ClockMode::Wall`]) or the logical clock ([`ClockMode::Virtual`]).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match self.world.cfg.clock {
+            ClockMode::Wall => self.world.t0.elapsed().as_nanos() as u64,
+            ClockMode::Virtual => self.vclock.get(),
+        }
+    }
+
+    /// This PE's virtual clock (0 unless the job runs under
+    /// [`ClockMode::Virtual`]).
+    #[inline]
+    pub fn virtual_ns(&self) -> u64 {
+        self.vclock.get()
+    }
+
+    /// Pay the interconnect cost of touching `target`: busy-wait the
+    /// latency model's delay on the wall clock, or account it
+    /// (deterministically) on the virtual clock. Local accesses are
+    /// free on both clocks.
+    #[inline]
+    fn charge(&self, target: usize) {
+        match self.world.cfg.clock {
+            ClockMode::Wall => self.world.cfg.latency.charge(self.id, target),
+            ClockMode::Virtual => {
+                if target != self.id {
+                    let delay = self.world.cfg.latency.delay_ns(self.id, target);
+                    self.vclock.set(self.vclock.get() + delay + VIRT_OP_NS);
+                }
+            }
+        }
+    }
+
+    /// Record one event (no-op unless the config enables tracing).
+    #[inline]
+    fn trace(&self, kind: EventKind, peer: usize, addr: SymAddr, bytes: u32) {
+        if self.world.cfg.trace {
+            let now = self.now_ns();
+            if let Some(buf) = self.tracer.borrow_mut().as_mut() {
+                buf.record(kind, peer, addr.0, bytes, now);
+            }
+        }
+    }
+
+    /// Take this PE's completed event stream (once; `None` when the
+    /// job doesn't trace or the stream was already taken). Call at the
+    /// end of the SPMD body — the stream is stamped with the PE's
+    /// final clock value.
+    pub fn take_trace(&self) -> Option<PeTrace> {
+        let end = self.now_ns();
+        self.tracer.borrow_mut().take().map(|buf| buf.finish(end))
     }
 
     /// Abort the whole job and panic with `msg` (runtime-error path).
@@ -368,7 +485,11 @@ impl<'w> Pe<'w> {
             );
         }
         self.heap_cursor.set(end);
-        self.barrier_all();
+        // Internal fence: counted in the stats (it *is* a barrier), but
+        // untraced and free in virtual time — the C backend's one
+        // registration barrier behaves identically, so event streams
+        // and virtual walls stay backend-equivalent.
+        self.barrier_episode(false);
         SymAddr(offset as u32)
     }
 
@@ -395,8 +516,11 @@ impl<'w> Pe<'w> {
         } else {
             &self.stats.remote_puts
         });
-        self.world.cfg.latency.charge(self.id, target);
+        self.charge(target);
         self.word(target, addr).store(value, Ordering::Relaxed);
+        if target != self.id {
+            self.trace(EventKind::Put, target, addr, 8);
+        }
     }
 
     /// Load a raw word from `target`'s instance of `addr`.
@@ -407,8 +531,12 @@ impl<'w> Pe<'w> {
         } else {
             &self.stats.remote_gets
         });
-        self.world.cfg.latency.charge(self.id, target);
-        self.word(target, addr).load(Ordering::Relaxed)
+        self.charge(target);
+        let v = self.word(target, addr).load(Ordering::Relaxed);
+        if target != self.id {
+            self.trace(EventKind::Get, target, addr, 8);
+        }
+        v
     }
 
     /// Typed put: `i64`.
@@ -439,18 +567,24 @@ impl<'w> Pe<'w> {
     /// transfers pipeline on real interconnects).
     pub fn put_block(&self, addr: SymAddr, target: usize, values: &[u64]) {
         StatCells::add(&self.stats.block_put_words, values.len() as u64);
-        self.world.cfg.latency.charge(self.id, target);
+        self.charge(target);
         for (i, &v) in values.iter().enumerate() {
             self.word(target, addr.offset(i)).store(v, Ordering::Relaxed);
+        }
+        if target != self.id {
+            self.trace(EventKind::BlockPut, target, addr, (values.len() * 8) as u32);
         }
     }
 
     /// Block get: contiguous words into `out`.
     pub fn get_block(&self, addr: SymAddr, target: usize, out: &mut [u64]) {
         StatCells::add(&self.stats.block_get_words, out.len() as u64);
-        self.world.cfg.latency.charge(self.id, target);
+        self.charge(target);
         for (i, o) in out.iter_mut().enumerate() {
             *o = self.word(target, addr.offset(i)).load(Ordering::Relaxed);
+        }
+        if target != self.id {
+            self.trace(EventKind::BlockGet, target, addr, (out.len() * 8) as u32);
         }
     }
 
@@ -463,40 +597,71 @@ impl<'w> Pe<'w> {
     #[inline]
     pub fn fetch_add_i64(&self, addr: SymAddr, target: usize, delta: i64) -> i64 {
         StatCells::bump(&self.stats.amos);
-        self.world.cfg.latency.charge(self.id, target);
-        word_to_i64(self.word(target, addr).fetch_add(i64_to_word(delta), Ordering::SeqCst))
+        self.charge(target);
+        let old =
+            word_to_i64(self.word(target, addr).fetch_add(i64_to_word(delta), Ordering::SeqCst));
+        if target != self.id {
+            self.trace(EventKind::Amo, target, addr, 8);
+        }
+        old
     }
 
     /// Atomic compare-and-swap; returns the previous value.
     #[inline]
     pub fn cswap_u64(&self, addr: SymAddr, target: usize, expected: u64, desired: u64) -> u64 {
         StatCells::bump(&self.stats.amos);
-        self.world.cfg.latency.charge(self.id, target);
-        match self.word(target, addr).compare_exchange(
+        self.charge(target);
+        let old = match self.word(target, addr).compare_exchange(
             expected,
             desired,
             Ordering::SeqCst,
             Ordering::SeqCst,
         ) {
             Ok(old) | Err(old) => old,
+        };
+        if target != self.id {
+            self.trace(EventKind::Amo, target, addr, 8);
         }
+        old
     }
 
     /// Atomic unconditional swap; returns the previous value.
     #[inline]
     pub fn swap_u64(&self, addr: SymAddr, target: usize, value: u64) -> u64 {
         StatCells::bump(&self.stats.amos);
-        self.world.cfg.latency.charge(self.id, target);
-        self.word(target, addr).swap(value, Ordering::SeqCst)
+        self.charge(target);
+        let old = self.word(target, addr).swap(value, Ordering::SeqCst);
+        if target != self.id {
+            self.trace(EventKind::Amo, target, addr, 8);
+        }
+        old
     }
 
     // ------------------------------------------------------------------
     // Synchronization
     // ------------------------------------------------------------------
 
-    /// Collective barrier (`HUGZ` / `shmem_barrier_all`).
+    /// Collective barrier (`HUGZ` / `shmem_barrier_all`). Traced as a
+    /// [`EventKind::BarrierEnter`]/[`EventKind::BarrierExit`] pair —
+    /// the gap between the two timestamps is this PE's wait.
     pub fn barrier_all(&self) {
+        self.trace(EventKind::BarrierEnter, self.id, SymAddr(0), 0);
+        self.barrier_episode(true);
+        self.trace(EventKind::BarrierExit, self.id, SymAddr(0), 0);
+    }
+
+    /// One barrier episode. `explicit` distinguishes user-visible
+    /// `HUGZ` barriers (which cost [`VIRT_BARRIER_NS`] in virtual
+    /// time) from internal fences like the collective-allocation
+    /// barrier (which synchronize the virtual clocks but add nothing,
+    /// so a replayed trace reproduces the virtual wall exactly).
+    fn barrier_episode(&self, explicit: bool) {
         StatCells::bump(&self.stats.barriers);
+        let virt = self.world.cfg.clock == ClockMode::Virtual;
+        let parity = self.bar_parity.get() as usize;
+        if virt {
+            self.world.vclock_pub[parity][self.id].store(self.vclock.get(), Ordering::Release);
+        }
         std::sync::atomic::fence(Ordering::SeqCst);
         match self.world.cfg.barrier {
             BarrierKind::Centralized => {
@@ -512,6 +677,14 @@ impl<'w> Pe<'w> {
             }
         }
         std::sync::atomic::fence(Ordering::SeqCst);
+        if virt {
+            let mut sync = 0u64;
+            for pe in 0..self.n_pes() {
+                sync = sync.max(self.world.vclock_pub[parity][pe].load(Ordering::Acquire));
+            }
+            self.vclock.set(sync + if explicit { VIRT_BARRIER_NS } else { 0 });
+            self.bar_parity.set(!self.bar_parity.get());
+        }
     }
 
     /// Complete outstanding puts (`shmem_quiet`). With atomic words
@@ -528,6 +701,7 @@ impl<'w> Pe<'w> {
         loop {
             let cur = word_to_i64(self.word(self.id, addr).load(Ordering::Acquire));
             if cmp.test(cur, value) {
+                self.trace(EventKind::Wait, self.id, addr, 0);
                 return cur;
             }
             guard.tick();
@@ -549,26 +723,30 @@ impl<'w> Pe<'w> {
     /// Blocking acquire of the lock at `target`'s instance of `addr`.
     pub fn lock(&self, addr: SymAddr, target: usize) {
         StatCells::bump(&self.stats.lock_acquires);
-        self.world.cfg.latency.charge(self.id, target);
+        self.charge(target);
         self.lock_words(addr, target).acquire(
             self.world.cfg.lock,
             self.id,
             self.guard("IM SRSLY MESIN WIF (lock)"),
         );
+        self.trace(EventKind::LockAcquire, target, addr, 0);
     }
 
     /// Non-blocking acquire; true on success.
     pub fn try_lock(&self, addr: SymAddr, target: usize) -> bool {
         StatCells::bump(&self.stats.lock_tries);
-        self.world.cfg.latency.charge(self.id, target);
-        self.lock_words(addr, target).try_acquire(self.world.cfg.lock, self.id)
+        self.charge(target);
+        let got = self.lock_words(addr, target).try_acquire(self.world.cfg.lock, self.id);
+        self.trace(EventKind::LockTry, target, addr, got as u32);
+        got
     }
 
     /// Release; panics if this PE does not hold the lock.
     pub fn unlock(&self, addr: SymAddr, target: usize) {
         StatCells::bump(&self.stats.lock_releases);
-        self.world.cfg.latency.charge(self.id, target);
+        self.charge(target);
         self.lock_words(addr, target).release(self.world.cfg.lock, self.id);
+        self.trace(EventKind::LockRelease, target, addr, 0);
     }
 
     /// Is the lock held right now (diagnostic snapshot)?
@@ -1037,6 +1215,105 @@ mod tests {
             assert!(remote > local, "remote ({remote:?}) should cost more than local ({local:?})");
             assert!(remote >= Duration::from_micros(20 * 50));
         }
+    }
+
+    #[test]
+    fn tracing_records_remote_ops_and_explicit_barriers_only() {
+        let traces = run_spmd(cfg(2).trace(true), |pe| {
+            let a = pe.shmalloc(2); // internal barrier: must NOT be traced
+            let other = 1 - pe.id();
+            pe.put_i64(a, pe.id(), 7); // local: not traced
+            pe.put_i64(a, other, 9); // remote put
+            pe.barrier_all(); // explicit: enter+exit
+            let _ = pe.get_i64(a.offset(1), other); // remote get
+            pe.take_trace().expect("tracing enabled")
+        })
+        .unwrap();
+        for (id, t) in traces.iter().enumerate() {
+            let sig = t.signature();
+            let peer = (1 - id) as u32;
+            assert_eq!(
+                sig,
+                vec![
+                    ('P', peer, 0, 8),
+                    ('B', id as u32, 0, 0),
+                    ('b', id as u32, 0, 0),
+                    ('G', peer, 1, 8)
+                ],
+                "PE {id}"
+            );
+            assert_eq!(t.dropped, 0);
+            // Wall timestamps are monotone per PE.
+            let times: Vec<u64> = t.events.iter().map(|e| e.t_ns).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        }
+    }
+
+    #[test]
+    fn trace_buffer_bound_drops_and_counts() {
+        let traces = run_spmd(cfg(2).trace(true).trace_capacity(3), |pe| {
+            let a = pe.shmalloc(1);
+            let other = 1 - pe.id();
+            for _ in 0..10 {
+                pe.put_i64(a, other, 1);
+            }
+            pe.take_trace().unwrap()
+        })
+        .unwrap();
+        for t in traces {
+            assert_eq!(t.events.len(), 3);
+            assert_eq!(t.dropped, 7);
+        }
+    }
+
+    #[test]
+    fn untraced_job_returns_no_trace() {
+        let r = run_spmd(cfg(2), |pe| pe.take_trace()).unwrap();
+        assert!(r.into_iter().all(|t| t.is_none()));
+    }
+
+    #[test]
+    fn virtual_clock_accounts_instead_of_spinning() {
+        use lol_trace::{VIRT_BARRIER_NS, VIRT_OP_NS};
+        let lat = LatencyModel::Uniform { remote_ns: 1_000_000_000 }; // 1s per remote op!
+        let t0 = std::time::Instant::now();
+        let clocks = run_spmd(cfg(2).latency(lat).clock(ClockMode::Virtual), |pe| {
+            let a = pe.shmalloc(1);
+            let other = 1 - pe.id();
+            for _ in 0..5 {
+                pe.put_i64(a, other, 1);
+            }
+            pe.get_i64(a, pe.id()); // local: free in virtual time
+            pe.barrier_all();
+            pe.virtual_ns()
+        })
+        .unwrap();
+        // 10 virtual seconds of modelled latency finished ~instantly.
+        assert!(t0.elapsed() < Duration::from_secs(2), "virtual mode must not busy-wait");
+        let expect = 5 * (1_000_000_000 + VIRT_OP_NS) + VIRT_BARRIER_NS;
+        assert_eq!(clocks, vec![expect, expect], "barrier syncs both clocks to the max");
+    }
+
+    #[test]
+    fn virtual_walls_are_deterministic_and_model_dependent() {
+        let body = |pe: &Pe<'_>| {
+            let a = pe.shmalloc(4);
+            // Nearest-neighbour ring: cheap on a mesh, flat on Uniform.
+            let next = (pe.id() + 1) % pe.n_pes();
+            for i in 0..8 {
+                pe.put_i64(a.offset(i % 4), next, i as i64);
+            }
+            pe.barrier_all();
+            pe.virtual_ns()
+        };
+        let run = |lat: LatencyModel| {
+            run_spmd(cfg(4).latency(lat).clock(ClockMode::Virtual), body).unwrap()
+        };
+        let mesh = LatencyModel::Mesh2D { width: 2, base_ns: 50, hop_ns: 11 };
+        let flat = LatencyModel::Uniform { remote_ns: 1000 };
+        assert_eq!(run(mesh), run(mesh), "virtual walls must reproduce exactly");
+        assert_eq!(run(flat), run(flat));
+        assert_ne!(run(mesh)[0], run(flat)[0], "models must order differently");
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! # lol-trace — communication tracing and the virtual-time clock
+//!
+//! Aggregate `CommStats` tell students *how much* communication their
+//! program did; this crate records *when*, *where* and *who waited on
+//! whom*. Every backend (interpreter, VM, and the C stub via its trace
+//! files) emits the same stream of [`TraceEvent`]s — one per remote
+//! put/get/atomic, lock operation and explicit barrier — into a bounded
+//! per-PE [`TraceBuffer`]. A finished job's buffers assemble into a
+//! [`Trace`], which renders per-PE timelines ([`Trace::gantt`],
+//! [`Trace::to_svg`]), a PE×PE communication matrix
+//! ([`Trace::comm_matrix`]) and a critical-path estimate under any
+//! interconnect cost function ([`Trace::critical_path`]).
+//!
+//! ## Virtual time
+//!
+//! [`ClockMode::Virtual`] replaces the substrate's busy-waited latency
+//! injection with *accounting*: each remote access advances a per-PE
+//! logical clock by the latency model's delay (plus [`VIRT_OP_NS`]),
+//! and every barrier synchronizes the clocks to their maximum (explicit
+//! barriers add [`VIRT_BARRIER_NS`]). The resulting "virtual wall" is a
+//! deterministic function of the event sequence and the model — the
+//! same program yields byte-identical virtual walls on any machine, at
+//! any host load, under any worker count — so mesh-vs-torus-vs-flat
+//! comparisons become machine-independent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod render;
+
+/// Virtual cost of one remote operation on top of the latency model's
+/// delay, in nanoseconds. Keeps virtual time moving even under
+/// `LatencyModel::Off` so event ordering stays visible on timelines.
+pub const VIRT_OP_NS: u64 = 1;
+
+/// Virtual cost of one explicit barrier episode (`HUGZ`), charged after
+/// the max-synchronization, in nanoseconds. Internal barriers (the
+/// collective allocation fence) synchronize clocks but cost nothing, so
+/// a replayed trace reproduces the virtual wall exactly.
+pub const VIRT_BARRIER_NS: u64 = 10;
+
+/// Which clock a run charges latency against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ClockMode {
+    /// Real time: latency models busy-wait their delays on the
+    /// monotonic clock (machine-dependent, but the run *feels* the
+    /// interconnect). Default.
+    #[default]
+    Wall,
+    /// Virtual time: latency models *account* their delays on a per-PE
+    /// logical clock instead of spinning. Deterministic and
+    /// machine-independent; the job's virtual wall is the maximum
+    /// final clock across PEs.
+    Virtual,
+}
+
+impl ClockMode {
+    /// Both modes, in display order (the `clock=` sweep axis).
+    pub const ALL: [ClockMode; 2] = [ClockMode::Wall, ClockMode::Virtual];
+}
+
+impl std::fmt::Display for ClockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ClockMode::Wall => "wall",
+            ClockMode::Virtual => "virtual",
+        })
+    }
+}
+
+impl std::str::FromStr for ClockMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "wall" | "real" => Ok(ClockMode::Wall),
+            "virtual" | "virt" => Ok(ClockMode::Virtual),
+            other => Err(format!("O NOES! clock IZ wall OR virtual, NOT {other}")),
+        }
+    }
+}
+
+/// What kind of communication event happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Remote scalar put (`UR x R ...` targeting another PE).
+    Put,
+    /// Remote scalar get (`... R UR x` from another PE).
+    Get,
+    /// Remote atomic memory operation (fetch-add / cswap / swap).
+    Amo,
+    /// Remote block put (`bytes` = words × 8).
+    BlockPut,
+    /// Remote block get (`bytes` = words × 8).
+    BlockGet,
+    /// Explicit barrier entered (`HUGZ`); the matching
+    /// [`EventKind::BarrierExit`] timestamp shows how long this PE
+    /// waited for the others.
+    BarrierEnter,
+    /// Explicit barrier released.
+    BarrierExit,
+    /// Blocking lock acquisition completed (`IM SRSLY MESIN WIF`).
+    LockAcquire,
+    /// Trylock attempt (`IM MESIN WIF`), successful or not.
+    LockTry,
+    /// Lock released (`DUN MESIN WIF`).
+    LockRelease,
+    /// Point-to-point wait satisfied (`shmem_wait_until` analog).
+    Wait,
+}
+
+impl EventKind {
+    /// One-byte code used by the C stub's trace files and compact
+    /// renderings; [`EventKind::from_code`] inverts it.
+    pub fn code(self) -> char {
+        match self {
+            EventKind::Put => 'P',
+            EventKind::Get => 'G',
+            EventKind::Amo => 'A',
+            EventKind::BlockPut => 'p',
+            EventKind::BlockGet => 'g',
+            EventKind::BarrierEnter => 'B',
+            EventKind::BarrierExit => 'b',
+            EventKind::LockAcquire => 'L',
+            EventKind::LockTry => 'T',
+            EventKind::LockRelease => 'U',
+            EventKind::Wait => 'W',
+        }
+    }
+
+    /// Parse a [`EventKind::code`] byte back.
+    pub fn from_code(c: char) -> Option<EventKind> {
+        Some(match c {
+            'P' => EventKind::Put,
+            'G' => EventKind::Get,
+            'A' => EventKind::Amo,
+            'p' => EventKind::BlockPut,
+            'g' => EventKind::BlockGet,
+            'B' => EventKind::BarrierEnter,
+            'b' => EventKind::BarrierExit,
+            'L' => EventKind::LockAcquire,
+            'T' => EventKind::LockTry,
+            'U' => EventKind::LockRelease,
+            'W' => EventKind::Wait,
+            _ => return None,
+        })
+    }
+
+    /// Does this event kind move payload bytes (vs. pure
+    /// synchronization)?
+    pub fn is_data(self) -> bool {
+        matches!(
+            self,
+            EventKind::Put
+                | EventKind::Get
+                | EventKind::Amo
+                | EventKind::BlockPut
+                | EventKind::BlockGet
+        )
+    }
+}
+
+/// One communication event, as observed by the PE that issued it.
+///
+/// Timestamps come in a logical + clock pair: `seq` is the per-PE
+/// logical position (0, 1, 2, … — backend-independent), `t_ns` is the
+/// issuing PE's clock when the event *completed* (nanoseconds since job
+/// start on [`ClockMode::Wall`], the logical clock value on
+/// [`ClockMode::Virtual`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// The PE that issued the operation.
+    pub pe: u32,
+    /// The target PE (the issuing PE itself for barriers/waits).
+    pub peer: u32,
+    /// Symmetric word offset the operation touched (0 for barriers).
+    pub addr: u32,
+    /// Payload bytes moved (0 for synchronization events).
+    pub bytes: u32,
+    /// Per-PE logical sequence number (the "logical timestamp").
+    pub seq: u32,
+    /// Completion time on the run's clock (wall or virtual ns).
+    pub t_ns: u64,
+}
+
+impl TraceEvent {
+    /// The backend-independent identity of the event: everything except
+    /// the timestamps. Equivalence tests compare event streams by this.
+    pub fn signature(&self) -> (char, u32, u32, u32) {
+        (self.kind.code(), self.peer, self.addr, self.bytes)
+    }
+}
+
+/// A bounded per-PE event sink. When the capacity is reached the
+/// *earliest* events are kept (the timeline's beginning, where program
+/// structure lives) and later ones are counted in
+/// [`TraceBuffer::dropped`].
+#[derive(Debug)]
+pub struct TraceBuffer {
+    pe: u32,
+    cap: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    seq: u32,
+}
+
+impl TraceBuffer {
+    /// A buffer for `pe` holding at most `cap` events.
+    pub fn new(pe: usize, cap: usize) -> Self {
+        TraceBuffer { pe: pe as u32, cap, events: Vec::new(), dropped: 0, seq: 0 }
+    }
+
+    /// Append one event; assigns the next logical sequence number.
+    pub fn record(&mut self, kind: EventKind, peer: usize, addr: u32, bytes: u32, t_ns: u64) {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            kind,
+            pe: self.pe,
+            peer: peer as u32,
+            addr,
+            bytes,
+            seq,
+            t_ns,
+        });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that arrived after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Finish this PE's recording: consume the buffer into a
+    /// [`PeTrace`], stamping the PE's final clock value.
+    pub fn finish(self, end_ns: u64) -> PeTrace {
+        PeTrace { events: self.events, dropped: self.dropped, end_ns }
+    }
+}
+
+/// One PE's completed event stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PeTrace {
+    /// Events in issue order.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to the buffer bound.
+    pub dropped: u64,
+    /// The PE's clock when it finished (wall or virtual ns).
+    pub end_ns: u64,
+}
+
+impl PeTrace {
+    /// The timestamp-free identity of this PE's stream (see
+    /// [`TraceEvent::signature`]).
+    pub fn signature(&self) -> Vec<(char, u32, u32, u32)> {
+        self.events.iter().map(TraceEvent::signature).collect()
+    }
+}
+
+/// A whole job's trace: one [`PeTrace`] per PE, plus the clock mode the
+/// timestamps were taken on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Which clock `t_ns` values refer to.
+    pub clock: ClockMode,
+    /// Per-PE streams, in PE order.
+    pub pes: Vec<PeTrace>,
+}
+
+/// PE×PE communication totals derived from a [`Trace`]
+/// (see [`Trace::comm_matrix`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommMatrix {
+    /// Number of PEs (the matrix is `n × n`, row = source).
+    pub n: usize,
+    /// Bytes moved from row-PE to column-PE, row-major.
+    pub bytes: Vec<u64>,
+    /// Operations issued from row-PE to column-PE, row-major.
+    pub ops: Vec<u64>,
+}
+
+impl CommMatrix {
+    /// Bytes sent from `from` to `to`.
+    pub fn bytes_at(&self, from: usize, to: usize) -> u64 {
+        self.bytes[from * self.n + to]
+    }
+
+    /// Operations issued from `from` to `to`.
+    pub fn ops_at(&self, from: usize, to: usize) -> u64 {
+        self.ops[from * self.n + to]
+    }
+}
+
+impl Trace {
+    /// Assemble a trace from per-PE streams.
+    pub fn new(clock: ClockMode, pes: Vec<PeTrace>) -> Self {
+        Trace { clock, pes }
+    }
+
+    /// Number of PEs traced.
+    pub fn n_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Total events across all PEs.
+    pub fn total_events(&self) -> usize {
+        self.pes.iter().map(|p| p.events.len()).sum()
+    }
+
+    /// Total events lost to buffer bounds across all PEs.
+    pub fn total_dropped(&self) -> u64 {
+        self.pes.iter().map(|p| p.dropped).sum()
+    }
+
+    /// The latest clock value across PEs (the traced job's makespan on
+    /// its own clock).
+    pub fn end_ns(&self) -> u64 {
+        self.pes.iter().map(|p| p.end_ns).max().unwrap_or(0)
+    }
+
+    /// The timestamp-free identity of the whole trace, per PE. Two
+    /// backends ran "the same communication" iff these are equal.
+    pub fn signature(&self) -> Vec<Vec<(char, u32, u32, u32)>> {
+        self.pes.iter().map(PeTrace::signature).collect()
+    }
+
+    /// PE×PE bytes/ops moved by data events (puts count at the source,
+    /// gets at the reader — both are attributed to the issuing PE's
+    /// row).
+    pub fn comm_matrix(&self) -> CommMatrix {
+        let n = self.pes.len();
+        let mut m = CommMatrix { n, bytes: vec![0; n * n], ops: vec![0; n * n] };
+        for p in &self.pes {
+            for e in &p.events {
+                if e.kind.is_data() && (e.peer as usize) < n {
+                    let slot = e.pe as usize * n + e.peer as usize;
+                    m.bytes[slot] += e.bytes as u64;
+                    m.ops[slot] += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// Replay the event streams under an arbitrary interconnect cost
+    /// function and return the estimated makespan in nanoseconds.
+    ///
+    /// `delay_ns(from, to)` is charged (plus [`VIRT_OP_NS`]) for every
+    /// remote event; barriers synchronize the replayed clocks to their
+    /// maximum and add [`VIRT_BARRIER_NS`]. On a trace taken under
+    /// [`ClockMode::Virtual`], replaying with the run's own latency
+    /// model reproduces the virtual wall exactly, provided symmetric
+    /// allocation happened before any communication (true for every
+    /// language-backend program — both engines and the C stub set up
+    /// the whole segment up front; a direct substrate user calling
+    /// `shmalloc` mid-program inserts an *untraced* clock sync the
+    /// replay cannot see). Replaying with a *different* model answers
+    /// "what would this run have cost on that interconnect?" without
+    /// re-running the program.
+    pub fn critical_path(&self, delay_ns: impl Fn(usize, usize) -> u64) -> u64 {
+        let n = self.pes.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut t = vec![0u64; n];
+        let mut cursor = vec![0usize; n];
+        loop {
+            // Advance every PE to its next barrier (or stream end).
+            let mut at_barrier = 0usize;
+            for pe in 0..n {
+                while let Some(e) = self.pes[pe].events.get(cursor[pe]) {
+                    match e.kind {
+                        EventKind::BarrierEnter => {
+                            at_barrier += 1;
+                            break;
+                        }
+                        EventKind::BarrierExit => {
+                            cursor[pe] += 1; // cost charged at the matching enter
+                        }
+                        _ => {
+                            if e.peer != e.pe {
+                                t[pe] += delay_ns(e.pe as usize, e.peer as usize) + VIRT_OP_NS;
+                            }
+                            cursor[pe] += 1;
+                        }
+                    }
+                }
+            }
+            if at_barrier < n {
+                // Some PE ran out of events (ragged streams end the
+                // lockstep replay; the remaining tails were already
+                // summed above).
+                break;
+            }
+            let sync = t.iter().copied().max().unwrap_or(0) + VIRT_BARRIER_NS;
+            for (pe, tt) in t.iter_mut().enumerate() {
+                *tt = sync;
+                cursor[pe] += 1; // step past the BarrierEnter
+            }
+        }
+        t.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(buf: &mut TraceBuffer, kind: EventKind, peer: usize, bytes: u32, t: u64) {
+        buf.record(kind, peer, 0, bytes, t);
+    }
+
+    fn two_pe_trace() -> Trace {
+        let mut a = TraceBuffer::new(0, 1024);
+        ev(&mut a, EventKind::Put, 1, 8, 5);
+        ev(&mut a, EventKind::BarrierEnter, 0, 0, 5);
+        ev(&mut a, EventKind::BarrierExit, 0, 0, 9);
+        ev(&mut a, EventKind::Get, 1, 8, 12);
+        let mut b = TraceBuffer::new(1, 1024);
+        ev(&mut b, EventKind::BarrierEnter, 1, 0, 2);
+        ev(&mut b, EventKind::BarrierExit, 1, 0, 9);
+        Trace::new(ClockMode::Wall, vec![a.finish(12), b.finish(9)])
+    }
+
+    #[test]
+    fn clock_mode_round_trips() {
+        for m in ClockMode::ALL {
+            assert_eq!(m.to_string().parse::<ClockMode>().unwrap(), m);
+        }
+        assert!("sundial".parse::<ClockMode>().is_err());
+        assert_eq!(ClockMode::default(), ClockMode::Wall);
+    }
+
+    #[test]
+    fn event_codes_round_trip() {
+        for kind in [
+            EventKind::Put,
+            EventKind::Get,
+            EventKind::Amo,
+            EventKind::BlockPut,
+            EventKind::BlockGet,
+            EventKind::BarrierEnter,
+            EventKind::BarrierExit,
+            EventKind::LockAcquire,
+            EventKind::LockTry,
+            EventKind::LockRelease,
+            EventKind::Wait,
+        ] {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code('?'), None);
+    }
+
+    #[test]
+    fn buffer_bounds_and_sequences() {
+        let mut buf = TraceBuffer::new(3, 2);
+        ev(&mut buf, EventKind::Put, 0, 8, 1);
+        ev(&mut buf, EventKind::Put, 0, 8, 2);
+        ev(&mut buf, EventKind::Put, 0, 8, 3); // over capacity
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 1);
+        let pt = buf.finish(3);
+        assert_eq!(pt.events[0].seq, 0);
+        assert_eq!(pt.events[1].seq, 1);
+        assert_eq!(pt.events[0].pe, 3);
+        assert_eq!(pt.dropped, 1);
+        assert_eq!(pt.end_ns, 3);
+    }
+
+    #[test]
+    fn comm_matrix_attributes_data_events() {
+        let t = two_pe_trace();
+        let m = t.comm_matrix();
+        assert_eq!(m.bytes_at(0, 1), 16); // put 8 + get 8
+        assert_eq!(m.ops_at(0, 1), 2);
+        assert_eq!(m.bytes_at(1, 0), 0);
+        assert_eq!(m.ops_at(0, 0), 0, "barriers are not data");
+    }
+
+    #[test]
+    fn signatures_ignore_timestamps() {
+        let t = two_pe_trace();
+        let sig = t.signature();
+        assert_eq!(sig[0][0], ('P', 1, 0, 8));
+        assert_eq!(sig[1][0], ('B', 1, 0, 0));
+        // Same events at different times: identical signature.
+        let mut a = TraceBuffer::new(0, 8);
+        ev(&mut a, EventKind::Put, 1, 8, 999);
+        assert_eq!(a.finish(999).signature()[0], sig[0][0]);
+    }
+
+    #[test]
+    fn critical_path_replays_barrier_synchronization() {
+        let t = two_pe_trace();
+        // Uniform 100ns: PE0 pays 100+1 before the barrier, both sync
+        // to 101+10, then PE0 pays another 101 → 212.
+        let got = t.critical_path(|_, _| 100);
+        assert_eq!(got, 101 + VIRT_BARRIER_NS + 101);
+        // Free interconnect: only the op costs + barrier remain.
+        assert_eq!(t.critical_path(|_, _| 0), 1 + VIRT_BARRIER_NS + 1);
+    }
+
+    #[test]
+    fn critical_path_handles_empty_and_ragged_traces() {
+        assert_eq!(Trace::default().critical_path(|_, _| 1), 0);
+        // One PE barriers, the other has already finished: replay must
+        // not deadlock.
+        let mut a = TraceBuffer::new(0, 8);
+        ev(&mut a, EventKind::BarrierEnter, 0, 0, 1);
+        let b = TraceBuffer::new(1, 8);
+        let t = Trace::new(ClockMode::Wall, vec![a.finish(1), b.finish(0)]);
+        assert_eq!(t.critical_path(|_, _| 50), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Human-facing renderings of a [`Trace`]: an ASCII Gantt timeline, a
+//! dependency-free SVG, a communication-matrix table and a flat event
+//! log. All output is plain `String` — nothing here touches the
+//! filesystem or any external crate.
+
+use crate::{CommMatrix, EventKind, Trace};
+
+impl Trace {
+    /// A flat, grep-friendly event log: one line per event in per-PE
+    /// issue order.
+    pub fn event_log(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# trace: {} PEs, {} events, clock {}\n",
+            self.n_pes(),
+            self.total_events(),
+            self.clock
+        ));
+        for (pe, p) in self.pes.iter().enumerate() {
+            for e in &p.events {
+                out.push_str(&format!(
+                    "PE{} #{:<5} t={:<12} {:12} peer={} addr={} bytes={}\n",
+                    e.pe,
+                    e.seq,
+                    e.t_ns,
+                    format!("{:?}", e.kind),
+                    e.peer,
+                    e.addr,
+                    e.bytes
+                ));
+            }
+            if p.dropped > 0 {
+                // The lane index is the PE id (streams are in PE
+                // order); a fully-dropped buffer has no event to ask.
+                out.push_str(&format!("PE{pe} … {} events dropped (buffer full)\n", p.dropped));
+            }
+        }
+        out
+    }
+
+    /// An ASCII Gantt chart: one lane per PE, time left-to-right scaled
+    /// to `width` columns. Barrier waits render as `=` spans (enter to
+    /// exit — the visible cost of synchronization); data and lock
+    /// events render as their [`EventKind::code`] glyph at their
+    /// completion column.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(16);
+        let span = self.end_ns().max(1);
+        let col =
+            |t: u64| (((t as u128 * (width as u128 - 1)) / span as u128) as usize).min(width - 1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "time 0 .. {} ns ({} clock), one lane per PE ('=' barrier wait, letters = ops)\n",
+            span, self.clock
+        ));
+        for (pe, p) in self.pes.iter().enumerate() {
+            let mut lane = vec!['·'; width];
+            let mut enter: Option<u64> = None;
+            for e in &p.events {
+                match e.kind {
+                    EventKind::BarrierEnter => enter = Some(e.t_ns),
+                    EventKind::BarrierExit => {
+                        let from = col(enter.take().unwrap_or(e.t_ns));
+                        for c in lane.iter_mut().take(col(e.t_ns) + 1).skip(from) {
+                            *c = '=';
+                        }
+                    }
+                    kind => lane[col(e.t_ns)] = kind.code(),
+                }
+            }
+            // End-of-lane marker so idle tails are visible.
+            let end = col(p.end_ns.min(span));
+            if lane[end] == '·' {
+                lane[end] = '|';
+            }
+            out.push_str(&format!("PE {pe:>3} {}", lane.into_iter().collect::<String>()));
+            if p.dropped > 0 {
+                out.push_str(&format!("  (+{} dropped)", p.dropped));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A self-contained SVG timeline (no external dependencies, no
+    /// scripts): one horizontal lane per PE, gray spans for barrier
+    /// waits, colored ticks for events, a labelled time axis. Suitable
+    /// for writing straight to a `.svg` file and opening in a browser.
+    pub fn to_svg(&self) -> String {
+        const LANE_H: u64 = 26;
+        const LEFT: u64 = 64;
+        const PLOT_W: u64 = 920;
+        const TOP: u64 = 34;
+        let n = self.n_pes() as u64;
+        let span = self.end_ns().max(1);
+        let w = LEFT + PLOT_W + 20;
+        let h = TOP + n * LANE_H + 30;
+        let x = |t: u64| LEFT + (t as u128 * PLOT_W as u128 / span as u128) as u64;
+        let color = |k: EventKind| match k {
+            EventKind::Put | EventKind::BlockPut => "#d62728",
+            EventKind::Get | EventKind::BlockGet => "#1f77b4",
+            EventKind::Amo => "#9467bd",
+            EventKind::LockAcquire | EventKind::LockTry | EventKind::LockRelease => "#ff7f0e",
+            EventKind::Wait => "#8c564b",
+            EventKind::BarrierEnter | EventKind::BarrierExit => "#7f7f7f",
+        };
+        let mut s = String::new();
+        s.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"11\">\n"
+        ));
+        s.push_str(&format!(
+            "<text x=\"{LEFT}\" y=\"16\">lol-trace timeline — {} PEs, {} events, 0..{span} ns ({} clock)</text>\n",
+            self.n_pes(),
+            self.total_events(),
+            self.clock
+        ));
+        for (pe, p) in self.pes.iter().enumerate() {
+            let y = TOP + pe as u64 * LANE_H;
+            let mid = y + LANE_H / 2;
+            s.push_str(&format!("<text x=\"6\" y=\"{}\">PE {pe}</text>\n", mid + 4));
+            s.push_str(&format!(
+                "<line x1=\"{LEFT}\" y1=\"{mid}\" x2=\"{}\" y2=\"{mid}\" stroke=\"#ddd\"/>\n",
+                x(p.end_ns.min(span))
+            ));
+            let mut enter: Option<u64> = None;
+            for e in &p.events {
+                match e.kind {
+                    EventKind::BarrierEnter => enter = Some(e.t_ns),
+                    EventKind::BarrierExit => {
+                        let entered = enter.take().unwrap_or(e.t_ns);
+                        let x0 = x(entered);
+                        let x1 = x(e.t_ns).max(x0 + 1);
+                        s.push_str(&format!(
+                            "<rect x=\"{x0}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#bbb\" \
+                             opacity=\"0.6\"><title>PE {pe} barrier wait: {} ns</title></rect>\n",
+                            y + 4,
+                            x1 - x0,
+                            LANE_H - 8,
+                            e.t_ns.saturating_sub(entered)
+                        ));
+                    }
+                    kind => {
+                        let xe = x(e.t_ns);
+                        s.push_str(&format!(
+                            "<line x1=\"{xe}\" y1=\"{}\" x2=\"{xe}\" y2=\"{}\" stroke=\"{}\" \
+                             stroke-width=\"2\"><title>PE {pe} #{}: {:?} peer={} addr={} bytes={} @ {} ns</title></line>\n",
+                            y + 5,
+                            y + LANE_H - 5,
+                            color(kind),
+                            e.seq,
+                            kind,
+                            e.peer,
+                            e.addr,
+                            e.bytes,
+                            e.t_ns
+                        ));
+                    }
+                }
+            }
+        }
+        let axis_y = TOP + n * LANE_H + 8;
+        s.push_str(&format!(
+            "<line x1=\"{LEFT}\" y1=\"{axis_y}\" x2=\"{}\" y2=\"{axis_y}\" stroke=\"#333\"/>\n",
+            LEFT + PLOT_W
+        ));
+        s.push_str(&format!("<text x=\"{LEFT}\" y=\"{}\">0</text>\n", axis_y + 14));
+        s.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{span} ns</text>\n",
+            LEFT + PLOT_W,
+            axis_y + 14
+        ));
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+impl CommMatrix {
+    /// Render the matrix as an aligned table (`bytes` per source →
+    /// destination pair, with per-source totals).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("communication matrix (bytes from row PE to column PE)\n");
+        out.push_str("        ");
+        for to in 0..self.n {
+            out.push_str(&format!("{to:>10}"));
+        }
+        out.push_str("     total\n");
+        for from in 0..self.n {
+            out.push_str(&format!("PE {from:>4} "));
+            let mut total = 0u64;
+            for to in 0..self.n {
+                let b = self.bytes_at(from, to);
+                total += b;
+                if b == 0 {
+                    out.push_str(&format!("{:>10}", "."));
+                } else {
+                    out.push_str(&format!("{b:>10}"));
+                }
+            }
+            out.push_str(&format!("{total:>10}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ClockMode, EventKind, Trace, TraceBuffer};
+
+    fn sample() -> Trace {
+        let mut a = TraceBuffer::new(0, 64);
+        a.record(EventKind::Put, 1, 3, 8, 10);
+        a.record(EventKind::BarrierEnter, 0, 0, 0, 12);
+        a.record(EventKind::BarrierExit, 0, 0, 0, 40);
+        let mut b = TraceBuffer::new(1, 64);
+        b.record(EventKind::BarrierEnter, 1, 0, 0, 30);
+        b.record(EventKind::BarrierExit, 1, 0, 0, 40);
+        b.record(EventKind::Get, 0, 3, 8, 55);
+        Trace::new(ClockMode::Virtual, vec![a.finish(40), b.finish(55)])
+    }
+
+    #[test]
+    fn gantt_has_one_lane_per_pe_with_barrier_spans() {
+        let g = sample().gantt(60);
+        assert!(g.contains("PE   0"));
+        assert!(g.contains("PE   1"));
+        assert!(g.contains('='), "barrier wait must render: {g}");
+        assert!(g.contains('P') && g.contains('G'), "{g}");
+        assert!(g.contains("virtual clock"));
+    }
+
+    #[test]
+    fn svg_is_self_contained_and_balanced() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("PE 0") && svg.contains("PE 1"));
+        assert!(svg.contains("<rect"), "barrier wait rect");
+        assert!(!svg.contains("<script"), "SVG must stay passive");
+        assert_eq!(svg.matches("<rect").count(), svg.matches("</rect>").count());
+        assert_eq!(svg.matches("<title").count(), svg.matches("</title>").count());
+    }
+
+    #[test]
+    fn matrix_render_and_event_log() {
+        let t = sample();
+        let m = t.comm_matrix().render();
+        assert!(m.contains("PE    0"));
+        assert!(m.contains('8'), "{m}");
+        let log = t.event_log();
+        assert!(log.contains("Put") && log.contains("Get"));
+        assert!(log.contains("peer=1"));
+    }
+}

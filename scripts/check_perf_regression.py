@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two SweepReport JSON files and fail on wall-time regressions.
+
+Usage: check_perf_regression.py BASELINE.json CURRENT.json [--max-ratio 1.30]
+
+Entries are matched by their full config identity (backend, pes, seed,
+latency, barrier, lock, clock). A config regresses when its wall time
+grows beyond --max-ratio x the baseline AND by more than an absolute
+noise floor (tiny walls are scheduling noise, not signal).
+
+Virtual-time entries (clock == "virtual") are exempt from the wall
+check by design: their virtual_wall_ns is deterministic, so it is
+compared for *exact* equality instead — any drift there is a semantics
+change, not a perf change.
+
+Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+NOISE_FLOOR_NS = 20_000_000  # ignore regressions below 20ms absolute growth
+
+
+def key(entry):
+    return (
+        entry.get("backend"),
+        entry.get("pes"),
+        entry.get("seed"),
+        entry.get("latency"),
+        entry.get("barrier"),
+        entry.get("lock"),
+        entry.get("clock", "wall"),
+    )
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {key(e): e for e in report.get("entries", []) if e.get("ok")}
+
+
+def main(argv):
+    args = []
+    max_ratio = 1.30
+    i = 1
+    while i < len(argv):
+        a = argv[i]
+        if a.startswith("--max-ratio"):
+            if "=" in a:
+                max_ratio = float(a.split("=", 1)[1])
+            else:
+                i += 1
+                if i >= len(argv):
+                    print("error: --max-ratio needs a value", file=sys.stderr)
+                    return 2
+                max_ratio = float(argv[i])
+        elif a.startswith("--"):
+            print(f"error: unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+        i += 1
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline, current = load(args[0]), load(args[1])
+    shared = sorted(set(baseline) & set(current), key=str)
+    if not shared:
+        print("warning: no overlapping ok configs; nothing to compare")
+        return 0
+    failures = []
+    for k in shared:
+        old, new = baseline[k], current[k]
+        label = "|".join(str(p) for p in k)
+        if k[-1] == "virtual":
+            # Deterministic by contract: exact equality, not a ratio.
+            if old.get("virtual_wall_ns") != new.get("virtual_wall_ns"):
+                failures.append(
+                    f"{label}: virtual wall changed "
+                    f"{old.get('virtual_wall_ns')} -> {new.get('virtual_wall_ns')} "
+                    "(virtual time must be deterministic)"
+                )
+            continue
+        old_ns, new_ns = old.get("wall_ns", 0), new.get("wall_ns", 0)
+        if old_ns <= 0:
+            continue
+        ratio = new_ns / old_ns
+        if ratio > max_ratio and new_ns - old_ns > NOISE_FLOOR_NS:
+            failures.append(
+                f"{label}: wall {old_ns / 1e6:.1f}ms -> {new_ns / 1e6:.1f}ms "
+                f"({ratio:.2f}x > {max_ratio:.2f}x)"
+            )
+    print(f"compared {len(shared)} configs against the baseline")
+    if failures:
+        print("PERF REGRESSION:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("no per-config wall-time regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -54,8 +54,9 @@ pub mod prelude {
     };
     pub use lolcode::corpus;
     pub use lolcode::{
-        check, compile, compile_to_c, engine_for, jsonl_record, parse_program, registry,
-        run_source, Backend, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, LolError,
-        RunConfig, RunReport, SweepEntry, SweepReport, SweepSpec, VmEngine,
+        check, compile, compile_to_c, config_key, engine_for, jsonl_record, parse_jsonl_done,
+        parse_program, registry, run_source, Backend, CEngine, ClockMode, Compiled, Engine,
+        EngineRegistry, EventKind, InterpEngine, LolError, PeTrace, RunConfig, RunReport,
+        SweepEntry, SweepReport, SweepSpec, Trace, TraceEvent, VmEngine,
     };
 }

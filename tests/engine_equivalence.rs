@@ -326,6 +326,40 @@ fn c_engine_agrees_with_interp_on_corpus_subset() {
     }
 }
 
+/// The C runtime's YARNs are heap-allocated now (the 256-byte cap is
+/// gone), so long-string programs are part of the differential
+/// surface: a 2 KiB SMOOSH-doubled yarn and a >600-char GIMMEH line
+/// must round-trip identically on interp, vm and c.
+#[test]
+fn long_yarns_agree_across_engines() {
+    let src = "\
+HAI 1.2
+I HAS A s ITZ \"0123456789abcdef\"
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 7
+s R SMOOSH s AN s MKAY
+IM OUTTA YR l
+I HAS A line
+GIMMEH line
+VISIBLE s
+VISIBLE SMOOSH \"GOT \" AN line MKAY
+KTHXBYE
+";
+    let long_line = "x".repeat(650);
+    let artifact = compile(src).unwrap();
+    let cfg = RunConfig::new(2).timeout(Duration::from_secs(60)).input(&[&long_line]);
+    let interp = InterpEngine.run(&artifact, &cfg).unwrap();
+    // 16 chars doubled 7 times = 2048; plus the echoed GIMMEH line.
+    assert_eq!(interp.outputs[0].lines().next().unwrap().len(), 2048);
+    assert!(interp.outputs[0].contains(&format!("GOT {long_line}")));
+    let vm = VmEngine.run(&artifact, &cfg).unwrap();
+    assert_eq!(interp.outputs, vm.outputs);
+    match engine_for(Backend::C).run(&artifact, &cfg) {
+        Ok(c) => assert_eq!(interp.outputs, c.outputs, "C yarns must not truncate"),
+        Err(LolError::Unsupported(_)) => eprintln!("skipping C: no compiler"),
+        Err(e) => panic!("C engine failed on long yarns: {e}"),
+    }
+}
+
 /// All three engines under the interconnect models: mesh vs flat
 /// latency changes *timing*, never *outputs* — the fidelity contract
 /// the latency knob is built on, pinned on every backend at once.

@@ -190,6 +190,73 @@ fn full_interconnect_matrix_has_no_unsupported_rows() {
     }
 }
 
+/// Resumable sweeps: a previous `--json-lines` file's ok entries are
+/// skipped, failed/missing entries re-run, and the combined picture is
+/// a complete matrix.
+#[test]
+fn resume_skips_finished_configs_and_reruns_the_rest() {
+    use std::sync::Mutex;
+    let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+    let spec = || {
+        SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(60)))
+            .pes([1, 2, 3, 4])
+            .backends([Backend::Interp, Backend::Vm])
+    };
+    // First run: pretend the sweep died after the interp half by
+    // keeping only those four JSONL records.
+    let lines: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let first = spec().run_with(&artifact, |i, cfg, result| {
+        lines.lock().unwrap().push(lolcode::jsonl_record(i, cfg, result));
+    });
+    assert!(first.all_ok());
+    let partial: String = {
+        let mut lines = lines.into_inner().unwrap();
+        lines.sort(); // completion order is racy; index field sorts interp first
+        lines.truncate(4);
+        lines.join("\n")
+    };
+    let done = parse_jsonl_done(&partial);
+    assert_eq!(done.len(), 4, "{partial}");
+    // Second run resumes: 4 skipped, 4 executed, zero hard failures.
+    let resumed = spec().run_resumable(&artifact, &done, |_, _, _| {});
+    assert_eq!(resumed.skipped_count(), 4);
+    assert_eq!(resumed.ok_count(), 4);
+    assert_eq!(resumed.hard_failure_count(), 0);
+    assert!(!resumed.all_ok(), "skipped entries are not successes");
+    let table = resumed.speedup_table();
+    assert!(table.contains("SKIPPED") && table.contains("4 skipped via --resume"), "{table}");
+    // Skipped entries surface in JSON with the skipped flag, and every
+    // executed slot matches what the first run produced.
+    assert!(resumed.to_json().contains("\"skipped\": true"));
+    for (a, b) in first.entries.iter().zip(&resumed.entries) {
+        assert_eq!(lolcode::config_key(&a.config), lolcode::config_key(&b.config));
+        if let Ok(rb) = &b.result {
+            assert_eq!(a.result.as_ref().unwrap().outputs, rb.outputs);
+        }
+    }
+    // A fully-done file skips everything; an empty file skips nothing.
+    let all_done: std::collections::HashSet<String> =
+        first.entries.iter().map(|e| lolcode::config_key(&e.config)).collect();
+    assert_eq!(spec().run_resumable(&artifact, &all_done, |_, _, _| {}).skipped_count(), 8);
+    assert_eq!(spec().run(&artifact).skipped_count(), 0);
+}
+
+/// `parse_jsonl_done` only trusts ok records and tolerates junk,
+/// summaries and legacy files without a `clock` field.
+#[test]
+fn jsonl_done_parser_filters_failures_and_junk() {
+    let text = r#"{"index": 0, "backend": "interp", "pes": 2, "seed": 7, "latency": "off", "barrier": "central", "lock": "cas", "clock": "wall", "ok": true, "wall_ns": 5}
+{"index": 1, "backend": "vm", "pes": 2, "seed": 7, "latency": "off", "barrier": "central", "lock": "cas", "clock": "wall", "ok": false, "error": "O NOES"}
+{"index": 2, "backend": "c", "pes": 4, "seed": 9, "latency": "mesh:4:50:11", "barrier": "dissem", "lock": "ticket", "ok": true, "wall_ns": 5}
+{"summary": true, "configs": 3, "ok": 2}
+not json at all"#;
+    let done = parse_jsonl_done(text);
+    assert_eq!(done.len(), 2, "{done:?}");
+    assert!(done.contains("interp|off|central|cas|wall|7|2"));
+    // Legacy record without clock defaults to wall.
+    assert!(done.contains("c|mesh:4:50:11|dissem|ticket|wall|9|4"));
+}
+
 /// The thread budget keeps `jobs × PEs` inside the core count without
 /// changing a single byte of the results.
 #[test]

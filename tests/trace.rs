@@ -1,0 +1,241 @@
+//! Acceptance suite for the `lol-trace` subsystem: the same program
+//! must emit the same ordered per-PE event sequence (timestamps aside)
+//! on all three backends, and `clock=virtual` must produce
+//! byte-identical, machine-independent virtual walls that still
+//! distinguish interconnect models.
+
+use icanhas::prelude::*;
+use std::time::Duration;
+
+fn cfg(n: usize) -> RunConfig {
+    RunConfig::new(n).seed(7).timeout(Duration::from_secs(60)).trace(true)
+}
+
+/// The deterministic corpus programs every backend can run (no
+/// `WHATEVR`, whose stream differs on the C stub — tracing doesn't care
+/// about values, but output assertions elsewhere do).
+fn traceable_corpus() -> Vec<(&'static str, String)> {
+    vec![
+        ("hello", corpus::HELLO_PARALLEL.to_string()),
+        ("ring", corpus::RING_EXAMPLE.to_string()),
+        ("barrier", corpus::BARRIER_EXAMPLE.to_string()),
+        // Lock ops trace one event per acquire/release on every
+        // backend (never per spin retry), so lock programs diff too.
+        ("locks", corpus::LOCKS_EXAMPLE.to_string()),
+        ("heat2d", corpus::heat2d_source(2, 4, 3)),
+        ("heat2d_ci", corpus::heat2d_source(4, 8, 20)),
+    ]
+}
+
+/// The tentpole acceptance criterion: identical per-PE event streams —
+/// kind, peer, symmetric address and byte count, in order — from the
+/// interpreter, the VM and (when a C compiler exists) the C stub.
+#[test]
+fn corpus_event_streams_agree_across_all_three_engines() {
+    let c_engine = engine_for(Backend::C);
+    for (name, src) in traceable_corpus() {
+        let artifact = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for n_pes in [1usize, 2, 4] {
+            let config = cfg(n_pes);
+            let interp = InterpEngine.run(&artifact, &config).unwrap();
+            let vm = VmEngine.run(&artifact, &config).unwrap();
+            let isig = interp.trace.as_ref().expect("interp trace").signature();
+            assert_eq!(
+                isig,
+                vm.trace.as_ref().expect("vm trace").signature(),
+                "{name}: interp/vm event streams diverge at {n_pes} PEs"
+            );
+            assert_eq!(isig.len(), n_pes, "{name}: one stream per PE");
+            if c_engine.available() {
+                let c = c_engine.run(&artifact, &config.clone().backend(Backend::C)).unwrap();
+                assert_eq!(
+                    isig,
+                    c.trace.as_ref().expect("c trace").signature(),
+                    "{name}: C event stream diverges at {n_pes} PEs"
+                );
+            }
+        }
+    }
+}
+
+/// Tracing must never change results: outputs and stats are identical
+/// with and without the recorder.
+#[test]
+fn tracing_is_observation_only() {
+    let artifact = compile(&corpus::heat2d_source(2, 4, 3)).unwrap();
+    let traced = InterpEngine.run(&artifact, &cfg(4)).unwrap();
+    let plain = InterpEngine.run(&artifact, &cfg(4).trace(false)).unwrap();
+    assert_eq!(traced.outputs, plain.outputs);
+    assert_eq!(traced.stats, plain.stats);
+    assert!(traced.trace.is_some() && plain.trace.is_none());
+}
+
+/// Virtual-time acceptance: byte-identical virtual walls across
+/// repeated runs and across engines, with mesh ≠ flat orderings
+/// preserved (the machine-independent interconnect comparison the
+/// ROADMAP asked for).
+#[test]
+fn virtual_walls_are_deterministic_and_distinguish_models() {
+    let artifact = compile(&corpus::heat2d_source(4, 8, 20)).unwrap();
+    let mesh: LatencyModel = "mesh:2".parse().unwrap();
+    let flat: LatencyModel = "flat:1000".parse().unwrap();
+    let mut walls = Vec::new();
+    for latency in [mesh, flat] {
+        let config = RunConfig::new(4)
+            .seed(3)
+            .timeout(Duration::from_secs(60))
+            .clock(ClockMode::Virtual)
+            .latency(latency);
+        let mut per_engine = Vec::new();
+        for backend in Backend::ALL {
+            let engine = engine_for(backend);
+            if !engine.available() {
+                continue;
+            }
+            let config = config.clone().backend(backend);
+            let a = engine.run(&artifact, &config).unwrap();
+            let b = engine.run(&artifact, &config).unwrap();
+            let (wa, wb) = (a.virtual_wall.expect("virtual wall"), b.virtual_wall.unwrap());
+            assert_eq!(wa, wb, "{backend:?} under {latency}: virtual wall must reproduce");
+            assert!(wa > Duration::ZERO);
+            per_engine.push((backend, wa));
+        }
+        // Every backend accounts the same virtual time for the same
+        // program — the cross-backend half of machine-independence.
+        for pair in per_engine.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{:?} and {:?} disagree on the virtual wall under {latency}",
+                pair[0].0, pair[1].0
+            );
+        }
+        walls.push(per_engine[0].1);
+    }
+    assert_ne!(walls[0], walls[1], "mesh and flat must order differently in virtual time");
+}
+
+/// Lock contention must not leak scheduling into virtual time: every
+/// lock op costs one fixed charge (the C stub suppresses the AMOs its
+/// spin loops retry), so even the lock-contention corpus program has
+/// byte-identical virtual walls across runs and backends.
+#[test]
+fn lock_contention_keeps_virtual_walls_deterministic() {
+    let artifact = compile(corpus::LOCKS_EXAMPLE).unwrap();
+    let config = RunConfig::new(4)
+        .seed(5)
+        .timeout(Duration::from_secs(60))
+        .clock(ClockMode::Virtual)
+        .latency("flat:1000".parse().unwrap());
+    let mut walls = Vec::new();
+    for backend in Backend::ALL {
+        let engine = engine_for(backend);
+        if !engine.available() {
+            continue;
+        }
+        let config = config.clone().backend(backend);
+        let a = engine.run(&artifact, &config).unwrap().virtual_wall.unwrap();
+        let b = engine.run(&artifact, &config).unwrap().virtual_wall.unwrap();
+        assert_eq!(a, b, "{backend:?}: lock retries leaked into virtual time");
+        walls.push((backend, a));
+    }
+    for pair in walls.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "{:?} and {:?} disagree on the locks example's virtual wall",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
+/// Replaying a virtual-time trace under the run's own latency model
+/// reproduces the virtual wall *exactly*; replaying under a different
+/// model predicts the other interconnect without re-running.
+#[test]
+fn critical_path_replay_reproduces_the_virtual_wall() {
+    let artifact = compile(&corpus::heat2d_source(2, 4, 3)).unwrap();
+    let mesh: LatencyModel = "mesh:2".parse().unwrap();
+    let flat: LatencyModel = "flat:1000".parse().unwrap();
+    let run = |latency: LatencyModel| {
+        InterpEngine.run(&artifact, &cfg(4).clock(ClockMode::Virtual).latency(latency)).unwrap()
+    };
+    let under_mesh = run(mesh);
+    let trace = under_mesh.trace.as_ref().unwrap();
+    let replayed = trace.critical_path(|a, b| mesh.delay_ns(a, b));
+    assert_eq!(
+        Duration::from_nanos(replayed),
+        under_mesh.virtual_wall.unwrap(),
+        "replay under the run's own model must match its virtual wall"
+    );
+    // What-if: the same trace replayed under flat predicts the flat
+    // run's virtual wall (same event streams, different cost model).
+    let predicted_flat = trace.critical_path(|a, b| flat.delay_ns(a, b));
+    let actual_flat = run(flat).virtual_wall.unwrap();
+    assert_eq!(Duration::from_nanos(predicted_flat), actual_flat);
+}
+
+/// The `clock=` sweep axis: virtual walls ride the byte-stable JSON
+/// (they are deterministic), identical at any worker count — the
+/// jobs=1 vs jobs=N half of the determinism acceptance criterion.
+#[test]
+fn sweep_virtual_walls_are_byte_identical_across_worker_counts() {
+    let artifact = compile(&corpus::heat2d_source(2, 4, 3)).unwrap();
+    let spec = || {
+        SweepSpec::over(RunConfig::new(1).timeout(Duration::from_secs(60)))
+            .pes([1, 2, 4])
+            .latencies(["mesh:2".parse().unwrap(), "flat:1000".parse().unwrap()])
+            .clocks([ClockMode::Virtual])
+            .backends([Backend::Interp, Backend::Vm])
+    };
+    let serial = spec().jobs(1).run(&artifact);
+    let racing = spec().jobs(4).run(&artifact);
+    assert!(serial.all_ok(), "{}", serial.speedup_table());
+    let stable = serial.to_json_stable();
+    assert_eq!(stable, racing.to_json_stable(), "virtual walls must not depend on scheduling");
+    assert!(stable.contains("\"virtual_wall_ns\""), "stable JSON carries virtual walls");
+    assert!(stable.contains("\"clock\": \"virtual\""));
+    // Each (backend, latency) group derives speedups from virtual
+    // walls; the 1-PE baseline exists, so every entry has the column.
+    assert!(serial.entries.iter().all(|e| e.speedup.is_some()));
+}
+
+/// Trace renderings are well-formed for a real multi-PE run: one Gantt
+/// lane and one SVG lane per PE, a communication matrix that matches
+/// the halo-exchange shape, and a flat event log.
+#[test]
+fn renderings_cover_every_pe_and_the_halo_pattern() {
+    let artifact = compile(&corpus::heat2d_source(2, 4, 3)).unwrap();
+    let report = InterpEngine.run(&artifact, &cfg(4)).unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    assert!(trace.total_events() > 0);
+    assert_eq!(trace.total_dropped(), 0);
+    let gantt = trace.gantt(80);
+    let svg = trace.to_svg();
+    for pe in 0..4 {
+        assert!(gantt.contains(&format!("PE {pe:>3}")), "{gantt}");
+        assert!(svg.contains(&format!("PE {pe}")));
+    }
+    assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    // Row-block heat2d: every PE only talks to its neighbours.
+    let m = trace.comm_matrix();
+    for from in 0..4usize {
+        for to in 0..4usize {
+            let talks = m.ops_at(from, to) > 0;
+            let neighbours = from.abs_diff(to) == 1;
+            assert_eq!(talks, neighbours, "PE {from} -> PE {to} unexpected traffic");
+        }
+    }
+    let log = trace.event_log();
+    assert!(log.contains("Get") && log.contains("BarrierEnter"), "{log}");
+}
+
+/// `RunReport::effective_wall` is what sweeps consume: real wall on
+/// the wall clock, virtual wall under the virtual clock.
+#[test]
+fn effective_wall_switches_with_the_clock() {
+    let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+    let wall = InterpEngine.run(&artifact, &RunConfig::new(2)).unwrap();
+    assert_eq!(wall.effective_wall(), wall.wall);
+    assert!(wall.virtual_wall.is_none());
+    let virt = InterpEngine.run(&artifact, &RunConfig::new(2).clock(ClockMode::Virtual)).unwrap();
+    assert_eq!(virt.effective_wall(), virt.virtual_wall.unwrap());
+}
