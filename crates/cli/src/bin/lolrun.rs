@@ -20,22 +20,24 @@
 
 use lolcode::{
     compile, engine_for, jsonl_record, parse_jsonl_done, Backend, BarrierKind, ClockMode, Compiled,
-    LatencyModel, LockKind, RunConfig, RunReport, SweepSpec,
+    LatencyModel, LockKind, RunConfig, RunReport, SweepSpec, TraceSpec,
 };
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
+usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--seed <u64>]
               [--latency <model>] [--barrier <algo>] [--lock <algo>]
               [--clock wall|virtual] [--trace[=FORMAT]]
-              [--tag] [--stats]
+              [--trace-buf <cap>[@<stride>]] [--tag] [--stats]
               [--sweep <spec>] [--resume <prev.jsonl>] [--jobs <N>]
               [--json|--json-lines]
               <input.lol>
   -np <N>          number of processing elements (default 4)
-  --backend <b>    interp (default), vm (compiled bytecode), or c
+  --backend <b>    interp (default), vm (compiled bytecode), c
                    (lcc-emitted C + SHMEM stub, compiled by the system
-                   C compiler and run as a native binary).
+                   C compiler and run as a native binary), or sim
+                   (single-threaded discrete-event simulator: one OS
+                   thread sweeps 1k-1M PEs; implies virtual timing).
                    `both` is deprecated: it now warns and forwards to
                    an equivalent --sweep \"backend=interp,vm\" run
   --seed <u64>     RNG seed for WHATEVR/WHATEVAR (default 0xC47F00D)
@@ -55,6 +57,11 @@ usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
                      matrix           PExPE bytes/ops matrix
                      svg              dependency-free SVG timeline
                    (e.g. `lolrun --trace=svg prog.lol 2>timeline.svg`)
+  --trace-buf <s>  global trace budget: at most <cap> events total,
+                   sampling every <stride>-th PE (default stride 1).
+                   Counts take k/m suffixes: `--trace-buf 64k@256`
+                   keeps a 1M-PE trace bounded. Implies --trace;
+                   untraced events are counted as dropped
   --tag            prefix every output line with [PE n]
   --stats          print per-PE communication statistics and wall time
                    to stderr after the run
@@ -67,8 +74,11 @@ usage: lolrun [-np <N>] [--backend interp|vm|c] [--seed <u64>]
                      barrier=central,dissem   barrier algorithms
                      lock=cas,ticket          lock algorithms
                      clock=wall,virtual       latency clock modes
-                     backend=interp,vm,c      engines to sweep (also:
+                     backend=interp,vm,c,sim  engines to sweep (also:
                                               both = interp,vm / all)
+                     pes=1k,64k,1m            k/m suffixes x1024
+                     pes=2^0..2^20            power-of-two ranges
+                     trace=64k@256            global trace budget
                      jobs=4                   worker cap
                      threads=8                global PE-thread budget
                    e.g. --sweep \"pes=1,2,4;backend=all;clock=virtual\"
@@ -114,6 +124,7 @@ fn main() -> ExitCode {
     let mut lock = LockKind::default();
     let mut clock = ClockMode::default();
     let mut trace: Option<TraceFormat> = None;
+    let mut trace_buf: Option<TraceSpec> = None;
     let mut tag = false;
     let mut stats = false;
     let mut sweep: Option<String> = None;
@@ -143,12 +154,16 @@ fn main() -> ExitCode {
                     Some(name) => match name.parse::<Backend>() {
                         Ok(b) => BackendChoice::One(b),
                         Err(_) => {
-                            eprintln!("O NOES! --backend IZ interp, vm OR c, NOT {name}\n{USAGE}");
+                            eprintln!(
+                                "O NOES! --backend IZ interp, vm, c OR sim, NOT {name}\n{USAGE}"
+                            );
                             return ExitCode::FAILURE;
                         }
                     },
                     None => {
-                        eprintln!("O NOES! --backend IZ interp, vm OR c, NOT (nothing)\n{USAGE}");
+                        eprintln!(
+                            "O NOES! --backend IZ interp, vm, c OR sim, NOT (nothing)\n{USAGE}"
+                        );
                         return ExitCode::FAILURE;
                     }
                 };
@@ -231,6 +246,20 @@ fn main() -> ExitCode {
                         eprintln!(
                             "O NOES! --trace FORMAT IZ gantt, events, matrix OR svg, NOT {other}\n{USAGE}"
                         );
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--trace-buf" => {
+                i += 1;
+                trace_buf = match args.get(i).map(|s| s.parse::<TraceSpec>()) {
+                    Some(Ok(spec)) => Some(spec),
+                    Some(Err(e)) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("O NOES! --trace-buf NEEDS A BUDGET (like 64k@256)\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -328,6 +357,14 @@ fn main() -> ExitCode {
         .lock(lock)
         .clock(clock)
         .trace(trace.is_some());
+    if let Some(spec) = trace_buf {
+        cfg = cfg.trace_spec(spec);
+        // A budget implies tracing; on a single run default the
+        // rendering to the gantt view so the capped trace is shown.
+        if trace.is_none() && sweep.is_none() {
+            trace = Some(TraceFormat::Gantt);
+        }
+    }
     cfg.input = stdin_lines;
 
     if json && json_lines {
@@ -506,13 +543,14 @@ fn run_sweep(artifact: &Compiled, spec: &str, base: RunConfig, opts: SweepOpts) 
         report
     };
     // Cross-backend agreement: interp and vm share the substrate (and
-    // its RNG), so any two ok entries that differ only in that backend
-    // pair must have identical per-PE output — the old
-    // `--backend both` diff, generalized to the whole matrix. The C
-    // backend is exempt: its WHATEVR stream is the stub's own RNG, so
-    // only the equivalence tests (which avoid WHATEVR) pin it.
+    // its RNG), and sim replays the same per-PE RNG stream, so any two
+    // ok entries that differ only in those backends must have
+    // identical per-PE output — the old `--backend both` diff,
+    // generalized to the whole matrix. The C backend is exempt: its
+    // WHATEVR stream is the stub's own RNG, so only the equivalence
+    // tests (which avoid WHATEVR) pin it.
     let mut disagreement = false;
-    let diffable = [Backend::Interp, Backend::Vm];
+    let diffable = [Backend::Interp, Backend::Vm, Backend::Sim];
     for (i, a) in report.entries.iter().enumerate() {
         for b in &report.entries[i + 1..] {
             if a.config.backend != b.config.backend

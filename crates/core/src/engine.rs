@@ -25,9 +25,10 @@
 //! Engines are looked up through an [`EngineRegistry`] rather than a
 //! hardcoded match, so the paper's full three-path pipeline — interpret
 //! ([`InterpEngine`]), run bytecode ([`VmEngine`]), or translate to C
-//! over the SHMEM runtime and execute the binary ([`CEngine`]) — sits
-//! behind one dispatch point, and a future backend slots in without
-//! touching callers. [`engine_for`] consults the process-wide standard
+//! over the SHMEM runtime and execute the binary ([`CEngine`]) — plus
+//! the mega-scale discrete-event simulator ([`SimEngine`]) sit behind
+//! one dispatch point, and a future backend slots in without touching
+//! callers. [`engine_for`] consults the process-wide standard
 //! registry; embedders that want to substitute or extend engines build
 //! their own [`EngineRegistry`].
 
@@ -419,15 +420,56 @@ impl Engine for CEngine {
     }
 }
 
+/// The discrete-event simulation backend (`lol-sim`): the whole SPMD
+/// job runs on one thread, with each PE a resumable VM machine driven
+/// by an event queue. PE counts scale to ~a million, executions are
+/// fully deterministic, and outputs / stats / traces / virtual walls
+/// are byte-identical to the threaded engines on race-free programs.
+///
+/// Timing: the reported [`RunReport::wall`] is the *simulated*
+/// makespan (the maximum final per-PE logical clock), not host time —
+/// the simulator never sleeps, so a heavy latency model "slows" the
+/// run without slowing you. Under [`ClockMode::Virtual`] the same
+/// number also appears as [`RunReport::virtual_wall`], matching the
+/// threaded engines exactly.
+///
+/// Compiles through the VM path, so it rejects `SRS` like [`VmEngine`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimEngine;
+
+impl Engine for SimEngine {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
+        cfg.validate()?;
+        let module = artifact.vm_module()?;
+        let sim = lol_sim::run_module(module, &cfg.shmem(), &cfg.input)
+            .map_err(|e| LolError::Runtime(SpmdError { pe: e.pe, message: e.message }))?;
+        let per_pe = sim
+            .outputs
+            .into_iter()
+            .zip(sim.stats)
+            .zip(sim.traces)
+            .zip(sim.virtual_ns)
+            .map(|(((out, st), tr), vns)| (out, st, tr, vns))
+            .collect();
+        let wall = Duration::from_nanos(sim.makespan_ns);
+        Ok(report(Backend::Sim, per_pe, wall, cfg.clone()))
+    }
+}
+
 // ---------------------------------------------------------------------
 // Engine registry
 // ---------------------------------------------------------------------
 
 /// A table of execution engines, keyed by the [`Backend`] each one
 /// implements. [`EngineRegistry::standard`] holds the three paper
-/// paths (interp / vm / c); [`EngineRegistry::register`] swaps or adds
-/// engines, so an embedder (or a future backend) extends dispatch
-/// without touching every call site.
+/// paths (interp / vm / c) plus the simulator (sim);
+/// [`EngineRegistry::register`] swaps or adds engines, so an embedder
+/// (or a future backend) extends dispatch without touching every call
+/// site.
 pub struct EngineRegistry {
     engines: Vec<Box<dyn Engine>>,
 }
@@ -438,13 +480,14 @@ impl EngineRegistry {
         EngineRegistry { engines: Vec::new() }
     }
 
-    /// The three standard engines: [`InterpEngine`], [`VmEngine`],
-    /// [`CEngine`].
+    /// The four standard engines: [`InterpEngine`], [`VmEngine`],
+    /// [`CEngine`], [`SimEngine`].
     pub fn standard() -> Self {
         let mut reg = Self::new();
         reg.register(Box::new(InterpEngine));
         reg.register(Box::new(VmEngine));
         reg.register(Box::new(CEngine));
+        reg.register(Box::new(SimEngine));
         reg
     }
 
@@ -610,7 +653,7 @@ mod tests {
         let mut reg = EngineRegistry::standard();
         assert!(reg.get(Backend::Interp).unwrap().available());
         reg.register(Box::new(FakeInterp));
-        assert_eq!(reg.backends().len(), 3, "replacement, not duplication");
+        assert_eq!(reg.backends().len(), 4, "replacement, not duplication");
         assert!(!reg.get(Backend::Interp).unwrap().available());
         assert!(reg.get(Backend::Vm).unwrap().available(), "other engines untouched");
     }
@@ -727,6 +770,40 @@ mod tests {
         let artifact = Compiled::new("HAI 1.2\nVISIBLE QUOSHUNT OF 1 AN 0\nKTHXBYE").unwrap();
         match CEngine.run(&artifact, &cfg(1)) {
             Err(LolError::Runtime(se)) => assert!(se.message.contains("RUN0001"), "{se}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_engine_matches_vm_without_threads() {
+        let artifact = Compiled::new(corpus::RING_EXAMPLE).unwrap();
+        let c = cfg(8).clock(ClockMode::Virtual).trace(true);
+        let vm = VmEngine.run(&artifact, &c).unwrap();
+        let sim = SimEngine.run(&artifact, &c).unwrap();
+        assert_eq!(sim.backend, Backend::Sim);
+        assert_eq!(sim.outputs, vm.outputs);
+        assert_eq!(sim.stats, vm.stats);
+        assert_eq!(sim.virtual_wall, vm.virtual_wall);
+        let (st, vt) = (sim.trace.unwrap(), vm.trace.unwrap());
+        assert_eq!(st.signature(), vt.signature());
+        // The sim's wall IS the simulated makespan.
+        assert_eq!(Some(sim.wall), sim.virtual_wall);
+    }
+
+    #[test]
+    fn sim_engine_simulates_latency_instead_of_sleeping() {
+        let artifact = Compiled::new(corpus::RING_EXAMPLE).unwrap();
+        // A full second of per-hop latency: threaded engines would
+        // sleep; the simulator just adds numbers.
+        let heavy = cfg(4).latency(crate::LatencyModel::Uniform { remote_ns: 1_000_000_000 });
+        let t0 = Instant::now();
+        let r = SimEngine.run(&artifact, &heavy).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(1), "sim must not sleep");
+        assert!(r.wall >= Duration::from_secs(1), "but must report the simulated time");
+        // SRS still fails at VM lowering, like the VM engine.
+        let srs = Compiled::new("HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS \"x\"\nKTHXBYE").unwrap();
+        match SimEngine.run(&srs, &cfg(1)) {
+            Err(LolError::Compile(msg)) => assert!(msg.contains("VMC0001"), "{msg}"),
             other => panic!("{other:?}"),
         }
     }

@@ -6,8 +6,10 @@
 //! source ──lex──▶ tokens ──parse──▶ AST ──sema──▶ Compiled artifact
 //!      ├── InterpEngine (tree-walking interpreter, SPMD over lol-shmem)
 //!      ├── VmEngine     (bytecode VM, SPMD over lol-shmem)
-//!      └── CEngine      (emit C + OpenSHMEM — the paper's lcc — then
-//!                        cc + multi-PE SHMEM stub, run as a binary)
+//!      ├── CEngine      (emit C + OpenSHMEM — the paper's lcc — then
+//!      │                 cc + multi-PE SHMEM stub, run as a binary)
+//!      └── SimEngine    (discrete-event simulation via lol-sim — no
+//!                        threads, PE counts to ~1M)
 //! ```
 //!
 //! Engines dispatch through the [`EngineRegistry`] ([`engine_for`]
@@ -86,14 +88,14 @@ pub mod sweep;
 
 pub use engine::{
     engine_for, registry, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, RunReport,
-    VmEngine,
+    SimEngine, VmEngine,
 };
 pub use sweep::{config_key, jsonl_record, parse_jsonl_done, SweepEntry, SweepReport, SweepSpec};
 
 use lol_ast::{Program, SourceMap};
 use lol_sema::Analysis;
 pub use lol_shmem::{BarrierKind, CommStats, LatencyModel, LockKind, ShmemConfig, SpmdError};
-pub use lol_trace::{ClockMode, CommMatrix, EventKind, PeTrace, Trace, TraceEvent};
+pub use lol_trace::{ClockMode, CommMatrix, EventKind, PeTrace, Trace, TraceEvent, TraceSpec};
 use std::time::Duration;
 
 /// Which execution engine runs the program.
@@ -109,11 +111,16 @@ pub enum Backend {
     /// the binary. Unsupported (cleanly) on machines without a C
     /// compiler; ignores latency models.
     C,
+    /// Single-threaded discrete-event simulation of the whole SPMD job
+    /// (`lol-sim`): no OS threads, so PE counts scale to ~1M.
+    /// Deterministic; reports the simulated makespan as its wall time
+    /// and always carries a virtual wall under [`ClockMode::Virtual`].
+    Sim,
 }
 
 impl Backend {
     /// Every backend the standard registry ships, in display order.
-    pub const ALL: [Backend; 3] = [Backend::Interp, Backend::Vm, Backend::C];
+    pub const ALL: [Backend; 4] = [Backend::Interp, Backend::Vm, Backend::C, Backend::Sim];
 }
 
 impl std::fmt::Display for Backend {
@@ -122,6 +129,7 @@ impl std::fmt::Display for Backend {
             Backend::Interp => "interp",
             Backend::Vm => "vm",
             Backend::C => "c",
+            Backend::Sim => "sim",
         })
     }
 }
@@ -134,7 +142,8 @@ impl std::str::FromStr for Backend {
             "interp" => Ok(Backend::Interp),
             "vm" => Ok(Backend::Vm),
             "c" | "cc" | "lcc" => Ok(Backend::C),
-            other => Err(format!("O NOES! backend IZ interp, vm OR c, NOT {other}")),
+            "sim" | "des" => Ok(Backend::Sim),
+            other => Err(format!("O NOES! backend IZ interp, vm, c OR sim, NOT {other}")),
         }
     }
 }
@@ -170,6 +179,12 @@ pub struct RunConfig {
     /// Record communication events; the report carries
     /// [`RunReport::trace`] when set.
     pub trace: bool,
+    /// Optional *global* tracing budget (`<cap>@<stride>`): caps total
+    /// buffered events across the job and samples every `stride`-th
+    /// PE, so tracing survives mega-scale PE counts. `None` keeps the
+    /// substrate's fixed per-PE capacity. Implies nothing unless
+    /// [`RunConfig::trace`] is set.
+    pub trace_spec: Option<TraceSpec>,
 }
 
 impl RunConfig {
@@ -187,6 +202,7 @@ impl RunConfig {
             heap_words: 1 << 16,
             clock: ClockMode::Wall,
             trace: false,
+            trace_spec: None,
         }
     }
 
@@ -257,6 +273,14 @@ impl RunConfig {
         self
     }
 
+    /// Bound tracing with a global budget + PE sampling stride (see
+    /// [`TraceSpec`]); also enables tracing.
+    pub fn trace_spec(mut self, spec: TraceSpec) -> Self {
+        self.trace = true;
+        self.trace_spec = Some(spec);
+        self
+    }
+
     /// Check the configuration before launching: PE count, heap size,
     /// latency-model parameters. Engines call this up front, so a bad
     /// config (e.g. a zero-width mesh) is a [`LolError::Config`]
@@ -267,7 +291,7 @@ impl RunConfig {
 
     /// The substrate configuration this run config implies.
     pub fn shmem(&self) -> ShmemConfig {
-        ShmemConfig::new(self.n_pes)
+        let mut cfg = ShmemConfig::new(self.n_pes)
             .heap_words(self.heap_words)
             .latency(self.latency)
             .barrier(self.barrier)
@@ -275,7 +299,11 @@ impl RunConfig {
             .seed(self.seed)
             .timeout(self.timeout)
             .clock(self.clock)
-            .trace(self.trace)
+            .trace(self.trace);
+        if let Some(spec) = self.trace_spec {
+            cfg = cfg.trace_capacity(spec.per_pe_cap(self.n_pes)).trace_stride(spec.stride);
+        }
+        cfg
     }
 }
 

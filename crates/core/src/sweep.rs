@@ -492,7 +492,11 @@ impl SweepSpec {
     ///
     /// Grammar: semicolon-separated `key=value` clauses —
     ///
-    /// * `pes=1..16` or `pes=1,2,4,8` — PE counts (`a..b` inclusive)
+    /// * `pes=1..16` or `pes=1,2,4,8` — PE counts (`a..b` inclusive).
+    ///   Mega-scale sugar: `k`/`m` suffixes scale by 1024/1048576
+    ///   (`pes=1k,64k,1m`), and `pes=2^0..2^20` expands to the
+    ///   powers of two in the exponent range — the idiomatic spelling
+    ///   of a simulator scaling curve
     /// * `seeds=3` — 3 seeds derived from the base seed;
     ///   `seeds=7,9` or `seeds=0..2` — explicit seed values
     /// * `latency=off,mesh:4,torus:4x4,flat:1000` — latency models
@@ -501,8 +505,12 @@ impl SweepSpec {
     /// * `lock=cas,ticket` — lock algorithms (ablation axis)
     /// * `clock=wall,virtual` — latency clock modes; `virtual` rows
     ///   report deterministic virtual walls
-    /// * `backend=interp,vm,c` — engines to sweep; `both` expands to
-    ///   `interp,vm`, `all` to every registered backend
+    /// * `backend=interp,vm,c,sim` — engines to sweep; `both` expands
+    ///   to `interp,vm`, `all` to every registered backend
+    /// * `trace=65536` or `trace=64k@256` — record communication
+    ///   events under a *global* event budget, sampling every
+    ///   `stride`-th PE (see [`crate::TraceSpec`]); keeps tracing
+    ///   memory-bounded at mega-scale PE counts
     /// * `jobs=4` — worker cap (`0` = auto)
     /// * `threads=8` — global PE-thread budget (`0` = auto: cores)
     ///
@@ -519,7 +527,7 @@ impl SweepSpec {
                 .split_once('=')
                 .ok_or_else(|| format!("O NOES! SWEEP CLAUSE NEEDS key=value, GOT: {clause}"))?;
             match key.trim() {
-                "pes" => out.pes = parse_int_list(value).map_err(|e| format!("pes: {e}"))?,
+                "pes" => out.pes = parse_pe_list(value).map_err(|e| format!("pes: {e}"))?,
                 "seeds" => {
                     let v = value.trim();
                     if !v.contains(',') && !v.contains("..") {
@@ -568,12 +576,17 @@ impl SweepSpec {
                             "all" => backends.extend(Backend::ALL),
                             other => backends.push(other.parse::<Backend>().map_err(|_| {
                                 format!(
-                                    "O NOES! backend IZ interp, vm, c, both OR all, NOT {other}"
+                                    "O NOES! backend IZ interp, vm, c, sim, both OR all, NOT {other}"
                                 )
                             })?),
                         }
                     }
                     out.backends = backends;
+                }
+                "trace" => {
+                    out.base = out.base.trace_spec(
+                        value.trim().parse().map_err(|e: String| format!("trace: {e}"))?,
+                    );
                 }
                 "jobs" => {
                     out.jobs = value
@@ -600,6 +613,78 @@ impl SweepSpec {
 /// readable).
 trait EntryCallback: Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync {}
 impl<T: Fn(usize, &RunConfig, &Result<RunReport, LolError>) + Sync> EntryCallback for T {}
+
+/// One PE-count token with mega-scale suffixes: `64`, `64k` (×1024),
+/// `1m` (×1048576). Overflow is a parse error, never a wrap.
+fn parse_pe_token(tok: &str) -> Result<u64, String> {
+    let tok = tok.trim();
+    let (digits, scale) = match tok.chars().last() {
+        Some('k') | Some('K') => (&tok[..tok.len() - 1], 1024u64),
+        Some('m') | Some('M') => (&tok[..tok.len() - 1], 1024 * 1024),
+        _ => (tok, 1),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("O NOES! {tok} IZ NOT A PE COUNT (try 64, 64k OR 1m)"))?;
+    n.checked_mul(scale).ok_or_else(|| format!("O NOES! {tok} IZ 2 BIG"))
+}
+
+/// Parse the `pes=` axis: comma-separated counts with `k`/`m`
+/// suffixes, inclusive `a..b` ranges, and `2^a..2^b` powers-of-two
+/// ranges (`2^0..2^20` → 1, 2, 4, …, 1048576 — the idiomatic spelling
+/// of a simulator scaling sweep).
+fn parse_pe_list(s: &str) -> Result<Vec<usize>, String> {
+    let to_usize =
+        |v: u64, tok: &str| usize::try_from(v).map_err(|_| format!("O NOES! {tok} IZ 2 BIG"));
+    let mut out = Vec::new();
+    for tok in s.split(',') {
+        let tok = tok.trim();
+        if let Some((lo, hi)) = tok.split_once("..") {
+            let (lo, hi) = (lo.trim(), hi.trim());
+            if lo.starts_with("2^") || hi.starts_with("2^") {
+                let exp = |t: &str| -> Result<u32, String> {
+                    let e: u32 = t
+                        .strip_prefix("2^")
+                        .ok_or_else(|| format!("O NOES! MIXED RANGE {tok} — BOTH ENDS NEED 2^"))?
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("O NOES! {t} IZ NOT A POWER OF 2"))?;
+                    if e >= 64 {
+                        return Err(format!("O NOES! {t} IZ 2 BIG"));
+                    }
+                    Ok(e)
+                };
+                let (lo, hi) = (exp(lo)?, exp(hi)?);
+                if lo > hi {
+                    return Err(format!("O NOES! BACKWARDS RANGE: {tok}"));
+                }
+                for e in lo..=hi {
+                    out.push(to_usize(1u64 << e, tok)?);
+                }
+            } else {
+                let (lo, hi) = (parse_pe_token(lo)?, parse_pe_token(hi)?);
+                if lo > hi {
+                    return Err(format!("O NOES! BACKWARDS RANGE: {tok}"));
+                }
+                if hi - lo >= MAX_AXIS_VALUES {
+                    return Err(format!(
+                        "O NOES! RANGE {tok} HAZ 2 MANY VALUES (MAX {MAX_AXIS_VALUES})"
+                    ));
+                }
+                for v in lo..=hi {
+                    out.push(to_usize(v, tok)?);
+                }
+            }
+        } else {
+            out.push(to_usize(parse_pe_token(tok)?, tok)?);
+        }
+    }
+    if out.is_empty() {
+        return Err("O NOES! EMPTY LIST".to_string());
+    }
+    Ok(out)
+}
 
 /// Parse `1,2,4` / `1..8` / mixtures of both into a list, preserving
 /// order. `a..b` is inclusive on both ends.
@@ -944,11 +1029,13 @@ impl SweepReport {
     /// `x-interp` is the cross-backend column: this backend's
     /// wall-time factor over the interpreter on the identical config
     /// (vm-over-interp, c-over-interp, ... — > 1 = faster than
-    /// interp).
+    /// interp). PE counts above 10,000 render in scientific notation
+    /// (`6.6e4`, `1.0e6`) so mega-scale sim rows keep the columns
+    /// readable.
     pub fn speedup_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
+            "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>5}  {:>10} {:>8} {:>5} {:>8} {:>8}  outcome\n",
             "backend",
             "latency",
             "barrier",
@@ -972,7 +1059,7 @@ impl SweepReport {
                 Ok(r) => {
                     let total = r.total_stats();
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} \
+                        "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>5}  {:>10} {:>8} {:>5} {:>8} \
                          {:>7.1}%  ok\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
@@ -980,7 +1067,7 @@ impl SweepReport {
                         c.lock.to_string(),
                         c.clock.to_string(),
                         c.seed,
-                        c.n_pes,
+                        fmt_pes(c.n_pes),
                         // Virtual rows show their deterministic virtual
                         // wall (the clock column says which is which).
                         format!("{:.1?}", r.effective_wall()),
@@ -1001,7 +1088,7 @@ impl SweepReport {
                         "FAILED"
                     };
                     out.push_str(&format!(
-                        "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>4}  {:>10} {:>8} {:>5} {:>8} \
+                        "{:<7} {:<16} {:<7} {:<6} {:<7} {:>12} {:>5}  {:>10} {:>8} {:>5} {:>8} \
                          {:>8}  {}: {}\n",
                         c.backend.to_string(),
                         c.latency.to_string(),
@@ -1009,7 +1096,7 @@ impl SweepReport {
                         c.lock.to_string(),
                         c.clock.to_string(),
                         c.seed,
-                        c.n_pes,
+                        fmt_pes(c.n_pes),
                         "-",
                         "-",
                         "-",
@@ -1098,6 +1185,17 @@ impl SweepReport {
         }
         out.push_str("\n  ]\n}\n");
         out
+    }
+}
+
+/// PE counts in tables: exact below 10,000, scientific above (`6.6e4`,
+/// `1.0e6`) — a 1M-PE sim row shouldn't blow out the column grid. JSON
+/// serializations always carry the exact number.
+fn fmt_pes(n: usize) -> String {
+    if n > 10_000 {
+        format!("{:.1e}", n as f64)
+    } else {
+        n.to_string()
     }
 }
 
@@ -1460,6 +1558,130 @@ mod tests {
         let all = SweepSpec::parse("backend=all", base()).unwrap();
         assert_eq!(all.backends_requested(), &Backend::ALL);
         assert!(SweepSpec::parse("backend=fortran", base()).is_err());
+    }
+
+    #[test]
+    fn pes_clause_takes_suffixes_and_power_ranges() {
+        // k/m suffixes: 1k = 1024, 1m = 1048576 (binary, like heap
+        // sizes — a 64k sweep is a 65,536-PE sweep).
+        let spec = SweepSpec::parse("pes=4,1k,64K,1m", base()).unwrap();
+        assert_eq!(
+            spec.configs().iter().map(|c| c.n_pes).collect::<Vec<_>>(),
+            vec![4, 1024, 65_536, 1 << 20]
+        );
+        // Powers-of-two ranges expand the exponents.
+        let spec = SweepSpec::parse("pes=2^0..2^6", base()).unwrap();
+        assert_eq!(
+            spec.configs().iter().map(|c| c.n_pes).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16, 32, 64]
+        );
+        // The headline sweep parses (21 configs, well under the cap).
+        assert_eq!(SweepSpec::parse("pes=2^0..2^20", base()).unwrap().configs().len(), 21);
+        // Suffixed range endpoints work too.
+        assert_eq!(SweepSpec::parse("pes=1k..1025", base()).unwrap().configs().len(), 2);
+        // Overflow and junk are parse errors, not wraps or panics.
+        for bad in [
+            "pes=99999999999999999999m", // multiplication overflow
+            "pes=2^64",                  // shift overflow
+            "pes=2^1..2^999",
+            "pes=2^4..16", // mixed range notation
+            "pes=16..2^6", // mixed the other way
+            "pes=2^a..2^b",
+            "pes=4q",
+            "pes=2^3..2^1", // backwards
+        ] {
+            let err = SweepSpec::parse(bad, base()).unwrap_err();
+            assert!(err.contains("O NOES!"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_clause_sets_a_global_budget() {
+        let spec = SweepSpec::parse("pes=4;trace=64k@2", base()).unwrap();
+        let cfg = &spec.configs()[0];
+        assert!(cfg.trace);
+        assert_eq!(cfg.trace_spec, Some(crate::TraceSpec { cap: 65_536, stride: 2 }));
+        // The substrate config divides the budget among sampled PEs.
+        let sh = cfg.shmem();
+        assert_eq!(sh.trace_capacity, 65_536 / 2);
+        assert!(sh.traces_pe(0) && !sh.traces_pe(1) && sh.traces_pe(2));
+        assert!(SweepSpec::parse("trace=0", base()).is_err());
+        assert!(SweepSpec::parse("trace=4k@x", base()).is_err());
+    }
+
+    #[test]
+    fn mega_scale_rows_render_scientifically_and_stably() {
+        // A hand-assembled report (no actual 1M-PE run in a unit
+        // test): one small row, one mega row, sim backend, virtual
+        // clock — pinning both the table formatting and the
+        // byte-stable JSON.
+        let mk = |pes: usize, vns: u64| {
+            let config = base().pes(pes).backend(Backend::Sim).clock(ClockMode::Virtual);
+            let report = RunReport {
+                backend: Backend::Sim,
+                outputs: vec![String::from("HAI\n"); 2],
+                stats: vec![crate::CommStats::default(); 2],
+                wall: Duration::from_nanos(vns),
+                virtual_wall: Some(Duration::from_nanos(vns)),
+                trace: None,
+                config: config.clone(),
+            };
+            SweepEntry {
+                config,
+                result: Ok(report),
+                speedup: None,
+                efficiency: None,
+                vs_interp: None,
+            }
+        };
+        let report = SweepReport {
+            entries: vec![mk(64, 1_500), mk(65_536, 23_000)],
+            jobs: 1,
+            total_wall: Duration::from_millis(1),
+        };
+        let table = report.speedup_table();
+        assert!(table.contains("   64"), "small counts stay exact:\n{table}");
+        assert!(table.contains("6.6e4"), "mega counts go scientific:\n{table}");
+        assert!(!table.contains("65536"), "no raw mega count in the table:\n{table}");
+        // The stable JSON keeps exact numbers and deterministic
+        // virtual walls — byte-for-byte reproducible.
+        let expected = "{\n  \"configs\": 2,\n  \"ok\": 2,\n  \"entries\": [\n    \
+            {\"index\": 0, \"backend\": \"sim\", \"pes\": 64, \"seed\": 206041101, \
+            \"latency\": \"off\", \"barrier\": \"central\", \"lock\": \"cas\", \
+            \"clock\": \"virtual\", \"ok\": true, \"virtual_wall_ns\": 1500, \
+            \"output_hash\": \"7cfcfa1d8ca9ad45\", \"stats\": {\"local_gets\": 0, \
+            \"remote_gets\": 0, \"local_puts\": 0, \"remote_puts\": 0, \
+            \"block_get_words\": 0, \"block_put_words\": 0, \"amos\": 0, \
+            \"barriers_per_pe\": 0, \"lock_acquires\": 0, \"remote_fraction\": 0.0000}},\n    \
+            {\"index\": 1, \"backend\": \"sim\", \"pes\": 65536, \"seed\": 206041101, \
+            \"latency\": \"off\", \"barrier\": \"central\", \"lock\": \"cas\", \
+            \"clock\": \"virtual\", \"ok\": true, \"virtual_wall_ns\": 23000, \
+            \"output_hash\": \"7cfcfa1d8ca9ad45\", \"stats\": {\"local_gets\": 0, \
+            \"remote_gets\": 0, \"local_puts\": 0, \"remote_puts\": 0, \
+            \"block_get_words\": 0, \"block_put_words\": 0, \"amos\": 0, \
+            \"barriers_per_pe\": 0, \"lock_acquires\": 0, \"remote_fraction\": 0.0000}}\n  ]\n}\n";
+        assert_eq!(report.to_json_stable(), expected);
+    }
+
+    #[test]
+    fn sim_backend_sweeps_alongside_the_others() {
+        let artifact = compile(corpus::RING_EXAMPLE).unwrap();
+        let report = SweepSpec::over(base().clock(ClockMode::Virtual))
+            .pes([1, 2, 4])
+            .backends([Backend::Interp, Backend::Vm, Backend::Sim])
+            .run(&artifact);
+        assert!(report.all_ok(), "{}", report.speedup_table());
+        // Same outputs and (deterministic) virtual walls per PE count,
+        // whichever engine ran.
+        for i in 0..3 {
+            let interp = report.entries[i].result.as_ref().unwrap();
+            let vm = report.entries[3 + i].result.as_ref().unwrap();
+            let sim = report.entries[6 + i].result.as_ref().unwrap();
+            assert_eq!(interp.outputs, sim.outputs);
+            assert_eq!(vm.outputs, sim.outputs);
+            assert_eq!(interp.virtual_wall, sim.virtual_wall);
+            assert_eq!(vm.virtual_wall, sim.virtual_wall);
+        }
     }
 
     #[test]

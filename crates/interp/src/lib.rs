@@ -11,6 +11,14 @@
 //! arrays) that the compiled backends reject — exactly the
 //! flexibility/efficiency trade the paper describes between its
 //! interpreter and compiler paths.
+//!
+//! One consequence of tree-walking: a PE's mid-execution state lives
+//! on the Rust call stack, so this engine is inherently
+//! thread-per-PE. The discrete-event engine (`lol-sim`, which
+//! simulates 1k–1M PEs on one thread) instead drives the bytecode
+//! VM's resumable `Machine`, whose state is an explicit heap object
+//! that can park and resume without a stack — the `SRS`-less subset
+//! is the price of mega-scale.
 
 #![forbid(unsafe_code)]
 

@@ -50,6 +50,7 @@ pub mod lock;
 pub mod pad;
 pub mod rng;
 pub mod stats;
+pub mod substrate;
 pub mod world;
 
 pub use barrier::BarrierKind;
@@ -60,6 +61,7 @@ pub use lock::LockKind;
 // crate; re-exported because `ShmemConfig` and `Pe` speak it).
 pub use lol_trace::{ClockMode, EventKind, PeTrace, Trace, TraceBuffer, TraceEvent};
 pub use stats::CommStats;
+pub use substrate::{Progress, Substrate};
 pub use world::{run_spmd, Pe, ShmemConfig, SpmdError, World};
 
 /// Comparison operators for [`Pe::wait_until`] (mirrors

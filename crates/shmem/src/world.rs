@@ -50,6 +50,11 @@ pub struct ShmemConfig {
     /// Per-PE trace buffer bound (events beyond it are counted, not
     /// stored).
     pub trace_capacity: usize,
+    /// Trace-sampling stride: only PEs with `id % trace_stride == 0`
+    /// get real buffers; the rest record nothing but still count every
+    /// event as dropped, so the accounting stays truthful. Mega-scale
+    /// jobs set this so tracing a million PEs doesn't OOM.
+    pub trace_stride: usize,
 }
 
 impl ShmemConfig {
@@ -66,6 +71,7 @@ impl ShmemConfig {
             clock: ClockMode::Wall,
             trace: false,
             trace_capacity: 1 << 16,
+            trace_stride: 1,
         }
     }
 
@@ -122,6 +128,19 @@ impl ShmemConfig {
     pub fn trace_capacity(mut self, cap: usize) -> Self {
         self.trace_capacity = cap;
         self
+    }
+
+    /// Sample traces: give real buffers only to every `stride`-th PE
+    /// (the rest count their events as dropped). A stride of 0 is
+    /// treated as 1 (trace everyone).
+    pub fn trace_stride(mut self, stride: usize) -> Self {
+        self.trace_stride = stride.max(1);
+        self
+    }
+
+    /// Does `pe` get a real trace buffer under the sampling stride?
+    pub fn traces_pe(&self, pe: usize) -> bool {
+        pe.is_multiple_of(self.trace_stride.max(1))
     }
 
     /// Check the whole configuration before a job is built: PE count,
@@ -218,7 +237,10 @@ impl World {
             vclock: Cell::new(0),
             bar_parity: Cell::new(false),
             tracer: RefCell::new(if self.cfg.trace {
-                Some(TraceBuffer::new(id, self.cfg.trace_capacity))
+                // Sampled-out PEs get a zero-capacity buffer: they
+                // record nothing but count every event as dropped.
+                let cap = if self.cfg.traces_pe(id) { self.cfg.trace_capacity } else { 0 };
+                Some(TraceBuffer::new(id, cap))
             } else {
                 None
             }),
@@ -1263,6 +1285,26 @@ mod tests {
         for t in traces {
             assert_eq!(t.events.len(), 3);
             assert_eq!(t.dropped, 7);
+        }
+    }
+
+    #[test]
+    fn trace_stride_samples_pes_but_counts_drops() {
+        let traces = run_spmd(cfg(4).trace(true).trace_stride(2), |pe| {
+            let a = pe.shmalloc(1);
+            let other = (pe.id() + 1) % pe.n_pes();
+            pe.put_i64(a, other, 1);
+            pe.take_trace().unwrap()
+        })
+        .unwrap();
+        for (id, t) in traces.iter().enumerate() {
+            if id % 2 == 0 {
+                assert_eq!(t.events.len(), 1, "sampled PE {id} records its event");
+                assert_eq!(t.dropped, 0);
+            } else {
+                assert!(t.events.is_empty(), "sampled-out PE {id} stores nothing");
+                assert_eq!(t.dropped, 1, "…but still counts the event as dropped");
+            }
         }
     }
 

@@ -1,0 +1,863 @@
+//! # lol-sim — a discrete-event mega-scale engine for parallel LOLCODE
+//!
+//! Every other backend is thread-per-PE, so `n_pes` is capped by what
+//! the host OS can schedule — a few thousand at best. The paper's
+//! headline artifact is *scaling figures*, and TOP500-scale machines
+//! have millions of cores. This crate closes that gap: it executes an
+//! SPMD job as a **single-threaded discrete-event simulation**, so a
+//! million-PE sweep fits on a laptop.
+//!
+//! ## How it works
+//!
+//! Each PE is a resumable [`lol_vm::Machine`] (no OS thread, no stack).
+//! The engine pops the next event `(t_ns, tie, pe)` off a binary heap
+//! and resumes that PE's machine, which runs until it would block — at
+//! an allocation fence, an explicit barrier, or a contended lock (the
+//! only three blocking points; see `lol_shmem::substrate`). The
+//! substrate parks the PE, remembers why, and schedules wake-ups when
+//! the blocking condition resolves: the last PE into a barrier wakes
+//! everyone at the synchronized clock, a lock release wakes the next
+//! waiter in deterministic FIFO (or ticket) order.
+//!
+//! Time is the same per-PE *logical clock* the threaded world uses
+//! under `ClockMode::Virtual`: each remote access advances the issuing
+//! PE's clock by the latency model's delay plus `VIRT_OP_NS`, barriers
+//! synchronize clocks to their maximum (explicit ones add
+//! `VIRT_BARRIER_NS`), and waiting never advances a clock. Because a
+//! PE's clock is a pure function of its own operation sequence, the
+//! simulator reproduces the threaded engines' virtual walls, outputs,
+//! `CommStats` and trace event streams byte-for-byte on data-race-free
+//! programs — the equivalence tests pin this.
+//!
+//! ## Determinism
+//!
+//! Events at equal time are ordered by a tie-break key (PE id by
+//! default, pinned by tests). For race-free programs *any* tie-break
+//! order yields identical outputs and virtual walls — see
+//! [`run_module_with_order`] and the property tests — so the canonical
+//! order is a presentation choice, not a semantic one.
+//!
+//! ## Memory
+//!
+//! State is bounded by *live* per-PE data, not stacks or heap
+//! reservations: symmetric heaps are plain `Vec<u64>`s grown lazily to
+//! the allocation cursor (the configured `heap_words` stays the
+//! diagnostic bound, exactly like the threaded world's `RUN0111`), and
+//! a fresh machine is a few empty `Vec`s. A million idle PEs cost on
+//! the order of a hundred bytes each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lol_shmem::substrate::{Progress, Substrate};
+use lol_shmem::{CommStats, LockKind, PeTrace, ShmemConfig, SpmdError, SymAddr, TraceBuffer};
+use lol_trace::{EventKind, VIRT_BARRIER_NS, VIRT_OP_NS};
+use lol_vm::machine::{Machine, Step};
+use lol_vm::Module;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lol_shmem::rng::PeRng;
+
+/// Owner-word encoding shared with the threaded lock implementation:
+/// 0 = free, `pe + 1` = held by `pe`.
+#[inline]
+fn encode(pe: usize) -> u64 {
+    pe as u64 + 1
+}
+
+/// Why a PE is not currently runnable (or how its pending call ended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    /// Runnable; no substrate call outstanding.
+    Run,
+    /// Parked inside a barrier episode (explicit or allocation fence).
+    BarrierWait,
+    /// The episode completed; the next re-issued call consumes this.
+    BarrierDone,
+    /// Parked on a lock waiter queue.
+    LockWait,
+    /// The lock was granted; the re-issued `lock` call consumes this.
+    LockDone,
+}
+
+/// One PE's simulation-side state (the machine itself lives with the
+/// event loop).
+struct PeState {
+    vclock: u64,
+    stats: CommStats,
+    rng: PeRng,
+    tracer: Option<TraceBuffer>,
+    block: Block,
+    /// Offset claimed by an in-flight `shmalloc`, held across its
+    /// allocation fence.
+    pending_alloc: Option<u32>,
+    alloc_seq: usize,
+}
+
+/// PEs waiting on one lock instance, in arrival order; ticket-lock
+/// waiters carry their ticket so releases can grant by serving order.
+type LockQueue = VecDeque<(usize, Option<u64>)>;
+
+/// Mutable world state shared by all PEs (single-threaded, so one
+/// `RefCell` suffices).
+struct SimState {
+    heap_words: usize,
+    /// Per-PE symmetric heaps, grown lazily on first touch.
+    heaps: Vec<Vec<u64>>,
+    /// Shared symmetric allocation cursor (identical on every PE).
+    cursor: usize,
+    /// Collective-allocation validation: words requested per call
+    /// index, plus the offset each call resolved to.
+    alloc_log: Vec<u32>,
+    alloc_offsets: Vec<u32>,
+    /// PEs parked in the current barrier episode, in arrival order.
+    bar_arrived: Vec<usize>,
+    bar_explicit: bool,
+    /// FIFO waiter queues per lock instance `(owner_pe, word_offset)`;
+    /// ticket-lock waiters carry their ticket.
+    lock_waiters: HashMap<(usize, u32), LockQueue>,
+    pes: Vec<PeState>,
+    /// Wake-ups scheduled during the current resume, drained into the
+    /// event queue by the engine after each step.
+    wakes: Vec<(u64, usize)>,
+}
+
+impl SimState {
+    /// The heap word at `target`'s instance of `addr`, growing the
+    /// heap to the allocation cursor on first touch. Panics with the
+    /// same `RUN0100` diagnostic as the threaded heap on addresses
+    /// beyond the configured bound.
+    fn word(&mut self, target: usize, addr: SymAddr) -> &mut u64 {
+        let idx = addr.index();
+        if idx >= self.heap_words {
+            panic!(
+                "O NOES! [RUN0100] SYMMETRIC ADDRESS {} IZ OUTSIDE DA HEAP ({} WORDS)",
+                addr.0, self.heap_words
+            );
+        }
+        let need = self.cursor.max(idx + 1);
+        let h = &mut self.heaps[target];
+        if h.len() < need {
+            h.resize(need, 0);
+        }
+        &mut h[idx]
+    }
+
+    /// One acquisition attempt for a *blocking* lock; on failure the
+    /// PE is enqueued as a waiter. Mirrors the threaded algorithms:
+    /// ticket acquirers always take a ticket, CAS acquirers just look
+    /// at the owner word.
+    fn blocking_acquire(
+        &mut self,
+        kind: LockKind,
+        me: usize,
+        target: usize,
+        addr: SymAddr,
+    ) -> bool {
+        match kind {
+            LockKind::SpinCas => {
+                if *self.word(target, addr) == 0 {
+                    *self.word(target, addr) = encode(me);
+                    true
+                } else {
+                    self.lock_waiters.entry((target, addr.0)).or_default().push_back((me, None));
+                    false
+                }
+            }
+            LockKind::Ticket => {
+                let t = *self.word(target, addr.offset(1));
+                *self.word(target, addr.offset(1)) = t + 1;
+                if *self.word(target, addr.offset(2)) == t {
+                    *self.word(target, addr) = encode(me);
+                    true
+                } else {
+                    self.lock_waiters.entry((target, addr.0)).or_default().push_back((me, Some(t)));
+                    false
+                }
+            }
+        }
+    }
+
+    /// Trylock: succeeds only when the lock is immediately available
+    /// (a ticket trylock refuses to queue, like the threaded one).
+    fn try_acquire(&mut self, kind: LockKind, me: usize, target: usize, addr: SymAddr) -> bool {
+        match kind {
+            LockKind::SpinCas => {
+                if *self.word(target, addr) == 0 {
+                    *self.word(target, addr) = encode(me);
+                    true
+                } else {
+                    false
+                }
+            }
+            LockKind::Ticket => {
+                let next = *self.word(target, addr.offset(1));
+                let serving = *self.word(target, addr.offset(2));
+                if next == serving {
+                    *self.word(target, addr.offset(1)) = next + 1;
+                    *self.word(target, addr) = encode(me);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Release, with the threaded world's `RUN0180`/`RUN0181`
+    /// diagnostics; returns the PE the lock was handed to, if any.
+    fn release(
+        &mut self,
+        kind: LockKind,
+        me: usize,
+        target: usize,
+        addr: SymAddr,
+    ) -> Option<usize> {
+        let holder = *self.word(target, addr);
+        if holder != encode(me) {
+            if holder == 0 {
+                panic!("O NOES! [RUN0180] PE {me} DID DUN MESIN WIF BUT NOBODY WUZ MESIN WIF IT");
+            }
+            panic!(
+                "O NOES! [RUN0181] PE {me} TRIED TO DUN MESIN WIF A LOCK HELD BY PE {}",
+                holder - 1
+            );
+        }
+        *self.word(target, addr) = 0;
+        match kind {
+            LockKind::SpinCas => {
+                let g = self.lock_waiters.get_mut(&(target, addr.0)).and_then(|q| q.pop_front());
+                if let Some((g, _)) = g {
+                    *self.word(target, addr) = encode(g);
+                    return Some(g);
+                }
+                None
+            }
+            LockKind::Ticket => {
+                let serving = *self.word(target, addr.offset(2)) + 1;
+                *self.word(target, addr.offset(2)) = serving;
+                let g = self.lock_waiters.get_mut(&(target, addr.0)).and_then(|q| {
+                    // serving - 1 is the ticket now being served (the
+                    // counter we just advanced past was the holder's).
+                    q.iter()
+                        .position(|&(_, t)| t == Some(serving - 1))
+                        .and_then(|pos| q.remove(pos))
+                });
+                if let Some((g, _)) = g {
+                    *self.word(target, addr) = encode(g);
+                    return Some(g);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// The simulated job: configuration plus all mutable state.
+struct SimWorld {
+    cfg: ShmemConfig,
+    state: RefCell<SimState>,
+}
+
+impl SimWorld {
+    fn new(cfg: &ShmemConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
+        let pes = (0..cfg.n_pes)
+            .map(|id| PeState {
+                vclock: 0,
+                stats: CommStats::default(),
+                rng: PeRng::seed_from_u64(
+                    cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                tracer: if cfg.trace {
+                    // Sampled-out PEs keep a zero-capacity buffer so
+                    // their events are still *counted* as dropped.
+                    let cap = if cfg.traces_pe(id) { cfg.trace_capacity } else { 0 };
+                    Some(TraceBuffer::new(id, cap))
+                } else {
+                    None
+                },
+                block: Block::Run,
+                pending_alloc: None,
+                alloc_seq: 0,
+            })
+            .collect();
+        SimWorld {
+            state: RefCell::new(SimState {
+                heap_words: cfg.heap_words,
+                heaps: (0..cfg.n_pes).map(|_| Vec::new()).collect(),
+                cursor: 0,
+                alloc_log: Vec::new(),
+                alloc_offsets: Vec::new(),
+                bar_arrived: Vec::new(),
+                bar_explicit: false,
+                lock_waiters: HashMap::new(),
+                pes,
+                wakes: Vec::new(),
+            }),
+            cfg: cfg.clone(),
+        }
+    }
+}
+
+/// One PE's non-blocking substrate handle into the simulated world.
+struct SimPe<'w> {
+    world: &'w SimWorld,
+    id: usize,
+}
+
+impl SimPe<'_> {
+    /// Advance this PE's logical clock for touching `target` — the
+    /// exact accounting rule of the threaded world's virtual mode.
+    /// The simulator always accounts on the logical clock (event
+    /// ordering needs it); under `ClockMode::Wall` the engine reports
+    /// the resulting makespan as the simulated wall time.
+    fn charge(&self, st: &mut SimState, target: usize) {
+        if target != self.id {
+            let delay = self.world.cfg.latency.delay_ns(self.id, target);
+            let pe = &mut st.pes[self.id];
+            pe.vclock += delay + VIRT_OP_NS;
+        }
+    }
+
+    fn trace(&self, st: &mut SimState, kind: EventKind, peer: usize, addr: SymAddr, bytes: u32) {
+        let now = st.pes[self.id].vclock;
+        if let Some(buf) = st.pes[self.id].tracer.as_mut() {
+            buf.record(kind, peer, addr.0, bytes, now);
+        }
+    }
+
+    /// Join the current barrier episode. Returns true when this PE was
+    /// the last arriver (the episode completed inline); otherwise the
+    /// PE is parked and will be woken at the synchronized clock.
+    fn enter_barrier(&self, st: &mut SimState, explicit: bool) -> bool {
+        st.pes[self.id].stats.barriers += 1;
+        if st.bar_arrived.is_empty() {
+            st.bar_explicit = explicit;
+        }
+        debug_assert_eq!(
+            st.bar_explicit, explicit,
+            "SPMD programs cannot mix barrier kinds within one episode"
+        );
+        st.bar_arrived.push(self.id);
+        if st.bar_arrived.len() == self.world.cfg.n_pes {
+            let arrived = std::mem::take(&mut st.bar_arrived);
+            let sync = arrived.iter().map(|&p| st.pes[p].vclock).max().unwrap_or(0)
+                + if st.bar_explicit { VIRT_BARRIER_NS } else { 0 };
+            for p in arrived {
+                st.pes[p].vclock = sync;
+                if p != self.id {
+                    st.pes[p].block = Block::BarrierDone;
+                    st.wakes.push((sync, p));
+                }
+            }
+            true
+        } else {
+            st.pes[self.id].block = Block::BarrierWait;
+            false
+        }
+    }
+}
+
+impl Substrate for SimPe<'_> {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn n_pes(&self) -> usize {
+        self.world.cfg.n_pes
+    }
+
+    fn shmalloc(&self, words: usize) -> Progress<SymAddr> {
+        let mut st = self.world.state.borrow_mut();
+        if st.pes[self.id].block == Block::BarrierDone {
+            // Re-issued after the allocation fence released us.
+            st.pes[self.id].block = Block::Run;
+            let off = st.pes[self.id].pending_alloc.take().expect("fence without pending offset");
+            return Progress::Ready(SymAddr(off));
+        }
+        // First attempt: validate the collective call, claim the
+        // offset, then enter the allocation fence (counted in the
+        // barrier stats, untraced, free in virtual time — identical to
+        // the threaded world).
+        let seq = st.pes[self.id].alloc_seq;
+        if let Some(&prev) = st.alloc_log.get(seq) {
+            if prev as usize != words {
+                panic!(
+                    "O NOES! [RUN0110] COLLECTIVE ALLOCASHUN MISMATCH AT CALL #{seq}: \
+                     PE {} WANTS {words} WORDS BUT DA JOB ALREADY AGREED ON {prev}",
+                    self.id
+                );
+            }
+        } else {
+            st.alloc_log.push(words as u32);
+        }
+        st.pes[self.id].alloc_seq = seq + 1;
+        let offset = if let Some(&off) = st.alloc_offsets.get(seq) {
+            off
+        } else {
+            let off = st.cursor;
+            let end = off + words;
+            if end > self.world.cfg.heap_words {
+                panic!(
+                    "O NOES! [RUN0111] NOT ENUF SYMMETRIC HEAP: PE {} NEEDS {end} WORDS \
+                     BUT ONLY HAS {} (GROW heap_words)",
+                    self.id, self.world.cfg.heap_words
+                );
+            }
+            st.cursor = end;
+            st.alloc_offsets.push(off as u32);
+            off as u32
+        };
+        st.pes[self.id].pending_alloc = Some(offset);
+        if self.enter_barrier(&mut st, false) {
+            st.pes[self.id].block = Block::Run;
+            let off = st.pes[self.id].pending_alloc.take().expect("pending offset");
+            Progress::Ready(SymAddr(off))
+        } else {
+            Progress::Pending
+        }
+    }
+
+    fn put_u64(&self, addr: SymAddr, target: usize, value: u64) {
+        let mut st = self.world.state.borrow_mut();
+        let pe = &mut st.pes[self.id];
+        if target == self.id {
+            pe.stats.local_puts += 1;
+        } else {
+            pe.stats.remote_puts += 1;
+        }
+        self.charge(&mut st, target);
+        *st.word(target, addr) = value;
+        if target != self.id {
+            self.trace(&mut st, EventKind::Put, target, addr, 8);
+        }
+    }
+
+    fn get_u64(&self, addr: SymAddr, target: usize) -> u64 {
+        let mut st = self.world.state.borrow_mut();
+        let pe = &mut st.pes[self.id];
+        if target == self.id {
+            pe.stats.local_gets += 1;
+        } else {
+            pe.stats.remote_gets += 1;
+        }
+        self.charge(&mut st, target);
+        let v = *st.word(target, addr);
+        if target != self.id {
+            self.trace(&mut st, EventKind::Get, target, addr, 8);
+        }
+        v
+    }
+
+    fn barrier(&self) -> Progress<()> {
+        let mut st = self.world.state.borrow_mut();
+        if st.pes[self.id].block == Block::BarrierDone {
+            st.pes[self.id].block = Block::Run;
+            self.trace(&mut st, EventKind::BarrierExit, self.id, SymAddr(0), 0);
+            return Progress::Ready(());
+        }
+        self.trace(&mut st, EventKind::BarrierEnter, self.id, SymAddr(0), 0);
+        if self.enter_barrier(&mut st, true) {
+            self.trace(&mut st, EventKind::BarrierExit, self.id, SymAddr(0), 0);
+            Progress::Ready(())
+        } else {
+            Progress::Pending
+        }
+    }
+
+    fn lock(&self, addr: SymAddr, target: usize) -> Progress<()> {
+        let mut st = self.world.state.borrow_mut();
+        if st.pes[self.id].block == Block::LockDone {
+            // Granted while parked; the clock does not advance while
+            // waiting (same as the threaded virtual accounting).
+            st.pes[self.id].block = Block::Run;
+            self.trace(&mut st, EventKind::LockAcquire, target, addr, 0);
+            return Progress::Ready(());
+        }
+        st.pes[self.id].stats.lock_acquires += 1;
+        self.charge(&mut st, target);
+        if st.blocking_acquire(self.world.cfg.lock, self.id, target, addr) {
+            self.trace(&mut st, EventKind::LockAcquire, target, addr, 0);
+            Progress::Ready(())
+        } else {
+            st.pes[self.id].block = Block::LockWait;
+            Progress::Pending
+        }
+    }
+
+    fn try_lock(&self, addr: SymAddr, target: usize) -> bool {
+        let mut st = self.world.state.borrow_mut();
+        st.pes[self.id].stats.lock_tries += 1;
+        self.charge(&mut st, target);
+        let got = st.try_acquire(self.world.cfg.lock, self.id, target, addr);
+        self.trace(&mut st, EventKind::LockTry, target, addr, got as u32);
+        got
+    }
+
+    fn unlock(&self, addr: SymAddr, target: usize) {
+        let mut st = self.world.state.borrow_mut();
+        st.pes[self.id].stats.lock_releases += 1;
+        self.charge(&mut st, target);
+        if let Some(g) = st.release(self.world.cfg.lock, self.id, target, addr) {
+            st.pes[g].block = Block::LockDone;
+            // The grantee resumes at the hand-off, but its own clock
+            // is untouched — waiting is free in virtual time.
+            let t = st.pes[g].vclock.max(st.pes[self.id].vclock);
+            st.wakes.push((t, g));
+        }
+        self.trace(&mut st, EventKind::LockRelease, target, addr, 0);
+    }
+
+    fn rand_i64(&self) -> i64 {
+        let mut st = self.world.state.borrow_mut();
+        st.pes[self.id].rng.gen_i64_below(1i64 << 31)
+    }
+
+    fn rand_f64(&self) -> f64 {
+        let mut st = self.world.state.borrow_mut();
+        st.pes[self.id].rng.gen_unit_f64()
+    }
+}
+
+/// Everything a finished simulation knows, in PE order.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Captured `VISIBLE` output per PE.
+    pub outputs: Vec<String>,
+    /// Communication statistics per PE.
+    pub stats: Vec<CommStats>,
+    /// Trace streams per PE (empty `None`s when tracing is off).
+    pub traces: Vec<Option<PeTrace>>,
+    /// Final logical clock per PE.
+    pub virtual_ns: Vec<u64>,
+    /// The job's simulated makespan (maximum final clock).
+    pub makespan_ns: u64,
+    /// Discrete events processed (diagnostics: resume segments).
+    pub events: u64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "PE panicked with a non-string payload".to_string()
+    }
+}
+
+/// Run `module` on `cfg.n_pes` simulated PEs with the canonical
+/// tie-break order (PE id).
+pub fn run_module(
+    module: &Module,
+    cfg: &ShmemConfig,
+    input: &[String],
+) -> Result<SimReport, SpmdError> {
+    run_module_with_order(module, cfg, input, &|pe| pe as u64)
+}
+
+/// Like [`run_module`], with a custom tie-break key for events at
+/// equal `t_ns`. Exists for the determinism property tests: on
+/// race-free programs every order function yields identical outputs
+/// and virtual walls.
+pub fn run_module_with_order(
+    module: &Module,
+    cfg: &ShmemConfig,
+    input: &[String],
+    order: &dyn Fn(usize) -> u64,
+) -> Result<SimReport, SpmdError> {
+    let world = SimWorld::new(cfg);
+    let n = cfg.n_pes;
+    let mut machines: Vec<Machine<'_>> = (0..n).map(|_| Machine::new(module, input)).collect();
+    let mut outputs = vec![String::new(); n];
+    let mut done = vec![false; n];
+    let mut n_done = 0usize;
+    let mut events = 0u64;
+    // Min-heap over (t_ns, tie, pe): `Reverse` flips the max-heap.
+    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> =
+        (0..n).map(|pe| Reverse((0u64, order(pe), pe))).collect();
+    while let Some(Reverse((_, _, pe))) = queue.pop() {
+        events += 1;
+        let sub = SimPe { world: &world, id: pe };
+        let machine = &mut machines[pe];
+        let step = catch_unwind(AssertUnwindSafe(|| machine.resume(&sub)));
+        match step {
+            Err(payload) => {
+                // Substrate diagnostics (heap bounds, allocation
+                // mismatch, lock misuse) panic exactly like the
+                // threaded world; the first one aborts the job.
+                return Err(SpmdError { pe, message: panic_message(payload) });
+            }
+            Ok(Err(e)) => return Err(SpmdError { pe, message: e.to_string() }),
+            Ok(Ok(Step::Done)) => {
+                outputs[pe] = machines[pe].take_output();
+                done[pe] = true;
+                n_done += 1;
+            }
+            Ok(Ok(Step::Blocked)) => {
+                debug_assert_ne!(
+                    world.state.borrow().pes[pe].block,
+                    Block::Run,
+                    "machine blocked but the substrate did not park PE {pe}"
+                );
+            }
+        }
+        let mut st = world.state.borrow_mut();
+        for (t, p) in st.wakes.drain(..) {
+            queue.push(Reverse((t, order(p), p)));
+        }
+    }
+    if n_done < n {
+        // The queue drained with parked PEs left: a deadlock, detected
+        // *exactly* instead of by the threaded world's watchdog — one
+        // of the perks of simulation.
+        let st = world.state.borrow();
+        let pe = (0..n).find(|&p| !done[p]).expect("some PE is unfinished");
+        let what = match st.pes[pe].block {
+            Block::LockWait | Block::LockDone => "IM SRSLY MESIN WIF (lock)",
+            _ => "HUGZ (barrier)",
+        };
+        return Err(SpmdError {
+            pe,
+            message: format!(
+                "O NOES! [RUN0191] PE {pe} WAITED 2 LONG AT {what} — SUM PE NEVER SHOWED UP \
+                 (DEADLOCK?)"
+            ),
+        });
+    }
+    let mut st = world.state.borrow_mut();
+    let stats: Vec<CommStats> = st.pes.iter().map(|p| p.stats).collect();
+    let virtual_ns: Vec<u64> = st.pes.iter().map(|p| p.vclock).collect();
+    let makespan_ns = virtual_ns.iter().copied().max().unwrap_or(0);
+    let traces: Vec<Option<PeTrace>> = st
+        .pes
+        .iter_mut()
+        .map(|p| {
+            let end = p.vclock;
+            p.tracer.take().map(|buf| buf.finish(end))
+        })
+        .collect();
+    Ok(SimReport { outputs, stats, traces, virtual_ns, makespan_ns, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lol_ast::{BinOp, LolType};
+    use lol_interp::Value;
+    use lol_shmem::{run_spmd, ClockMode, LatencyModel};
+    use lol_vm::ops::{Chunk, Op};
+
+    fn cfg(n: usize) -> ShmemConfig {
+        ShmemConfig::new(n).clock(ClockMode::Virtual)
+    }
+
+    /// Hand-assembled ring exchange: every PE puts `me * 100` to its
+    /// right neighbour, barriers, prints what landed.
+    fn ring_module() -> Module {
+        Module {
+            consts: vec![Value::Numbr(1), Value::Numbr(100)],
+            main: Chunk {
+                code: vec![
+                    Op::Me,
+                    Op::Const(0),
+                    Op::Bin(BinOp::Sum),
+                    Op::MahFrenz,
+                    Op::Bin(BinOp::Mod),
+                    Op::PushBff,
+                    Op::Me,
+                    Op::Const(1),
+                    Op::Bin(BinOp::Produkt),
+                    Op::SharedStore { off: 0, ty: LolType::Numbr, remote: true },
+                    Op::PopBff,
+                    Op::Barrier,
+                    Op::SharedLoad { off: 0, ty: LolType::Numbr, remote: false },
+                    Op::Visible { argc: 1, newline: true },
+                    Op::Halt,
+                ],
+                n_slots: 1,
+            },
+            funcs: vec![],
+            shared_words: 1,
+        }
+    }
+
+    /// Hand-assembled lock counter: every PE locks PE 0's lock cell
+    /// (words 0..3), bumps the counter at word 3, then prints it after
+    /// a barrier.
+    fn lock_module() -> Module {
+        Module {
+            consts: vec![Value::Numbr(0), Value::Numbr(1)],
+            main: Chunk {
+                code: vec![
+                    Op::Const(0),
+                    Op::PushBff,
+                    Op::LockAcquire { off: 0, remote: true },
+                    Op::SharedLoad { off: 3, ty: LolType::Numbr, remote: true },
+                    Op::Const(1),
+                    Op::Bin(BinOp::Sum),
+                    Op::SharedStore { off: 3, ty: LolType::Numbr, remote: true },
+                    Op::LockRelease { off: 0, remote: true },
+                    Op::PopBff,
+                    Op::Barrier,
+                    Op::Const(0),
+                    Op::PushBff,
+                    Op::SharedLoad { off: 3, ty: LolType::Numbr, remote: true },
+                    Op::PopBff,
+                    Op::Visible { argc: 1, newline: true },
+                    Op::Halt,
+                ],
+                n_slots: 1,
+            },
+            funcs: vec![],
+            shared_words: 4,
+        }
+    }
+
+    /// Threaded reference run of the same module, collecting the same
+    /// observables.
+    fn threaded(module: &Module, cfg: ShmemConfig) -> (Vec<String>, Vec<CommStats>, Vec<u64>) {
+        let r = run_spmd(cfg, |pe| {
+            let out = lol_vm::run_on_pe(module, pe, &[]).unwrap();
+            (out, pe.stats(), pe.virtual_ns())
+        })
+        .unwrap();
+        let mut outs = Vec::new();
+        let mut stats = Vec::new();
+        let mut clocks = Vec::new();
+        for (o, s, c) in r {
+            outs.push(o);
+            stats.push(s);
+            clocks.push(c);
+        }
+        (outs, stats, clocks)
+    }
+
+    #[test]
+    fn ring_matches_threaded_vm_exactly() {
+        let m = ring_module();
+        let c = cfg(8).latency(LatencyModel::Uniform { remote_ns: 1000 });
+        let sim = run_module(&m, &c, &[]).unwrap();
+        let (outs, stats, clocks) = threaded(&m, c);
+        assert_eq!(sim.outputs, outs);
+        assert_eq!(sim.stats, stats);
+        assert_eq!(sim.virtual_ns, clocks);
+        assert_eq!(sim.outputs[0], "700\n");
+        assert_eq!(sim.makespan_ns, 1000 + VIRT_OP_NS + VIRT_BARRIER_NS);
+    }
+
+    #[test]
+    fn lock_counter_matches_threaded_vm_for_both_kinds() {
+        for kind in LockKind::ALL {
+            let m = lock_module();
+            let c = cfg(4).lock(kind).latency(LatencyModel::epiphany16());
+            let sim = run_module(&m, &c, &[]).unwrap();
+            let (outs, stats, clocks) = threaded(&m, c);
+            assert_eq!(sim.outputs, outs, "{kind:?}");
+            assert_eq!(sim.stats, stats, "{kind:?}");
+            assert_eq!(sim.virtual_ns, clocks, "{kind:?}");
+            assert_eq!(sim.outputs[3], "4\n");
+        }
+    }
+
+    #[test]
+    fn traces_match_threaded_signatures() {
+        let m = ring_module();
+        let c = cfg(4).trace(true);
+        let sim = run_module(&m, &c, &[]).unwrap();
+        let threaded_traces = run_spmd(c, |pe| {
+            lol_vm::run_on_pe(&m, pe, &[]).unwrap();
+            pe.take_trace().unwrap()
+        })
+        .unwrap();
+        for (s, t) in sim.traces.iter().zip(&threaded_traces) {
+            assert_eq!(s.as_ref().unwrap().signature(), t.signature());
+        }
+    }
+
+    #[test]
+    fn any_tie_break_order_is_equivalent() {
+        let m = lock_module();
+        let c = cfg(6).latency(LatencyModel::Uniform { remote_ns: 700 });
+        let canonical = run_module(&m, &c, &[]).unwrap();
+        let orders: [&dyn Fn(usize) -> u64; 3] =
+            [&|pe| 1000 - pe as u64, &|pe| (pe as u64).wrapping_mul(0x9E37_79B9) & 0xFFFF, &|_| 0];
+        for (i, order) in orders.iter().enumerate() {
+            let r = run_module_with_order(&m, &c, &[], order).unwrap();
+            assert_eq!(r.outputs, canonical.outputs, "order {i}");
+            assert_eq!(r.virtual_ns, canonical.virtual_ns, "order {i}");
+            assert_eq!(r.makespan_ns, canonical.makespan_ns, "order {i}");
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_exactly() {
+        // PE 0 skips the barrier (its falsy id jumps over it).
+        let m = Module {
+            consts: vec![],
+            main: Chunk {
+                code: vec![Op::Me, Op::JumpIfFalse(3), Op::Barrier, Op::Halt],
+                n_slots: 1,
+            },
+            funcs: vec![],
+            shared_words: 0,
+        };
+        let err = run_module(&m, &cfg(3), &[]).unwrap_err();
+        assert!(err.message.contains("RUN0191"), "{}", err.message);
+        assert!(err.message.contains("HUGZ"), "{}", err.message);
+    }
+
+    #[test]
+    fn lock_misuse_is_diagnosed_like_the_threaded_world() {
+        let m = Module {
+            consts: vec![],
+            main: Chunk {
+                code: vec![Op::LockRelease { off: 0, remote: false }, Op::Halt],
+                n_slots: 1,
+            },
+            funcs: vec![],
+            shared_words: 3,
+        };
+        let err = run_module(&m, &cfg(2), &[]).unwrap_err();
+        assert!(err.message.contains("RUN0180"), "{}", err.message);
+    }
+
+    #[test]
+    fn mega_scale_65536_pes() {
+        let n = 65_536;
+        let m = ring_module();
+        let sim = run_module(&m, &cfg(n), &[]).unwrap();
+        assert_eq!(sim.outputs.len(), n);
+        assert_eq!(sim.outputs[0], format!("{}\n", (n - 1) * 100));
+        assert_eq!(sim.outputs[n - 1], format!("{}\n", (n - 2) * 100));
+        // Off-latency: one remote put (1ns) then the explicit barrier.
+        assert_eq!(sim.makespan_ns, VIRT_OP_NS + VIRT_BARRIER_NS);
+        // Three segments per PE (start→fence, fence→barrier, →done),
+        // minus one per barrier episode: the last arriver continues
+        // inline within its own event.
+        assert_eq!(sim.events, 3 * n as u64 - 2);
+    }
+
+    /// The headline scale: 2^20 > 1,000,000 PEs on one thread. Run
+    /// with `cargo test --release -p lol-sim -- --ignored`.
+    #[test]
+    #[ignore = "release-mode mega-scale run (~1M PEs)"]
+    fn mega_scale_one_million_pes() {
+        let n = 1 << 20;
+        let m = ring_module();
+        let sim = run_module(&m, &cfg(n), &[]).unwrap();
+        assert_eq!(sim.outputs.len(), n);
+        for pe in [0usize, 1, n / 2, n - 1] {
+            let left = (pe + n - 1) % n;
+            assert_eq!(sim.outputs[pe], format!("{}\n", left * 100), "PE {pe}");
+        }
+        assert_eq!(sim.makespan_ns, VIRT_OP_NS + VIRT_BARRIER_NS);
+        assert_eq!(sim.events, 3 * n as u64 - 2);
+    }
+}

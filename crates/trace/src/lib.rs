@@ -253,6 +253,95 @@ impl TraceBuffer {
     }
 }
 
+/// A *global* tracing budget: at most `cap` buffered events across the
+/// whole job, sampled from every `stride`-th PE. This is what makes
+/// tracing survive mega-scale runs — a fixed per-PE buffer times a
+/// million PEs OOMs, a fixed global budget does not.
+///
+/// The spec is parsed from `<cap>[@<stride>]` with the same `k`
+/// (×1024) and `m` (×1048576) suffixes the sweep grammar uses:
+/// `64k@256` buffers at most 65,536 events total, sampled from PEs
+/// 0, 256, 512, … Sampled-*out* PEs still run zero-capacity
+/// [`TraceBuffer`]s, so every event they would have recorded is
+/// counted in [`PeTrace::dropped`] — the `dropped` totals tell you
+/// exactly how much of the timeline you are *not* seeing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Total buffered-event budget across all traced PEs.
+    pub cap: usize,
+    /// Sample every `stride`-th PE (1 = trace everyone).
+    pub stride: usize,
+}
+
+impl TraceSpec {
+    /// A spec tracing every PE under a global `cap`.
+    pub fn new(cap: usize) -> Self {
+        TraceSpec { cap, stride: 1 }
+    }
+
+    /// The per-PE buffer capacity that keeps the whole job within
+    /// `cap`: the budget divided by the number of *traced* PEs, never
+    /// below one event per traced PE.
+    pub fn per_pe_cap(&self, n_pes: usize) -> usize {
+        let traced = n_pes.div_ceil(self.stride.max(1)).max(1);
+        (self.cap / traced).max(1)
+    }
+
+    /// Whether `pe` is in the sample.
+    pub fn traces_pe(&self, pe: usize) -> bool {
+        pe.is_multiple_of(self.stride.max(1))
+    }
+}
+
+/// Parse `"400"`, `"64k"`, or `"1m@4k"` (cap, optionally `@` stride).
+fn parse_scaled(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let (digits, scale) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1024usize),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: usize =
+        digits.parse().map_err(|_| format!("O NOES! {s:?} IZ NOT A COUNT (try 400, 64k OR 1m)"))?;
+    n.checked_mul(scale).ok_or_else(|| format!("O NOES! {s:?} IZ 2 BIG"))
+}
+
+impl std::str::FromStr for TraceSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (cap_s, stride_s) = match s.split_once('@') {
+            Some((c, st)) => (c, Some(st)),
+            None => (s, None),
+        };
+        let cap = parse_scaled(cap_s)?;
+        if cap == 0 {
+            return Err("O NOES! A TRACE BUDGET OF 0 TRACEZ NOTHIN (drop trace= instead)".into());
+        }
+        let stride = match stride_s {
+            Some(st) => {
+                let st = parse_scaled(st)?;
+                if st == 0 {
+                    return Err("O NOES! TRACE STRIDE 0 SAMPLEZ NO PE (use 1 for all)".into());
+                }
+                st
+            }
+            None => 1,
+        };
+        Ok(TraceSpec { cap, stride })
+    }
+}
+
+impl std::fmt::Display for TraceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.stride == 1 {
+            write!(f, "{}", self.cap)
+        } else {
+            write!(f, "{}@{}", self.cap, self.stride)
+        }
+    }
+}
+
 /// One PE's completed event stream.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PeTrace {
@@ -525,5 +614,41 @@ mod tests {
         let b = TraceBuffer::new(1, 8);
         let t = Trace::new(ClockMode::Wall, vec![a.finish(1), b.finish(0)]);
         assert_eq!(t.critical_path(|_, _| 50), 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_spec_tests {
+    use super::TraceSpec;
+
+    #[test]
+    fn parses_suffixes_and_strides() {
+        assert_eq!("400".parse::<TraceSpec>().unwrap(), TraceSpec { cap: 400, stride: 1 });
+        assert_eq!("64k".parse::<TraceSpec>().unwrap(), TraceSpec { cap: 65_536, stride: 1 });
+        assert_eq!("1m@4k".parse::<TraceSpec>().unwrap(), TraceSpec { cap: 1 << 20, stride: 4096 });
+        assert_eq!("64K@2".parse::<TraceSpec>().unwrap(), TraceSpec { cap: 65_536, stride: 2 });
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        assert!("".parse::<TraceSpec>().is_err());
+        assert!("0".parse::<TraceSpec>().is_err());
+        assert!("4k@0".parse::<TraceSpec>().is_err());
+        assert!("lots".parse::<TraceSpec>().is_err());
+        assert!("4q".parse::<TraceSpec>().is_err());
+        assert!("99999999999999999999m".parse::<TraceSpec>().is_err());
+    }
+
+    #[test]
+    fn per_pe_cap_divides_the_global_budget() {
+        let spec: TraceSpec = "64k@256".parse().unwrap();
+        // 1M PEs sampled by 256 → 4096 traced PEs sharing 65,536.
+        assert_eq!(spec.per_pe_cap(1 << 20), 16);
+        assert!(spec.traces_pe(0) && spec.traces_pe(512) && !spec.traces_pe(513));
+        // Tiny jobs still get at least one event per traced PE.
+        assert_eq!(TraceSpec::new(2).per_pe_cap(64), 1);
+        // Round-trips through Display.
+        assert_eq!(spec.to_string(), "65536@256");
+        assert_eq!(TraceSpec::new(400).to_string(), "400");
     }
 }

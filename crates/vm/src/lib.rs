@@ -19,10 +19,11 @@
 #![forbid(unsafe_code)]
 
 mod compile;
+pub mod machine;
 pub mod ops;
-mod run;
 
 pub use compile::compile;
+pub use machine::{Machine, Step};
 pub use ops::{Chunk, Module, Op};
 
 use lol_ast::Program;
@@ -38,12 +39,17 @@ pub fn compile_checked(program: &Program, analysis: &Analysis) -> Result<Module,
 
 /// Run a compiled module on one PE; returns captured output.
 ///
-/// This is the whole public execution surface of the crate: SPMD
-/// launching, output collection and statistics gathering live in the
-/// `lolcode` driver's `VmEngine`, which runs a compiled artifact
-/// through this entry point on every PE.
+/// Drives a [`Machine`] against the threaded substrate, which never
+/// reports `Pending` — one `resume` runs the program to completion.
+/// SPMD launching, output collection and statistics gathering live in
+/// the `lolcode` driver's `VmEngine`; the discrete-event `lol-sim`
+/// engine drives the same [`Machine`] from an event queue instead.
 pub fn run_on_pe(module: &Module, pe: &Pe<'_>, input: &[String]) -> Result<String, RunError> {
-    run::Vm::new(module, pe, input).run()
+    let mut m = Machine::new(module, input);
+    match m.resume(pe)? {
+        Step::Done => Ok(m.take_output()),
+        Step::Blocked => unreachable!("the threaded substrate never reports Pending"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,493 @@
+//! The resumable stack machine executing compiled modules over any
+//! [`Substrate`].
+//!
+//! Historically the VM ran each PE as a recursive `exec` loop directly
+//! against the threaded [`lol_shmem::Pe`] handle — blocking operations
+//! simply blocked the OS thread. That shape cannot scale past a few
+//! thousand PEs, so the execution loop lives here as an *explicit*
+//! machine: frames are a heap-allocated stack (no host recursion), the
+//! program counter is data, and every potentially-blocking substrate
+//! call ([`Substrate::shmalloc`], [`Substrate::barrier`],
+//! [`Substrate::lock`]) may return [`Progress::Pending`], in which
+//! case [`Machine::resume`] rewinds the instruction and yields
+//! [`Step::Blocked`]. The caller re-invokes `resume` when the
+//! substrate says the PE can make progress:
+//!
+//! * the threaded backends (`run_on_pe`) call it in a loop — the
+//!   threaded substrate never pends, so the loop runs each PE to
+//!   completion exactly as before;
+//! * the discrete-event engine (`lol-sim`) parks the machine and
+//!   re-resumes it from a binary-heap event queue, which is what makes
+//!   million-PE jobs possible on one thread.
+//!
+//! The instruction semantics here are a line-for-line port of the old
+//! recursive loop; the differential tests in `lib.rs` pin VM output to
+//! the interpreter's byte-for-byte.
+
+use crate::ops::{ArrLoc, Chunk, Module, Op};
+use lol_ast::LolType;
+use lol_interp::value::{arith, cast, compare, default_for, RResult, RunError, Value};
+use lol_shmem::substrate::{Progress, Substrate};
+use lol_shmem::SymAddr;
+use std::collections::VecDeque;
+
+const MAX_CALL_DEPTH: usize = 200;
+
+/// What a call to [`Machine::resume`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The program ran to completion; collect the output with
+    /// [`Machine::take_output`].
+    Done,
+    /// The PE would block (allocation fence, barrier, or lock). The
+    /// substrate has parked it; resume again once it is woken.
+    Blocked,
+}
+
+/// One frame slot: a scalar value or a local array.
+#[derive(Debug, Clone)]
+enum Cell {
+    Val(Value),
+    Arr { elems: Vec<Value>, ty: LolType },
+}
+
+/// Which chunk a frame executes.
+#[derive(Debug, Clone, Copy)]
+enum ChunkRef {
+    Main,
+    Func(u16),
+}
+
+#[derive(Debug)]
+struct Frame {
+    chunk: ChunkRef,
+    pc: usize,
+    slots: Vec<Cell>,
+}
+
+/// One PE's complete execution state, decoupled from any thread.
+///
+/// Memory footprint is deliberately lean — a fresh machine is a few
+/// empty `Vec`s plus the main frame's slots — because the simulator
+/// keeps one `Machine` per PE and a million of them must fit in RAM.
+pub struct Machine<'a> {
+    module: &'a Module,
+    base: SymAddr,
+    /// Set once the startup allocation (if any) has completed.
+    started: bool,
+    frames: Vec<Frame>,
+    stack: Vec<Value>,
+    bff: Vec<usize>,
+    out: String,
+    input: VecDeque<String>,
+}
+
+impl<'a> Machine<'a> {
+    /// A machine ready to run `module` from the beginning.
+    pub fn new(module: &'a Module, input: &[String]) -> Self {
+        Machine {
+            module,
+            base: SymAddr(0),
+            started: false,
+            frames: Vec::new(),
+            stack: Vec::new(),
+            bff: Vec::new(),
+            out: String::new(),
+            input: input.iter().cloned().collect(),
+        }
+    }
+
+    /// The captured `VISIBLE` output (call after [`Step::Done`]).
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+
+    fn chunk_of(module: &'a Module, c: ChunkRef) -> &'a Chunk {
+        match c {
+            ChunkRef::Main => &module.main,
+            ChunkRef::Func(i) => &module.funcs[i as usize].1,
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("VM stack underflow (compiler bug)")
+    }
+
+    fn target<S: Substrate + ?Sized>(&self, sub: &S, remote: bool) -> RResult<usize> {
+        if remote {
+            self.bff.last().copied().ok_or_else(|| {
+                RunError::new("RUN0120", "UR OUTSIDE TXT MAH BFF — WHOS ADDRESS SPACE IZ DIS?")
+            })
+        } else {
+            Ok(sub.id())
+        }
+    }
+
+    fn shared_read<S: Substrate + ?Sized>(
+        &self,
+        sub: &S,
+        off: u32,
+        index: usize,
+        ty: LolType,
+        target: usize,
+    ) -> Value {
+        let addr = self.base.offset(off as usize + index);
+        match ty {
+            LolType::Numbar => Value::Numbar(sub.get_f64(addr, target)),
+            LolType::Troof => Value::Troof(sub.get_u64(addr, target) != 0),
+            _ => Value::Numbr(sub.get_i64(addr, target)),
+        }
+    }
+
+    fn shared_write<S: Substrate + ?Sized>(
+        &self,
+        sub: &S,
+        off: u32,
+        index: usize,
+        ty: LolType,
+        target: usize,
+        v: &Value,
+    ) -> RResult<()> {
+        let addr = self.base.offset(off as usize + index);
+        match ty {
+            LolType::Numbar => sub.put_f64(addr, target, v.to_numbar()?),
+            LolType::Troof => sub.put_u64(addr, target, v.to_troof() as u64),
+            _ => sub.put_i64(addr, target, v.to_numbr()?),
+        }
+        Ok(())
+    }
+
+    fn bounds(idx: i64, len: u32) -> RResult<usize> {
+        if idx < 0 || idx as u32 >= len {
+            Err(RunError::new(
+                "RUN0123",
+                format!("INDEX {idx} IZ OUTSIDE DA ARRAY (IT HAS {len} THINGZ)"),
+            ))
+        } else {
+            Ok(idx as usize)
+        }
+    }
+
+    /// Run until the program completes or the PE would block.
+    ///
+    /// On [`Step::Blocked`] the machine has already rewound to re-issue
+    /// the same substrate call; calling `resume` again retries it.
+    /// Stats and latency accounting stay exact because substrates
+    /// charge them on the first attempt only.
+    pub fn resume<S: Substrate + ?Sized>(&mut self, sub: &S) -> RResult<Step> {
+        let module = self.module;
+        if !self.started {
+            if module.shared_words > 0 {
+                match sub.shmalloc(module.shared_words) {
+                    Progress::Ready(a) => self.base = a,
+                    Progress::Pending => return Ok(Step::Blocked),
+                }
+            }
+            self.started = true;
+            self.frames.push(Frame {
+                chunk: ChunkRef::Main,
+                pc: 0,
+                slots: new_frame(&module.main),
+            });
+        }
+        loop {
+            let Some(top) = self.frames.last() else { return Ok(Step::Done) };
+            let fi = self.frames.len() - 1;
+            let chunk = Self::chunk_of(module, top.chunk);
+            let pc = top.pc;
+            if pc >= chunk.code.len() {
+                // Fell off the end of the chunk: implicit return.
+                self.frames.pop();
+                if self.frames.is_empty() {
+                    return Ok(Step::Done);
+                }
+                self.stack.push(Value::Noob);
+                continue;
+            }
+            self.frames[fi].pc = pc + 1;
+            let op = &chunk.code[pc];
+            match op {
+                Op::Const(k) => self.stack.push(module.consts[*k as usize].clone()),
+                Op::LoadLocal(s) => {
+                    let v = match &self.frames[fi].slots[*s as usize] {
+                        Cell::Val(v) => v.clone(),
+                        Cell::Arr { .. } => {
+                            return Err(RunError::new("RUN0011", "DIS IZ A WHOLE ARRAY"))
+                        }
+                    };
+                    self.stack.push(v);
+                }
+                Op::StoreLocal(s) => {
+                    let v = self.pop();
+                    self.frames[fi].slots[*s as usize] = Cell::Val(v);
+                }
+                Op::Cast(ty) => {
+                    let v = self.pop();
+                    self.stack.push(cast(&v, *ty)?);
+                }
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::SharedLoad { off, ty, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    let v = self.shared_read(sub, *off, 0, *ty, t);
+                    self.stack.push(v);
+                }
+                Op::SharedStore { off, ty, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    let v = self.pop();
+                    self.shared_write(sub, *off, 0, *ty, t, &v)?;
+                }
+                Op::SharedLoadIdx { off, len, ty, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    let i = Self::bounds(self.pop().to_numbr()?, *len)?;
+                    let v = self.shared_read(sub, *off, i, *ty, t);
+                    self.stack.push(v);
+                }
+                Op::SharedStoreIdx { off, len, ty, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    let i = Self::bounds(self.pop().to_numbr()?, *len)?;
+                    let v = self.pop();
+                    self.shared_write(sub, *off, i, *ty, t, &v)?;
+                }
+                Op::LocalArrNew { slot, ty } => {
+                    let n = self.pop().to_numbr()?;
+                    if n <= 0 {
+                        return Err(RunError::new(
+                            "RUN0014",
+                            format!("ARRAY SIZE MUST BE POSITIVE, NOT {n}"),
+                        ));
+                    }
+                    self.frames[fi].slots[*slot as usize] =
+                        Cell::Arr { elems: vec![default_for(*ty); n as usize], ty: *ty };
+                }
+                Op::LocalArrLoad { slot } => {
+                    let i = self.pop().to_numbr()?;
+                    let v = match &self.frames[fi].slots[*slot as usize] {
+                        Cell::Arr { elems, .. } => {
+                            let i = Self::bounds(i, elems.len() as u32)?;
+                            elems[i].clone()
+                        }
+                        Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+                    };
+                    self.stack.push(v);
+                }
+                Op::LocalArrStore { slot } => {
+                    let i = self.pop().to_numbr()?;
+                    let v = self.pop();
+                    match &mut self.frames[fi].slots[*slot as usize] {
+                        Cell::Arr { elems, ty } => {
+                            let i = Self::bounds(i, elems.len() as u32)?;
+                            elems[i] = cast(&v, *ty)?;
+                        }
+                        Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+                    }
+                }
+                Op::ArrayCopy { dst, src } => self.array_copy(sub, fi, dst, src)?,
+                Op::Bin(op) => {
+                    let b = self.pop();
+                    let a = self.pop();
+                    let r = binop(*op, a, b)?;
+                    self.stack.push(r);
+                }
+                Op::Un(op) => {
+                    let v = self.pop();
+                    let r = unop(*op, v)?;
+                    self.stack.push(r);
+                }
+                Op::Smoosh(n) => {
+                    let vals = self.pop_n(*n);
+                    let mut s = String::new();
+                    for v in vals {
+                        s.push_str(&v.to_yarn()?);
+                    }
+                    self.stack.push(Value::yarn(s));
+                }
+                Op::AllOf(n) => {
+                    let vals = self.pop_n(*n);
+                    self.stack.push(Value::Troof(vals.iter().all(|v| v.to_troof())));
+                }
+                Op::AnyOf(n) => {
+                    let vals = self.pop_n(*n);
+                    self.stack.push(Value::Troof(vals.iter().any(|v| v.to_troof())));
+                }
+                Op::Jump(t) => self.frames[fi].pc = *t as usize,
+                Op::JumpIfFalse(t) => {
+                    let v = self.pop();
+                    if !v.to_troof() {
+                        self.frames[fi].pc = *t as usize;
+                    }
+                }
+                Op::Call { func, argc } => {
+                    // frames.len() - 1 = number of active calls.
+                    if self.frames.len() > MAX_CALL_DEPTH {
+                        return Err(RunError::new(
+                            "RUN0130",
+                            format!("2 MUCH RECURSHUN (DEPTH {MAX_CALL_DEPTH})"),
+                        ));
+                    }
+                    let (_, chunk, arity) = &module.funcs[*func as usize];
+                    debug_assert_eq!(*arity, *argc, "arity checked by sema");
+                    let mut callee = new_frame(chunk);
+                    // Args were pushed left-to-right: pop into reverse.
+                    for i in (0..*argc).rev() {
+                        let v = self.pop();
+                        callee[1 + i as usize] = Cell::Val(v);
+                    }
+                    self.frames.push(Frame { chunk: ChunkRef::Func(*func), pc: 0, slots: callee });
+                }
+                Op::Ret => {
+                    let v = self.pop();
+                    self.frames.pop();
+                    if self.frames.is_empty() {
+                        return Ok(Step::Done);
+                    }
+                    self.stack.push(v);
+                }
+                Op::Visible { argc, newline } => {
+                    let vals = self.pop_n(*argc);
+                    for v in vals {
+                        let s = v.to_yarn()?;
+                        self.out.push_str(&s);
+                    }
+                    if *newline {
+                        self.out.push('\n');
+                    }
+                }
+                Op::ReadLine => {
+                    let line = self.input.pop_front().ok_or_else(|| {
+                        RunError::new("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT")
+                    })?;
+                    self.stack.push(Value::yarn(line));
+                }
+                Op::Barrier => {
+                    if let Progress::Pending = sub.barrier() {
+                        self.frames[fi].pc = pc;
+                        return Ok(Step::Blocked);
+                    }
+                }
+                Op::LockAcquire { off, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    if let Progress::Pending = sub.lock(self.base.offset(*off as usize), t) {
+                        self.frames[fi].pc = pc;
+                        return Ok(Step::Blocked);
+                    }
+                }
+                Op::LockTry { off, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    let got = sub.try_lock(self.base.offset(*off as usize), t);
+                    self.stack.push(Value::Troof(got));
+                }
+                Op::LockRelease { off, remote } => {
+                    let t = self.target(sub, *remote)?;
+                    sub.unlock(self.base.offset(*off as usize), t);
+                }
+                Op::PushBff => {
+                    let k = self.pop().to_numbr()?;
+                    if k < 0 || k as usize >= sub.n_pes() {
+                        return Err(RunError::new(
+                            "RUN0017",
+                            format!("PE {k} IZ NOT MAH FREN (THERE R ONLY {} OF US)", sub.n_pes()),
+                        ));
+                    }
+                    self.bff.push(k as usize);
+                }
+                Op::PopBff => {
+                    self.bff.pop();
+                }
+                Op::Me => self.stack.push(Value::Numbr(sub.id() as i64)),
+                Op::MahFrenz => self.stack.push(Value::Numbr(sub.n_pes() as i64)),
+                Op::RandI => self.stack.push(Value::Numbr(sub.rand_i64())),
+                Op::RandF => self.stack.push(Value::Numbar(sub.rand_f64())),
+                Op::Halt => {
+                    self.frames.pop();
+                    if self.frames.is_empty() {
+                        return Ok(Step::Done);
+                    }
+                    // Halt inside a function behaves like falling off
+                    // the end: the call produced no value.
+                    self.stack.push(Value::Noob);
+                }
+            }
+        }
+    }
+
+    fn pop_n(&mut self, n: u8) -> Vec<Value> {
+        let at = self.stack.len() - n as usize;
+        self.stack.split_off(at)
+    }
+
+    fn array_copy<S: Substrate + ?Sized>(
+        &mut self,
+        sub: &S,
+        fi: usize,
+        dst: &ArrLoc,
+        src: &ArrLoc,
+    ) -> RResult<()> {
+        let values: Vec<Value> = match src {
+            ArrLoc::Local { slot } => match &self.frames[fi].slots[*slot as usize] {
+                Cell::Arr { elems, .. } => elems.clone(),
+                Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+            },
+            ArrLoc::Shared { off, len, ty, remote } => {
+                let t = self.target(sub, *remote)?;
+                (0..*len as usize).map(|i| self.shared_read(sub, *off, i, *ty, t)).collect()
+            }
+        };
+        match dst {
+            ArrLoc::Local { slot } => {
+                let ty = match &self.frames[fi].slots[*slot as usize] {
+                    Cell::Arr { ty, .. } => *ty,
+                    Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+                };
+                let converted: RResult<Vec<Value>> = values.iter().map(|v| cast(v, ty)).collect();
+                match &mut self.frames[fi].slots[*slot as usize] {
+                    Cell::Arr { elems, .. } => *elems = converted?,
+                    Cell::Val(_) => unreachable!(),
+                }
+                Ok(())
+            }
+            ArrLoc::Shared { off, len, ty, remote } => {
+                if values.len() != *len as usize {
+                    return Err(RunError::new(
+                        "RUN0013",
+                        format!("ARRAY COPY SIZE MISMATCH: {} THINGZ INTO {len}", values.len()),
+                    ));
+                }
+                let t = self.target(sub, *remote)?;
+                for (i, v) in values.iter().enumerate() {
+                    self.shared_write(sub, *off, i, *ty, t, v)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn binop(op: lol_ast::BinOp, a: Value, b: Value) -> RResult<Value> {
+    use lol_ast::BinOp::*;
+    match op {
+        Sum | Diff | Produkt | Quoshunt | Mod | BiggrOf | SmallrOf => arith(op, &a, &b),
+        Bigger | Smallr => compare(op, &a, &b),
+        BothSaem => Ok(Value::Troof(a.saem(&b))),
+        Diffrint => Ok(Value::Troof(!a.saem(&b))),
+        BothOf => Ok(Value::Troof(a.to_troof() && b.to_troof())),
+        EitherOf => Ok(Value::Troof(a.to_troof() || b.to_troof())),
+        WonOf => Ok(Value::Troof(a.to_troof() ^ b.to_troof())),
+    }
+}
+
+fn unop(op: lol_ast::UnOp, v: Value) -> RResult<Value> {
+    use lol_ast::UnOp::*;
+    match op {
+        Not => Ok(Value::Troof(!v.to_troof())),
+        Squar => arith(lol_ast::BinOp::Produkt, &v, &v),
+        Unsquar => Ok(Value::Numbar(v.to_numbar()?.sqrt())),
+        Flip => Ok(Value::Numbar(1.0 / v.to_numbar()?)),
+    }
+}
+
+fn new_frame(chunk: &Chunk) -> Vec<Cell> {
+    vec![Cell::Val(Value::Noob); chunk.n_slots as usize]
+}

@@ -44,6 +44,7 @@ pub use lol_c_codegen as codegen;
 pub use lol_interp as interp;
 pub use lol_sema as sema;
 pub use lol_shmem as shmem;
+pub use lol_sim as sim;
 pub use lol_vm as vm;
 pub use lolcode as driver;
 
@@ -57,6 +58,6 @@ pub mod prelude {
         check, compile, compile_to_c, config_key, engine_for, jsonl_record, parse_jsonl_done,
         parse_program, registry, run_source, Backend, CEngine, ClockMode, Compiled, Engine,
         EngineRegistry, EventKind, InterpEngine, LolError, PeTrace, RunConfig, RunReport,
-        SweepEntry, SweepReport, SweepSpec, Trace, TraceEvent, VmEngine,
+        SimEngine, SweepEntry, SweepReport, SweepSpec, Trace, TraceEvent, TraceSpec, VmEngine,
     };
 }

@@ -48,30 +48,62 @@ fn every_corpus_program_agrees_across_engines_and_seeds() {
         let configs = sweep(max_pes);
         let interp = InterpEngine.run_many(&artifact, &configs);
         let vm = VmEngine.run_many(&artifact, &configs);
-        for ((cfg, a), b) in configs.iter().zip(interp).zip(vm) {
+        let sim = SimEngine.run_many(&artifact, &configs);
+        for (((cfg, a), b), s) in configs.iter().zip(interp).zip(vm).zip(sim) {
             let a = a.unwrap_or_else(|e| {
                 panic!("{name}: interp failed at {} PEs seed {}: {e}", cfg.n_pes, cfg.seed)
             });
             let b = b.unwrap_or_else(|e| {
                 panic!("{name}: vm failed at {} PEs seed {}: {e}", cfg.n_pes, cfg.seed)
             });
+            let s = s.unwrap_or_else(|e| {
+                panic!("{name}: sim failed at {} PEs seed {}: {e}", cfg.n_pes, cfg.seed)
+            });
             assert_eq!(
                 a.outputs, b.outputs,
                 "{name}: engine divergence at {} PEs seed {}",
                 cfg.n_pes, cfg.seed
             );
-            assert_eq!(a.outputs.len(), cfg.n_pes);
-            // Both engines run the same algorithm on the same
-            // substrate: their communication *shape* must agree too.
             assert_eq!(
-                a.stats.iter().map(|s| s.barriers).collect::<Vec<_>>(),
-                b.stats.iter().map(|s| s.barriers).collect::<Vec<_>>(),
-                "{name}: barrier-count divergence at {} PEs seed {}",
-                cfg.n_pes,
-                cfg.seed
+                a.outputs, s.outputs,
+                "{name}: the discrete-event sim diverges at {} PEs seed {}",
+                cfg.n_pes, cfg.seed
             );
+            assert_eq!(a.outputs.len(), cfg.n_pes);
+            // All engines run the same algorithm on the same
+            // substrate: their communication *shape* must agree too.
+            for (other, which) in [(&b, "vm"), (&s, "sim")] {
+                assert_eq!(
+                    a.stats.iter().map(|st| st.barriers).collect::<Vec<_>>(),
+                    other.stats.iter().map(|st| st.barriers).collect::<Vec<_>>(),
+                    "{name}: barrier-count divergence vs {which} at {} PEs seed {}",
+                    cfg.n_pes,
+                    cfg.seed
+                );
+            }
         }
     }
+}
+
+/// The discrete-event engine's reason to exist: PE counts no thread
+/// pool could host. 1,024 PEs of the barrier corpus program run on one
+/// OS thread in debug mode; the sim crate's own release tests push the
+/// same loop to 65,536 and (ignored) 1,000,000 PEs.
+#[test]
+fn sim_engine_runs_1024_pes_in_debug() {
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let cfg = RunConfig::new(1024)
+        .seed(11)
+        .clock(ClockMode::Virtual)
+        .latency(LatencyModel::epiphany16())
+        .timeout(Duration::from_secs(120));
+    let r = SimEngine.run(&artifact, &cfg).unwrap();
+    assert_eq!(r.outputs.len(), 1024);
+    assert!(r.outputs.iter().enumerate().all(|(pe, o)| o.contains(&format!("PE {pe}"))));
+    // The simulated makespan doubles as the deterministic wall.
+    assert_eq!(Some(r.wall), r.virtual_wall);
+    let again = SimEngine.run(&artifact, &cfg).unwrap();
+    assert_eq!(r.virtual_wall, again.virtual_wall, "virtual wall must reproduce at 1k PEs");
 }
 
 // ---------------------------------------------------------------------
@@ -253,16 +285,25 @@ fn generated_grammar_programs_agree_across_engines() {
             let cfg = RunConfig::new(n_pes).seed(case as u64).timeout(Duration::from_secs(20));
             let a = InterpEngine.run(&artifact, &cfg);
             let b = VmEngine.run(&artifact, &cfg);
-            match (a, b) {
-                (Ok(x), Ok(y)) => assert_eq!(
-                    x.outputs, y.outputs,
-                    "case {case}: engine divergence at {n_pes} PEs on:\n{src}"
-                ),
-                (Err(_), Err(_)) => faulted += 1, // both faulted: fine
-                (a, b) => panic!(
-                    "case {case}: one backend faulted at {n_pes} PEs: {:?} vs {:?}\n{src}",
+            let s = SimEngine.run(&artifact, &cfg);
+            match (a, b, s) {
+                (Ok(x), Ok(y), Ok(z)) => {
+                    assert_eq!(
+                        x.outputs, y.outputs,
+                        "case {case}: engine divergence at {n_pes} PEs on:\n{src}"
+                    );
+                    assert_eq!(
+                        x.outputs, z.outputs,
+                        "case {case}: sim divergence at {n_pes} PEs on:\n{src}"
+                    );
+                }
+                (Err(_), Err(_), Err(_)) => faulted += 1, // all faulted: fine
+                (a, b, s) => panic!(
+                    "case {case}: backends disagree about faulting at {n_pes} PEs: \
+                     {:?} vs {:?} vs {:?}\n{src}",
                     a.map(|r| r.outputs),
-                    b.map(|r| r.outputs)
+                    b.map(|r| r.outputs),
+                    s.map(|r| r.outputs)
                 ),
             }
         }

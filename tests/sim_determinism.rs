@@ -1,0 +1,89 @@
+//! Property: the discrete-event engine's tie-break order is
+//! unobservable. Events at equal `t_ns` may pop from the queue in
+//! *any* order without changing a byte of the results — outputs,
+//! per-PE `CommStats`, per-PE virtual clocks, the simulated makespan.
+//!
+//! The canonical engine pins ties by PE id (so the default order is
+//! itself deterministic); this suite drives `run_module_with_order`
+//! with randomized keys over the deterministic corpus and must not be
+//! able to tell the difference. Trylock programs are excluded by
+//! design: `IM MESIN WIF ... O RLY?` branches on *whether* the lock
+//! was held at that instant, which is exactly the kind of race the
+//! tie-break contract does not (and cannot) paper over.
+
+use icanhas::prelude::*;
+use icanhas::sim::{run_module, run_module_with_order};
+use proptest::prelude::*;
+
+/// The corpus programs whose results are independent of scheduling.
+fn corpus_choices() -> Vec<(&'static str, String)> {
+    vec![
+        ("hello", corpus::HELLO_PARALLEL.to_string()),
+        ("ring", corpus::RING_EXAMPLE.to_string()),
+        ("barrier", corpus::BARRIER_EXAMPLE.to_string()),
+        ("locks", corpus::LOCKS_EXAMPLE.to_string()),
+        ("heat2d", corpus::heat2d_source(2, 4, 3)),
+    ]
+}
+
+fn latency_choices() -> Vec<LatencyModel> {
+    vec![
+        LatencyModel::Off,
+        LatencyModel::epiphany16(),
+        "flat:1000".parse().unwrap(),
+        "torus:4x2".parse().unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any salted tie-break key produces the canonical results.
+    #[test]
+    fn any_tie_break_order_matches_the_canonical_run(
+        program in prop::sample::select(corpus_choices()),
+        latency in prop::sample::select(latency_choices()),
+        n_pes in 1usize..9,
+        seed in 0u64..1000,
+        salt in any::<u64>(),
+    ) {
+        let (name, src) = program;
+        let artifact = compile(&src).unwrap();
+        let module = artifact.vm_module().unwrap();
+        let cfg = RunConfig::new(n_pes).seed(seed).latency(latency).shmem();
+        let canonical = run_module(module, &cfg, &[]).unwrap();
+        // A salted multiplicative hash scrambles which PE wins each
+        // equal-time pop (collisions fall through to the PE id, which
+        // is fine — that's just another order).
+        let salted = run_module_with_order(module, &cfg, &[], &|pe| {
+            (pe as u64 ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        })
+        .unwrap();
+        // And the pathological orders: everyone ties (pure PE-id
+        // fallback) and exact reversal.
+        let constant = run_module_with_order(module, &cfg, &[], &|_| 0).unwrap();
+        let reversed =
+            run_module_with_order(module, &cfg, &[], &|pe| u64::MAX - pe as u64).unwrap();
+        for (which, other) in
+            [("salted", &salted), ("constant", &constant), ("reversed", &reversed)]
+        {
+            prop_assert_eq!(
+                &canonical.outputs, &other.outputs,
+                "{}: {} order changed outputs at {} PEs seed {}",
+                name, which, n_pes, seed
+            );
+            prop_assert_eq!(
+                &canonical.stats, &other.stats,
+                "{}: {} order changed CommStats", name, which
+            );
+            prop_assert_eq!(
+                &canonical.virtual_ns, &other.virtual_ns,
+                "{}: {} order changed per-PE virtual clocks", name, which
+            );
+            prop_assert_eq!(
+                canonical.makespan_ns, other.makespan_ns,
+                "{}: {} order changed the simulated makespan", name, which
+            );
+        }
+    }
+}

@@ -136,10 +136,10 @@ fn three_backend_ci_sweep_runs_or_degrades_cleanly() {
 }
 
 /// The full interconnect matrix (the acceptance sweep for the C
-/// backend's latency/barrier/lock support): 3 backends × 2 latency
+/// backend's latency/barrier/lock support): 4 backends × 2 latency
 /// models × 2 barrier algorithms × 2 lock algorithms × 3 PE counts on
 /// the checked-in heat stencil. With a C compiler present, **zero**
-/// UNSUPPORTED rows; without one, exactly the C third degrades. In
+/// UNSUPPORTED rows; without one, exactly the C quarter degrades. In
 /// both cases outputs must not depend on latency/barrier/lock — those
 /// knobs change timing, never results.
 #[test]
@@ -153,13 +153,13 @@ fn full_interconnect_matrix_has_no_unsupported_rows() {
     )
     .unwrap();
     let report = spec.run(&artifact);
-    assert_eq!(report.entries.len(), 3 * 2 * 2 * 2 * 3);
+    assert_eq!(report.entries.len(), 4 * 2 * 2 * 2 * 3);
     assert_eq!(report.hard_failure_count(), 0, "{}", report.speedup_table());
     if engine_for(Backend::C).available() {
         assert_eq!(report.unsupported_count(), 0, "{}", report.speedup_table());
         assert!(report.all_ok());
     } else {
-        assert_eq!(report.unsupported_count(), 24, "only the C third may degrade");
+        assert_eq!(report.unsupported_count(), 24, "only the C quarter may degrade");
     }
     // heat2d is deterministic: every ok entry — any backend, any
     // latency model, any barrier, any lock — at the same PE count must

@@ -29,9 +29,10 @@ fn traceable_corpus() -> Vec<(&'static str, String)> {
 
 /// The tentpole acceptance criterion: identical per-PE event streams —
 /// kind, peer, symmetric address and byte count, in order — from the
-/// interpreter, the VM and (when a C compiler exists) the C stub.
+/// interpreter, the VM, the discrete-event simulator and (when a C
+/// compiler exists) the C stub.
 #[test]
-fn corpus_event_streams_agree_across_all_three_engines() {
+fn corpus_event_streams_agree_across_all_engines() {
     let c_engine = engine_for(Backend::C);
     for (name, src) in traceable_corpus() {
         let artifact = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -39,11 +40,17 @@ fn corpus_event_streams_agree_across_all_three_engines() {
             let config = cfg(n_pes);
             let interp = InterpEngine.run(&artifact, &config).unwrap();
             let vm = VmEngine.run(&artifact, &config).unwrap();
+            let sim = SimEngine.run(&artifact, &config).unwrap();
             let isig = interp.trace.as_ref().expect("interp trace").signature();
             assert_eq!(
                 isig,
                 vm.trace.as_ref().expect("vm trace").signature(),
                 "{name}: interp/vm event streams diverge at {n_pes} PEs"
+            );
+            assert_eq!(
+                isig,
+                sim.trace.as_ref().expect("sim trace").signature(),
+                "{name}: sim event stream diverges at {n_pes} PEs"
             );
             assert_eq!(isig.len(), n_pes, "{name}: one stream per PE");
             if c_engine.available() {
@@ -56,6 +63,45 @@ fn corpus_event_streams_agree_across_all_three_engines() {
             }
         }
     }
+}
+
+/// The `trace=<cap>@<stride>` budget: a mega-scale sim run keeps its
+/// trace bounded by sampling every stride-th PE under a global event
+/// cap, and accounts everything it couldn't keep as `dropped` — so a
+/// 1M-PE trace can't OOM the tracer and the loss is visible, never
+/// silent.
+#[test]
+fn trace_budget_bounds_mega_scale_sim_traces() {
+    let artifact = compile(corpus::BARRIER_EXAMPLE).unwrap();
+    let spec: TraceSpec = "1k@8".parse().unwrap();
+    let n_pes = 256usize;
+    let config = RunConfig::new(n_pes)
+        .seed(7)
+        .clock(ClockMode::Virtual)
+        .trace_spec(spec)
+        .timeout(Duration::from_secs(120));
+    let capped = SimEngine.run(&artifact, &config).unwrap();
+    let trace = capped.trace.as_ref().expect("trace_spec implies tracing");
+    // Only every 8th PE records; the rest contribute `dropped` counts.
+    let sig = trace.signature();
+    for (pe, stream) in sig.iter().enumerate() {
+        if pe % 8 != 0 {
+            assert!(stream.is_empty(), "PE {pe} should be sampled out");
+        }
+    }
+    assert!(sig[0].len() > 1, "sampled PEs still record");
+    assert!(trace.total_events() <= 1024, "global cap holds");
+    assert!(trace.total_dropped() > 0, "sampled-out events are accounted, not lost");
+    // The budget is observation-only: outputs and the virtual wall
+    // match an uncapped run exactly.
+    let uncapped = RunConfig::new(n_pes)
+        .seed(7)
+        .clock(ClockMode::Virtual)
+        .trace(true)
+        .timeout(Duration::from_secs(120));
+    let full = SimEngine.run(&artifact, &uncapped).unwrap();
+    assert_eq!(capped.outputs, full.outputs);
+    assert_eq!(capped.virtual_wall, full.virtual_wall);
 }
 
 /// Tracing must never change results: outputs and stats are identical
