@@ -1,0 +1,89 @@
+HAI 1.2
+BTW 2-D heat: row-block distribution, halo rows, 5-point stencil
+WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 1152
+I HAS A unew ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 1152
+I HAS A hup ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 48
+I HAS A hdn ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 48
+I HAS A here ITZ SRSLY A NUMBAR
+I HAS A nn ITZ SRSLY A NUMBAR
+I HAS A ss ITZ SRSLY A NUMBAR
+I HAS A ww ITZ SRSLY A NUMBAR
+I HAS A ee ITZ SRSLY A NUMBAR
+I HAS A idx ITZ SRSLY A NUMBR
+I HAS A last ITZ A NUMBR AN ITZ DIFF OF MAH FRENZ AN 1
+
+BTW PE 0 injects da heat in da middle of its block
+BOTH SAEM ME AN 0, O RLY?
+YA RLY
+  u'Z 600 R 100.0
+OIC
+HUGZ
+
+IM IN YR time UPPIN YR t TIL BOTH SAEM t AN 150
+  BTW phase 1: halo rows (insulated plate: default to own edge row)
+  IM IN YR halo UPPIN YR j TIL BOTH SAEM j AN 48
+    hup'Z j R u'Z j
+    hdn'Z j R u'Z SUM OF 1104 AN j
+  IM OUTTA YR halo
+  BIGGER ME AN 0, O RLY?
+  YA RLY
+    IM IN YR getup UPPIN YR j TIL BOTH SAEM j AN 48
+      TXT MAH BFF DIFF OF ME AN 1, hup'Z j R UR u'Z SUM OF 1104 AN j
+    IM OUTTA YR getup
+  OIC
+  SMALLR ME AN last, O RLY?
+  YA RLY
+    IM IN YR getdn UPPIN YR j TIL BOTH SAEM j AN 48
+      TXT MAH BFF SUM OF ME AN 1, hdn'Z j R UR u'Z j
+    IM OUTTA YR getdn
+  OIC
+  HUGZ
+
+  BTW phase 2: insulated 5-point stencil into unew
+  IM IN YR rows UPPIN YR r TIL BOTH SAEM r AN 24
+    IM IN YR colz UPPIN YR cc TIL BOTH SAEM cc AN 48
+      idx R SUM OF PRODUKT OF r AN 48 AN cc
+      here R u'Z idx
+      BOTH SAEM r AN 0, O RLY?
+      YA RLY
+        nn R hup'Z cc
+      NO WAI
+        nn R u'Z DIFF OF idx AN 48
+      OIC
+      BOTH SAEM r AN 23, O RLY?
+      YA RLY
+        ss R hdn'Z cc
+      NO WAI
+        ss R u'Z SUM OF idx AN 48
+      OIC
+      BOTH SAEM cc AN 0, O RLY?
+      YA RLY
+        ww R here
+      NO WAI
+        ww R u'Z DIFF OF idx AN 1
+      OIC
+      BOTH SAEM cc AN 47, O RLY?
+      YA RLY
+        ee R here
+      NO WAI
+        ee R u'Z SUM OF idx AN 1
+      OIC
+      unew'Z idx R SUM OF here AN PRODUKT OF 0.125 ...
+        AN SUM OF SUM OF DIFF OF nn AN here AN DIFF OF ss AN here ...
+        AN SUM OF DIFF OF ww AN here AN DIFF OF ee AN here
+    IM OUTTA YR colz
+  IM OUTTA YR rows
+
+  BTW phase 3: publish unew, den hug
+  IM IN YR copy UPPIN YR i TIL BOTH SAEM i AN 1152
+    u'Z i R unew'Z i
+  IM OUTTA YR copy
+  HUGZ
+IM OUTTA YR time
+
+I HAS A heat ITZ SRSLY A NUMBAR AN ITZ 0.0
+IM IN YR tally UPPIN YR i TIL BOTH SAEM i AN 1152
+  heat R SUM OF heat AN u'Z i
+IM OUTTA YR tally
+VISIBLE "PE " ME " HEAT " heat
+KTHXBYE

@@ -143,7 +143,14 @@ static const char *lol_to_cstr(lol_value_t v, char *buf, size_t n) {
     case LOL_NOOB: lol_die("RUN0003", "CANT MAKE A YARN OUT OF NOOB");
     case LOL_TROOF: snprintf(buf, n, "%s", v.i ? "WIN" : "FAIL"); return buf;
     case LOL_NUMBR: snprintf(buf, n, "%lld", v.i); return buf;
-    case LOL_NUMBAR: snprintf(buf, n, "%.2f", v.f); return buf;
+    case LOL_NUMBAR:
+        /* Non-finite spellings are pinned across backends: lowercase,
+           and NaN renders unsigned (glibc would print "-nan" for a
+           sign-bit NaN; the Rust engines can't see that sign portably). */
+        if (isnan(v.f)) snprintf(buf, n, "nan");
+        else if (isinf(v.f)) snprintf(buf, n, v.f > 0 ? "inf" : "-inf");
+        else snprintf(buf, n, "%.2f", v.f);
+        return buf;
     case LOL_YARN: return v.s ? v.s : "";
     }
     return "";
@@ -991,7 +998,8 @@ mod tests {
             "lol_saem",
             "lol_lock_acquire",
             "shmem_long_atomic_compare_swap",
-            "%.2f", // NUMBAR printing matches the interpreter
+            "%.2f",       // NUMBAR printing matches the interpreter
+            "isnan(v.f)", // non-finite NUMBARs render nan/inf/-inf everywhere
             "lol_arr_new",
             // the hook macros a stub shmem.h may override
             "#ifndef LOL_SYMMETRIC",

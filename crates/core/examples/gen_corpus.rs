@@ -1,0 +1,35 @@
+//! Emit a parameterized corpus workload to stdout.
+//!
+//! Used by the CI bench-smoke job (and handy locally) to materialize
+//! the generated corpus programs as `.lol` files:
+//!
+//! ```text
+//! cargo run -p lol-core --example gen_corpus -- nbody 32 10 > corpus/nbody_32x10.lol
+//! cargo run -p lol-core --example gen_corpus -- heat2d 24 48 150 > corpus/heat2d_bench.lol
+//! ```
+
+use lolcode::corpus;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gen_corpus nbody <particles> <steps>\n\
+         \x20      gen_corpus heat2d <rows> <cols> <steps>\n\
+         \x20      gen_corpus histogram <bins> <samples_per_pe>"
+    );
+    std::process::exit(2);
+}
+
+fn arg(args: &[String], i: usize) -> usize {
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let src = match args.get(1).map(String::as_str) {
+        Some("nbody") => corpus::nbody_source(arg(&args, 2), arg(&args, 3)),
+        Some("heat2d") => corpus::heat2d_source(arg(&args, 2), arg(&args, 3), arg(&args, 4)),
+        Some("histogram") => corpus::histogram_source(arg(&args, 2), arg(&args, 3)),
+        _ => usage(),
+    };
+    print!("{src}");
+}

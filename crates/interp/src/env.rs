@@ -6,10 +6,26 @@
 //! private: scalars (optionally pinned to a static type by
 //! `ITZ SRSLY A`) and local arrays (dynamically sized, per the paper's
 //! array extension).
+//!
+//! # Representation
+//!
+//! Historically this was a `Vec<HashMap<Symbol, Slot>>` scope chain —
+//! one SipHash per probed scope on every variable touch, which
+//! dominated the tree-walker's profile. It is now a single flat
+//! binding arena: declarations push `(Symbol, Slot)` pairs onto one
+//! `Vec`, and scopes are just saved lengths (`scope_marks`). Lookup is
+//! O(1): a per-symbol *binding stack* (`bindings`, indexed by the
+//! dense interned-symbol id) records where each name's live bindings
+//! sit in the arena, so resolving a variable is one indexed load plus
+//! a frame-floor compare — no hashing, no scope-chain walk. Function
+//! calls push a *frame floor* that hides every caller binding without
+//! allocating a fresh environment, so `I IZ ... MKAY` is
+//! allocation-free too. Shadowing and scope teardown behave exactly as
+//! before: the latest binding wins, and popping a scope truncates the
+//! arena and unwinds the affected binding stacks.
 
 use crate::value::{cast, RResult, RunError, Value};
 use lol_ast::{LolType, Symbol};
-use std::collections::HashMap;
 
 /// A private variable.
 #[derive(Debug, Clone)]
@@ -21,47 +37,100 @@ pub enum Slot {
     Array { elems: Vec<Value>, ty: LolType },
 }
 
-/// A stack of lexical scopes.
+/// A flat arena of lexical bindings (see the module docs).
 #[derive(Debug, Default)]
 pub struct Env {
-    scopes: Vec<HashMap<Symbol, Slot>>,
+    /// The binding stack: innermost declarations last.
+    entries: Vec<(Symbol, Slot)>,
+    /// `entries.len()` at each `push_scope`.
+    scope_marks: Vec<u32>,
+    /// Per active function frame: (`entries.len()`, `scope_marks.len()`)
+    /// at `push_frame` time. Lookups never descend below the top floor.
+    frame_floors: Vec<(u32, u32)>,
+    /// `bindings[sym.index()]` = arena indices of that symbol's live
+    /// bindings, innermost last. Entries below the frame floor are
+    /// filtered at lookup (callers' bindings stay on their stacks but
+    /// are invisible inside the callee).
+    bindings: Vec<Vec<u32>>,
 }
 
 impl Env {
     /// New environment with one (outermost) scope containing `IT`.
     pub fn new() -> Self {
-        let mut e = Env { scopes: vec![HashMap::new()] };
+        let mut e = Env {
+            entries: Vec::with_capacity(32),
+            scope_marks: Vec::with_capacity(8),
+            frame_floors: Vec::new(),
+            bindings: Vec::new(),
+        };
         e.declare(Symbol::it(), Slot::Scalar { value: Value::Noob, pinned: None });
         e
     }
 
+    /// The binding index below which lookups must not descend.
+    #[inline]
+    fn floor(&self) -> usize {
+        self.frame_floors.last().map_or(0, |&(f, _)| f as usize)
+    }
+
+    /// Unwind the per-symbol binding stacks for every entry at index
+    /// `from` or above, then truncate the arena.
+    fn truncate_to(&mut self, from: usize) {
+        for (name, _) in &self.entries[from..] {
+            let popped = self.bindings[name.index() as usize].pop();
+            debug_assert!(popped.is_some(), "binding stack out of sync");
+        }
+        self.entries.truncate(from);
+    }
+
     pub fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scope_marks.push(self.entries.len() as u32);
     }
 
     pub fn pop_scope(&mut self) {
-        self.scopes.pop().expect("scope underflow");
-        assert!(!self.scopes.is_empty(), "outermost scope popped");
+        let mark = self.scope_marks.pop().expect("scope underflow");
+        self.truncate_to(mark as usize);
+        assert!(self.entries.len() >= self.floor(), "frame floor breached");
+    }
+
+    /// Enter a function frame: caller bindings become invisible, and a
+    /// fresh `IT` is declared for the callee.
+    pub fn push_frame(&mut self) {
+        self.frame_floors.push((self.entries.len() as u32, self.scope_marks.len() as u32));
+        self.declare(Symbol::it(), Slot::Scalar { value: Value::Noob, pinned: None });
+    }
+
+    /// Leave a function frame, dropping every binding and scope the
+    /// callee created (including on early return / error unwind).
+    pub fn pop_frame(&mut self) {
+        let (floor, marks) = self.frame_floors.pop().expect("frame underflow");
+        self.truncate_to(floor as usize);
+        self.scope_marks.truncate(marks as usize);
     }
 
     /// Declare in the innermost scope (shadowing outer scopes).
     pub fn declare(&mut self, name: Symbol, slot: Slot) {
-        self.scopes.last_mut().expect("no scope").insert(name, slot);
+        let id = name.index() as usize;
+        if id >= self.bindings.len() {
+            self.bindings.resize_with(id + 1, Vec::new);
+        }
+        self.bindings[id].push(self.entries.len() as u32);
+        self.entries.push((name, slot));
     }
 
-    /// Find a variable, innermost scope first.
+    /// Find a variable, innermost binding first: one indexed load plus
+    /// a frame-floor check.
+    #[inline]
     pub fn get(&self, name: Symbol) -> Option<&Slot> {
-        self.scopes.iter().rev().find_map(|s| s.get(&name))
+        let ix = *self.bindings.get(name.index() as usize)?.last()? as usize;
+        (ix >= self.floor()).then(|| &self.entries[ix].1)
     }
 
     /// Mutable lookup.
+    #[inline]
     pub fn get_mut(&mut self, name: Symbol) -> Option<&mut Slot> {
-        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(&name))
-    }
-
-    /// Is the name bound at all?
-    pub fn contains(&self, name: Symbol) -> bool {
-        self.get(name).is_some()
+        let ix = *self.bindings.get(name.index() as usize)?.last()? as usize;
+        (ix >= self.floor()).then(|| &mut self.entries[ix].1)
     }
 
     /// Assign to a scalar variable, honouring its pinned type.
@@ -127,6 +196,16 @@ mod tests {
     }
 
     #[test]
+    fn redeclaration_in_same_scope_shadows() {
+        // The old HashMap replaced; the arena pushes a shadowing
+        // binding. Both resolve the latest declaration.
+        let mut e = Env::new();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(1), pinned: None });
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(2), pinned: None });
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(2));
+    }
+
+    #[test]
     fn assignment_reaches_outer_scope() {
         let mut e = Env::new();
         e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(1), pinned: None });
@@ -134,6 +213,35 @@ mod tests {
         e.assign_scalar(sym("x"), Value::Numbr(9)).unwrap();
         e.pop_scope();
         assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(9));
+    }
+
+    #[test]
+    fn frames_hide_caller_bindings() {
+        let mut e = Env::new();
+        e.declare(sym("x"), Slot::Scalar { value: Value::Numbr(1), pinned: None });
+        e.push_frame();
+        assert!(e.get(sym("x")).is_none(), "caller binding must be invisible");
+        assert_eq!(e.read_scalar(Symbol::it()).unwrap(), Value::Noob, "fresh IT per frame");
+        e.declare(sym("y"), Slot::Scalar { value: Value::Numbr(2), pinned: None });
+        e.push_scope(); // left open on purpose: pop_frame must unwind it
+        e.declare(sym("z"), Slot::Scalar { value: Value::Numbr(3), pinned: None });
+        e.pop_frame();
+        assert_eq!(e.read_scalar(sym("x")).unwrap(), Value::Numbr(1));
+        assert!(e.get(sym("y")).is_none());
+        assert!(e.get(sym("z")).is_none());
+    }
+
+    #[test]
+    fn nested_frames_restore_in_order() {
+        let mut e = Env::new();
+        e.push_frame();
+        e.declare(sym("a"), Slot::Scalar { value: Value::Numbr(1), pinned: None });
+        e.push_frame();
+        assert!(e.get(sym("a")).is_none());
+        e.pop_frame();
+        assert_eq!(e.read_scalar(sym("a")).unwrap(), Value::Numbr(1));
+        e.pop_frame();
+        assert!(e.get(sym("a")).is_none());
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl<'a, 'w> Interp<'a, 'w> {
         }
     }
 
-    fn check_bounds(&self, name: Symbol, idx: i64, len: usize) -> RResult<usize> {
+    fn check_bounds(name: Symbol, idx: i64, len: usize) -> RResult<usize> {
         if idx < 0 || idx as usize >= len {
             Err(RunError::new(
                 "RUN0123",
@@ -173,8 +173,16 @@ impl<'a, 'w> Interp<'a, 'w> {
             let target = self.target_pe(vr.locality)?;
             return Ok(self.shared_read(sv, 0, target));
         }
-        if self.env.contains(name) {
-            return self.env.read_scalar(name);
+        // One scan of the environment (not contains + read).
+        match self.env.get(name) {
+            Some(Slot::Scalar { value, .. }) => return Ok(value.clone()),
+            Some(Slot::Array { .. }) => {
+                return Err(RunError::new(
+                    "RUN0011",
+                    format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
+                ))
+            }
+            None => {}
         }
         if let Some(sv) = self.shared(name) {
             if matches!(sv.kind, SharedKind::Array { .. }) {
@@ -201,8 +209,21 @@ impl<'a, 'w> Interp<'a, 'w> {
             let target = self.target_pe(vr.locality)?;
             return self.shared_write(sv, 0, target, &v);
         }
-        if self.env.contains(name) {
-            return self.env.assign_scalar(name, v);
+        match self.env.get_mut(name) {
+            Some(Slot::Scalar { value, pinned }) => {
+                *value = match pinned {
+                    Some(ty) => cast(&v, *ty)?,
+                    None => v,
+                };
+                return Ok(());
+            }
+            Some(Slot::Array { .. }) => {
+                return Err(RunError::new(
+                    "RUN0011",
+                    format!("{name} IZ A WHOLE ARRAY — ASSIGN ELEMENTS WIF {name}'Z idx"),
+                ))
+            }
+            None => {}
         }
         if let Some(sv) = self.shared(name) {
             if matches!(sv.kind, SharedKind::Array { .. }) {
@@ -219,56 +240,55 @@ impl<'a, 'w> Interp<'a, 'w> {
     fn read_index(&mut self, arr: &VarRef, idx: &Expr) -> RResult<Value> {
         let name = self.resolve_name(arr)?;
         let i = self.eval(idx)?.to_numbr()?;
-        if arr.locality != Locality::Ur && self.env.contains(name) {
+        if arr.locality != Locality::Ur {
             match self.env.get(name) {
                 Some(Slot::Array { elems, .. }) => {
-                    let i = self.check_bounds(name, i, elems.len())?;
-                    Ok(elems[i].clone())
+                    let i = Self::check_bounds(name, i, elems.len())?;
+                    return Ok(elems[i].clone());
                 }
-                _ => Err(RunError::new("RUN0122", format!("{name} IZ NOT LOTZ A THINGZ"))),
+                Some(Slot::Scalar { .. }) => {
+                    return Err(RunError::new("RUN0122", format!("{name} IZ NOT LOTZ A THINGZ")))
+                }
+                None => {}
             }
-        } else {
-            let sv = self.shared_or_err(name)?;
-            let len = Self::shared_len(sv)?;
-            let i = self.check_bounds(name, i, len)?;
-            let target = self.target_pe(arr.locality)?;
-            Ok(self.shared_read(sv, i, target))
         }
+        let sv = self.shared_or_err(name)?;
+        let len = Self::shared_len(sv)?;
+        let i = Self::check_bounds(name, i, len)?;
+        let target = self.target_pe(arr.locality)?;
+        Ok(self.shared_read(sv, i, target))
     }
 
     fn write_index(&mut self, arr: &VarRef, idx: &Expr, v: Value) -> RResult<()> {
         let name = self.resolve_name(arr)?;
         let i = self.eval(idx)?.to_numbr()?;
-        if arr.locality != Locality::Ur && self.env.contains(name) {
-            // Local array write (cast to element type first to avoid
-            // borrowing conflicts).
-            let (len, ty) = match self.env.get(name) {
-                Some(Slot::Array { elems, ty }) => (elems.len(), *ty),
-                _ => return Err(RunError::new("RUN0122", format!("{name} IZ NOT LOTZ A THINGZ"))),
-            };
-            let i = self.check_bounds(name, i, len)?;
-            let cv = cast(&v, ty)?;
+        if arr.locality != Locality::Ur {
             match self.env.get_mut(name) {
-                Some(Slot::Array { elems, .. }) => {
-                    elems[i] = cv;
-                    Ok(())
+                Some(Slot::Array { elems, ty }) => {
+                    let i = Self::check_bounds(name, i, elems.len())?;
+                    elems[i] = cast(&v, *ty)?;
+                    return Ok(());
                 }
-                _ => unreachable!("checked above"),
+                Some(Slot::Scalar { .. }) => {
+                    return Err(RunError::new("RUN0122", format!("{name} IZ NOT LOTZ A THINGZ")))
+                }
+                None => {}
             }
-        } else {
-            let sv = self.shared_or_err(name)?;
-            let len = Self::shared_len(sv)?;
-            let i = self.check_bounds(name, i, len)?;
-            let target = self.target_pe(arr.locality)?;
-            self.shared_write(sv, i, target, &v)
         }
+        let sv = self.shared_or_err(name)?;
+        let len = Self::shared_len(sv)?;
+        let i = Self::check_bounds(name, i, len)?;
+        let target = self.target_pe(arr.locality)?;
+        self.shared_write(sv, i, target, &v)
     }
 
     /// Does this reference name an array (in its locality)?
     fn is_array_ref(&mut self, vr: &VarRef) -> RResult<bool> {
         let name = self.resolve_name(vr)?;
-        if vr.locality != Locality::Ur && self.env.contains(name) {
-            return Ok(matches!(self.env.get(name), Some(Slot::Array { .. })));
+        if vr.locality != Locality::Ur {
+            if let Some(slot) = self.env.get(name) {
+                return Ok(matches!(slot, Slot::Array { .. }));
+            }
         }
         Ok(self.shared(name).map(|sv| matches!(sv.kind, SharedKind::Array { .. })).unwrap_or(false))
     }
@@ -277,45 +297,50 @@ impl<'a, 'w> Interp<'a, 'w> {
     fn array_copy(&mut self, dst: &VarRef, src: &VarRef) -> RResult<()> {
         // Read the source into values.
         let src_name = self.resolve_name(src)?;
-        let values: Vec<Value> = if src.locality != Locality::Ur && self.env.contains(src_name) {
+        let local_src = if src.locality != Locality::Ur {
             match self.env.get(src_name) {
-                Some(Slot::Array { elems, .. }) => elems.clone(),
-                _ => {
+                Some(Slot::Array { elems, .. }) => Some(elems.clone()),
+                Some(Slot::Scalar { .. }) => {
                     return Err(RunError::new(
                         "RUN0122",
                         format!("{src_name} IZ NOT LOTZ A THINGZ"),
                     ))
                 }
+                None => None,
             }
         } else {
-            let sv = self.shared_or_err(src_name)?;
-            let len = Self::shared_len(sv)?;
-            let target = self.target_pe(src.locality)?;
-            (0..len).map(|i| self.shared_read(sv, i, target)).collect()
+            None
+        };
+        let values: Vec<Value> = match local_src {
+            Some(v) => v,
+            None => {
+                let sv = self.shared_or_err(src_name)?;
+                let len = Self::shared_len(sv)?;
+                let target = self.target_pe(src.locality)?;
+                (0..len).map(|i| self.shared_read(sv, i, target)).collect()
+            }
         };
 
         // Write into the destination.
         let dst_name = self.resolve_name(dst)?;
-        if dst.locality != Locality::Ur && self.env.contains(dst_name) {
-            let ty = match self.env.get(dst_name) {
-                Some(Slot::Array { ty, .. }) => *ty,
-                _ => {
+        if dst.locality != Locality::Ur {
+            match self.env.get_mut(dst_name) {
+                Some(Slot::Array { elems, ty }) => {
+                    let converted: RResult<Vec<Value>> =
+                        values.iter().map(|v| cast(v, *ty)).collect();
+                    *elems = converted?;
+                    return Ok(());
+                }
+                Some(Slot::Scalar { .. }) => {
                     return Err(RunError::new(
                         "RUN0122",
                         format!("{dst_name} IZ NOT LOTZ A THINGZ"),
                     ))
                 }
-            };
-            let converted: RResult<Vec<Value>> = values.iter().map(|v| cast(v, ty)).collect();
-            let converted = converted?;
-            match self.env.get_mut(dst_name) {
-                Some(Slot::Array { elems, .. }) => {
-                    *elems = converted;
-                    Ok(())
-                }
-                _ => unreachable!(),
+                None => {}
             }
-        } else {
+        }
+        {
             let sv = self.shared_or_err(dst_name)?;
             let len = Self::shared_len(sv)?;
             if len != values.len() {
@@ -462,9 +487,10 @@ impl<'a, 'w> Interp<'a, 'w> {
         for a in args {
             argv.push(self.eval(a)?);
         }
-        // Fresh environment: functions see params + IT (+ shared vars,
-        // which bypass the environment entirely).
-        let saved = std::mem::replace(&mut self.env, Env::new());
+        // Fresh frame: functions see params + IT (+ shared vars, which
+        // bypass the environment entirely). The frame floor hides every
+        // caller binding without allocating a new environment.
+        self.env.push_frame();
         for (p, v) in fd.params.iter().zip(argv) {
             self.env.declare(p.sym, Slot::Scalar { value: v, pinned: None });
         }
@@ -488,10 +514,11 @@ impl<'a, 'w> Interp<'a, 'w> {
                 }
             }
         }
-        // Fall-through returns the function's IT (LOLCODE 1.2).
+        // Fall-through returns the function's IT (LOLCODE 1.2) — read
+        // it before the frame unwinds.
         let result = result.unwrap_or_else(|| self.env.read_scalar(Symbol::it()));
         self.call_depth -= 1;
-        self.env = saved;
+        self.env.pop_frame();
         result
     }
 
@@ -715,25 +742,28 @@ impl<'a, 'w> Interp<'a, 'w> {
         match target {
             LValue::Var(vr) => {
                 let name = self.resolve_name(vr)?;
-                if vr.locality != Locality::Ur && self.env.contains(name) {
-                    let cur = self.env.read_scalar(name)?;
-                    let newv = cast(&cur, ty)?;
+                if vr.locality != Locality::Ur {
                     match self.env.get_mut(name) {
                         Some(Slot::Scalar { value, pinned }) => {
-                            *value = newv;
+                            *value = cast(value, ty)?;
                             if pinned.is_some() {
                                 *pinned = Some(ty);
                             }
-                            Ok(())
+                            return Ok(());
                         }
-                        _ => Err(RunError::new("RUN0011", format!("{name} IZ AN ARRAY"))),
+                        Some(Slot::Array { .. }) => {
+                            return Err(RunError::new(
+                                "RUN0011",
+                                format!("{name} IZ A WHOLE ARRAY, NOT A VALUE"),
+                            ))
+                        }
+                        None => {}
                     }
-                } else {
-                    Err(RunError::new(
-                        "RUN0015",
-                        format!("{name} LIVES IN SYMMETRIC MEMORY — ITS TYPE IZ FIXED 4EVER"),
-                    ))
                 }
+                Err(RunError::new(
+                    "RUN0015",
+                    format!("{name} LIVES IN SYMMETRIC MEMORY — ITS TYPE IZ FIXED 4EVER"),
+                ))
             }
             LValue::Index { .. } => {
                 Err(RunError::new("RUN0015", "ARRAY ELEMENTS KEEP DA ARRAY'S TYPE"))

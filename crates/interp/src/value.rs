@@ -127,7 +127,7 @@ impl Value {
             Value::Troof(true) => Ok("WIN".to_string()),
             Value::Troof(false) => Ok("FAIL".to_string()),
             Value::Numbr(n) => Ok(n.to_string()),
-            Value::Numbar(f) => Ok(format!("{f:.2}")),
+            Value::Numbar(f) => Ok(numbar_to_yarn(*f)),
             Value::Yarn(s) => Ok(s.to_string()),
         }
     }
@@ -148,6 +148,26 @@ impl Value {
     }
 }
 
+/// Render a NUMBAR as a YARN: two decimals for finite values (the
+/// `%.2f` of the reference implementation), and the C-library-style
+/// lowercase spellings for the non-finite ones.
+///
+/// All four backends share this rendering. The sign of a NaN is
+/// deliberately dropped: IEEE leaves it unspecified (x86 SSE produces
+/// `-nan` for `0.0/0.0` where Rust's formatter says `NaN`), so pinning
+/// a plain `nan` on every backend is the only portable choice.
+pub fn numbar_to_yarn(f: f64) -> String {
+    if f.is_finite() {
+        format!("{f:.2}")
+    } else if f.is_nan() {
+        "nan".to_string()
+    } else if f > 0.0 {
+        "inf".to_string()
+    } else {
+        "-inf".to_string()
+    }
+}
+
 /// Parse a YARN as NUMBR or NUMBAR (decimal point / exponent → float).
 fn parse_yarn_number(s: &str) -> RResult<Num> {
     let t = s.trim();
@@ -162,55 +182,82 @@ fn parse_yarn_number(s: &str) -> RResult<Num> {
     }
 }
 
-/// Apply a LOLCODE arithmetic operator with promotion rules.
-pub fn arith(op: lol_ast::BinOp, a: &Value, b: &Value) -> RResult<Value> {
+/// Integer arithmetic (wrapping, like the reference C backend's
+/// two's-complement behavior; division checks for zero).
+#[inline]
+fn arith_int(op: lol_ast::BinOp, x: i64, y: i64) -> RResult<Value> {
     use lol_ast::BinOp::*;
-    let (na, nb) = (a.to_num()?, b.to_num()?);
-    match (na, nb) {
-        (Num::I(x), Num::I(y)) => {
-            let r = match op {
-                Sum => x.wrapping_add(y),
-                Diff => x.wrapping_sub(y),
-                Produkt => x.wrapping_mul(y),
-                Quoshunt => {
-                    if y == 0 {
-                        return Err(RunError::new("RUN0001", "DIVIDIN BY ZERO IZ NOT ALLOWED"));
-                    }
-                    x.wrapping_div(y)
-                }
-                Mod => {
-                    if y == 0 {
-                        return Err(RunError::new("RUN0001", "MOD BY ZERO IZ NOT ALLOWED"));
-                    }
-                    x.wrapping_rem(y)
-                }
-                BiggrOf => x.max(y),
-                SmallrOf => x.min(y),
-                _ => unreachable!("not an arithmetic op: {op:?}"),
-            };
-            Ok(Value::Numbr(r))
+    let r = match op {
+        Sum => x.wrapping_add(y),
+        Diff => x.wrapping_sub(y),
+        Produkt => x.wrapping_mul(y),
+        Quoshunt => {
+            if y == 0 {
+                return Err(RunError::new("RUN0001", "DIVIDIN BY ZERO IZ NOT ALLOWED"));
+            }
+            x.wrapping_div(y)
         }
-        _ => {
-            let (x, y) = (na.as_f64(), nb.as_f64());
-            let r = match op {
-                Sum => x + y,
-                Diff => x - y,
-                Produkt => x * y,
-                Quoshunt => x / y,
-                Mod => x % y,
-                BiggrOf => x.max(y),
-                SmallrOf => x.min(y),
-                _ => unreachable!("not an arithmetic op: {op:?}"),
-            };
-            Ok(Value::Numbar(r))
+        Mod => {
+            if y == 0 {
+                return Err(RunError::new("RUN0001", "MOD BY ZERO IZ NOT ALLOWED"));
+            }
+            x.wrapping_rem(y)
         }
+        BiggrOf => x.max(y),
+        SmallrOf => x.min(y),
+        _ => unreachable!("not an arithmetic op: {op:?}"),
+    };
+    Ok(Value::Numbr(r))
+}
+
+/// Float arithmetic (IEEE — division by zero is inf/nan, not a fault).
+#[inline]
+fn arith_float(op: lol_ast::BinOp, x: f64, y: f64) -> Value {
+    use lol_ast::BinOp::*;
+    let r = match op {
+        Sum => x + y,
+        Diff => x - y,
+        Produkt => x * y,
+        Quoshunt => x / y,
+        Mod => x % y,
+        BiggrOf => x.max(y),
+        SmallrOf => x.min(y),
+        _ => unreachable!("not an arithmetic op: {op:?}"),
+    };
+    Value::Numbar(r)
+}
+
+/// Apply a LOLCODE arithmetic operator with promotion rules.
+///
+/// The all-NUMBR and all-NUMBAR cases — the only ones hot loops hit —
+/// dispatch without constructing [`Num`] intermediates; the mixed and
+/// coercing cases (TROOF/YARN operands) fall back to [`Value::to_num`].
+#[inline]
+pub fn arith(op: lol_ast::BinOp, a: &Value, b: &Value) -> RResult<Value> {
+    match (a, b) {
+        (Value::Numbr(x), Value::Numbr(y)) => arith_int(op, *x, *y),
+        (Value::Numbar(x), Value::Numbar(y)) => Ok(arith_float(op, *x, *y)),
+        (Value::Numbr(x), Value::Numbar(y)) => Ok(arith_float(op, *x as f64, *y)),
+        (Value::Numbar(x), Value::Numbr(y)) => Ok(arith_float(op, *x, *y as f64)),
+        _ => match (a.to_num()?, b.to_num()?) {
+            (Num::I(x), Num::I(y)) => arith_int(op, x, y),
+            (na, nb) => Ok(arith_float(op, na.as_f64(), nb.as_f64())),
+        },
     }
 }
 
 /// Apply a comparison operator (`BIGGER` / `SMALLR`).
+#[inline]
 pub fn compare(op: lol_ast::BinOp, a: &Value, b: &Value) -> RResult<Value> {
     use lol_ast::BinOp::*;
-    let (x, y) = (a.to_num()?.as_f64(), b.to_num()?.as_f64());
+    // Comparison is float-domain on every backend (the C runtime
+    // compares via `lol_to_dbl` too), so NUMBRs beyond 2^53 must keep
+    // rounding identically here — no integer special case.
+    let (x, y) = match (a, b) {
+        (Value::Numbr(x), Value::Numbr(y)) => (*x as f64, *y as f64),
+        (Value::Numbar(x), Value::Numbar(y)) => (*x, *y),
+        _ => (a.to_num()?.as_f64(), b.to_num()?.as_f64()),
+    };
     let r = match op {
         Bigger => x > y,
         Smallr => x < y,
@@ -356,6 +403,16 @@ mod tests {
         assert_eq!(Value::Numbar(2.0).to_yarn().unwrap(), "2.00");
         assert_eq!(Value::Troof(true).to_yarn().unwrap(), "WIN");
         assert!(Value::Noob.to_yarn().is_err());
+    }
+
+    #[test]
+    fn non_finite_numbars_render_c_style() {
+        // One spelling on all four backends: lowercase, sign-stripped
+        // NaN (IEEE leaves the NaN sign unspecified across dividers).
+        assert_eq!(Value::Numbar(f64::INFINITY).to_yarn().unwrap(), "inf");
+        assert_eq!(Value::Numbar(f64::NEG_INFINITY).to_yarn().unwrap(), "-inf");
+        assert_eq!(Value::Numbar(f64::NAN).to_yarn().unwrap(), "nan");
+        assert_eq!(Value::Numbar(-f64::NAN).to_yarn().unwrap(), "nan");
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! association" from Section V of the paper.
 
 use lol_ast::{LolType, Span, Symbol};
-use std::collections::HashMap;
 
 /// Words a lock cell occupies. Must match
 /// `lol_shmem::lock::LOCK_WORDS` (asserted by the interpreter crate,
@@ -47,8 +46,10 @@ pub struct SharedVar {
 /// The full symmetric layout of a program.
 #[derive(Debug, Default)]
 pub struct SharedLayout {
+    /// Declaration-ordered; programs share a handful of variables, so
+    /// name lookup is a linear scan over interned ids — cheaper than
+    /// hashing on the interpreter's per-access hot path.
     vars: Vec<SharedVar>,
-    by_name: HashMap<Symbol, usize>,
     /// Total symmetric words needed per PE.
     pub total_words: usize,
 }
@@ -64,7 +65,7 @@ impl SharedLayout {
         sharin: bool,
         span: Span,
     ) -> Option<&SharedVar> {
-        if self.by_name.contains_key(&name) {
+        if self.vars.iter().any(|v| v.name == name) {
             return None;
         }
         let addr = self.total_words as u32;
@@ -78,13 +79,13 @@ impl SharedLayout {
         };
         let idx = self.vars.len();
         self.vars.push(SharedVar { name, ty, kind, addr, lock, span });
-        self.by_name.insert(name, idx);
         Some(&self.vars[idx])
     }
 
     /// Look up a shared variable by name.
+    #[inline]
     pub fn get(&self, name: Symbol) -> Option<&SharedVar> {
-        self.by_name.get(&name).map(|&i| &self.vars[i])
+        self.vars.iter().find(|v| v.name == name)
     }
 
     /// All shared variables in declaration order.

@@ -9,6 +9,12 @@
 
 use std::time::{Duration, Instant};
 
+/// Largest accepted mesh/torus dimension. The sim backend tops out at
+/// ~1M PEs, so a 2^24-wide grid is already absurd; the cap turns a
+/// fat-fingered (or u64-overflowing) spec into a clear error on every
+/// platform instead of a silently truncated grid on 32-bit targets.
+pub const MAX_DIM: usize = 1 << 24;
+
 /// How much a remote access costs, as a function of source/target PE.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum LatencyModel {
@@ -65,6 +71,8 @@ impl LatencyModel {
             LatencyModel::Mesh2D { width, .. } => {
                 if width == 0 {
                     Err("O NOES! [RUN0120] MESH WIDTH MUST BE AT LEAST 1, NOT 0".to_string())
+                } else if width > MAX_DIM {
+                    Err(format!("O NOES! [RUN0120] MESH WIDTH {width} IZ 2 BIG (MAX {MAX_DIM})"))
                 } else {
                     Ok(())
                 }
@@ -73,6 +81,10 @@ impl LatencyModel {
                 if width == 0 || height == 0 {
                     Err(format!(
                         "O NOES! [RUN0120] TORUS DIMENSHUNS MUST BE AT LEAST 1x1, NOT {width}x{height}"
+                    ))
+                } else if width > MAX_DIM || height > MAX_DIM {
+                    Err(format!(
+                        "O NOES! [RUN0120] TORUS DIMENSHUNS {width}x{height} R 2 BIG (MAX {MAX_DIM})"
                     ))
                 } else {
                     Ok(())
@@ -179,6 +191,13 @@ impl std::str::FromStr for LatencyModel {
         let rest: Vec<&str> = parts.collect();
         let parse_u64 =
             |tok: &str| tok.parse::<u64>().map_err(|_| bad(&format!("{s} ({tok} NOT A NUMBR)")));
+        // Grid dimensions become `usize` indices: convert checked, so a
+        // value that doesn't fit the platform word is an error instead
+        // of a silent `as` truncation to some small bogus grid.
+        let parse_dim = |tok: &str| -> Result<usize, String> {
+            let n = parse_u64(tok)?;
+            usize::try_from(n).map_err(|_| bad(&format!("{s} ({tok} 2 BIG 4 DIS MACHINE)")))
+        };
         let model = match head {
             "off" if rest.is_empty() => LatencyModel::Off,
             "flat" => match rest.as_slice() {
@@ -188,11 +207,9 @@ impl std::str::FromStr for LatencyModel {
             },
             "mesh" => match rest.as_slice() {
                 [] => LatencyModel::epiphany16(),
-                [w] => {
-                    LatencyModel::Mesh2D { width: parse_u64(w)? as usize, base_ns: 50, hop_ns: 11 }
-                }
+                [w] => LatencyModel::Mesh2D { width: parse_dim(w)?, base_ns: 50, hop_ns: 11 },
                 [w, base, hop] => LatencyModel::Mesh2D {
-                    width: parse_u64(w)? as usize,
+                    width: parse_dim(w)?,
                     base_ns: parse_u64(base)?,
                     hop_ns: parse_u64(hop)?,
                 },
@@ -201,9 +218,9 @@ impl std::str::FromStr for LatencyModel {
             "torus" => {
                 let dims = |tok: &str| -> Result<(usize, usize), String> {
                     match tok.split_once('x') {
-                        Some((w, h)) => Ok((parse_u64(w)? as usize, parse_u64(h)? as usize)),
+                        Some((w, h)) => Ok((parse_dim(w)?, parse_dim(h)?)),
                         None => {
-                            let w = parse_u64(tok)? as usize;
+                            let w = parse_dim(tok)?;
                             Ok((w, w))
                         }
                     }
@@ -374,5 +391,36 @@ mod tests {
         for junk in ["", "wat", "mesh:0", "torus:0x3", "flat:abc", "mesh:1:2", "off:1"] {
             assert!(junk.parse::<LatencyModel>().is_err(), "{junk} should be rejected");
         }
+    }
+
+    #[test]
+    fn from_str_rejects_oversized_dimensions_instead_of_truncating() {
+        // A u64 that wraps to a tiny width under `as usize` on 32-bit
+        // targets (2^32 + 2 = 4294967298) and values past MAX_DIM must
+        // all be hard errors — never a silently shrunken grid.
+        for spec in [
+            "mesh:4294967298",
+            "mesh:18446744073709551615:1:1",
+            "mesh:99999999999999999999999", // > u64::MAX: not a NUMBR at all
+            "torus:4294967298x4",
+            "torus:4x4294967298:1:1",
+            "torus:16777217", // MAX_DIM + 1
+        ] {
+            let err = spec.parse::<LatencyModel>().unwrap_err();
+            assert!(err.starts_with("O NOES!"), "{spec}: {err}");
+        }
+        // The cap itself is fine.
+        let m = format!("mesh:{MAX_DIM}").parse::<LatencyModel>().unwrap();
+        assert_eq!(m, LatencyModel::Mesh2D { width: MAX_DIM, base_ns: 50, hop_ns: 11 });
+    }
+
+    #[test]
+    fn validate_rejects_oversized_grids() {
+        assert!(LatencyModel::Mesh2D { width: MAX_DIM + 1, base_ns: 1, hop_ns: 1 }
+            .validate()
+            .is_err());
+        assert!(LatencyModel::Torus2D { width: 2, height: MAX_DIM + 1, base_ns: 1, hop_ns: 1 }
+            .validate()
+            .is_err());
     }
 }

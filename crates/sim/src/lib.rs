@@ -682,6 +682,7 @@ mod tests {
                     Op::Halt,
                 ],
                 n_slots: 1,
+                n_arrays: 0,
             },
             funcs: vec![],
             shared_words: 1,
@@ -714,6 +715,7 @@ mod tests {
                     Op::Halt,
                 ],
                 n_slots: 1,
+                n_arrays: 0,
             },
             funcs: vec![],
             shared_words: 4,
@@ -804,6 +806,7 @@ mod tests {
             main: Chunk {
                 code: vec![Op::Me, Op::JumpIfFalse(3), Op::Barrier, Op::Halt],
                 n_slots: 1,
+                n_arrays: 0,
             },
             funcs: vec![],
             shared_words: 0,
@@ -820,6 +823,7 @@ mod tests {
             main: Chunk {
                 code: vec![Op::LockRelease { off: 0, remote: false }, Op::Halt],
                 n_slots: 1,
+                n_arrays: 0,
             },
             funcs: vec![],
             shared_words: 3,

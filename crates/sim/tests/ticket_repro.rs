@@ -34,6 +34,7 @@ fn module() -> Module {
                 Op::Halt,
             ],
             n_slots: 1,
+            n_arrays: 0,
         },
         funcs: vec![],
         shared_words: 3,

@@ -1,0 +1,9 @@
+fn main() {
+    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let prog = lol_parser::parse(&src).expect_program(&src);
+    let analysis = lol_sema::analyze(&prog);
+    let m = lol_vm::compile(&prog, &analysis).unwrap();
+    for (i, op) in m.main.code.iter().enumerate() {
+        println!("{i:4}  {op:?}");
+    }
+}

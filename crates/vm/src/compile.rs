@@ -34,7 +34,7 @@ pub fn compile(program: &Program, analysis: &Analysis) -> CResult<Module> {
         }
         c.leave_scope();
         c.code.push(Op::Halt);
-        module.main = Chunk { code: c.code, n_slots: c.n_slots };
+        module.main = Chunk { code: peephole(c.code), n_slots: c.n_slots, n_arrays: c.n_arrays };
     }
 
     // Function chunks.
@@ -54,7 +54,7 @@ pub fn compile(program: &Program, analysis: &Analysis) -> CResult<Module> {
         c.code.push(Op::Ret);
         module.funcs.push((
             f.name.sym.as_str().to_string(),
-            Chunk { code: c.code, n_slots: c.n_slots },
+            Chunk { code: peephole(c.code), n_slots: c.n_slots, n_arrays: c.n_arrays },
             f.params.len() as u8,
         ));
     }
@@ -82,6 +82,7 @@ struct FnCompiler<'a> {
     code: Vec<Op>,
     scopes: Vec<HashMap<Symbol, LocalSlot>>,
     n_slots: u16,
+    n_arrays: u16,
     /// Jump indices to patch per open loop/switch.
     break_frames: Vec<Vec<usize>>,
     in_function: bool,
@@ -101,6 +102,7 @@ impl<'a> FnCompiler<'a> {
             code: Vec::new(),
             scopes: vec![],
             n_slots: 1, // slot 0 = IT
+            n_arrays: 0,
             break_frames: Vec::new(),
             in_function,
         }
@@ -116,9 +118,15 @@ impl<'a> FnCompiler<'a> {
         self.scopes.pop();
     }
 
+    /// Allocate a slot index in the space matching `kind` (scalars and
+    /// arrays index disjoint per-frame tables).
     fn alloc_slot(&mut self, name: Symbol, kind: SlotKind) -> u16 {
-        let slot = self.n_slots;
-        self.n_slots += 1;
+        let counter = match kind {
+            SlotKind::Scalar { .. } => &mut self.n_slots,
+            SlotKind::Array => &mut self.n_arrays,
+        };
+        let slot = *counter;
+        *counter += 1;
         self.scopes.last_mut().expect("scope").insert(name, LocalSlot { slot, kind });
         slot
     }
@@ -201,7 +209,7 @@ impl<'a> FnCompiler<'a> {
         if vr.locality != Locality::Ur {
             if let Some(ls) = self.lookup(name) {
                 if matches!(ls.kind, SlotKind::Array) {
-                    return Ok(ArrLoc::Local { slot: ls.slot });
+                    return Ok(ArrLoc::Local { arr: ls.slot });
                 }
             }
         }
@@ -232,7 +240,7 @@ impl<'a> FnCompiler<'a> {
                         match ls.kind {
                             SlotKind::Array => {
                                 self.expr(idx)?;
-                                self.code.push(Op::LocalArrLoad { slot: ls.slot });
+                                self.code.push(Op::LocalArrLoad { arr: ls.slot });
                                 return Ok(());
                             }
                             SlotKind::Scalar { .. } => {
@@ -434,7 +442,7 @@ impl<'a> FnCompiler<'a> {
                     if let Some(ls) = self.lookup(name) {
                         return match ls.kind {
                             SlotKind::Array => {
-                                self.code.push(Op::LocalArrStore { slot: ls.slot });
+                                self.code.push(Op::LocalArrStore { arr: ls.slot });
                                 Ok(())
                             }
                             SlotKind::Scalar { .. } => Err(self.err(
@@ -619,8 +627,8 @@ impl<'a> FnCompiler<'a> {
             DeclScope::I => {
                 if let Some(size) = &d.array_size {
                     self.expr(size)?;
-                    let slot = self.alloc_slot(d.name.sym, SlotKind::Array);
-                    self.code.push(Op::LocalArrNew { slot, ty: d.ty.unwrap_or(LolType::Noob) });
+                    let arr = self.alloc_slot(d.name.sym, SlotKind::Array);
+                    self.code.push(Op::LocalArrNew { arr, ty: d.ty.unwrap_or(LolType::Noob) });
                     Ok(())
                 } else {
                     match (&d.init, d.ty) {
@@ -777,4 +785,151 @@ impl<'a> FnCompiler<'a> {
         self.leave_scope();
         Ok(())
     }
+}
+
+/// Fuse common instruction idioms into superinstructions.
+///
+/// The fuser works on fully patched code (absolute jump targets). Two
+/// rules keep it exactly semantics-preserving:
+///
+/// 1. a fusion window never covers an *interior* jump target — the
+///    window's first instruction may be jumped to, the rest may not
+///    (otherwise a jump would land mid-superinstruction);
+/// 2. after fusion every jump target is remapped through the old→new
+///    pc table.
+///
+/// Each superinstruction performs the identical value operations (same
+/// errors, in the same order) as the sequence it replaces, so fused
+/// and unfused code are byte-identical in output, stats, and traces.
+fn peephole(code: Vec<Op>) -> Vec<Op> {
+    let n = code.len();
+    let mut is_target = vec![false; n + 1];
+    for op in &code {
+        match op {
+            Op::Jump(t) | Op::JumpIfFalse(t) => is_target[*t as usize] = true,
+            _ => {}
+        }
+    }
+
+    let mut out: Vec<Op> = Vec::with_capacity(n);
+    // Old pc → new pc, for every instruction boundary (+ end-of-code,
+    // a legal jump target for loop exits at the end of a chunk).
+    let mut map = vec![0u32; n + 1];
+    let mut i = 0;
+    while i < n {
+        map[i] = out.len() as u32;
+        // No interior instruction of the window [i, i+len) is a target.
+        let free = |len: usize| !is_target[i + 1..i + len].iter().any(|&b| b);
+        let fused: Option<(Op, usize)> = match &code[i..] {
+            // Counted-loop guards (both the TIL and WILE DIFFRINT
+            // shapes reduce to "jump out when var SAEMs the bound"),
+            // with constant or variable bounds.
+            [Op::LoadLocal(s), Op::Const(k), Op::Bin(BinOp::BothSaem), Op::Un(UnOp::Not), Op::JumpIfFalse(t), ..]
+                if free(5) =>
+            {
+                Some((Op::JumpIfLocalEqConst { slot: *s, k: *k, target: *t }, 5))
+            }
+            [Op::LoadLocal(a), Op::LoadLocal(b), Op::Bin(BinOp::BothSaem), Op::Un(UnOp::Not), Op::JumpIfFalse(t), ..]
+                if free(5) =>
+            {
+                Some((Op::JumpIfLocalEqLocal { a: *a, b: *b, target: *t }, 5))
+            }
+            [Op::LoadLocal(s), Op::Const(k), Op::Bin(BinOp::Diffrint), Op::JumpIfFalse(t), ..]
+                if free(4) =>
+            {
+                Some((Op::JumpIfLocalEqConst { slot: *s, k: *k, target: *t }, 4))
+            }
+            [Op::LoadLocal(a), Op::LoadLocal(b), Op::Bin(BinOp::Diffrint), Op::JumpIfFalse(t), ..]
+                if free(4) =>
+            {
+                Some((Op::JumpIfLocalEqLocal { a: *a, b: *b, target: *t }, 4))
+            }
+            // Compute-and-store: reductions (`acc R SUM OF acc AN x`)
+            // and loop increments / index arithmetic.
+            [Op::LoadLocal(a), Op::LoadLocal(b), Op::Bin(op), Op::StoreLocal(d), ..] if free(4) => {
+                Some((Op::BinLLS { op: *op, a: *a, b: *b, dst: *d }, 4))
+            }
+            [Op::LoadLocal(a), Op::Const(k), Op::Bin(op), Op::StoreLocal(d), ..] if free(4) => {
+                Some((Op::BinLCS { op: *op, a: *a, k: *k, dst: *d }, 4))
+            }
+            [Op::LoadLocal(a), Op::LoadLocal(b), Op::Bin(op), ..] if free(3) => {
+                Some((Op::BinLL { op: *op, a: *a, b: *b }, 3))
+            }
+            [Op::LoadLocal(a), Op::Const(k), Op::Bin(op), ..] if free(3) => {
+                Some((Op::BinLC { op: *op, a: *a, k: *k }, 3))
+            }
+            // Array / symmetric-heap accesses indexed by a variable.
+            [Op::LoadLocal(idx), Op::LocalArrLoad { arr }, ..] if free(2) => {
+                Some((Op::LocalArrLoadL { arr: *arr, idx: *idx }, 2))
+            }
+            [Op::LoadLocal(idx), Op::LocalArrStore { arr }, ..] if free(2) => {
+                Some((Op::LocalArrStoreL { arr: *arr, idx: *idx }, 2))
+            }
+            [Op::LoadLocal(idx), Op::SharedLoadIdx { off, len, ty, remote }, ..] if free(2) => {
+                Some((
+                    Op::SharedLoadIdxL {
+                        off: *off,
+                        len: *len,
+                        ty: *ty,
+                        remote: *remote,
+                        idx: *idx,
+                    },
+                    2,
+                ))
+            }
+            [Op::LoadLocal(idx), Op::SharedStoreIdx { off, len, ty, remote }, ..] if free(2) => {
+                Some((
+                    Op::SharedStoreIdxL {
+                        off: *off,
+                        len: *len,
+                        ty: *ty,
+                        remote: *remote,
+                        idx: *idx,
+                    },
+                    2,
+                ))
+            }
+            // `O RLY?` dispatch on IT (or any branch on a local).
+            [Op::LoadLocal(s), Op::JumpIfFalse(t), ..] if free(2) => {
+                Some((Op::JumpIfLocalFalse { slot: *s, target: *t }, 2))
+            }
+            [Op::LoadLocal(b), Op::Bin(op), ..] if free(2) => {
+                Some((Op::BinSL { op: *op, b: *b }, 2))
+            }
+            [Op::Const(k), Op::Bin(op), ..] if free(2) => Some((Op::BinSC { op: *op, k: *k }, 2)),
+            // Stores to pinned (`ITZ SRSLY A`) variables.
+            [Op::Cast(ty), Op::StoreLocal(s), ..] if free(2) => {
+                Some((Op::CastStore { ty: *ty, slot: *s }, 2))
+            }
+            _ => None,
+        };
+        match fused {
+            Some((op, len)) => {
+                for j in 1..len {
+                    map[i + j] = out.len() as u32;
+                }
+                out.push(op);
+                i += len;
+            }
+            None => {
+                out.push(code[i].clone());
+                i += 1;
+            }
+        }
+    }
+    map[n] = out.len() as u32;
+
+    for op in &mut out {
+        match op {
+            Op::Jump(t)
+            | Op::JumpIfFalse(t)
+            | Op::JumpIfLocalEqConst { target: t, .. }
+            | Op::JumpIfLocalEqLocal { target: t, .. }
+            | Op::JumpIfLocalFalse { target: t, .. } => {
+                *t = map[*t as usize];
+            }
+            _ => {}
+        }
+    }
+    out
 }

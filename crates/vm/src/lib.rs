@@ -351,6 +351,74 @@ mod tests {
         assert!(matches!(m.main.code.last(), Some(Op::Halt)));
     }
 
+    // -----------------------------------------------------------------
+    // Fault paths: malformed bytecode must die with RUN0192, not a
+    // naked panic
+    // -----------------------------------------------------------------
+
+    /// Hand-built broken modules (the compiler never emits these — they
+    /// model compiler bugs / corrupted bytecode). Each must surface the
+    /// stable `RUN0192` internal-bug diagnostic from `resume`.
+    fn malformed_modules() -> Vec<(&'static str, Module)> {
+        use lol_ast::BinOp;
+        let with_main = |code: Vec<Op>| Module {
+            main: Chunk { code, n_slots: 1, n_arrays: 0 },
+            ..Default::default()
+        };
+        vec![
+            ("binop on empty stack", with_main(vec![Op::Bin(BinOp::Sum), Op::Halt])),
+            ("load of out-of-range slot", with_main(vec![Op::LoadLocal(99), Op::Halt])),
+            ("store to out-of-range slot", with_main(vec![Op::StoreLocal(7), Op::Halt])),
+            ("const index out of range", with_main(vec![Op::Const(3), Op::Halt])),
+            ("call of missing funkshun", with_main(vec![Op::Call { func: 0, argc: 0 }, Op::Halt])),
+            ("ret with empty stack", with_main(vec![Op::Ret])),
+        ]
+    }
+
+    #[test]
+    fn malformed_bytecode_is_a_structured_vm_bug_error() {
+        for (what, m) in malformed_modules() {
+            let err = run_spmd(cfg(1), |pe| {
+                run_on_pe(&m, pe, &[]).expect_err(&format!("{what}: expected an error"))
+            })
+            .unwrap()
+            .pop()
+            .unwrap();
+            assert_eq!(err.code, "RUN0192", "{what}: wrong code: {err}");
+            assert!(
+                err.to_string().contains("DIS IZ NOT UR PROGRAMZ FAULT"),
+                "{what}: message should disown the user program: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_bytecode_surfaces_through_spmd_error() {
+        // The engine path: the PE converts the RunError into `pe.fail`,
+        // and the job reports a structured SpmdError (what the sweep
+        // driver records as FAILED) rather than propagating a panic.
+        let (_, m) = malformed_modules().pop().unwrap();
+        let err = run_parallel(&m, cfg(2)).expect_err("job should fail");
+        assert!(err.message.contains("RUN0192"), "missing code in: {err}");
+        assert!(err.to_string().starts_with("PE "), "should name the failing PE: {err}");
+    }
+
+    #[test]
+    fn machine_is_dead_after_vm_bug() {
+        use lol_ast::BinOp;
+        let m = Module {
+            main: Chunk { code: vec![Op::Bin(BinOp::Sum), Op::Halt], n_slots: 1, n_arrays: 0 },
+            ..Default::default()
+        };
+        run_spmd(cfg(1), |pe| {
+            let mut mach = Machine::new(&m, &[]);
+            assert_eq!(mach.resume(pe).unwrap_err().code, "RUN0192");
+            // A second resume must not continue past the fault.
+            assert!(mach.resume(pe).is_err(), "machine must stay dead after an error");
+        })
+        .unwrap();
+    }
+
     #[test]
     fn consts_are_deduped() {
         let (p, a) = build(&prog("VISIBLE 7\nVISIBLE 7\nVISIBLE 7"));

@@ -20,7 +20,30 @@
 //!   re-resumes it from a binary-heap event queue, which is what makes
 //!   million-PE jobs possible on one thread.
 //!
-//! The instruction semantics here are a line-for-line port of the old
+//! # Hot-path layout
+//!
+//! [`Machine::resume`] destructures `self` into disjoint field borrows
+//! and holds `&mut Frame` for the whole frame activation, so a scalar
+//! load is one bounds-checked index — not a `frames[fi].slots[s]`
+//! double hop — and `pc` lives in a register, written back only at
+//! control transfers (call, return, block). Scalar slots are a plain
+//! `Vec<Value>` and local arrays live in a separate per-frame table, so
+//! the scalar fast path never branches on an array/scalar discriminant
+//! and NUMBR/NUMBAR/TROOF moves are plain 24-byte copies that never
+//! touch an `Arc`. Superinstructions (see [`Op`]) collapse the
+//! compiler's loop-guard, pinned-store and stencil idioms into single
+//! dispatches.
+//!
+//! Internal invariant violations (operand-stack underflow, slot or
+//! constant indices out of range — only reachable with a malformed
+//! [`Module`], i.e. a compiler bug) surface as the stable `RUN0192`
+//! error code through the normal [`RResult`] channel instead of a
+//! panic, so a bad module produces a structured `O NOES!` diagnostic
+//! and a FAILED sweep entry rather than tearing down the job with an
+//! opaque unwind. After an `Err` the machine is dead: `resume` must
+//! not be called again (the `pc` is mid-instruction).
+//!
+//! The instruction semantics are a line-for-line port of the old
 //! recursive loop; the differential tests in `lib.rs` pin VM output to
 //! the interpreter's byte-for-byte.
 
@@ -44,11 +67,19 @@ pub enum Step {
     Blocked,
 }
 
-/// One frame slot: a scalar value or a local array.
+/// Internal-invariant violation: only a malformed module (a compiler
+/// bug) can reach these, so they carry a dedicated stable code instead
+/// of panicking across the substrate.
+#[cold]
+fn vmbug(what: &str) -> RunError {
+    RunError::new("RUN0192", format!("INTERNAL VM BUG: {what} — DIS IZ NOT UR PROGRAMZ FAULT"))
+}
+
+/// A local (`I HAS A ... LOTZ`) array.
 #[derive(Debug, Clone)]
-enum Cell {
-    Val(Value),
-    Arr { elems: Vec<Value>, ty: LolType },
+struct LocalArr {
+    elems: Vec<Value>,
+    ty: LolType,
 }
 
 /// Which chunk a frame executes.
@@ -62,7 +93,20 @@ enum ChunkRef {
 struct Frame {
     chunk: ChunkRef,
     pc: usize,
-    slots: Vec<Cell>,
+    /// Scalar slots (slot 0 = IT).
+    slots: Vec<Value>,
+    /// Local arrays (separate index space); `None` until `LocalArrNew`.
+    arrays: Vec<Option<LocalArr>>,
+}
+
+/// How a frame activation ended (other than blocking or erroring).
+enum Xfer {
+    /// Pop the frame; push the value for the caller (Noob for implicit
+    /// returns and `Halt`). If it was the last frame, the program is
+    /// done.
+    Unwind(Value),
+    /// Push the callee frame and enter it.
+    Call(Frame),
 }
 
 /// One PE's complete execution state, decoupled from any thread.
@@ -90,7 +134,7 @@ impl<'a> Machine<'a> {
             base: SymAddr(0),
             started: false,
             frames: Vec::new(),
-            stack: Vec::new(),
+            stack: Vec::with_capacity(16),
             bff: Vec::new(),
             out: String::new(),
             input: input.iter().cloned().collect(),
@@ -102,79 +146,13 @@ impl<'a> Machine<'a> {
         std::mem::take(&mut self.out)
     }
 
-    fn chunk_of(module: &'a Module, c: ChunkRef) -> &'a Chunk {
-        match c {
-            ChunkRef::Main => &module.main,
-            ChunkRef::Func(i) => &module.funcs[i as usize].1,
-        }
-    }
-
-    #[inline]
-    fn pop(&mut self) -> Value {
-        self.stack.pop().expect("VM stack underflow (compiler bug)")
-    }
-
-    fn target<S: Substrate + ?Sized>(&self, sub: &S, remote: bool) -> RResult<usize> {
-        if remote {
-            self.bff.last().copied().ok_or_else(|| {
-                RunError::new("RUN0120", "UR OUTSIDE TXT MAH BFF — WHOS ADDRESS SPACE IZ DIS?")
-            })
-        } else {
-            Ok(sub.id())
-        }
-    }
-
-    fn shared_read<S: Substrate + ?Sized>(
-        &self,
-        sub: &S,
-        off: u32,
-        index: usize,
-        ty: LolType,
-        target: usize,
-    ) -> Value {
-        let addr = self.base.offset(off as usize + index);
-        match ty {
-            LolType::Numbar => Value::Numbar(sub.get_f64(addr, target)),
-            LolType::Troof => Value::Troof(sub.get_u64(addr, target) != 0),
-            _ => Value::Numbr(sub.get_i64(addr, target)),
-        }
-    }
-
-    fn shared_write<S: Substrate + ?Sized>(
-        &self,
-        sub: &S,
-        off: u32,
-        index: usize,
-        ty: LolType,
-        target: usize,
-        v: &Value,
-    ) -> RResult<()> {
-        let addr = self.base.offset(off as usize + index);
-        match ty {
-            LolType::Numbar => sub.put_f64(addr, target, v.to_numbar()?),
-            LolType::Troof => sub.put_u64(addr, target, v.to_troof() as u64),
-            _ => sub.put_i64(addr, target, v.to_numbr()?),
-        }
-        Ok(())
-    }
-
-    fn bounds(idx: i64, len: u32) -> RResult<usize> {
-        if idx < 0 || idx as u32 >= len {
-            Err(RunError::new(
-                "RUN0123",
-                format!("INDEX {idx} IZ OUTSIDE DA ARRAY (IT HAS {len} THINGZ)"),
-            ))
-        } else {
-            Ok(idx as usize)
-        }
-    }
-
     /// Run until the program completes or the PE would block.
     ///
     /// On [`Step::Blocked`] the machine has already rewound to re-issue
     /// the same substrate call; calling `resume` again retries it.
     /// Stats and latency accounting stay exact because substrates
-    /// charge them on the first attempt only.
+    /// charge them on the first attempt only. On `Err` the machine is
+    /// dead and must not be resumed.
     pub fn resume<S: Substrate + ?Sized>(&mut self, sub: &S) -> RResult<Step> {
         let module = self.module;
         if !self.started {
@@ -185,309 +163,493 @@ impl<'a> Machine<'a> {
                 }
             }
             self.started = true;
-            self.frames.push(Frame {
-                chunk: ChunkRef::Main,
-                pc: 0,
-                slots: new_frame(&module.main),
-            });
+            self.frames.push(new_frame(ChunkRef::Main, &module.main));
         }
+        let base = self.base;
+        // Split `self` into disjoint borrows so the dispatch loop can
+        // hold `&mut Frame` (from `frames`) alongside the operand
+        // stack and output buffer without going through `self`.
+        let Machine { frames, stack, bff, out, input, .. } = self;
+        // Outer loop: one iteration per frame activation. The inner
+        // loop keeps `pc` and `chunk` in locals — `chunk` borrows from
+        // `module` (not `self`) — and breaks with the control transfer
+        // once the activation ends.
         loop {
-            let Some(top) = self.frames.last() else { return Ok(Step::Done) };
-            let fi = self.frames.len() - 1;
-            let chunk = Self::chunk_of(module, top.chunk);
-            let pc = top.pc;
-            if pc >= chunk.code.len() {
-                // Fell off the end of the chunk: implicit return.
-                self.frames.pop();
-                if self.frames.is_empty() {
-                    return Ok(Step::Done);
-                }
-                self.stack.push(Value::Noob);
-                continue;
-            }
-            self.frames[fi].pc = pc + 1;
-            let op = &chunk.code[pc];
-            match op {
-                Op::Const(k) => self.stack.push(module.consts[*k as usize].clone()),
-                Op::LoadLocal(s) => {
-                    let v = match &self.frames[fi].slots[*s as usize] {
-                        Cell::Val(v) => v.clone(),
-                        Cell::Arr { .. } => {
-                            return Err(RunError::new("RUN0011", "DIS IZ A WHOLE ARRAY"))
-                        }
-                    };
-                    self.stack.push(v);
-                }
-                Op::StoreLocal(s) => {
-                    let v = self.pop();
-                    self.frames[fi].slots[*s as usize] = Cell::Val(v);
-                }
-                Op::Cast(ty) => {
-                    let v = self.pop();
-                    self.stack.push(cast(&v, *ty)?);
-                }
-                Op::Pop => {
-                    self.pop();
-                }
-                Op::SharedLoad { off, ty, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    let v = self.shared_read(sub, *off, 0, *ty, t);
-                    self.stack.push(v);
-                }
-                Op::SharedStore { off, ty, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    let v = self.pop();
-                    self.shared_write(sub, *off, 0, *ty, t, &v)?;
-                }
-                Op::SharedLoadIdx { off, len, ty, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    let i = Self::bounds(self.pop().to_numbr()?, *len)?;
-                    let v = self.shared_read(sub, *off, i, *ty, t);
-                    self.stack.push(v);
-                }
-                Op::SharedStoreIdx { off, len, ty, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    let i = Self::bounds(self.pop().to_numbr()?, *len)?;
-                    let v = self.pop();
-                    self.shared_write(sub, *off, i, *ty, t, &v)?;
-                }
-                Op::LocalArrNew { slot, ty } => {
-                    let n = self.pop().to_numbr()?;
-                    if n <= 0 {
-                        return Err(RunError::new(
-                            "RUN0014",
-                            format!("ARRAY SIZE MUST BE POSITIVE, NOT {n}"),
-                        ));
-                    }
-                    self.frames[fi].slots[*slot as usize] =
-                        Cell::Arr { elems: vec![default_for(*ty); n as usize], ty: *ty };
-                }
-                Op::LocalArrLoad { slot } => {
-                    let i = self.pop().to_numbr()?;
-                    let v = match &self.frames[fi].slots[*slot as usize] {
-                        Cell::Arr { elems, .. } => {
-                            let i = Self::bounds(i, elems.len() as u32)?;
-                            elems[i].clone()
-                        }
-                        Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
-                    };
-                    self.stack.push(v);
-                }
-                Op::LocalArrStore { slot } => {
-                    let i = self.pop().to_numbr()?;
-                    let v = self.pop();
-                    match &mut self.frames[fi].slots[*slot as usize] {
-                        Cell::Arr { elems, ty } => {
-                            let i = Self::bounds(i, elems.len() as u32)?;
-                            elems[i] = cast(&v, *ty)?;
-                        }
-                        Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
-                    }
-                }
-                Op::ArrayCopy { dst, src } => self.array_copy(sub, fi, dst, src)?,
-                Op::Bin(op) => {
-                    let b = self.pop();
-                    let a = self.pop();
-                    let r = binop(*op, a, b)?;
-                    self.stack.push(r);
-                }
-                Op::Un(op) => {
-                    let v = self.pop();
-                    let r = unop(*op, v)?;
-                    self.stack.push(r);
-                }
-                Op::Smoosh(n) => {
-                    let vals = self.pop_n(*n);
-                    let mut s = String::new();
-                    for v in vals {
-                        s.push_str(&v.to_yarn()?);
-                    }
-                    self.stack.push(Value::yarn(s));
-                }
-                Op::AllOf(n) => {
-                    let vals = self.pop_n(*n);
-                    self.stack.push(Value::Troof(vals.iter().all(|v| v.to_troof())));
-                }
-                Op::AnyOf(n) => {
-                    let vals = self.pop_n(*n);
-                    self.stack.push(Value::Troof(vals.iter().any(|v| v.to_troof())));
-                }
-                Op::Jump(t) => self.frames[fi].pc = *t as usize,
-                Op::JumpIfFalse(t) => {
-                    let v = self.pop();
-                    if !v.to_troof() {
-                        self.frames[fi].pc = *t as usize;
-                    }
-                }
-                Op::Call { func, argc } => {
-                    // frames.len() - 1 = number of active calls.
-                    if self.frames.len() > MAX_CALL_DEPTH {
-                        return Err(RunError::new(
-                            "RUN0130",
-                            format!("2 MUCH RECURSHUN (DEPTH {MAX_CALL_DEPTH})"),
-                        ));
-                    }
-                    let (_, chunk, arity) = &module.funcs[*func as usize];
-                    debug_assert_eq!(*arity, *argc, "arity checked by sema");
-                    let mut callee = new_frame(chunk);
-                    // Args were pushed left-to-right: pop into reverse.
-                    for i in (0..*argc).rev() {
-                        let v = self.pop();
-                        callee[1 + i as usize] = Cell::Val(v);
-                    }
-                    self.frames.push(Frame { chunk: ChunkRef::Func(*func), pc: 0, slots: callee });
-                }
-                Op::Ret => {
-                    let v = self.pop();
-                    self.frames.pop();
-                    if self.frames.is_empty() {
-                        return Ok(Step::Done);
-                    }
-                    self.stack.push(v);
-                }
-                Op::Visible { argc, newline } => {
-                    let vals = self.pop_n(*argc);
-                    for v in vals {
-                        let s = v.to_yarn()?;
-                        self.out.push_str(&s);
-                    }
-                    if *newline {
-                        self.out.push('\n');
-                    }
-                }
-                Op::ReadLine => {
-                    let line = self.input.pop_front().ok_or_else(|| {
-                        RunError::new("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT")
-                    })?;
-                    self.stack.push(Value::yarn(line));
-                }
-                Op::Barrier => {
-                    if let Progress::Pending = sub.barrier() {
-                        self.frames[fi].pc = pc;
-                        return Ok(Step::Blocked);
-                    }
-                }
-                Op::LockAcquire { off, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    if let Progress::Pending = sub.lock(self.base.offset(*off as usize), t) {
-                        self.frames[fi].pc = pc;
-                        return Ok(Step::Blocked);
-                    }
-                }
-                Op::LockTry { off, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    let got = sub.try_lock(self.base.offset(*off as usize), t);
-                    self.stack.push(Value::Troof(got));
-                }
-                Op::LockRelease { off, remote } => {
-                    let t = self.target(sub, *remote)?;
-                    sub.unlock(self.base.offset(*off as usize), t);
-                }
-                Op::PushBff => {
-                    let k = self.pop().to_numbr()?;
-                    if k < 0 || k as usize >= sub.n_pes() {
-                        return Err(RunError::new(
-                            "RUN0017",
-                            format!("PE {k} IZ NOT MAH FREN (THERE R ONLY {} OF US)", sub.n_pes()),
-                        ));
-                    }
-                    self.bff.push(k as usize);
-                }
-                Op::PopBff => {
-                    self.bff.pop();
-                }
-                Op::Me => self.stack.push(Value::Numbr(sub.id() as i64)),
-                Op::MahFrenz => self.stack.push(Value::Numbr(sub.n_pes() as i64)),
-                Op::RandI => self.stack.push(Value::Numbr(sub.rand_i64())),
-                Op::RandF => self.stack.push(Value::Numbar(sub.rand_f64())),
-                Op::Halt => {
-                    self.frames.pop();
-                    if self.frames.is_empty() {
-                        return Ok(Step::Done);
-                    }
-                    // Halt inside a function behaves like falling off
-                    // the end: the call produced no value.
-                    self.stack.push(Value::Noob);
-                }
-            }
-        }
-    }
-
-    fn pop_n(&mut self, n: u8) -> Vec<Value> {
-        let at = self.stack.len() - n as usize;
-        self.stack.split_off(at)
-    }
-
-    fn array_copy<S: Substrate + ?Sized>(
-        &mut self,
-        sub: &S,
-        fi: usize,
-        dst: &ArrLoc,
-        src: &ArrLoc,
-    ) -> RResult<()> {
-        let values: Vec<Value> = match src {
-            ArrLoc::Local { slot } => match &self.frames[fi].slots[*slot as usize] {
-                Cell::Arr { elems, .. } => elems.clone(),
-                Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
-            },
-            ArrLoc::Shared { off, len, ty, remote } => {
-                let t = self.target(sub, *remote)?;
-                (0..*len as usize).map(|i| self.shared_read(sub, *off, i, *ty, t)).collect()
-            }
-        };
-        match dst {
-            ArrLoc::Local { slot } => {
-                let ty = match &self.frames[fi].slots[*slot as usize] {
-                    Cell::Arr { ty, .. } => *ty,
-                    Cell::Val(_) => return Err(RunError::new("RUN0122", "NOT LOTZ A THINGZ")),
+            let depth = frames.len();
+            let Some(frame) = frames.last_mut() else { return Ok(Step::Done) };
+            let chunk = chunk_of(module, frame.chunk);
+            let mut pc = frame.pc;
+            let xfer = loop {
+                let Some(op) = chunk.code.get(pc) else {
+                    // Fell off the end of the chunk: implicit return.
+                    break Xfer::Unwind(Value::Noob);
                 };
-                let converted: RResult<Vec<Value>> = values.iter().map(|v| cast(v, ty)).collect();
-                match &mut self.frames[fi].slots[*slot as usize] {
-                    Cell::Arr { elems, .. } => *elems = converted?,
-                    Cell::Val(_) => unreachable!(),
+                pc += 1;
+                match op {
+                    Op::Const(k) => {
+                        let v = konst(module, *k)?.clone();
+                        stack.push(v);
+                    }
+                    Op::LoadLocal(s) => {
+                        let v = slot(frame, *s)?.clone();
+                        stack.push(v);
+                    }
+                    Op::StoreLocal(s) => {
+                        let v = pop(stack)?;
+                        *slot_mut(frame, *s)? = v;
+                    }
+                    Op::Cast(ty) => {
+                        let v = pop(stack)?;
+                        stack.push(cast(&v, *ty)?);
+                    }
+                    Op::Pop => {
+                        pop(stack)?;
+                    }
+                    Op::SharedLoad { off, ty, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        let v = shared_read(base, sub, *off, 0, *ty, t);
+                        stack.push(v);
+                    }
+                    Op::SharedStore { off, ty, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        let v = pop(stack)?;
+                        shared_write(base, sub, *off, 0, *ty, t, &v)?;
+                    }
+                    Op::SharedLoadIdx { off, len, ty, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        let i = bounds(pop(stack)?.to_numbr()?, *len)?;
+                        let v = shared_read(base, sub, *off, i, *ty, t);
+                        stack.push(v);
+                    }
+                    Op::SharedStoreIdx { off, len, ty, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        let i = bounds(pop(stack)?.to_numbr()?, *len)?;
+                        let v = pop(stack)?;
+                        shared_write(base, sub, *off, i, *ty, t, &v)?;
+                    }
+                    Op::LocalArrNew { arr, ty } => {
+                        let n = pop(stack)?.to_numbr()?;
+                        if n <= 0 {
+                            return Err(RunError::new(
+                                "RUN0014",
+                                format!("ARRAY SIZE MUST BE POSITIVE, NOT {n}"),
+                            ));
+                        }
+                        *frame
+                            .arrays
+                            .get_mut(*arr as usize)
+                            .ok_or_else(|| vmbug("ARRAY SLOT OUT OF RANGE"))? =
+                            Some(LocalArr { elems: vec![default_for(*ty); n as usize], ty: *ty });
+                    }
+                    Op::LocalArrLoad { arr: a } => {
+                        let i = pop(stack)?.to_numbr()?;
+                        let la = arr(frame, *a)?;
+                        let i = bounds(i, la.elems.len() as u32)?;
+                        let v = la.elems[i].clone();
+                        stack.push(v);
+                    }
+                    Op::LocalArrStore { arr: a } => {
+                        let i = pop(stack)?.to_numbr()?;
+                        let v = pop(stack)?;
+                        let la = arr_mut(frame, *a)?;
+                        let i = bounds(i, la.elems.len() as u32)?;
+                        la.elems[i] = cast(&v, la.ty)?;
+                    }
+                    Op::ArrayCopy { dst, src } => array_copy(frame, sub, base, bff, dst, src)?,
+                    Op::Bin(op) => {
+                        let b = pop(stack)?;
+                        let a = pop(stack)?;
+                        let r = binop(*op, &a, &b)?;
+                        stack.push(r);
+                    }
+                    Op::Un(op) => {
+                        let v = pop(stack)?;
+                        let r = unop(*op, &v)?;
+                        stack.push(r);
+                    }
+                    Op::BinLL { op, a, b } => {
+                        let r = binop(*op, slot(frame, *a)?, slot(frame, *b)?)?;
+                        stack.push(r);
+                    }
+                    Op::BinLC { op, a, k } => {
+                        let r = binop(*op, slot(frame, *a)?, konst(module, *k)?)?;
+                        stack.push(r);
+                    }
+                    Op::BinSL { op, b } => {
+                        let va = pop(stack)?;
+                        let r = binop(*op, &va, slot(frame, *b)?)?;
+                        stack.push(r);
+                    }
+                    Op::BinSC { op, k } => {
+                        let va = pop(stack)?;
+                        let r = binop(*op, &va, konst(module, *k)?)?;
+                        stack.push(r);
+                    }
+                    Op::BinLLS { op, a, b, dst } => {
+                        let r = binop(*op, slot(frame, *a)?, slot(frame, *b)?)?;
+                        *slot_mut(frame, *dst)? = r;
+                    }
+                    Op::BinLCS { op, a, k, dst } => {
+                        let r = binop(*op, slot(frame, *a)?, konst(module, *k)?)?;
+                        *slot_mut(frame, *dst)? = r;
+                    }
+                    Op::CastStore { ty, slot: s } => {
+                        let v = pop(stack)?;
+                        let c = cast(&v, *ty)?;
+                        *slot_mut(frame, *s)? = c;
+                    }
+                    Op::JumpIfLocalEqConst { slot: s, k, target } => {
+                        if slot(frame, *s)?.saem(konst(module, *k)?) {
+                            pc = *target as usize;
+                        }
+                    }
+                    Op::JumpIfLocalEqLocal { a, b, target } => {
+                        if slot(frame, *a)?.saem(slot(frame, *b)?) {
+                            pc = *target as usize;
+                        }
+                    }
+                    Op::JumpIfLocalFalse { slot: s, target } => {
+                        if !slot(frame, *s)?.to_troof() {
+                            pc = *target as usize;
+                        }
+                    }
+                    Op::LocalArrLoadL { arr: a, idx } => {
+                        let i = slot(frame, *idx)?.to_numbr()?;
+                        let la = arr(frame, *a)?;
+                        let i = bounds(i, la.elems.len() as u32)?;
+                        let v = la.elems[i].clone();
+                        stack.push(v);
+                    }
+                    Op::LocalArrStoreL { arr: a, idx } => {
+                        let i = slot(frame, *idx)?.to_numbr()?;
+                        let v = pop(stack)?;
+                        let la = arr_mut(frame, *a)?;
+                        let i = bounds(i, la.elems.len() as u32)?;
+                        la.elems[i] = cast(&v, la.ty)?;
+                    }
+                    Op::SharedLoadIdxL { off, len, ty, remote, idx } => {
+                        let t = target(bff, sub, *remote)?;
+                        let i = bounds(slot(frame, *idx)?.to_numbr()?, *len)?;
+                        let v = shared_read(base, sub, *off, i, *ty, t);
+                        stack.push(v);
+                    }
+                    Op::SharedStoreIdxL { off, len, ty, remote, idx } => {
+                        let t = target(bff, sub, *remote)?;
+                        let i = bounds(slot(frame, *idx)?.to_numbr()?, *len)?;
+                        let v = pop(stack)?;
+                        shared_write(base, sub, *off, i, *ty, t, &v)?;
+                    }
+                    Op::Smoosh(n) => {
+                        let at = stack_base(stack, *n)?;
+                        let mut s = String::new();
+                        for v in &stack[at..] {
+                            s.push_str(&v.to_yarn()?);
+                        }
+                        stack.truncate(at);
+                        stack.push(Value::yarn(s));
+                    }
+                    Op::AllOf(n) => {
+                        let at = stack_base(stack, *n)?;
+                        let r = stack[at..].iter().all(|v| v.to_troof());
+                        stack.truncate(at);
+                        stack.push(Value::Troof(r));
+                    }
+                    Op::AnyOf(n) => {
+                        let at = stack_base(stack, *n)?;
+                        let r = stack[at..].iter().any(|v| v.to_troof());
+                        stack.truncate(at);
+                        stack.push(Value::Troof(r));
+                    }
+                    Op::Jump(t) => pc = *t as usize,
+                    Op::JumpIfFalse(t) => {
+                        let v = pop(stack)?;
+                        if !v.to_troof() {
+                            pc = *t as usize;
+                        }
+                    }
+                    Op::Call { func, argc } => {
+                        // depth - 1 = number of active calls.
+                        if depth > MAX_CALL_DEPTH {
+                            return Err(RunError::new(
+                                "RUN0130",
+                                format!("2 MUCH RECURSHUN (DEPTH {MAX_CALL_DEPTH})"),
+                            ));
+                        }
+                        let (_, chunk, arity) = module
+                            .funcs
+                            .get(*func as usize)
+                            .ok_or_else(|| vmbug("FUNKSHUN INDEX OUT OF RANGE"))?;
+                        debug_assert_eq!(*arity, *argc, "arity checked by sema");
+                        let mut callee = new_frame(ChunkRef::Func(*func), chunk);
+                        // Args were pushed left-to-right: pop into reverse.
+                        for i in (0..*argc).rev() {
+                            let v = pop(stack)?;
+                            *callee
+                                .slots
+                                .get_mut(1 + i as usize)
+                                .ok_or_else(|| vmbug("ARG SLOT OUT OF RANGE"))? = v;
+                        }
+                        frame.pc = pc;
+                        break Xfer::Call(callee);
+                    }
+                    Op::Ret => {
+                        let v = pop(stack)?;
+                        break Xfer::Unwind(v);
+                    }
+                    Op::Visible { argc, newline } => {
+                        let at = stack_base(stack, *argc)?;
+                        for v in &stack[at..] {
+                            let s = v.to_yarn()?;
+                            out.push_str(&s);
+                        }
+                        stack.truncate(at);
+                        if *newline {
+                            out.push('\n');
+                        }
+                    }
+                    Op::ReadLine => {
+                        let line = input.pop_front().ok_or_else(|| {
+                            RunError::new("RUN0140", "GIMMEH BUT THERES NO MOAR INPUT")
+                        })?;
+                        stack.push(Value::yarn(line));
+                    }
+                    Op::Barrier => {
+                        if let Progress::Pending = sub.barrier() {
+                            frame.pc = pc - 1;
+                            return Ok(Step::Blocked);
+                        }
+                    }
+                    Op::LockAcquire { off, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        if let Progress::Pending = sub.lock(base.offset(*off as usize), t) {
+                            frame.pc = pc - 1;
+                            return Ok(Step::Blocked);
+                        }
+                    }
+                    Op::LockTry { off, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        let got = sub.try_lock(base.offset(*off as usize), t);
+                        stack.push(Value::Troof(got));
+                    }
+                    Op::LockRelease { off, remote } => {
+                        let t = target(bff, sub, *remote)?;
+                        sub.unlock(base.offset(*off as usize), t);
+                    }
+                    Op::PushBff => {
+                        let k = pop(stack)?.to_numbr()?;
+                        if k < 0 || k as usize >= sub.n_pes() {
+                            return Err(RunError::new(
+                                "RUN0017",
+                                format!(
+                                    "PE {k} IZ NOT MAH FREN (THERE R ONLY {} OF US)",
+                                    sub.n_pes()
+                                ),
+                            ));
+                        }
+                        bff.push(k as usize);
+                    }
+                    Op::PopBff => {
+                        bff.pop();
+                    }
+                    Op::Me => stack.push(Value::Numbr(sub.id() as i64)),
+                    Op::MahFrenz => stack.push(Value::Numbr(sub.n_pes() as i64)),
+                    Op::RandI => stack.push(Value::Numbr(sub.rand_i64())),
+                    Op::RandF => stack.push(Value::Numbar(sub.rand_f64())),
+                    Op::Halt => {
+                        // Halt inside a function behaves like falling off
+                        // the end: the call produced no value.
+                        break Xfer::Unwind(Value::Noob);
+                    }
                 }
-                Ok(())
-            }
-            ArrLoc::Shared { off, len, ty, remote } => {
-                if values.len() != *len as usize {
-                    return Err(RunError::new(
-                        "RUN0013",
-                        format!("ARRAY COPY SIZE MISMATCH: {} THINGZ INTO {len}", values.len()),
-                    ));
+            };
+            match xfer {
+                Xfer::Unwind(v) => {
+                    frames.pop();
+                    if frames.is_empty() {
+                        return Ok(Step::Done);
+                    }
+                    stack.push(v);
                 }
-                let t = self.target(sub, *remote)?;
-                for (i, v) in values.iter().enumerate() {
-                    self.shared_write(sub, *off, i, *ty, t, v)?;
-                }
-                Ok(())
+                Xfer::Call(callee) => frames.push(callee),
             }
         }
     }
 }
 
-fn binop(op: lol_ast::BinOp, a: Value, b: Value) -> RResult<Value> {
+fn chunk_of(module: &Module, c: ChunkRef) -> &Chunk {
+    match c {
+        ChunkRef::Main => &module.main,
+        ChunkRef::Func(i) => &module.funcs[i as usize].1,
+    }
+}
+
+#[inline]
+fn pop(stack: &mut Vec<Value>) -> RResult<Value> {
+    stack.pop().ok_or_else(|| vmbug("OPERAND STACK UNDERFLOW"))
+}
+
+/// Start index of the top `n` stack values (for n-ary ops).
+#[inline]
+fn stack_base(stack: &[Value], n: u8) -> RResult<usize> {
+    stack.len().checked_sub(n as usize).ok_or_else(|| vmbug("OPERAND STACK UNDERFLOW"))
+}
+
+#[inline]
+fn slot(frame: &Frame, s: u16) -> RResult<&Value> {
+    frame.slots.get(s as usize).ok_or_else(|| vmbug("SCALAR SLOT OUT OF RANGE"))
+}
+
+#[inline]
+fn slot_mut(frame: &mut Frame, s: u16) -> RResult<&mut Value> {
+    frame.slots.get_mut(s as usize).ok_or_else(|| vmbug("SCALAR SLOT OUT OF RANGE"))
+}
+
+#[inline]
+fn konst(module: &Module, k: u16) -> RResult<&Value> {
+    module.consts.get(k as usize).ok_or_else(|| vmbug("CONSTANT INDEX OUT OF RANGE"))
+}
+
+fn arr(frame: &Frame, a: u16) -> RResult<&LocalArr> {
+    frame
+        .arrays
+        .get(a as usize)
+        .ok_or_else(|| vmbug("ARRAY SLOT OUT OF RANGE"))?
+        .as_ref()
+        .ok_or_else(|| RunError::new("RUN0122", "NOT LOTZ A THINGZ"))
+}
+
+fn arr_mut(frame: &mut Frame, a: u16) -> RResult<&mut LocalArr> {
+    frame
+        .arrays
+        .get_mut(a as usize)
+        .ok_or_else(|| vmbug("ARRAY SLOT OUT OF RANGE"))?
+        .as_mut()
+        .ok_or_else(|| RunError::new("RUN0122", "NOT LOTZ A THINGZ"))
+}
+
+fn target<S: Substrate + ?Sized>(bff: &[usize], sub: &S, remote: bool) -> RResult<usize> {
+    if remote {
+        bff.last().copied().ok_or_else(|| {
+            RunError::new("RUN0120", "UR OUTSIDE TXT MAH BFF — WHOS ADDRESS SPACE IZ DIS?")
+        })
+    } else {
+        Ok(sub.id())
+    }
+}
+
+fn shared_read<S: Substrate + ?Sized>(
+    base: SymAddr,
+    sub: &S,
+    off: u32,
+    index: usize,
+    ty: LolType,
+    target: usize,
+) -> Value {
+    let addr = base.offset(off as usize + index);
+    match ty {
+        LolType::Numbar => Value::Numbar(sub.get_f64(addr, target)),
+        LolType::Troof => Value::Troof(sub.get_u64(addr, target) != 0),
+        _ => Value::Numbr(sub.get_i64(addr, target)),
+    }
+}
+
+fn shared_write<S: Substrate + ?Sized>(
+    base: SymAddr,
+    sub: &S,
+    off: u32,
+    index: usize,
+    ty: LolType,
+    target: usize,
+    v: &Value,
+) -> RResult<()> {
+    let addr = base.offset(off as usize + index);
+    match ty {
+        LolType::Numbar => sub.put_f64(addr, target, v.to_numbar()?),
+        LolType::Troof => sub.put_u64(addr, target, v.to_troof() as u64),
+        _ => sub.put_i64(addr, target, v.to_numbr()?),
+    }
+    Ok(())
+}
+
+fn bounds(idx: i64, len: u32) -> RResult<usize> {
+    if idx < 0 || idx as u32 >= len {
+        Err(RunError::new(
+            "RUN0123",
+            format!("INDEX {idx} IZ OUTSIDE DA ARRAY (IT HAS {len} THINGZ)"),
+        ))
+    } else {
+        Ok(idx as usize)
+    }
+}
+
+fn array_copy<S: Substrate + ?Sized>(
+    frame: &mut Frame,
+    sub: &S,
+    base: SymAddr,
+    bff: &[usize],
+    dst: &ArrLoc,
+    src: &ArrLoc,
+) -> RResult<()> {
+    let values: Vec<Value> = match src {
+        ArrLoc::Local { arr: a } => arr(frame, *a)?.elems.clone(),
+        ArrLoc::Shared { off, len, ty, remote } => {
+            let t = target(bff, sub, *remote)?;
+            (0..*len as usize).map(|i| shared_read(base, sub, *off, i, *ty, t)).collect()
+        }
+    };
+    match dst {
+        ArrLoc::Local { arr: a } => {
+            let ty = arr(frame, *a)?.ty;
+            let converted: RResult<Vec<Value>> = values.iter().map(|v| cast(v, ty)).collect();
+            arr_mut(frame, *a)?.elems = converted?;
+            Ok(())
+        }
+        ArrLoc::Shared { off, len, ty, remote } => {
+            if values.len() != *len as usize {
+                return Err(RunError::new(
+                    "RUN0013",
+                    format!("ARRAY COPY SIZE MISMATCH: {} THINGZ INTO {len}", values.len()),
+                ));
+            }
+            let t = target(bff, sub, *remote)?;
+            for (i, v) in values.iter().enumerate() {
+                shared_write(base, sub, *off, i, *ty, t, v)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[inline]
+fn binop(op: lol_ast::BinOp, a: &Value, b: &Value) -> RResult<Value> {
     use lol_ast::BinOp::*;
     match op {
-        Sum | Diff | Produkt | Quoshunt | Mod | BiggrOf | SmallrOf => arith(op, &a, &b),
-        Bigger | Smallr => compare(op, &a, &b),
-        BothSaem => Ok(Value::Troof(a.saem(&b))),
-        Diffrint => Ok(Value::Troof(!a.saem(&b))),
+        Sum | Diff | Produkt | Quoshunt | Mod | BiggrOf | SmallrOf => arith(op, a, b),
+        Bigger | Smallr => compare(op, a, b),
+        BothSaem => Ok(Value::Troof(a.saem(b))),
+        Diffrint => Ok(Value::Troof(!a.saem(b))),
         BothOf => Ok(Value::Troof(a.to_troof() && b.to_troof())),
         EitherOf => Ok(Value::Troof(a.to_troof() || b.to_troof())),
         WonOf => Ok(Value::Troof(a.to_troof() ^ b.to_troof())),
     }
 }
 
-fn unop(op: lol_ast::UnOp, v: Value) -> RResult<Value> {
+#[inline]
+fn unop(op: lol_ast::UnOp, v: &Value) -> RResult<Value> {
     use lol_ast::UnOp::*;
     match op {
         Not => Ok(Value::Troof(!v.to_troof())),
-        Squar => arith(lol_ast::BinOp::Produkt, &v, &v),
+        Squar => arith(lol_ast::BinOp::Produkt, v, v),
         Unsquar => Ok(Value::Numbar(v.to_numbar()?.sqrt())),
         Flip => Ok(Value::Numbar(1.0 / v.to_numbar()?)),
     }
 }
 
-fn new_frame(chunk: &Chunk) -> Vec<Cell> {
-    vec![Cell::Val(Value::Noob); chunk.n_slots as usize]
+fn new_frame(cref: ChunkRef, chunk: &Chunk) -> Frame {
+    Frame {
+        chunk: cref,
+        pc: 0,
+        slots: vec![Value::Noob; chunk.n_slots as usize],
+        arrays: vec![None; chunk.n_arrays as usize],
+    }
 }

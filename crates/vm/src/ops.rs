@@ -13,8 +13,9 @@ use lol_interp::Value;
 /// Where an array lives, for whole-array copies.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArrLoc {
-    /// A frame-local array slot.
-    Local { slot: u16 },
+    /// A frame-local array (index into the frame's array table, a
+    /// separate space from scalar slots).
+    Local { arr: u16 },
     /// A symmetric array; `remote` selects the current BFF instead of
     /// the own instance.
     Shared { off: u32, len: u32, ty: LolType, remote: bool },
@@ -61,18 +62,18 @@ pub enum Op {
         remote: bool,
     },
 
-    /// Pop size, create a local array in `slot`.
+    /// Pop size, create local array `arr`.
     LocalArrNew {
-        slot: u16,
+        arr: u16,
         ty: LolType,
     },
-    /// Pop index, push element of local array in `slot`.
+    /// Pop index, push element of local array `arr`.
     LocalArrLoad {
-        slot: u16,
+        arr: u16,
     },
-    /// Pop index then value, store element of local array.
+    /// Pop index then value, store element of local array `arr`.
     LocalArrStore {
-        slot: u16,
+        arr: u16,
     },
     /// Whole-array copy (Section VI.A).
     ArrayCopy {
@@ -84,6 +85,103 @@ pub enum Op {
     Bin(BinOp),
     /// Unary operator on the top value.
     Un(UnOp),
+
+    // Superinstructions — peephole fusions of the idioms the compiler
+    // emits for loop guards, stencil index arithmetic and reductions.
+    // Each is exactly equivalent to the op sequence it replaces; the
+    // fuser never folds across an interior jump target.
+    /// `LoadLocal a; LoadLocal b; Bin(op)`.
+    BinLL {
+        op: BinOp,
+        a: u16,
+        b: u16,
+    },
+    /// `LoadLocal a; Const k; Bin(op)`.
+    BinLC {
+        op: BinOp,
+        a: u16,
+        k: u16,
+    },
+    /// `LoadLocal b; Bin(op)` — rhs from a slot, lhs on the stack.
+    BinSL {
+        op: BinOp,
+        b: u16,
+    },
+    /// `Const k; Bin(op)` — rhs from the pool, lhs on the stack.
+    BinSC {
+        op: BinOp,
+        k: u16,
+    },
+    /// `LoadLocal a; LoadLocal b; Bin(op); StoreLocal dst` — the
+    /// reduction idiom (`acc R SUM OF acc AN x`).
+    BinLLS {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `LoadLocal a; Const k; Bin(op); StoreLocal dst` — counted-loop
+    /// increments and index arithmetic.
+    BinLCS {
+        op: BinOp,
+        a: u16,
+        k: u16,
+        dst: u16,
+    },
+    /// `Cast(ty); StoreLocal(slot)` — every store to a pinned
+    /// (`ITZ SRSLY A`) variable.
+    CastStore {
+        ty: LolType,
+        slot: u16,
+    },
+    /// Counted-loop guard: jump when `slots[slot]` SAEMs `consts[k]`.
+    /// Fuses both guard shapes the compiler emits (`TIL BOTH SAEM`
+    /// via `Bin(BothSaem); Un(Not); JumpIfFalse` and `WILE DIFFRINT`
+    /// via `Bin(Diffrint); JumpIfFalse`).
+    JumpIfLocalEqConst {
+        slot: u16,
+        k: u16,
+        target: u32,
+    },
+    /// Same guard shapes with a variable bound: jump when `slots[a]`
+    /// SAEMs `slots[b]`.
+    JumpIfLocalEqLocal {
+        a: u16,
+        b: u16,
+        target: u32,
+    },
+    /// `LoadLocal slot; JumpIfFalse target` — `O RLY?` on `IT`.
+    JumpIfLocalFalse {
+        slot: u16,
+        target: u32,
+    },
+    /// `LoadLocal idx; LocalArrLoad { arr }` — stencil reads.
+    LocalArrLoadL {
+        arr: u16,
+        idx: u16,
+    },
+    /// `LoadLocal idx; LocalArrStore { arr }` — stencil writes.
+    LocalArrStoreL {
+        arr: u16,
+        idx: u16,
+    },
+    /// `LoadLocal idx; SharedLoadIdx { .. }` — symmetric-array reads
+    /// indexed by a loop variable.
+    SharedLoadIdxL {
+        off: u32,
+        len: u32,
+        ty: LolType,
+        remote: bool,
+        idx: u16,
+    },
+    /// `LoadLocal idx; SharedStoreIdx { .. }`.
+    SharedStoreIdxL {
+        off: u32,
+        len: u32,
+        ty: LolType,
+        remote: bool,
+        idx: u16,
+    },
     /// N-ary string concat.
     Smoosh(u8),
     /// N-ary AND / OR.
@@ -147,8 +245,11 @@ pub enum Op {
 #[derive(Debug, Clone, Default)]
 pub struct Chunk {
     pub code: Vec<Op>,
-    /// Number of local slots (slot 0 = IT).
+    /// Number of scalar slots (slot 0 = IT).
     pub n_slots: u16,
+    /// Number of local-array slots (a separate index space, so scalar
+    /// loads never branch on an array/scalar discriminant).
+    pub n_arrays: u16,
 }
 
 /// A compiled module: main chunk, function chunks, constant pool.
@@ -183,7 +284,11 @@ mod tests {
     fn module_code_len_counts_everything() {
         let mut m = Module::default();
         m.main.code = vec![Op::Halt];
-        m.funcs.push(("f".into(), Chunk { code: vec![Op::Ret, Op::Ret], n_slots: 1 }, 0));
+        m.funcs.push((
+            "f".into(),
+            Chunk { code: vec![Op::Ret, Op::Ret], n_slots: 1, n_arrays: 0 },
+            0,
+        ));
         assert_eq!(m.code_len(), 3);
     }
 }

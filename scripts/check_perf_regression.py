@@ -1,17 +1,27 @@
 #!/usr/bin/env python3
 """Compare two SweepReport JSON files and fail on wall-time regressions.
 
-Usage: check_perf_regression.py BASELINE.json CURRENT.json [--max-ratio 1.30]
+Usage:
+  check_perf_regression.py BASELINE.json CURRENT.json [--max-ratio 1.30]
+  check_perf_regression.py --absolute BASELINES.json --program NAME CURRENT.json
 
-Entries are matched by their full config identity (backend, pes, seed,
-latency, barrier, lock, clock). A config regresses when its wall time
-grows beyond --max-ratio x the baseline AND by more than an absolute
-noise floor (tiny walls are scheduling noise, not signal).
+Relative mode (two reports): entries are matched by their full config
+identity (backend, pes, seed, latency, barrier, lock, clock). A config
+regresses when its wall time grows beyond --max-ratio x the baseline
+AND by more than an absolute noise floor (tiny walls are scheduling
+noise, not signal).
+
+Absolute mode (--absolute): CURRENT.json is gated against pinned
+ceilings from BASELINES.json (see scripts/perf_baselines.json), keyed
+by program name then "backend|pes". This is how the hot-path speedups
+are locked in: the ceilings sit *below* the pre-optimization walls, so
+a revert fails CI even with no prior artifact to diff against. Every
+baselined config must be present and ok in the current report.
 
 Virtual-time entries (clock == "virtual") are exempt from the wall
-check by design: their virtual_wall_ns is deterministic, so it is
-compared for *exact* equality instead — any drift there is a semantics
-change, not a perf change.
+check by design: their virtual_wall_ns is deterministic, so relative
+mode compares it for *exact* equality instead — any drift there is a
+semantics change, not a perf change. Absolute mode skips them.
 
 Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
 """
@@ -44,27 +54,80 @@ def load(path):
     return {key(e): e for e in report.get("entries", []) if e.get("ok")}
 
 
+def check_absolute(baselines_path, program, current_path):
+    try:
+        with open(baselines_path) as f:
+            baselines = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {baselines_path}: {e}", file=sys.stderr)
+        return 2
+    ceilings = baselines.get("programs", {}).get(program)
+    if not ceilings:
+        print(f"error: no baselines for program {program!r}", file=sys.stderr)
+        return 2
+    floor = baselines.get("noise_floor_ns", NOISE_FLOOR_NS)
+    current = load(current_path)
+    walls = {}
+    for k, e in current.items():
+        if k[-1] == "virtual":  # deterministic rows are gated elsewhere
+            continue
+        walls[f"{k[0]}|{k[1]}"] = e.get("wall_ns", 0)
+    failures = []
+    for config, max_ns in sorted(ceilings.items()):
+        got = walls.get(config)
+        if got is None:
+            failures.append(f"{program} {config}: baselined config missing from the report")
+        elif got > max_ns + floor:
+            failures.append(
+                f"{program} {config}: wall {got / 1e6:.1f}ms exceeds the pinned "
+                f"ceiling {max_ns / 1e6:.1f}ms (+{floor / 1e6:.0f}ms noise floor)"
+            )
+        else:
+            print(f"{program} {config}: {got / 1e6:.1f}ms <= {max_ns / 1e6:.1f}ms ok")
+    if failures:
+        print("PERF REGRESSION (absolute ceilings):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"{program}: all {len(ceilings)} pinned ceilings hold")
+    return 0
+
+
 def main(argv):
     args = []
     max_ratio = 1.30
+    absolute = None
+    program = None
+
+    def value_of(flag, i):
+        if "=" in argv[i]:
+            return argv[i].split("=", 1)[1], i
+        if i + 1 >= len(argv):
+            print(f"error: {flag} needs a value", file=sys.stderr)
+            sys.exit(2)
+        return argv[i + 1], i + 1
+
     i = 1
     while i < len(argv):
         a = argv[i]
         if a.startswith("--max-ratio"):
-            if "=" in a:
-                max_ratio = float(a.split("=", 1)[1])
-            else:
-                i += 1
-                if i >= len(argv):
-                    print("error: --max-ratio needs a value", file=sys.stderr)
-                    return 2
-                max_ratio = float(argv[i])
+            v, i = value_of("--max-ratio", i)
+            max_ratio = float(v)
+        elif a.startswith("--absolute"):
+            absolute, i = value_of("--absolute", i)
+        elif a.startswith("--program"):
+            program, i = value_of("--program", i)
         elif a.startswith("--"):
             print(f"error: unknown flag {a}", file=sys.stderr)
             return 2
         else:
             args.append(a)
         i += 1
+    if absolute is not None:
+        if program is None or len(args) != 1:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return check_absolute(absolute, program, args[0])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2

@@ -119,11 +119,63 @@ fn sim_engine_runs_1024_pes_in_debug() {
 struct ProgramGen {
     rng: TestRng,
     next_loop: u32,
+    bucket: GenBucket,
+}
+
+/// Generation bias. The default `Mixed` is the original balanced
+/// grammar; the other buckets overweight the value-representation
+/// corners this PR's interp/VM hot-path rework touches most.
+#[derive(Clone, Copy, PartialEq)]
+enum GenBucket {
+    Mixed,
+    /// SMOOSH pyramids, YARN casts and interpolation — stresses the
+    /// string paths of the split scalar/heap value representation.
+    YarnHeavy,
+    /// i64-magnitude constants under SUM/DIFF/PRODUKT chains — every
+    /// backend must wrap identically (wrapping, like C's eventual
+    /// two's-complement behaviour, is the pinned semantics).
+    OverflowHeavy,
 }
 
 impl ProgramGen {
     fn new(seed: u64) -> Self {
-        ProgramGen { rng: TestRng::from_seed(seed), next_loop: 0 }
+        Self::bucketed(seed, GenBucket::Mixed)
+    }
+
+    fn bucketed(seed: u64, bucket: GenBucket) -> Self {
+        ProgramGen { rng: TestRng::from_seed(seed), next_loop: 0, bucket }
+    }
+
+    /// A YARN-flavoured expression: concat trees over (mostly numeric,
+    /// so casts keep flowing) string leaves, YARN round-trips, and
+    /// `:{...}` interpolation.
+    fn yarn_expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.below(4) == 0 {
+            return format!("\"{}\"", self.pick(&["42", "-7", "0", "31", "3", "O HAI"]));
+        }
+        match self.rng.below(4) {
+            0 => format!("SMOOSH {} AN {} MKAY", self.yarn_expr(depth - 1), self.expr(depth - 1)),
+            1 => format!("MAEK {} A YARN", self.expr(depth - 1)),
+            2 => format!("MAEK \"{}\" A NUMBR", self.pick(&["42", "-7", "0"])),
+            _ => "\"IT SEZ :{v0} AN :{s0}\"".to_string(),
+        }
+    }
+
+    /// An overflow-flavoured expression: constants near the i64 rim
+    /// under wrapping arithmetic.
+    fn overflow_expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.below(3) == 0 {
+            return self
+                .pick(&[
+                    "9223372036854775807",  // i64::MAX
+                    "-9223372036854775807", // i64::MIN + 1
+                    "4611686018427387904",  // 2^62
+                    "3037000499",           // ~sqrt(i64::MAX)
+                ])
+                .to_string();
+        }
+        let op = self.pick(&["PRODUKT OF", "SUM OF", "DIFF OF"]);
+        format!("{op} {} AN {}", self.overflow_expr(depth - 1), self.expr(depth - 1))
     }
 
     fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
@@ -134,6 +186,11 @@ impl ProgramGen {
     /// shared instance `s0`, the gathered remote value `g0`, and the
     /// array `a0`.
     fn expr(&mut self, depth: u32) -> String {
+        match self.bucket {
+            GenBucket::YarnHeavy if self.rng.below(2) == 0 => return self.yarn_expr(depth),
+            GenBucket::OverflowHeavy if self.rng.below(2) == 0 => return self.overflow_expr(depth),
+            _ => {}
+        }
         if depth == 0 || self.rng.below(3) == 0 {
             return match self.rng.below(9) {
                 0 => (self.rng.below(200) as i64 - 100).to_string(),
@@ -312,6 +369,115 @@ fn generated_grammar_programs_agree_across_engines() {
     // front end or at runtime.
     assert!(compiled >= 150, "only {compiled}/200 programs compiled — generator drifted");
     assert!(faulted <= compiled / 2, "{faulted} runtime faults in {compiled} programs");
+}
+
+/// The value-representation stress buckets: YARN-heavy and
+/// NUMBR-overflow-heavy programs through interp, vm and sim with full
+/// observability on — per-PE outputs, per-PE [`CommStats`], trace
+/// signatures and virtual walls must all be byte-identical. This is the
+/// oracle that the hot-path rework (split scalar/heap values, dense
+/// dispatch, superinstructions) changed *nothing* observable.
+#[test]
+fn yarn_and_overflow_buckets_agree_with_full_observability() {
+    for (label, bucket, seed) in [
+        ("yarn-heavy", GenBucket::YarnHeavy, 0xCA7_5EED_u64),
+        ("overflow-heavy", GenBucket::OverflowHeavy, 0x00F1_015E_u64),
+    ] {
+        let mut gen = ProgramGen::bucketed(seed, bucket);
+        let mut compiled = 0usize;
+        let mut ran = 0usize;
+        for case in 0..40u64 {
+            let src = gen.program();
+            let Ok(artifact) = compile(&src) else { continue };
+            compiled += 1;
+            let cfg = RunConfig::new(3)
+                .seed(case)
+                .timeout(Duration::from_secs(20))
+                .trace(true)
+                .clock(ClockMode::Virtual)
+                .latency(LatencyModel::epiphany16());
+            let a = InterpEngine.run(&artifact, &cfg);
+            let b = VmEngine.run(&artifact, &cfg);
+            let s = SimEngine.run(&artifact, &cfg);
+            match (a, b, s) {
+                (Ok(x), Ok(y), Ok(z)) => {
+                    ran += 1;
+                    for (other, which) in [(&y, "vm"), (&z, "sim")] {
+                        assert_eq!(
+                            x.outputs, other.outputs,
+                            "{label} case {case}: output divergence vs {which} on:\n{src}"
+                        );
+                        assert_eq!(
+                            x.stats, other.stats,
+                            "{label} case {case}: CommStats divergence vs {which} on:\n{src}"
+                        );
+                        assert_eq!(
+                            x.trace.as_ref().expect("interp trace").signature(),
+                            other.trace.as_ref().expect("other trace").signature(),
+                            "{label} case {case}: trace divergence vs {which} on:\n{src}"
+                        );
+                        assert_eq!(
+                            x.virtual_wall, other.virtual_wall,
+                            "{label} case {case}: virtual-wall divergence vs {which} on:\n{src}"
+                        );
+                    }
+                }
+                (Err(_), Err(_), Err(_)) => {} // all faulted identically: fine
+                (a, b, s) => panic!(
+                    "{label} case {case}: backends disagree about faulting: \
+                     {:?} vs {:?} vs {:?}\n{src}",
+                    a.map(|r| r.outputs),
+                    b.map(|r| r.outputs),
+                    s.map(|r| r.outputs)
+                ),
+            }
+        }
+        assert!(compiled >= 25, "{label}: only {compiled}/40 compiled — generator drifted");
+        assert!(ran >= 12, "{label}: only {ran}/{compiled} ran clean — too fault-happy");
+    }
+}
+
+/// Non-finite NUMBARs must render identically everywhere — the
+/// cross-backend bug this PR fixes: interp/vm used Rust's `NaN`/`inf`
+/// spellings while the C runtime (and platform printf quirks) said
+/// `nan`/`-nan`. The pinned spelling is C's lowercase `nan`, `inf`,
+/// `-inf` on every backend, in VISIBLE, MAEK ... A YARN and SMOOSH.
+#[test]
+fn non_finite_numbars_render_identically_on_every_backend() {
+    let src = "\
+HAI 1.2
+I HAS A nan ITZ QUOSHUNT OF 0.0 AN 0.0
+I HAS A pinf ITZ QUOSHUNT OF 1.0 AN 0.0
+I HAS A ninf ITZ QUOSHUNT OF -1.0 AN 0.0
+I HAS A modnan ITZ MOD OF 1.0 AN 0.0
+VISIBLE nan
+VISIBLE pinf
+VISIBLE ninf
+VISIBLE modnan
+VISIBLE MAEK pinf A YARN
+VISIBLE SMOOSH \"N=\" AN nan AN \" P=\" AN pinf AN \" M=\" AN ninf MKAY
+KTHXBYE
+";
+    let artifact = compile(src).unwrap();
+    let cfg = RunConfig::new(2).timeout(Duration::from_secs(60));
+    let reference = InterpEngine.run(&artifact, &cfg).unwrap();
+    assert_eq!(
+        reference.outputs[0].lines().collect::<Vec<_>>(),
+        ["nan", "inf", "-inf", "nan", "inf", "N=nan P=inf M=-inf"],
+        "the pinned C spelling of non-finite NUMBARs"
+    );
+    for backend in Backend::ALL {
+        let engine = engine_for(backend);
+        if !engine.available() {
+            eprintln!("skipping {backend:?}: unavailable here");
+            continue;
+        }
+        let r = engine.run(&artifact, &cfg.clone().backend(backend)).unwrap();
+        assert_eq!(
+            r.outputs, reference.outputs,
+            "{backend:?} renders non-finite NUMBARs differently"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
