@@ -1,0 +1,38 @@
+//! Discrete-event scheduler ablation: sequential (`sim_jobs = 1`) vs
+//! sharded (`sim_jobs = 4`) walls on a barrier-heavy stencil as PE
+//! count grows.
+//!
+//! Expected shape: at small PE counts the two are equal (the auto
+//! policy would pick sequential there for a reason); as the per-phase
+//! work grows the sharded scheduler's wall drops toward
+//! `sequential / workers` on a multi-core box and stays at parity on
+//! a single core. Outputs are byte-identical either way — this bench
+//! measures the *simulator's* speed, the simulated makespan never
+//! changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lolcode::{compile, corpus, engine_for, Backend, ClockMode, RunConfig};
+use std::time::Duration;
+
+fn bench_sim_sharding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_sharding");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let artifact = compile(&corpus::heat2d_source(4, 8, 5)).expect("compile");
+    let engine = engine_for(Backend::Sim);
+    for n_pes in [1024usize, 4096, 16384] {
+        for jobs in [1usize, 4] {
+            let cfg = RunConfig::new(n_pes)
+                .clock(ClockMode::Virtual)
+                .sim_jobs(jobs)
+                .timeout(Duration::from_secs(300));
+            let name = if jobs == 1 { "sequential" } else { "jobs4" };
+            g.bench_with_input(BenchmarkId::new(name, n_pes), &n_pes, |b, _| {
+                b.iter(|| engine.run(&artifact, &cfg).expect("sim run failed").wall)
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_sharding);
+criterion_main!(benches);

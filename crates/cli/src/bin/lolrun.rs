@@ -25,9 +25,9 @@ use lolcode::{
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--seed <u64>]
-              [--latency <model>] [--barrier <algo>] [--lock <algo>]
-              [--clock wall|virtual] [--trace[=FORMAT]]
+usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--sim-jobs <N>]
+              [--seed <u64>] [--latency <model>] [--barrier <algo>]
+              [--lock <algo>] [--clock wall|virtual] [--trace[=FORMAT]]
               [--trace-buf <cap>[@<stride>]] [--tag] [--stats]
               [--sweep <spec>] [--resume <prev.jsonl>] [--jobs <N>]
               [--json|--json-lines]
@@ -36,10 +36,15 @@ usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--seed <u64>]
   --backend <b>    interp (default), vm (compiled bytecode), c
                    (lcc-emitted C + SHMEM stub, compiled by the system
                    C compiler and run as a native binary), or sim
-                   (single-threaded discrete-event simulator: one OS
-                   thread sweeps 1k-1M PEs; implies virtual timing).
+                   (discrete-event simulator: a small shard-worker
+                   pool sweeps 1k-1M PEs; implies virtual timing).
                    `both` is deprecated: it now warns and forwards to
                    an equivalent --sweep \"backend=interp,vm\" run
+  --sim-jobs <N>   sim scheduler workers: 0 (default) picks from the
+                   PE count and host cores, 1 forces the sequential
+                   scheduler, N shards PEs over N workers. Results are
+                   byte-identical for every N (lock-using programs
+                   always run sequentially); only host wall changes
   --seed <u64>     RNG seed for WHATEVR/WHATEVAR (default 0xC47F00D)
   --latency <m>    off (default), mesh[:W[:BASE:HOP]] (Epiphany eMesh
                    analog), torus[:WxH[:BASE:HOP]] (wraparound mesh),
@@ -79,6 +84,7 @@ usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--seed <u64>]
                      pes=1k,64k,1m            k/m suffixes x1024
                      pes=2^0..2^20            power-of-two ranges
                      trace=64k@256            global trace budget
+                     sim-jobs=4               sim scheduler workers
                      jobs=4                   worker cap
                      threads=8                global PE-thread budget
                    e.g. --sweep \"pes=1,2,4;backend=all;clock=virtual\"
@@ -123,6 +129,7 @@ fn main() -> ExitCode {
     let mut barrier = BarrierKind::default();
     let mut lock = LockKind::default();
     let mut clock = ClockMode::default();
+    let mut sim_jobs = 0usize;
     let mut trace: Option<TraceFormat> = None;
     let mut trace_buf: Option<TraceSpec> = None;
     let mut tag = false;
@@ -231,6 +238,17 @@ fn main() -> ExitCode {
                     }
                     None => {
                         eprintln!("O NOES! --clock IZ wall OR virtual, NOT (nothing)\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--sim-jobs" => {
+                i += 1;
+                sim_jobs = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        let got = args.get(i).map(|s| s.as_str()).unwrap_or("(nothing)");
+                        eprintln!("O NOES! --sim-jobs NEEDS A NUMBR, NOT {got}\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -356,6 +374,7 @@ fn main() -> ExitCode {
         .barrier(barrier)
         .lock(lock)
         .clock(clock)
+        .sim_jobs(sim_jobs)
         .trace(trace.is_some());
     if let Some(spec) = trace_buf {
         cfg = cfg.trace_spec(spec);

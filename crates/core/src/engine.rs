@@ -159,8 +159,16 @@ pub struct RunReport {
     pub outputs: Vec<String>,
     /// Per-PE communication statistics, in PE order.
     pub stats: Vec<CommStats>,
-    /// Wall-clock time of the SPMD job (launch to join).
+    /// Wall-clock time of the SPMD job (launch to join). For
+    /// [`Backend::Sim`] this is the *simulated* makespan, not host
+    /// time — see [`RunReport::host_wall`].
     pub wall: Duration,
+    /// Real host time the run cost, on every backend. Identical to
+    /// [`RunReport::wall`] for the threaded engines; for
+    /// [`Backend::Sim`] (whose `wall` is simulated) this is how long
+    /// the simulator itself took, which is what perf gates and the
+    /// sweep thread-budget care about.
+    pub host_wall: Duration,
     /// The job's *virtual* wall — the maximum final per-PE logical
     /// clock — present iff the config ran under [`ClockMode::Virtual`].
     /// Deterministic: a fixed program/config reproduces it byte for
@@ -279,7 +287,7 @@ fn report(
     });
     let virtual_wall =
         (config.clock == ClockMode::Virtual).then(|| Duration::from_nanos(virtual_ns));
-    RunReport { backend, outputs, stats, wall, virtual_wall, trace, config }
+    RunReport { backend, outputs, stats, wall, host_wall: wall, virtual_wall, trace, config }
 }
 
 /// The tree-walking interpreter backend (full language, including
@@ -390,6 +398,7 @@ impl Engine for CEngine {
                 outputs: out.outputs,
                 stats: out.stats,
                 wall: out.wall,
+                host_wall: out.wall,
                 virtual_wall: out.virtual_ns.map(Duration::from_nanos),
                 trace: out.traces.map(|pes| Trace::new(cfg.clock, pes)),
                 config: cfg.clone(),
@@ -420,11 +429,13 @@ impl Engine for CEngine {
     }
 }
 
-/// The discrete-event simulation backend (`lol-sim`): the whole SPMD
-/// job runs on one thread, with each PE a resumable VM machine driven
-/// by an event queue. PE counts scale to ~a million, executions are
-/// fully deterministic, and outputs / stats / traces / virtual walls
-/// are byte-identical to the threaded engines on race-free programs.
+/// The discrete-event simulation backend (`lol-sim`): each PE is a
+/// resumable VM machine driven by an event scheduler — sequential by
+/// default, sharded across [`RunConfig::sim_jobs`] worker threads for
+/// big lock-free jobs. PE counts scale to ~a million, executions are
+/// fully deterministic at every `sim_jobs` setting, and outputs /
+/// stats / traces / virtual walls are byte-identical to the threaded
+/// engines on race-free programs.
 ///
 /// Timing: the reported [`RunReport::wall`] is the *simulated*
 /// makespan (the maximum final per-PE logical clock), not host time —
@@ -445,8 +456,10 @@ impl Engine for SimEngine {
     fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
         cfg.validate()?;
         let module = artifact.vm_module()?;
+        let t0 = Instant::now();
         let sim = lol_sim::run_module(module, &cfg.shmem(), &cfg.input)
             .map_err(|e| LolError::Runtime(SpmdError { pe: e.pe, message: e.message }))?;
+        let host_wall = t0.elapsed();
         let per_pe = sim
             .outputs
             .into_iter()
@@ -456,7 +469,9 @@ impl Engine for SimEngine {
             .map(|(((out, st), tr), vns)| (out, st, tr, vns))
             .collect();
         let wall = Duration::from_nanos(sim.makespan_ns);
-        Ok(report(Backend::Sim, per_pe, wall, cfg.clone()))
+        let mut r = report(Backend::Sim, per_pe, wall, cfg.clone());
+        r.host_wall = host_wall;
+        Ok(r)
     }
 }
 

@@ -111,10 +111,12 @@ pub enum Backend {
     /// the binary. Unsupported (cleanly) on machines without a C
     /// compiler; ignores latency models.
     C,
-    /// Single-threaded discrete-event simulation of the whole SPMD job
-    /// (`lol-sim`): no OS threads, so PE counts scale to ~1M.
-    /// Deterministic; reports the simulated makespan as its wall time
-    /// and always carries a virtual wall under [`ClockMode::Virtual`].
+    /// Discrete-event simulation of the whole SPMD job (`lol-sim`):
+    /// no thread per PE — a bounded shard-worker pool
+    /// ([`RunConfig::sim_jobs`]) — so PE counts scale to ~1M.
+    /// Deterministic at every worker count; reports the simulated
+    /// makespan as its wall time and always carries a virtual wall
+    /// under [`ClockMode::Virtual`].
     Sim,
 }
 
@@ -185,6 +187,14 @@ pub struct RunConfig {
     /// substrate's fixed per-PE capacity. Implies nothing unless
     /// [`RunConfig::trace`] is set.
     pub trace_spec: Option<TraceSpec>,
+    /// Worker threads for the [`Backend::Sim`] scheduler: `0` (the
+    /// default) picks the host's parallelism for big jobs, `1` forces
+    /// the exact sequential scheduler, `N` forces `N` shards. Outputs
+    /// are byte-identical at every setting; other backends ignore it.
+    /// Deliberately *not* part of the serialized config identity
+    /// ([`config_key`]/JSON) — it changes how fast a sim runs, never
+    /// what it computes.
+    pub sim_jobs: usize,
 }
 
 impl RunConfig {
@@ -203,6 +213,7 @@ impl RunConfig {
             clock: ClockMode::Wall,
             trace: false,
             trace_spec: None,
+            sim_jobs: 0,
         }
     }
 
@@ -281,6 +292,13 @@ impl RunConfig {
         self
     }
 
+    /// Set the simulator's worker-thread count (see
+    /// [`RunConfig::sim_jobs`]).
+    pub fn sim_jobs(mut self, jobs: usize) -> Self {
+        self.sim_jobs = jobs;
+        self
+    }
+
     /// Check the configuration before launching: PE count, heap size,
     /// latency-model parameters. Engines call this up front, so a bad
     /// config (e.g. a zero-width mesh) is a [`LolError::Config`]
@@ -299,7 +317,8 @@ impl RunConfig {
             .seed(self.seed)
             .timeout(self.timeout)
             .clock(self.clock)
-            .trace(self.trace);
+            .trace(self.trace)
+            .sim_jobs(self.sim_jobs);
         if let Some(spec) = self.trace_spec {
             cfg = cfg.trace_capacity(spec.per_pe_cap(self.n_pes)).trace_stride(spec.stride);
         }

@@ -33,9 +33,11 @@
 //! Two scheduler/reporting refinements matter at scale:
 //!
 //! * **Thread budget** ([`SweepSpec::threads`]): every config is
-//!   weighted by its PE count and jobs only launch while the in-flight
-//!   PE threads fit the budget, so `jobs × PEs` can't oversubscribe
-//!   the machine.
+//!   weighted by the OS threads it really occupies — PE count for the
+//!   threaded backends, the scheduler's worker count for the sim
+//!   backend — and jobs only launch while the in-flight weight fits
+//!   the budget, so `jobs × PEs` can't oversubscribe the machine and a
+//!   mega-scale sim config doesn't hog a budget it never uses.
 //! * **Streaming** ([`SweepSpec::run_with`] + [`jsonl_record`]): each
 //!   entry can be emitted as a JSONL record the moment it completes,
 //!   so a big matrix is inspectable mid-run and a killed sweep keeps
@@ -396,9 +398,7 @@ impl SweepSpec {
         let n = configs.len();
         let workers = self.effective_jobs(n);
         let budget = self.effective_thread_budget();
-        // A job wider than the budget still has to run; capping its
-        // weight at the whole budget makes it run alone.
-        let weight = |cfg: &RunConfig| cfg.n_pes.clamp(1, budget);
+        let weight = |cfg: &RunConfig| config_weight(cfg, budget);
         let t0 = Instant::now();
         let mut slots: Vec<Mutex<Option<Result<RunReport, LolError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -513,6 +513,9 @@ impl SweepSpec {
     ///   memory-bounded at mega-scale PE counts
     /// * `jobs=4` — worker cap (`0` = auto)
     /// * `threads=8` — global PE-thread budget (`0` = auto: cores)
+    /// * `sim-jobs=4` — worker threads for every sim-backend config
+    ///   (`0` = auto, `1` = exact sequential scheduler); outputs are
+    ///   byte-identical at any setting
     ///
     /// Example: `"pes=1..16;seeds=3;latency=off,mesh:4"` or
     /// `"backend=all;latency=flat,mesh;barrier=central,dissem;lock=cas,ticket;pes=1,2,4"`.
@@ -594,6 +597,12 @@ impl SweepSpec {
                         .parse()
                         .map_err(|_| format!("O NOES! jobs WANTS A NUMBR, GOT: {value}"))?;
                 }
+                "sim-jobs" | "sim_jobs" => {
+                    out.base =
+                        out.base.sim_jobs(value.trim().parse().map_err(|_| {
+                            format!("O NOES! sim-jobs WANTS A NUMBR, GOT: {value}")
+                        })?);
+                }
                 "threads" => {
                     out.threads = value
                         .trim()
@@ -606,6 +615,22 @@ impl SweepSpec {
         out.validate().map_err(|e| e.to_string())?;
         Ok(out)
     }
+}
+
+/// The thread-budget weight of one config: how many OS threads it
+/// actually occupies while running. The threaded backends spawn one
+/// thread per PE, so they weigh their PE count. The sim backend runs
+/// any PE count on its scheduler's bounded worker pool, so it weighs
+/// the worker count it will really use ([`lol_sim::planned_jobs`]) —
+/// weighing a 65,536-PE sim config as 65,536 threads would make every
+/// mega-scale sim run hog the whole budget and serialize the sweep.
+/// Weights cap at the budget so an over-wide job still runs (alone).
+fn config_weight(cfg: &RunConfig, budget: usize) -> usize {
+    let threads = match cfg.backend {
+        Backend::Sim => lol_sim::planned_jobs(&cfg.shmem()),
+        _ => cfg.n_pes,
+    };
+    threads.clamp(1, budget)
 }
 
 /// The streaming per-entry callback shape `run_with`/`run_resumable`
@@ -859,6 +884,10 @@ pub fn jsonl_record(
         Ok(r) => {
             out.push_str("\"ok\": true, ");
             out.push_str(&format!("\"wall_ns\": {}, ", r.wall.as_nanos()));
+            // Real host time, distinct from `wall_ns` on the sim
+            // backend (whose wall is the *simulated* makespan) — this
+            // is the number absolute perf gates compare.
+            out.push_str(&format!("\"host_wall_ns\": {}, ", r.host_wall.as_nanos()));
             if let Some(vw) = r.virtual_wall {
                 out.push_str(&format!("\"virtual_wall_ns\": {}, ", vw.as_nanos()));
             }
@@ -1159,6 +1188,7 @@ impl SweepReport {
                     out.push_str("\"ok\": true, ");
                     if timing {
                         out.push_str(&format!("\"wall_ns\": {}, ", r.wall.as_nanos()));
+                        out.push_str(&format!("\"host_wall_ns\": {}, ", r.host_wall.as_nanos()));
                         let opt = |v: Option<f64>| match v {
                             Some(v) => format!("{v:.4}"),
                             None => "null".to_string(),
@@ -1447,6 +1477,74 @@ mod tests {
     }
 
     #[test]
+    fn sim_configs_weigh_their_worker_count_not_their_pe_count() {
+        let budget = 8;
+        // Threaded backends: one OS thread per PE, capped at the
+        // budget (an over-wide job runs alone).
+        assert_eq!(config_weight(&base().pes(6), budget), 6);
+        assert_eq!(config_weight(&base().pes(65_536).backend(Backend::Vm), budget), 8);
+        // Sim backend: weight is the scheduler's worker count, not the
+        // PE count — a mega-scale sim on one worker costs one thread.
+        assert_eq!(config_weight(&base().pes(65_536).backend(Backend::Sim).sim_jobs(1), budget), 1);
+        assert_eq!(config_weight(&base().pes(65_536).backend(Backend::Sim).sim_jobs(3), budget), 3);
+        // Small sims auto-resolve to the sequential scheduler.
+        assert_eq!(config_weight(&base().pes(16).backend(Backend::Sim), budget), 1);
+        // Auto on a big sim uses the host's parallelism, still capped.
+        let auto = config_weight(&base().pes(65_536).backend(Backend::Sim), budget);
+        let planned = lol_sim::planned_jobs(&base().pes(65_536).backend(Backend::Sim).shmem());
+        assert_eq!(auto, planned.clamp(1, budget));
+    }
+
+    /// Regression for the thread-budget weight: before sim configs
+    /// weighed their worker count, any sim job with `n_pes >= budget`
+    /// claimed the whole budget and the sweep serialized. With the
+    /// fix, a `threads=8` sweep keeps several one-worker sim configs
+    /// in flight at once. The budget is still held during `on_entry`,
+    /// so overlapping callbacks prove overlapping budget claims; each
+    /// callback waits (bounded) until it sees a concurrent peer.
+    #[test]
+    fn threads_8_sweep_runs_sim_configs_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
+        let spec = SweepSpec::over(base().backend(Backend::Sim).sim_jobs(1))
+            .pes([64, 65, 66, 67, 68, 69, 70, 71])
+            .jobs(8)
+            .threads(8);
+        let current = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let report = spec.run_with(&artifact, |_, cfg, result| {
+            assert!(result.is_ok(), "{cfg:?}");
+            let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            let t0 = Instant::now();
+            while peak.load(Ordering::SeqCst) < 2 && t0.elapsed() < Duration::from_secs(5) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            current.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(report.all_ok(), "{}", report.speedup_table());
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "a threads=8 sweep must keep one-worker sim configs concurrent"
+        );
+    }
+
+    #[test]
+    fn sim_jobs_clause_sets_the_base_config() {
+        let spec = SweepSpec::parse("pes=1,2;backend=sim;sim-jobs=4", base()).unwrap();
+        assert!(spec.configs().iter().all(|c| c.sim_jobs == 4));
+        assert_eq!(SweepSpec::parse("sim_jobs=2", base()).unwrap().configs()[0].sim_jobs, 2);
+        assert!(SweepSpec::parse("sim-jobs=many", base()).is_err());
+        // Not part of the config identity: two configs differing only
+        // in sim_jobs share a resume key, and the JSONL record never
+        // mentions the knob.
+        let c = spec.configs()[0].clone();
+        assert_eq!(config_key(&c), config_key(&c.clone().sim_jobs(9)));
+        let record = jsonl_record(0, &c, &Err(LolError::Skipped("x".into())));
+        assert!(!record.contains("sim_jobs"));
+    }
+
+    #[test]
     fn run_with_streams_every_entry_exactly_once() {
         let artifact = compile(corpus::HELLO_PARALLEL).unwrap();
         let spec = SweepSpec::over(base()).pes([1, 2, 3, 4]).jobs(4);
@@ -1622,6 +1720,7 @@ mod tests {
                 outputs: vec![String::from("HAI\n"); 2],
                 stats: vec![crate::CommStats::default(); 2],
                 wall: Duration::from_nanos(vns),
+                host_wall: Duration::from_micros(3),
                 virtual_wall: Some(Duration::from_nanos(vns)),
                 trace: None,
                 config: config.clone(),

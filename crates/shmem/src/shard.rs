@@ -1,0 +1,154 @@
+//! Deterministic PE→shard assignment for sharded substrates.
+//!
+//! `lol-sim`'s parallel scheduler executes PEs on a bounded pool of
+//! shard workers. The assignment of PEs to shards is a pure function
+//! of `(n_pes, jobs)` (plus an optional salt, used by the property
+//! tests to prove observables are invariant under *any* assignment),
+//! so two runs of the same job always shard identically.
+//!
+//! The plan is also where the worker-count policy lives:
+//! [`effective_jobs`] turns a user request (`--sim-jobs`, `0` = auto)
+//! into the number of workers actually worth spawning for a given PE
+//! count, which the sweep scheduler reuses to weigh sim configs
+//! against the global thread budget.
+
+/// Below this PE count the auto policy never shards: per-phase worker
+/// dispatch costs more than it saves on jobs this small.
+pub const AUTO_MIN_PES: usize = 4096;
+
+/// The auto policy aims for at least this many PEs per shard so each
+/// phase does real work between synchronizations.
+pub const AUTO_PES_PER_SHARD: usize = 1024;
+
+/// Resolve a requested sim worker count against a PE count.
+///
+/// * `requested > 0` is honored exactly (clamped to `n_pes` — more
+///   workers than PEs would idle), letting tests force small sharded
+///   runs.
+/// * `requested == 0` (auto) uses `available` (the host's
+///   parallelism) but refuses to shard tiny jobs: below
+///   [`AUTO_MIN_PES`] it stays at 1, and above it allots at least
+///   [`AUTO_PES_PER_SHARD`] PEs to each worker.
+pub fn effective_jobs(requested: usize, n_pes: usize, available: usize) -> usize {
+    if requested > 0 {
+        return requested.min(n_pes.max(1));
+    }
+    if n_pes < AUTO_MIN_PES {
+        return 1;
+    }
+    available.clamp(1, (n_pes / AUTO_PES_PER_SHARD).max(1))
+}
+
+/// A concrete PE→shard assignment: which worker owns which PEs.
+///
+/// Shard membership lists are kept in ascending PE order so each
+/// worker processes its PEs in the canonical tie-break order.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shard_of: Vec<u32>,
+    members: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// The default plan: contiguous blocks of `ceil(n_pes / jobs)`
+    /// PEs per shard (good locality, trivially balanced).
+    pub fn contiguous(n_pes: usize, jobs: usize) -> ShardPlan {
+        Self::from_fn(n_pes, jobs, |pe, per| pe / per)
+    }
+
+    /// A salted round-robin plan: PE `p` lands in shard
+    /// `(p + salt) % jobs`. Exists for the determinism property
+    /// tests — observables must be byte-identical under any plan.
+    pub fn salted(n_pes: usize, jobs: usize, salt: usize) -> ShardPlan {
+        Self::from_fn(n_pes, jobs.max(1), |pe, _| (pe.wrapping_add(salt)) % jobs.max(1))
+    }
+
+    fn from_fn(n_pes: usize, jobs: usize, f: impl Fn(usize, usize) -> usize) -> ShardPlan {
+        let jobs = jobs.clamp(1, n_pes.max(1));
+        let per = n_pes.div_ceil(jobs);
+        let mut shard_of = Vec::with_capacity(n_pes);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+        for pe in 0..n_pes {
+            let s = f(pe, per).min(jobs - 1);
+            shard_of.push(s as u32);
+            members[s].push(pe);
+        }
+        ShardPlan { shard_of, members }
+    }
+
+    /// Number of shards (workers) in the plan.
+    pub fn jobs(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Which shard owns `pe`'s partition.
+    pub fn shard_of(&self, pe: usize) -> usize {
+        self.shard_of[pe] as usize
+    }
+
+    /// The PEs shard `s` owns, in ascending order.
+    pub fn members(&self, s: usize) -> &[usize] {
+        &self.members[s]
+    }
+
+    /// Total PEs covered by the plan.
+    pub fn n_pes(&self) -> usize {
+        self.shard_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_partitions_cover_everything_in_order() {
+        let plan = ShardPlan::contiguous(10, 3);
+        assert_eq!(plan.jobs(), 3);
+        let mut seen = Vec::new();
+        for s in 0..plan.jobs() {
+            let m = plan.members(s);
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "ascending within shard");
+            for &pe in m {
+                assert_eq!(plan.shard_of(pe), s);
+            }
+            seen.extend_from_slice(m);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn salted_plans_cover_everything_too() {
+        for salt in [0usize, 1, 7, 12345] {
+            let plan = ShardPlan::salted(9, 4, salt);
+            let total: usize = (0..plan.jobs()).map(|s| plan.members(s).len()).sum();
+            assert_eq!(total, 9, "salt {salt}");
+            for pe in 0..9 {
+                assert!(plan.members(plan.shard_of(pe)).contains(&pe), "salt {salt} pe {pe}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_pes_clamps() {
+        let plan = ShardPlan::contiguous(2, 8);
+        assert_eq!(plan.jobs(), 2);
+        assert_eq!(ShardPlan::contiguous(1, 1).jobs(), 1);
+    }
+
+    #[test]
+    fn effective_jobs_policy() {
+        // Explicit requests are honored exactly (clamped to n_pes).
+        assert_eq!(effective_jobs(4, 8, 1), 4);
+        assert_eq!(effective_jobs(16, 8, 1), 8);
+        assert_eq!(effective_jobs(1, 1 << 20, 64), 1);
+        // Auto: small jobs never shard.
+        assert_eq!(effective_jobs(0, 1024, 8), 1);
+        assert_eq!(effective_jobs(0, AUTO_MIN_PES - 1, 8), 1);
+        // Auto: big jobs use the host, bounded by PEs-per-shard.
+        assert_eq!(effective_jobs(0, 65536, 4), 4);
+        assert_eq!(effective_jobs(0, 65536, 128), 64);
+        assert_eq!(effective_jobs(0, 1 << 20, 8), 8);
+    }
+}

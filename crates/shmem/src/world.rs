@@ -55,6 +55,12 @@ pub struct ShmemConfig {
     /// event as dropped, so the accounting stays truthful. Mega-scale
     /// jobs set this so tracing a million PEs doesn't OOM.
     pub trace_stride: usize,
+    /// Worker shards for the discrete-event simulator (`lol-sim`):
+    /// `0` = auto (use the host's parallelism on jobs big enough to
+    /// shard, see `crate::shard::effective_jobs`), `1` = the exact
+    /// sequential scheduler, `N` = force `N` shard workers. The
+    /// threaded world ignores it (its parallelism is thread-per-PE).
+    pub sim_jobs: usize,
 }
 
 impl ShmemConfig {
@@ -72,6 +78,7 @@ impl ShmemConfig {
             trace: false,
             trace_capacity: 1 << 16,
             trace_stride: 1,
+            sim_jobs: 0,
         }
     }
 
@@ -135,6 +142,12 @@ impl ShmemConfig {
     /// treated as 1 (trace everyone).
     pub fn trace_stride(mut self, stride: usize) -> Self {
         self.trace_stride = stride.max(1);
+        self
+    }
+
+    /// Set the simulator's worker-shard count (`0` = auto).
+    pub fn sim_jobs(mut self, jobs: usize) -> Self {
+        self.sim_jobs = jobs;
         self
     }
 

@@ -4,20 +4,33 @@
 //! the host OS can schedule — a few thousand at best. The paper's
 //! headline artifact is *scaling figures*, and TOP500-scale machines
 //! have millions of cores. This crate closes that gap: it executes an
-//! SPMD job as a **single-threaded discrete-event simulation**, so a
-//! million-PE sweep fits on a laptop.
+//! SPMD job as a discrete-event simulation — sequentially by default,
+//! and on a bounded pool of shard workers (`sim_jobs`) at mega scale —
+//! so a million-PE sweep fits on a laptop and uses its cores.
 //!
 //! ## How it works
 //!
-//! Each PE is a resumable [`lol_vm::Machine`] (no OS thread, no stack).
-//! The engine pops the next event `(t_ns, tie, pe)` off a binary heap
-//! and resumes that PE's machine, which runs until it would block — at
-//! an allocation fence, an explicit barrier, or a contended lock (the
-//! only three blocking points; see `lol_shmem::substrate`). The
-//! substrate parks the PE, remembers why, and schedules wake-ups when
-//! the blocking condition resolves: the last PE into a barrier wakes
-//! everyone at the synchronized clock, a lock release wakes the next
-//! waiter in deterministic FIFO (or ticket) order.
+//! Each PE is a resumable [`lol_vm::Machine`] (no OS thread, no
+//! stack). The sequential scheduler resumes the PE with the earliest
+//! pending event `(t_ns, tie, pe)`; the machine runs until it would
+//! block — at an allocation fence, an explicit barrier, or a
+//! contended lock (the only three blocking points; see
+//! `lol_shmem::substrate`). The substrate parks the PE, remembers
+//! why, and the scheduler wakes it when the blocking condition
+//! resolves.
+//!
+//! Barrier episodes are O(1) scheduler work: arrivals bump an episode
+//! counter (plus a running clock max), and the episode's completion
+//! releases the whole cohort through a single release cursor — PEs
+//! re-synchronize their clocks lazily when next resumed, so no
+//! per-PE wake events ever touch the event heap. The heap carries
+//! only lock hand-offs.
+//!
+//! The sharded scheduler ([`run_module_sharded`], picked automatically
+//! by [`run_module`] for big lock-free jobs) partitions PEs across
+//! workers and runs whole barrier-to-barrier windows in parallel; see
+//! [`par`] for the determinism argument. `sim_jobs = 1` takes the
+//! exact sequential path.
 //!
 //! Time is the same per-PE *logical clock* the threaded world uses
 //! under `ClockMode::Virtual`: each remote access advances the issuing
@@ -33,26 +46,31 @@
 //!
 //! Events at equal time are ordered by a tie-break key (PE id by
 //! default, pinned by tests). For race-free programs *any* tie-break
-//! order yields identical outputs and virtual walls — see
-//! [`run_module_with_order`] and the property tests — so the canonical
-//! order is a presentation choice, not a semantic one.
+//! order — and any shard assignment — yields identical outputs and
+//! virtual walls: see [`run_module_with_order`],
+//! [`run_module_sharded`] and the property tests in
+//! `tests/sim_determinism.rs`. The canonical order is a presentation
+//! choice, not a semantic one.
 //!
 //! ## Memory
 //!
 //! State is bounded by *live* per-PE data, not stacks or heap
-//! reservations: symmetric heaps are plain `Vec<u64>`s grown lazily to
-//! the allocation cursor (the configured `heap_words` stays the
-//! diagnostic bound, exactly like the threaded world's `RUN0111`), and
-//! a fresh machine is a few empty `Vec`s. A million idle PEs cost on
-//! the order of a hundred bytes each.
+//! reservations: symmetric heaps are grown to the allocation cursor
+//! (the configured `heap_words` stays the diagnostic bound, exactly
+//! like the threaded world's `RUN0111`), per-PE bookkeeping is kept
+//! in parallel arrays (SoA) rather than one struct per PE, and a
+//! fresh machine allocates nothing. A million idle PEs cost on the
+//! order of a hundred bytes each.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lol_shmem::shard::ShardPlan;
 use lol_shmem::substrate::{Progress, Substrate};
 use lol_shmem::{CommStats, LockKind, PeTrace, ShmemConfig, SpmdError, SymAddr, TraceBuffer};
 use lol_trace::{EventKind, VIRT_BARRIER_NS, VIRT_OP_NS};
 use lol_vm::machine::{Machine, Step};
+use lol_vm::ops::Op;
 use lol_vm::Module;
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -60,6 +78,8 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use lol_shmem::rng::PeRng;
+
+pub mod par;
 
 /// Owner-word encoding shared with the threaded lock implementation:
 /// 0 = free, `pe + 1` = held by `pe`.
@@ -83,26 +103,14 @@ enum Block {
     LockDone,
 }
 
-/// One PE's simulation-side state (the machine itself lives with the
-/// event loop).
-struct PeState {
-    vclock: u64,
-    stats: CommStats,
-    rng: PeRng,
-    tracer: Option<TraceBuffer>,
-    block: Block,
-    /// Offset claimed by an in-flight `shmalloc`, held across its
-    /// allocation fence.
-    pending_alloc: Option<u32>,
-    alloc_seq: usize,
-}
-
 /// PEs waiting on one lock instance, in arrival order; ticket-lock
 /// waiters carry their ticket so releases can grant by serving order.
 type LockQueue = VecDeque<(usize, Option<u64>)>;
 
 /// Mutable world state shared by all PEs (single-threaded, so one
-/// `RefCell` suffices).
+/// `RefCell` suffices). Per-PE bookkeeping is SoA — parallel arrays
+/// indexed by PE — so a million idle PEs stay cache- and
+/// footprint-cheap.
 struct SimState {
     heap_words: usize,
     /// Per-PE symmetric heaps, grown lazily on first touch.
@@ -110,18 +118,35 @@ struct SimState {
     /// Shared symmetric allocation cursor (identical on every PE).
     cursor: usize,
     /// Collective-allocation validation: words requested per call
-    /// index, plus the offset each call resolved to.
+    /// index, plus the offset each call resolved to. Doubles as the
+    /// blocked-op scratch: a PE re-issuing `shmalloc` after its fence
+    /// reads its offset back from here instead of carrying a
+    /// per-PE pending slot.
     alloc_log: Vec<u32>,
     alloc_offsets: Vec<u32>,
-    /// PEs parked in the current barrier episode, in arrival order.
-    bar_arrived: Vec<usize>,
+    /// Barrier episode accounting — O(1) per arrival: a count, a
+    /// running clock max, and the episode kind. Completion flips
+    /// `episode_done`; the engine releases the cohort with a single
+    /// cursor instead of one wake event per parked PE.
+    bar_count: usize,
+    bar_max: u64,
     bar_explicit: bool,
+    episode_done: bool,
     /// FIFO waiter queues per lock instance `(owner_pe, word_offset)`;
     /// ticket-lock waiters carry their ticket.
     lock_waiters: HashMap<(usize, u32), LockQueue>,
-    pes: Vec<PeState>,
-    /// Wake-ups scheduled during the current resume, drained into the
-    /// event queue by the engine after each step.
+    // ---- per-PE bookkeeping, SoA ----
+    vclock: Vec<u64>,
+    stats: Vec<CommStats>,
+    rng: Vec<PeRng>,
+    /// One buffer per PE when tracing is on (zero-capacity for
+    /// sampled-out PEs so their events still *count* as dropped);
+    /// empty when tracing is off — no per-PE `Option` overhead.
+    tracers: Vec<TraceBuffer>,
+    block: Vec<Block>,
+    alloc_seq: Vec<u32>,
+    /// Lock-grant wake-ups scheduled during the current resume,
+    /// drained into the event queue by the engine after each step.
     wakes: Vec<(u64, usize)>,
 }
 
@@ -262,42 +287,49 @@ struct SimWorld {
     state: RefCell<SimState>,
 }
 
+/// Build the per-PE trace buffers for a configuration: one per PE
+/// when tracing (zero-capacity for sampled-out PEs), none otherwise.
+fn make_tracers(cfg: &ShmemConfig) -> Vec<TraceBuffer> {
+    if !cfg.trace {
+        return Vec::new();
+    }
+    (0..cfg.n_pes)
+        .map(|id| {
+            let cap = if cfg.traces_pe(id) { cfg.trace_capacity } else { 0 };
+            TraceBuffer::new(id, cap)
+        })
+        .collect()
+}
+
+/// The per-PE RNG, seeded identically on every scheduler.
+fn make_rng(cfg: &ShmemConfig, id: usize) -> PeRng {
+    PeRng::seed_from_u64(cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 impl SimWorld {
     fn new(cfg: &ShmemConfig) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("{e}");
         }
-        let pes = (0..cfg.n_pes)
-            .map(|id| PeState {
-                vclock: 0,
-                stats: CommStats::default(),
-                rng: PeRng::seed_from_u64(
-                    cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ),
-                tracer: if cfg.trace {
-                    // Sampled-out PEs keep a zero-capacity buffer so
-                    // their events are still *counted* as dropped.
-                    let cap = if cfg.traces_pe(id) { cfg.trace_capacity } else { 0 };
-                    Some(TraceBuffer::new(id, cap))
-                } else {
-                    None
-                },
-                block: Block::Run,
-                pending_alloc: None,
-                alloc_seq: 0,
-            })
-            .collect();
+        let n = cfg.n_pes;
         SimWorld {
             state: RefCell::new(SimState {
                 heap_words: cfg.heap_words,
-                heaps: (0..cfg.n_pes).map(|_| Vec::new()).collect(),
+                heaps: (0..n).map(|_| Vec::new()).collect(),
                 cursor: 0,
                 alloc_log: Vec::new(),
                 alloc_offsets: Vec::new(),
-                bar_arrived: Vec::new(),
+                bar_count: 0,
+                bar_max: 0,
                 bar_explicit: false,
+                episode_done: false,
                 lock_waiters: HashMap::new(),
-                pes,
+                vclock: vec![0; n],
+                stats: vec![CommStats::default(); n],
+                rng: (0..n).map(|id| make_rng(cfg, id)).collect(),
+                tracers: make_tracers(cfg),
+                block: vec![Block::Run; n],
+                alloc_seq: vec![0; n],
                 wakes: Vec::new(),
             }),
             cfg: cfg.clone(),
@@ -320,46 +352,36 @@ impl SimPe<'_> {
     fn charge(&self, st: &mut SimState, target: usize) {
         if target != self.id {
             let delay = self.world.cfg.latency.delay_ns(self.id, target);
-            let pe = &mut st.pes[self.id];
-            pe.vclock += delay + VIRT_OP_NS;
+            st.vclock[self.id] += delay + VIRT_OP_NS;
         }
     }
 
     fn trace(&self, st: &mut SimState, kind: EventKind, peer: usize, addr: SymAddr, bytes: u32) {
-        let now = st.pes[self.id].vclock;
-        if let Some(buf) = st.pes[self.id].tracer.as_mut() {
-            buf.record(kind, peer, addr.0, bytes, now);
+        if st.tracers.is_empty() {
+            return;
         }
+        let now = st.vclock[self.id];
+        st.tracers[self.id].record(kind, peer, addr.0, bytes, now);
     }
 
-    /// Join the current barrier episode. Returns true when this PE was
-    /// the last arriver (the episode completed inline); otherwise the
-    /// PE is parked and will be woken at the synchronized clock.
-    fn enter_barrier(&self, st: &mut SimState, explicit: bool) -> bool {
-        st.pes[self.id].stats.barriers += 1;
-        if st.bar_arrived.is_empty() {
+    /// Join the current barrier episode. The PE always parks — even
+    /// the last arriver — so the event accounting is identical on
+    /// every scheduler; completion flips `episode_done` and the
+    /// engine releases the whole cohort through one cursor.
+    fn enter_barrier(&self, st: &mut SimState, explicit: bool) {
+        st.stats[self.id].barriers += 1;
+        if st.bar_count == 0 {
             st.bar_explicit = explicit;
         }
         debug_assert_eq!(
             st.bar_explicit, explicit,
             "SPMD programs cannot mix barrier kinds within one episode"
         );
-        st.bar_arrived.push(self.id);
-        if st.bar_arrived.len() == self.world.cfg.n_pes {
-            let arrived = std::mem::take(&mut st.bar_arrived);
-            let sync = arrived.iter().map(|&p| st.pes[p].vclock).max().unwrap_or(0)
-                + if st.bar_explicit { VIRT_BARRIER_NS } else { 0 };
-            for p in arrived {
-                st.pes[p].vclock = sync;
-                if p != self.id {
-                    st.pes[p].block = Block::BarrierDone;
-                    st.wakes.push((sync, p));
-                }
-            }
-            true
-        } else {
-            st.pes[self.id].block = Block::BarrierWait;
-            false
+        st.bar_count += 1;
+        st.bar_max = st.bar_max.max(st.vclock[self.id]);
+        st.block[self.id] = Block::BarrierWait;
+        if st.bar_count == self.world.cfg.n_pes {
+            st.episode_done = true;
         }
     }
 }
@@ -375,17 +397,18 @@ impl Substrate for SimPe<'_> {
 
     fn shmalloc(&self, words: usize) -> Progress<SymAddr> {
         let mut st = self.world.state.borrow_mut();
-        if st.pes[self.id].block == Block::BarrierDone {
-            // Re-issued after the allocation fence released us.
-            st.pes[self.id].block = Block::Run;
-            let off = st.pes[self.id].pending_alloc.take().expect("fence without pending offset");
-            return Progress::Ready(SymAddr(off));
+        if st.block[self.id] == Block::BarrierDone {
+            // Re-issued after the allocation fence released us: the
+            // offset for our call is in the shared allocation log.
+            st.block[self.id] = Block::Run;
+            let seq = st.alloc_seq[self.id] as usize - 1;
+            return Progress::Ready(SymAddr(st.alloc_offsets[seq]));
         }
         // First attempt: validate the collective call, claim the
         // offset, then enter the allocation fence (counted in the
         // barrier stats, untraced, free in virtual time — identical to
         // the threaded world).
-        let seq = st.pes[self.id].alloc_seq;
+        let seq = st.alloc_seq[self.id] as usize;
         if let Some(&prev) = st.alloc_log.get(seq) {
             if prev as usize != words {
                 panic!(
@@ -397,10 +420,8 @@ impl Substrate for SimPe<'_> {
         } else {
             st.alloc_log.push(words as u32);
         }
-        st.pes[self.id].alloc_seq = seq + 1;
-        let offset = if let Some(&off) = st.alloc_offsets.get(seq) {
-            off
-        } else {
+        st.alloc_seq[self.id] = seq as u32 + 1;
+        if st.alloc_offsets.get(seq).is_none() {
             let off = st.cursor;
             let end = off + words;
             if end > self.world.cfg.heap_words {
@@ -412,25 +433,17 @@ impl Substrate for SimPe<'_> {
             }
             st.cursor = end;
             st.alloc_offsets.push(off as u32);
-            off as u32
-        };
-        st.pes[self.id].pending_alloc = Some(offset);
-        if self.enter_barrier(&mut st, false) {
-            st.pes[self.id].block = Block::Run;
-            let off = st.pes[self.id].pending_alloc.take().expect("pending offset");
-            Progress::Ready(SymAddr(off))
-        } else {
-            Progress::Pending
         }
+        self.enter_barrier(&mut st, false);
+        Progress::Pending
     }
 
     fn put_u64(&self, addr: SymAddr, target: usize, value: u64) {
         let mut st = self.world.state.borrow_mut();
-        let pe = &mut st.pes[self.id];
         if target == self.id {
-            pe.stats.local_puts += 1;
+            st.stats[self.id].local_puts += 1;
         } else {
-            pe.stats.remote_puts += 1;
+            st.stats[self.id].remote_puts += 1;
         }
         self.charge(&mut st, target);
         *st.word(target, addr) = value;
@@ -441,11 +454,10 @@ impl Substrate for SimPe<'_> {
 
     fn get_u64(&self, addr: SymAddr, target: usize) -> u64 {
         let mut st = self.world.state.borrow_mut();
-        let pe = &mut st.pes[self.id];
         if target == self.id {
-            pe.stats.local_gets += 1;
+            st.stats[self.id].local_gets += 1;
         } else {
-            pe.stats.remote_gets += 1;
+            st.stats[self.id].remote_gets += 1;
         }
         self.charge(&mut st, target);
         let v = *st.word(target, addr);
@@ -457,43 +469,39 @@ impl Substrate for SimPe<'_> {
 
     fn barrier(&self) -> Progress<()> {
         let mut st = self.world.state.borrow_mut();
-        if st.pes[self.id].block == Block::BarrierDone {
-            st.pes[self.id].block = Block::Run;
+        if st.block[self.id] == Block::BarrierDone {
+            st.block[self.id] = Block::Run;
             self.trace(&mut st, EventKind::BarrierExit, self.id, SymAddr(0), 0);
             return Progress::Ready(());
         }
         self.trace(&mut st, EventKind::BarrierEnter, self.id, SymAddr(0), 0);
-        if self.enter_barrier(&mut st, true) {
-            self.trace(&mut st, EventKind::BarrierExit, self.id, SymAddr(0), 0);
-            Progress::Ready(())
-        } else {
-            Progress::Pending
-        }
+        self.enter_barrier(&mut st, true);
+        Progress::Pending
     }
 
     fn lock(&self, addr: SymAddr, target: usize) -> Progress<()> {
         let mut st = self.world.state.borrow_mut();
-        if st.pes[self.id].block == Block::LockDone {
+        if st.block[self.id] == Block::LockDone {
             // Granted while parked; the clock does not advance while
             // waiting (same as the threaded virtual accounting).
-            st.pes[self.id].block = Block::Run;
+            st.block[self.id] = Block::Run;
             self.trace(&mut st, EventKind::LockAcquire, target, addr, 0);
             return Progress::Ready(());
         }
-        st.pes[self.id].stats.lock_acquires += 1;
+        st.stats[self.id].lock_acquires += 1;
         self.charge(&mut st, target);
         if st.blocking_acquire(self.world.cfg.lock, self.id, target, addr) {
             self.trace(&mut st, EventKind::LockAcquire, target, addr, 0);
             Progress::Ready(())
         } else {
-            st.pes[self.id].block = Block::LockWait;
+            st.block[self.id] = Block::LockWait;
             Progress::Pending
         }
     }
 
     fn try_lock(&self, addr: SymAddr, target: usize) -> bool {
         let mut st = self.world.state.borrow_mut();
-        st.pes[self.id].stats.lock_tries += 1;
+        st.stats[self.id].lock_tries += 1;
         self.charge(&mut st, target);
         let got = st.try_acquire(self.world.cfg.lock, self.id, target, addr);
         self.trace(&mut st, EventKind::LockTry, target, addr, got as u32);
@@ -502,13 +510,13 @@ impl Substrate for SimPe<'_> {
 
     fn unlock(&self, addr: SymAddr, target: usize) {
         let mut st = self.world.state.borrow_mut();
-        st.pes[self.id].stats.lock_releases += 1;
+        st.stats[self.id].lock_releases += 1;
         self.charge(&mut st, target);
         if let Some(g) = st.release(self.world.cfg.lock, self.id, target, addr) {
-            st.pes[g].block = Block::LockDone;
+            st.block[g] = Block::LockDone;
             // The grantee resumes at the hand-off, but its own clock
             // is untouched — waiting is free in virtual time.
-            let t = st.pes[g].vclock.max(st.pes[self.id].vclock);
+            let t = st.vclock[g].max(st.vclock[self.id]);
             st.wakes.push((t, g));
         }
         self.trace(&mut st, EventKind::LockRelease, target, addr, 0);
@@ -516,12 +524,12 @@ impl Substrate for SimPe<'_> {
 
     fn rand_i64(&self) -> i64 {
         let mut st = self.world.state.borrow_mut();
-        st.pes[self.id].rng.gen_i64_below(1i64 << 31)
+        st.rng[self.id].gen_i64_below(1i64 << 31)
     }
 
     fn rand_f64(&self) -> f64 {
         let mut st = self.world.state.borrow_mut();
-        st.pes[self.id].rng.gen_unit_f64()
+        st.rng[self.id].gen_unit_f64()
     }
 }
 
@@ -538,11 +546,14 @@ pub struct SimReport {
     pub virtual_ns: Vec<u64>,
     /// The job's simulated makespan (maximum final clock).
     pub makespan_ns: u64,
-    /// Discrete events processed (diagnostics: resume segments).
+    /// Discrete events processed (diagnostics: resume segments). The
+    /// count is scheduler-independent: every PE contributes one
+    /// segment per barrier episode it passes plus one final segment,
+    /// plus one per lock wait it is granted out of.
     pub events: u64,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -552,37 +563,139 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Does the module contain lock opcodes? Lock grant order is defined
+/// by the canonical *global* event order, which shard workers do not
+/// observe inside a window, so lock-using programs always run on the
+/// exact sequential scheduler regardless of `sim_jobs`.
+pub fn module_uses_locks(module: &Module) -> bool {
+    let chunk_has = |code: &[Op]| {
+        code.iter().any(|op| {
+            matches!(op, Op::LockAcquire { .. } | Op::LockTry { .. } | Op::LockRelease { .. })
+        })
+    };
+    chunk_has(&module.main.code) || module.funcs.iter().any(|(_, c, _)| chunk_has(&c.code))
+}
+
+/// The shard-worker count [`run_module`] will actually use for `cfg`:
+/// the `sim_jobs` request resolved against the PE count and the
+/// host's parallelism (see `lol_shmem::shard::effective_jobs`).
+/// Exported so the sweep scheduler can weigh sim configs by real
+/// thread use instead of PE count.
+pub fn planned_jobs(cfg: &ShmemConfig) -> usize {
+    let available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    lol_shmem::shard::effective_jobs(cfg.sim_jobs, cfg.n_pes, available)
+}
+
 /// Run `module` on `cfg.n_pes` simulated PEs with the canonical
-/// tie-break order (PE id).
+/// tie-break order (PE id), sharding across `cfg.sim_jobs` workers
+/// when the job is big enough and lock-free (`sim_jobs = 0` resolves
+/// to the host's parallelism; `1` forces the sequential scheduler).
+/// Outputs are byte-identical at every `sim_jobs` setting.
 pub fn run_module(
     module: &Module,
     cfg: &ShmemConfig,
     input: &[String],
 ) -> Result<SimReport, SpmdError> {
-    run_module_with_order(module, cfg, input, &|pe| pe as u64)
+    let jobs = planned_jobs(cfg);
+    if jobs > 1 && !module_uses_locks(module) {
+        par::run_sharded(module, cfg, input, &ShardPlan::contiguous(cfg.n_pes, jobs))
+    } else {
+        run_sequential(module, cfg, input, None)
+    }
+}
+
+/// Like [`run_module`] with an explicit worker count (overrides
+/// `cfg.sim_jobs`). Exists for the jobs=1-vs-jobs=N determinism
+/// battery; production callers set `ShmemConfig::sim_jobs`.
+pub fn run_module_jobs(
+    module: &Module,
+    cfg: &ShmemConfig,
+    input: &[String],
+    jobs: usize,
+) -> Result<SimReport, SpmdError> {
+    run_module(module, &cfg.clone().sim_jobs(jobs.max(1)), input)
+}
+
+/// Like [`run_module`], with an explicit PE→shard assignment.
+/// Observables are invariant under the plan (the salted-plan property
+/// test pins this); lock-using modules fall back to the sequential
+/// scheduler, which trivially satisfies the same contract.
+pub fn run_module_sharded(
+    module: &Module,
+    cfg: &ShmemConfig,
+    input: &[String],
+    plan: &ShardPlan,
+) -> Result<SimReport, SpmdError> {
+    if plan.jobs() > 1 && !module_uses_locks(module) {
+        par::run_sharded(module, cfg, input, plan)
+    } else {
+        run_sequential(module, cfg, input, None)
+    }
 }
 
 /// Like [`run_module`], with a custom tie-break key for events at
-/// equal `t_ns`. Exists for the determinism property tests: on
-/// race-free programs every order function yields identical outputs
-/// and virtual walls.
+/// equal `t_ns`, always on the sequential scheduler. Exists for the
+/// determinism property tests: on race-free programs every order
+/// function yields identical outputs and virtual walls.
 pub fn run_module_with_order(
     module: &Module,
     cfg: &ShmemConfig,
     input: &[String],
     order: &dyn Fn(usize) -> u64,
 ) -> Result<SimReport, SpmdError> {
+    run_sequential(module, cfg, input, Some(order))
+}
+
+/// The sequential scheduler: a lock-wake event heap plus a cohort
+/// release cursor for barrier episodes. Handles every program
+/// (including locks) and any tie-break order; `order = None` is the
+/// canonical ascending-PE order.
+fn run_sequential(
+    module: &Module,
+    cfg: &ShmemConfig,
+    input: &[String],
+    order: Option<&dyn Fn(usize) -> u64>,
+) -> Result<SimReport, SpmdError> {
     let world = SimWorld::new(cfg);
     let n = cfg.n_pes;
+    let key = |pe: usize| order.map_or(pe as u64, |f| f(pe));
     let mut machines: Vec<Machine<'_>> = (0..n).map(|_| Machine::new(module, input)).collect();
     let mut outputs = vec![String::new(); n];
     let mut done = vec![false; n];
     let mut n_done = 0usize;
     let mut events = 0u64;
-    // Min-heap over (t_ns, tie, pe): `Reverse` flips the max-heap.
-    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> =
-        (0..n).map(|pe| Reverse((0u64, order(pe), pe))).collect();
-    while let Some(Reverse((_, _, pe))) = queue.pop() {
+    // The cohort: PEs released together by a completed barrier
+    // episode (program start is episode zero at t = 0). All of them
+    // resume at the same synchronized time, so the canonical order is
+    // just ascending PE — one cursor, no heap traffic. A custom
+    // tie-break re-sorts once (test-only path).
+    let mut cohort: Vec<usize> = (0..n).collect();
+    if order.is_some() {
+        cohort.sort_by_key(|&p| (key(p), p));
+    }
+    let mut cohort_time = 0u64;
+    let mut cohort_next = 0usize;
+    // Min-heap over (t_ns, tie, pe) — lock hand-offs only.
+    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    loop {
+        // Next event: the smaller of the cohort cursor and the heap
+        // head, compared on the same (t_ns, tie, pe) key.
+        let cohort_key = (cohort_next < cohort.len()).then(|| {
+            let p = cohort[cohort_next];
+            (cohort_time, key(p), p)
+        });
+        let queue_key = queue.peek().map(|&Reverse(k)| k);
+        let pe = match (cohort_key, queue_key) {
+            (None, None) => break,
+            (Some(ck), qk) if qk.is_none() || ck <= qk.unwrap() => {
+                cohort_next += 1;
+                // Lazy clock max-sync to the episode's release time.
+                let mut st = world.state.borrow_mut();
+                st.vclock[ck.2] = st.vclock[ck.2].max(cohort_time);
+                ck.2
+            }
+            _ => queue.pop().expect("peeked").0 .2,
+        };
         events += 1;
         let sub = SimPe { world: &world, id: pe };
         let machine = &mut machines[pe];
@@ -602,7 +715,7 @@ pub fn run_module_with_order(
             }
             Ok(Ok(Step::Blocked)) => {
                 debug_assert_ne!(
-                    world.state.borrow().pes[pe].block,
+                    world.state.borrow().block[pe],
                     Block::Run,
                     "machine blocked but the substrate did not park PE {pe}"
                 );
@@ -610,7 +723,22 @@ pub fn run_module_with_order(
         }
         let mut st = world.state.borrow_mut();
         for (t, p) in st.wakes.drain(..) {
-            queue.push(Reverse((t, order(p), p)));
+            queue.push(Reverse((t, key(p), p)));
+        }
+        if st.episode_done {
+            // All n PEs arrived, which means every prior release was
+            // consumed and no lock hand-off can be pending: release
+            // the whole cohort with one cursor reset.
+            st.episode_done = false;
+            debug_assert!(queue.is_empty() && cohort_next == cohort.len());
+            let sync = st.bar_max + if st.bar_explicit { VIRT_BARRIER_NS } else { 0 };
+            st.bar_count = 0;
+            st.bar_max = 0;
+            for p in 0..n {
+                st.block[p] = Block::BarrierDone;
+            }
+            cohort_time = sync;
+            cohort_next = 0;
         }
     }
     if n_done < n {
@@ -619,7 +747,7 @@ pub fn run_module_with_order(
         // of the perks of simulation.
         let st = world.state.borrow();
         let pe = (0..n).find(|&p| !done[p]).expect("some PE is unfinished");
-        let what = match st.pes[pe].block {
+        let what = match st.block[pe] {
             Block::LockWait | Block::LockDone => "IM SRSLY MESIN WIF (lock)",
             _ => "HUGZ (barrier)",
         };
@@ -632,17 +760,18 @@ pub fn run_module_with_order(
         });
     }
     let mut st = world.state.borrow_mut();
-    let stats: Vec<CommStats> = st.pes.iter().map(|p| p.stats).collect();
-    let virtual_ns: Vec<u64> = st.pes.iter().map(|p| p.vclock).collect();
+    let stats = std::mem::take(&mut st.stats);
+    let virtual_ns = std::mem::take(&mut st.vclock);
     let makespan_ns = virtual_ns.iter().copied().max().unwrap_or(0);
-    let traces: Vec<Option<PeTrace>> = st
-        .pes
-        .iter_mut()
-        .map(|p| {
-            let end = p.vclock;
-            p.tracer.take().map(|buf| buf.finish(end))
-        })
-        .collect();
+    let traces: Vec<Option<PeTrace>> = if st.tracers.is_empty() {
+        (0..n).map(|_| None).collect()
+    } else {
+        std::mem::take(&mut st.tracers)
+            .into_iter()
+            .enumerate()
+            .map(|(p, buf)| Some(buf.finish(virtual_ns[p])))
+            .collect()
+    };
     Ok(SimReport { outputs, stats, traces, virtual_ns, makespan_ns, events })
 }
 
@@ -798,6 +927,43 @@ mod tests {
         }
     }
 
+    /// The sharded scheduler is byte-identical to the sequential one
+    /// on a real multi-shard job, including episode/event accounting.
+    #[test]
+    fn sharded_matches_sequential_on_the_ring() {
+        let m = ring_module();
+        let c = cfg(64).latency(LatencyModel::epiphany16()).trace(true);
+        let seq = run_module_jobs(&m, &c, &[], 1).unwrap();
+        for jobs in [2usize, 3, 4, 7] {
+            let par = run_module_jobs(&m, &c, &[], jobs).unwrap();
+            assert_eq!(par.outputs, seq.outputs, "jobs {jobs}");
+            assert_eq!(par.stats, seq.stats, "jobs {jobs}");
+            assert_eq!(par.virtual_ns, seq.virtual_ns, "jobs {jobs}");
+            assert_eq!(par.makespan_ns, seq.makespan_ns, "jobs {jobs}");
+            assert_eq!(par.events, seq.events, "jobs {jobs}");
+            let sigs = |r: &SimReport| {
+                r.traces.iter().map(|t| t.as_ref().unwrap().signature()).collect::<Vec<_>>()
+            };
+            assert_eq!(sigs(&par), sigs(&seq), "jobs {jobs}");
+        }
+    }
+
+    /// Lock-using modules never shard (grant order is global), so a
+    /// forced jobs=4 run still matches — via the sequential fallback.
+    #[test]
+    fn lock_modules_fall_back_to_sequential() {
+        assert!(module_uses_locks(&lock_module()));
+        assert!(!module_uses_locks(&ring_module()));
+        let m = lock_module();
+        let c = cfg(8).lock(LockKind::Ticket);
+        let seq = run_module_jobs(&m, &c, &[], 1).unwrap();
+        let par = run_module_jobs(&m, &c, &[], 4).unwrap();
+        assert_eq!(par.outputs, seq.outputs);
+        assert_eq!(par.virtual_ns, seq.virtual_ns);
+        assert_eq!(par.events, seq.events);
+    }
+
+    /// Deadlocks are detected identically on the sharded scheduler.
     #[test]
     fn deadlock_is_detected_exactly() {
         // PE 0 skips the barrier (its falsy id jumps over it).
@@ -811,9 +977,12 @@ mod tests {
             funcs: vec![],
             shared_words: 0,
         };
-        let err = run_module(&m, &cfg(3), &[]).unwrap_err();
-        assert!(err.message.contains("RUN0191"), "{}", err.message);
-        assert!(err.message.contains("HUGZ"), "{}", err.message);
+        for jobs in [1usize, 3] {
+            let err = run_module_jobs(&m, &cfg(3), &[], jobs).unwrap_err();
+            assert!(err.message.contains("RUN0191"), "jobs {jobs}: {}", err.message);
+            assert!(err.message.contains("HUGZ"), "jobs {jobs}: {}", err.message);
+            assert_eq!(err.pe, 1, "jobs {jobs}: first unfinished PE");
+        }
     }
 
     #[test]
@@ -842,26 +1011,38 @@ mod tests {
         assert_eq!(sim.outputs[n - 1], format!("{}\n", (n - 2) * 100));
         // Off-latency: one remote put (1ns) then the explicit barrier.
         assert_eq!(sim.makespan_ns, VIRT_OP_NS + VIRT_BARRIER_NS);
-        // Three segments per PE (start→fence, fence→barrier, →done),
-        // minus one per barrier episode: the last arriver continues
-        // inline within its own event.
-        assert_eq!(sim.events, 3 * n as u64 - 2);
+        // Episode-based accounting, identical on every scheduler: the
+        // ring has two barrier episodes (the startup allocation fence
+        // and the explicit HUGZ), and every PE runs one segment per
+        // episode plus the final segment to completion — segments =
+        // n × (episodes + 1) = 3n.
+        assert_eq!(sim.events, 3 * n as u64);
     }
 
-    /// The headline scale: 2^20 > 1,000,000 PEs on one thread. Run
-    /// with `cargo test --release -p lol-sim -- --ignored`.
+    /// The headline scale: 2^20 > 1,000,000 PEs. Run with
+    /// `cargo test --release -p lol-sim -- --ignored --nocapture`;
+    /// prints its host wall for the CI mega-scale timing artifact.
     #[test]
     #[ignore = "release-mode mega-scale run (~1M PEs)"]
     fn mega_scale_one_million_pes() {
         let n = 1 << 20;
         let m = ring_module();
+        let t0 = std::time::Instant::now();
         let sim = run_module(&m, &cfg(n), &[]).unwrap();
+        eprintln!(
+            "mega-scale wall: {} PEs in {} ms ({} shard workers)",
+            n,
+            t0.elapsed().as_millis(),
+            planned_jobs(&cfg(n))
+        );
         assert_eq!(sim.outputs.len(), n);
         for pe in [0usize, 1, n / 2, n - 1] {
             let left = (pe + n - 1) % n;
             assert_eq!(sim.outputs[pe], format!("{}\n", left * 100), "PE {pe}");
         }
         assert_eq!(sim.makespan_ns, VIRT_OP_NS + VIRT_BARRIER_NS);
-        assert_eq!(sim.events, 3 * n as u64 - 2);
+        // Same episode-based formula as the 65,536-PE pin: two barrier
+        // episodes → n × (2 + 1) segments on every scheduler.
+        assert_eq!(sim.events, 3 * n as u64);
     }
 }

@@ -134,7 +134,11 @@ impl<'a> Machine<'a> {
             base: SymAddr(0),
             started: false,
             frames: Vec::new(),
-            stack: Vec::with_capacity(16),
+            // Deliberately empty: a mega-scale simulation holds one
+            // Machine per PE, so a fresh machine must cost no heap at
+            // all — the stack grows on first use instead of reserving
+            // 16 slots (384 bytes) per idle PE.
+            stack: Vec::new(),
             bff: Vec::new(),
             out: String::new(),
             input: input.iter().cloned().collect(),

@@ -18,10 +18,18 @@ are locked in: the ceilings sit *below* the pre-optimization walls, so
 a revert fails CI even with no prior artifact to diff against. Every
 baselined config must be present and ok in the current report.
 
+Absolute mode gates on host_wall_ns when the report carries it (real
+host time — on the sim backend wall_ns is the *simulated* makespan,
+which says nothing about how long the simulator ran), falling back to
+wall_ns for the threaded backends where the two are identical. That
+makes sim rows gateable even under clock=virtual: the simulated time
+is deterministic, the simulator's own speed is what the ceiling pins.
+
 Virtual-time entries (clock == "virtual") are exempt from the wall
 check by design: their virtual_wall_ns is deterministic, so relative
 mode compares it for *exact* equality instead — any drift there is a
-semantics change, not a perf change. Absolute mode skips them.
+semantics change, not a perf change. Absolute mode skips them only
+when they carry no host_wall_ns to gate on.
 
 Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
 """
@@ -69,9 +77,10 @@ def check_absolute(baselines_path, program, current_path):
     current = load(current_path)
     walls = {}
     for k, e in current.items():
-        if k[-1] == "virtual":  # deterministic rows are gated elsewhere
-            continue
-        walls[f"{k[0]}|{k[1]}"] = e.get("wall_ns", 0)
+        host = e.get("host_wall_ns")
+        if host is None and k[-1] == "virtual":
+            continue  # deterministic rows with no host wall are gated elsewhere
+        walls[f"{k[0]}|{k[1]}"] = host if host is not None else e.get("wall_ns", 0)
     failures = []
     for config, max_ns in sorted(ceilings.items()):
         got = walls.get(config)

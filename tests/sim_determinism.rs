@@ -10,9 +10,20 @@
 //! design: `IM MESIN WIF ... O RLY?` branches on *whether* the lock
 //! was held at that instant, which is exactly the kind of race the
 //! tie-break contract does not (and cannot) paper over.
+//!
+//! The second property is the parallel-scheduler contract: sharding
+//! PEs over a worker pool (`run_module_jobs`, `run_module_sharded`)
+//! is unobservable too. `jobs=1` and `jobs=N` must agree on every
+//! byte of every observable — outputs, per-PE `CommStats`, trace
+//! signatures, per-PE virtual clocks, the makespan, and the event
+//! count — for every corpus program, latency model, seed, worker
+//! count, and (salted) PE→shard assignment.
 
 use icanhas::prelude::*;
-use icanhas::sim::{run_module, run_module_with_order};
+use icanhas::shmem::shard::ShardPlan;
+use icanhas::sim::{
+    run_module, run_module_jobs, run_module_sharded, run_module_with_order, SimReport,
+};
 use proptest::prelude::*;
 
 /// The corpus programs whose results are independent of scheduling.
@@ -33,6 +44,29 @@ fn latency_choices() -> Vec<LatencyModel> {
         "flat:1000".parse().unwrap(),
         "torus:4x2".parse().unwrap(),
     ]
+}
+
+/// Canonical byte rendering of everything a [`SimReport`] promises to
+/// keep deterministic. Two runs are "byte-identical" iff these
+/// strings are equal — the comparison deliberately goes through one
+/// flat rendering rather than field-by-field asserts so a scheduler
+/// bug can't slip through an overlooked field.
+fn stable_string(r: &SimReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (pe, out) in r.outputs.iter().enumerate() {
+        writeln!(s, "out[{pe}]={out:?}").unwrap();
+    }
+    for (pe, st) in r.stats.iter().enumerate() {
+        writeln!(s, "stats[{pe}]={st}").unwrap();
+    }
+    for (pe, t) in r.traces.iter().enumerate() {
+        writeln!(s, "trace[{pe}]={:?}", t.as_ref().map(|t| t.signature())).unwrap();
+    }
+    writeln!(s, "virtual_ns={:?}", r.virtual_ns).unwrap();
+    writeln!(s, "makespan_ns={}", r.makespan_ns).unwrap();
+    writeln!(s, "events={}", r.events).unwrap();
+    s
 }
 
 proptest! {
@@ -86,4 +120,74 @@ proptest! {
             );
         }
     }
+
+    /// The jobs=1 vs jobs=N battery: sharding over any worker count
+    /// is byte-identical to the sequential scheduler on the whole
+    /// corpus × latency × seed matrix, tracing on. Lock programs ride
+    /// along — they take the sequential fallback and must *still*
+    /// match trivially.
+    #[test]
+    fn sharded_scheduler_is_byte_identical_to_sequential(
+        program in prop::sample::select(corpus_choices()),
+        latency in prop::sample::select(latency_choices()),
+        n_pes in 1usize..33,
+        seed in 0u64..1000,
+        jobs in 2usize..7,
+    ) {
+        let (name, src) = program;
+        let artifact = compile(&src).unwrap();
+        let module = artifact.vm_module().unwrap();
+        let cfg =
+            RunConfig::new(n_pes).seed(seed).latency(latency).trace(true).shmem();
+        let seq = run_module_jobs(module, &cfg, &[], 1).unwrap();
+        let par = run_module_jobs(module, &cfg, &[], jobs).unwrap();
+        prop_assert_eq!(
+            stable_string(&seq), stable_string(&par),
+            "{}: jobs={} diverged from jobs=1 at {} PEs seed {}",
+            name, jobs, n_pes, seed
+        );
+    }
+
+    /// The PE→shard assignment is unobservable too: a salted modular
+    /// plan (which scatters neighboring PEs across different workers)
+    /// matches the sequential run byte-for-byte.
+    #[test]
+    fn any_salted_shard_assignment_is_unobservable(
+        program in prop::sample::select(corpus_choices()),
+        latency in prop::sample::select(latency_choices()),
+        n_pes in 2usize..33,
+        seed in 0u64..1000,
+        jobs in 2usize..7,
+        salt in any::<usize>(),
+    ) {
+        let (name, src) = program;
+        let artifact = compile(&src).unwrap();
+        let module = artifact.vm_module().unwrap();
+        let cfg =
+            RunConfig::new(n_pes).seed(seed).latency(latency).trace(true).shmem();
+        let seq = run_module_jobs(module, &cfg, &[], 1).unwrap();
+        let plan = ShardPlan::salted(n_pes, jobs, salt);
+        let salted = run_module_sharded(module, &cfg, &[], &plan).unwrap();
+        prop_assert_eq!(
+            stable_string(&seq), stable_string(&salted),
+            "{}: salted plan (jobs={} salt={}) diverged at {} PEs seed {}",
+            name, jobs, salt, n_pes, seed
+        );
+    }
+}
+
+/// One fixed larger-scale anchor outside the proptest loop: a
+/// 1,024-PE heat stencil on 4 workers, byte-identical to sequential,
+/// with the episode-based event formula holding on both.
+#[test]
+fn heat2d_1024_pes_is_byte_identical_on_4_workers() {
+    let artifact = compile(&corpus::heat2d_source(32, 32, 4)).unwrap();
+    let module = artifact.vm_module().unwrap();
+    let cfg = RunConfig::new(1024).latency(LatencyModel::epiphany16()).shmem();
+    let seq = run_module_jobs(module, &cfg, &[], 1).unwrap();
+    let par = run_module_jobs(module, &cfg, &[], 4).unwrap();
+    assert_eq!(stable_string(&seq), stable_string(&par));
+    // events = n_pes × (episodes + 1): each PE runs one segment per
+    // barrier episode it passes plus the final segment to KTHXBYE.
+    assert_eq!(seq.events % 1024, 0);
 }
