@@ -99,7 +99,11 @@ usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--sim-jobs <N>]
                    when the wall/speedup columns are the result:
                    concurrent jobs contend for cores and bias each
                    other's timings (virtual-time walls are immune)
-  --json           with --sweep: emit the report as JSON on stdout
+  --json           emit the report as JSON on stdout. On a single run
+                   this is the *stable* run-report form — the same
+                   bytes the lold service returns from POST /run —
+                   deterministic (no host timing fields) for a fixed
+                   program/config under clock=virtual
   --json-lines     with --sweep: stream one JSONL record per config as
                    it completes (resumable/inspectable mid-run), plus
                    a final summary record
@@ -417,15 +421,23 @@ fn main() -> ExitCode {
         BackendChoice::One(b) => {
             // Sweep-only presentation flags make no sense on a single
             // run (but DO work with `--backend both`, which forwards
-            // to a sweep below).
-            if jobs.is_some() || json || json_lines {
+            // to a sweep below). `--json` is fine: it selects the
+            // stable single-run report form.
+            if jobs.is_some() || json_lines {
                 eprintln!(
-                    "O NOES! --jobs, --json AN --json-lines ONLY MEAN SOMETHING WIF --sweep\n{USAGE}"
+                    "O NOES! --jobs AN --json-lines ONLY MEAN SOMETHING WIF --sweep\n{USAGE}"
                 );
                 return ExitCode::FAILURE;
             }
             match engine_for(b).run(&artifact, &cfg.backend(b)) {
                 Ok(report) => {
+                    if json {
+                        // The byte-stable report (`timing: false`) —
+                        // keep in lockstep with the lold service so
+                        // `lolrun --json` and `POST /run` diff clean.
+                        println!("{}", lolcode::service::run_report_json(&report, false));
+                        return ExitCode::SUCCESS;
+                    }
                     print_outputs(&report, tag);
                     if stats {
                         print_stats(&report);

@@ -237,15 +237,33 @@ fn lolrun_sweep_spec_backend_clause_beats_backend_both_flag() {
 }
 
 #[test]
-fn lolrun_jobs_and_json_require_sweep() {
+fn lolrun_jobs_and_json_lines_require_sweep() {
     let prog = write_temp("nosweep.lol", HELLO);
-    for flags in [vec!["--jobs", "2"], vec!["--json"]] {
+    for flags in [vec!["--jobs", "2"], vec!["--json-lines"]] {
         let out =
             Command::new(env!("CARGO_BIN_EXE_lolrun")).args(&flags).arg(&prog).output().unwrap();
         assert!(!out.status.success(), "{flags:?} without --sweep should fail");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("ONLY MEAN SOMETHING WIF --sweep"), "{stderr}");
     }
+}
+
+#[test]
+fn lolrun_json_works_on_single_runs() {
+    // --json on a plain run prints the stable run-report body — the
+    // same bytes the lold service returns from POST /run (pinned
+    // byte-for-byte in tests/lold_bin.rs).
+    let prog = write_temp("singlejson.lol", HELLO);
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "2", "--json"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"backend\": "), "{stdout}");
+    assert!(stdout.contains("\"ok\": true"), "{stdout}");
+    assert!(stdout.contains("\"outputs\": ["), "{stdout}");
 }
 
 #[test]

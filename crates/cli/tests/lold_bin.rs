@@ -1,0 +1,133 @@
+//! End-to-end tests of the shipped binaries: boot the real `lold`
+//! executable, talk to it over a real socket, verify `lolrun --json`
+//! prints the byte-identical stable report the service returns, and
+//! smoke the `lold-bench` harness.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use lol_serve::{client, json};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Boot `lold` on an ephemeral port and parse the readiness line.
+    fn boot(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_lold"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn lold");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("readiness line");
+        let addr = line
+            .trim()
+            .strip_prefix("lold listening on http://")
+            .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// `POST /shutdown`, then reap the process and return its status.
+    fn shutdown(mut self) -> std::process::ExitStatus {
+        let resp = client::post(&self.addr, "/shutdown", "").expect("shutdown roundtrip");
+        assert_eq!(resp.status, 200);
+        self.child.wait().expect("lold exit status")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The daemon boots, serves /healthz, and `POST /shutdown` drains to a
+/// clean exit code 0.
+#[test]
+fn lold_boots_serves_and_shuts_down_cleanly() {
+    let daemon = Daemon::boot(&["--workers", "2"]);
+    let health = client::get(&daemon.addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let parsed = json::parse(&health.text()).unwrap();
+    assert_eq!(parsed.get("ok").and_then(json::Json::as_bool), Some(true));
+    assert_eq!(parsed.get("workers").and_then(json::Json::as_u64), Some(2));
+    let status = daemon.shutdown();
+    assert!(status.success(), "lold must exit 0 after graceful drain, got {status:?}");
+}
+
+/// `lolrun --json` stdout (sans trailing newline) is byte-identical to
+/// the body the service returns from `POST /run` for the same program
+/// and config — the two front doors share one renderer.
+#[test]
+fn lolrun_json_matches_served_run_body() {
+    let dir = std::env::temp_dir().join(format!("lold-bin-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("hello.lol");
+    std::fs::write(&program, lolcode::corpus::HELLO_PARALLEL).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_lolrun"))
+        .args(["-np", "3", "--backend", "vm", "--clock", "virtual", "--json"])
+        .arg(&program)
+        .output()
+        .expect("run lolrun");
+    assert!(out.status.success(), "lolrun failed: {}", String::from_utf8_lossy(&out.stderr));
+    let cli_body = String::from_utf8(out.stdout).unwrap();
+
+    let daemon = Daemon::boot(&[]);
+    let wire = format!(
+        "{{\"source\": \"{}\", \"backend\": \"vm\", \"pes\": 3, \"clock\": \"virtual\"}}",
+        json::escape(lolcode::corpus::HELLO_PARALLEL)
+    );
+    let resp = client::post(&daemon.addr, "/run", &wire).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(
+        cli_body.trim_end_matches('\n'),
+        resp.text(),
+        "lolrun --json and POST /run must emit identical bytes"
+    );
+    daemon.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `lold-bench` with no `--addr` boots an in-process server, drives it,
+/// and emits the JSON consumed by the perf-regression gate.
+#[test]
+fn lold_bench_smoke() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lold-bench"))
+        .args(["--clients", "2", "--requests", "5", "--backend", "sim", "--pes", "4"])
+        .output()
+        .expect("run lold-bench");
+    assert!(out.status.success(), "lold-bench failed: {}", String::from_utf8_lossy(&out.stderr));
+    let report = json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(report.get("clients").and_then(json::Json::as_u64), Some(2));
+    assert_eq!(report.get("total").and_then(json::Json::as_u64), Some(10));
+    assert_eq!(report.get("ok").and_then(json::Json::as_u64), Some(10));
+    assert_eq!(report.get("errors").and_then(json::Json::as_u64), Some(0));
+    for key in ["rps", "p50_ns", "p99_ns", "max_ns", "wall_ns"] {
+        assert!(report.get(key).is_some(), "bench report missing {key}");
+    }
+}
+
+/// Quota flags reach the admission layer: a daemon booted with
+/// `--max-pes 4` rejects a 64-PE run with the structured code.
+#[test]
+fn lold_quota_flags_are_live() {
+    let daemon = Daemon::boot(&["--max-pes", "4"]);
+    let wire = format!(
+        "{{\"source\": \"{}\", \"pes\": 64}}",
+        json::escape(lolcode::corpus::HELLO_PARALLEL)
+    );
+    let resp = client::post(&daemon.addr, "/run", &wire).unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    assert!(resp.text().contains("SRV0201"), "{}", resp.text());
+    daemon.shutdown();
+}

@@ -84,13 +84,17 @@
 
 pub mod corpus;
 mod engine;
+pub mod service;
 pub mod sweep;
 
 pub use engine::{
     engine_for, registry, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, RunReport,
     SimEngine, VmEngine,
 };
-pub use sweep::{config_key, jsonl_record, parse_jsonl_done, SweepEntry, SweepReport, SweepSpec};
+pub use service::{QuotaViolation, Quotas};
+pub use sweep::{
+    config_key, config_weight, jsonl_record, parse_jsonl_done, SweepEntry, SweepReport, SweepSpec,
+};
 
 use lol_ast::{Program, SourceMap};
 use lol_sema::Analysis;

@@ -625,7 +625,12 @@ impl SweepSpec {
 /// weighing a 65,536-PE sim config as 65,536 threads would make every
 /// mega-scale sim run hog the whole budget and serialize the sweep.
 /// Weights cap at the budget so an over-wide job still runs (alone).
-fn config_weight(cfg: &RunConfig, budget: usize) -> usize {
+///
+/// Public because the `lold` playground service gates request
+/// admission on the same weighting: a 64k-PE sim request weighs its
+/// scheduler's worker count, not 64k threads, so it can't starve the
+/// service's worker pool any more than it can starve a sweep.
+pub fn config_weight(cfg: &RunConfig, budget: usize) -> usize {
     let threads = match cfg.backend {
         Backend::Sim => lol_sim::planned_jobs(&cfg.shmem()),
         _ => cfg.n_pes,
@@ -852,7 +857,7 @@ pub fn parse_jsonl_done(text: &str) -> HashSet<String> {
 
 /// FNV-1a hash over per-PE outputs (stable fingerprint for
 /// machine-readable reports without embedding full outputs).
-fn output_hash(report: &RunReport) -> u64 {
+pub(crate) fn output_hash(report: &RunReport) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -905,6 +910,14 @@ pub fn jsonl_record(
 /// report so the two serializations can never drift apart.
 fn push_config_json(out: &mut String, index: usize, config: &RunConfig) {
     out.push_str(&format!("\"index\": {index}, "));
+    push_config_fields(out, config);
+}
+
+/// The config-identity fields alone (`"backend"` through `"clock"`),
+/// shared with the single-run report JSON the playground service and
+/// `lolrun --json` emit ([`crate::service::run_report_json`]) — one
+/// serialization, three surfaces.
+pub(crate) fn push_config_fields(out: &mut String, config: &RunConfig) {
     out.push_str(&format!("\"backend\": \"{}\", ", config.backend));
     out.push_str(&format!("\"pes\": {}, ", config.n_pes));
     out.push_str(&format!("\"seed\": {}, ", config.seed));
@@ -928,7 +941,7 @@ fn push_error_json(out: &mut String, err: &LolError) {
 }
 
 /// The shared `"stats": {...}` object (job-wide totals).
-fn push_stats_json(out: &mut String, r: &RunReport) {
+pub(crate) fn push_stats_json(out: &mut String, r: &RunReport) {
     let t = r.total_stats();
     out.push_str(&format!(
         "\"stats\": {{\"local_gets\": {}, \"remote_gets\": {}, \
@@ -1230,7 +1243,7 @@ fn fmt_pes(n: usize) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

@@ -1,0 +1,206 @@
+//! The self-driving load-test harness behind `lold-bench`.
+//!
+//! N client threads × M requests each, over real localhost sockets
+//! (keep-alive — one connection per client, like a well-behaved SDK),
+//! against a `lold` server that is usually in the same process. The
+//! report carries throughput and latency percentiles in the JSON shape
+//! `scripts/check_perf_regression.py --serve` gates on.
+
+use std::time::Instant;
+
+/// What to throw at the server.
+#[derive(Clone, Debug)]
+pub struct BenchSpec {
+    /// Server address, e.g. `127.0.0.1:4040`.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Request path (e.g. `/run`).
+    pub path: String,
+    /// Request body (sent verbatim on every request).
+    pub body: String,
+}
+
+/// Aggregated results of one bench run.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Client threads that ran.
+    pub clients: usize,
+    /// Total requests attempted (`clients × requests`).
+    pub total: usize,
+    /// Responses with status 200.
+    pub ok: usize,
+    /// Non-200 responses plus transport failures.
+    pub errors: usize,
+    /// Whole-bench wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Completed requests per second (ok + non-200, not transport
+    /// failures), derived from `wall_ns`.
+    pub rps: f64,
+    /// Median request latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst observed latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+fn percentile(sorted: &[u64], num: usize, den: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * num / den;
+    sorted[idx]
+}
+
+impl BenchReport {
+    /// The JSON document `serve-bench.json` holds; keys are consumed
+    /// by `scripts/check_perf_regression.py --serve`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"clients\": {}, \"total\": {}, \"ok\": {}, \"errors\": {}, ",
+                "\"wall_ns\": {}, \"rps\": {:.2}, ",
+                "\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}"
+            ),
+            self.clients,
+            self.total,
+            self.ok,
+            self.errors,
+            self.wall_ns,
+            self.rps,
+            self.p50_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.max_ns,
+        )
+    }
+
+    /// One human line for terminals and CI logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} clients × {} reqs: {} ok, {} errors, {:.1} req/s, p50 {:.2}ms p99 {:.2}ms",
+            self.clients,
+            self.total / self.clients.max(1),
+            self.ok,
+            self.errors,
+            self.rps,
+            self.p50_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// Run the bench. Each client keeps one connection for all its
+/// requests; a transport failure mid-stream reconnects once per
+/// request so one dropped socket doesn't zero a whole client's column.
+pub fn run(spec: &BenchSpec) -> BenchReport {
+    let started = Instant::now();
+    let mut per_client: Vec<(Vec<u64>, usize, usize)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut latencies = Vec::with_capacity(spec.requests);
+                    let mut ok = 0usize;
+                    let mut errors = 0usize;
+                    let mut conn = crate::client::Conn::connect(&spec.addr).ok();
+                    for _ in 0..spec.requests {
+                        if conn.is_none() {
+                            conn = crate::client::Conn::connect(&spec.addr).ok();
+                        }
+                        let Some(c) = conn.as_mut() else {
+                            errors += 1;
+                            continue;
+                        };
+                        let t0 = Instant::now();
+                        match c.request("POST", &spec.path, spec.body.as_bytes()) {
+                            Ok(resp) => {
+                                latencies.push(t0.elapsed().as_nanos() as u64);
+                                if resp.status == 200 {
+                                    ok += 1;
+                                } else {
+                                    errors += 1;
+                                }
+                                if resp.header("connection") == Some("close") {
+                                    conn = None;
+                                }
+                            }
+                            Err(_) => {
+                                errors += 1;
+                                conn = None;
+                            }
+                        }
+                    }
+                    (latencies, ok, errors)
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(cell) = h.join() {
+                per_client.push(cell);
+            }
+        }
+    });
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut ok = 0;
+    let mut errors = 0;
+    for (lat, o, e) in per_client {
+        latencies.extend(lat);
+        ok += o;
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    BenchReport {
+        clients: spec.clients.max(1),
+        total: spec.clients.max(1) * spec.requests,
+        ok,
+        errors,
+        wall_ns,
+        rps: completed as f64 / (wall_ns.max(1) as f64 / 1e9),
+        p50_ns: percentile(&latencies, 50, 100),
+        p90_ns: percentile(&latencies, 90, 100),
+        p99_ns: percentile(&latencies, 99, 100),
+        max_ns: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let data: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&data, 50, 100), 50);
+        assert_eq!(percentile(&data, 99, 100), 99);
+        assert_eq!(percentile(&data, 100, 100), 100);
+        assert_eq!(percentile(&[], 50, 100), 0);
+    }
+
+    #[test]
+    fn report_json_is_parseable() {
+        let r = BenchReport {
+            clients: 2,
+            total: 10,
+            ok: 9,
+            errors: 1,
+            wall_ns: 1_000_000,
+            rps: 9000.0,
+            p50_ns: 10,
+            p90_ns: 20,
+            p99_ns: 30,
+            max_ns: 40,
+        };
+        let json = crate::json::parse(&r.to_json()).unwrap();
+        assert_eq!(json.get("ok").unwrap().as_u64(), Some(9));
+        assert_eq!(json.get("p99_ns").unwrap().as_u64(), Some(30));
+        assert!(r.summary().contains("9 ok"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Content-addressed LRU cache of [`Compiled`] artifacts.
+//!
+//! The key insight for correctness testing: the bucket hash covers the
+//! **source text only** (FNV-1a, same polynomial as the sweep output
+//! hash), while entry *identity* is the full `(source, opts)` pair.
+//! Two requests with identical source but different dialect options
+//! therefore collide by construction and must be disambiguated by the
+//! equality guard — `tests/cache.rs` leans on this deliberately.
+//!
+//! Concurrency: the map lock is only held to find-or-insert an entry
+//! stub; the compile itself runs inside `OnceLock::get_or_init`
+//! *outside* the map lock, so N concurrent identical requests perform
+//! exactly one compile (std's `OnceLock` blocks the other N-1
+//! initializers until the winner finishes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use lolcode::{Compiled, LolError};
+
+/// FNV-1a over the source bytes — deliberately weak (64-bit, no
+/// per-process seed) so collision behaviour is reproducible in tests.
+pub fn source_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+type Slot = Arc<OnceLock<Result<Arc<Compiled>, LolError>>>;
+
+struct Entry {
+    hash: u64,
+    source: String,
+    opts: String,
+    last_used: u64,
+    slot: Slot,
+}
+
+/// Monotonic counters exposed through `GET /healthz`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Configured capacity (entries).
+    pub capacity: usize,
+    /// Live entries.
+    pub len: usize,
+    /// Lookups that found an existing artifact (compiled or in
+    /// flight — a request that piggybacks on a concurrent compile
+    /// counts as a hit).
+    pub hits: u64,
+    /// Lookups that created a new entry and paid for a compile.
+    pub misses: u64,
+    /// Entries discarded to make room.
+    pub evictions: u64,
+}
+
+/// The cache proper. Cheap to share: `Clone` clones the `Arc`.
+#[derive(Clone)]
+pub struct ArtifactCache {
+    inner: Arc<CacheInner>,
+}
+
+struct CacheInner {
+    capacity: usize,
+    entries: Mutex<(Vec<Entry>, u64)>, // (entries, clock)
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifacts (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            inner: Arc::new(CacheInner {
+                capacity: capacity.max(1),
+                entries: Mutex::new((Vec::new(), 0)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Compile-or-fetch. `opts` is the dialect/option string that,
+    /// together with the source, forms the artifact identity.
+    pub fn get(&self, source: &str, opts: &str) -> Result<Arc<Compiled>, LolError> {
+        let hash = source_hash(source);
+        let (slot, fresh) = {
+            let mut guard = self.inner.entries.lock().unwrap();
+            let (entries, clock) = &mut *guard;
+            *clock += 1;
+            let now = *clock;
+            if let Some(e) =
+                entries.iter_mut().find(|e| e.hash == hash && e.source == source && e.opts == opts)
+            {
+                e.last_used = now;
+                (e.slot.clone(), false)
+            } else {
+                if entries.len() >= self.inner.capacity {
+                    let oldest = entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("non-empty at capacity");
+                    entries.swap_remove(oldest);
+                    self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                let slot: Slot = Arc::new(OnceLock::new());
+                entries.push(Entry {
+                    hash,
+                    source: source.to_string(),
+                    opts: opts.to_string(),
+                    last_used: now,
+                    slot: slot.clone(),
+                });
+                (slot, true)
+            }
+        };
+        if fresh {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        // The compile runs outside the map lock; concurrent callers on
+        // the same slot block here instead of compiling twice.
+        slot.get_or_init(|| Compiled::new(source).map(Arc::new)).clone()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            capacity: self.inner.capacity,
+            len: self.inner.entries.lock().unwrap().0.len(),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lolcode::corpus;
+
+    #[test]
+    fn hit_miss_and_artifact_reuse() {
+        let cache = ArtifactCache::new(4);
+        let a = cache.get(corpus::HELLO_PARALLEL, "1.2").unwrap();
+        let b = cache.get(corpus::HELLO_PARALLEL, "1.2").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the artifact");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn same_source_different_opts_do_not_share() {
+        let cache = ArtifactCache::new(4);
+        let a = cache.get(corpus::HELLO_PARALLEL, "1.2").unwrap();
+        let b = cache.get(corpus::HELLO_PARALLEL, "1.3").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "same hash, different opts: distinct artifacts");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (0, 2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ArtifactCache::new(2);
+        cache.get(corpus::HELLO_PARALLEL, "1.2").unwrap();
+        cache.get(corpus::RING_EXAMPLE, "1.2").unwrap();
+        cache.get(corpus::HELLO_PARALLEL, "1.2").unwrap(); // refresh
+        cache.get(corpus::BARRIER_EXAMPLE, "1.2").unwrap(); // evicts RING
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        cache.get(corpus::HELLO_PARALLEL, "1.2").unwrap();
+        assert_eq!(cache.stats().hits, 2, "HELLO must have survived the eviction");
+    }
+
+    #[test]
+    fn compile_errors_are_cached_too() {
+        let cache = ArtifactCache::new(2);
+        assert!(cache.get("NOT LOLCODE AT ALL", "1.2").is_err());
+        assert!(cache.get("NOT LOLCODE AT ALL", "1.2").is_err());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "the failed compile is only paid once");
+    }
+}

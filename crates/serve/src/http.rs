@@ -1,0 +1,441 @@
+//! A deliberately small HTTP/1.1 server-side reader/writer on std
+//! streams — exactly the subset `lold` speaks, hardened against
+//! hostile input.
+//!
+//! Every limit is explicit: request-line and header lines are
+//! length-capped, header count is capped, `Content-Length` is parsed
+//! as pure digits into a `u64` (no signs, no whitespace tricks, no
+//! duplicates), and bodies beyond the service's quota are drained up
+//! to a bounded slack so the connection stays reusable, then
+//! rejected. Anything outside the subset is a structured 4xx/5xx,
+//! never a panic and never an unbounded read.
+
+use std::io::{BufRead, Read, Write};
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// How much of an over-quota body the server is willing to read and
+/// discard to keep the connection reusable (beyond this it closes).
+pub const DRAIN_SLACK_BYTES: u64 = 4 * 1024 * 1024;
+
+/// One parsed request: method, path, lowercased headers, raw body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercase as sent).
+    pub method: String,
+    /// The request target, e.g. `/run` (query strings are kept as-is).
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this request?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. [`HttpError::status`] maps each
+/// reason to the response status; [`HttpError::reusable`] says whether
+/// the connection is still in a known state (body fully consumed) and
+/// may serve another request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line / header syntax, or a line over
+    /// [`MAX_LINE_BYTES`], or too many headers.
+    Malformed(String),
+    /// POST without a parseable `Content-Length` (or a duplicate one).
+    BadLength(String),
+    /// Body over the quota. `drained` says whether the connection was
+    /// left in a reusable state.
+    BodyTooLarge {
+        /// Declared body size.
+        declared: u64,
+        /// Configured cap.
+        cap: usize,
+        /// Whether the whole body was read off the socket.
+        drained: bool,
+    },
+    /// `Transfer-Encoding` and other unimplemented HTTP features.
+    Unsupported(String),
+    /// The peer closed or the socket failed mid-request.
+    Closed,
+    /// The socket read timed out *between* requests (no byte of the
+    /// next request seen yet) — the connection is still in a clean
+    /// state, so the caller may keep polling or close it idle.
+    Idle,
+}
+
+impl HttpError {
+    /// The HTTP status to answer with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::BadLength(_) => 411,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::Unsupported(_) => 501,
+            HttpError::Closed => 400, // no response will be written anyway
+            HttpError::Idle => 408,
+        }
+    }
+
+    /// May the connection serve another request after this error?
+    pub fn reusable(&self) -> bool {
+        matches!(self, HttpError::BodyTooLarge { drained: true, .. })
+    }
+
+    /// The stable error-registry code (see `docs/SERVE.md`). An
+    /// over-quota body reports the *quota* registry code `SRV0204`
+    /// (same violation as `QuotaViolation::BodyCap`), not a transport
+    /// code — the transport is merely where the quota is enforced.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(_) => "SRV0101",
+            HttpError::BadLength(_) => "SRV0102",
+            HttpError::BodyTooLarge { .. } => "SRV0204",
+            HttpError::Unsupported(_) => "SRV0104",
+            HttpError::Closed => "SRV0105",
+            HttpError::Idle => "SRV0106",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "BAD REQUEST: {m}"),
+            HttpError::BadLength(m) => write!(f, "BAD CONTENT-LENGTH: {m}"),
+            HttpError::BodyTooLarge { declared, cap, .. } => {
+                write!(f, "REQUEST BODY HAZ {declared} BYTES — QUOTA IZ {cap}")
+            }
+            HttpError::Unsupported(m) => write!(f, "NOT IMPLEMENTED: {m}"),
+            HttpError::Closed => write!(f, "CONNECTION CLOSED"),
+            HttpError::Idle => write!(f, "CONNECTION IDLE"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read one CRLF- (or bare-LF-) terminated line, capped at
+/// [`MAX_LINE_BYTES`]. `Ok(None)` is clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::with_capacity(64);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Closed);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::Malformed("NON-UTF8 HEADER LINE".into()));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(HttpError::Malformed("HEADER LINE 2 LONG".into()));
+                }
+            }
+            Err(e)
+                if line.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // Read timeout before any byte of this line: the
+                // stream is still aligned on a line boundary.
+                return Err(HttpError::Idle);
+            }
+            Err(_) => return Err(HttpError::Closed),
+        }
+    }
+}
+
+/// Read one full request off `reader`. `Ok(None)` is a clean
+/// connection close between requests (keep-alive ended).
+/// `max_body` is the service's body-size quota.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    // `Idle` may only escape from here — before the first byte of the
+    // request — where the connection is still cleanly reusable. A
+    // timeout anywhere later leaves the stream mid-request and is
+    // reported as `Closed`.
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(HttpError::Malformed(format!("BAD REQUEST LINE: {request_line:?}"))),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed(format!("BAD METHOD: {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("BAD HTTP VERSION: {version:?}")));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader)
+            .map_err(|e| if e == HttpError::Idle { HttpError::Closed } else { e })?
+            .ok_or(HttpError::Closed)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("2 MANY HEADERS".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("BAD HEADER LINE: {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("BAD HEADER NAME: {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Unsupported("TRANSFER-ENCODING".into()));
+    }
+
+    // Content-Length: at most one, digits only, fits u64.
+    let lengths: Vec<&str> =
+        headers.iter().filter(|(k, _)| k == "content-length").map(|(_, v)| v.as_str()).collect();
+    let declared: u64 = match lengths.as_slice() {
+        [] => 0,
+        [one] => {
+            if one.is_empty() || !one.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadLength(format!("NOT A LENGTH: {one:?}")));
+            }
+            one.parse().map_err(|_| HttpError::BadLength(format!("LENGTH 2 BIG: {one:?}")))?
+        }
+        _ => return Err(HttpError::BadLength("DUPLICATE CONTENT-LENGTH".into())),
+    };
+    // No Content-Length (and no Transfer-Encoding, rejected above)
+    // means an empty body — `curl -X POST /shutdown` is legal.
+
+    if declared as u128 > max_body as u128 {
+        // Keep the connection reusable when the oversize is modest:
+        // drain the declared body, then report the quota violation.
+        let drained = if declared <= max_body as u64 + DRAIN_SLACK_BYTES {
+            let mut sink = std::io::sink();
+            std::io::copy(&mut reader.take(declared), &mut sink)
+                .map(|n| n == declared)
+                .unwrap_or(false)
+        } else {
+            false
+        };
+        return Err(HttpError::BodyTooLarge { declared, cap: max_body, drained });
+    }
+
+    let mut body = vec![0u8; declared as usize];
+    let mut read = 0;
+    while read < body.len() {
+        match reader.read(&mut body[read..]) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(n) => read += n,
+            Err(_) => return Err(HttpError::Closed),
+        }
+    }
+
+    Ok(Some(Request { method: method.to_string(), path: path.to_string(), headers, body }))
+}
+
+/// The reason phrase for the handful of statuses `lold` emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "OK HAI",
+    }
+}
+
+/// Write one response. `extra_headers` ride between the standard
+/// headers and the blank line (e.g. `Retry-After`).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, String)],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str(if close { "Connection: close\r\n" } else { "Connection: keep-alive\r\n" });
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_bytes(bytes: &[u8], max_body: usize) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nHAI!";
+        let req = parse_bytes(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"HAI!");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncated_is_closed() {
+        assert!(parse_bytes(b"", 1024).unwrap().is_none());
+        assert_eq!(parse_bytes(b"POST /run HT", 1024).unwrap_err(), HttpError::Closed);
+        assert_eq!(
+            parse_bytes(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 1024)
+                .unwrap_err(),
+            HttpError::Closed
+        );
+    }
+
+    #[test]
+    fn pathological_content_lengths_are_rejected() {
+        // (` 5` / `5 ` are NOT here: optional whitespace around a
+        // header value is legal HTTP and is trimmed before parsing.)
+        for cl in ["-1", "+5", "0x10", "99999999999999999999999999", "", "4,4"] {
+            let raw = format!("POST /run HTTP/1.1\r\nContent-Length:{cl}\r\n\r\n");
+            let e = parse_bytes(raw.as_bytes(), 1024).unwrap_err();
+            assert!(
+                matches!(e, HttpError::BadLength(_)),
+                "Content-Length {cl:?} must be BadLength, got {e:?}"
+            );
+        }
+        let dup = b"POST /run HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx";
+        assert!(matches!(parse_bytes(dup, 1024).unwrap_err(), HttpError::BadLength(_)));
+        // Absent Content-Length is NOT pathological: it means an empty
+        // body (`curl -X POST /shutdown` sends exactly this).
+        let missing = b"POST /shutdown HTTP/1.1\r\n\r\n";
+        assert!(parse_bytes(missing, 1024).unwrap().unwrap().body.is_empty());
+    }
+
+    #[test]
+    fn oversized_bodies_are_drained_and_flagged() {
+        let body = "x".repeat(64);
+        let raw = format!("POST /run HTTP/1.1\r\nContent-Length: 64\r\n\r\n{body}rest");
+        match parse_bytes(raw.as_bytes(), 16).unwrap_err() {
+            HttpError::BodyTooLarge { declared: 64, cap: 16, drained } => {
+                assert!(drained, "modest oversize must drain for reuse")
+            }
+            other => panic!("{other:?}"),
+        }
+        // Declared size beyond the drain slack: not reusable.
+        let raw = format!("POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u64::MAX);
+        match parse_bytes(raw.as_bytes(), 16).unwrap_err() {
+            e @ HttpError::BodyTooLarge { drained, .. } => {
+                assert!(!drained);
+                assert!(!e.reusable());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+        ] {
+            let e = parse_bytes(raw.as_bytes(), 1024).unwrap_err();
+            assert!(matches!(e, HttpError::Malformed(_)), "{raw:?} -> {e:?}");
+            assert_eq!(e.status(), 400);
+        }
+    }
+
+    #[test]
+    fn line_and_header_count_limits_hold() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 10));
+        assert!(matches!(parse_bytes(long.as_bytes(), 1024).unwrap_err(), HttpError::Malformed(_)));
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 2 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(parse_bytes(many.as_bytes(), 1024).unwrap_err(), HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let raw = b"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let e = parse_bytes(raw, 1024).unwrap_err();
+        assert!(matches!(e, HttpError::Unsupported(_)));
+        assert_eq!(e.status(), 501);
+    }
+
+    #[test]
+    fn write_response_is_parseable() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            "{}",
+            &[("Retry-After", "1".into())],
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,615 @@
+//! `lol-serve` — the `lold` playground service.
+//!
+//! A dependency-free JSON-over-HTTP daemon that exposes the whole
+//! toolchain — every backend in the engine registry — behind four
+//! routes:
+//!
+//! * `POST /run` — compile (or fetch from the artifact cache) and run
+//!   one config; the response body is the same stable JSON
+//!   `lolrun --json` prints, byte for byte.
+//! * `POST /sweep` — a full [`lolcode::SweepSpec`] product over one
+//!   program,
+//!   rendered as the sweep report JSON.
+//! * `POST /trace` — run with tracing forced on and return a rendering
+//!   (Gantt, event log, comm matrix, or SVG).
+//! * `GET /healthz` — liveness plus the counters the load-test harness
+//!   and the cache tests assert on.
+//!
+//! Design points:
+//!
+//! * **std only.** The HTTP server is [`http`], the JSON parser is
+//!   [`json`] — both bounded, total, and fuzzed in `tests/fuzz.rs`.
+//! * **Bounded worker pool.** A fixed set of worker threads serves
+//!   connections from a capped queue ([`ServeConfig::queue_cap`]);
+//!   when the queue is full the accept loop answers `429` with
+//!   `Retry-After` instead of accepting unbounded work, and once a
+//!   connection is accepted into the queue its requests are never
+//!   dropped.
+//! * **Anti-starvation.** Every run acquires thread-budget weight via
+//!   [`lolcode::config_weight`] — the same weighting the sweep
+//!   scheduler uses — so a 64k-PE sim request charges its scheduler's
+//!   worker count, not 64k, and wide requests queue instead of
+//!   oversubscribing the host.
+//! * **Artifact cache.** A content-hash LRU ([`cache::ArtifactCache`])
+//!   with single-flight compiles: N concurrent identical requests pay
+//!   for exactly one front-end pass.
+//! * **Quotas.** [`Quotas`] caps PE count, host wall, virtual wall and
+//!   body size per request; violations degrade to structured
+//!   `SRV0xxx` error JSON (`docs/SERVE.md` has the registry).
+//!
+//! ```no_run
+//! use lol_serve::{client, Server, ServeConfig};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let addr = server.addr().to_string();
+//! let resp = client::post(
+//!     &addr,
+//!     "/run",
+//!     r#"{"source": "HAI 1.2\nVISIBLE ME\nKTHXBYE", "pes": 4}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(resp.status, 200);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bench;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use lolcode::service::{run_report_json, Quotas};
+use lolcode::{config_weight, engine_for, SweepSpec};
+
+use api::{ApiError, RunRequest, TraceFormat};
+use cache::ArtifactCache;
+use http::{read_request, write_response, HttpError, Request};
+
+/// One socket-read slice: how often a pinned worker re-checks the
+/// shutdown flag while its connection is idle.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Everything tunable about a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks a free port (the default,
+    /// `127.0.0.1:0`, is what tests want).
+    pub addr: String,
+    /// Worker threads. A worker is pinned to its connection while the
+    /// connection is open, so size this at or above the expected
+    /// concurrent client count.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connection cap; beyond it the accept
+    /// loop answers `429`.
+    pub queue_cap: usize,
+    /// Artifact-cache capacity, in compiled programs.
+    pub cache_capacity: usize,
+    /// Per-request quotas.
+    pub quotas: Quotas,
+    /// Global thread budget for run admission (`0` = available
+    /// cores). Shares semantics with [`SweepSpec::threads`].
+    pub thread_budget: usize,
+    /// Per-read socket timeout: an idle or wedged connection releases
+    /// its worker after this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            queue_cap: 32,
+            cache_capacity: 32,
+            quotas: Quotas::default(),
+            thread_budget: 0,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Request counters, reported by `GET /healthz`.
+#[derive(Default)]
+struct Counters {
+    run: AtomicU64,
+    sweep: AtomicU64,
+    trace: AtomicU64,
+    healthz: AtomicU64,
+    rejected_429: AtomicU64,
+    rejected_503: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    cache: ArtifactCache,
+    counters: Counters,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    budget: usize,
+    weight: Mutex<usize>,
+    weight_cv: Condvar,
+}
+
+/// Releases its thread-budget weight on drop.
+struct BudgetGuard<'a> {
+    shared: &'a Shared,
+    weight: usize,
+}
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        let mut used = self.shared.weight.lock().unwrap();
+        *used -= self.weight;
+        drop(used);
+        self.shared.weight_cv.notify_all();
+    }
+}
+
+impl Shared {
+    /// Block until `weight` threads fit inside the budget. The weight
+    /// comes from [`config_weight`], which caps at the budget, so a
+    /// single over-wide request still runs — alone.
+    fn acquire_weight(&self, weight: usize) -> BudgetGuard<'_> {
+        let mut used = self.shared_weight_wait(weight);
+        *used += weight;
+        drop(used);
+        BudgetGuard { shared: self, weight }
+    }
+
+    fn shared_weight_wait(&self, weight: usize) -> std::sync::MutexGuard<'_, usize> {
+        let mut used = self.weight.lock().unwrap();
+        while *used + weight > self.budget {
+            used = self.weight_cv.wait(used).unwrap();
+        }
+        used
+    }
+}
+
+/// A running `lold` server: accept loop + worker pool on background
+/// threads. Drop does *not* stop it — call [`Server::shutdown`] (or
+/// `POST /shutdown` and [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. Returns once the socket is listening.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let budget = if config.thread_budget > 0 {
+            config.thread_budget
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        };
+        let shared = Arc::new(Shared {
+            cache: ArtifactCache::new(config.cache_capacity),
+            addr,
+            counters: Counters::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            budget,
+            weight: Mutex::new(0),
+            weight_cv: Condvar::new(),
+            config,
+        });
+        let mut threads = Vec::new();
+        for worker in 0..shared.config.workers.max(1) {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("lold-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("lold-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        Ok(Server { shared, threads })
+    }
+
+    /// The bound address (real port, even when configured as `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Has a shutdown been requested (flag set, draining)?
+    pub fn draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server shuts down (via [`Server::shutdown`]
+    /// from another thread or `POST /shutdown` from a client) and all
+    /// in-flight requests drain.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Request shutdown and block until every accepted request has
+    /// been answered.
+    pub fn shutdown(self) {
+        trigger_shutdown(&self.shared);
+        self.wait()
+    }
+}
+
+/// Flip the shutdown flag, wake the workers, and poke the accept loop
+/// (which is blocked in `accept`) with a throwaway connection.
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
+        // Short read slices so a worker pinned on an idle keep-alive
+        // connection re-checks the shutdown flag a few times a second
+        // (the full idle allowance is `ServeConfig::read_timeout`,
+        // enforced in `serve_connection`).
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Accepted during drain (possibly the shutdown poke
+            // itself): refuse politely, don't enqueue.
+            shared.counters.rejected_503.fetch_add(1, Ordering::Relaxed);
+            let e = ApiError::shutting_down();
+            let _ = write_response(
+                &mut stream,
+                e.status,
+                "application/json",
+                &e.body(),
+                &[("Retry-After", "1".to_string())],
+                true,
+            );
+            break;
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_cap {
+            drop(queue);
+            // Backpressure: the queue is full, so this connection was
+            // never admitted — tell the client when to come back.
+            shared.counters.rejected_429.fetch_add(1, Ordering::Relaxed);
+            let e = ApiError::queue_full();
+            let _ = write_response(
+                &mut stream,
+                e.status,
+                "application/json",
+                &e.body(),
+                &[("Retry-After", "1".to_string())],
+                true,
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        serve_connection(shared, stream);
+    }
+}
+
+/// Serve every request on one connection. An accepted connection's
+/// requests are always answered — during a drain the current request
+/// completes and the response carries `Connection: close`.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut idle_since = std::time::Instant::now();
+    loop {
+        let max_body = shared.config.quotas.max_body_bytes;
+        let request = match read_request(&mut reader, max_body) {
+            Ok(Some(req)) => req,
+            Ok(None) | Err(HttpError::Closed) => return,
+            Err(HttpError::Idle) => {
+                // Nothing arrived within one read slice: drop the
+                // connection if we're draining or the client has been
+                // quiet past the idle allowance; otherwise keep
+                // listening.
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || idle_since.elapsed() >= shared.config.read_timeout
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(err) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let e = ApiError::from_http(&err);
+                let close = !err.reusable() || shared.shutdown.load(Ordering::SeqCst);
+                let _ = write_response(
+                    &mut write_half,
+                    e.status,
+                    "application/json",
+                    &e.body(),
+                    &[],
+                    close,
+                );
+                if close {
+                    return;
+                }
+                continue;
+            }
+        };
+        let client_close = request.wants_close();
+        let (status, body, retry_after) = handle(shared, &request);
+        if status >= 400 {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        let close = client_close || draining;
+        let extra: Vec<(&str, String)> =
+            if retry_after { vec![("Retry-After", "1".to_string())] } else { Vec::new() };
+        if write_response(&mut write_half, status, "application/json", &body, &extra, close)
+            .is_err()
+            || close
+        {
+            return;
+        }
+        idle_since = std::time::Instant::now();
+    }
+}
+
+/// Route one request. Returns `(status, body, retry_after)`.
+fn handle(shared: &Shared, req: &Request) -> (u16, String, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.counters.healthz.fetch_add(1, Ordering::Relaxed);
+            (200, healthz_body(shared), false)
+        }
+        ("POST", "/run") => {
+            shared.counters.run.fetch_add(1, Ordering::Relaxed);
+            match handle_run(shared, &req.body) {
+                Ok(body) => (200, body, false),
+                Err(e) => (e.status, e.body(), false),
+            }
+        }
+        ("POST", "/sweep") => {
+            shared.counters.sweep.fetch_add(1, Ordering::Relaxed);
+            match handle_sweep(shared, &req.body) {
+                Ok(body) => (200, body, false),
+                Err(e) => (e.status, e.body(), false),
+            }
+        }
+        ("POST", "/trace") => {
+            shared.counters.trace.fetch_add(1, Ordering::Relaxed);
+            match handle_trace(shared, &req.body) {
+                Ok(body) => (200, body, false),
+                Err(e) => (e.status, e.body(), false),
+            }
+        }
+        ("POST", "/shutdown") => {
+            trigger_shutdown(shared);
+            (200, "{\"ok\": true, \"draining\": true}".to_string(), false)
+        }
+        (_, "/healthz" | "/run" | "/sweep" | "/trace" | "/shutdown") => {
+            let e = ApiError::method_not_allowed(&req.method, &req.path);
+            (e.status, e.body(), false)
+        }
+        (_, path) => {
+            let e = ApiError::not_found(path);
+            (e.status, e.body(), false)
+        }
+    }
+}
+
+fn parse_body(body: &[u8]) -> Result<json::Json, ApiError> {
+    let text = std::str::from_utf8(body).map_err(|_| ApiError::bad_json("BODY IZ NOT UTF-8"))?;
+    json::parse(text).map_err(|e| ApiError::bad_json(format!("{e}")))
+}
+
+/// Compile-or-fetch plus quota admission — the shared front half of
+/// `/run` and `/trace`.
+fn admit(
+    shared: &Shared,
+    req: &RunRequest,
+) -> Result<(std::sync::Arc<lolcode::Compiled>, lolcode::RunConfig), ApiError> {
+    let cfg = shared.config.quotas.admit(&req.cfg).map_err(|v| ApiError::from_quota(&v))?;
+    let artifact =
+        shared.cache.get(&req.source, &req.dialect).map_err(|e| ApiError::from_lol(&e))?;
+    Ok((artifact, cfg))
+}
+
+fn handle_run(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
+    let req = api::parse_run(&parse_body(body)?)?;
+    let (artifact, cfg) = admit(shared, &req)?;
+    let report = {
+        let _guard = shared.acquire_weight(config_weight(&cfg, shared.budget));
+        engine_for(cfg.backend).run(&artifact, &cfg).map_err(|e| ApiError::from_lol(&e))?
+    };
+    shared.config.quotas.check_report(&report).map_err(|v| ApiError::from_quota(&v))?;
+    Ok(run_report_json(&report, req.timing))
+}
+
+fn handle_sweep(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
+    let req = api::parse_sweep(&parse_body(body)?)?;
+    let base = shared.config.quotas.admit(&req.run.cfg).map_err(|v| ApiError::from_quota(&v))?;
+    let mut spec = SweepSpec::parse(&req.spec, base).map_err(ApiError::bad_shape)?;
+    let configs = spec.configs();
+    shared.config.quotas.admit_many(&configs).map_err(|v| ApiError::from_quota(&v))?;
+    // The sweep's internal thread budget nests inside the server's:
+    // never wider than ours, narrower if the spec asked for less.
+    let sweep_budget = match spec.threads_requested() {
+        0 => shared.budget,
+        n => n.min(shared.budget),
+    };
+    spec = spec.threads(sweep_budget);
+    let artifact =
+        shared.cache.get(&req.run.source, &req.run.dialect).map_err(|e| ApiError::from_lol(&e))?;
+    // Charge the widest single cell — the sweep scheduler keeps its
+    // own cells inside the same budget from there.
+    let weight = configs.iter().map(|c| config_weight(c, shared.budget)).max().unwrap_or(1);
+    let report = {
+        let _guard = shared.acquire_weight(weight);
+        spec.run(&artifact)
+    };
+    Ok(if req.run.timing { report.to_json() } else { report.to_json_stable() })
+}
+
+fn handle_trace(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
+    let req = api::parse_trace(&parse_body(body)?)?;
+    let (artifact, cfg) = admit(shared, &req.run)?;
+    let report = {
+        let _guard = shared.acquire_weight(config_weight(&cfg, shared.budget));
+        engine_for(cfg.backend).run(&artifact, &cfg).map_err(|e| ApiError::from_lol(&e))?
+    };
+    shared.config.quotas.check_report(&report).map_err(|v| ApiError::from_quota(&v))?;
+    let trace = report.trace.as_ref().ok_or_else(|| ApiError {
+        status: 500,
+        code: "SRV0500",
+        message: "TRACE WENT MISSIN".to_string(),
+    })?;
+    let rendered = match req.format {
+        TraceFormat::Gantt => trace.gantt(req.width),
+        TraceFormat::Events => trace.event_log(),
+        TraceFormat::Matrix => trace.comm_matrix().render(),
+        TraceFormat::Svg => trace.to_svg(),
+    };
+    Ok(format!(
+        "{{\"ok\": true, \"format\": \"{}\", \"pes\": {}, \"render\": \"{}\"}}",
+        req.format.name(),
+        report.n_pes(),
+        json::escape(&rendered)
+    ))
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let cache = shared.cache.stats();
+    let queue_depth = shared.queue.lock().unwrap().len();
+    format!(
+        concat!(
+            "{{\"ok\": true, \"workers\": {}, \"queue_cap\": {}, \"queue_depth\": {}, ",
+            "\"thread_budget\": {}, ",
+            "\"requests\": {{\"run\": {}, \"sweep\": {}, \"trace\": {}, \"healthz\": {}, ",
+            "\"rejected_429\": {}, \"rejected_503\": {}, \"errors\": {}}}, ",
+            "\"cache\": {{\"capacity\": {}, \"len\": {}, \"hits\": {}, \"misses\": {}, ",
+            "\"evictions\": {}}}}}"
+        ),
+        shared.config.workers,
+        shared.config.queue_cap,
+        queue_depth,
+        shared.budget,
+        c.run.load(Ordering::Relaxed),
+        c.sweep.load(Ordering::Relaxed),
+        c.trace.load(Ordering::Relaxed),
+        c.healthz.load(Ordering::Relaxed),
+        c.rejected_429.load(Ordering::Relaxed),
+        c.rejected_503.load(Ordering::Relaxed),
+        c.errors.load(Ordering::Relaxed),
+        cache.capacity,
+        cache.len,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lolcode::corpus;
+
+    fn test_server() -> Server {
+        Server::start(ServeConfig { workers: 4, ..ServeConfig::default() }).unwrap()
+    }
+
+    fn run_body(source: &str) -> String {
+        format!("{{\"source\": \"{}\", \"pes\": 2}}", json::escape(source))
+    }
+
+    #[test]
+    fn run_healthz_shutdown_roundtrip() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let resp = client::post(&addr, "/run", &run_body(corpus::HELLO_PARALLEL)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let body = resp.text();
+        assert!(body.contains("\"ok\": true"), "{body}");
+        assert!(body.contains("\"pes\": 2"), "{body}");
+
+        let health = client::get(&addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        let health_json = json::parse(&health.text()).unwrap();
+        let requests = health_json.get("requests").unwrap();
+        assert_eq!(requests.get("run").unwrap().as_u64(), Some(1));
+
+        let bye = client::post(&addr, "/shutdown", "").unwrap();
+        assert_eq!(bye.status, 200);
+        server.wait();
+    }
+
+    #[test]
+    fn unknown_route_and_method_are_structured() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let resp = client::post(&addr, "/nope", "{}").unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.text().contains("SRV0112"));
+        let resp = client::get(&addr, "/run").unwrap();
+        assert_eq!(resp.status, 405);
+        assert!(resp.text().contains("SRV0113"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_survives_a_client_error() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let mut conn = client::Conn::connect(&addr).unwrap();
+        let bad = conn.request("POST", "/run", b"{\"source\": 42}").unwrap();
+        assert_eq!(bad.status, 400);
+        assert!(bad.text().contains("SRV0111"));
+        let good =
+            conn.request("POST", "/run", run_body(corpus::HELLO_PARALLEL).as_bytes()).unwrap();
+        assert_eq!(good.status, 200);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,143 @@
+//! Artifact-cache behaviour under adversarial schedules: LRU thrash
+//! at capacity 1, hash collisions by construction (the cache hashes
+//! source text only, so same-source-different-dialect MUST collide and
+//! be split by the identity guard), and a barrier-forced race between
+//! in-flight runs and graceful shutdown.
+
+use std::sync::Barrier;
+
+use lol_serve::{client, json, ServeConfig, Server};
+use lolcode::corpus;
+
+fn run_body(source: &str, extra: &str) -> String {
+    format!("{{\"source\": \"{}\"{extra}}}", json::escape(source))
+}
+
+fn cache_counter(addr: &str, key: &str) -> u64 {
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    json::parse(&health.text())
+        .unwrap()
+        .get("cache")
+        .and_then(|c| c.get(key))
+        .and_then(json::Json::as_u64)
+        .unwrap_or_else(|| panic!("healthz missing cache.{key}"))
+}
+
+/// Capacity-1 cache, two programs, parallel clients alternating
+/// between them: every request must still answer 200 with the right
+/// outputs (eviction may discard artifacts, never corrupt them), and
+/// the eviction counter must move.
+#[test]
+fn lru_capacity_one_thrash_under_parallel_clients() {
+    let server =
+        Server::start(ServeConfig { cache_capacity: 1, workers: 8, ..ServeConfig::default() })
+            .unwrap();
+    let addr = server.addr().to_string();
+    let programs = [corpus::HELLO_PARALLEL, corpus::BARRIER_EXAMPLE];
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let addr = &addr;
+            let programs = &programs;
+            scope.spawn(move || {
+                let mut conn = client::Conn::connect(addr).unwrap();
+                for i in 0..10 {
+                    let source = programs[(t + i) % 2];
+                    let body = run_body(source, ", \"pes\": 2, \"clock\": \"virtual\"");
+                    let resp = conn.request("POST", "/run", body.as_bytes()).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    assert!(resp.text().contains("\"ok\": true"));
+                }
+            });
+        }
+    });
+    assert!(
+        cache_counter(&addr, "evictions") > 0,
+        "two programs through a capacity-1 cache must evict"
+    );
+    assert_eq!(cache_counter(&addr, "len"), 1, "capacity bound held");
+    server.shutdown();
+}
+
+/// Same source, two dialects: the FNV bucket hash (source-only) is
+/// identical, so this is a hash collision by construction — the
+/// full-identity equality guard must keep the artifacts distinct,
+/// visible as two cache misses and zero sharing.
+#[test]
+fn same_source_different_dialect_is_a_real_collision() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    for dialect in ["1.2", "1.3"] {
+        let body =
+            run_body(corpus::HELLO_PARALLEL, &format!(", \"pes\": 2, \"dialect\": \"{dialect}\""));
+        let resp = client::post(&addr, "/run", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    assert_eq!(cache_counter(&addr, "misses"), 2, "each dialect pays its own compile");
+    assert_eq!(cache_counter(&addr, "len"), 2, "distinct artifacts live side by side");
+    // Re-running either dialect now hits.
+    let body = run_body(corpus::HELLO_PARALLEL, ", \"pes\": 2, \"dialect\": \"1.3\"");
+    assert_eq!(client::post(&addr, "/run", &body).unwrap().status, 200);
+    assert_eq!(cache_counter(&addr, "hits"), 1);
+    server.shutdown();
+}
+
+/// Barrier-forced race on the run/shutdown path: every runner's
+/// request bytes are on the wire *before* the barrier releases the
+/// shutdowner, so each request is genuinely in flight when `/shutdown`
+/// lands — and every one must still complete with 200 (graceful
+/// drain), after which the server must come down. No hang, no dropped
+/// in-flight work.
+#[test]
+fn shutdown_races_in_flight_runs_gracefully() {
+    use std::io::{Read, Write};
+
+    let server = Server::start(ServeConfig { workers: 6, ..ServeConfig::default() }).unwrap();
+    let addr = server.addr().to_string();
+    let barrier = Barrier::new(4); // 3 runners + 1 shutdowner
+    std::thread::scope(|scope| {
+        for pe_count in [2usize, 4, 8] {
+            let addr = &addr;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let body = run_body(
+                    corpus::BARRIER_EXAMPLE,
+                    &format!(", \"pes\": {pe_count}, \"backend\": \"sim\", \"clock\": \"virtual\""),
+                );
+                let mut stream = std::net::TcpStream::connect(addr.as_str()).unwrap();
+                let wire = format!(
+                    "POST /run HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(wire.as_bytes()).unwrap();
+                stream.flush().unwrap();
+                barrier.wait();
+                // The request is already in the server's socket buffer;
+                // /shutdown is landing concurrently. `Connection: close`
+                // makes the response EOF-delimited.
+                let mut response = String::new();
+                stream.read_to_string(&mut response).unwrap();
+                assert!(
+                    response.starts_with("HTTP/1.1 200"),
+                    "in-flight run must drain, got: {}",
+                    &response[..response.len().min(200)]
+                );
+            });
+        }
+        let addr = &addr;
+        let barrier = &barrier;
+        scope.spawn(move || {
+            barrier.wait();
+            let resp = client::post(addr, "/shutdown", "").unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp.text().contains("\"draining\": true"));
+        });
+    });
+    // After the drain completes the socket must be dead: either
+    // connection refused or an immediate 503.
+    server.wait();
+    match client::post(&addr, "/run", &run_body(corpus::HELLO_PARALLEL, "")) {
+        Err(_) => {}
+        Ok(resp) => assert_eq!(resp.status, 503, "post-shutdown accept must refuse"),
+    }
+}

@@ -4,6 +4,7 @@
 Usage:
   check_perf_regression.py BASELINE.json CURRENT.json [--max-ratio 1.30]
   check_perf_regression.py --absolute BASELINES.json --program NAME CURRENT.json
+  check_perf_regression.py --serve BENCH.json [--absolute BASELINES.json]
 
 Relative mode (two reports): entries are matched by their full config
 identity (backend, pes, seed, latency, barrier, lock, clock). A config
@@ -31,10 +32,20 @@ mode compares it for *exact* equality instead — any drift there is a
 semantics change, not a perf change. Absolute mode skips them only
 when they carry no host_wall_ns to gate on.
 
+Serve mode (--serve): BENCH.json is a lold-bench report (see
+docs/SERVE.md). It is gated against the "serve" section of the
+baselines file (default: perf_baselines.json next to this script):
+an absolute p99 latency ceiling, a throughput floor in requests/sec,
+and an exact error budget. This is the service-path twin of the
+absolute engine gate — a recompile-per-request or a convoy on the
+artifact cache blows the p99 ceiling long before it shows up in
+single-run walls.
+
 Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
 import json
+import os
 import sys
 
 NOISE_FLOOR_NS = 20_000_000  # ignore regressions below 20ms absolute growth
@@ -102,11 +113,52 @@ def check_absolute(baselines_path, program, current_path):
     return 0
 
 
+def check_serve(baselines_path, bench_path):
+    try:
+        with open(baselines_path) as f:
+            baselines = json.load(f)
+        with open(bench_path) as f:
+            bench = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read inputs: {e}", file=sys.stderr)
+        return 2
+    bounds = baselines.get("serve")
+    if not bounds:
+        print(f"error: no 'serve' section in {baselines_path}", file=sys.stderr)
+        return 2
+    failures = []
+
+    def gate(name, got, limit, ok, fmt):
+        if got is None:
+            failures.append(f"serve {name}: missing from the bench report")
+        elif not ok(got, limit):
+            failures.append(f"serve {name}: {fmt(got)} violates the bound {fmt(limit)}")
+        else:
+            print(f"serve {name}: {fmt(got)} within {fmt(limit)} ok")
+
+    ms = lambda ns: f"{ns / 1e6:.1f}ms"
+    gate("p99", bench.get("p99_ns"), bounds["p99_ceiling_ns"], lambda g, l: g <= l, ms)
+    gate("rps", bench.get("rps"), bounds["rps_floor"], lambda g, l: g >= l, lambda v: f"{v:.1f} req/s")
+    gate("errors", bench.get("errors"), bounds["errors_max"], lambda g, l: g <= l, str)
+    if bench.get("ok", 0) != bench.get("total", -1):
+        failures.append(
+            f"serve ok-count: {bench.get('ok')} of {bench.get('total')} requests succeeded"
+        )
+    if failures:
+        print("PERF REGRESSION (serve bounds):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("serve: all bench bounds hold")
+    return 0
+
+
 def main(argv):
     args = []
     max_ratio = 1.30
     absolute = None
     program = None
+    serve = None
 
     def value_of(flag, i):
         if "=" in argv[i]:
@@ -126,12 +178,22 @@ def main(argv):
             absolute, i = value_of("--absolute", i)
         elif a.startswith("--program"):
             program, i = value_of("--program", i)
+        elif a.startswith("--serve"):
+            serve, i = value_of("--serve", i)
         elif a.startswith("--"):
             print(f"error: unknown flag {a}", file=sys.stderr)
             return 2
         else:
             args.append(a)
         i += 1
+    if serve is not None:
+        if args:
+            print(__doc__, file=sys.stderr)
+            return 2
+        baselines = absolute or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "perf_baselines.json"
+        )
+        return check_serve(baselines, serve)
     if absolute is not None:
         if program is None or len(args) != 1:
             print(__doc__, file=sys.stderr)

@@ -1,0 +1,216 @@
+//! The `lold` playground-service contract battery:
+//!
+//! (a) `POST /run` bodies are byte-identical to the toolchain's stable
+//!     run-report JSON (`lolcode::service::run_report_json`, the exact
+//!     form `lolrun --json` prints) across interp/vm/sim;
+//! (b) 32 concurrent identical `/run` requests produce 32
+//!     byte-identical bodies and at most ONE cache-miss compile;
+//! (c) a full accept queue answers `429` + `Retry-After` and never
+//!     drops a request it already accepted;
+//! (d) quota violations degrade to structured `SRV0xxx` error JSON
+//!     with the connection left reusable.
+
+use std::time::Duration;
+
+use lol_serve::{client, json, ServeConfig, Server};
+use lolcode::service::{run_report_json, Quotas};
+use lolcode::{compile, corpus, engine_for, Backend, ClockMode, LatencyModel, RunConfig};
+
+fn body_for(source: &str, backend: &str, pes: usize) -> String {
+    format!(
+        "{{\"source\": \"{}\", \"backend\": \"{backend}\", \"pes\": {pes}, \"clock\": \"virtual\"}}",
+        json::escape(source)
+    )
+}
+
+/// (a) The server's `/run` body vs the stable report rendered straight
+/// from the engine — byte for byte, per backend. (`lolrun --json`
+/// prints this same rendering; `crates/cli/tests/lold_bin.rs` closes
+/// that side of the triangle.)
+#[test]
+fn run_bodies_match_stable_report_json_across_backends() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let artifact = compile(corpus::RING_EXAMPLE).unwrap();
+    for backend in [Backend::Interp, Backend::Vm, Backend::Sim] {
+        let cfg = RunConfig::new(4).backend(backend).clock(ClockMode::Virtual);
+        let expected = run_report_json(&engine_for(backend).run(&artifact, &cfg).unwrap(), false);
+
+        let wire = body_for(corpus::RING_EXAMPLE, &backend.to_string(), 4);
+        let resp = client::post(&addr, "/run", &wire).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(resp.text(), expected, "backend {backend}: body must be byte-identical");
+    }
+    server.shutdown();
+}
+
+/// (b) 32 concurrent identical requests: 32 identical bodies, exactly
+/// one compile (single-flight `OnceLock` behind the cache), 31 hits.
+#[test]
+fn concurrent_identical_runs_compile_once() {
+    let server =
+        Server::start(ServeConfig { workers: 32, queue_cap: 64, ..ServeConfig::default() })
+            .unwrap();
+    let addr = server.addr().to_string();
+    let wire = body_for(corpus::HELLO_PARALLEL, "interp", 2);
+    let mut bodies: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let addr = &addr;
+                let wire = &wire;
+                scope.spawn(move || {
+                    let resp = client::post(addr, "/run", wire).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    resp.text()
+                })
+            })
+            .collect();
+        for h in handles {
+            bodies.push(h.join().unwrap());
+        }
+    });
+    assert_eq!(bodies.len(), 32);
+    assert!(bodies.iter().all(|b| b == &bodies[0]), "all 32 bodies must be byte-identical");
+
+    let health = json::parse(&client::get(&addr, "/healthz").unwrap().text()).unwrap();
+    let cache = health.get("cache").unwrap();
+    assert_eq!(cache.get("misses").and_then(json::Json::as_u64), Some(1), "exactly one compile");
+    assert_eq!(cache.get("hits").and_then(json::Json::as_u64), Some(31));
+    server.shutdown();
+}
+
+/// (c) Backpressure: worker pinned, queue full → `429` with
+/// `Retry-After`; the request already sitting in the queue is still
+/// answered once the worker frees up. Nothing accepted is ever
+/// dropped.
+#[test]
+fn queue_full_answers_429_and_never_drops_accepted_work() {
+    use std::io::{Read, Write};
+
+    let server =
+        Server::start(ServeConfig { workers: 1, queue_cap: 1, ..ServeConfig::default() }).unwrap();
+    let addr = server.addr().to_string();
+
+    // Pin the single worker to conn1 (a served request guarantees the
+    // worker has claimed it).
+    let mut conn1 = client::Conn::connect(&addr).unwrap();
+    assert_eq!(conn1.request("GET", "/healthz", b"").unwrap().status, 200);
+
+    // conn2: accepted into the queue (no worker free), request bytes
+    // already on the wire.
+    let wire = body_for(corpus::HELLO_PARALLEL, "interp", 2);
+    let mut conn2 = std::net::TcpStream::connect(addr.as_str()).unwrap();
+    conn2
+        .write_all(
+            format!(
+                "POST /run HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{wire}",
+                wire.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    conn2.flush().unwrap();
+    // Give the accept thread a moment to enqueue conn2.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // conn3: queue is full — immediate 429 with Retry-After.
+    let resp = client::post(&addr, "/run", &wire).unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.text());
+    assert!(resp.text().contains("SRV0301"), "{}", resp.text());
+    assert_eq!(resp.header("retry-after"), Some("1"), "429 must say when to come back");
+
+    // Free the worker: conn2's queued request must now be served in
+    // full — it was accepted, so it cannot be dropped.
+    drop(conn1);
+    let mut response = String::new();
+    conn2.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "queued request must complete, got: {}",
+        &response[..response.len().min(200)]
+    );
+    assert!(response.contains("\"ok\": true"));
+    server.shutdown();
+}
+
+/// (d) Every quota violation is a structured `SRV0xxx` JSON error and
+/// leaves the connection reusable — all checks ride ONE keep-alive
+/// connection, ending with a successful run on that same connection.
+#[test]
+fn quota_violations_are_structured_and_keep_the_connection() {
+    let server = Server::start(ServeConfig {
+        quotas: Quotas {
+            max_pes: 8,
+            max_body_bytes: 2048,
+            max_virtual_ns: 1_000,
+            max_configs: 4,
+            ..Quotas::default()
+        },
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    let mut conn = client::Conn::connect(&addr).unwrap();
+    let expect = |resp: client::Response, status: u16, code: &str| {
+        assert_eq!(resp.status, status, "{}", resp.text());
+        let parsed = json::parse(&resp.text())
+            .unwrap_or_else(|e| panic!("error body must be valid JSON ({e}): {}", resp.text()));
+        assert_eq!(parsed.get("ok").and_then(json::Json::as_bool), Some(false));
+        assert_eq!(parsed.get("code").and_then(json::Json::as_str), Some(code));
+        assert!(parsed.get("error").is_some(), "needs a human-readable error field");
+    };
+
+    // SRV0201: PE cap.
+    let resp = conn
+        .request("POST", "/run", body_for(corpus::HELLO_PARALLEL, "interp", 100).as_bytes())
+        .unwrap();
+    expect(resp, 422, "SRV0201");
+
+    // SRV0204: body cap — the server drains the oversized body and the
+    // connection stays usable.
+    let fat_source = format!("HAI 1.2\nBTW {}\nKTHXBYE\n", "A".repeat(4000));
+    let resp = conn.request("POST", "/run", body_for(&fat_source, "interp", 2).as_bytes()).unwrap();
+    expect(resp, 413, "SRV0204");
+
+    // SRV0202: sweep config-count cap.
+    let sweep = format!(
+        "{{\"source\": \"{}\", \"spec\": \"pes=1..8\"}}",
+        json::escape(corpus::HELLO_PARALLEL)
+    );
+    let resp = conn.request("POST", "/sweep", sweep.as_bytes()).unwrap();
+    expect(resp, 422, "SRV0202");
+
+    // SRV0203: virtual-wall cap, caught after the run.
+    let slow = format!(
+        "{{\"source\": \"{}\", \"pes\": 4, \"latency\": \"flat:1000000\", \"clock\": \"virtual\"}}",
+        json::escape(corpus::RING_EXAMPLE)
+    );
+    let resp = conn.request("POST", "/run", slow.as_bytes()).unwrap();
+    expect(resp, 422, "SRV0203");
+
+    // Compile errors are structured toolchain passthroughs (SRV041x).
+    let resp = conn.request("POST", "/run", b"{\"source\": \"IM NOT EVEN LOLCODE\"}").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(resp.text().contains("SRV041"), "{}", resp.text());
+
+    // The same connection still serves a clean run.
+    let resp = conn
+        .request("POST", "/run", body_for(corpus::HELLO_PARALLEL, "interp", 2).as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("\"ok\": true"));
+    server.shutdown();
+}
+
+/// Sanity for the latency quota fixture: the flat model really does
+/// push the ring's virtual wall past the 1µs cap used above.
+#[test]
+fn ring_under_flat_latency_exceeds_a_microsecond() {
+    let artifact = compile(corpus::RING_EXAMPLE).unwrap();
+    let cfg = RunConfig::new(4)
+        .latency("flat:1000000".parse::<LatencyModel>().unwrap())
+        .clock(ClockMode::Virtual);
+    let report = engine_for(Backend::Interp).run(&artifact, &cfg).unwrap();
+    assert!(report.virtual_wall.unwrap() > Duration::from_micros(1));
+}
