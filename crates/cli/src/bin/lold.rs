@@ -21,6 +21,7 @@ const USAGE: &str = "\
 usage: lold [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
             [--thread-budget N] [--max-pes N] [--max-wall-ms N]
             [--max-body BYTES] [--max-configs N] [--idle-timeout-ms N]
+            [--access-log PATH]
   --addr <a>            bind address (default 127.0.0.1:0 — the kernel
                         picks a port; the listening line has the real one)
   --workers <N>         worker threads; a worker is pinned to its
@@ -36,9 +37,12 @@ usage: lold [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
   --max-body <N>        request body cap in bytes (default 1048576)
   --max-configs <N>     per-sweep config-count cap (default 64)
   --idle-timeout-ms <N> idle keep-alive connection allowance (default 30000)
+  --access-log <PATH>   append one JSONL line per handled request
+                        (method, path, status, latency; off by default)
 
-Routes: POST /run, POST /sweep, POST /trace, GET /healthz,
-POST /shutdown (graceful drain, exit code 0). See docs/SERVE.md.
+Routes: POST /run, POST /sweep, POST /trace, GET /healthz, GET /metrics
+(Prometheus exposition), POST /shutdown (graceful drain, exit code 0).
+See docs/SERVE.md and docs/OBSERVABILITY.md.
 ";
 
 fn parse_num(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String> {
@@ -93,6 +97,16 @@ fn main() -> ExitCode {
             "--idle-timeout-ms" => parse_num(&args, &mut i, "--idle-timeout-ms").map(|n| {
                 config.read_timeout = Duration::from_millis(n.max(1));
             }),
+            "--access-log" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => {
+                        config.access_log = Some(p.clone());
+                        Ok(())
+                    }
+                    None => Err("O NOES! --access-log NEEDS A PATH".to_string()),
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;

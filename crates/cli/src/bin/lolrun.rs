@@ -28,7 +28,8 @@ const USAGE: &str = "\
 usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--sim-jobs <N>]
               [--seed <u64>] [--latency <model>] [--barrier <algo>]
               [--lock <algo>] [--clock wall|virtual] [--trace[=FORMAT]]
-              [--trace-buf <cap>[@<stride>]] [--tag] [--stats]
+              [--trace-buf <cap>[@<stride>]] [--trace-out <file>]
+              [--tag] [--stats] [--timings] [--profile]
               [--sweep <spec>] [--resume <prev.jsonl>] [--jobs <N>]
               [--json|--json-lines]
               <input.lol>
@@ -61,15 +62,28 @@ usage: lolrun [-np <N>] [--backend interp|vm|c|sim] [--sim-jobs <N>]
                      events           flat event log
                      matrix           PExPE bytes/ops matrix
                      svg              dependency-free SVG timeline
+                     perfetto         Chrome trace_event JSON — open in
+                                      Perfetto / chrome://tracing
                    (e.g. `lolrun --trace=svg prog.lol 2>timeline.svg`)
   --trace-buf <s>  global trace budget: at most <cap> events total,
                    sampling every <stride>-th PE (default stride 1).
                    Counts take k/m suffixes: `--trace-buf 64k@256`
                    keeps a 1M-PE trace bounded. Implies --trace;
                    untraced events are counted as dropped
+  --trace-out <f>  write the --trace rendering to <f> instead of
+                   stderr (a clean artifact, no log noise). Without an
+                   explicit --trace format, defaults to perfetto
   --tag            prefix every output line with [PE n]
   --stats          print per-PE communication statistics and wall time
                    to stderr after the run
+  --timings        print a lex/parse/sema/compile/exec/render phase
+                   breakdown to stderr (plus scheduler stats on
+                   --backend sim); with --json, emit the *timing* form
+                   of the report (adds wall_ns/phases/sim/profile)
+  --profile        count every executed opcode (vm backend) and print
+                   opcode totals, the superinstruction share, and the
+                   hottest bytecode ranges to stderr; other backends
+                   print the phase breakdown and a note
   --sweep <spec>   run a config matrix instead of a single job and
                    print a scaling report. Spec is ;-separated clauses:
                      pes=1..16 or pes=1,2,4   PE counts
@@ -121,6 +135,7 @@ enum TraceFormat {
     Events,
     Matrix,
     Svg,
+    Perfetto,
 }
 
 fn main() -> ExitCode {
@@ -136,8 +151,11 @@ fn main() -> ExitCode {
     let mut sim_jobs = 0usize;
     let mut trace: Option<TraceFormat> = None;
     let mut trace_buf: Option<TraceSpec> = None;
+    let mut trace_out: Option<String> = None;
     let mut tag = false;
     let mut stats = false;
+    let mut timings = false;
+    let mut profile = false;
     let mut sweep: Option<String> = None;
     let mut resume: Option<String> = None;
     let mut jobs: Option<usize> = None;
@@ -264,10 +282,21 @@ fn main() -> ExitCode {
                     "events" => Some(TraceFormat::Events),
                     "matrix" => Some(TraceFormat::Matrix),
                     "svg" => Some(TraceFormat::Svg),
+                    "perfetto" => Some(TraceFormat::Perfetto),
                     other => {
                         eprintln!(
-                            "O NOES! --trace FORMAT IZ gantt, events, matrix OR svg, NOT {other}\n{USAGE}"
+                            "O NOES! --trace FORMAT IZ gantt, events, matrix, svg OR perfetto, NOT {other}\n{USAGE}"
                         );
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("O NOES! --trace-out NEEDS A FILE\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -321,6 +350,8 @@ fn main() -> ExitCode {
             "--json-lines" => json_lines = true,
             "--tag" => tag = true,
             "--stats" => stats = true,
+            "--timings" => timings = true,
+            "--profile" => profile = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -372,6 +403,10 @@ fn main() -> ExitCode {
         eprint!("{w}");
     }
 
+    // `--trace-out` without a format means a Perfetto artifact.
+    if trace_out.is_some() && trace.is_none() {
+        trace = Some(TraceFormat::Perfetto);
+    }
     let mut cfg = RunConfig::new(n_pes)
         .seed(seed)
         .latency(latency)
@@ -379,6 +414,7 @@ fn main() -> ExitCode {
         .lock(lock)
         .clock(clock)
         .sim_jobs(sim_jobs)
+        .profile(profile)
         .trace(trace.is_some());
     if let Some(spec) = trace_buf {
         cfg = cfg.trace_spec(spec);
@@ -400,9 +436,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(spec) = sweep {
-        if stats || tag || trace.is_some() {
+        if stats || tag || trace.is_some() || timings || profile {
             eprintln!(
-                "O NOES! --stats, --tag AN --trace DONT WORK WIF --sweep (DA REPORT HAZ DA STATS)\n{USAGE}"
+                "O NOES! --stats, --tag, --trace, --timings AN --profile DONT WORK WIF --sweep (DA REPORT HAZ DA STATS)\n{USAGE}"
             );
             return ExitCode::FAILURE;
         }
@@ -430,20 +466,32 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             match engine_for(b).run(&artifact, &cfg.backend(b)) {
-                Ok(report) => {
+                Ok(mut report) => {
                     if json {
                         // The byte-stable report (`timing: false`) —
                         // keep in lockstep with the lold service so
                         // `lolrun --json` and `POST /run` diff clean.
-                        println!("{}", lolcode::service::run_report_json(&report, false));
+                        // `--timings` opts into the timing form
+                        // (wall_ns, phases, sim, profile riders).
+                        println!("{}", lolcode::service::run_report_json(&report, timings));
                         return ExitCode::SUCCESS;
                     }
+                    let render_t0 = std::time::Instant::now();
                     print_outputs(&report, tag);
+                    report.phases.render_ns = render_t0.elapsed().as_nanos() as u64;
                     if stats {
                         print_stats(&report);
                     }
+                    if timings || profile {
+                        print_timings(&report);
+                    }
+                    if profile {
+                        print_profile(&report);
+                    }
                     if let Some(fmt) = trace {
-                        print_trace(&report, fmt);
+                        if print_trace(&report, fmt, trace_out.as_deref()).is_err() {
+                            return ExitCode::FAILURE;
+                        }
                     }
                     ExitCode::SUCCESS
                 }
@@ -479,23 +527,105 @@ struct SweepOpts {
 }
 
 /// Render the recorded trace to stderr (program output stays clean on
-/// stdout; `2>file.svg` captures a timeline).
-fn print_trace(report: &RunReport, fmt: TraceFormat) {
+/// stdout; `2>file.svg` captures a timeline), or to `--trace-out`'s
+/// file when one was given.
+fn print_trace(report: &RunReport, fmt: TraceFormat, out: Option<&str>) -> Result<(), ()> {
     let Some(trace) = &report.trace else {
         eprintln!("HMM... NO TRACE WUZ RECORDED");
-        return;
+        return Ok(());
     };
-    match fmt {
-        TraceFormat::Gantt => {
-            eprint!("{}", trace.gantt(100));
-            eprint!("{}", trace.comm_matrix().render());
+    let rendered = match fmt {
+        TraceFormat::Gantt => format!("{}{}", trace.gantt(100), trace.comm_matrix().render()),
+        TraceFormat::Events => trace.event_log(),
+        TraceFormat::Matrix => trace.comm_matrix().render(),
+        TraceFormat::Svg => trace.to_svg(),
+        TraceFormat::Perfetto => trace.to_perfetto(),
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("O NOES! CANT WRITE {path}: {e}");
+                return Err(());
+            }
+            eprintln!("trace written to {path}");
         }
-        TraceFormat::Events => eprint!("{}", trace.event_log()),
-        TraceFormat::Matrix => eprint!("{}", trace.comm_matrix().render()),
-        TraceFormat::Svg => eprint!("{}", trace.to_svg()),
+        None => eprint!("{rendered}"),
     }
     if let Some(vw) = report.virtual_wall {
         eprintln!("virtual wall: {vw:?} (deterministic)");
+    }
+    Ok(())
+}
+
+/// Pretty nanoseconds for the phase table.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// `--timings`: the per-phase breakdown (and scheduler stats on sim)
+/// on stderr.
+fn print_timings(report: &RunReport) {
+    let p = &report.phases;
+    eprintln!("== {:?} phases: {} PEs ==", report.backend, report.n_pes());
+    let rows = [
+        ("lex", p.lex_ns),
+        ("parse", p.parse_ns),
+        ("sema", p.sema_ns),
+        ("compile", p.compile_ns),
+        ("exec", p.exec_ns),
+        ("render", p.render_ns),
+    ];
+    for (name, ns) in rows {
+        eprintln!("  {name:<8} {:>10}", fmt_ns(ns));
+    }
+    eprintln!("  {:<8} {:>10}", "total", fmt_ns(p.total_ns()));
+    if let Some(s) = &report.sim {
+        eprintln!(
+            "  sim: {} events, heap peak {}, {} barrier episodes, {} merge windows, {} events/s",
+            s.events,
+            s.heap_peak,
+            s.barrier_episodes,
+            s.merge_windows,
+            s.events_per_sec(report.host_wall)
+        );
+    }
+}
+
+/// `--profile`: opcode totals and hot bytecode ranges on stderr (vm
+/// backend; everything else explains itself and still exits 0).
+fn print_profile(report: &RunReport) {
+    let Some(p) = &report.profile else {
+        eprintln!(
+            "HMM... NO BYTECODE PROFILE ON DIS BACKEND ({:?}) — ONLY vm COUNTS OPCODES",
+            report.backend
+        );
+        return;
+    };
+    eprintln!(
+        "== vm profile: {} ops, {:.2}% superinstructions ==",
+        p.total_ops,
+        p.super_bp as f64 / 100.0
+    );
+    for (name, count, is_super) in p.ops.iter().take(15) {
+        let tag = if *is_super { " (super)" } else { "" };
+        eprintln!("  {count:>12}  {name}{tag}");
+    }
+    if p.ops.len() > 15 {
+        eprintln!("  ... {} more opcodes", p.ops.len() - 15);
+    }
+    if !p.hot.is_empty() {
+        eprintln!("hot bytecode ranges:");
+        for h in &p.hot {
+            eprintln!("  {}[{}..{}]  {} ops", h.chunk, h.start, h.end, h.count);
+        }
     }
 }
 

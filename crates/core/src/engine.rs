@@ -38,7 +38,8 @@ use lol_c_codegen::driver::{self, DriverError, RunRequest};
 use lol_sema::Analysis;
 use lol_shmem::{run_spmd, CommStats, Pe, SpmdError};
 use lol_trace::{ClockMode, PeTrace, Trace};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// A program that has been parsed and semantically analyzed exactly
@@ -52,23 +53,73 @@ pub struct Compiled {
     program: Program,
     analysis: Analysis,
     warnings: Vec<String>,
+    /// Front-end phase costs measured by [`Compiled::new`]:
+    /// `[lex_ns, parse_ns, sema_ns]`.
+    front_ns: [u64; 3],
+    /// Backend lowering costs, recorded by the lazy init closures
+    /// below (0 until the respective lowering has run).
+    vm_compile_ns: AtomicU64,
+    c_build_ns: AtomicU64,
     vm_module: OnceLock<Result<lol_vm::Module, LolError>>,
     c_binary: OnceLock<Result<driver::CBinary, LolError>>,
 }
 
 impl Compiled {
     /// Lex, parse and analyze `src`. This is the only place in the
-    /// pipeline that looks at source text.
+    /// pipeline that looks at source text — and therefore the place
+    /// that times the front-end phases (see [`Compiled::phases`]).
     pub fn new(src: &str) -> Result<Self, LolError> {
-        let (program, analysis, warnings) = crate::check(src)?;
+        let t0 = Instant::now();
+        let lexed = lol_lexer::lex(src);
+        let lex_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let out = lol_parser::parse_tokens(lexed);
+        let parse_ns = t1.elapsed().as_nanos() as u64;
+        let sm = SourceMap::new(src);
+        if out.diags.has_errors() {
+            return Err(LolError::Parse(out.diags.render_all(&sm)));
+        }
+        let program = out.program.expect("program present when no errors");
+        let t2 = Instant::now();
+        let analysis = lol_sema::analyze(&program);
+        let sema_ns = t2.elapsed().as_nanos() as u64;
+        if analysis.diags.has_errors() {
+            return Err(LolError::Sema(analysis.diags.render_all(&sm)));
+        }
+        let warnings = analysis.diags.iter().map(|d| d.render(&sm)).collect();
         Ok(Compiled {
             source: src.to_string(),
             program,
             analysis,
             warnings,
+            front_ns: [lex_ns, parse_ns, sema_ns],
+            vm_compile_ns: AtomicU64::new(0),
+            c_build_ns: AtomicU64::new(0),
             vm_module: OnceLock::new(),
             c_binary: OnceLock::new(),
         })
+    }
+
+    /// The phase-timing breakdown for a run of `backend` on this
+    /// artifact that spent `exec_ns` executing. The front-end costs
+    /// were paid once at [`Compiled::new`]; the compile cost is the
+    /// backend's lowering (0 for the interpreter, and 0 until the
+    /// first run triggers the lazy lowering). `render_ns` starts at 0
+    /// — whoever renders the report fills it in.
+    pub fn phases(&self, backend: Backend, exec_ns: u64) -> PhaseTimings {
+        let compile_ns = match backend {
+            Backend::Interp => 0,
+            Backend::Vm | Backend::Sim => self.vm_compile_ns.load(Ordering::Relaxed),
+            Backend::C => self.c_build_ns.load(Ordering::Relaxed),
+        };
+        PhaseTimings {
+            lex_ns: self.front_ns[0],
+            parse_ns: self.front_ns[1],
+            sema_ns: self.front_ns[2],
+            compile_ns,
+            exec_ns,
+            render_ns: 0,
+        }
     }
 
     /// The original source text.
@@ -96,8 +147,11 @@ impl Compiled {
     pub fn vm_module(&self) -> Result<&lol_vm::Module, LolError> {
         self.vm_module
             .get_or_init(|| {
-                lol_vm::compile(&self.program, &self.analysis)
-                    .map_err(|d| LolError::Compile(d.render(&SourceMap::new(&self.source))))
+                let t0 = Instant::now();
+                let r = lol_vm::compile(&self.program, &self.analysis)
+                    .map_err(|d| LolError::Compile(d.render(&SourceMap::new(&self.source))));
+                self.vm_compile_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
             })
             .as_ref()
             .map_err(Clone::clone)
@@ -117,11 +171,17 @@ impl Compiled {
     pub fn c_binary(&self) -> Result<&driver::CBinary, LolError> {
         self.c_binary
             .get_or_init(|| {
-                let c = self.emit_c()?;
-                driver::build(&c).map_err(|e| match e {
-                    DriverError::NoCompiler => LolError::Unsupported(format!("O NOES! {e}")),
-                    other => LolError::Compile(format!("O NOES! DA C BACKEND HAZ A SAD: {other}")),
-                })
+                let t0 = Instant::now();
+                let r = self.emit_c().and_then(|c| {
+                    driver::build(&c).map_err(|e| match e {
+                        DriverError::NoCompiler => LolError::Unsupported(format!("O NOES! {e}")),
+                        other => {
+                            LolError::Compile(format!("O NOES! DA C BACKEND HAZ A SAD: {other}"))
+                        }
+                    })
+                });
+                self.c_build_ns.store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
             })
             .as_ref()
             .map_err(Clone::clone)
@@ -137,6 +197,95 @@ impl std::fmt::Debug for Compiled {
             .field("c_built", &self.c_binary.get().is_some())
             .finish()
     }
+}
+
+/// Host-time cost of each pipeline phase for one run, in nanoseconds.
+///
+/// The front-end phases (lex/parse/sema) are paid once per artifact;
+/// compile is the backend's lazy lowering (VM bytecode or the C
+/// build), 0 for the interpreter and for runs that reused a cached
+/// lowering; exec is the SPMD job itself; render is filled in by
+/// whoever renders the report (the CLI's `--timings`), 0 otherwise.
+/// All values are machine-dependent — they ride the *timing* form of
+/// the report JSON, never the stable form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Tokenizing the source.
+    pub lex_ns: u64,
+    /// Parsing the token stream.
+    pub parse_ns: u64,
+    /// Semantic analysis (symbol/shared layout).
+    pub sema_ns: u64,
+    /// Backend lowering (VM bytecode compile or C emit + `cc`).
+    pub compile_ns: u64,
+    /// The SPMD execution itself (host time, even on `sim`).
+    pub exec_ns: u64,
+    /// Rendering output/report, when the caller measured it.
+    pub render_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.lex_ns + self.parse_ns + self.sema_ns + self.compile_ns + self.exec_ns + self.render_ns
+    }
+}
+
+/// Scheduler counters from a [`Backend::Sim`] run (see `lol-sim`):
+/// how much discrete-event work the simulated job cost the host.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Discrete events processed across all shards.
+    pub events: u64,
+    /// Peak size of the event heap / calendar queues.
+    pub heap_peak: u64,
+    /// Barrier episodes released in O(1) (all PEs arrived → epoch
+    /// bump), the scheduler's fast path for `HUGZ`-heavy programs.
+    pub barrier_episodes: u64,
+    /// Cross-shard merge windows executed (0 on the sequential
+    /// scheduler, which has no shards to merge).
+    pub merge_windows: u64,
+}
+
+impl SimStats {
+    /// Events per second of host time (the simulator's throughput).
+    pub fn events_per_sec(&self, host_wall: Duration) -> u64 {
+        let ns = host_wall.as_nanos() as u64;
+        if ns == 0 {
+            return 0;
+        }
+        (self.events as u128 * 1_000_000_000 / ns as u128) as u64
+    }
+}
+
+/// One contiguous hot bytecode range from a profiled VM run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotSpot {
+    /// Which chunk (`main` or the function's source name).
+    pub chunk: String,
+    /// First bytecode offset of the range.
+    pub start: usize,
+    /// One past the last bytecode offset.
+    pub end: usize,
+    /// Total op executions inside the range.
+    pub count: u64,
+}
+
+/// Job-wide bytecode execution profile, aggregated across PEs
+/// (present iff [`RunConfig::profile`] was set on a [`Backend::Vm`]
+/// run — the other backends execute no bytecode in-process).
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// Total ops executed across all PEs.
+    pub total_ops: u64,
+    /// Share of ops that were fused superinstructions, in parts per
+    /// 10 000.
+    pub super_bp: u64,
+    /// Executed opcodes as `(name, count, is_superinstruction)`,
+    /// descending by count.
+    pub ops: Vec<(String, u64, bool)>,
+    /// Top contiguous hot bytecode ranges, hottest first.
+    pub hot: Vec<HotSpot>,
 }
 
 /// Everything one execution produced.
@@ -177,6 +326,15 @@ pub struct RunReport {
     /// Per-PE communication event streams, present iff
     /// [`RunConfig::trace`] was set.
     pub trace: Option<Trace>,
+    /// Host-time cost of each pipeline phase (machine-dependent;
+    /// rides only the timing form of the report JSON).
+    pub phases: PhaseTimings,
+    /// Discrete-event scheduler counters, present iff the run was
+    /// [`Backend::Sim`].
+    pub sim: Option<SimStats>,
+    /// Aggregated bytecode profile, present iff
+    /// [`RunConfig::profile`] was set on a [`Backend::Vm`] run.
+    pub profile: Option<ProfileReport>,
     /// The effective configuration the job ran with.
     pub config: RunConfig,
 }
@@ -287,7 +445,19 @@ fn report(
     });
     let virtual_wall =
         (config.clock == ClockMode::Virtual).then(|| Duration::from_nanos(virtual_ns));
-    RunReport { backend, outputs, stats, wall, host_wall: wall, virtual_wall, trace, config }
+    RunReport {
+        backend,
+        outputs,
+        stats,
+        wall,
+        host_wall: wall,
+        virtual_wall,
+        trace,
+        phases: PhaseTimings::default(),
+        sim: None,
+        profile: None,
+        config,
+    }
 }
 
 /// The tree-walking interpreter backend (full language, including
@@ -310,7 +480,10 @@ impl Engine for InterpEngine {
             }
         })
         .map_err(LolError::Runtime)?;
-        Ok(report(Backend::Interp, per_pe, t0.elapsed(), cfg.clone()))
+        let wall = t0.elapsed();
+        let mut r = report(Backend::Interp, per_pe, wall, cfg.clone());
+        r.phases = artifact.phases(Backend::Interp, wall.as_nanos() as u64);
+        Ok(r)
     }
 }
 
@@ -326,13 +499,53 @@ impl Engine for VmEngine {
     fn run(&self, artifact: &Compiled, cfg: &RunConfig) -> Result<RunReport, LolError> {
         cfg.validate()?;
         let module = artifact.vm_module()?;
+        // Per-PE profiles merge into one job-wide profile as each PE
+        // finishes (merging is element-wise addition, so the result is
+        // independent of completion order). The unprofiled path is
+        // untouched — no lock, no counters.
+        let merged = cfg.profile.then(|| Mutex::new(lol_vm::VmProfile::for_module(module)));
         let t0 = Instant::now();
-        let per_pe = run_spmd(cfg.shmem(), |pe| match lol_vm::run_on_pe(module, pe, &cfg.input) {
-            Ok(out) => pe_outcome(pe, out),
-            Err(e) => pe.fail(e.to_string()),
+        let per_pe = run_spmd(cfg.shmem(), |pe| {
+            if let Some(m) = &merged {
+                match lol_vm::run_on_pe_profiled(module, pe, &cfg.input) {
+                    Ok((out, prof)) => {
+                        m.lock().unwrap().merge(&prof);
+                        pe_outcome(pe, out)
+                    }
+                    Err(e) => pe.fail(e.to_string()),
+                }
+            } else {
+                match lol_vm::run_on_pe(module, pe, &cfg.input) {
+                    Ok(out) => pe_outcome(pe, out),
+                    Err(e) => pe.fail(e.to_string()),
+                }
+            }
         })
         .map_err(LolError::Runtime)?;
-        Ok(report(Backend::Vm, per_pe, t0.elapsed(), cfg.clone()))
+        let wall = t0.elapsed();
+        let mut r = report(Backend::Vm, per_pe, wall, cfg.clone());
+        r.phases = artifact.phases(Backend::Vm, wall.as_nanos() as u64);
+        r.profile = merged.map(|m| profile_report(module, &m.into_inner().unwrap()));
+        Ok(r)
+    }
+}
+
+/// Convert the VM's raw counters into the report's named form.
+fn profile_report(module: &lol_vm::Module, p: &lol_vm::VmProfile) -> ProfileReport {
+    ProfileReport {
+        total_ops: p.total(),
+        super_bp: p.super_bp(),
+        ops: p.op_counts().into_iter().map(|(n, c, s)| (n.to_string(), c, s)).collect(),
+        hot: p
+            .hot_ranges(5)
+            .into_iter()
+            .map(|h| HotSpot {
+                chunk: lol_vm::VmProfile::chunk_label(module, h.chunk),
+                start: h.start,
+                end: h.end,
+                count: h.count,
+            })
+            .collect(),
     }
 }
 
@@ -401,6 +614,9 @@ impl Engine for CEngine {
                 host_wall: out.wall,
                 virtual_wall: out.virtual_ns.map(Duration::from_nanos),
                 trace: out.traces.map(|pes| Trace::new(cfg.clock, pes)),
+                phases: artifact.phases(Backend::C, out.wall.as_nanos() as u64),
+                sim: None,
+                profile: None,
                 config: cfg.clone(),
             }),
             Err(DriverError::Program { stderr, .. }) => Err(LolError::Runtime(SpmdError {
@@ -471,6 +687,13 @@ impl Engine for SimEngine {
         let wall = Duration::from_nanos(sim.makespan_ns);
         let mut r = report(Backend::Sim, per_pe, wall, cfg.clone());
         r.host_wall = host_wall;
+        r.phases = artifact.phases(Backend::Sim, host_wall.as_nanos() as u64);
+        r.sim = Some(SimStats {
+            events: sim.events,
+            heap_peak: sim.sched.heap_peak,
+            barrier_episodes: sim.sched.barrier_episodes,
+            merge_windows: sim.sched.merge_windows,
+        });
         Ok(r)
     }
 }

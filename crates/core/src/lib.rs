@@ -88,8 +88,8 @@ pub mod service;
 pub mod sweep;
 
 pub use engine::{
-    engine_for, registry, CEngine, Compiled, Engine, EngineRegistry, InterpEngine, RunReport,
-    SimEngine, VmEngine,
+    engine_for, registry, CEngine, Compiled, Engine, EngineRegistry, HotSpot, InterpEngine,
+    PhaseTimings, ProfileReport, RunReport, SimEngine, SimStats, VmEngine,
 };
 pub use service::{QuotaViolation, Quotas};
 pub use sweep::{
@@ -199,6 +199,12 @@ pub struct RunConfig {
     /// ([`config_key`]/JSON) — it changes how fast a sim runs, never
     /// what it computes.
     pub sim_jobs: usize,
+    /// Collect a bytecode execution profile ([`RunReport::profile`])
+    /// on the VM backend: per-opcode counts and hot bytecode ranges.
+    /// Like [`RunConfig::sim_jobs`], *not* part of the serialized
+    /// config identity — profiling observes a run, it never changes
+    /// what the run computes.
+    pub profile: bool,
 }
 
 impl RunConfig {
@@ -218,6 +224,7 @@ impl RunConfig {
             trace: false,
             trace_spec: None,
             sim_jobs: 0,
+            profile: false,
         }
     }
 
@@ -300,6 +307,13 @@ impl RunConfig {
     /// [`RunConfig::sim_jobs`]).
     pub fn sim_jobs(mut self, jobs: usize) -> Self {
         self.sim_jobs = jobs;
+        self
+    }
+
+    /// Enable (or disable) bytecode profiling (see
+    /// [`RunConfig::profile`]).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 

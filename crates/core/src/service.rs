@@ -254,7 +254,12 @@ pub fn error_code(err: &LolError) -> &'static str {
 /// deterministic for a deterministic run: config identity, per-PE
 /// outputs, output hash, comm stats, and the virtual wall when the
 /// run accounted one — no host timing. `timing == true` appends
-/// `wall_ns`/`host_wall_ns` (machine-dependent, for benchmarking).
+/// `wall_ns`/`host_wall_ns` plus the observability riders: a
+/// `phases` breakdown, a `sim` scheduler block on [`Backend::Sim`]
+/// runs, and a `profile` block when [`RunConfig::profile`] was set
+/// (all machine-dependent, for benchmarking).
+///
+/// [`RunConfig::profile`]: crate::RunConfig::profile
 ///
 /// ```
 /// use lolcode::{compile, engine_for, service::run_report_json, Backend, RunConfig};
@@ -277,6 +282,54 @@ pub fn run_report_json(r: &RunReport, timing: bool) -> String {
     if timing {
         out.push_str(&format!("\"wall_ns\": {}, ", r.wall.as_nanos()));
         out.push_str(&format!("\"host_wall_ns\": {}, ", r.host_wall.as_nanos()));
+        // Observability riders: host-dependent like the walls, so they
+        // live on the timing form only — the stable form stays pinned.
+        let p = &r.phases;
+        out.push_str(&format!(
+            "\"phases\": {{\"lex_ns\": {}, \"parse_ns\": {}, \"sema_ns\": {}, \
+             \"compile_ns\": {}, \"exec_ns\": {}, \"render_ns\": {}}}, ",
+            p.lex_ns, p.parse_ns, p.sema_ns, p.compile_ns, p.exec_ns, p.render_ns
+        ));
+        if let Some(s) = &r.sim {
+            out.push_str(&format!(
+                "\"sim\": {{\"events\": {}, \"heap_peak\": {}, \"barrier_episodes\": {}, \
+                 \"merge_windows\": {}, \"events_per_sec\": {}}}, ",
+                s.events,
+                s.heap_peak,
+                s.barrier_episodes,
+                s.merge_windows,
+                s.events_per_sec(r.host_wall)
+            ));
+        }
+        if let Some(p) = &r.profile {
+            out.push_str(&format!(
+                "\"profile\": {{\"total_ops\": {}, \"super_bp\": {}, \"ops\": [",
+                p.total_ops, p.super_bp
+            ));
+            for (i, (name, count, is_super)) in p.ops.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"op\": \"{}\", \"count\": {count}, \"super\": {is_super}}}",
+                    sweep::json_escape(name)
+                ));
+            }
+            out.push_str("], \"hot\": [");
+            for (i, h) in p.hot.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"chunk\": \"{}\", \"start\": {}, \"end\": {}, \"count\": {}}}",
+                    sweep::json_escape(&h.chunk),
+                    h.start,
+                    h.end,
+                    h.count
+                ));
+            }
+            out.push_str("]}, ");
+        }
     }
     if let Some(vw) = r.virtual_wall {
         out.push_str(&format!("\"virtual_wall_ns\": {}, ", vw.as_nanos()));

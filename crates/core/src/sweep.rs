@@ -1736,6 +1736,9 @@ mod tests {
                 host_wall: Duration::from_micros(3),
                 virtual_wall: Some(Duration::from_nanos(vns)),
                 trace: None,
+                phases: crate::PhaseTimings::default(),
+                sim: None,
+                profile: None,
                 config: config.clone(),
             };
             SweepEntry {

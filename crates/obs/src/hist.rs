@@ -1,0 +1,231 @@
+//! Fixed-bucket log₂ latency histograms.
+//!
+//! Buckets are powers of two: bucket *i* counts observations `v` with
+//! `2^(i-1) < v <= 2^i` (bucket 0 holds `v <= 1`), plus one overflow
+//! bucket past `2^(BUCKETS-1)`. With nanosecond observations the top
+//! finite bucket is `2^39` ns ≈ 9.2 minutes — far beyond any request
+//! the service will serve — so overflow is a signal, not a rounding
+//! error. The layout is fixed at compile time: observing is two
+//! relaxed atomic adds (bucket + sum), allocation-free and lock-free,
+//! cheap enough to sit on every request path.
+//!
+//! Quantiles are *exact over the bucket counts*: the reported p99 is
+//! the smallest bucket upper bound whose cumulative count reaches
+//! `ceil(0.99 · N)`. That makes quantile extraction deterministic and
+//! reproducible from a scrape — the same arithmetic any Prometheus
+//! `histogram_quantile` would do, minus the interpolation guesswork.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets (upper bounds `2^0 .. 2^(BUCKETS-1)`).
+pub const BUCKETS: usize = 40;
+
+/// A log₂-bucketed distribution (see the module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    /// `counts[i]` = observations in bucket `i`; `counts[BUCKETS]` is
+    /// the overflow bucket.
+    counts: [AtomicU64; BUCKETS + 1],
+    /// Sum of all observed values (saturating).
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// Bucket index for an observation: `ceil(log2(v))`, clamped to the
+/// overflow bucket.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let idx = (64 - (v - 1).leading_zeros()) as usize;
+    idx.min(BUCKETS)
+}
+
+/// Upper bound of finite bucket `i` (`2^i`).
+#[inline]
+fn upper_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl Histogram {
+    /// A fresh, empty histogram (use [`Registry::histogram`] for one
+    /// that shows up in the exposition).
+    ///
+    /// [`Registry::histogram`]: crate::Registry::histogram
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `num/den` quantile as a bucket upper bound: the smallest
+    /// bound whose cumulative count reaches `ceil(count · num / den)`.
+    /// Returns 0 for an empty histogram and `u64::MAX` when the rank
+    /// lands in the overflow bucket.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total * num).div_ceil(den).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.counts[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (see [`quantile`](Histogram::quantile) for semantics).
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(90, 100)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// Append the Prometheus exposition lines for this series:
+    /// cumulative `_bucket{le=…}` samples, `_sum` and `_count`.
+    pub(crate) fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            let n = self.counts[i].load(Ordering::Relaxed);
+            if n == 0 && i > 0 && cumulative == 0 {
+                // Skip the leading run of empty buckets (bucket 0 is
+                // always emitted) to keep scrapes readable; cumulative
+                // correctness is unaffected because nothing has been
+                // counted yet.
+                continue;
+            }
+            cumulative += n;
+            let le = upper_bound(i).to_string();
+            out.push_str(&crate::sample_line(
+                &format!("{name}_bucket"),
+                labels,
+                &[("le", &le)],
+                &cumulative.to_string(),
+            ));
+        }
+        cumulative += self.counts[BUCKETS].load(Ordering::Relaxed);
+        out.push_str(&crate::sample_line(
+            &format!("{name}_bucket"),
+            labels,
+            &[("le", "+Inf")],
+            &cumulative.to_string(),
+        ));
+        out.push_str(&crate::sample_line(
+            &format!("{name}_sum"),
+            labels,
+            &[],
+            &self.sum().to_string(),
+        ));
+        out.push_str(&crate::sample_line(
+            &format!("{name}_count"),
+            labels,
+            &[],
+            &cumulative.to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // v <= 1 lands in bucket 0; each power of two is the *upper*
+        // bound of its bucket; one past it spills into the next.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        for i in 1..BUCKETS {
+            let bound = upper_bound(i);
+            assert_eq!(bucket_of(bound), i, "2^{i} must be the upper bound of bucket {i}");
+            assert_eq!(bucket_of(bound + 1), i + 1, "2^{i}+1 must spill over");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_catches_the_tail() {
+        let h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(upper_bound(BUCKETS - 1) + 1);
+        h.observe(upper_bound(BUCKETS - 1)); // largest finite value
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(100, 100), u64::MAX, "p100 is in the overflow bucket");
+        assert_eq!(h.quantile(1, 100), upper_bound(BUCKETS - 1));
+    }
+
+    #[test]
+    fn quantiles_are_exact_over_bucket_counts() {
+        let h = Histogram::new();
+        // 100 observations of 3 (bucket le=4), then one of 1000
+        // (bucket le=1024).
+        for _ in 0..100 {
+            h.observe(3);
+        }
+        h.observe(1000);
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.p90(), 4);
+        assert_eq!(h.p99(), 4, "rank ceil(0.99·101)=100 still lands in le=4");
+        assert_eq!(h.quantile(100, 100), 1024);
+        assert_eq!(h.sum(), 300 + 1000);
+        // Empty histogram: all quantiles are 0.
+        assert_eq!(Histogram::new().p99(), 0);
+    }
+
+    #[test]
+    fn exposition_is_cumulative_and_parses() {
+        let reg = crate::Registry::new();
+        let h = reg.histogram("lat_ns", "Latency.", &[("route", "run")]);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(u64::MAX);
+        let body = reg.render();
+        let samples = crate::parse_exposition(&body).expect("histogram exposition must parse");
+        let get = |le: &str| {
+            crate::sample_value(&samples, "lat_ns_bucket", &[("route", "run"), ("le", le)])
+        };
+        assert_eq!(get("1"), Some(1.0));
+        assert_eq!(get("2"), Some(2.0));
+        assert_eq!(get("4"), Some(3.0));
+        assert_eq!(get("+Inf"), Some(4.0));
+        assert_eq!(crate::sample_value(&samples, "lat_ns_count", &[("route", "run")]), Some(4.0));
+        assert!(body.contains("# TYPE lat_ns histogram"));
+    }
+}

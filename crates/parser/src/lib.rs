@@ -39,7 +39,13 @@ impl ParseOutput {
 
 /// Parse LOLCODE source text into a [`Program`].
 pub fn parse(src: &str) -> ParseOutput {
-    let lexed = lex(src);
+    parse_tokens(lex(src))
+}
+
+/// Parse an already-lexed token stream — the [`parse`] pipeline minus
+/// lexing, for callers that time (or cache) the two phases separately.
+/// Lex diagnostics short-circuit exactly as in [`parse`].
+pub fn parse_tokens(lexed: lol_lexer::LexOutput) -> ParseOutput {
     let mut diags = lexed.diags;
     if diags.has_errors() {
         return ParseOutput { program: None, diags };

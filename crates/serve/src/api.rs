@@ -139,6 +139,9 @@ pub enum TraceFormat {
     Matrix,
     /// SVG timeline (`Trace::to_svg`).
     Svg,
+    /// Chrome `trace_event` JSON (`Trace::to_perfetto`) — load the
+    /// rendering into Perfetto / `chrome://tracing`.
+    Perfetto,
 }
 
 impl TraceFormat {
@@ -149,6 +152,7 @@ impl TraceFormat {
             TraceFormat::Events => "events",
             TraceFormat::Matrix => "matrix",
             TraceFormat::Svg => "svg",
+            TraceFormat::Perfetto => "perfetto",
         }
     }
 }
@@ -288,9 +292,10 @@ pub fn parse_trace(body: &Json) -> Result<TraceRequest, ApiError> {
                     "events" => TraceFormat::Events,
                     "matrix" => TraceFormat::Matrix,
                     "svg" => TraceFormat::Svg,
+                    "perfetto" => TraceFormat::Perfetto,
                     other => {
                         return Err(ApiError::bad_shape(format!(
-                            "format IZ gantt, events, matrix OR svg, NOT {other}"
+                            "format IZ gantt, events, matrix, svg OR perfetto, NOT {other}"
                         )))
                     }
                 };

@@ -5,8 +5,16 @@
 //! against a `lold` server that is usually in the same process. The
 //! report carries throughput and latency percentiles in the JSON shape
 //! `scripts/check_perf_regression.py --serve` gates on.
+//!
+//! The harness also scrapes `GET /metrics` before and after the run
+//! and embeds the server-side counter deltas ([`ServeDeltas`]) in the
+//! report — so the client's view ("I sent 400 requests") is checked
+//! against the server's ("I counted 400 and zero errors") in the same
+//! document.
 
 use std::time::Instant;
+
+use lol_obs::{parse_exposition, sample_value, Sample};
 
 /// What to throw at the server.
 #[derive(Clone, Debug)]
@@ -47,6 +55,76 @@ pub struct BenchReport {
     pub p99_ns: u64,
     /// Worst observed latency in nanoseconds.
     pub max_ns: u64,
+    /// Server-side counter deltas over the run, from the `/metrics`
+    /// scrape pair. `None` when either scrape failed (e.g. an old
+    /// server without the route).
+    pub serve: Option<ServeDeltas>,
+}
+
+/// What the server counted between the two `/metrics` scrapes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeDeltas {
+    /// `lold_requests_total{route="run"}` growth.
+    pub requests_run: u64,
+    /// Artifact-cache hits.
+    pub cache_hits: u64,
+    /// Artifact-cache misses (compiles paid).
+    pub cache_misses: u64,
+    /// Artifact-cache evictions.
+    pub cache_evictions: u64,
+    /// Queue-full refusals (HTTP 429).
+    pub rejected_429: u64,
+    /// Drain refusals (HTTP 503).
+    pub rejected_503: u64,
+    /// Error responses the server produced (`lold_errors_total`).
+    pub server_errors: u64,
+}
+
+/// One scrape of the counters [`ServeDeltas`] is computed from.
+fn scrape(addr: &str) -> Option<Vec<Sample>> {
+    let resp = crate::client::get(addr, "/metrics").ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    parse_exposition(&resp.text()).ok()
+}
+
+fn delta(before: &[Sample], after: &[Sample], name: &str, labels: &[(&str, &str)]) -> u64 {
+    let b = sample_value(before, name, labels).unwrap_or(0.0);
+    let a = sample_value(after, name, labels).unwrap_or(0.0);
+    (a - b).max(0.0) as u64
+}
+
+impl ServeDeltas {
+    fn between(before: &[Sample], after: &[Sample]) -> ServeDeltas {
+        ServeDeltas {
+            requests_run: delta(before, after, "lold_requests_total", &[("route", "run")]),
+            cache_hits: delta(before, after, "lold_cache_hits_total", &[]),
+            cache_misses: delta(before, after, "lold_cache_misses_total", &[]),
+            cache_evictions: delta(before, after, "lold_cache_evictions_total", &[]),
+            rejected_429: delta(before, after, "lold_rejected_total", &[("status", "429")]),
+            rejected_503: delta(before, after, "lold_rejected_total", &[("status", "503")]),
+            server_errors: delta(before, after, "lold_errors_total", &[]),
+        }
+    }
+
+    /// The `"serve"` object embedded in [`BenchReport::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests_run\": {}, \"cache_hits\": {}, \"cache_misses\": {}, ",
+                "\"cache_evictions\": {}, \"rejected_429\": {}, \"rejected_503\": {}, ",
+                "\"server_errors\": {}}}"
+            ),
+            self.requests_run,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.rejected_429,
+            self.rejected_503,
+            self.server_errors,
+        )
+    }
 }
 
 fn percentile(sorted: &[u64], num: usize, den: usize) -> u64 {
@@ -61,11 +139,15 @@ impl BenchReport {
     /// The JSON document `serve-bench.json` holds; keys are consumed
     /// by `scripts/check_perf_regression.py --serve`.
     pub fn to_json(&self) -> String {
+        let serve = match &self.serve {
+            Some(s) => format!(", \"serve\": {}", s.to_json()),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"clients\": {}, \"total\": {}, \"ok\": {}, \"errors\": {}, ",
                 "\"wall_ns\": {}, \"rps\": {:.2}, ",
-                "\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}"
+                "\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}{}}}"
             ),
             self.clients,
             self.total,
@@ -77,6 +159,7 @@ impl BenchReport {
             self.p90_ns,
             self.p99_ns,
             self.max_ns,
+            serve,
         )
     }
 
@@ -99,6 +182,7 @@ impl BenchReport {
 /// requests; a transport failure mid-stream reconnects once per
 /// request so one dropped socket doesn't zero a whole client's column.
 pub fn run(spec: &BenchSpec) -> BenchReport {
+    let before = scrape(&spec.addr);
     let started = Instant::now();
     let mut per_client: Vec<(Vec<u64>, usize, usize)> = Vec::new();
     std::thread::scope(|scope| {
@@ -147,6 +231,10 @@ pub fn run(spec: &BenchSpec) -> BenchReport {
         }
     });
     let wall_ns = started.elapsed().as_nanos() as u64;
+    let serve = match (before, scrape(&spec.addr)) {
+        (Some(b), Some(a)) => Some(ServeDeltas::between(&b, &a)),
+        _ => None,
+    };
     let mut latencies: Vec<u64> = Vec::new();
     let mut ok = 0;
     let mut errors = 0;
@@ -168,6 +256,7 @@ pub fn run(spec: &BenchSpec) -> BenchReport {
         p90_ns: percentile(&latencies, 90, 100),
         p99_ns: percentile(&latencies, 99, 100),
         max_ns: latencies.last().copied().unwrap_or(0),
+        serve,
     }
 }
 
@@ -197,10 +286,21 @@ mod tests {
             p90_ns: 20,
             p99_ns: 30,
             max_ns: 40,
+            serve: None,
         };
         let json = crate::json::parse(&r.to_json()).unwrap();
         assert_eq!(json.get("ok").unwrap().as_u64(), Some(9));
         assert_eq!(json.get("p99_ns").unwrap().as_u64(), Some(30));
+        assert!(json.get("serve").is_none(), "no scrape, no serve object");
         assert!(r.summary().contains("9 ok"));
+
+        let with = BenchReport {
+            serve: Some(ServeDeltas { requests_run: 10, server_errors: 0, ..Default::default() }),
+            ..r
+        };
+        let json = crate::json::parse(&with.to_json()).unwrap();
+        let serve = json.get("serve").unwrap();
+        assert_eq!(serve.get("requests_run").unwrap().as_u64(), Some(10));
+        assert_eq!(serve.get("server_errors").unwrap().as_u64(), Some(0));
     }
 }

@@ -11,9 +11,15 @@
 //!   program,
 //!   rendered as the sweep report JSON.
 //! * `POST /trace` — run with tracing forced on and return a rendering
-//!   (Gantt, event log, comm matrix, or SVG).
+//!   (Gantt, event log, comm matrix, SVG, or Perfetto/Chrome trace
+//!   JSON).
 //! * `GET /healthz` — liveness plus the counters the load-test harness
 //!   and the cache tests assert on.
+//! * `GET /metrics` — the same counters (and more: latency histograms,
+//!   per-code error counts, cache and queue gauges) as a Prometheus
+//!   text exposition, backed by a `lol-obs` [`metrics::Metrics`]
+//!   registry. `/healthz` reads the identical handles, so the two
+//!   endpoints cannot drift.
 //!
 //! Design points:
 //!
@@ -61,20 +67,23 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use lol_obs::{EventLog, Field};
 use lolcode::service::{run_report_json, Quotas};
 use lolcode::{config_weight, engine_for, SweepSpec};
 
 use api::{ApiError, RunRequest, TraceFormat};
 use cache::ArtifactCache;
 use http::{read_request, write_response, HttpError, Request};
+use metrics::{Metrics, Route};
 
 /// One socket-read slice: how often a pinned worker re-checks the
 /// shutdown flag while its connection is idle.
@@ -103,6 +112,10 @@ pub struct ServeConfig {
     /// Per-read socket timeout: an idle or wedged connection releases
     /// its worker after this long.
     pub read_timeout: Duration,
+    /// Opt-in JSONL access log: one line per handled request
+    /// (timestamp, method, path, status, latency, body size). `None`
+    /// (the default) writes nothing and costs nothing.
+    pub access_log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -115,27 +128,17 @@ impl Default for ServeConfig {
             quotas: Quotas::default(),
             thread_budget: 0,
             read_timeout: Duration::from_secs(30),
+            access_log: None,
         }
     }
-}
-
-/// Request counters, reported by `GET /healthz`.
-#[derive(Default)]
-struct Counters {
-    run: AtomicU64,
-    sweep: AtomicU64,
-    trace: AtomicU64,
-    healthz: AtomicU64,
-    rejected_429: AtomicU64,
-    rejected_503: AtomicU64,
-    errors: AtomicU64,
 }
 
 struct Shared {
     config: ServeConfig,
     addr: SocketAddr,
     cache: ArtifactCache,
-    counters: Counters,
+    metrics: Metrics,
+    access: Option<EventLog>,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -197,10 +200,15 @@ impl Server {
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         };
+        let access = match &config.access_log {
+            Some(path) => Some(EventLog::create(std::path::Path::new(path))?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: ArtifactCache::new(config.cache_capacity),
             addr,
-            counters: Counters::default(),
+            metrics: Metrics::new(config.workers, budget),
+            access,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -280,8 +288,9 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Accepted during drain (possibly the shutdown poke
             // itself): refuse politely, don't enqueue.
-            shared.counters.rejected_503.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected_503.inc();
             let e = ApiError::shutting_down();
+            shared.metrics.error_code(e.code);
             let _ = write_response(
                 &mut stream,
                 e.status,
@@ -297,8 +306,9 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             drop(queue);
             // Backpressure: the queue is full, so this connection was
             // never admitted — tell the client when to come back.
-            shared.counters.rejected_429.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected_429.inc();
             let e = ApiError::queue_full();
+            shared.metrics.error_code(e.code);
             let _ = write_response(
                 &mut stream,
                 e.status,
@@ -361,8 +371,9 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 continue;
             }
             Err(err) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.errors.inc();
                 let e = ApiError::from_http(&err);
+                shared.metrics.error_code(e.code);
                 let close = !err.reusable() || shared.shutdown.load(Ordering::SeqCst);
                 let _ = write_response(
                     &mut write_half,
@@ -379,16 +390,36 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         let client_close = request.wants_close();
-        let (status, body, retry_after) = handle(shared, &request);
-        if status >= 400 {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.busy_workers.inc();
+        let t0 = Instant::now();
+        let reply = handle(shared, &request);
+        let dur = t0.elapsed();
+        shared.metrics.busy_workers.dec();
+        if reply.status >= 400 {
+            shared.metrics.errors.inc();
+        }
+        if let Some(log) = &shared.access {
+            let _ = log.log(&[
+                ("method", Field::Str(&request.method)),
+                ("path", Field::Str(&request.path)),
+                ("status", Field::U64(reply.status as u64)),
+                ("dur_us", Field::U64(dur.as_micros() as u64)),
+                ("body_bytes", Field::U64(reply.body.len() as u64)),
+            ]);
         }
         let draining = shared.shutdown.load(Ordering::SeqCst);
         let close = client_close || draining;
         let extra: Vec<(&str, String)> =
-            if retry_after { vec![("Retry-After", "1".to_string())] } else { Vec::new() };
-        if write_response(&mut write_half, status, "application/json", &body, &extra, close)
-            .is_err()
+            if reply.retry_after { vec![("Retry-After", "1".to_string())] } else { Vec::new() };
+        if write_response(
+            &mut write_half,
+            reply.status,
+            reply.content_type,
+            &reply.body,
+            &extra,
+            close,
+        )
+        .is_err()
             || close
         {
             return;
@@ -397,45 +428,72 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-/// Route one request. Returns `(status, body, retry_after)`.
-fn handle(shared: &Shared, req: &Request) -> (u16, String, bool) {
+/// One routed response, ready to write.
+struct Reply {
+    status: u16,
+    body: String,
+    retry_after: bool,
+    content_type: &'static str,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply { status, body, retry_after: false, content_type: "application/json" }
+    }
+
+    fn from_api(e: &ApiError) -> Reply {
+        Reply::json(e.status, e.body())
+    }
+}
+
+/// Route one request.
+fn handle(shared: &Shared, req: &Request) -> Reply {
+    let m = &shared.metrics;
+    // The three POST routes get a latency histogram; the two GETs are
+    // counted but not bucketed.
+    let timed = |route: Route, run: &dyn Fn() -> Result<String, ApiError>| {
+        m.requests(route).inc();
+        let t0 = Instant::now();
+        let result = run();
+        m.observe_latency(route, t0.elapsed());
+        match result {
+            Ok(body) => Reply::json(200, body),
+            Err(e) => {
+                m.error_code(e.code);
+                Reply::from_api(&e)
+            }
+        }
+    };
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            shared.counters.healthz.fetch_add(1, Ordering::Relaxed);
-            (200, healthz_body(shared), false)
+            m.requests(Route::Healthz).inc();
+            Reply::json(200, healthz_body(shared))
         }
-        ("POST", "/run") => {
-            shared.counters.run.fetch_add(1, Ordering::Relaxed);
-            match handle_run(shared, &req.body) {
-                Ok(body) => (200, body, false),
-                Err(e) => (e.status, e.body(), false),
+        ("GET", "/metrics") => {
+            m.requests(Route::Metrics).inc();
+            Reply {
+                status: 200,
+                body: metrics_body(shared),
+                retry_after: false,
+                content_type: "text/plain; version=0.0.4",
             }
         }
-        ("POST", "/sweep") => {
-            shared.counters.sweep.fetch_add(1, Ordering::Relaxed);
-            match handle_sweep(shared, &req.body) {
-                Ok(body) => (200, body, false),
-                Err(e) => (e.status, e.body(), false),
-            }
-        }
-        ("POST", "/trace") => {
-            shared.counters.trace.fetch_add(1, Ordering::Relaxed);
-            match handle_trace(shared, &req.body) {
-                Ok(body) => (200, body, false),
-                Err(e) => (e.status, e.body(), false),
-            }
-        }
+        ("POST", "/run") => timed(Route::Run, &|| handle_run(shared, &req.body)),
+        ("POST", "/sweep") => timed(Route::Sweep, &|| handle_sweep(shared, &req.body)),
+        ("POST", "/trace") => timed(Route::Trace, &|| handle_trace(shared, &req.body)),
         ("POST", "/shutdown") => {
             trigger_shutdown(shared);
-            (200, "{\"ok\": true, \"draining\": true}".to_string(), false)
+            Reply::json(200, "{\"ok\": true, \"draining\": true}".to_string())
         }
-        (_, "/healthz" | "/run" | "/sweep" | "/trace" | "/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/run" | "/sweep" | "/trace" | "/shutdown") => {
             let e = ApiError::method_not_allowed(&req.method, &req.path);
-            (e.status, e.body(), false)
+            m.error_code(e.code);
+            Reply::from_api(&e)
         }
         (_, path) => {
             let e = ApiError::not_found(path);
-            (e.status, e.body(), false)
+            m.error_code(e.code);
+            Reply::from_api(&e)
         }
     }
 }
@@ -511,6 +569,7 @@ fn handle_trace(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
         TraceFormat::Events => trace.event_log(),
         TraceFormat::Matrix => trace.comm_matrix().render(),
         TraceFormat::Svg => trace.to_svg(),
+        TraceFormat::Perfetto => trace.to_perfetto(),
     };
     Ok(format!(
         "{{\"ok\": true, \"format\": \"{}\", \"pes\": {}, \"render\": \"{}\"}}",
@@ -521,7 +580,7 @@ fn handle_trace(shared: &Shared, body: &[u8]) -> Result<String, ApiError> {
 }
 
 fn healthz_body(shared: &Shared) -> String {
-    let c = &shared.counters;
+    let m = &shared.metrics;
     let cache = shared.cache.stats();
     let queue_depth = shared.queue.lock().unwrap().len();
     format!(
@@ -537,19 +596,28 @@ fn healthz_body(shared: &Shared) -> String {
         shared.config.queue_cap,
         queue_depth,
         shared.budget,
-        c.run.load(Ordering::Relaxed),
-        c.sweep.load(Ordering::Relaxed),
-        c.trace.load(Ordering::Relaxed),
-        c.healthz.load(Ordering::Relaxed),
-        c.rejected_429.load(Ordering::Relaxed),
-        c.rejected_503.load(Ordering::Relaxed),
-        c.errors.load(Ordering::Relaxed),
+        m.requests(Route::Run).get(),
+        m.requests(Route::Sweep).get(),
+        m.requests(Route::Trace).get(),
+        m.requests(Route::Healthz).get(),
+        m.rejected_429.get(),
+        m.rejected_503.get(),
+        m.errors.get(),
         cache.capacity,
         cache.len,
         cache.hits,
         cache.misses,
         cache.evictions,
     )
+}
+
+/// The Prometheus exposition behind `GET /metrics`: mirror the
+/// externally-owned numbers (cache, queue) into the registry, then
+/// render it.
+fn metrics_body(shared: &Shared) -> String {
+    let queue_depth = shared.queue.lock().unwrap().len();
+    shared.metrics.mirror(&shared.cache.stats(), queue_depth);
+    shared.metrics.registry.render()
 }
 
 #[cfg(test)]

@@ -1,0 +1,237 @@
+//! The `lold` metric surface: every counter, gauge and histogram the
+//! daemon exports through `GET /metrics`, pre-registered at startup so
+//! the request hot path only bumps cached handles (one relaxed atomic
+//! add per counter, two per histogram observation).
+//!
+//! `GET /healthz` reads the same handles — the two endpoints can never
+//! disagree about a count. The cache and queue numbers are owned by
+//! their subsystems and mirrored into the exposition at scrape time
+//! ([`Metrics::mirror`]); everything else is bumped at the event site.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lol_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::cache::CacheStats;
+
+/// The routes that get a request counter and a latency histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /run`.
+    Run,
+    /// `POST /sweep`.
+    Sweep,
+    /// `POST /trace`.
+    Trace,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+}
+
+impl Route {
+    /// The `route` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Run => "run",
+            Route::Sweep => "sweep",
+            Route::Trace => "trace",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+        }
+    }
+}
+
+/// All of `lold`'s metric handles, plus the [`Registry`] that renders
+/// them.
+pub struct Metrics {
+    /// The registry behind `GET /metrics`.
+    pub registry: Registry,
+    /// `lold_requests_total{route=…}` per [`Route`], in enum order.
+    requests: [Arc<Counter>; 5],
+    /// `lold_request_latency_us{route=…}` for the three POST routes,
+    /// in [`Route`] enum order.
+    latency: [Arc<Histogram>; 3],
+    /// `lold_rejected_total{status="429"}` — queue-full refusals.
+    pub rejected_429: Arc<Counter>,
+    /// `lold_rejected_total{status="503"}` — drain refusals.
+    pub rejected_503: Arc<Counter>,
+    /// `lold_errors_total` — every error response (status ≥ 400),
+    /// including transport-level parse failures.
+    pub errors: Arc<Counter>,
+    /// `lold_queue_depth` — accepted-but-unclaimed connections.
+    pub queue_depth: Arc<Gauge>,
+    /// `lold_busy_workers` — workers currently inside a handler.
+    pub busy_workers: Arc<Gauge>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_len: Arc<Gauge>,
+    cache_capacity: Arc<Gauge>,
+}
+
+impl Metrics {
+    /// Build the full surface on a fresh registry and record the
+    /// static facts (`workers`, `thread_budget`) as gauges.
+    pub fn new(workers: usize, thread_budget: usize) -> Metrics {
+        let registry = Registry::new();
+        let req = |route: Route| {
+            registry.counter(
+                "lold_requests_total",
+                "Requests handled, by route.",
+                &[("route", route.label())],
+            )
+        };
+        let lat = |route: Route| {
+            registry.histogram(
+                "lold_request_latency_us",
+                "Handler latency in microseconds, by route.",
+                &[("route", route.label())],
+            )
+        };
+        let requests = [
+            req(Route::Run),
+            req(Route::Sweep),
+            req(Route::Trace),
+            req(Route::Healthz),
+            req(Route::Metrics),
+        ];
+        let latency = [lat(Route::Run), lat(Route::Sweep), lat(Route::Trace)];
+        let rej = |status: &str| {
+            registry.counter(
+                "lold_rejected_total",
+                "Connections refused before admission, by HTTP status.",
+                &[("status", status)],
+            )
+        };
+        let m = Metrics {
+            requests,
+            latency,
+            rejected_429: rej("429"),
+            rejected_503: rej("503"),
+            errors: registry.counter(
+                "lold_errors_total",
+                "Error responses (status >= 400), transport errors included.",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "lold_queue_depth",
+                "Accepted connections waiting for a worker.",
+                &[],
+            ),
+            busy_workers: registry.gauge(
+                "lold_busy_workers",
+                "Workers currently executing a handler.",
+                &[],
+            ),
+            cache_hits: registry.counter(
+                "lold_cache_hits_total",
+                "Artifact-cache lookups that reused a compile.",
+                &[],
+            ),
+            cache_misses: registry.counter(
+                "lold_cache_misses_total",
+                "Artifact-cache lookups that paid for a compile.",
+                &[],
+            ),
+            cache_evictions: registry.counter(
+                "lold_cache_evictions_total",
+                "Artifacts discarded to make room.",
+                &[],
+            ),
+            cache_len: registry.gauge("lold_cache_len", "Live artifact-cache entries.", &[]),
+            cache_capacity: registry.gauge(
+                "lold_cache_capacity",
+                "Configured artifact-cache capacity.",
+                &[],
+            ),
+            registry,
+        };
+        m.registry.gauge("lold_workers", "Configured worker threads.", &[]).set(workers as i64);
+        m.registry
+            .gauge("lold_thread_budget", "Run-admission thread budget.", &[])
+            .set(thread_budget as i64);
+        m
+    }
+
+    /// The request counter for `route`.
+    pub fn requests(&self, route: Route) -> &Counter {
+        &self.requests[route as usize]
+    }
+
+    /// Record a handler latency for one of the POST routes
+    /// (no-op for `Healthz`/`Metrics`, which are too cheap to bucket).
+    pub fn observe_latency(&self, route: Route, dur: Duration) {
+        if (route as usize) < self.latency.len() {
+            self.latency[route as usize].observe(dur.as_micros() as u64);
+        }
+    }
+
+    /// Bump the per-registry-code error counter
+    /// (`lold_error_codes_total{code="SRV…"}`). Lazily creates the
+    /// series — error paths are off the hot path by definition.
+    pub fn error_code(&self, code: &str) {
+        self.registry
+            .counter(
+                "lold_error_codes_total",
+                "Error responses, by SRV registry code.",
+                &[("code", code)],
+            )
+            .inc();
+    }
+
+    /// Mirror the externally-owned numbers (artifact cache, connection
+    /// queue) into the exposition. Called at scrape time.
+    pub fn mirror(&self, cache: &CacheStats, queue_depth: usize) {
+        self.cache_hits.store(cache.hits);
+        self.cache_misses.store(cache.misses);
+        self.cache_evictions.store(cache.evictions);
+        self.cache_len.set(cache.len as i64);
+        self.cache_capacity.set(cache.capacity as i64);
+        self.queue_depth.set(queue_depth as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lol_obs::{parse_exposition, sample_value};
+
+    #[test]
+    fn surface_renders_and_round_trips() {
+        let m = Metrics::new(8, 4);
+        m.requests(Route::Run).inc();
+        m.requests(Route::Run).inc();
+        m.observe_latency(Route::Run, Duration::from_micros(1500));
+        m.error_code("SRV0111");
+        m.mirror(&CacheStats { capacity: 32, len: 3, hits: 10, misses: 4, evictions: 1 }, 2);
+        let body = m.registry.render();
+        let samples = parse_exposition(&body).expect("exposition must parse");
+        assert_eq!(sample_value(&samples, "lold_requests_total", &[("route", "run")]), Some(2.0));
+        assert_eq!(
+            sample_value(&samples, "lold_error_codes_total", &[("code", "SRV0111")]),
+            Some(1.0)
+        );
+        assert_eq!(sample_value(&samples, "lold_cache_hits_total", &[]), Some(10.0));
+        assert_eq!(sample_value(&samples, "lold_queue_depth", &[]), Some(2.0));
+        assert_eq!(sample_value(&samples, "lold_workers", &[]), Some(8.0));
+        assert_eq!(
+            sample_value(&samples, "lold_request_latency_us_count", &[("route", "run")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn latency_is_observed_only_for_post_routes() {
+        let m = Metrics::new(1, 1);
+        m.observe_latency(Route::Healthz, Duration::from_micros(10));
+        m.observe_latency(Route::Metrics, Duration::from_micros(10));
+        let body = m.registry.render();
+        let samples = parse_exposition(&body).unwrap();
+        assert_eq!(
+            sample_value(&samples, "lold_request_latency_us_count", &[("route", "healthz")]),
+            None
+        );
+    }
+}

@@ -551,6 +551,26 @@ pub struct SimReport {
     /// segment per barrier episode it passes plus one final segment,
     /// plus one per lock wait it is granted out of.
     pub events: u64,
+    /// Scheduler-side diagnostics beyond [`SimReport::events`].
+    pub sched: SchedStats,
+}
+
+/// Scheduler internals surfaced for observability. Unlike the
+/// observable fields of [`SimReport`] these are *scheduler-dependent*:
+/// the sequential and sharded paths legitimately report different
+/// values (only `barrier_episodes` agrees across them).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedStats {
+    /// Peak size of the lock-wake event heap (sequential scheduler
+    /// only; the sharded path schedules whole windows and has no
+    /// event heap, so it reports 0).
+    pub heap_peak: u64,
+    /// Completed barrier episodes (cohort releases on the sequential
+    /// path, window closes on the sharded one).
+    pub barrier_episodes: u64,
+    /// Single-threaded merge windows the sharded scheduler settled
+    /// between phases (0 on the sequential path).
+    pub merge_windows: u64,
 }
 
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -675,6 +695,7 @@ fn run_sequential(
     }
     let mut cohort_time = 0u64;
     let mut cohort_next = 0usize;
+    let mut sched = SchedStats::default();
     // Min-heap over (t_ns, tie, pe) — lock hand-offs only.
     let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
     loop {
@@ -725,11 +746,13 @@ fn run_sequential(
         for (t, p) in st.wakes.drain(..) {
             queue.push(Reverse((t, key(p), p)));
         }
+        sched.heap_peak = sched.heap_peak.max(queue.len() as u64);
         if st.episode_done {
             // All n PEs arrived, which means every prior release was
             // consumed and no lock hand-off can be pending: release
             // the whole cohort with one cursor reset.
             st.episode_done = false;
+            sched.barrier_episodes += 1;
             debug_assert!(queue.is_empty() && cohort_next == cohort.len());
             let sync = st.bar_max + if st.bar_explicit { VIRT_BARRIER_NS } else { 0 };
             st.bar_count = 0;
@@ -772,7 +795,7 @@ fn run_sequential(
             .map(|(p, buf)| Some(buf.finish(virtual_ns[p])))
             .collect()
     };
-    Ok(SimReport { outputs, stats, traces, virtual_ns, makespan_ns, events })
+    Ok(SimReport { outputs, stats, traces, virtual_ns, makespan_ns, events, sched })
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@
 //! statically and uses the sequential scheduler, whatever `sim_jobs`
 //! says.
 
-use crate::{make_rng, panic_message, Block, SimReport};
+use crate::{make_rng, panic_message, Block, SchedStats, SimReport};
 use lol_shmem::shard::ShardPlan;
 use lol_shmem::substrate::{Progress, Substrate};
 use lol_shmem::{CommStats, PeTrace, ShmemConfig, SpmdError, SymAddr, TraceBuffer};
@@ -441,6 +441,7 @@ pub(crate) fn run_sharded(
         })
         .collect();
     let mut events = 0u64;
+    let mut sched = SchedStats::default();
     loop {
         // ---- phase: one segment per live PE, sharded ----
         std::thread::scope(|scope| {
@@ -450,6 +451,7 @@ pub(crate) fn run_sharded(
             }
         });
         // ---- merge: settle the window boundary, single-threaded ----
+        sched.merge_windows += 1;
         let mut arrivals = 0usize;
         let mut arrive_max = 0u64;
         let mut first_arrival: Option<Arrival> = None;
@@ -530,6 +532,7 @@ pub(crate) fn run_sharded(
             // Episode complete: grow the shared heaps to the new
             // cursor, then release every PE through the window clock.
             debug_assert_eq!(done_total, 0, "a done PE cannot also arrive");
+            sched.barrier_episodes += 1;
             world.grow_heaps();
             let explicit = first_arrival.map(|(_, e)| e).unwrap_or(false);
             world.release_time = arrive_max + if explicit { VIRT_BARRIER_NS } else { 0 };
@@ -587,5 +590,5 @@ pub(crate) fn run_sharded(
         }
     }
     let makespan_ns = virtual_ns.iter().copied().max().unwrap_or(0);
-    Ok(SimReport { outputs, stats, traces, virtual_ns, makespan_ns, events })
+    Ok(SimReport { outputs, stats, traces, virtual_ns, makespan_ns, events, sched })
 }

@@ -7,7 +7,8 @@
 //! put/get/atomic, lock operation and explicit barrier — into a bounded
 //! per-PE [`TraceBuffer`]. A finished job's buffers assemble into a
 //! [`Trace`], which renders per-PE timelines ([`Trace::gantt`],
-//! [`Trace::to_svg`]), a PE×PE communication matrix
+//! [`Trace::to_svg`]), Chrome `trace_event` JSON for Perfetto
+//! ([`Trace::to_perfetto`]), a PE×PE communication matrix
 //! ([`Trace::comm_matrix`]) and a critical-path estimate under any
 //! interconnect cost function ([`Trace::critical_path`]).
 //!
@@ -26,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod perfetto;
 mod render;
 
 /// Virtual cost of one remote operation on top of the latency model's

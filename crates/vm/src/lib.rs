@@ -21,10 +21,12 @@
 mod compile;
 pub mod machine;
 pub mod ops;
+pub mod profile;
 
 pub use compile::compile;
 pub use machine::{Machine, Step};
 pub use ops::{Chunk, Module, Op};
+pub use profile::{HotRange, VmProfile};
 
 use lol_ast::Program;
 use lol_interp::RunError;
@@ -48,6 +50,25 @@ pub fn run_on_pe(module: &Module, pe: &Pe<'_>, input: &[String]) -> Result<Strin
     let mut m = Machine::new(module, input);
     match m.resume(pe)? {
         Step::Done => Ok(m.take_output()),
+        Step::Blocked => unreachable!("the threaded substrate never reports Pending"),
+    }
+}
+
+/// [`run_on_pe`] with bytecode profiling on: additionally returns the
+/// PE's [`VmProfile`] (merge the per-PE profiles for a job-wide view).
+pub fn run_on_pe_profiled(
+    module: &Module,
+    pe: &Pe<'_>,
+    input: &[String],
+) -> Result<(String, VmProfile), RunError> {
+    let mut m = Machine::new(module, input);
+    m.enable_profile();
+    match m.resume(pe)? {
+        Step::Done => {
+            let out = m.take_output();
+            let prof = m.take_profile().expect("profiling was enabled");
+            Ok((out, prof))
+        }
         Step::Blocked => unreachable!("the threaded substrate never reports Pending"),
     }
 }

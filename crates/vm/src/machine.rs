@@ -48,6 +48,7 @@
 //! the interpreter's byte-for-byte.
 
 use crate::ops::{ArrLoc, Chunk, Module, Op};
+use crate::profile::VmProfile;
 use lol_ast::LolType;
 use lol_interp::value::{arith, cast, compare, default_for, RResult, RunError, Value};
 use lol_shmem::substrate::{Progress, Substrate};
@@ -124,6 +125,9 @@ pub struct Machine<'a> {
     bff: Vec<usize>,
     out: String,
     input: VecDeque<String>,
+    /// Opt-in per-op execution counters; `None` (the default) keeps
+    /// the dispatch loop's profiling cost to one predictable branch.
+    prof: Option<Box<VmProfile>>,
 }
 
 impl<'a> Machine<'a> {
@@ -142,12 +146,29 @@ impl<'a> Machine<'a> {
             bff: Vec::new(),
             out: String::new(),
             input: input.iter().cloned().collect(),
+            prof: None,
         }
     }
 
     /// The captured `VISIBLE` output (call after [`Step::Done`]).
     pub fn take_output(&mut self) -> String {
         std::mem::take(&mut self.out)
+    }
+
+    /// Turn on bytecode profiling: every subsequently dispatched op is
+    /// counted into a [`VmProfile`] (collect it with
+    /// [`Machine::take_profile`]). Call before the first
+    /// [`Machine::resume`] for a whole-run profile.
+    pub fn enable_profile(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(Box::new(VmProfile::for_module(self.module)));
+        }
+    }
+
+    /// Detach the collected profile (`None` if profiling was never
+    /// enabled). Profiling stops until re-enabled.
+    pub fn take_profile(&mut self) -> Option<VmProfile> {
+        self.prof.take().map(|b| *b)
     }
 
     /// Run until the program completes or the PE would block.
@@ -173,7 +194,8 @@ impl<'a> Machine<'a> {
         // Split `self` into disjoint borrows so the dispatch loop can
         // hold `&mut Frame` (from `frames`) alongside the operand
         // stack and output buffer without going through `self`.
-        let Machine { frames, stack, bff, out, input, .. } = self;
+        let Machine { frames, stack, bff, out, input, prof, .. } = self;
+        let mut prof = prof.as_deref_mut();
         // Outer loop: one iteration per frame activation. The inner
         // loop keeps `pc` and `chunk` in locals — `chunk` borrows from
         // `module` (not `self`) — and breaks with the control transfer
@@ -182,6 +204,13 @@ impl<'a> Machine<'a> {
             let depth = frames.len();
             let Some(frame) = frames.last_mut() else { return Ok(Step::Done) };
             let chunk = chunk_of(module, frame.chunk);
+            // Heat-plane index for this activation (0 = main,
+            // i + 1 = funcs[i]) — hoisted so the profiled inner loop
+            // pays two array increments per op and nothing more.
+            let ci = match frame.chunk {
+                ChunkRef::Main => 0,
+                ChunkRef::Func(i) => i as usize + 1,
+            };
             let mut pc = frame.pc;
             let xfer = loop {
                 let Some(op) = chunk.code.get(pc) else {
@@ -189,6 +218,12 @@ impl<'a> Machine<'a> {
                     break Xfer::Unwind(Value::Noob);
                 };
                 pc += 1;
+                // One predictable branch when profiling is off; the
+                // counters live outside the match so every opcode —
+                // including superinstructions — is counted exactly once.
+                if let Some(p) = prof.as_deref_mut() {
+                    p.hit(ci, pc - 1, op.profile_index());
+                }
                 match op {
                     Op::Const(k) => {
                         let v = konst(module, *k)?.clone();

@@ -241,6 +241,141 @@ pub enum Op {
     Halt,
 }
 
+/// Stable profile names, indexed by [`Op::profile_index`]. Kept in the
+/// enum's declaration order, superinstructions contiguous (see
+/// [`Op::is_superinstruction`]).
+const PROFILE_NAMES: [&str; Op::COUNT] = [
+    "Const",
+    "LoadLocal",
+    "StoreLocal",
+    "Cast",
+    "Pop",
+    "SharedLoad",
+    "SharedStore",
+    "SharedLoadIdx",
+    "SharedStoreIdx",
+    "LocalArrNew",
+    "LocalArrLoad",
+    "LocalArrStore",
+    "ArrayCopy",
+    "Bin",
+    "Un",
+    "BinLL",
+    "BinLC",
+    "BinSL",
+    "BinSC",
+    "BinLLS",
+    "BinLCS",
+    "CastStore",
+    "JumpIfLocalEqConst",
+    "JumpIfLocalEqLocal",
+    "JumpIfLocalFalse",
+    "LocalArrLoadL",
+    "LocalArrStoreL",
+    "SharedLoadIdxL",
+    "SharedStoreIdxL",
+    "Smoosh",
+    "AllOf",
+    "AnyOf",
+    "Jump",
+    "JumpIfFalse",
+    "Call",
+    "Ret",
+    "Visible",
+    "ReadLine",
+    "Barrier",
+    "LockAcquire",
+    "LockTry",
+    "LockRelease",
+    "PushBff",
+    "PopBff",
+    "Me",
+    "MahFrenz",
+    "RandI",
+    "RandF",
+    "Halt",
+];
+
+/// Profile indices `15..29` are the superinstructions.
+const SUPER_FIRST: usize = 15;
+const SUPER_LAST: usize = 28;
+
+impl Op {
+    /// Number of distinct opcodes (the length of a per-opcode profile
+    /// counter array).
+    pub const COUNT: usize = 49;
+
+    /// This op's dense profile index (`0..Op::COUNT`), operand-blind:
+    /// every `Bin` counts in the same cell regardless of operator.
+    /// [`Op::profile_name`] maps it back to the opcode name.
+    #[inline]
+    pub fn profile_index(&self) -> usize {
+        match self {
+            Op::Const(_) => 0,
+            Op::LoadLocal(_) => 1,
+            Op::StoreLocal(_) => 2,
+            Op::Cast(_) => 3,
+            Op::Pop => 4,
+            Op::SharedLoad { .. } => 5,
+            Op::SharedStore { .. } => 6,
+            Op::SharedLoadIdx { .. } => 7,
+            Op::SharedStoreIdx { .. } => 8,
+            Op::LocalArrNew { .. } => 9,
+            Op::LocalArrLoad { .. } => 10,
+            Op::LocalArrStore { .. } => 11,
+            Op::ArrayCopy { .. } => 12,
+            Op::Bin(_) => 13,
+            Op::Un(_) => 14,
+            Op::BinLL { .. } => 15,
+            Op::BinLC { .. } => 16,
+            Op::BinSL { .. } => 17,
+            Op::BinSC { .. } => 18,
+            Op::BinLLS { .. } => 19,
+            Op::BinLCS { .. } => 20,
+            Op::CastStore { .. } => 21,
+            Op::JumpIfLocalEqConst { .. } => 22,
+            Op::JumpIfLocalEqLocal { .. } => 23,
+            Op::JumpIfLocalFalse { .. } => 24,
+            Op::LocalArrLoadL { .. } => 25,
+            Op::LocalArrStoreL { .. } => 26,
+            Op::SharedLoadIdxL { .. } => 27,
+            Op::SharedStoreIdxL { .. } => 28,
+            Op::Smoosh(_) => 29,
+            Op::AllOf(_) => 30,
+            Op::AnyOf(_) => 31,
+            Op::Jump(_) => 32,
+            Op::JumpIfFalse(_) => 33,
+            Op::Call { .. } => 34,
+            Op::Ret => 35,
+            Op::Visible { .. } => 36,
+            Op::ReadLine => 37,
+            Op::Barrier => 38,
+            Op::LockAcquire { .. } => 39,
+            Op::LockTry { .. } => 40,
+            Op::LockRelease { .. } => 41,
+            Op::PushBff => 42,
+            Op::PopBff => 43,
+            Op::Me => 44,
+            Op::MahFrenz => 45,
+            Op::RandI => 46,
+            Op::RandF => 47,
+            Op::Halt => 48,
+        }
+    }
+
+    /// The opcode name for a profile index (inverse of
+    /// [`Op::profile_index`]).
+    pub fn profile_name(idx: usize) -> &'static str {
+        PROFILE_NAMES[idx]
+    }
+
+    /// Is profile index `idx` a superinstruction (a peephole fusion of
+    /// several plain ops)?
+    pub fn is_superinstruction(idx: usize) -> bool {
+        (SUPER_FIRST..=SUPER_LAST).contains(&idx)
+    }
+}
+
 /// A compiled chunk: code plus frame size.
 #[derive(Debug, Clone, Default)]
 pub struct Chunk {

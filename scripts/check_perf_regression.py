@@ -41,6 +41,14 @@ absolute engine gate — a recompile-per-request or a convoy on the
 artifact cache blows the p99 ceiling long before it shows up in
 single-run walls.
 
+When the bench report carries a "serve" object (the server-side
+counter deltas lold-bench scrapes from GET /metrics, see
+docs/OBSERVABILITY.md), the server's own books are audited too:
+zero error responses, zero 429/503 rejections, and a request count
+that agrees with the client's — the server must have counted exactly
+the requests the harness sent. Reports from servers without the
+/metrics route skip this section silently.
+
 Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -144,6 +152,28 @@ def check_serve(baselines_path, bench_path):
         failures.append(
             f"serve ok-count: {bench.get('ok')} of {bench.get('total')} requests succeeded"
         )
+    deltas = bench.get("serve")
+    if deltas is not None:
+        # The server's own books, scraped from GET /metrics around the
+        # run: no errors, no rejections, and both sides agree on how
+        # many requests happened.
+        for name in ("server_errors", "rejected_429", "rejected_503"):
+            got = deltas.get(name)
+            if got is None:
+                failures.append(f"serve {name}: missing from the serve deltas")
+            elif got != 0:
+                failures.append(f"serve {name}: server counted {got}, expected 0")
+            else:
+                print(f"serve {name}: 0 ok")
+        sent, counted = bench.get("total"), deltas.get("requests_run")
+        if counted != sent:
+            failures.append(
+                f"serve requests_run: server counted {counted}, client sent {sent}"
+            )
+        else:
+            print(f"serve requests_run: {counted} matches the client ok")
+    else:
+        print("serve deltas: absent (no /metrics on the target); skipping the audit")
     if failures:
         print("PERF REGRESSION (serve bounds):")
         for f in failures:

@@ -8,10 +8,16 @@
 //! (c) a full accept queue answers `429` + `Retry-After` and never
 //!     drops a request it already accepted;
 //! (d) quota violations degrade to structured `SRV0xxx` error JSON
-//!     with the connection left reusable.
+//!     with the connection left reusable;
+//! (e) `GET /metrics` is valid Prometheus exposition whose counters
+//!     agree exactly with a concurrent `lold-bench` run;
+//! (f) `POST /trace` with `"format": "perfetto"` returns a render that
+//!     is itself valid JSON under the server's own strict parser.
 
 use std::time::Duration;
 
+use lol_obs::{parse_exposition, sample_value};
+use lol_serve::bench::{run as bench_run, BenchSpec};
 use lol_serve::{client, json, ServeConfig, Server};
 use lolcode::service::{run_report_json, Quotas};
 use lolcode::{compile, corpus, engine_for, Backend, ClockMode, LatencyModel, RunConfig};
@@ -200,6 +206,115 @@ fn quota_violations_are_structured_and_keep_the_connection() {
         .unwrap();
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert!(resp.text().contains("\"ok\": true"));
+    server.shutdown();
+}
+
+/// (e) The observability contract: drive the server with the real
+/// bench harness, then audit `GET /metrics`. The exposition must parse
+/// under the strict `lol-obs` parser, the pinned metric names must
+/// exist, and the server's request count must agree exactly with the
+/// client's — both via the bench's own before/after scrape deltas and
+/// via a direct scrape (this server saw no other `/run` traffic).
+#[test]
+fn metrics_exposition_agrees_with_a_concurrent_bench() {
+    let server =
+        Server::start(ServeConfig { workers: 10, queue_cap: 32, ..ServeConfig::default() })
+            .unwrap();
+    let addr = server.addr().to_string();
+
+    let spec = BenchSpec {
+        addr: addr.clone(),
+        clients: 8,
+        requests: 5,
+        path: "/run".to_string(),
+        body: body_for(corpus::HELLO_PARALLEL, "interp", 2),
+    };
+    let report = bench_run(&spec);
+    assert_eq!(report.errors, 0, "bench must run clean: {}", report.summary());
+    let deltas = report.serve.expect("the bench must manage both /metrics scrapes");
+    assert_eq!(deltas.requests_run, 40, "server-side delta must match 8 clients x 5 requests");
+    assert_eq!(deltas.server_errors, 0);
+    assert_eq!(deltas.rejected_429, 0);
+    assert_eq!(deltas.rejected_503, 0);
+
+    let resp = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4"),
+        "Prometheus scrapers key on this content type"
+    );
+    let samples = parse_exposition(&resp.text())
+        .unwrap_or_else(|e| panic!("/metrics must be valid exposition ({e}):\n{}", resp.text()));
+
+    // The pinned surface: names CI and dashboards depend on.
+    let run_total = sample_value(&samples, "lold_requests_total", &[("route", "run")]);
+    assert_eq!(run_total, Some(40.0), "all 40 bench requests and nothing else");
+    for name in [
+        "lold_cache_hits_total",
+        "lold_cache_misses_total",
+        "lold_cache_evictions_total",
+        "lold_queue_depth",
+        "lold_busy_workers",
+        "lold_errors_total",
+        "lold_workers",
+    ] {
+        assert!(
+            sample_value(&samples, name, &[]).is_some(),
+            "pinned metric {name} missing from the exposition"
+        );
+    }
+    // One cached artifact: exactly one compile across the whole bench.
+    assert_eq!(sample_value(&samples, "lold_cache_misses_total", &[]), Some(1.0));
+    assert_eq!(sample_value(&samples, "lold_cache_hits_total", &[]), Some(39.0));
+    // The latency histogram observed every /run exactly once.
+    assert_eq!(
+        sample_value(&samples, "lold_request_latency_us_count", &[("route", "run")]),
+        Some(40.0),
+        "histogram count must equal the request count"
+    );
+    // /healthz and /metrics agree: same counters, two renderings.
+    let health = json::parse(&client::get(&addr, "/healthz").unwrap().text()).unwrap();
+    let reqs = health.get("requests").unwrap();
+    assert_eq!(reqs.get("run").and_then(json::Json::as_u64), Some(40));
+    server.shutdown();
+}
+
+/// (f) `POST /trace` with `"format": "perfetto"`: the render field must
+/// round-trip through the server's own strict JSON parser and look like
+/// a Chrome trace — a `traceEvents` array with complete events.
+#[test]
+fn perfetto_trace_render_round_trips_through_the_strict_parser() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let body = format!(
+        "{{\"source\": \"{}\", \"pes\": 4, \"clock\": \"virtual\", \"format\": \"perfetto\"}}",
+        json::escape(corpus::RING_EXAMPLE)
+    );
+    let resp = client::post(&addr, "/trace", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let parsed = json::parse(&resp.text()).unwrap();
+    assert_eq!(parsed.get("format").and_then(json::Json::as_str), Some("perfetto"));
+    let render = parsed.get("render").and_then(json::Json::as_str).unwrap();
+
+    let trace =
+        json::parse(render).unwrap_or_else(|e| panic!("perfetto render must be valid JSON ({e})"));
+    assert_eq!(trace.get("displayTimeUnit").and_then(json::Json::as_str), Some("ns"));
+    let events = trace
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .expect("traceEvents must be an array");
+    assert!(!events.is_empty(), "a 4-PE ring must trace events");
+    // Metadata names every PE thread; remote ops are complete events.
+    let metas =
+        events.iter().filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("M")).count();
+    assert!(metas >= 4, "expected thread_name metadata for 4 PEs, got {metas}");
+    assert!(
+        events.iter().any(
+            |e| e.get("ph").and_then(json::Json::as_str) == Some("X") && e.get("dur").is_some()
+        ),
+        "remote ops must render as complete (ph=X) events with durations"
+    );
     server.shutdown();
 }
 
